@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the reproduction's substrates: LPT
+//! throughput, reveal-mask operations, cache-array and coherent-system
+//! accesses, branch prediction, the DIFT analyzer, and end-to-end
+//! simulated cycles per second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use recon::{LoadPairTable, ReconConfig, RevealMask};
+use recon_cpu::bpred::BranchPredictor;
+use recon_mem::{CacheArray, CacheGeometry, MemConfig, MemorySystem, Mesi};
+use recon_secure::SecureConfig;
+use recon_sim::Experiment;
+use recon_workloads::gen::gadget::{generate, GadgetParams};
+use recon_workloads::Workload;
+
+fn bench_lpt(c: &mut Criterion) {
+    c.bench_function("lpt/commit_load_pair", |b| {
+        let mut lpt = LoadPairTable::full(256);
+        let mut preg = 0u32;
+        b.iter(|| {
+            preg = (preg + 1) % 255;
+            lpt.commit_load(preg, None, 0x1000 + u64::from(preg) * 8, false);
+            black_box(lpt.commit_load(preg + 1, Some(preg), 0x2000, false))
+        });
+    });
+}
+
+fn bench_mask(c: &mut Criterion) {
+    c.bench_function("mask/reveal_conceal_merge", |b| {
+        let mut m = RevealMask::all_concealed();
+        let other = RevealMask::from_bits(0b1010_1010);
+        b.iter(|| {
+            m.reveal(3);
+            m.merge_or(other);
+            m.conceal(3);
+            black_box(m.count_revealed())
+        });
+    });
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    c.bench_function("cache/fill_touch", |b| {
+        let mut arr = CacheArray::new(CacheGeometry::new(64 * 1024, 8));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xF_FFFF;
+            arr.fill(addr, Mesi::Shared, RevealMask::all_concealed());
+            black_box(arr.touch(addr))
+        });
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("mem/read_two_cores_sharing", |b| {
+        let mut mem = MemorySystem::new(2, MemConfig::scaled(), ReconConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xFFFF;
+            mem.read(0, addr);
+            black_box(mem.read(1, addr))
+        });
+    });
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("bpred/predict_update", |b| {
+        let mut bp = BranchPredictor::new(12);
+        let mut pc = 0usize;
+        b.iter(|| {
+            pc = (pc + 7) & 0xFFF;
+            let (taken, tok) = bp.predict(pc);
+            bp.update(tok, !taken);
+            black_box(taken)
+        });
+    });
+}
+
+fn bench_dift(c: &mut Criterion) {
+    let program = generate(GadgetParams {
+        slots: 64,
+        cond_lines: 8,
+        passes: 2,
+        ..Default::default()
+    });
+    c.bench_function("dift/analyze_gadget_program", |b| {
+        b.iter(|| black_box(recon_dift::analyze_program(&program, 1_000_000).unwrap()));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = generate(GadgetParams {
+        slots: 64,
+        cond_lines: 16,
+        passes: 1,
+        ..Default::default()
+    });
+    let w = Workload::single(program);
+    c.bench_function("sim/gadget_pass_stt_recon", |b| {
+        let exp = Experiment::default();
+        b.iter_batched(
+            || w.clone(),
+            |w| black_box(exp.run(&w, SecureConfig::stt_recon()).cycles),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lpt,
+    bench_mask,
+    bench_cache_array,
+    bench_memory_system,
+    bench_bpred,
+    bench_dift,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5 — normalized IPC of NDA and NDA+ReCon on the SPEC2017 and
+//! SPEC2006 stand-ins.
+//!
+//! Paper: NDA degrades SPEC2017 by 13.2% (SPEC2006 by 10.4%); ReCon
+//! reduces the overhead to 9.4% (7.2%), a 28.7% (31.5%) reduction.
+
+use recon_bench::{banner, mean_overhead, run_pairs, scale_from_env};
+use recon_secure::SecureConfig;
+use recon_sim::report::{norm, pct, Table};
+use recon_sim::{overhead_reduction, Experiment};
+use recon_workloads::{spec2006, spec2017, Suite};
+
+fn main() {
+    banner(
+        "Figure 5: normalized IPC, NDA and NDA+ReCon",
+        "SPEC2017: NDA -13.2% -> NDA+ReCon -9.4% (28.7% less overhead); \
+         SPEC2006: -10.4% -> -7.2% (31.5%)",
+    );
+    let scale = scale_from_env();
+    let exp = Experiment::default();
+    for (suite, benchmarks) in
+        [(Suite::Spec2017, spec2017(scale)), (Suite::Spec2006, spec2006(scale))]
+    {
+        let rows = run_pairs(&exp, &benchmarks, SecureConfig::nda());
+        let mut t = Table::new(&["benchmark", "NDA", "NDA+ReCon"]);
+        for r in &rows {
+            t.row(&[r.name.into(), norm(r.norm_scheme()), norm(r.norm_recon())]);
+        }
+        println!("\n--- {suite} ---");
+        print!("{}", t.render());
+        let (o, or) = (mean_overhead(&rows, false), mean_overhead(&rows, true));
+        println!(
+            "mean overhead: NDA {} -> NDA+ReCon {}  (overhead reduced by {})",
+            pct(o),
+            pct(or),
+            pct(overhead_reduction(o, or)),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 6 — normalized IPC of STT and STT+ReCon on the SPEC2017 and
+//! SPEC2006 stand-ins.
+//!
+//! Paper: STT degrades SPEC2017 by 8.9% (SPEC2006 by 8.1%); ReCon
+//! reduces the overhead to 4.9% (5.0%), a 45.1% (39%) reduction.
+
+use recon_bench::{banner, mean_overhead, run_pairs, scale_from_env};
+use recon_secure::SecureConfig;
+use recon_sim::report::{norm, pct, Table};
+use recon_sim::{overhead_reduction, Experiment};
+use recon_workloads::{spec2006, spec2017, Suite};
+
+fn main() {
+    banner(
+        "Figure 6: normalized IPC, STT and STT+ReCon",
+        "SPEC2017: STT -8.9% -> STT+ReCon -4.9% (45.1% less overhead); \
+         SPEC2006: -8.1% -> -5.0% (39%)",
+    );
+    let scale = scale_from_env();
+    let exp = Experiment::default();
+    for (suite, benchmarks) in
+        [(Suite::Spec2017, spec2017(scale)), (Suite::Spec2006, spec2006(scale))]
+    {
+        let rows = run_pairs(&exp, &benchmarks, SecureConfig::stt());
+        let mut t = Table::new(&["benchmark", "STT", "STT+ReCon"]);
+        for r in &rows {
+            t.row(&[r.name.into(), norm(r.norm_scheme()), norm(r.norm_recon())]);
+        }
+        println!("\n--- {suite} ---");
+        print!("{}", t.render());
+        let (o, or) = (mean_overhead(&rows, false), mean_overhead(&rows, true));
+        println!(
+            "mean overhead: STT {} -> STT+ReCon {}  (overhead reduced by {})",
+            pct(o),
+            pct(or),
+            pct(overhead_reduction(o, or)),
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 8 — normalized execution time of the 4-thread PARSEC
+//! stand-ins under NDA, NDA+ReCon, STT, and STT+ReCon.
+//!
+//! Paper: NDA increases total execution time by 9.7% and STT by 4.4%;
+//! ReCon reduces the overhead by 46.7% (NDA) and 78.6% (STT), to 5.2%
+//! and 1.0% respectively. The multicore win comes from reveal masks
+//! travelling between cores with the coherence protocol (§5.3).
+
+use recon_bench::{banner, scale_from_env};
+use recon_mem::MemConfig;
+use recon_secure::SecureConfig;
+use recon_sim::report::{norm, pct, Table};
+use recon_sim::{mean, overhead_reduction, Experiment};
+use recon_workloads::parsec;
+
+fn main() {
+    banner(
+        "Figure 8: PARSEC normalized execution time (4 cores)",
+        "NDA +9.7% -> +5.2% with ReCon (46.7% less); STT +4.4% -> +1.0% (78.6% less)",
+    );
+    let exp = Experiment { mem: MemConfig::scaled_multicore(), ..Experiment::default() };
+    let mut t =
+        Table::new(&["benchmark", "NDA", "NDA+ReCon", "STT", "STT+ReCon"]);
+    let (mut on, mut onr, mut os, mut osr) = (vec![], vec![], vec![], vec![]);
+    for b in parsec(scale_from_env()) {
+        let base = exp.run(&b.workload, SecureConfig::unsafe_baseline());
+        let nt = |r: &recon_sim::SystemResult| r.cycles as f64 / base.cycles as f64;
+        let nda = nt(&exp.run(&b.workload, SecureConfig::nda()));
+        let ndar = nt(&exp.run(&b.workload, SecureConfig::nda_recon()));
+        let stt = nt(&exp.run(&b.workload, SecureConfig::stt()));
+        let sttr = nt(&exp.run(&b.workload, SecureConfig::stt_recon()));
+        on.push(nda - 1.0);
+        onr.push(ndar - 1.0);
+        os.push(stt - 1.0);
+        osr.push(sttr - 1.0);
+        t.row(&[b.name.into(), norm(nda), norm(ndar), norm(stt), norm(sttr)]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "mean time overhead: NDA {} -> {} with ReCon ({} less)",
+        pct(mean(&on)),
+        pct(mean(&onr)),
+        pct(overhead_reduction(mean(&on), mean(&onr))),
+    );
+    println!(
+        "                    STT {} -> {} with ReCon ({} less)",
+        pct(mean(&os)),
+        pct(mean(&osr)),
+        pct(overhead_reduction(mean(&os), mean(&osr))),
+    );
+    println!("paper: NDA +9.7% -> +5.2% (46.7%); STT +4.4% -> +1.0% (78.6%)");
+}

@@ -1,0 +1,53 @@
+//! Figure 10 — normalized IPC of STT+ReCon when reveal masks are kept
+//! only in the L1, in L1+L2, or at every level including the directory.
+//!
+//! Paper: applying ReCon only to the L1 reduces STT's 8.9% overhead to
+//! 7.3%; L1+L2 to 6.3%; all levels to 4.9%. Benchmarks with small hot
+//! pointer sets (cactuBSSN, leela) recover at L1 alone; large-working-
+//! set benchmarks (gcc, mcf, omnetpp, xalancbmk) need L2 and the LLC.
+
+use recon::{ReconConfig, ReconLevels};
+use recon_bench::{banner, scale_from_env};
+use recon_secure::SecureConfig;
+use recon_sim::report::{norm, pct, Table};
+use recon_sim::{mean, Experiment};
+use recon_workloads::spec2017;
+
+fn main() {
+    banner(
+        "Figure 10: ReCon applied to different cache levels (STT, SPEC2017)",
+        "STT 8.9% overhead -> 7.3% (L1), 6.3% (L1+L2), 4.9% (all levels)",
+    );
+    let scale = scale_from_env();
+    let benchmarks = spec2017(scale);
+    let base_exp = Experiment::default();
+    let mut t = Table::new(&["benchmark", "STT", "+ReCon L1", "+ReCon L1+L2", "+ReCon all"]);
+    let mut sums = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for b in &benchmarks {
+        let base = base_exp.run(&b.workload, SecureConfig::unsafe_baseline());
+        let stt = base_exp.run(&b.workload, SecureConfig::stt());
+        let mut cells = vec![b.name.to_string(), norm(stt.ipc() / base.ipc())];
+        sums[0].push(1.0 - (stt.ipc() / base.ipc()).min(1.0));
+        for (i, levels) in ReconLevels::ALL.iter().enumerate() {
+            let exp = Experiment {
+                recon: ReconConfig { levels: *levels, ..ReconConfig::default() },
+                ..Experiment::default()
+            };
+            let r = exp.run(&b.workload, SecureConfig::stt_recon());
+            let n = r.ipc() / base.ipc();
+            sums[i + 1].push(1.0 - n.min(1.0));
+            cells.push(norm(n));
+        }
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "mean overhead: STT {} -> L1 {} -> L1+L2 {} -> all levels {}",
+        pct(mean(&sums[0])),
+        pct(mean(&sums[1])),
+        pct(mean(&sums[2])),
+        pct(mean(&sums[3])),
+    );
+    println!("paper: 8.9% -> 7.3% -> 6.3% -> 4.9%");
+}

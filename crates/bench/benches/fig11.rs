@@ -1,0 +1,63 @@
+//! Figure 11 — normalized IPC of STT+ReCon with successively smaller
+//! (tagged) load-pair tables: full, /2, /4, …, /64 entries.
+//!
+//! Paper: shrinking the LPT barely affects performance because load
+//! pairs are close together in the pipeline; only mcf degrades
+//! noticeably as conflicts grow.
+
+use recon::{LptSize, ReconConfig};
+use recon_bench::{banner, scale_from_env};
+use recon_cpu::CoreConfig;
+use recon_secure::SecureConfig;
+use recon_sim::report::{norm, Table};
+use recon_sim::Experiment;
+use recon_workloads::spec2017;
+
+fn main() {
+    banner(
+        "Figure 11: LPT size sensitivity (STT+ReCon, SPEC2017)",
+        "LPT can shrink to 1/64 of the register count with marginal loss (mcf first to suffer)",
+    );
+    let scale = scale_from_env();
+    let num_pregs = CoreConfig::paper().num_pregs;
+    let divisors: [usize; 5] = [1, 4, 16, 32, 64];
+    let mut headers = vec!["benchmark".to_string(), "STT".to_string()];
+    for d in divisors {
+        headers.push(if d == 1 { "LPT full".into() } else { format!("LPT/{d}") });
+    }
+    headers.push("conflicts@/64".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for b in spec2017(scale) {
+        let base_exp = Experiment::default();
+        let base = base_exp.run(&b.workload, SecureConfig::unsafe_baseline());
+        let stt = base_exp.run(&b.workload, SecureConfig::stt());
+        let mut cells = vec![b.name.to_string(), norm(stt.ipc() / base.ipc())];
+        let mut conflicts_at_64 = 0;
+        for d in divisors {
+            let exp = Experiment {
+                recon: ReconConfig {
+                    lpt_size: LptSize::Entries((num_pregs / d).max(1)),
+                    ..ReconConfig::default()
+                },
+                ..Experiment::default()
+            };
+            let r = exp.run(&b.workload, SecureConfig::stt_recon());
+            if d == 64 {
+                conflicts_at_64 = r.cores[0].lpt.tag_conflicts;
+            }
+            cells.push(norm(r.ipc() / base.ipc()));
+        }
+        cells.push(conflicts_at_64.to_string());
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("paper: all sizes within noise of each other except mcf, which");
+    println!("degrades with every halving as tag conflicts lose reveal chances.");
+    println!();
+    println!("note: tag conflicts do occur at small sizes (rightmost column) but");
+    println!("cost even less here than in the paper — pairs commit back-to-back");
+    println!("and a reveal lost to a conflict is usually re-established on the");
+    println!("next reuse of the pointer (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,45 @@
+//! §6.7 — implementation (storage) overhead accounting.
+//!
+//! Paper: a 180-register LPT is ~1.1 KiB (224 registers: ~1.37 KiB); a
+//! halved, tagged LPT is 641/798 bytes; reveal masks add one byte per
+//! 64-byte line, under 1.5% of total cache storage.
+
+use recon::overhead::{
+    lpt_bytes, lpt_tagged_bytes, mask_bytes_for_cache, mask_overhead_fraction,
+};
+use recon_bench::banner;
+use recon_mem::MemConfig;
+use recon_sim::report::{pct, Table};
+
+fn main() {
+    banner("§6.7: storage-overhead accounting", "LPT ~1.1 KiB; masks < 1.5% of cache storage");
+    let mut t = Table::new(&["structure", "paper", "computed"]);
+    t.row(&["LPT, 180 pregs (Skylake)".into(), "~1.1 KiB".into(), format!("{} B", lpt_bytes(180))]);
+    t.row(&["LPT, 192 pregs (Zen 3)".into(), "—".into(), format!("{} B", lpt_bytes(192))]);
+    t.row(&["LPT, 224 pregs (Zen 4)".into(), "~1.37 KiB".into(), format!("{} B", lpt_bytes(224))]);
+    t.row(&["LPT/2 tagged, 90 entries".into(), "641 B".into(), format!("{} B", lpt_tagged_bytes(90))]);
+    t.row(&["LPT/2 tagged, 112 entries".into(), "798 B".into(), format!("{} B", lpt_tagged_bytes(112))]);
+    let paper = MemConfig::paper();
+    t.row(&[
+        "masks, 64 KiB L1".into(),
+        "1 B / line".into(),
+        format!("{} B", mask_bytes_for_cache(paper.l1.capacity_bytes())),
+    ]);
+    t.row(&[
+        "masks, 2 MiB L2".into(),
+        "1 B / line".into(),
+        format!("{} B", mask_bytes_for_cache(paper.l2.capacity_bytes())),
+    ]);
+    t.row(&[
+        "masks, 16 MiB LLC dir".into(),
+        "1 B / line".into(),
+        format!("{} B", mask_bytes_for_cache(paper.llc.capacity_bytes())),
+    ]);
+    let total = paper.l1.capacity_bytes() + paper.l2.capacity_bytes() + paper.llc.capacity_bytes();
+    t.row(&[
+        "mask fraction of cache storage".into(),
+        "< 1.5%".into(),
+        pct(mask_overhead_fraction(total)),
+    ]);
+    print!("{}", t.render());
+}

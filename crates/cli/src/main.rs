@@ -1,0 +1,193 @@
+//! `recon` — command-line driver for the ReCon reproduction.
+//!
+//! ```text
+//! recon list                         list all benchmark stand-ins
+//! recon run <suite> <bench> [scheme] run one benchmark (default: matrix)
+//! recon matrix <suite> <bench>       run all five scheme configurations
+//! recon analyze <suite> <bench>      Clueless-style leakage report
+//! recon overhead                     §6.7 storage accounting
+//! ```
+//!
+//! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
+//! `nda+recon`, `stt`, `stt+recon`. Set `RECON_SCALE=paper` for ×4
+//! workloads.
+
+use std::process::ExitCode;
+
+use recon_mem::MemConfig;
+use recon_secure::SecureConfig;
+use recon_sim::report::Table;
+use recon_sim::Experiment;
+use recon_workloads::{parsec, spec2006, spec2017, Benchmark, Scale, Suite};
+
+fn scale() -> Scale {
+    Scale::from_env()
+}
+
+fn parse_suite(name: &str) -> Option<(Suite, Vec<Benchmark>)> {
+    match name.to_ascii_lowercase().as_str() {
+        "spec2017" => Some((Suite::Spec2017, spec2017(scale()))),
+        "spec2006" => Some((Suite::Spec2006, spec2006(scale()))),
+        "parsec" => Some((Suite::Parsec, parsec(scale()))),
+        _ => None,
+    }
+}
+
+fn parse_scheme(name: &str) -> Option<SecureConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "unsafe" | "baseline" => Some(SecureConfig::unsafe_baseline()),
+        "nda" => Some(SecureConfig::nda()),
+        "nda+recon" | "nda-recon" => Some(SecureConfig::nda_recon()),
+        "stt" => Some(SecureConfig::stt()),
+        "stt+recon" | "stt-recon" => Some(SecureConfig::stt_recon()),
+        _ => None,
+    }
+}
+
+fn experiment_for(suite: Suite) -> Experiment {
+    let mem = if suite == Suite::Parsec {
+        MemConfig::scaled_multicore()
+    } else {
+        MemConfig::scaled()
+    };
+    Experiment { mem, ..Experiment::default() }
+}
+
+fn find_bench(suite_name: &str, bench: &str) -> Result<(Suite, Benchmark), String> {
+    let (suite, list) = parse_suite(suite_name)
+        .ok_or_else(|| format!("unknown suite '{suite_name}' (spec2017|spec2006|parsec)"))?;
+    let b = list
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(bench))
+        .ok_or_else(|| format!("no benchmark '{bench}' in {suite}"))?;
+    Ok((suite, b))
+}
+
+fn cmd_list() -> ExitCode {
+    let mut t = Table::new(&["suite", "benchmark", "threads", "static instructions"]);
+    for (_, list) in ["spec2017", "spec2006", "parsec"].iter().filter_map(|s| parse_suite(s)) {
+        for b in list {
+            t.row(&[
+                b.suite.to_string(),
+                b.name.to_string(),
+                b.workload.num_threads().to_string(),
+                b.workload.program.len().to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
+    let (suite, b) = match find_bench(suite_name, bench) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    let Some(secure) = parse_scheme(scheme) else {
+        return fail(&format!("unknown scheme '{scheme}'"));
+    };
+    let exp = experiment_for(suite);
+    let r = exp.run(&b.workload, secure);
+    println!("{} ({suite}) under {secure}:", b.name);
+    println!("  cycles            {}", r.cycles);
+    println!("  committed         {}", r.committed());
+    println!("  IPC               {:.3}", r.ipc());
+    println!("  tainted loads     {}", r.guarded_loads());
+    println!("  reveals set       {}", r.mem.reveals_set);
+    println!("  revealed loads    {}", r.mem.revealed_loads);
+    println!("  L1 load hit rate  {:.1}%", r.mem.l1_hit_rate() * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn cmd_matrix(suite_name: &str, bench: &str) -> ExitCode {
+    let (suite, b) = match find_bench(suite_name, bench) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    let exp = experiment_for(suite);
+    let m = exp.run_matrix(&b);
+    let mut t = Table::new(&["scheme", "cycles", "IPC", "normalized", "tainted loads"]);
+    for (name, r) in [
+        ("unsafe", &m.baseline),
+        ("NDA", &m.nda),
+        ("NDA+ReCon", &m.nda_recon),
+        ("STT", &m.stt),
+        ("STT+ReCon", &m.stt_recon),
+    ] {
+        t.row(&[
+            name.into(),
+            r.cycles.to_string(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.3}", m.normalized_ipc(r)),
+            r.guarded_loads().to_string(),
+        ]);
+    }
+    println!("{} ({suite}):", b.name);
+    print!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
+    let (_, b) = match find_bench(suite_name, bench) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    if b.workload.num_threads() != 1 {
+        return fail("leakage analysis runs on single-thread benchmarks");
+    }
+    match recon_dift::analyze_program(&b.workload.program, 200_000_000) {
+        Ok(r) => {
+            println!("{}:", b.name);
+            println!("  instructions analyzed  {}", r.instructions);
+            println!("  touched words          {}", r.touched_words);
+            println!("  DIFT leakage           {} ({:.1}%)", r.dift_leaked, r.dift_fraction() * 100.0);
+            println!("  load-pair leakage      {} ({:.1}%)", r.pair_leaked, r.pair_fraction() * 100.0);
+            println!("  pair coverage of DIFT  {:.1}%", r.coverage() * 100.0);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("analysis failed: {e}")),
+    }
+}
+
+fn cmd_overhead() -> ExitCode {
+    use recon::overhead::{lpt_bytes, lpt_tagged_bytes, mask_overhead_fraction};
+    println!("LPT (180 pregs): {} B", lpt_bytes(180));
+    println!("LPT (224 pregs): {} B", lpt_bytes(224));
+    println!("LPT/2 tagged (90): {} B", lpt_tagged_bytes(90));
+    let paper = MemConfig::paper();
+    let total = paper.l1.capacity_bytes() + paper.l2.capacity_bytes() + paper.llc.capacity_bytes();
+    println!("mask overhead: {:.2}% of cache storage", mask_overhead_fraction(total) * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: recon <command>");
+    eprintln!("  list                          list all benchmark stand-ins");
+    eprintln!("  run <suite> <bench> <scheme>  run one configuration");
+    eprintln!("  matrix <suite> <bench>        run all five configurations");
+    eprintln!("  analyze <suite> <bench>       leakage (DIFT vs load pairs)");
+    eprintln!("  overhead                      §6.7 storage accounting");
+    eprintln!("suites: spec2017 spec2006 parsec");
+    eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["list"] => cmd_list(),
+        ["run", suite, bench, scheme] => cmd_run(suite, bench, scheme),
+        ["run", suite, bench] => cmd_matrix(suite, bench),
+        ["matrix", suite, bench] => cmd_matrix(suite, bench),
+        ["analyze", suite, bench] => cmd_analyze(suite, bench),
+        ["overhead"] => cmd_overhead(),
+        _ => usage(),
+    }
+}

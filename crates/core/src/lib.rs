@@ -1,0 +1,52 @@
+//! # recon — the paper's primary contribution
+//!
+//! Core data structures of **ReCon** (*Efficient Detection, Management,
+//! and Use of Non-Speculative Information Leakage*, MICRO 2023):
+//!
+//! * [`RevealMask`] — the per-cache-line reveal/conceal bit-vector (one
+//!   bit per aligned 8-byte word) that the memory hierarchy carries and
+//!   the coherence protocol keeps coherent (§5.2–5.3);
+//! * [`LoadPairTable`] — the commit-stage detector of direct-dependence
+//!   load pairs, indexed by physical register, including the reduced
+//!   tagged variant of §6.6 (§5.1);
+//! * [`ReconConfig`] / [`ReconLevels`] / [`LptSize`] — the design-space
+//!   knobs evaluated in §6.5 and §6.6;
+//! * [`overhead`] — the §6.7 storage-cost arithmetic.
+//!
+//! The surrounding crates wire these into a full system: `recon-mem`
+//! piggybacks [`RevealMask`] on a directory MESI protocol, and
+//! `recon-cpu` hosts the [`LoadPairTable`] in its commit stage and lifts
+//! NDA/STT defenses for loads that hit revealed words.
+//!
+//! ## The mechanism in one example
+//!
+//! ```
+//! use recon::{LoadPairTable, RevealMask, word_index};
+//!
+//! // Non-speculative execution commits:
+//! //   PC1: load p7, [0x13 * 8]   (loads a pointer)
+//! //   PC2: load p9, [p7]         (dereferences it)
+//! let mut lpt = LoadPairTable::full(180);
+//! assert_eq!(lpt.commit_load(7, None, 0x98, false), None);
+//! let revealed = lpt.commit_load(9, Some(7), 0x4000, false);
+//! assert_eq!(revealed, Some(0x98)); // PC1's address is now public
+//!
+//! // The cache line holding 0x98 marks that word revealed:
+//! let mut mask = RevealMask::all_concealed();
+//! mask.reveal(word_index(0x98));
+//! assert!(mask.is_revealed(word_index(0x98)));
+//! // A later *speculative* load of 0x98 may now be dereferenced without
+//! // waiting: its value is already public.
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lpt;
+pub mod mask;
+pub mod overhead;
+pub mod policy;
+
+pub use lpt::{LoadPairTable, LptStats};
+pub use mask::{line_of, word_index, RevealMask, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use policy::{LptSize, ReconConfig, ReconLevels};

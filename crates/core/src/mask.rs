@@ -1,0 +1,218 @@
+//! Reveal/conceal bit-vectors — the per-cache-line metadata at the heart
+//! of ReCon (§5.2 of the paper).
+//!
+//! Every 64-byte cache line carries one bit per aligned 8-byte word:
+//! `1` = *revealed* (the word's value has leaked non-speculatively and is
+//! safe to dereference under speculation), `0` = *concealed* (must be
+//! protected by the underlying secure speculation scheme).
+
+use core::fmt;
+
+/// Bytes per machine word tracked by ReCon (reveals are word-granular).
+pub const WORD_BYTES: u64 = 8;
+/// Bytes per cache line.
+pub const LINE_BYTES: u64 = 64;
+/// Words per cache line — one reveal bit each.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+
+/// Returns the line-aligned base address containing `addr`.
+#[must_use]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// Returns the index (0..[`WORDS_PER_LINE`]) of the word containing
+/// `addr` within its line.
+#[must_use]
+pub fn word_index(addr: u64) -> usize {
+    ((addr % LINE_BYTES) / WORD_BYTES) as usize
+}
+
+/// The reveal/conceal bit-vector of one cache line.
+///
+/// A freshly fetched line is all-concealed (§5.2: "A newly fetched cache
+/// line from memory has all its words marked as concealed").
+///
+/// ```
+/// use recon::RevealMask;
+///
+/// let mut m = RevealMask::all_concealed();
+/// assert!(!m.is_revealed(3));
+/// m.reveal(3);
+/// assert!(m.is_revealed(3));
+/// m.conceal(3); // a store to the word conceals it again
+/// assert!(!m.is_revealed(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RevealMask(u8);
+
+impl RevealMask {
+    /// A mask with every word concealed — the state of a line fetched
+    /// from memory.
+    #[must_use]
+    pub fn all_concealed() -> Self {
+        RevealMask(0)
+    }
+
+    /// A mask with every word revealed (useful in tests).
+    #[must_use]
+    pub fn all_revealed() -> Self {
+        RevealMask(0xFF)
+    }
+
+    /// Constructs a mask from its raw bits (bit *i* = word *i*).
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        RevealMask(bits)
+    }
+
+    /// The raw bits (bit *i* = word *i*).
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether word `word` (0..[`WORDS_PER_LINE`]) is revealed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_LINE`.
+    #[must_use]
+    pub fn is_revealed(self, word: usize) -> bool {
+        assert!(word < WORDS_PER_LINE, "word index {word} out of range");
+        self.0 & (1 << word) != 0
+    }
+
+    /// Marks word `word` revealed (a committed load pair dereferenced it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_LINE`.
+    pub fn reveal(&mut self, word: usize) {
+        assert!(word < WORDS_PER_LINE, "word index {word} out of range");
+        self.0 |= 1 << word;
+    }
+
+    /// Marks word `word` concealed (a committed store changed it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_LINE`.
+    pub fn conceal(&mut self, word: usize) {
+        assert!(word < WORDS_PER_LINE, "word index {word} out of range");
+        self.0 &= !(1 << word);
+    }
+
+    /// Merges another copy of this line's mask into this one by logical
+    /// OR — the §5.3 rule applied when an L1 evicts its copy back to the
+    /// directory ("Or-ing the L1 bit-vector with the directory bit-vector
+    /// guarantees that information is preserved across consecutive
+    /// evictions from different L1s").
+    pub fn merge_or(&mut self, other: RevealMask) {
+        self.0 |= other.0;
+    }
+
+    /// Number of revealed words in the line.
+    #[must_use]
+    pub fn count_revealed(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether any word in the line is revealed.
+    #[must_use]
+    pub fn any_revealed(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for RevealMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RevealMask({:08b})", self.0)
+    }
+}
+
+impl fmt::Display for RevealMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Word 0 printed leftmost for readability.
+        for w in 0..WORDS_PER_LINE {
+            f.write_str(if self.is_revealed(w) { "R" } else { "c" })?;
+        }
+        Ok(())
+    }
+}
+
+impl core::ops::BitOr for RevealMask {
+    type Output = RevealMask;
+
+    fn bitor(self, rhs: RevealMask) -> RevealMask {
+        RevealMask(self.0 | rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_line_is_all_concealed() {
+        let m = RevealMask::all_concealed();
+        assert!(!m.any_revealed());
+        assert_eq!(m.count_revealed(), 0);
+        for w in 0..WORDS_PER_LINE {
+            assert!(!m.is_revealed(w));
+        }
+    }
+
+    #[test]
+    fn reveal_conceal_round_trip() {
+        let mut m = RevealMask::all_concealed();
+        m.reveal(0);
+        m.reveal(7);
+        assert!(m.is_revealed(0) && m.is_revealed(7) && !m.is_revealed(3));
+        assert_eq!(m.count_revealed(), 2);
+        m.conceal(0);
+        assert!(!m.is_revealed(0) && m.is_revealed(7));
+    }
+
+    #[test]
+    fn merge_or_preserves_information() {
+        let mut dir = RevealMask::from_bits(0b0000_1010);
+        let l1 = RevealMask::from_bits(0b0100_0010);
+        dir.merge_or(l1);
+        assert_eq!(dir.bits(), 0b0100_1010);
+    }
+
+    #[test]
+    fn bitor_operator_matches_merge() {
+        let a = RevealMask::from_bits(0b1);
+        let b = RevealMask::from_bits(0b10);
+        assert_eq!((a | b).bits(), 0b11);
+    }
+
+    #[test]
+    fn line_and_word_helpers() {
+        assert_eq!(line_of(0x1234), 0x1200);
+        assert_eq!(line_of(0x1200), 0x1200);
+        assert_eq!(word_index(0x1200), 0);
+        assert_eq!(word_index(0x1208), 1);
+        assert_eq!(word_index(0x1238), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_panics() {
+        let _ = RevealMask::all_concealed().is_revealed(8);
+    }
+
+    #[test]
+    fn display_shows_per_word_state() {
+        let mut m = RevealMask::all_concealed();
+        m.reveal(1);
+        assert_eq!(m.to_string(), "cRcccccc");
+    }
+
+    #[test]
+    fn all_revealed_counts_eight() {
+        assert_eq!(RevealMask::all_revealed().count_revealed(), 8);
+    }
+}

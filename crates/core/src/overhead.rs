@@ -1,0 +1,113 @@
+//! Storage-overhead accounting (§6.7 of the paper).
+//!
+//! ReCon's hardware cost is (i) the load-pair table in the commit stage
+//! and (ii) one reveal byte per 64-byte cache line in the private caches
+//! and the directory. These functions reproduce the paper's arithmetic
+//! (e.g. a 180-entry LPT ≈ 1.1 KiB; total metadata < 1.5 % of cache
+//! storage).
+
+use crate::mask::{LINE_BYTES, WORDS_PER_LINE};
+
+/// Address bits stored per LPT entry (the paper uses 48-bit physical
+/// addresses).
+pub const LPT_ADDR_BITS: usize = 48;
+/// Active bit per LPT entry.
+pub const LPT_ACTIVE_BITS: usize = 1;
+/// Tag bits per entry when the table is smaller than the physical
+/// register file (§6.6 adds "an extra eight bits per entry").
+pub const LPT_TAG_BITS: usize = 8;
+
+/// Size in **bits** of a full (untagged) LPT with `entries` entries.
+#[must_use]
+pub fn lpt_bits(entries: usize) -> usize {
+    entries * (LPT_ADDR_BITS + LPT_ACTIVE_BITS)
+}
+
+/// Size in **bits** of a reduced, tagged LPT with `entries` entries.
+#[must_use]
+pub fn lpt_tagged_bits(entries: usize) -> usize {
+    entries * (LPT_ADDR_BITS + LPT_ACTIVE_BITS + LPT_TAG_BITS)
+}
+
+/// Size in bytes (rounded up) of a full LPT.
+///
+/// ```
+/// use recon::overhead::lpt_bytes;
+///
+/// // Intel Skylake: 180 integer physical registers -> ~1.1 KiB.
+/// assert_eq!(lpt_bytes(180), 1103);
+/// // AMD Zen 4: 224 registers -> ~1.37 KiB.
+/// assert_eq!(lpt_bytes(224), 1372);
+/// ```
+#[must_use]
+pub fn lpt_bytes(entries: usize) -> usize {
+    lpt_bits(entries).div_ceil(8)
+}
+
+/// Size in bytes (rounded up) of a reduced, tagged LPT.
+#[must_use]
+pub fn lpt_tagged_bytes(entries: usize) -> usize {
+    lpt_tagged_bits(entries).div_ceil(8)
+}
+
+/// Reveal-mask metadata in **bytes** for a cache of `capacity_bytes`
+/// (one bit per word, i.e. one byte per 64-byte line).
+#[must_use]
+pub fn mask_bytes_for_cache(capacity_bytes: u64) -> u64 {
+    (capacity_bytes / LINE_BYTES) * (WORDS_PER_LINE as u64 / 8)
+}
+
+/// Per-line storage (data + tag + coherence state) used as the
+/// denominator of the paper's "< 1.5 % of total cache storage" claim.
+/// 64 B data + ~6 B tag/state.
+pub const LINE_TOTAL_BYTES: u64 = 70;
+
+/// Fraction (0..1) of total cache storage that reveal masks add, for a
+/// hierarchy with the given aggregate capacity in bytes.
+#[must_use]
+pub fn mask_overhead_fraction(total_cache_bytes: u64) -> f64 {
+    let lines = total_cache_bytes / LINE_BYTES;
+    let mask = lines as f64; // 1 byte per line
+    let storage = (lines * LINE_TOTAL_BYTES) as f64;
+    mask / storage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_lpt_is_about_1_1_kib() {
+        let b = lpt_bytes(180);
+        assert!((1100..1160).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn zen4_lpt_is_about_1_37_kib() {
+        let b = lpt_bytes(224);
+        assert!((1360..1440).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn halved_tagged_lpt_matches_paper() {
+        // §6.7: halving 180 -> 90 entries with 8-bit tags ≈ 641 bytes.
+        assert_eq!(lpt_tagged_bytes(90), 642);
+        // 224 -> 112 entries ≈ 798 bytes.
+        assert_eq!(lpt_tagged_bytes(112), 798);
+    }
+
+    #[test]
+    fn mask_bytes_one_per_line() {
+        assert_eq!(mask_bytes_for_cache(64 * 1024), 1024);
+        assert_eq!(mask_bytes_for_cache(2 * 1024 * 1024), 32 * 1024);
+    }
+
+    #[test]
+    fn mask_overhead_below_1_5_percent() {
+        // 64 KiB L1 + 2 MiB L2 + 16 MiB LLC per the paper's Table 2.
+        let total = (64 + 2048 + 16384) * 1024;
+        let f = mask_overhead_fraction(total);
+        assert!(f < 0.015, "fraction {f}");
+        assert!(f > 0.01, "one byte per 70 ≈ 1.4%: {f}");
+    }
+}

@@ -1,0 +1,157 @@
+//! ReCon configuration: which cache levels carry reveal metadata and how
+//! large the load-pair table is.
+
+/// Which cache levels track reveal/conceal metadata (§6.5, Figure 10).
+///
+/// Reveal state is only *usable* at the levels that track it: with
+/// [`ReconLevels::L1Only`], a reveal that is evicted from the L1 is lost
+/// (the mask cannot be parked in L2 or the directory), so workloads whose
+/// working set exceeds the L1 lose reveal coverage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ReconLevels {
+    /// Reveal masks in the private L1 only.
+    L1Only,
+    /// Reveal masks in the private L1 and L2.
+    L1L2,
+    /// Reveal masks at every level including the LLC directory (the
+    /// paper's default design).
+    #[default]
+    All,
+}
+
+impl ReconLevels {
+    /// All variants, in increasing coverage order.
+    pub const ALL: [ReconLevels; 3] = [ReconLevels::L1Only, ReconLevels::L1L2, ReconLevels::All];
+
+    /// Whether the (private) L2 keeps reveal masks.
+    #[must_use]
+    pub fn covers_l2(self) -> bool {
+        !matches!(self, ReconLevels::L1Only)
+    }
+
+    /// Whether the LLC/directory keeps reveal masks.
+    #[must_use]
+    pub fn covers_llc(self) -> bool {
+        matches!(self, ReconLevels::All)
+    }
+}
+
+impl core::fmt::Display for ReconLevels {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ReconLevels::L1Only => "L1",
+            ReconLevels::L1L2 => "L1+L2",
+            ReconLevels::All => "L1+L2+LLC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Load-pair table sizing (§6.6, Figure 11).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LptSize {
+    /// One entry per physical register (no conflicts possible).
+    #[default]
+    Full,
+    /// A reduced, tagged table with this many entries.
+    Entries(usize),
+}
+
+impl LptSize {
+    /// Resolves to a concrete entry count given the core's physical
+    /// register file size.
+    #[must_use]
+    pub fn resolve(self, num_pregs: usize) -> usize {
+        match self {
+            LptSize::Full => num_pregs,
+            LptSize::Entries(n) => n.max(1),
+        }
+    }
+}
+
+/// Complete ReCon configuration.
+///
+/// ```
+/// use recon::{ReconConfig, ReconLevels, LptSize};
+///
+/// let cfg = ReconConfig::default();
+/// assert!(cfg.enabled);
+/// assert_eq!(cfg.levels, ReconLevels::All);
+/// assert_eq!(cfg.lpt_size, LptSize::Full);
+///
+/// let reduced = ReconConfig { lpt_size: LptSize::Entries(16), ..ReconConfig::default() };
+/// assert_eq!(reduced.lpt_size.resolve(180), 16);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReconConfig {
+    /// Master switch: when `false`, no reveals are produced or consumed
+    /// (the underlying scheme runs unmodified).
+    pub enabled: bool,
+    /// Which cache levels carry reveal metadata.
+    pub levels: ReconLevels,
+    /// Load-pair table size.
+    pub lpt_size: LptSize,
+    /// Detect pairs through *multi-source* loads (base+index addressing)
+    /// with one LPT lookup per operand — the paper's §5.1.1 future-work
+    /// extension. Off by default, matching the evaluated configuration
+    /// (x86-style cracking breaks such pairs).
+    pub multi_source: bool,
+}
+
+impl Default for ReconConfig {
+    fn default() -> Self {
+        ReconConfig {
+            enabled: true,
+            levels: ReconLevels::All,
+            lpt_size: LptSize::Full,
+            multi_source: false,
+        }
+    }
+}
+
+impl ReconConfig {
+    /// A configuration with ReCon completely disabled.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ReconConfig { enabled: false, ..ReconConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_coverage() {
+        assert!(!ReconLevels::L1Only.covers_l2());
+        assert!(!ReconLevels::L1Only.covers_llc());
+        assert!(ReconLevels::L1L2.covers_l2());
+        assert!(!ReconLevels::L1L2.covers_llc());
+        assert!(ReconLevels::All.covers_l2());
+        assert!(ReconLevels::All.covers_llc());
+    }
+
+    #[test]
+    fn lpt_size_resolution() {
+        assert_eq!(LptSize::Full.resolve(180), 180);
+        assert_eq!(LptSize::Entries(45).resolve(180), 45);
+        assert_eq!(LptSize::Entries(0).resolve(180), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn default_is_paper_design() {
+        let cfg = ReconConfig::default();
+        assert!(cfg.enabled && cfg.levels == ReconLevels::All);
+    }
+
+    #[test]
+    fn disabled_config() {
+        assert!(!ReconConfig::disabled().enabled);
+    }
+
+    #[test]
+    fn levels_display() {
+        assert_eq!(ReconLevels::All.to_string(), "L1+L2+LLC");
+        assert_eq!(ReconLevels::L1Only.to_string(), "L1");
+    }
+}

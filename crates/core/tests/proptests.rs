@@ -1,0 +1,125 @@
+//! Property-based tests of the ReCon core data structures.
+
+use proptest::prelude::*;
+
+use recon::{LoadPairTable, RevealMask, WORDS_PER_LINE};
+
+/// Operations applied to both a full-size LPT (the oracle) and a
+/// reduced, tagged LPT.
+#[derive(Clone, Debug)]
+enum LptOp {
+    /// `commit_load(dst, Some(src), addr, revealed)`
+    Load { dst: u32, src: u32, addr: u64, revealed: bool },
+    /// `commit_writer(dst)`
+    Writer { dst: u32 },
+}
+
+fn lpt_op() -> impl Strategy<Value = LptOp> {
+    prop_oneof![
+        (0u32..64, 0u32..64, 0u64..0x1000, proptest::bool::ANY).prop_map(
+            |(dst, src, a, revealed)| LptOp::Load { dst, src, addr: a * 8, revealed }
+        ),
+        (0u32..64).prop_map(|dst| LptOp::Writer { dst }),
+    ]
+}
+
+proptest! {
+    /// A reduced, tagged LPT may *miss* pairs the full table detects,
+    /// but every pair it does detect must reveal exactly the address
+    /// the full table would reveal (conflicts are only ever lost
+    /// opportunities — §6.6).
+    #[test]
+    fn reduced_lpt_never_reveals_a_wrong_address(
+        ops in proptest::collection::vec(lpt_op(), 1..200),
+        entries in 1usize..32,
+    ) {
+        let mut full = LoadPairTable::full(64);
+        let mut small = LoadPairTable::with_entries(entries);
+        for op in ops {
+            match op {
+                LptOp::Load { dst, src, addr, revealed } => {
+                    let oracle = full.commit_load(dst, Some(src), addr, revealed);
+                    let got = small.commit_load(dst, Some(src), addr, revealed);
+                    if let Some(got_addr) = got {
+                        prop_assert_eq!(
+                            Some(got_addr), oracle,
+                            "reduced table revealed a wrong address"
+                        );
+                    }
+                }
+                LptOp::Writer { dst } => {
+                    full.commit_writer(dst);
+                    small.commit_writer(dst);
+                }
+            }
+        }
+        prop_assert!(small.stats().pairs_detected <= full.stats().pairs_detected);
+    }
+
+    /// OR-merging masks is monotone: no reveal is ever lost by a merge.
+    #[test]
+    fn mask_merge_is_monotone(a in 0u8..=255, b in 0u8..=255) {
+        let mut m = RevealMask::from_bits(a);
+        m.merge_or(RevealMask::from_bits(b));
+        for w in 0..WORDS_PER_LINE {
+            if RevealMask::from_bits(a).is_revealed(w) || RevealMask::from_bits(b).is_revealed(w) {
+                prop_assert!(m.is_revealed(w));
+            }
+        }
+        prop_assert_eq!(m.bits(), a | b);
+    }
+
+    /// Reveal/conceal act on single words only.
+    #[test]
+    fn reveal_conceal_are_word_local(bits in 0u8..=255, w in 0usize..WORDS_PER_LINE) {
+        let mut m = RevealMask::from_bits(bits);
+        m.reveal(w);
+        for other in 0..WORDS_PER_LINE {
+            if other != w {
+                prop_assert_eq!(
+                    m.is_revealed(other),
+                    RevealMask::from_bits(bits).is_revealed(other)
+                );
+            }
+        }
+        m.conceal(w);
+        for other in 0..WORDS_PER_LINE {
+            if other != w {
+                prop_assert_eq!(
+                    m.is_revealed(other),
+                    RevealMask::from_bits(bits).is_revealed(other)
+                );
+            }
+        }
+        prop_assert!(!m.is_revealed(w));
+    }
+
+    /// A full-size LPT detects a pair iff the most recent committed
+    /// writer of the source register was a load (reference semantics
+    /// against a simple model).
+    #[test]
+    fn full_lpt_matches_reference_model(
+        ops in proptest::collection::vec(lpt_op(), 1..200),
+    ) {
+        let mut lpt = LoadPairTable::full(64);
+        // Reference: last committed writer of each preg.
+        let mut last: Vec<Option<(u64, bool)>> = vec![None; 64]; // (addr, revealed_install_skipped)
+        for op in ops {
+            match op {
+                LptOp::Load { dst, src, addr, revealed } => {
+                    let expect = match last[src as usize] {
+                        Some((a, false)) => Some(a),
+                        _ => None,
+                    };
+                    let got = lpt.commit_load(dst, Some(src), addr, revealed);
+                    prop_assert_eq!(got, expect);
+                    last[dst as usize] = Some((addr, revealed));
+                }
+                LptOp::Writer { dst } => {
+                    lpt.commit_writer(dst);
+                    last[dst as usize] = None;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Core configuration (the processor half of the paper's Table 2).
+
+/// Memory-dependence handling for loads issuing past unresolved stores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MdpMode {
+    /// Conservative: a load waits until every older store address is
+    /// resolved (§4.5.1 — "ReCon has no effect" on this channel).
+    #[default]
+    Conservative,
+    /// Memory-dependence speculation with a store-set style predictor:
+    /// loads may issue past unresolved stores; a violation squashes
+    /// (§4.5.2, Table 1).
+    Predictor,
+}
+
+/// Out-of-order core parameters. Defaults follow Table 2 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (8 in Table 2).
+    pub fetch_width: usize,
+    /// Instructions issued per cycle (8).
+    pub issue_width: usize,
+    /// Instructions committed per cycle (8).
+    pub commit_width: usize,
+    /// Reorder buffer entries (352).
+    pub rob_entries: usize,
+    /// Instruction queue entries (160).
+    pub iq_entries: usize,
+    /// Load queue entries (128).
+    pub lq_entries: usize,
+    /// Store queue entries (72, shared with the store buffer).
+    pub sq_entries: usize,
+    /// Store buffer entries (72).
+    pub sb_entries: usize,
+    /// Physical integer registers (the LPT is sized by this by default).
+    pub num_pregs: usize,
+    /// Extra fetch-redirect penalty in cycles after a branch mispredict.
+    pub redirect_penalty: u32,
+    /// log2 of branch predictor table entries.
+    pub bpred_bits: u32,
+    /// Multiply execution latency in cycles.
+    pub mul_latency: u32,
+    /// Memory-dependence handling.
+    pub mdp: MdpMode,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 352,
+            iq_entries: 160,
+            lq_entries: 128,
+            sq_entries: 72,
+            sb_entries: 72,
+            num_pregs: 256,
+            redirect_penalty: 10,
+            bpred_bits: 12,
+            mul_latency: 3,
+            mdp: MdpMode::Conservative,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The paper's Table 2 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A narrow 2-wide core for tests that want short pipelines.
+    #[must_use]
+    pub fn tiny() -> Self {
+        CoreConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            rob_entries: 32,
+            iq_entries: 16,
+            lq_entries: 8,
+            sq_entries: 8,
+            sb_entries: 8,
+            num_pregs: 64,
+            redirect_penalty: 4,
+            bpred_bits: 8,
+            mul_latency: 3,
+            mdp: MdpMode::Conservative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = CoreConfig::default();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.rob_entries, 352);
+        assert_eq!(c.iq_entries, 160);
+        assert_eq!(c.lq_entries, 128);
+        assert_eq!(c.sq_entries, 72);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = CoreConfig::tiny();
+        assert!(t.rob_entries < CoreConfig::default().rob_entries);
+        assert!(t.num_pregs >= t.rob_entries, "tiny core should rarely stall on pregs");
+    }
+}

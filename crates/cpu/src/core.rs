@@ -1,0 +1,1373 @@
+//! The out-of-order core pipeline.
+//!
+//! A cycle-level model with the structures of the paper's Table 2 core:
+//! fetch (branch-predicted, wrong-path execution), rename (physical
+//! registers + free list), a reorder buffer, an instruction queue with
+//! oldest-first select, a load/store queue with store-buffer forwarding,
+//! and in-order commit hosting ReCon's load-pair table.
+//!
+//! Security schemes hook in at two points:
+//!
+//! * **issue** — NDA refuses to *read* a guarded operand; STT refuses to
+//!   *execute a transmitter* (memory instruction or branch resolution)
+//!   with a guarded operand;
+//! * **load completion** — a load that completes while speculative
+//!   receives a guard on its destination (NDA: its own seq; STT: its
+//!   YRoT), **unless ReCon marked the accessed word revealed** (§5.4).
+//!
+//! Speculation shadows are cast by conditional branches (until resolved)
+//! and stores (until their address resolves), matching the paper's
+//! evaluated threat model (§6.1).
+
+use std::sync::Arc;
+
+use recon::{LoadPairTable, ReconConfig};
+use recon_isa::{AluKind, ArchReg, DataMem, Inst, Program, SparseMem};
+use recon_mem::MemorySystem;
+use recon_secure::{GuardTable, SecureConfig, Seq};
+
+use crate::bpred::BranchPredictor;
+use crate::config::{CoreConfig, MdpMode};
+use crate::lsq::{Forward, LoadQueue, StoreBuffer, StoreQueue};
+use crate::mdp::StoreSets;
+use crate::rename::Rename;
+use crate::rob::{Rob, Status};
+use crate::shadow::ShadowTracker;
+use crate::stats::CoreStats;
+use crate::trace::{TraceKind, TraceLog};
+
+/// A speculatively observable memory access (for the Table 1 analysis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Observation {
+    /// Static instruction index of the load.
+    pub pc: usize,
+    /// Word address accessed.
+    pub addr: u64,
+    /// Whether the load was speculative when it accessed the hierarchy.
+    pub speculative: bool,
+}
+
+/// One out-of-order core.
+///
+/// Drive it with [`Core::tick`] once per cycle, sharing a
+/// [`MemorySystem`] and a functional [`SparseMem`] with the other cores.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    secure: SecureConfig,
+    program: Arc<Program>,
+
+    // Frontend.
+    fetch_pc: usize,
+    fetch_stalled_until: u64,
+    fetch_halted: bool,
+
+    // Backend structures.
+    rename: Rename,
+    rob: Rob,
+    iq: Vec<Seq>,
+    lq: LoadQueue,
+    sq: StoreQueue,
+    sb: StoreBuffer,
+    shadows: ShadowTracker,
+    guards: GuardTable,
+    bpred: BranchPredictor,
+    lpt: LoadPairTable,
+    mdp: StoreSets,
+
+    halted: bool,
+    stats: CoreStats,
+    observations: Vec<Observation>,
+    record_observations: bool,
+    recon_multi_source: bool,
+    trace: TraceLog,
+}
+
+impl Core {
+    /// Creates a core running `program` from its entry point.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        program: Arc<Program>,
+        cfg: CoreConfig,
+        secure: SecureConfig,
+        recon_cfg: ReconConfig,
+    ) -> Self {
+        let lpt_entries = recon_cfg.lpt_size.resolve(cfg.num_pregs);
+        let entry = program.entry;
+        Core {
+            id,
+            cfg,
+            secure,
+            program,
+            fetch_pc: entry,
+            fetch_stalled_until: 0,
+            fetch_halted: false,
+            rename: Rename::new(cfg.num_pregs),
+            rob: Rob::new(cfg.rob_entries),
+            iq: Vec::with_capacity(cfg.iq_entries),
+            lq: LoadQueue::new(cfg.lq_entries),
+            sq: StoreQueue::new(cfg.sq_entries),
+            sb: StoreBuffer::new(cfg.sb_entries),
+            shadows: ShadowTracker::new(),
+            guards: GuardTable::new(cfg.num_pregs),
+            bpred: BranchPredictor::new(cfg.bpred_bits),
+            lpt: LoadPairTable::with_entries(lpt_entries),
+            mdp: StoreSets::default(),
+            halted: false,
+            stats: CoreStats::default(),
+            observations: Vec::new(),
+            record_observations: false,
+            recon_multi_source: recon_cfg.multi_source,
+            trace: TraceLog::default(),
+        }
+    }
+
+    /// This core's id (its index in the memory system).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Seeds an architectural register before the first cycle (thread
+    /// ids, base pointers).
+    pub fn seed_reg(&mut self, reg: ArchReg, value: u64) {
+        self.rename.seed(reg, value);
+    }
+
+    /// Enables recording of [`Observation`]s (off by default; used by the
+    /// Table 1 analysis).
+    pub fn record_observations(&mut self, on: bool) {
+        self.record_observations = on;
+    }
+
+    /// Enables pipeline-event tracing (off by default).
+    pub fn record_trace(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Drains the recorded pipeline trace.
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Drains recorded observations.
+    pub fn take_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Whether the program has committed its `halt` and drained all
+    /// stores.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.halted && self.sb.is_empty()
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CoreStats {
+        let mut s = self.stats;
+        s.lpt = self.lpt.stats();
+        s
+    }
+
+    /// Reads the committed architectural value of a register (only
+    /// meaningful once [`Core::is_done`]).
+    #[must_use]
+    pub fn arch_read(&self, reg: ArchReg) -> u64 {
+        self.rename.read(self.rename.lookup(reg))
+    }
+
+    /// Advances the core one cycle against the shared memory system and
+    /// functional memory. Returns `true` while the core still has work.
+    pub fn tick(&mut self, mem: &mut MemorySystem, data: &mut SparseMem, now: u64) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        self.stats.cycles += 1;
+        self.complete(mem, now);
+        self.commit(mem, now);
+        self.drain_store_buffer(mem, data);
+        self.supply_store_data();
+        self.issue(mem, data, now);
+        self.fetch(now);
+        !self.is_done()
+    }
+
+    // ------------------------------------------------------------------
+    // Completion (writeback)
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self, mem: &mut MemorySystem, now: u64) {
+        loop {
+            // Oldest completed-this-cycle entry; re-scan after each, as a
+            // branch completion may squash younger entries.
+            let Some(seq) = self
+                .rob
+                .iter()
+                .find(|e| matches!(e.status, Status::Executing { done_at } if done_at <= now))
+                .map(|e| e.seq)
+            else {
+                break;
+            };
+            self.finish_one(seq, mem, now);
+        }
+    }
+
+    fn finish_one(&mut self, seq: Seq, mem: &mut MemorySystem, now: u64) {
+        let frontier = self.shadows.frontier();
+        let entry = self.rob.get_mut(seq).expect("completing entry exists");
+        entry.status = Status::Done;
+        let inst = entry.inst;
+        let entry_pc = entry.pc;
+        self.trace.push(now, seq, entry_pc, TraceKind::Complete);
+
+        match inst {
+            Inst::Load { .. } | Inst::LoadIdx { .. } | Inst::AmoAdd { .. } => {
+                let value = entry.value.expect("load computed its value at issue");
+                let dst = entry.dst.expect("loads have destinations");
+                let revealed = entry.revealed;
+                let forwarded_guard = entry.guard_root; // stashed at issue
+                let speculative = self.shadows.is_speculative(seq);
+                let is_amo = matches!(inst, Inst::AmoAdd { .. });
+                // Guard placement (§5.4): a speculative, unrevealed load
+                // guards its destination; ReCon's revealed words do not.
+                let own_root = (self.secure.kind.is_secure()
+                    && speculative
+                    && !revealed
+                    && !is_amo)
+                    .then_some(seq);
+                let root = match (own_root, forwarded_guard) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                let entry = self.rob.get_mut(seq).expect("still present");
+                entry.guard_root = root;
+                match root.filter(|&r| frontier < r) {
+                    Some(r) => {
+                        self.guards.set(dst.new as usize, r);
+                        self.stats.guarded_loads += 1;
+                    }
+                    None => self.guards.clear(dst.new as usize),
+                }
+                self.rename.write(dst.new, value);
+            }
+            Inst::Store { .. } => {
+                // Store address resolution: the store shadow lifts and,
+                // in predictor mode, violations are checked and train
+                // the store-set predictor.
+                let addr = entry.addr.expect("store computed its address");
+                let store_pc = entry.pc;
+                self.shadows.resolve(seq);
+                self.sq.set_addr(seq, addr);
+                if self.cfg.mdp == MdpMode::Predictor {
+                    self.mdp.store_resolved(store_pc, seq);
+                    if let Some(victim) = self.lq.violation(seq, addr) {
+                        self.stats.memory_violations += 1;
+                        let pc = self.rob.get(victim).expect("violating load present").pc;
+                        self.mdp.violation(pc, store_pc);
+                        self.squash_from(victim, pc, now);
+                        return;
+                    }
+                }
+            }
+            Inst::Branch { target, .. } => {
+                let actual = entry.taken_actual.expect("branch resolved at execute");
+                let (predicted, token) = entry.pred.expect("branches are predicted");
+                let next_pc = if actual { target } else { entry.pc + 1 };
+                self.shadows.resolve(seq);
+                self.bpred.update(token, actual);
+                if predicted != actual {
+                    self.stats.branch_mispredicts += 1;
+                    self.bpred.repair(token, actual);
+                    self.squash_from(seq + 1, next_pc, now);
+                    return;
+                }
+            }
+            _ => {
+                // ALU-class: write back and propagate taint (STT).
+                if let Some(dst) = entry.dst {
+                    let value = entry.value.expect("ALU computed a value");
+                    let srcs: Vec<usize> =
+                        entry.srcs.iter().flatten().map(|&p| p as usize).collect();
+                    self.rename.write(dst.new, value);
+                    if self.secure.kind.propagates_taint() {
+                        match self.guards.propagate(srcs, None, frontier) {
+                            Some(root) => self.guards.set(dst.new as usize, root),
+                            None => self.guards.clear(dst.new as usize),
+                        }
+                        if let Some(e) = self.rob.get_mut(seq) {
+                            e.guard_root = self.guards.get(dst.new as usize);
+                        }
+                    } else {
+                        self.guards.clear(dst.new as usize);
+                    }
+                }
+            }
+        }
+        let _ = mem;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, mem: &mut MemorySystem, now: u64) {
+        let mut committed_any = false;
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else {
+                if !committed_any {
+                    self.stats.stall_empty += 1;
+                }
+                break;
+            };
+            if head.status != Status::Done {
+                if !committed_any {
+                    match head.inst {
+                        i if i.is_load() => self.stats.stall_head_load += 1,
+                        i if i.is_store() => self.stats.stall_head_store += 1,
+                        i if i.is_cond_branch() => self.stats.stall_head_branch += 1,
+                        _ => self.stats.stall_head_other += 1,
+                    }
+                }
+                break;
+            }
+            if head.inst.is_store()
+                && !matches!(head.inst, Inst::AmoAdd { .. })
+                && !self.sb.has_space()
+            {
+                if !committed_any {
+                    self.stats.stall_head_store += 1;
+                }
+                break;
+            }
+            committed_any = true;
+            let entry = self.rob.pop_head().expect("head exists");
+            let seq = entry.seq;
+            self.trace.push(now, seq, entry.pc, TraceKind::Commit);
+            self.stats.committed += 1;
+            self.iq.retain(|&s| s != seq); // Done entries normally left already
+
+            match entry.inst {
+                Inst::Load { .. } => {
+                    self.stats.loads_committed += 1;
+                    if entry.guard_root.is_some() {
+                        self.stats.guarded_loads_committed += 1;
+                    }
+                    if entry.revealed {
+                        self.stats.revealed_loads_committed += 1;
+                    }
+                    if entry.was_delayed_by_scheme {
+                        self.stats.loads_delayed_by_scheme += 1;
+                    }
+                    self.lq.commit(seq);
+                    if self.secure.recon {
+                        let dst = entry.dst.expect("loads have destinations");
+                        let base = entry.srcs[0].expect("loads have a base");
+                        let addr = entry.addr.expect("committed load has an address");
+                        // Forwarded values are concealed in the SQ/SB
+                        // (§4.4.2): a forwarded pair must not reveal.
+                        if !entry.forwarded {
+                            if let Some(revealed_addr) =
+                                self.lpt.commit_load(dst.new, Some(base), addr, entry.revealed)
+                            {
+                                self.stats.reveals_requested += 1;
+                                mem.reveal(self.id, revealed_addr);
+                            }
+                        } else {
+                            self.lpt.commit_writer(dst.new);
+                        }
+                    }
+                    if let Some(dst) = entry.dst {
+                        self.rename.commit(dst);
+                    }
+                }
+                Inst::LoadIdx { .. } => {
+                    self.stats.loads_committed += 1;
+                    if entry.guard_root.is_some() {
+                        self.stats.guarded_loads_committed += 1;
+                    }
+                    if entry.revealed {
+                        self.stats.revealed_loads_committed += 1;
+                    }
+                    if entry.was_delayed_by_scheme {
+                        self.stats.loads_delayed_by_scheme += 1;
+                    }
+                    self.lq.commit(seq);
+                    if self.secure.recon {
+                        let dst = entry.dst.expect("loads have destinations");
+                        let addr = entry.addr.expect("committed load has an address");
+                        if !entry.forwarded {
+                            if self.recon_multi_source {
+                                // §5.1.1: one LPT lookup per address
+                                // operand; a pair can be revealed for each.
+                                let srcs = [entry.srcs[0], entry.srcs[1]];
+                                for revealed_addr in self
+                                    .lpt
+                                    .commit_load_multi(dst.new, srcs, addr, entry.revealed)
+                                    .into_iter()
+                                    .flatten()
+                                {
+                                    self.stats.reveals_requested += 1;
+                                    mem.reveal(self.id, revealed_addr);
+                                }
+                            } else {
+                                // The paper's evaluated configuration:
+                                // multi-source loads (like cracked x86
+                                // µops) detect no pair, but still install
+                                // their own address.
+                                if let Some(revealed_addr) =
+                                    self.lpt.commit_load(dst.new, None, addr, entry.revealed)
+                                {
+                                    self.stats.reveals_requested += 1;
+                                    mem.reveal(self.id, revealed_addr);
+                                }
+                            }
+                        } else {
+                            self.lpt.commit_writer(dst.new);
+                        }
+                    }
+                    if let Some(dst) = entry.dst {
+                        self.rename.commit(dst);
+                    }
+                }
+                Inst::Store { .. } => {
+                    self.stats.stores_committed += 1;
+                    // The data may not have been supplied yet this cycle
+                    // (the producer can commit in the same burst); it is
+                    // necessarily ready by now, so read it directly.
+                    if self.sq.iter().any(|e| e.seq == seq && e.value.is_none()) {
+                        let val_preg = entry.srcs[1].expect("store has a data source");
+                        debug_assert!(self.rename.is_ready(val_preg));
+                        self.sq.set_value(seq, self.rename.read(val_preg));
+                    }
+                    let (addr, value) = self.sq.commit(seq);
+                    self.sb.push(addr, value);
+                }
+                Inst::AmoAdd { .. } => {
+                    self.stats.loads_committed += 1;
+                    self.stats.stores_committed += 1;
+                    self.lq.commit(seq);
+                    if self.secure.recon {
+                        if let Some(dst) = entry.dst {
+                            self.lpt.commit_writer(dst.new);
+                        }
+                    }
+                    if let Some(dst) = entry.dst {
+                        self.rename.commit(dst);
+                    }
+                }
+                Inst::Branch { .. } => {
+                    self.stats.branches_committed += 1;
+                }
+                Inst::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                _ => {
+                    if let Some(dst) = entry.dst {
+                        if self.secure.recon {
+                            self.lpt.commit_writer(dst.new);
+                        }
+                        self.rename.commit(dst);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_store_buffer(&mut self, mem: &mut MemorySystem, data: &mut SparseMem) {
+        if let Some((addr, value)) = self.sb.pop() {
+            mem.write(self.id, addr);
+            data.write(addr, value);
+        }
+    }
+
+    /// Supplies store data to SQ entries whose value register became
+    /// ready (and readable under NDA), enabling store-to-load forwarding
+    /// before commit.
+    fn supply_store_data(&mut self) {
+        let frontier = self.shadows.frontier();
+        let pending: Vec<Seq> = self
+            .sq
+            .iter()
+            .filter(|e| e.value.is_none())
+            .map(|e| e.seq)
+            .collect();
+        for seq in pending {
+            let Some(entry) = self.rob.get(seq) else { continue };
+            let Some(val_preg) = entry.srcs[1] else { continue };
+            if !self.rename.is_ready(val_preg) {
+                continue;
+            }
+            if self.secure.kind.delays_value_broadcast()
+                && self.guards.is_active(val_preg as usize, frontier)
+            {
+                continue; // NDA: the value is not yet visible to anyone
+            }
+            self.sq.set_value(seq, self.rename.read(val_preg));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, mem: &mut MemorySystem, data: &mut SparseMem, now: u64) {
+        let mut budget = self.cfg.issue_width;
+        let mut i = 0;
+        while i < self.iq.len() && budget > 0 {
+            let seq = self.iq[i];
+            match self.try_issue(seq, mem, data, now) {
+                IssueResult::Issued => {
+                    if self.trace.is_enabled() {
+                        if let Some(e) = self.rob.get(seq) {
+                            let pc = e.pc;
+                            self.trace.push(now, seq, pc, TraceKind::Issue);
+                        }
+                    }
+                    self.iq.remove(i);
+                    budget -= 1;
+                }
+                IssueResult::NotReady => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn try_issue(
+        &mut self,
+        seq: Seq,
+        mem: &mut MemorySystem,
+        data: &mut SparseMem,
+        now: u64,
+    ) -> IssueResult {
+        let frontier = self.shadows.frontier();
+        let Some(entry) = self.rob.get(seq) else {
+            // Squashed while queued; drop silently.
+            return IssueResult::Issued;
+        };
+        let inst = entry.inst;
+        let srcs = entry.srcs;
+
+        // A plain store issues its *address computation* only: the data
+        // operand is decoupled (supplied to the SQ when it arrives) and
+        // never blocks issue. STT likewise only treats the store's
+        // address as the transmitted operand; tainted store data is
+        // handled at forwarding time (§4.5).
+        let issue_srcs: &[Option<crate::rename::PReg>] =
+            if matches!(inst, Inst::Store { .. }) { &srcs[..1] } else { &srcs[..] };
+
+        // Dataflow readiness.
+        for p in issue_srcs.iter().flatten() {
+            if !self.rename.is_ready(*p) {
+                return IssueResult::NotReady;
+            }
+        }
+        // Scheme checks.
+        let nda_blocks = self.secure.kind.delays_value_broadcast();
+        let stt_blocks = self.secure.kind.blocks_transmitters() && inst.is_transmitter();
+        if nda_blocks || stt_blocks {
+            for p in issue_srcs.iter().flatten() {
+                if self.guards.is_active(*p as usize, frontier) {
+                    self.stats.scheme_delay_cycles += 1;
+                    if let Some(e) = self.rob.get_mut(seq) {
+                        e.was_delayed_by_scheme = true;
+                    }
+                    return IssueResult::NotReady;
+                }
+            }
+        }
+
+        match inst {
+            Inst::LoadImm { imm, .. } => self.finish_alu(seq, imm, now, 1),
+            Inst::Alu { kind, .. } => {
+                let a = self.rename.read(srcs[0].expect("alu has src a"));
+                let b = self.rename.read(srcs[1].expect("alu has src b"));
+                let lat = if kind == AluKind::Mul { self.cfg.mul_latency } else { 1 };
+                self.finish_alu(seq, kind.apply(a, b), now, lat)
+            }
+            Inst::AluImm { kind, imm, .. } => {
+                let a = self.rename.read(srcs[0].expect("alui has src"));
+                let lat = if kind == AluKind::Mul { self.cfg.mul_latency } else { 1 };
+                self.finish_alu(seq, kind.apply(a, imm), now, lat)
+            }
+            Inst::Branch { kind, .. } => {
+                let a = self.rename.read(srcs[0].expect("branch src a"));
+                let b = self.rename.read(srcs[1].expect("branch src b"));
+                let taken = kind.taken(a, b);
+                let e = self.rob.get_mut(seq).expect("present");
+                e.taken_actual = Some(taken);
+                e.status = Status::Executing { done_at: now + 1 };
+                IssueResult::Issued
+            }
+            Inst::Load { offset, .. } => self.issue_load(seq, LoadAddr::Offset(offset), mem, data, now),
+            Inst::LoadIdx { .. } => self.issue_load(seq, LoadAddr::Indexed, mem, data, now),
+            Inst::Store { offset, .. } => {
+                // Address computation; data is supplied separately.
+                let base = self.rename.read(srcs[0].expect("store base"));
+                let addr = base.wrapping_add(offset as u64) & !7;
+                let e = self.rob.get_mut(seq).expect("present");
+                e.addr = Some(addr);
+                e.status = Status::Executing { done_at: now + 1 };
+                IssueResult::Issued
+            }
+            Inst::AmoAdd { offset, .. } => self.issue_amo(seq, offset, mem, data, now),
+            Inst::Jump { .. } | Inst::Nop | Inst::Halt => {
+                let e = self.rob.get_mut(seq).expect("present");
+                e.status = Status::Executing { done_at: now };
+                IssueResult::Issued
+            }
+        }
+    }
+
+    fn finish_alu(&mut self, seq: Seq, value: u64, now: u64, latency: u32) -> IssueResult {
+        let e = self.rob.get_mut(seq).expect("present");
+        e.value = Some(value);
+        e.status = Status::Executing { done_at: now + u64::from(latency) };
+        IssueResult::Issued
+    }
+
+    fn issue_load(
+        &mut self,
+        seq: Seq,
+        mode: LoadAddr,
+        mem: &mut MemorySystem,
+        data: &mut SparseMem,
+        now: u64,
+    ) -> IssueResult {
+        let entry = self.rob.get(seq).expect("present");
+        let base_preg = entry.srcs[0].expect("load base");
+        let addr = match mode {
+            LoadAddr::Offset(offset) => {
+                self.rename.read(base_preg).wrapping_add(offset as u64) & !7
+            }
+            LoadAddr::Indexed => {
+                let index_preg = entry.srcs[1].expect("indexed load has an index");
+                self.rename
+                    .read(base_preg)
+                    .wrapping_add(self.rename.read(index_preg).wrapping_shl(3))
+                    & !7
+            }
+        };
+        let conservative = self.cfg.mdp == MdpMode::Conservative;
+        let speculative = self.shadows.is_speculative(seq);
+
+        if !conservative {
+            // Store-set prediction: wait for the predicted-dependent
+            // in-flight store to resolve before issuing.
+            let pc = self.rob.get(seq).expect("present").pc;
+            if self.mdp.load_must_wait(pc, seq).is_some() {
+                return IssueResult::NotReady;
+            }
+        }
+        let fwd = self.sq.forward(seq, addr, conservative);
+        let (value, latency, revealed, forwarded, fwd_seq) = match fwd {
+            Forward::MustWait => return IssueResult::NotReady,
+            Forward::FromStore { seq: s, value } => {
+                // Forwarded data is concealed (§4.4.2); taint travels with
+                // it under STT via the store's data guard, conservatively
+                // approximated by the supplying store's own speculation.
+                (value, 1, false, true, Some(s))
+            }
+            Forward::FromBuffer { value } => (value, 1, false, true, None),
+            Forward::FromMemory => match self.sb.forward(addr) {
+                Some(v) => (v, 1, false, true, None),
+                None => {
+                    let out = mem.read(self.id, addr);
+                    if self.record_observations {
+                        let pc = self.rob.get(seq).expect("present").pc;
+                        self.observations.push(Observation { pc, addr, speculative });
+                    }
+                    (data.read(addr), out.latency, out.revealed, false, None)
+                }
+            },
+        };
+        let frontier = self.shadows.frontier();
+        // Taint forwarded from an in-flight store's data register (STT).
+        let fwd_guard = if self.secure.kind.propagates_taint() {
+            fwd_seq
+                .and_then(|s| self.rob.get(s))
+                .and_then(|store| store.srcs[1])
+                .and_then(|val_preg| self.guards.get(val_preg as usize))
+                .filter(|&root| frontier < root)
+        } else {
+            None
+        };
+        self.lq.complete(seq, addr, fwd_seq);
+        let e = self.rob.get_mut(seq).expect("present");
+        e.addr = Some(addr);
+        e.value = Some(value);
+        e.revealed = revealed;
+        e.forwarded = forwarded;
+        e.guard_root = fwd_guard; // stashed for completion-time merge
+        e.status = Status::Executing { done_at: now + u64::from(latency) };
+        IssueResult::Issued
+    }
+
+    fn issue_amo(
+        &mut self,
+        seq: Seq,
+        offset: i64,
+        mem: &mut MemorySystem,
+        data: &mut SparseMem,
+        now: u64,
+    ) -> IssueResult {
+        // AMOs are serializing: execute only at the ROB head with no
+        // outstanding speculation or pending stores.
+        let at_head = self.rob.head().is_some_and(|h| h.seq == seq);
+        if !at_head || !self.shadows.is_empty() || !self.sq.is_empty() || !self.sb.is_empty() {
+            return IssueResult::NotReady;
+        }
+        let entry = self.rob.get(seq).expect("present");
+        let base_preg = entry.srcs[0].expect("amo base");
+        let add_preg = entry.srcs[1].expect("amo addend");
+        let addr = self.rename.read(base_preg).wrapping_add(offset as u64) & !7;
+        let addend = self.rename.read(add_preg);
+        let out = mem.rmw(self.id, addr);
+        let old = data.read(addr);
+        data.write(addr, old.wrapping_add(addend));
+        self.lq.complete(seq, addr, None);
+        let e = self.rob.get_mut(seq).expect("present");
+        e.addr = Some(addr);
+        e.value = Some(old);
+        e.revealed = false;
+        e.status = Status::Executing { done_at: now + u64::from(out.latency) };
+        IssueResult::Issued
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch / dispatch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, now: u64) {
+        if now < self.fetch_stalled_until || self.fetch_halted {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_halted {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(&inst) = self.program.code.get(pc) else {
+                // Wrong-path fetch ran off the program; stall until a
+                // squash redirects.
+                break;
+            };
+            // Structural resources.
+            if !self.rob.has_space() || self.iq.len() >= self.cfg.iq_entries {
+                break;
+            }
+            if inst.is_load() && !self.lq.has_space() {
+                break;
+            }
+            if inst.is_store() && !matches!(inst, Inst::AmoAdd { .. }) && !self.sq.has_space() {
+                break;
+            }
+            if inst.dst().is_some() && self.rename.free_count() == 0 {
+                break;
+            }
+
+            // Rename.
+            let srcs = inst.srcs();
+            let mut renamed = [None, None];
+            for (i, s) in srcs.iter().enumerate() {
+                renamed[i] = s.map(|r| self.rename.lookup(r));
+            }
+            let dst = inst.dst().map(|d| self.rename.allocate(d).expect("checked free list"));
+
+            let seq = self.rob.push(pc, inst);
+            self.trace.push(now, seq, pc, TraceKind::Dispatch);
+            {
+                let e = self.rob.get_mut(seq).expect("just pushed");
+                e.srcs = renamed;
+                e.dst = dst;
+            }
+
+            // Frontend control flow + queue allocation.
+            match inst {
+                Inst::Branch { target, .. } => {
+                    let (pred, token) = self.bpred.predict(pc);
+                    self.rob.get_mut(seq).expect("present").pred = Some((pred, token));
+                    self.shadows.cast(seq);
+                    self.fetch_pc = if pred { target } else { pc + 1 };
+                    self.iq.push(seq);
+                }
+                Inst::Jump { target } => {
+                    self.fetch_pc = target;
+                    self.iq.push(seq);
+                }
+                Inst::Halt => {
+                    self.fetch_halted = true;
+                    self.iq.push(seq);
+                    self.fetch_pc = pc; // frozen
+                }
+                Inst::Load { .. } | Inst::LoadIdx { .. } => {
+                    self.lq.push(seq);
+                    self.iq.push(seq);
+                    self.fetch_pc = pc + 1;
+                }
+                Inst::Store { .. } => {
+                    self.sq.push(seq);
+                    self.shadows.cast(seq);
+                    if self.cfg.mdp == MdpMode::Predictor {
+                        self.mdp.store_dispatched(pc, seq);
+                    }
+                    self.iq.push(seq);
+                    self.fetch_pc = pc + 1;
+                }
+                Inst::AmoAdd { .. } => {
+                    self.lq.push(seq);
+                    self.iq.push(seq);
+                    self.fetch_pc = pc + 1;
+                }
+                _ => {
+                    self.iq.push(seq);
+                    self.fetch_pc = pc + 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Squashes every instruction with `seq >= first`, redirecting fetch
+    /// to `new_pc`.
+    fn squash_from(&mut self, first: Seq, new_pc: usize, now: u64) {
+        let squashed = self.rob.squash_after(first.saturating_sub(1));
+        self.stats.squashed += squashed.len() as u64;
+        for e in &squashed {
+            self.trace.push(now, e.seq, e.pc, TraceKind::Squash);
+            // Youngest-first rename undo.
+            if let Some(dst) = e.dst {
+                self.guards.clear(dst.new as usize);
+                self.rename.undo(dst);
+            }
+        }
+        self.iq.retain(|&s| s < first);
+        self.lq.squash_after(first.saturating_sub(1));
+        self.sq.squash_after(first.saturating_sub(1));
+        self.shadows.squash_from(first);
+        self.mdp.squash_from(first);
+        self.fetch_pc = new_pc;
+        self.fetch_halted = false;
+        self.fetch_stalled_until = now + u64::from(self.cfg.redirect_penalty);
+    }
+}
+
+enum IssueResult {
+    Issued,
+    NotReady,
+}
+
+/// Effective-address mode of an issuing load.
+enum LoadAddr {
+    /// `base + immediate offset`.
+    Offset(i64),
+    /// `base + (index << 3)` (multi-source).
+    Indexed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::reg::names::*;
+    use recon_isa::Asm;
+    use recon_mem::MemConfig;
+    use recon_mem::MemorySystem;
+
+    fn run_program(
+        program: Program,
+        secure: SecureConfig,
+        max_cycles: u64,
+    ) -> (Core, MemorySystem, SparseMem) {
+        run_program_with(MemConfig::scaled(), program, secure, max_cycles)
+    }
+
+    /// A micro-scaled hierarchy: tiny caches so unit-test workloads can
+    /// overflow any level within a few dozen lines.
+    fn micro_mem() -> MemConfig {
+        use recon_mem::CacheGeometry;
+        MemConfig {
+            l1: CacheGeometry::new(512, 2),
+            l2: CacheGeometry::new(1024, 2),
+            llc: CacheGeometry::new(4096, 8),
+            ..MemConfig::scaled()
+        }
+    }
+
+    fn run_program_with(
+        mem_cfg: MemConfig,
+        program: Program,
+        secure: SecureConfig,
+        max_cycles: u64,
+    ) -> (Core, MemorySystem, SparseMem) {
+        let recon_cfg = if secure.recon {
+            ReconConfig::default()
+        } else {
+            ReconConfig::disabled()
+        };
+        let mut mem = MemorySystem::new(1, mem_cfg, recon_cfg);
+        let mut data = SparseMem::from_image(&program.image);
+        let mut core =
+            Core::new(0, Arc::new(program), CoreConfig::tiny(), secure, recon_cfg);
+        for cycle in 0..max_cycles {
+            if !core.tick(&mut mem, &mut data, cycle) {
+                break;
+            }
+        }
+        assert!(core.is_done(), "program did not finish in {max_cycles} cycles");
+        (core, mem, data)
+    }
+
+    use recon_isa::Program;
+
+    fn check_against_golden(program: &Program, secure: SecureConfig) {
+        let (_, _, data) = run_program(program.clone(), secure, 200_000);
+        let (_, golden_state) = recon_isa::run_collect(program, 1_000_000).unwrap();
+        let mut golden_mem = SparseMem::from_image(&program.image);
+        recon_isa::run_with(program, &mut golden_mem, 1_000_000, |_| {}).unwrap();
+        // Compare every word the golden run touched.
+        for (addr, _) in program.image.iter() {
+            assert_eq!(data.peek(addr), golden_mem.peek(addr), "word {addr:#x}");
+        }
+        let _ = golden_state;
+    }
+
+    #[test]
+    fn straight_line_program_matches_golden() {
+        let mut a = Asm::new();
+        a.data(0x100, 5);
+        a.li(R1, 0x100).load(R2, R1, 0).addi(R3, R2, 10).store(R3, R1, 0).halt();
+        let p = a.assemble().unwrap();
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::nda(),
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+        ] {
+            let (core, _, data) = run_program(p.clone(), secure, 10_000);
+            assert_eq!(data.peek(0x100), 15, "{secure}");
+            assert_eq!(core.arch_read(R3), 15, "{secure}");
+        }
+    }
+
+    #[test]
+    fn loop_commits_expected_instructions() {
+        let mut a = Asm::new();
+        a.li(R1, 50).li(R2, 0);
+        let top = a.here();
+        a.addi(R2, R2, 3);
+        a.subi(R1, R1, 1);
+        a.bne_to(R1, R0, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, _) = run_program(p, SecureConfig::unsafe_baseline(), 100_000);
+        assert_eq!(core.arch_read(R2), 150);
+        assert_eq!(core.stats().committed, 2 + 50 * 3 + 1);
+        assert_eq!(core.stats().branches_committed, 50);
+    }
+
+    #[test]
+    fn pointer_chase_matches_golden_under_all_schemes() {
+        // A small cyclic pointer chain exercised in a loop.
+        let mut a = Asm::new();
+        let n = 8u64;
+        for i in 0..n {
+            a.data(0x1000 + i * 8, 0x1000 + ((i + 3) % n) * 8);
+        }
+        a.li(R1, 0x1000).li(R4, 100);
+        let top = a.here();
+        a.load(R1, R1, 0); // chase
+        a.subi(R4, R4, 1);
+        a.bne_to(R4, R0, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::nda(),
+            SecureConfig::nda_recon(),
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+        ] {
+            let (core, _, _) = run_program(p.clone(), secure, 500_000);
+            // 100 chases of +3 mod 8 from slot 0: end at slot (300 % 8).
+            let expect = 0x1000 + (300 % n) * 8;
+            assert_eq!(core.arch_read(R1), expect, "{secure}");
+        }
+    }
+
+    #[test]
+    fn branchy_program_matches_golden() {
+        // Data-dependent branches stress prediction + squash.
+        let mut a = Asm::new();
+        for i in 0..16u64 {
+            a.data(0x2000 + i * 8, (i * 7) % 3);
+        }
+        a.li(R1, 0x2000).li(R2, 16).li(R3, 0).li(R6, 0);
+        let top = a.here();
+        a.load(R4, R1, 0);
+        let skip = a.new_label();
+        a.bne(R4, R0, skip);
+        a.addi(R3, R3, 1); // count zeros
+        a.bind(skip);
+        a.addi(R1, R1, 8);
+        a.addi(R6, R6, 1);
+        a.bltu_to(R6, R2, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        for secure in [SecureConfig::unsafe_baseline(), SecureConfig::stt()] {
+            let (core, _, _) = run_program(p.clone(), secure, 500_000);
+            // (i*7)%3 == 0 for i = 0,3,6,9,12,15 -> 6 zeros.
+            assert_eq!(core.arch_read(R3), 6, "{secure}");
+        }
+    }
+
+    #[test]
+    fn store_to_load_forwarding_works() {
+        let mut a = Asm::new();
+        a.li(R1, 0x3000).li(R2, 77);
+        a.store(R2, R1, 0);
+        a.load(R3, R1, 0); // must forward from SQ/SB
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, data) = run_program(p, SecureConfig::unsafe_baseline(), 10_000);
+        assert_eq!(core.arch_read(R3), 77);
+        assert_eq!(data.peek(0x3000), 77);
+    }
+
+    #[test]
+    fn schemes_do_not_change_architectural_results() {
+        let mut a = Asm::new();
+        for i in 0..8u64 {
+            a.data(0x4000 + i * 8, 0x4100 + (i % 4) * 8);
+            a.data(0x4100 + i * 8, i * i);
+        }
+        a.li(R1, 0x4000).li(R5, 0).li(R6, 8).li(R7, 0);
+        let top = a.here();
+        a.load(R2, R1, 0); // load pointer
+        a.load(R3, R2, 0); // dereference (load pair!)
+        a.add(R5, R5, R3);
+        a.store(R5, R1, 0); // overwrite pointer slot (conceals)
+        a.addi(R1, R1, 8);
+        a.addi(R7, R7, 1);
+        a.bltu_to(R7, R6, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        check_against_golden(&p, SecureConfig::unsafe_baseline());
+        check_against_golden(&p, SecureConfig::nda());
+        check_against_golden(&p, SecureConfig::nda_recon());
+        check_against_golden(&p, SecureConfig::stt());
+        check_against_golden(&p, SecureConfig::stt_recon());
+    }
+
+    #[test]
+    fn secure_schemes_are_slower_on_speculative_pointer_chasing() {
+        // The Spectre-gadget shape that drives the paper's overheads: a
+        // branch gated on *slowly* loaded data (the condition array
+        // overflows the micro LLC, so it always misses), with a fast,
+        // cache-resident dependent load pair underneath. The branch stays
+        // unresolved while the pair executes, so STT/NDA delay the
+        // second load and lose the memory-level parallelism.
+        let n = 64u64;
+        let mut a = Asm::new();
+        for i in 0..n {
+            a.data(0x10_0000 + i * 64, 1); // conds: one line each, > LLC
+            a.data(0x20_0000 + i * 8, 0x30_0000 + ((i * 17) % n) * 8);
+            a.data(0x30_0000 + i * 8, i);
+        }
+        // Warm the pointer and target arrays (no dereferences).
+        a.li(R10, 0x20_0000).li(R6, 0).li(R7, n);
+        let warm = a.here();
+        a.load(R2, R10, 0);
+        a.load(R3, R10, 0x10_0000); // warm targets[i] at ptrs[i]+0x10_0000
+        a.addi(R10, R10, 8);
+        a.addi(R6, R6, 1);
+        a.bltu_to(R6, R7, warm);
+        a.li(R10, 0x10_0000).li(R11, 0x20_0000).li(R6, 0).li(R5, 0);
+        let top = a.here();
+        a.load(R2, R10, 0); // cond load: always misses
+        let skip = a.new_label();
+        a.beq(R2, R0, skip); // branch on loaded data: resolves late
+        a.load(R3, R11, 0); // LD1: pointer load, fast, under shadow
+        a.load(R4, R3, 0); //  LD2: dependent dereference (delayed by STT)
+        a.add(R5, R5, R4);
+        a.bind(skip);
+        a.addi(R10, R10, 64);
+        a.addi(R11, R11, 8);
+        a.addi(R6, R6, 1);
+        a.bltu_to(R6, R7, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let base = run_program_with(micro_mem(), p.clone(), SecureConfig::unsafe_baseline(), 2_000_000).0;
+        let stt = run_program_with(micro_mem(), p.clone(), SecureConfig::stt(), 2_000_000).0;
+        let nda = run_program_with(micro_mem(), p.clone(), SecureConfig::nda(), 2_000_000).0;
+        let sum: u64 = (0..n).map(|i| (i * 17) % n).sum();
+        assert_eq!(base.arch_read(R5), sum);
+        assert_eq!(stt.arch_read(R5), sum);
+        assert_eq!(nda.arch_read(R5), sum);
+        assert!(
+            stt.stats().cycles > base.stats().cycles,
+            "STT {} vs base {}",
+            stt.stats().cycles,
+            base.stats().cycles
+        );
+        assert!(
+            nda.stats().cycles >= stt.stats().cycles,
+            "NDA ({}) is at least as strict as STT ({})",
+            nda.stats().cycles,
+            stt.stats().cycles
+        );
+        assert!(stt.stats().guarded_loads > 0, "dependent loads were tainted");
+    }
+
+    #[test]
+    fn recon_recovers_performance_on_reused_pointers() {
+        // Same gadget shape, iterated: the first pass commits the load
+        // pairs non-speculatively, revealing the pointer words; later
+        // passes find them revealed and lift the defense while the
+        // branch condition still misses all the way to memory.
+        let n = 32u64;
+        let mut a = Asm::new();
+        for i in 0..n {
+            a.data(0x10_0000 + i * 64, 1); // conds overflow the micro LLC
+            a.data(0x20_0000 + i * 8, 0x30_0000 + ((i * 7) % n) * 8);
+            a.data(0x30_0000 + i * 8, i);
+        }
+        a.li(R8, 0).li(R9, 10).li(R5, 0); // outer iterations
+        let outer = a.here();
+        a.li(R10, 0x10_0000).li(R11, 0x20_0000).li(R6, 0).li(R7, n);
+        let top = a.here();
+        a.load(R2, R10, 0);
+        let skip = a.new_label();
+        a.beq(R2, R0, skip);
+        a.load(R3, R11, 0); // LD1
+        a.load(R4, R3, 0); //  LD2 (pair: reveals LD1's word at commit)
+        a.add(R5, R5, R4);
+        a.bind(skip);
+        a.addi(R10, R10, 64);
+        a.addi(R11, R11, 8);
+        a.addi(R6, R6, 1);
+        a.bltu_to(R6, R7, top);
+        a.addi(R8, R8, 1);
+        a.bltu_to(R8, R9, outer);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let stt = run_program_with(micro_mem(), p.clone(), SecureConfig::stt(), 5_000_000).0;
+        let (sttr, mem_r, _) =
+            run_program_with(micro_mem(), p.clone(), SecureConfig::stt_recon(), 5_000_000);
+        assert!(mem_r.stats().reveals_set > 0, "load pairs revealed addresses");
+        assert!(sttr.stats().revealed_loads_committed > 0, "revealed words were reused");
+        assert!(
+            sttr.stats().guarded_loads < stt.stats().guarded_loads,
+            "ReCon reduces tainted loads: {} vs {}",
+            sttr.stats().guarded_loads,
+            stt.stats().guarded_loads
+        );
+        assert!(
+            sttr.stats().cycles < stt.stats().cycles,
+            "STT+ReCon ({}) faster than STT ({})",
+            sttr.stats().cycles,
+            stt.stats().cycles
+        );
+    }
+
+    #[test]
+    fn amo_serializes_and_updates_memory() {
+        let mut a = Asm::new();
+        a.data(0x5000, 10);
+        a.li(R1, 0x5000).li(R2, 5);
+        a.amoadd(R3, R1, 0, R2);
+        a.amoadd(R4, R1, 0, R2);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, data) = run_program(p, SecureConfig::stt(), 10_000);
+        assert_eq!(core.arch_read(R3), 10);
+        assert_eq!(core.arch_read(R4), 15);
+        assert_eq!(data.peek(0x5000), 20);
+    }
+
+    #[test]
+    fn predictor_mode_detects_violations_and_recovers() {
+        // A load that aliases an older store with a slow address: in
+        // Predictor mode it speculates past the store, gets squashed on
+        // the violation, and still commits the correct value.
+        let mut a = Asm::new();
+        a.data(0x100, 0x9000); // the store target, loaded slowly (cold)
+        a.data(0x9000, 1);
+        a.li(R1, 0x100);
+        a.load(R2, R1, 0); // store address arrives late (cold miss)
+        a.li(R3, 77);
+        a.store(R3, R2, 0); // ST 77, [0x9000]
+        a.li(R4, 0x9000);
+        a.load(R5, R4, 0); // aliases the store: must read 77
+        a.halt();
+        let p = a.assemble().unwrap();
+        let recon_cfg = ReconConfig::disabled();
+        let mut mem = MemorySystem::new(1, MemConfig::scaled(), recon_cfg);
+        let mut data = SparseMem::from_image(&p.image);
+        let cfg = CoreConfig { mdp: MdpMode::Predictor, ..CoreConfig::tiny() };
+        let mut core = Core::new(
+            0,
+            Arc::new(p),
+            cfg,
+            SecureConfig::unsafe_baseline(),
+            recon_cfg,
+        );
+        for cycle in 0..100_000 {
+            if !core.tick(&mut mem, &mut data, cycle) {
+                break;
+            }
+        }
+        assert!(core.is_done());
+        assert_eq!(core.arch_read(R5), 77, "violation squash re-reads the store data");
+        assert_eq!(core.stats().memory_violations, 1);
+    }
+
+    #[test]
+    fn nda_withholds_store_data_until_safe() {
+        // Under NDA, a store whose data comes from a speculative load
+        // cannot supply its value for forwarding until the load is out
+        // of every shadow — but the final memory state is still right.
+        let mut a = Asm::new();
+        a.data(0x10_0000, 1); // slow cond (cold line)
+        a.data(0x200, 5);
+        a.li(R1, 0x10_0000);
+        a.load(R2, R1, 0); // slow load: branch stays unresolved
+        let body = a.new_label();
+        let end = a.new_label();
+        a.bne(R2, R0, body);
+        a.jump(end);
+        a.bind(body);
+        a.li(R3, 0x200);
+        a.load(R4, R3, 0); // speculative load (guarded under NDA)
+        a.store(R4, R3, 8); // store of the guarded value
+        a.load(R5, R3, 8); // forwarded once the data is supplied
+        a.bind(end);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, data) = run_program(p, SecureConfig::nda(), 100_000);
+        assert_eq!(core.arch_read(R5), 5);
+        assert_eq!(data.peek(0x208), 5);
+    }
+
+    #[test]
+    fn amo_waits_for_older_speculation() {
+        // An AMO dispatched under an unresolved branch must not execute
+        // until the branch resolves (it is serializing), and the final
+        // counter value must be exact.
+        let mut a = Asm::new();
+        a.data(0x10_0000, 1);
+        a.data(0x300, 10);
+        a.li(R1, 0x10_0000);
+        a.load(R2, R1, 0); // slow cond
+        let body = a.new_label();
+        let end = a.new_label();
+        a.bne(R2, R0, body);
+        a.jump(end);
+        a.bind(body);
+        a.li(R3, 0x300);
+        a.li(R4, 5);
+        a.amoadd(R5, R3, 0, R4);
+        a.bind(end);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, data) = run_program(p, SecureConfig::stt(), 100_000);
+        assert_eq!(core.arch_read(R5), 10);
+        assert_eq!(data.peek(0x300), 15);
+    }
+
+    #[test]
+    fn multi_source_load_executes_and_pairs_under_recon() {
+        // ldx base+index*8 with both operands loaded: with the default
+        // (single-source) LPT no pair is revealed; the architectural
+        // result is correct either way.
+        let mut a = Asm::new();
+        a.data(0x100, 0x4000); // base table entry
+        a.data(0x108, 2); // index entry
+        a.data(0x4010, 99); // target: 0x4000 + 2*8
+        a.li(R1, 0x100);
+        a.load(R2, R1, 0);
+        a.load(R3, R1, 8);
+        a.loadidx(R4, R2, R3);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, mem, _) = run_program(p, SecureConfig::stt_recon(), 100_000);
+        assert_eq!(core.arch_read(R4), 99);
+        // Default configuration: the ldx detects no pair (x86-style
+        // cracking), so at most the (LD,LD) pairs of the setup reveal.
+        assert_eq!(mem.stats().reveals_set, 0, "no pair through the ldx by default");
+    }
+
+    #[test]
+    fn pipeline_trace_preserves_stage_order() {
+        use crate::trace::TraceKind;
+        let mut a = Asm::new();
+        a.data(0x100, 5);
+        a.li(R1, 0x100).load(R2, R1, 0).addi(R3, R2, 1).halt();
+        let p = a.assemble().unwrap();
+        let recon_cfg = ReconConfig::disabled();
+        let mut mem = MemorySystem::new(1, MemConfig::scaled(), recon_cfg);
+        let mut data = SparseMem::from_image(&p.image);
+        let mut core = Core::new(
+            0,
+            Arc::new(p),
+            CoreConfig::tiny(),
+            SecureConfig::unsafe_baseline(),
+            recon_cfg,
+        );
+        core.record_trace(true);
+        for cycle in 0..10_000 {
+            if !core.tick(&mut mem, &mut data, cycle) {
+                break;
+            }
+        }
+        let events = core.take_trace();
+        assert!(!events.is_empty());
+        // For every committed instruction: dispatch <= issue <= complete
+        // <= commit in cycle order.
+        for seq in 0..4u64 {
+            let at = |kind| {
+                events
+                    .iter()
+                    .find(|e| e.seq == seq && e.kind == kind)
+                    .map(|e| e.cycle)
+            };
+            let d = at(TraceKind::Dispatch).expect("dispatched");
+            let c = at(TraceKind::Commit).expect("committed");
+            assert!(d <= c, "seq {seq}");
+            if let (Some(i), Some(w)) = (at(TraceKind::Issue), at(TraceKind::Complete)) {
+                assert!(d <= i && i <= w && w <= c, "seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn mispredicted_branch_squashes_wrong_path() {
+        // Alternating branch direction defeats initial prediction at
+        // least once; wrong-path stores must never reach memory.
+        let mut a = Asm::new();
+        a.data(0x6000, 0);
+        a.li(R1, 0x6000).li(R2, 1).li(R6, 0).li(R7, 9);
+        let top = a.here();
+        a.andi(R3, R6, 1);
+        let even = a.new_label();
+        a.beq(R3, R0, even);
+        a.store(R2, R1, 0); // odd iterations store 1
+        a.bind(even);
+        a.addi(R6, R6, 1);
+        a.bltu_to(R6, R7, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (core, _, data) = run_program(p, SecureConfig::unsafe_baseline(), 100_000);
+        assert_eq!(data.peek(0x6000), 1);
+        // 4 odd iterations of 9 store once each.
+        assert_eq!(core.stats().stores_committed, 4);
+        assert!(core.stats().branch_mispredicts > 0);
+        assert!(core.stats().squashed > 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Optional pipeline event tracing, for debugging and for tests that
+//! assert pipeline-order invariants.
+//!
+//! Tracing is off by default and costs nothing when disabled; when
+//! enabled (see `Core::record_trace`), every major pipeline event is
+//! appended to an in-memory log the caller drains.
+
+use recon_secure::Seq;
+
+/// One pipeline event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// Dynamic sequence number of the instruction involved.
+    ///
+    /// Sequence numbers are **reused after a squash** (the window stays
+    /// contiguous), so a `Squash` for seq *N* may be followed by events
+    /// of a *different* dynamic instruction with the same seq; group
+    /// lifetimes by `(seq, dispatch cycle)`, not by seq alone.
+    pub seq: Seq,
+    /// Static instruction index.
+    pub pc: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Pipeline event kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Fetched and dispatched into the window.
+    Dispatch,
+    /// Issued to execution.
+    Issue,
+    /// Result became available.
+    Complete,
+    /// Retired architecturally.
+    Commit,
+    /// Squashed (wrong path / memory-order violation); `seq` is the
+    /// squashed instruction.
+    Squash,
+}
+
+/// A bounded event log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+/// Cap so a forgotten trace cannot exhaust memory on long runs.
+const TRACE_CAP: usize = 1 << 20;
+
+impl TraceLog {
+    /// Enables or disables recording (the log is kept either way).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or full).
+    #[inline]
+    pub fn push(&mut self, cycle: u64, seq: Seq, pc: usize, kind: TraceKind) {
+        if self.enabled && self.events.len() < TRACE_CAP {
+            self.events.push(TraceEvent { cycle, seq, pc, kind });
+        }
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::default();
+        log.push(1, 2, 3, TraceKind::Dispatch);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_and_drains() {
+        let mut log = TraceLog::default();
+        log.set_enabled(true);
+        log.push(1, 2, 3, TraceKind::Dispatch);
+        log.push(2, 2, 3, TraceKind::Issue);
+        assert_eq!(log.len(), 2);
+        let events = log.take();
+        assert_eq!(events[0].kind, TraceKind::Dispatch);
+        assert_eq!(events[1].kind, TraceKind::Issue);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # recon-dift
+//!
+//! A trace-based leakage characterization tool after *Clueless* (the
+//! paper's §6.1–6.2 companion): global dynamic information-flow tracking
+//! that detects *values turned into addresses*, plus the direct
+//! load-pair subset ReCon can capture.
+//!
+//! The ratio between the two is the paper's Figure 4 (leakage breakdown)
+//! and the x-axis of Figure 9 (leakage/performance correlation).
+//!
+//! ```
+//! use recon_dift::analyze_program;
+//! use recon_isa::{Asm, reg::names::*};
+//!
+//! // A classic pointer dereference leaks the pointer's address.
+//! let mut a = Asm::new();
+//! a.data(0x100, 0x200).data(0x200, 7);
+//! a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0).halt();
+//! let report = analyze_program(&a.assemble()?, 10_000)?;
+//! assert_eq!(report.dift_leaked, 1);
+//! assert_eq!(report.pair_leaked, 1); // captured by a direct pair
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod taint;
+
+pub use report::{analyze_program, LeakReport};
+pub use taint::LeakageAnalysis;

@@ -1,0 +1,336 @@
+//! Trace-based leakage tracking, after the paper's companion tool
+//! *Clueless* (§6.1–6.2).
+//!
+//! Two trackers run over the same committed-instruction trace:
+//!
+//! * **Global DIFT** — every register (and memory word) carries the set
+//!   of memory addresses its value transitively derives from. When a
+//!   value is *turned into an address* (used as the base of a memory
+//!   access), every address in its provenance set becomes a **leakage
+//!   point**: its content has been exposed to the memory hierarchy.
+//!   A store to an address reverts it to non-leaked (its content is a
+//!   new, unobserved value).
+//! * **Direct load pairs** — ReCon's subset: a register directly written
+//!   by a load (and not modified since) carries that one address; using
+//!   it as a base leaks exactly that address. This is what the
+//!   load-pair table can capture (§4.3).
+//!
+//! The pair-leaked set is a subset of the DIFT-leaked set by
+//! construction; their ratio is the paper's Figure 4 / Figure 9 metric.
+
+use std::collections::{HashMap, HashSet};
+
+use recon_isa::{ArchReg, Inst, MemEffect, StepRecord, NUM_ARCH_REGS};
+
+/// Cap on provenance-set size: beyond this a value is treated as
+/// deriving from "many" addresses, all already recorded. Keeps the
+/// analysis linear on pathological chains.
+const PROVENANCE_CAP: usize = 128;
+
+/// Per-value provenance: which memory addresses the value derives from.
+type Provenance = HashSet<u64>;
+
+/// The leakage analysis state.
+///
+/// Feed it every committed instruction (a [`recon_isa::StepRecord`]
+/// stream) via
+/// [`LeakageAnalysis::observe`], then read the [`crate::LeakReport`].
+#[derive(Debug, Default)]
+pub struct LeakageAnalysis {
+    /// Global-DIFT provenance per architectural register.
+    reg_prov: [Provenance; NUM_ARCH_REGS],
+    /// Provenance carried by memory words (through stores).
+    mem_prov: HashMap<u64, Provenance>,
+    /// Direct-load provenance: register was written by a load from this
+    /// address and is unmodified since.
+    reg_direct: [Option<u64>; NUM_ARCH_REGS],
+
+    /// Addresses currently leaked per global DIFT.
+    leaked_dift: HashSet<u64>,
+    /// Addresses currently leaked via direct load pairs.
+    leaked_pair: HashSet<u64>,
+    /// Addresses ever leaked (never reverted) per global DIFT.
+    ever_dift: HashSet<u64>,
+    /// Addresses ever leaked via direct pairs.
+    ever_pair: HashSet<u64>,
+    /// Every word address the program touched.
+    touched: HashSet<u64>,
+}
+
+impl LeakageAnalysis {
+    /// Creates an empty analysis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn leak_via_reg(&mut self, base: ArchReg) {
+        // Global DIFT: everything in the base register's provenance has
+        // now been exposed as (part of) an address.
+        for addr in &self.reg_prov[base.index()] {
+            self.leaked_dift.insert(*addr);
+            self.ever_dift.insert(*addr);
+        }
+        // Direct pair: only a pristine directly-loaded value counts.
+        if let Some(addr) = self.reg_direct[base.index()] {
+            self.leaked_pair.insert(addr);
+            self.ever_pair.insert(addr);
+        }
+    }
+
+    fn write_reg(&mut self, dst: ArchReg, prov: Provenance, direct: Option<u64>) {
+        if dst.is_zero() {
+            return;
+        }
+        let mut prov = prov;
+        if prov.len() > PROVENANCE_CAP {
+            // Keep an arbitrary subset; the dropped members were already
+            // inserted into `leaked_*` if ever used as addresses.
+            prov = prov.into_iter().take(PROVENANCE_CAP).collect();
+        }
+        self.reg_prov[dst.index()] = prov;
+        self.reg_direct[dst.index()] = direct;
+    }
+
+    fn merged_prov(&self, srcs: impl IntoIterator<Item = ArchReg>) -> Provenance {
+        let mut out = Provenance::new();
+        for s in srcs {
+            out.extend(self.reg_prov[s.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Processes one committed instruction.
+    pub fn observe(&mut self, rec: &StepRecord) {
+        // 1. Address uses leak the provenance of every address source
+        //    (two for multi-source loads, §5.1.1).
+        for base in rec.inst.addr_srcs().into_iter().flatten() {
+            self.leak_via_reg(base);
+        }
+        // 2. Memory effects update touched / provenance / reverts.
+        match rec.mem {
+            MemEffect::Load { addr, .. } => {
+                self.touched.insert(addr);
+            }
+            MemEffect::Store { addr, .. } | MemEffect::Amo { addr, .. } => {
+                self.touched.insert(addr);
+                // New content: the address reverts to non-leaked.
+                self.leaked_dift.remove(&addr);
+                self.leaked_pair.remove(&addr);
+            }
+            MemEffect::None => {}
+        }
+        // 3. Dataflow.
+        match rec.inst {
+            Inst::LoadImm { dst, .. } => {
+                self.write_reg(dst, Provenance::new(), None);
+            }
+            Inst::Alu { dst, a, b, .. } => {
+                let prov = self.merged_prov([a, b]);
+                self.write_reg(dst, prov, None);
+            }
+            Inst::AluImm { dst, a, .. } => {
+                let prov = self.merged_prov([a]);
+                self.write_reg(dst, prov, None);
+            }
+            Inst::Load { dst, .. } | Inst::LoadIdx { dst, .. } => {
+                let MemEffect::Load { addr, .. } = rec.mem else {
+                    unreachable!("load records a Load effect")
+                };
+                // The value derives from the word itself plus whatever
+                // the word's stored provenance was.
+                let mut prov = self.mem_prov.get(&addr).cloned().unwrap_or_default();
+                prov.insert(addr);
+                self.write_reg(dst, prov, Some(addr));
+            }
+            Inst::Store { val, .. } => {
+                let MemEffect::Store { addr, .. } = rec.mem else {
+                    unreachable!("store records a Store effect")
+                };
+                self.mem_prov.insert(addr, self.reg_prov[val.index()].clone());
+            }
+            Inst::AmoAdd { dst, add, .. } => {
+                let MemEffect::Amo { addr, .. } = rec.mem else {
+                    unreachable!("amo records an Amo effect")
+                };
+                let mut loaded = self.mem_prov.get(&addr).cloned().unwrap_or_default();
+                loaded.insert(addr);
+                self.write_reg(dst, loaded.clone(), None);
+                loaded.extend(self.reg_prov[add.index()].iter().copied());
+                self.mem_prov.insert(addr, loaded);
+            }
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Nop | Inst::Halt => {}
+        }
+    }
+
+    /// Words the program has touched so far.
+    #[must_use]
+    pub fn touched_words(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Addresses currently leaked under global DIFT.
+    #[must_use]
+    pub fn dift_leaked_now(&self) -> usize {
+        self.leaked_dift.len()
+    }
+
+    /// Addresses currently leaked via direct load pairs.
+    #[must_use]
+    pub fn pair_leaked_now(&self) -> usize {
+        self.leaked_pair.len()
+    }
+
+    /// Addresses ever leaked under global DIFT.
+    #[must_use]
+    pub fn dift_leaked_ever(&self) -> usize {
+        self.ever_dift.len()
+    }
+
+    /// Addresses ever leaked via direct load pairs.
+    #[must_use]
+    pub fn pair_leaked_ever(&self) -> usize {
+        self.ever_pair.len()
+    }
+
+    /// Whether `addr` is currently a DIFT leakage point.
+    #[must_use]
+    pub fn is_leaked(&self, addr: u64) -> bool {
+        self.leaked_dift.contains(&addr)
+    }
+
+    /// Whether `addr` is currently a direct-pair leakage point.
+    #[must_use]
+    pub fn is_pair_leaked(&self, addr: u64) -> bool {
+        self.leaked_pair.contains(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::reg::names::*;
+    use recon_isa::{run_collect, Asm};
+
+    fn analyze(asm: Asm) -> LeakageAnalysis {
+        let p = asm.assemble().unwrap();
+        let (trace, _) = run_collect(&p, 1_000_000).unwrap();
+        let mut la = LeakageAnalysis::new();
+        for rec in &trace {
+            la.observe(rec);
+        }
+        la
+    }
+
+    #[test]
+    fn direct_dereference_leaks_the_pointer_word() {
+        let mut a = Asm::new();
+        a.data(0x100, 0x200).data(0x200, 5);
+        a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0).halt();
+        let la = analyze(a);
+        assert!(la.is_leaked(0x100), "0x100's content was used as an address");
+        assert!(la.is_pair_leaked(0x100), "and it was a direct pair");
+        assert!(!la.is_leaked(0x200), "the target's content never became an address");
+    }
+
+    #[test]
+    fn indirect_dereference_leaks_dift_only() {
+        // v = mem[0x100] + mem[0x108]; load [v]: both sources leak under
+        // DIFT; neither is a *direct* pair.
+        let mut a = Asm::new();
+        a.data(0x100, 0x80).data(0x108, 0x80).data(0x100 + 0x60, 1);
+        a.li(R1, 0x100);
+        a.load(R2, R1, 0);
+        a.load(R3, R1, 8);
+        a.add(R4, R2, R3);
+        a.load(R5, R4, 0);
+        a.halt();
+        let la = analyze(a);
+        assert!(la.is_leaked(0x100) && la.is_leaked(0x108));
+        assert!(!la.is_pair_leaked(0x100) && !la.is_pair_leaked(0x108));
+        assert!(la.dift_leaked_now() >= 2);
+        assert_eq!(la.pair_leaked_now(), 0);
+    }
+
+    #[test]
+    fn offset_still_forms_a_pair() {
+        let mut a = Asm::new();
+        a.data(0x100, 0x200).data(0x210, 5);
+        a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0x10).halt();
+        let la = analyze(a);
+        assert!(la.is_pair_leaked(0x100), "offsets do not break pairs (§4.3)");
+    }
+
+    #[test]
+    fn store_reverts_leakage() {
+        let mut a = Asm::new();
+        a.data(0x100, 0x200).data(0x200, 5);
+        a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0);
+        a.li(R4, 0x300).store(R4, R1, 0); // overwrite the pointer word
+        a.halt();
+        let la = analyze(a);
+        assert!(!la.is_leaked(0x100), "new content is unobserved");
+        assert!(!la.is_pair_leaked(0x100));
+        assert_eq!(la.dift_leaked_ever(), 1, "but it *was* leaked once");
+    }
+
+    #[test]
+    fn provenance_propagates_through_memory() {
+        // v = mem[0x100]; store v to 0x300; w = mem[0x300]; load [w]:
+        // 0x100 leaked (its content flowed into the address), and 0x300
+        // leaked too.
+        let mut a = Asm::new();
+        a.data(0x100, 0x400).data(0x400, 9);
+        a.li(R1, 0x100).load(R2, R1, 0);
+        a.li(R3, 0x300).store(R2, R3, 0);
+        a.load(R4, R3, 0);
+        a.load(R5, R4, 0);
+        a.halt();
+        let la = analyze(a);
+        assert!(la.is_leaked(0x100), "provenance flowed through memory");
+        assert!(la.is_leaked(0x300));
+        // The final load *is* a direct pair with the load from 0x300.
+        assert!(la.is_pair_leaked(0x300));
+        assert!(!la.is_pair_leaked(0x100), "0x100 is two hops away");
+    }
+
+    #[test]
+    fn alu_breaks_direct_but_not_dift() {
+        let mut a = Asm::new();
+        a.data(0x100, 0x1F8).data(0x200, 5);
+        a.li(R1, 0x100).load(R2, R1, 0);
+        a.addi(R2, R2, 8); // modify: no longer a pristine load value
+        a.load(R3, R2, 0);
+        a.halt();
+        let la = analyze(a);
+        assert!(la.is_leaked(0x100));
+        assert!(!la.is_pair_leaked(0x100));
+    }
+
+    #[test]
+    fn touched_counts_all_accessed_words() {
+        let mut a = Asm::new();
+        a.data(0x100, 1);
+        a.li(R1, 0x100).load(R2, R1, 0).store(R2, R1, 8).halt();
+        let la = analyze(a);
+        assert_eq!(la.touched_words(), 2);
+    }
+
+    #[test]
+    fn pair_leaks_are_subset_of_dift() {
+        // Structural invariant, exercised on a small pointer-chase.
+        let mut a = Asm::new();
+        for i in 0..8u64 {
+            a.data(0x1000 + i * 8, 0x2000 + ((i + 1) % 8) * 8);
+            a.data(0x2000 + i * 8, 0x1000 + i * 8);
+        }
+        a.li(R1, 0x1000);
+        for _ in 0..16 {
+            a.load(R1, R1, 0);
+        }
+        a.halt();
+        let la = analyze(a);
+        assert!(la.pair_leaked_now() <= la.dift_leaked_now());
+        assert!(la.pair_leaked_now() > 0);
+    }
+}

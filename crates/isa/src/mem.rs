@@ -1,0 +1,105 @@
+//! Data memory abstraction and a sparse word-granular implementation.
+
+use std::collections::HashMap;
+
+use crate::program::MemImage;
+
+/// Word-granular data memory as seen by the functional semantics.
+///
+/// All accesses are aligned 8-byte words. Uninitialized words read as 0.
+pub trait DataMem {
+    /// Reads the word at the (aligned) address.
+    fn read(&mut self, addr: u64) -> u64;
+    /// Writes the word at the (aligned) address.
+    fn write(&mut self, addr: u64, value: u64);
+}
+
+/// Sparse hash-map-backed memory. Uninitialized words read as zero.
+///
+/// ```
+/// use recon_isa::{DataMem, SparseMem};
+///
+/// let mut m = SparseMem::new();
+/// assert_eq!(m.read(0x1000), 0);
+/// m.write(0x1000, 99);
+/// assert_eq!(m.read(0x1000), 99);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SparseMem {
+    words: HashMap<u64, u64>,
+}
+
+impl SparseMem {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a memory pre-loaded from a program image.
+    #[must_use]
+    pub fn from_image(image: &MemImage) -> Self {
+        SparseMem { words: image.iter().collect() }
+    }
+
+    /// Number of words ever written (or loaded from the image).
+    #[must_use]
+    pub fn touched_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads without requiring `&mut self` (the trait takes `&mut` so
+    /// that timing models can update internal state on reads).
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> u64 {
+        debug_assert_eq!(addr % 8, 0, "misaligned read at {addr:#x}");
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+impl DataMem for SparseMem {
+    fn read(&mut self, addr: u64) -> u64 {
+        self.peek(addr)
+    }
+
+    fn write(&mut self, addr: u64, value: u64) {
+        debug_assert_eq!(addr % 8, 0, "misaligned write at {addr:#x}");
+        self.words.insert(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninitialized_reads_zero() {
+        let mut m = SparseMem::new();
+        assert_eq!(m.read(0x0), 0);
+        assert_eq!(m.read(0xFFF8), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = SparseMem::new();
+        m.write(0x8, 1234);
+        assert_eq!(m.read(0x8), 1234);
+        assert_eq!(m.peek(0x8), 1234);
+        assert_eq!(m.touched_words(), 1);
+    }
+
+    #[test]
+    fn from_image_preloads() {
+        let img: MemImage = [(0x10, 7)].into_iter().collect();
+        let mut m = SparseMem::from_image(&img);
+        assert_eq!(m.read(0x10), 7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_write_panics_in_debug() {
+        let mut m = SparseMem::new();
+        m.write(0x3, 1);
+    }
+}

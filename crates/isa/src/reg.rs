@@ -1,0 +1,139 @@
+//! Architectural registers.
+
+use core::fmt;
+
+/// Number of architectural integer registers.
+///
+/// Register 0 ([`ArchReg::ZERO`]) is hard-wired to zero, as in most RISC
+/// ISAs; writes to it are discarded.
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural integer register, `r0`..`r31`.
+///
+/// `r0` is hard-wired to zero. The remaining registers are general
+/// purpose. The type is a thin validated index:
+///
+/// ```
+/// use recon_isa::ArchReg;
+///
+/// let r = ArchReg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(ArchReg::try_new(99).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The zero register, `r0`: always reads as zero, writes are ignored.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self::try_new(index).unwrap_or_else(|| {
+            panic!("register index {index} out of range 0..{NUM_ARCH_REGS}")
+        })
+    }
+
+    /// Creates a register from its index, or `None` if out of range.
+    #[must_use]
+    pub fn try_new(index: usize) -> Option<Self> {
+        (index < NUM_ARCH_REGS).then_some(ArchReg(index as u8))
+    }
+
+    /// The register's index, `0..NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over all architectural registers, `r0` first.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(|i| ArchReg(i as u8))
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Convenience constants `R0`..`R31` for writing programs by hand.
+pub mod names {
+    use super::ArchReg;
+
+    macro_rules! defregs {
+        ($($name:ident = $idx:expr;)*) => {
+            $(
+                #[doc = concat!("Architectural register ", stringify!($name), ".")]
+                pub const $name: ArchReg = ArchReg($idx);
+            )*
+        };
+    }
+
+    defregs! {
+        R0 = 0; R1 = 1; R2 = 2; R3 = 3; R4 = 4; R5 = 5; R6 = 6; R7 = 7;
+        R8 = 8; R9 = 9; R10 = 10; R11 = 11; R12 = 12; R13 = 13; R14 = 14;
+        R15 = 15; R16 = 16; R17 = 17; R18 = 18; R19 = 19; R20 = 20;
+        R21 = 21; R22 = 22; R23 = 23; R24 = 24; R25 = 25; R26 = 26;
+        R27 = 27; R28 = 28; R29 = 29; R30 = 30; R31 = 31;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert_eq!(ArchReg::ZERO.index(), 0);
+        assert!(!ArchReg::new(1).is_zero());
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(ArchReg::try_new(0).is_some());
+        assert!(ArchReg::try_new(NUM_ARCH_REGS - 1).is_some());
+        assert!(ArchReg::try_new(NUM_ARCH_REGS).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = ArchReg::new(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<_> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        assert_eq!(regs[0], ArchReg::ZERO);
+        assert_eq!(regs[31], ArchReg::new(31));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchReg::new(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn names_match_indices() {
+        use names::*;
+        assert_eq!(R0, ArchReg::ZERO);
+        assert_eq!(R31.index(), 31);
+        assert_eq!(R13.index(), 13);
+    }
+}

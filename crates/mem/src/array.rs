@@ -1,0 +1,279 @@
+//! Generic set-associative cache array with LRU replacement.
+//!
+//! The array stores coherence metadata (tag, MESI state) plus the ReCon
+//! [`RevealMask`]. Data values are *not* stored: the reproduction is a
+//! timing-directed model where architectural data lives in a flat
+//! functional memory (see `recon-sim`), as in many timing simulators.
+
+use recon::RevealMask;
+
+use crate::geometry::CacheGeometry;
+use crate::mesi::Mesi;
+
+/// One way of one set.
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    state: Mesi,
+    mask: RevealMask,
+    last_use: u64,
+}
+
+/// A line evicted by [`CacheArray::fill`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// Line base address of the victim.
+    pub addr: u64,
+    /// Its MESI state at eviction.
+    pub state: Mesi,
+    /// Its reveal mask at eviction (to be merged or written back).
+    pub mask: RevealMask,
+}
+
+/// Set-associative array of coherence + reveal metadata.
+///
+/// ```
+/// use recon_mem::{CacheArray, CacheGeometry, Mesi};
+/// use recon::RevealMask;
+///
+/// let mut c = CacheArray::new(CacheGeometry::new(1024, 2));
+/// assert!(c.state_of(0x0).is_none());
+/// c.fill(0x0, Mesi::Shared, RevealMask::all_concealed());
+/// assert_eq!(c.state_of(0x0), Some(Mesi::Shared));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray {
+    geom: CacheGeometry,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty array with the given geometry.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = vec![vec![Way::default(); geom.ways()]; geom.num_sets()];
+        CacheArray { geom, sets, tick: 0 }
+    }
+
+    /// The array's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn find(&self, addr: u64) -> Option<(usize, usize)> {
+        let (set, tag) = self.geom.slice(addr);
+        self.sets[set]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .map(|way| (set, way))
+    }
+
+    /// The MESI state of the line containing `addr`, if present.
+    #[must_use]
+    pub fn state_of(&self, addr: u64) -> Option<Mesi> {
+        self.find(addr).map(|(s, w)| self.sets[s][w].state)
+    }
+
+    /// The reveal mask of the line containing `addr`, if present.
+    #[must_use]
+    pub fn mask_of(&self, addr: u64) -> Option<RevealMask> {
+        self.find(addr).map(|(s, w)| self.sets[s][w].mask)
+    }
+
+    /// Looks up the line and refreshes its LRU position. Returns
+    /// `(state, mask)` on hit.
+    pub fn touch(&mut self, addr: u64) -> Option<(Mesi, RevealMask)> {
+        let (s, w) = self.find(addr)?;
+        self.tick += 1;
+        self.sets[s][w].last_use = self.tick;
+        Some((self.sets[s][w].state, self.sets[s][w].mask))
+    }
+
+    /// Changes the state of a present line. Returns `false` if absent.
+    pub fn set_state(&mut self, addr: u64, state: Mesi) -> bool {
+        match self.find(addr) {
+            Some((s, w)) => {
+                self.sets[s][w].state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the mask of a present line. Returns `false` if absent.
+    pub fn set_mask(&mut self, addr: u64, mask: RevealMask) -> bool {
+        match self.find(addr) {
+            Some((s, w)) => {
+                self.sets[s][w].mask = mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies `f` to the mask of a present line. Returns `false` if
+    /// absent.
+    pub fn update_mask(&mut self, addr: u64, f: impl FnOnce(&mut RevealMask)) -> bool {
+        match self.find(addr) {
+            Some((s, w)) => {
+                f(&mut self.sets[s][w].mask);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a line, evicting the LRU victim if the set is full.
+    ///
+    /// The caller handles the returned victim (writeback / directory
+    /// notification / mask merge). Filling an already-present line just
+    /// updates its state and mask.
+    pub fn fill(&mut self, addr: u64, state: Mesi, mask: RevealMask) -> Option<Evicted> {
+        debug_assert!(state.readable(), "filling an Invalid line is meaningless");
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((s, w)) = self.find(addr) {
+            let way = &mut self.sets[s][w];
+            way.state = state;
+            way.mask = mask;
+            way.last_use = tick;
+            return None;
+        }
+        let (set, tag) = self.geom.slice(addr);
+        let ways = &mut self.sets[set];
+        let slot = if let Some(i) = ways.iter().position(|w| !w.valid) {
+            i
+        } else {
+            // LRU victim.
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("associativity is positive")
+        };
+        let victim = &ways[slot];
+        let evicted = victim.valid.then(|| Evicted {
+            addr: self.geom.unslice(set, victim.tag),
+            state: victim.state,
+            mask: victim.mask,
+        });
+        ways[slot] = Way { valid: true, tag, state, mask, last_use: tick };
+        evicted
+    }
+
+    /// Removes a line, returning its `(state, mask)` if it was present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<(Mesi, RevealMask)> {
+        let (s, w) = self.find(addr)?;
+        let way = &mut self.sets[s][w];
+        way.valid = false;
+        Some((way.state, way.mask))
+    }
+
+    /// Number of valid lines (for tests and occupancy stats).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over `(line_addr, state, mask)` of every valid line.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (u64, Mesi, RevealMask)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set, ways)| {
+            ways.iter().filter(|w| w.valid).map(move |w| {
+                (self.geom.unslice(set, w.tag), w.state, w.mask)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 2 sets, 2 ways, 64B lines = 256 B.
+        CacheArray::new(CacheGeometry::new(256, 2))
+    }
+
+    #[test]
+    fn fill_and_probe() {
+        let mut c = small();
+        assert_eq!(c.fill(0x000, Mesi::Exclusive, RevealMask::all_concealed()), None);
+        assert_eq!(c.state_of(0x000), Some(Mesi::Exclusive));
+        assert_eq!(c.state_of(0x040), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn sub_line_addresses_hit_same_line() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
+        assert_eq!(c.state_of(0x038), Some(Mesi::Shared));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut c = small();
+        // Set 0 holds lines 0x000, 0x080, 0x100 (stride = 2 sets * 64).
+        c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
+        c.fill(0x080, Mesi::Shared, RevealMask::all_concealed());
+        c.touch(0x000); // make 0x080 the LRU
+        let ev = c.fill(0x100, Mesi::Shared, RevealMask::all_concealed()).unwrap();
+        assert_eq!(ev.addr, 0x080);
+        assert_eq!(c.state_of(0x000), Some(Mesi::Shared));
+        assert_eq!(c.state_of(0x100), Some(Mesi::Shared));
+    }
+
+    #[test]
+    fn eviction_carries_state_and_mask() {
+        let mut c = small();
+        let mut m = RevealMask::all_concealed();
+        m.reveal(3);
+        c.fill(0x000, Mesi::Modified, m);
+        c.fill(0x080, Mesi::Shared, RevealMask::all_concealed());
+        let ev = c.fill(0x100, Mesi::Shared, RevealMask::all_concealed()).unwrap();
+        assert_eq!(ev, Evicted { addr: 0x000, state: Mesi::Modified, mask: m });
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
+        assert_eq!(c.fill(0x000, Mesi::Modified, RevealMask::all_revealed()), None);
+        assert_eq!(c.state_of(0x000), Some(Mesi::Modified));
+        assert_eq!(c.mask_of(0x000), Some(RevealMask::all_revealed()));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_returns() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified, RevealMask::all_revealed());
+        let (st, mask) = c.invalidate(0x000).unwrap();
+        assert_eq!(st, Mesi::Modified);
+        assert_eq!(mask, RevealMask::all_revealed());
+        assert_eq!(c.state_of(0x000), None);
+        assert_eq!(c.invalidate(0x000), None);
+    }
+
+    #[test]
+    fn update_mask_mutates() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified, RevealMask::all_concealed());
+        assert!(c.update_mask(0x000, |m| m.reveal(5)));
+        assert!(c.mask_of(0x000).unwrap().is_revealed(5));
+        assert!(!c.update_mask(0x040, |m| m.reveal(1)), "absent line");
+    }
+
+    #[test]
+    fn iter_lines_lists_valid() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
+        c.fill(0x040, Mesi::Modified, RevealMask::all_concealed());
+        let mut lines: Vec<_> = c.iter_lines().map(|(a, s, _)| (a, s)).collect();
+        lines.sort();
+        assert_eq!(lines, vec![(0x000, Mesi::Shared), (0x040, Mesi::Modified)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Memory-system configuration: geometries and latencies (Table 2).
+
+use crate::geometry::CacheGeometry;
+
+/// Access latencies in cycles (roundtrip from the core), per Table 2 of
+/// the paper plus derived coherence costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyConfig {
+    /// L1 data hit (2 cycles roundtrip).
+    pub l1_hit: u32,
+    /// L2 hit (6 cycles roundtrip).
+    pub l2_hit: u32,
+    /// LLC hit (16 cycles roundtrip).
+    pub llc_hit: u32,
+    /// Full memory access (LLC miss).
+    pub mem: u32,
+    /// Cache-to-cache forward from a remote owner (LLC + probe + hop).
+    pub remote_fwd: u32,
+    /// Ownership upgrade (invalidate sharers) on top of the hit latency.
+    pub upgrade: u32,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig { l1_hit: 2, l2_hit: 6, llc_hit: 16, mem: 116, remote_fwd: 26, upgrade: 8 }
+    }
+}
+
+/// Geometry + latency configuration of the whole hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemConfig {
+    /// Private L1 data cache geometry.
+    pub l1: CacheGeometry,
+    /// Private L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared LLC geometry (the in-cache directory lives here).
+    pub llc: CacheGeometry,
+    /// Latencies.
+    pub lat: LatencyConfig,
+}
+
+impl MemConfig {
+    /// The paper's Table 2 configuration: 64 KiB 8-way L1, 2 MiB 16-way
+    /// L2, 16 MiB 32-way LLC.
+    #[must_use]
+    pub fn paper() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(64 * 1024, 8),
+            l2: CacheGeometry::new(2 * 1024 * 1024, 16),
+            llc: CacheGeometry::new(16 * 1024 * 1024, 32),
+            lat: LatencyConfig::default(),
+        }
+    }
+
+    /// A capacity-scaled configuration (×1/32) preserving the level
+    /// ratios, so the synthetic workloads exercise the same hit/miss
+    /// structure at a fraction of the simulation cost. Latencies are
+    /// unchanged.
+    #[must_use]
+    pub fn scaled() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(2 * 1024, 8),
+            l2: CacheGeometry::new(64 * 1024, 16),
+            llc: CacheGeometry::new(512 * 1024, 32),
+            lat: LatencyConfig::default(),
+        }
+    }
+
+    /// The scaled configuration for the 4-core PARSEC system: Table 2
+    /// gives the multicore system 4 MiB of LLC *per core* (16 MiB
+    /// total), i.e. the shared LLC grows with the core count.
+    #[must_use]
+    pub fn scaled_multicore() -> Self {
+        MemConfig {
+            llc: CacheGeometry::new(2 * 1024 * 1024, 32),
+            ..MemConfig::scaled()
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = MemConfig::paper();
+        assert_eq!(c.l1.capacity_bytes(), 64 * 1024);
+        assert_eq!(c.l1.ways(), 8);
+        assert_eq!(c.l2.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(c.l2.ways(), 16);
+        assert_eq!(c.llc.capacity_bytes(), 16 * 1024 * 1024);
+        assert_eq!(c.llc.ways(), 32);
+        assert_eq!(c.lat.l1_hit, 2);
+        assert_eq!(c.lat.l2_hit, 6);
+        assert_eq!(c.lat.llc_hit, 16);
+    }
+
+    #[test]
+    fn scaled_preserves_ordering() {
+        let c = MemConfig::scaled();
+        assert!(c.l1.capacity_bytes() < c.l2.capacity_bytes());
+        assert!(c.l2.capacity_bytes() < c.llc.capacity_bytes());
+    }
+}

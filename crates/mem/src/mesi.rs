@@ -1,0 +1,215 @@
+//! MESI coherence states and directory-side bookkeeping.
+
+use core::fmt;
+
+/// Private-cache MESI state of a line.
+///
+/// The derived ordering follows increasing permission:
+/// `Invalid < Shared < Exclusive < Modified`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Mesi {
+    /// Invalid — not present.
+    #[default]
+    Invalid,
+    /// Shared — clean, possibly other copies exist.
+    Shared,
+    /// Exclusive — clean, only copy; may silently upgrade to Modified.
+    Exclusive,
+    /// Modified — dirty, only copy; owner of the authoritative
+    /// [`RevealMask`](recon::RevealMask) (§5.3).
+    Modified,
+}
+
+impl Mesi {
+    /// Whether the line can be read without a coherence transaction.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        !matches!(self, Mesi::Invalid)
+    }
+
+    /// Whether the line can be written without a coherence transaction.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        matches!(self, Mesi::Exclusive | Mesi::Modified)
+    }
+
+    /// Whether this copy is the *owner* of the coherent reveal mask
+    /// (write permission implies mask ownership, §5.3).
+    #[must_use]
+    pub fn owns_mask(self) -> bool {
+        self.writable()
+    }
+}
+
+impl fmt::Display for Mesi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Mesi::Invalid => 'I',
+            Mesi::Shared => 'S',
+            Mesi::Exclusive => 'E',
+            Mesi::Modified => 'M',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A compact set of sharer core ids (the directory's sharer vector).
+///
+/// Supports up to 64 cores, plenty for the 4-core PARSEC configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// A set containing a single core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= 64`.
+    #[must_use]
+    pub fn single(core: usize) -> Self {
+        let mut s = SharerSet(0);
+        s.insert(core);
+        s
+    }
+
+    /// Inserts a core id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= 64`.
+    pub fn insert(&mut self, core: usize) {
+        assert!(core < 64, "core id {core} out of range");
+        self.0 |= 1 << core;
+    }
+
+    /// Removes a core id.
+    pub fn remove(&mut self, core: usize) {
+        assert!(core < 64, "core id {core} out of range");
+        self.0 &= !(1 << core);
+    }
+
+    /// Whether the set contains `core`.
+    #[must_use]
+    pub fn contains(&self, core: usize) -> bool {
+        core < 64 && self.0 & (1 << core) != 0
+    }
+
+    /// Number of sharers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over core ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..64).filter(move |i| bits & (1 << i) != 0)
+    }
+}
+
+impl FromIterator<usize> for SharerSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = SharerSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Directory-side state of a line (in-cache directory at the LLC).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DirState {
+    /// No private cache holds the line.
+    #[default]
+    Uncached,
+    /// One or more private caches hold the line in S (or one in E when
+    /// `exclusive` is set — the directory cannot distinguish silent
+    /// E→M upgrades, so E is tracked as a potentially-dirty single owner).
+    Shared(SharerSet),
+    /// Exactly one private cache holds the line in E or M; it owns the
+    /// authoritative reveal mask.
+    Owned {
+        /// The owning core.
+        owner: usize,
+    },
+}
+
+impl DirState {
+    /// Cores that must be invalidated before another core may write.
+    #[must_use]
+    pub fn holders(&self) -> SharerSet {
+        match *self {
+            DirState::Uncached => SharerSet::empty(),
+            DirState::Shared(s) => s,
+            DirState::Owned { owner } => SharerSet::single(owner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_permissions() {
+        assert!(!Mesi::Invalid.readable());
+        assert!(Mesi::Shared.readable() && !Mesi::Shared.writable());
+        assert!(Mesi::Exclusive.writable() && Mesi::Exclusive.owns_mask());
+        assert!(Mesi::Modified.writable() && Mesi::Modified.owns_mask());
+        assert!(!Mesi::Shared.owns_mask());
+    }
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        s.remove(0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn sharer_set_from_iterator() {
+        let s: SharerSet = [1, 2, 5].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sharer_set_bounds() {
+        let mut s = SharerSet::empty();
+        s.insert(64);
+    }
+
+    #[test]
+    fn dir_state_holders() {
+        assert!(DirState::Uncached.holders().is_empty());
+        let sh = DirState::Shared([0, 2].into_iter().collect());
+        assert_eq!(sh.holders().len(), 2);
+        let own = DirState::Owned { owner: 1 };
+        assert_eq!(own.holders().iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(Mesi::Modified.to_string(), "M");
+        assert_eq!(Mesi::Invalid.to_string(), "I");
+    }
+}

@@ -1,0 +1,798 @@
+//! The coherent multicore memory system.
+//!
+//! Private L1 + L2 per core, shared LLC with an in-cache directory, MESI
+//! protocol. ReCon [`RevealMask`]s are piggybacked on every coherence
+//! transaction exactly per §5.3 of the paper:
+//!
+//! * a line fetched from memory is all-concealed;
+//! * an S-copy evicted from a private cache **ORs** its mask into the
+//!   directory copy (reader evictions only add reveals — concealing
+//!   requires write permission — so OR never resurrects stale reveals);
+//! * a Modified/Exclusive owner holds the *only coherent copy*: on
+//!   downgrade or writeback its mask **overwrites** the directory copy
+//!   (the stale directory copy may show revealed words the owner has
+//!   since concealed);
+//! * an invalidated reader's mask is **lost** (the paper's footnote 1);
+//! * the requester of a GetS/GetM receives the current coherent mask with
+//!   the data.
+//!
+//! The model is timing-directed: arrays hold tags, MESI state, and masks;
+//! architectural data lives in the functional memory owned by the
+//! simulator. Each access atomically applies the protocol transitions and
+//! returns its latency.
+
+use std::collections::HashMap;
+
+use recon::{line_of, word_index, ReconConfig, RevealMask};
+
+use crate::array::CacheArray;
+use crate::config::MemConfig;
+use crate::mesi::{DirState, Mesi};
+use crate::stats::MemStats;
+
+/// Which level served an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedBy {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared LLC hit (no private holder elsewhere).
+    Llc,
+    /// Forwarded from a remote private cache that owned the line.
+    RemoteCache,
+    /// Fetched from memory.
+    Memory,
+}
+
+/// Result of a load access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadOutcome {
+    /// Roundtrip latency in cycles.
+    pub latency: u32,
+    /// Whether the accessed word was marked *revealed* at the level that
+    /// served the access — if so, the core may lift speculative defenses
+    /// for the loaded value (§5.4).
+    pub revealed: bool,
+    /// Which level served the access.
+    pub served_by: ServedBy,
+}
+
+/// Result of a performed store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteOutcome {
+    /// Roundtrip latency in cycles.
+    pub latency: u32,
+}
+
+/// Private two-level hierarchy of one core.
+#[derive(Clone, Debug)]
+struct Private {
+    l1: CacheArray,
+    l2: CacheArray,
+}
+
+/// The multicore memory system.
+///
+/// ```
+/// use recon_mem::{MemorySystem, MemConfig};
+/// use recon::ReconConfig;
+///
+/// let mut mem = MemorySystem::new(2, MemConfig::scaled(), ReconConfig::default());
+/// let first = mem.read(0, 0x1000);
+/// assert!(!first.revealed); // fresh lines are concealed
+/// mem.reveal(0, 0x1000);    // a committed load pair revealed the word
+/// assert!(mem.read(0, 0x1000).revealed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    recon: ReconConfig,
+    cores: Vec<Private>,
+    llc: CacheArray,
+    dir: HashMap<u64, DirState>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a system with `num_cores` private hierarchies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(num_cores: usize, cfg: MemConfig, recon: ReconConfig) -> Self {
+        assert!((1..=64).contains(&num_cores), "1..=64 cores supported");
+        let cores = (0..num_cores)
+            .map(|_| Private { l1: CacheArray::new(cfg.l1), l2: CacheArray::new(cfg.l2) })
+            .collect();
+        MemorySystem {
+            cfg,
+            recon,
+            cores,
+            llc: CacheArray::new(cfg.llc),
+            dir: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> MemConfig {
+        self.cfg
+    }
+
+    /// The ReCon configuration this system was built with.
+    #[must_use]
+    pub fn recon_config(&self) -> ReconConfig {
+        self.recon
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Demand accesses
+    // ------------------------------------------------------------------
+
+    /// A demand load by `core` at `addr`. Applies all coherence
+    /// transitions and returns latency plus the word's reveal status.
+    pub fn read(&mut self, core: usize, addr: u64) -> ReadOutcome {
+        let wi = word_index(addr);
+        if let Some((_, mask)) = self.cores[core].l1.touch(addr) {
+            self.stats.l1_hits += 1;
+            let revealed = self.recon.enabled && mask.is_revealed(wi);
+            if revealed {
+                self.stats.revealed_loads += 1;
+            }
+            return ReadOutcome { latency: self.cfg.lat.l1_hit, revealed, served_by: ServedBy::L1 };
+        }
+        if let Some((state, mask)) = self.cores[core].l2.touch(addr) {
+            self.stats.l2_hits += 1;
+            self.fill_l1(core, addr, state, mask);
+            let revealed = self.recon.enabled && mask.is_revealed(wi);
+            if revealed {
+                self.stats.revealed_loads += 1;
+            }
+            return ReadOutcome { latency: self.cfg.lat.l2_hit, revealed, served_by: ServedBy::L2 };
+        }
+        // Private miss: GetS at the directory.
+        let (latency, state, mask, served_by) = self.get_shared(core, addr);
+        self.fill_l2(core, addr, state, mask);
+        self.fill_l1(core, addr, state, mask);
+        let revealed = self.recon.enabled && mask.is_revealed(wi);
+        if revealed {
+            self.stats.revealed_loads += 1;
+        }
+        ReadOutcome { latency, revealed, served_by }
+    }
+
+    /// A store performed by `core` at `addr` (store-buffer drain).
+    /// Acquires write permission and conceals the written word.
+    pub fn write(&mut self, core: usize, addr: u64) -> WriteOutcome {
+        let (latency, _) = self.acquire_for_write(core, addr);
+        self.conceal_word(core, addr);
+        self.stats.stores_performed += 1;
+        WriteOutcome { latency }
+    }
+
+    /// An atomic read-modify-write by `core` at `addr`. Returns the
+    /// reveal status of the word *before* the write conceals it.
+    pub fn rmw(&mut self, core: usize, addr: u64) -> ReadOutcome {
+        let wi = word_index(addr);
+        let (latency, mask_before) = self.acquire_for_write(core, addr);
+        let revealed = self.recon.enabled && mask_before.is_revealed(wi);
+        self.conceal_word(core, addr);
+        self.stats.stores_performed += 1;
+        ReadOutcome { latency, revealed, served_by: ServedBy::L1 }
+    }
+
+    /// A reveal request from the commit stage: a load pair committed and
+    /// the word at `addr` (the first load's target) is now public.
+    ///
+    /// Best-effort per the paper: the request sets the bit in the
+    /// requesting core's L1 if the line is present, else at the deepest
+    /// covered level holding the line; otherwise it is dropped (always
+    /// safe — only a lost optimization).
+    ///
+    /// Returns `true` if a bit was set.
+    pub fn reveal(&mut self, core: usize, addr: u64) -> bool {
+        if !self.recon.enabled {
+            return false;
+        }
+        let wi = word_index(addr);
+        if self.cores[core].l1.update_mask(addr, |m| m.reveal(wi)) {
+            self.stats.reveals_set += 1;
+            return true;
+        }
+        if self.recon.levels.covers_l2() && self.cores[core].l2.update_mask(addr, |m| m.reveal(wi))
+        {
+            self.stats.reveals_set += 1;
+            return true;
+        }
+        if self.recon.levels.covers_llc() {
+            let line = line_of(addr);
+            // Only the directory copy may be updated when no private
+            // cache owns the line (an owner holds the only coherent copy).
+            let owned_elsewhere =
+                matches!(self.dir.get(&line), Some(DirState::Owned { owner }) if *owner != core);
+            if !owned_elsewhere && self.llc.update_mask(addr, |m| m.reveal(wi)) {
+                self.stats.reveals_set += 1;
+                return true;
+            }
+        }
+        self.stats.reveals_dropped += 1;
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Probes (for tests and the simulator's assertions)
+    // ------------------------------------------------------------------
+
+    /// MESI state of the line in `core`'s L1, if present.
+    #[must_use]
+    pub fn l1_state(&self, core: usize, addr: u64) -> Option<Mesi> {
+        self.cores[core].l1.state_of(addr)
+    }
+
+    /// MESI state of the line in `core`'s L2, if present.
+    #[must_use]
+    pub fn l2_state(&self, core: usize, addr: u64) -> Option<Mesi> {
+        self.cores[core].l2.state_of(addr)
+    }
+
+    /// Directory state of the line, if tracked.
+    #[must_use]
+    pub fn dir_state(&self, addr: u64) -> Option<DirState> {
+        self.dir.get(&line_of(addr)).copied()
+    }
+
+    /// Whether the word would be observed revealed by `core` (without
+    /// changing any state). Checks L1, then L2, then the directory.
+    #[must_use]
+    pub fn probe_revealed(&self, core: usize, addr: u64) -> bool {
+        if !self.recon.enabled {
+            return false;
+        }
+        let wi = word_index(addr);
+        if let Some(m) = self.cores[core].l1.mask_of(addr) {
+            return m.is_revealed(wi);
+        }
+        if let Some(m) = self.cores[core].l2.mask_of(addr) {
+            return m.is_revealed(wi);
+        }
+        self.llc.mask_of(addr).is_some_and(|m| m.is_revealed(wi))
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol internals
+    // ------------------------------------------------------------------
+
+    /// The authoritative mask of `core`'s private copy: the L1 copy if
+    /// present (reveals and conceals are applied there first), else L2.
+    fn private_auth_mask(&self, core: usize, addr: u64) -> RevealMask {
+        self.cores[core]
+            .l1
+            .mask_of(addr)
+            .or_else(|| self.cores[core].l2.mask_of(addr))
+            .unwrap_or_default()
+    }
+
+    /// GetS: returns `(latency, granted state, granted mask, served_by)`.
+    fn get_shared(&mut self, core: usize, addr: u64) -> (u32, Mesi, RevealMask, ServedBy) {
+        let line = line_of(addr);
+        if self.llc.touch(addr).is_some() {
+            let dstate = self.dir.get(&line).copied().unwrap_or_default();
+            match dstate {
+                DirState::Owned { owner } if owner != core => {
+                    // Downgrade the owner; its mask is the coherent copy.
+                    let auth = self.private_auth_mask(owner, addr);
+                    self.demote_to_shared(owner, addr, auth);
+                    if self.recon.levels.covers_llc() {
+                        self.llc.set_mask(addr, auth); // overwrite, not OR
+                    }
+                    let sharers = [owner, core].into_iter().collect();
+                    self.dir.insert(line, DirState::Shared(sharers));
+                    self.stats.llc_hits += 1;
+                    self.stats.remote_forwards += 1;
+                    // The data + mask travel cache-to-cache (an L2-level
+                    // transaction): the mask arrives only if L2 is covered.
+                    let granted =
+                        if self.recon.levels.covers_l2() { auth } else { RevealMask::default() };
+                    (self.cfg.lat.remote_fwd, Mesi::Shared, granted, ServedBy::RemoteCache)
+                }
+                DirState::Owned { .. } => {
+                    // Our own stale ownership cannot persist past an L2
+                    // eviction (which notifies the directory); treat as a
+                    // fresh exclusive grant.
+                    debug_assert!(false, "directory owner with no private copy");
+                    self.dir.insert(line, DirState::Owned { owner: core });
+                    self.stats.llc_hits += 1;
+                    let granted = self.granted_from_dir(addr);
+                    (self.cfg.lat.llc_hit, Mesi::Exclusive, granted, ServedBy::Llc)
+                }
+                DirState::Shared(mut sharers) => {
+                    sharers.insert(core);
+                    self.dir.insert(line, DirState::Shared(sharers));
+                    self.stats.llc_hits += 1;
+                    let granted = self.granted_from_dir(addr);
+                    (self.cfg.lat.llc_hit, Mesi::Shared, granted, ServedBy::Llc)
+                }
+                DirState::Uncached => {
+                    self.dir.insert(line, DirState::Owned { owner: core });
+                    self.stats.llc_hits += 1;
+                    let granted = self.granted_from_dir(addr);
+                    (self.cfg.lat.llc_hit, Mesi::Exclusive, granted, ServedBy::Llc)
+                }
+            }
+        } else {
+            // LLC miss: fetch from memory, all words concealed.
+            self.install_llc(addr);
+            self.dir.insert(line, DirState::Owned { owner: core });
+            self.stats.mem_fetches += 1;
+            (self.cfg.lat.mem, Mesi::Exclusive, RevealMask::default(), ServedBy::Memory)
+        }
+    }
+
+    /// Grants the directory's mask copy to a requester, respecting level
+    /// coverage.
+    fn granted_from_dir(&self, addr: u64) -> RevealMask {
+        if self.recon.levels.covers_llc() {
+            self.llc.mask_of(addr).unwrap_or_default()
+        } else {
+            RevealMask::default()
+        }
+    }
+
+    /// Acquires write permission (GetM / upgrade) for `core` at `addr`.
+    /// Returns `(latency, coherent mask before the write)` with the line
+    /// installed Modified in the core's L1 and L2.
+    fn acquire_for_write(&mut self, core: usize, addr: u64) -> (u32, RevealMask) {
+        // Fast path: already writable in L1.
+        if let Some((state, mask)) = self.cores[core].l1.touch(addr) {
+            if state.writable() {
+                if state == Mesi::Exclusive {
+                    // Silent E -> M upgrade.
+                    self.cores[core].l1.set_state(addr, Mesi::Modified);
+                    self.cores[core].l2.set_state(addr, Mesi::Modified);
+                }
+                return (self.cfg.lat.l1_hit, mask);
+            }
+            // Shared in L1: upgrade at the directory.
+            let own = mask;
+            let (lat, dir_mask) = self.get_modified(core, addr);
+            let merged = own | dir_mask;
+            self.cores[core].l1.fill(addr, Mesi::Modified, merged);
+            let l2_mask = self.mask_for_l2(merged);
+            self.cores[core].l2.fill(addr, Mesi::Modified, l2_mask);
+            return (self.cfg.lat.l1_hit + lat, merged);
+        }
+        if let Some((state, mask)) = self.cores[core].l2.touch(addr) {
+            if state.writable() {
+                self.cores[core].l2.set_state(addr, Mesi::Modified);
+                self.fill_l1(core, addr, Mesi::Modified, mask);
+                return (self.cfg.lat.l2_hit, mask);
+            }
+            let own = mask;
+            let (lat, dir_mask) = self.get_modified(core, addr);
+            let merged = own | dir_mask;
+            let l2_mask = self.mask_for_l2(merged);
+            self.cores[core].l2.fill(addr, Mesi::Modified, l2_mask);
+            self.fill_l1(core, addr, Mesi::Modified, merged);
+            return (self.cfg.lat.l2_hit + lat, merged);
+        }
+        // Full miss with intent to write.
+        let (lat, dir_mask) = self.get_modified(core, addr);
+        self.fill_l2(core, addr, Mesi::Modified, dir_mask);
+        self.fill_l1(core, addr, Mesi::Modified, dir_mask);
+        (lat, dir_mask)
+    }
+
+    /// GetM at the directory: invalidates all other holders and returns
+    /// `(latency, coherent mask)`. The caller installs the line.
+    fn get_modified(&mut self, core: usize, addr: u64) -> (u32, RevealMask) {
+        let line = line_of(addr);
+        if self.llc.touch(addr).is_some() {
+            let dstate = self.dir.get(&line).copied().unwrap_or_default();
+            let (lat, mask) = match dstate {
+                DirState::Owned { owner } if owner != core => {
+                    // Transfer ownership: the old owner's mask travels to
+                    // the new writer on the invalidation (§5.3 case iii).
+                    let auth = self.private_auth_mask(owner, addr);
+                    self.invalidate_private(owner, addr);
+                    self.stats.invalidations += 1;
+                    self.stats.remote_forwards += 1;
+                    let granted =
+                        if self.recon.levels.covers_l2() { auth } else { RevealMask::default() };
+                    (self.cfg.lat.remote_fwd + self.cfg.lat.upgrade, granted)
+                }
+                DirState::Owned { .. } => {
+                    debug_assert!(false, "directory owner with no private copy");
+                    (self.cfg.lat.llc_hit, self.granted_from_dir(addr))
+                }
+                DirState::Shared(sharers) => {
+                    let others: Vec<usize> = sharers.iter().filter(|&s| s != core).collect();
+                    for &sharer in &others {
+                        // Invalidated readers lose their masks (footnote 1).
+                        let lost = self.private_auth_mask(sharer, addr);
+                        self.stats.mask_bits_lost_inval += u64::from(lost.count_revealed());
+                        self.invalidate_private(sharer, addr);
+                        self.stats.invalidations += 1;
+                    }
+                    self.stats.upgrades += 1;
+                    let lat = if others.is_empty() {
+                        self.cfg.lat.llc_hit
+                    } else {
+                        self.cfg.lat.llc_hit + self.cfg.lat.upgrade
+                    };
+                    (lat, self.granted_from_dir(addr))
+                }
+                DirState::Uncached => (self.cfg.lat.llc_hit, self.granted_from_dir(addr)),
+            };
+            self.dir.insert(line, DirState::Owned { owner: core });
+            self.stats.llc_hits += 1;
+            (lat, mask)
+        } else {
+            self.install_llc(addr);
+            self.dir.insert(line, DirState::Owned { owner: core });
+            self.stats.mem_fetches += 1;
+            (self.cfg.lat.mem, RevealMask::default())
+        }
+    }
+
+    /// Conceals the word at `addr` in `core`'s (Modified) private copy.
+    fn conceal_word(&mut self, core: usize, addr: u64) {
+        if !self.recon.enabled {
+            return;
+        }
+        let wi = word_index(addr);
+        self.cores[core].l1.update_mask(addr, |m| m.conceal(wi));
+        self.cores[core].l2.update_mask(addr, |m| m.conceal(wi));
+        self.stats.conceals += 1;
+    }
+
+    fn mask_for_l2(&self, mask: RevealMask) -> RevealMask {
+        if self.recon.levels.covers_l2() {
+            mask
+        } else {
+            RevealMask::default()
+        }
+    }
+
+    /// Downgrades `core`'s private copies of `addr` to Shared, setting
+    /// them to the authoritative mask.
+    fn demote_to_shared(&mut self, core: usize, addr: u64, auth: RevealMask) {
+        if self.cores[core].l1.state_of(addr).is_some() {
+            self.cores[core].l1.set_state(addr, Mesi::Shared);
+            self.cores[core].l1.set_mask(addr, auth);
+        }
+        if self.cores[core].l2.state_of(addr).is_some() {
+            self.cores[core].l2.set_state(addr, Mesi::Shared);
+            let m = self.mask_for_l2(auth);
+            self.cores[core].l2.set_mask(addr, m);
+        }
+    }
+
+    /// Drops `core`'s private copies of `addr` (invalidation).
+    fn invalidate_private(&mut self, core: usize, addr: u64) {
+        self.cores[core].l1.invalidate(addr);
+        self.cores[core].l2.invalidate(addr);
+    }
+
+    /// Installs a line in the LLC, back-invalidating the victim from all
+    /// private caches (in-cache directory: losing the LLC line loses the
+    /// directory entry and all reveal metadata).
+    fn install_llc(&mut self, addr: u64) {
+        if let Some(ev) = self.llc.fill(addr, Mesi::Shared, RevealMask::default()) {
+            let lost_dir = ev.mask.count_revealed();
+            let mut lost = u64::from(lost_dir);
+            for core in 0..self.cores.len() {
+                if self.cores[core].l1.state_of(ev.addr).is_some()
+                    || self.cores[core].l2.state_of(ev.addr).is_some()
+                {
+                    lost += u64::from(self.private_auth_mask(core, ev.addr).count_revealed());
+                    self.invalidate_private(core, ev.addr);
+                    self.stats.invalidations += 1;
+                }
+            }
+            self.stats.mask_bits_lost_evict += lost;
+            self.dir.remove(&line_of(ev.addr));
+        }
+    }
+
+    /// Fills `core`'s L1, folding the victim's mask into the L2 copy.
+    fn fill_l1(&mut self, core: usize, addr: u64, state: Mesi, mask: RevealMask) {
+        if let Some(ev) = self.cores[core].l1.fill(addr, state, mask) {
+            if self.recon.levels.covers_l2() {
+                let merged = self.cores[core].l2.update_mask(ev.addr, |m| {
+                    if ev.state == Mesi::Modified {
+                        *m = ev.mask; // owner writeback overwrites
+                    } else {
+                        m.merge_or(ev.mask); // reader eviction ORs
+                    }
+                });
+                if merged {
+                    self.stats.mask_merges += 1;
+                } else {
+                    self.stats.mask_bits_lost_evict += u64::from(ev.mask.count_revealed());
+                }
+            } else {
+                self.stats.mask_bits_lost_evict += u64::from(ev.mask.count_revealed());
+            }
+        }
+    }
+
+    /// Fills `core`'s L2 (enforcing inclusion on the victim) and notifies
+    /// the directory of the victim's departure.
+    fn fill_l2(&mut self, core: usize, addr: u64, state: Mesi, mask: RevealMask) {
+        let l2_mask = self.mask_for_l2(mask);
+        if let Some(ev) = self.cores[core].l2.fill(addr, state, l2_mask) {
+            // Inclusion: the victim may still be in the L1; its L1 mask is
+            // the freshest copy.
+            let auth = match self.cores[core].l1.invalidate(ev.addr) {
+                Some((_, l1_mask)) => l1_mask,
+                None => ev.mask,
+            };
+            self.notify_dir_evict(core, ev.addr, ev.state, auth);
+        }
+    }
+
+    /// A private cache evicted its copy: update sharer set and fold the
+    /// mask into the directory per the §5.3 rules.
+    fn notify_dir_evict(&mut self, core: usize, addr: u64, state: Mesi, mask: RevealMask) {
+        let line = line_of(addr);
+        let Some(dstate) = self.dir.get(&line).copied() else {
+            // The LLC already evicted the line (back-invalidation raced
+            // ahead); the metadata is gone.
+            self.stats.mask_bits_lost_evict += u64::from(mask.count_revealed());
+            return;
+        };
+        let next = match dstate {
+            DirState::Owned { owner } if owner == core => DirState::Uncached,
+            DirState::Shared(mut sharers) => {
+                sharers.remove(core);
+                if sharers.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(sharers)
+                }
+            }
+            other => other,
+        };
+        self.dir.insert(line, next);
+        if self.recon.levels.covers_llc() {
+            let updated = self.llc.update_mask(addr, |m| {
+                if state.owns_mask() {
+                    *m = mask; // writer writeback overwrites
+                } else {
+                    m.merge_or(mask); // reader eviction ORs
+                }
+            });
+            if updated {
+                self.stats.mask_merges += 1;
+            }
+        } else {
+            self.stats.mask_bits_lost_evict += u64::from(mask.count_revealed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon::ReconLevels;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(cores, MemConfig::scaled(), ReconConfig::default())
+    }
+
+    #[test]
+    fn cold_read_comes_from_memory_exclusive() {
+        let mut m = sys(1);
+        let r = m.read(0, 0x1000);
+        assert_eq!(r.served_by, ServedBy::Memory);
+        assert!(!r.revealed);
+        assert_eq!(m.l1_state(0, 0x1000), Some(Mesi::Exclusive));
+        assert_eq!(m.dir_state(0x1000), Some(DirState::Owned { owner: 0 }));
+    }
+
+    #[test]
+    fn second_read_hits_l1() {
+        let mut m = sys(1);
+        m.read(0, 0x1000);
+        let r = m.read(0, 0x1000);
+        assert_eq!(r.served_by, ServedBy::L1);
+        assert_eq!(r.latency, 2);
+    }
+
+    #[test]
+    fn reveal_then_read_reports_revealed() {
+        let mut m = sys(1);
+        m.read(0, 0x1008);
+        assert!(m.reveal(0, 0x1008));
+        let r = m.read(0, 0x1008);
+        assert!(r.revealed);
+        // A different word in the same line stays concealed.
+        assert!(!m.read(0, 0x1010).revealed);
+    }
+
+    #[test]
+    fn store_conceals_word() {
+        let mut m = sys(1);
+        m.read(0, 0x1008);
+        m.reveal(0, 0x1008);
+        assert!(m.read(0, 0x1008).revealed);
+        m.write(0, 0x1008);
+        assert!(!m.read(0, 0x1008).revealed, "performed store conceals");
+        assert_eq!(m.l1_state(0, 0x1008), Some(Mesi::Modified));
+    }
+
+    #[test]
+    fn store_to_exclusive_is_silent_upgrade() {
+        let mut m = sys(1);
+        m.read(0, 0x2000);
+        assert_eq!(m.l1_state(0, 0x2000), Some(Mesi::Exclusive));
+        let w = m.write(0, 0x2000);
+        assert_eq!(w.latency, 2, "no directory transaction");
+        assert_eq!(m.l1_state(0, 0x2000), Some(Mesi::Modified));
+    }
+
+    #[test]
+    fn sharing_downgrades_owner_and_carries_mask() {
+        let mut m = sys(2);
+        m.read(0, 0x3000);
+        m.reveal(0, 0x3000); // core 0 reveals locally in its L1
+        let r = m.read(1, 0x3000); // core 1 reads: owner downgraded
+        assert_eq!(r.served_by, ServedBy::RemoteCache);
+        assert!(r.revealed, "the reveal travelled with the c2c forward");
+        assert_eq!(m.l1_state(0, 0x3000), Some(Mesi::Shared));
+        assert_eq!(m.l1_state(1, 0x3000), Some(Mesi::Shared));
+        assert!(matches!(m.dir_state(0x3000), Some(DirState::Shared(s)) if s.len() == 2));
+    }
+
+    #[test]
+    fn writer_invalidates_sharers_and_their_masks_are_lost() {
+        let mut m = sys(2);
+        m.read(0, 0x3000);
+        m.read(1, 0x3000);
+        m.reveal(1, 0x3008); // core 1's private reveal (same line)
+        m.write(0, 0x3000); // core 0 upgrades: invalidates core 1
+        assert_eq!(m.l1_state(1, 0x3000), None);
+        assert_eq!(m.dir_state(0x3000), Some(DirState::Owned { owner: 0 }));
+        assert!(m.stats().mask_bits_lost_inval >= 1);
+        // Core 1 rereads: the word it revealed is concealed again (its
+        // mask copy was lost with the invalidation, and the writer's copy
+        // never had the bit).
+        assert!(!m.read(1, 0x3008).revealed);
+    }
+
+    #[test]
+    fn ownership_transfer_carries_mask_to_next_writer() {
+        let mut m = sys(2);
+        m.write(0, 0x4000); // core 0 owns M
+        m.reveal(0, 0x4008);
+        m.write(1, 0x4000); // core 1 takes ownership
+        // Mask travelled writer -> writer: core 1 sees word 1 revealed.
+        assert!(m.read(1, 0x4008).revealed);
+        assert_eq!(m.l1_state(0, 0x4000), None);
+    }
+
+    #[test]
+    fn concealed_overwrite_wins_over_stale_directory() {
+        let mut m = sys(2);
+        // Core 0 reveals and the directory learns via core 1's read.
+        m.read(0, 0x5008);
+        m.reveal(0, 0x5008);
+        m.read(1, 0x5008); // downgrade: dir mask = revealed
+        // Core 0 now writes the word: conceals in its private copy.
+        m.write(0, 0x5008);
+        // Core 1 rereads: must see concealed (owner's copy authoritative).
+        assert!(!m.read(1, 0x5008).revealed);
+    }
+
+    #[test]
+    fn reveal_requests_can_be_dropped() {
+        let mut m = sys(1);
+        assert!(!m.reveal(0, 0x6000), "line not cached anywhere");
+        assert_eq!(m.stats().reveals_dropped, 1);
+    }
+
+    #[test]
+    fn disabled_recon_never_reveals() {
+        let mut m = MemorySystem::new(1, MemConfig::scaled(), ReconConfig::disabled());
+        m.read(0, 0x1000);
+        assert!(!m.reveal(0, 0x1000));
+        assert!(!m.read(0, 0x1000).revealed);
+    }
+
+    #[test]
+    fn l1_only_coverage_loses_mask_on_l1_eviction() {
+        let cfg = ReconConfig { levels: ReconLevels::L1Only, ..ReconConfig::default() };
+        let mut m = MemorySystem::new(1, MemConfig::scaled(), cfg);
+        m.read(0, 0x0);
+        m.reveal(0, 0x0);
+        assert!(m.read(0, 0x0).revealed);
+        // Thrash the L1 set: scaled L1 is 2 KiB 8-way = 4 sets; lines
+        // mapping to set 0 are 256 B apart.
+        for i in 1..=8u64 {
+            m.read(0, i * 256);
+        }
+        assert_eq!(m.l1_state(0, 0x0), None, "line evicted from L1");
+        // With L1-only coverage the reveal is gone after refill.
+        assert!(!m.read(0, 0x0).revealed);
+        assert!(m.stats().mask_bits_lost_evict >= 1);
+    }
+
+    #[test]
+    fn full_coverage_preserves_mask_across_l1_eviction() {
+        let mut m = sys(1);
+        m.read(0, 0x0);
+        m.reveal(0, 0x0);
+        for i in 1..=8u64 {
+            m.read(0, i * 256);
+        }
+        assert_eq!(m.l1_state(0, 0x0), None, "line evicted from L1");
+        assert!(m.read(0, 0x0).revealed, "mask preserved in the L2");
+    }
+
+    #[test]
+    fn rmw_returns_pre_state_and_conceals() {
+        let mut m = sys(1);
+        m.read(0, 0x7008);
+        m.reveal(0, 0x7008);
+        let r = m.rmw(0, 0x7008);
+        assert!(r.revealed, "pre-write state was revealed");
+        assert!(!m.read(0, 0x7008).revealed, "rmw concealed the word");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = sys(1);
+        m.read(0, 0x0);
+        m.read(0, 0x0);
+        m.write(0, 0x40);
+        let s = m.stats();
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.mem_fetches, 2);
+        assert_eq!(s.stores_performed, 1);
+        m.reset_stats();
+        assert_eq!(m.stats().total_loads(), 0);
+    }
+
+    #[test]
+    fn directory_or_merge_across_consecutive_evictions() {
+        // Two cores reveal different words of the same line; both evict;
+        // the directory accumulates both via OR (§5.3).
+        let mut m = sys(2);
+        m.read(0, 0x0);
+        m.read(1, 0x0);
+        m.reveal(0, 0x0); // word 0 by core 0
+        m.reveal(1, 0x8); // word 1 by core 1
+        // Evict from both cores' private caches: thrash their L2 sets.
+        // Scaled L2 is 64 KiB 16-way = 64 sets; same-set stride = 4 KiB.
+        for i in 1..=16u64 {
+            m.read(0, i * 4096);
+            m.read(1, i * 4096);
+        }
+        assert_eq!(m.l2_state(0, 0x0), None);
+        assert_eq!(m.l2_state(1, 0x0), None);
+        // A third read finds both reveals accumulated in the directory.
+        let r0 = m.read(0, 0x0);
+        assert!(r0.revealed);
+        assert!(m.read(0, 0x8).revealed);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the coherent memory system: reveal/conceal
+//! metadata must follow the §5.3 rules under arbitrary interleavings of
+//! reads, writes, reveals, and RMWs from multiple cores.
+
+use proptest::prelude::*;
+
+use recon::ReconConfig;
+use recon_mem::{CacheGeometry, MemConfig, MemorySystem, Mesi};
+
+/// A memory-system operation from a random core on a small address pool.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Read { core: usize, addr: u64 },
+    Write { core: usize, addr: u64 },
+    Reveal { core: usize, addr: u64 },
+    Rmw { core: usize, addr: u64 },
+}
+
+/// Small pool: 8 lines × 8 words keeps collisions frequent.
+fn op() -> impl Strategy<Value = Op> {
+    let addr = (0u64..8, 0u64..8).prop_map(|(l, w)| l * 64 + w * 8);
+    (0usize..3, addr, 0u32..4).prop_map(|(core, addr, kind)| match kind {
+        0 => Op::Read { core, addr },
+        1 => Op::Write { core, addr },
+        2 => Op::Reveal { core, addr },
+        _ => Op::Rmw { core, addr },
+    })
+}
+
+fn tiny_config() -> MemConfig {
+    MemConfig {
+        l1: CacheGeometry::new(256, 2),  // 4 lines: heavy eviction
+        l2: CacheGeometry::new(512, 2),  // 8 lines
+        llc: CacheGeometry::new(1024, 2), // 16 lines
+        ..MemConfig::scaled()
+    }
+}
+
+proptest! {
+    /// Soundness of reveal state: a word may only be observed revealed
+    /// if it was revealed at some point after its last write. (Losing
+    /// reveals is always allowed; resurrecting concealed words never.)
+    #[test]
+    fn no_word_is_revealed_without_a_reveal_after_its_last_write(
+        ops in proptest::collection::vec(op(), 1..300),
+    ) {
+        let mut m = MemorySystem::new(3, tiny_config(), ReconConfig::default());
+        // Reference: per word, was there a reveal() since the last
+        // write (by anyone)? Writes conceal globally and coherently.
+        let mut may_be_revealed = std::collections::HashMap::<u64, bool>::new();
+        for op in ops {
+            match op {
+                Op::Read { core, addr } => {
+                    let r = m.read(core, addr);
+                    if r.revealed {
+                        prop_assert!(
+                            may_be_revealed.get(&addr).copied().unwrap_or(false),
+                            "{addr:#x} observed revealed with no prior reveal"
+                        );
+                    }
+                }
+                Op::Write { core, addr } => {
+                    m.write(core, addr);
+                    may_be_revealed.insert(addr, false);
+                }
+                Op::Reveal { core, addr } => {
+                    if m.reveal(core, addr) {
+                        may_be_revealed.insert(addr, true);
+                    }
+                }
+                Op::Rmw { core, addr } => {
+                    let r = m.rmw(core, addr);
+                    if r.revealed {
+                        prop_assert!(
+                            may_be_revealed.get(&addr).copied().unwrap_or(false),
+                            "{addr:#x} rmw-observed revealed with no prior reveal"
+                        );
+                    }
+                    may_be_revealed.insert(addr, false);
+                }
+            }
+        }
+    }
+
+    /// Coherence single-writer invariant: after any operation sequence,
+    /// at most one core holds a line writable, and if one does, no other
+    /// core holds it at all.
+    #[test]
+    fn single_writer_invariant(ops in proptest::collection::vec(op(), 1..300)) {
+        let mut m = MemorySystem::new(3, tiny_config(), ReconConfig::default());
+        for op in ops {
+            match op {
+                Op::Read { core, addr } => { m.read(core, addr); }
+                Op::Write { core, addr } => { m.write(core, addr); }
+                Op::Reveal { core, addr } => { m.reveal(core, addr); }
+                Op::Rmw { core, addr } => { m.rmw(core, addr); }
+            }
+            for line in 0..8u64 {
+                let addr = line * 64;
+                let states: Vec<Option<Mesi>> =
+                    (0..3).map(|c| m.l1_state(c, addr).max(m.l2_state(c, addr))).collect();
+                let writers = states.iter().flatten().filter(|s| s.writable()).count();
+                prop_assert!(writers <= 1, "line {line}: multiple writers {states:?}");
+                if writers == 1 {
+                    let holders = states.iter().flatten().count();
+                    prop_assert_eq!(
+                        holders, 1,
+                        "line {}: writer coexists with sharers {:?}", line, states
+                    );
+                }
+            }
+        }
+    }
+
+    /// Disabled ReCon never reports a revealed word, whatever happens.
+    #[test]
+    fn disabled_recon_reveals_nothing(ops in proptest::collection::vec(op(), 1..200)) {
+        let mut m = MemorySystem::new(2, tiny_config(), ReconConfig::disabled());
+        for op in ops {
+            match op {
+                Op::Read { core, addr } => {
+                    prop_assert!(!m.read(core % 2, addr).revealed);
+                }
+                Op::Write { core, addr } => { m.write(core % 2, addr); }
+                Op::Reveal { core, addr } => {
+                    prop_assert!(!m.reveal(core % 2, addr));
+                }
+                Op::Rmw { core, addr } => {
+                    prop_assert!(!m.rmw(core % 2, addr).revealed);
+                }
+            }
+        }
+    }
+}

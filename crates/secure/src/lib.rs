@@ -1,0 +1,47 @@
+//! # recon-secure
+//!
+//! Secure speculation schemes for the ReCon reproduction: the **unsafe
+//! baseline**, **NDA** (permissive propagation), and **STT** (speculative
+//! taint tracking), expressed as policies over a unified per-register
+//! *guard* mechanism that the out-of-order core (`recon-cpu`) enforces.
+//!
+//! The unification (documented in [`guard`]) is that both defenses key
+//! off the same quantity — the sequence number of the youngest
+//! speculative load a value derives from — compared against the core's
+//! *shadow frontier*:
+//!
+//! | scheme | guard placed on          | guard blocks                  |
+//! |--------|--------------------------|-------------------------------|
+//! | NDA    | the load's own dst       | *reading* the value           |
+//! | STT    | dst, propagated (YRoT)   | *executing* transmitters      |
+//!
+//! **ReCon** (the paper's contribution) lifts either defense for loads
+//! that read a *revealed* word: no guard is placed, so dependent loads
+//! issue immediately (§5.4).
+//!
+//! ```
+//! use recon_secure::{SchemeKind, SecureConfig, GuardTable};
+//!
+//! // The six evaluated configurations:
+//! let configs = [
+//!     SecureConfig::unsafe_baseline(),
+//!     SecureConfig::nda(), SecureConfig::nda_recon(),
+//!     SecureConfig::stt(), SecureConfig::stt_recon(),
+//! ];
+//! assert_eq!(configs[4].label(), "STT+ReCon");
+//!
+//! // STT taint propagation through a dependence chain:
+//! let mut g = GuardTable::new(16);
+//! g.set(1, 100);                                  // p1 <- speculative load #100
+//! let yrot = g.propagate([1], None, 0);           // add p2, p1, r0
+//! assert_eq!(yrot, Some(100));                    // p2 inherits the root
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod guard;
+pub mod scheme;
+
+pub use guard::{GuardTable, Seq};
+pub use scheme::{SchemeKind, SecureConfig};

@@ -1,0 +1,34 @@
+//! # recon-sim
+//!
+//! The full-system simulator and experiment runner of the ReCon
+//! reproduction: multicore [`System`]s (out-of-order cores + coherent
+//! hierarchy + functional memory), the five-way scheme matrix
+//! (baseline / NDA / NDA+ReCon / STT / STT+ReCon), and the metrics
+//! the paper reports (normalized IPC, normalized execution time,
+//! tainted-load ratios, overhead reductions).
+//!
+//! ```no_run
+//! use recon_sim::{Experiment, SchemeMatrix};
+//! use recon_workloads::{find, Scale, Suite};
+//!
+//! let bench = find(Suite::Spec2017, "xalancbmk", Scale::Quick).unwrap();
+//! let matrix: SchemeMatrix = Experiment::default().run_matrix(&bench);
+//! println!(
+//!     "STT: {:.3}  STT+ReCon: {:.3} (normalized IPC)",
+//!     matrix.normalized_ipc(&matrix.stt),
+//!     matrix.normalized_ipc(&matrix.stt_recon),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod report;
+pub mod scenarios;
+pub mod system;
+
+pub use experiment::{
+    geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
+};
+pub use system::{System, SystemResult};

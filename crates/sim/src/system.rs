@@ -1,0 +1,250 @@
+//! The full-system simulator: N out-of-order cores sharing a coherent
+//! memory hierarchy and a functional memory.
+
+use std::sync::Arc;
+
+use recon::ReconConfig;
+use recon_cpu::{Core, CoreConfig, CoreStats};
+use recon_isa::SparseMem;
+use recon_mem::{MemConfig, MemStats, MemorySystem};
+use recon_secure::SecureConfig;
+use recon_workloads::Workload;
+
+/// Result of a completed (or timed-out) system run.
+#[derive(Clone, Debug)]
+pub struct SystemResult {
+    /// Whether every core committed its `halt` within the budget.
+    pub completed: bool,
+    /// Cycles elapsed until the last core finished (the PARSEC "ROI
+    /// execution time" metric).
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+}
+
+impl SystemResult {
+    /// Total committed instructions across cores.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.cores.iter().map(|c| c.committed).sum()
+    }
+
+    /// Aggregate IPC (all cores' instructions over total cycles).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total committed guarded ("tainted") loads across cores
+    /// (Figure 7).
+    #[must_use]
+    pub fn guarded_loads(&self) -> u64 {
+        self.cores.iter().map(|c| c.guarded_loads_committed).sum()
+    }
+}
+
+/// A multicore system executing one [`Workload`].
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    mem: MemorySystem,
+    data: SparseMem,
+    cycle: u64,
+}
+
+impl System {
+    /// Builds a system sized for the workload's thread count.
+    #[must_use]
+    pub fn new(
+        workload: &Workload,
+        core_cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        secure: SecureConfig,
+        recon_cfg: ReconConfig,
+    ) -> Self {
+        // ReCon's hierarchy metadata is only active when the scheme
+        // stacks ReCon on top; the data structures are sized regardless.
+        let effective_recon =
+            if secure.recon { recon_cfg } else { ReconConfig { enabled: false, ..recon_cfg } };
+        let n = workload.num_threads();
+        let mem = MemorySystem::new(n, mem_cfg, effective_recon);
+        let data = SparseMem::from_image(&workload.program.image);
+        let program = Arc::new(workload.program.clone());
+        let cores = workload
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| {
+                let mut thread_program = (*program).clone();
+                thread_program.entry = spec.entry;
+                let mut core =
+                    Core::new(id, Arc::new(thread_program), core_cfg, secure, effective_recon);
+                for &(reg, value) in &spec.seeds {
+                    core.seed_reg(reg, value);
+                }
+                core
+            })
+            .collect();
+        System { cores, mem, data, cycle: 0 }
+    }
+
+    /// Immutable access to the cores (for observation-based analyses).
+    #[must_use]
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Mutable access to the cores (e.g. to enable observation capture).
+    pub fn cores_mut(&mut self) -> &mut [Core] {
+        &mut self.cores
+    }
+
+    /// The shared functional memory.
+    #[must_use]
+    pub fn data(&self) -> &SparseMem {
+        &self.data
+    }
+
+    /// The shared memory system.
+    #[must_use]
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Advances every core one cycle. Returns `true` while any core is
+    /// still running.
+    pub fn tick(&mut self) -> bool {
+        let now = self.cycle;
+        self.cycle += 1;
+        let mut busy = false;
+        for core in &mut self.cores {
+            busy |= core.tick(&mut self.mem, &mut self.data, now);
+        }
+        busy
+    }
+
+    /// Runs until every core halts or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> SystemResult {
+        let mut completed = true;
+        loop {
+            if !self.tick() {
+                break;
+            }
+            if self.cycle >= max_cycles {
+                completed = self.cores.iter().all(Core::is_done);
+                break;
+            }
+        }
+        SystemResult {
+            completed,
+            cycles: self.cycle,
+            cores: self.cores.iter().map(Core::stats).collect(),
+            mem: self.mem.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::reg::names::*;
+    use recon_workloads::gen::parallel::{generate, ParKind, ParallelParams};
+    use recon_workloads::Scale;
+
+    fn tiny_parallel(kind: ParKind) -> Workload {
+        generate(ParallelParams { kind, slots: 64, cond_lines: 4, passes: 2, seed: 1 })
+    }
+
+    fn run(workload: &Workload, secure: SecureConfig) -> SystemResult {
+        let mut sys = System::new(
+            workload,
+            CoreConfig::tiny(),
+            MemConfig::scaled(),
+            secure,
+            ReconConfig::default(),
+        );
+        let r = sys.run(10_000_000);
+        assert!(r.completed, "workload must finish");
+        r
+    }
+
+    #[test]
+    fn four_threads_reach_the_barrier_and_finish() {
+        for kind in [
+            ParKind::SharedChase,
+            ParKind::DataParallel { rotate: true },
+            ParKind::ProducerConsumer,
+        ] {
+            let w = tiny_parallel(kind);
+            let r = run(&w, SecureConfig::unsafe_baseline());
+            assert_eq!(r.cores.len(), 4, "{kind:?}");
+            assert!(r.cores.iter().all(|c| c.committed > 0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_results_identical_across_schemes() {
+        // Every thread's accumulator must match between baseline and
+        // secure schemes (architectural equivalence).
+        let w = tiny_parallel(ParKind::SharedChase);
+        let base = {
+            let mut sys = System::new(
+                &w,
+                CoreConfig::tiny(),
+                MemConfig::scaled(),
+                SecureConfig::unsafe_baseline(),
+                ReconConfig::default(),
+            );
+            sys.run(10_000_000);
+            sys.cores().iter().map(|c| c.arch_read(R5)).collect::<Vec<_>>()
+        };
+        for secure in [SecureConfig::stt(), SecureConfig::stt_recon(), SecureConfig::nda_recon()] {
+            let mut sys = System::new(
+                &w,
+                CoreConfig::tiny(),
+                MemConfig::scaled(),
+                secure,
+                ReconConfig::default(),
+            );
+            let r = sys.run(10_000_000);
+            assert!(r.completed, "{secure}");
+            let sums: Vec<u64> = sys.cores().iter().map(|c| c.arch_read(R5)).collect();
+            assert_eq!(sums, base, "{secure}");
+        }
+    }
+
+    #[test]
+    fn cross_core_reveal_sharing_happens() {
+        // SharedChase under STT+ReCon: reveals set by one core are
+        // consumed by others (revealed loads on cores that did not
+        // necessarily reveal them first).
+        let w = tiny_parallel(ParKind::SharedChase);
+        let mut sys = System::new(
+            &w,
+            CoreConfig::tiny(),
+            MemConfig::scaled(),
+            SecureConfig::stt_recon(),
+            ReconConfig::default(),
+        );
+        let r = sys.run(10_000_000);
+        assert!(r.completed);
+        assert!(r.mem.reveals_set > 0);
+        let revealed_users =
+            r.cores.iter().filter(|c| c.revealed_loads_committed > 0).count();
+        assert!(revealed_users >= 2, "at least two cores consumed reveals");
+    }
+
+    #[test]
+    fn spec_benchmark_runs_under_system() {
+        let b = recon_workloads::find(recon_workloads::Suite::Spec2017, "leela", Scale::Quick)
+            .unwrap();
+        let r = run(&b.workload, SecureConfig::stt());
+        assert!(r.ipc() > 0.1);
+    }
+}

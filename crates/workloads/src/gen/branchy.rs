@@ -1,0 +1,87 @@
+//! Branch-heavy generator — the `deepsjeng`/`exchange2`/`gobmk`
+//! character: dense, data-dependent control flow over in-cache data,
+//! little pointer dereferencing. Mispredictions (not taint delays)
+//! dominate, so secure schemes cost little and ReCon recovers little —
+//! the low-ratio end of the paper's Figure 9 correlation.
+
+use rand::Rng;
+use recon_isa::{reg::names::*, Asm, Program};
+
+use super::{mask_of, rng, STREAM_BASE};
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchyParams {
+    /// Decision-value array size (power of two).
+    pub values: u64,
+    /// Iterations.
+    pub iterations: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BranchyParams {
+    fn default() -> Self {
+        BranchyParams { values: 1024, iterations: 8192, seed: 6 }
+    }
+}
+
+/// Builds the branchy program: each iteration loads a value and runs a
+/// small decision cascade on its bits, accumulating different amounts
+/// per path.
+#[must_use]
+pub fn generate(p: BranchyParams) -> Program {
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+    for i in 0..p.values {
+        a.data(STREAM_BASE + i * 8, r.gen::<u64>() & 0xFFFF);
+    }
+    let vmask = mask_of(p.values * 8);
+    a.li(R26, STREAM_BASE).li(R5, 0).li(R20, 0).li(R22, 0).li(R23, p.iterations);
+    let top = a.here();
+    a.add(R10, R26, R20);
+    a.load(R2, R10, 0);
+    // Cascade on three bits of the loaded value.
+    for bit in 0..3u64 {
+        let els = a.new_label();
+        let done = a.new_label();
+        a.andi(R3, R2, 1 << bit);
+        a.beq(R3, R0, els);
+        a.addi(R5, R5, 3 + bit); // taken path
+        a.muli(R6, R2, 3);
+        a.jump(done);
+        a.bind(els);
+        a.addi(R5, R5, 1); // fall-through path
+        a.xor(R6, R2, R5);
+        a.bind(done);
+        a.shri(R2, R2, 1);
+    }
+    a.addi(R20, R20, 8).andi(R20, R20, vmask);
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, top);
+    a.halt();
+    a.assemble().expect("branchy generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::run_collect;
+
+    #[test]
+    fn terminates_and_accumulates() {
+        let p = generate(BranchyParams { values: 16, iterations: 64, seed: 1 });
+        let (trace, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+        assert!(state.read(R5) >= 64 * 3, "at least 3 per iteration");
+        let branches = trace.iter().filter(|t| t.taken.is_some()).count();
+        assert_eq!(branches, 64 * 4, "3 cascade + 1 loop branch per iter");
+    }
+
+    #[test]
+    fn no_dependent_load_pairs() {
+        let p = generate(BranchyParams::default());
+        let load_count = p.code.iter().filter(|i| i.is_load()).count();
+        assert_eq!(load_count, 1, "one load per iteration, never dereferenced");
+    }
+}

@@ -1,0 +1,128 @@
+//! Binary-search-tree descent generator — the `leela`/`astar` character:
+//! pointer-linked nodes, data-dependent descent branches (hard to
+//! predict), and moderate reuse concentrated near the root. ReCon
+//! reveals the hot upper levels quickly; the cold leaves stay concealed.
+
+use rand::Rng;
+use recon_isa::{reg::names::*, Asm, Program};
+
+use super::{rng, NODE_BASE, STREAM_BASE};
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BtreeParams {
+    /// Tree height (node count = `2^height - 1`).
+    pub height: u32,
+    /// Number of searches.
+    pub searches: u64,
+    /// RNG seed (search keys).
+    pub seed: u64,
+}
+
+impl Default for BtreeParams {
+    fn default() -> Self {
+        BtreeParams { height: 10, searches: 2048, seed: 5 }
+    }
+}
+
+/// Node layout at `NODE_BASE + idx*64`: `[key, left_ptr, right_ptr]`
+/// where `idx` follows heap order (children of `i` are `2i+1`, `2i+2`)
+/// and keys are the in-order ranks, making the structure a valid BST.
+///
+/// Each search descends from the root comparing a streamed key:
+///
+/// ```text
+/// n = root;
+/// for level in 0..height {
+///     k = n->key;               // pair with the hop that loaded n
+///     if (key < k) n = n->left; // pair
+///     else         n = n->right;
+/// }
+/// ```
+#[must_use]
+pub fn generate(p: BtreeParams) -> Program {
+    assert!((1..=20).contains(&p.height), "height 1..=20");
+    let nodes: u64 = (1 << p.height) - 1;
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+
+    let addr_of = |idx: u64| NODE_BASE + idx * 64;
+    // In-order rank of heap index = its position in an in-order walk.
+    fn fill(a: &mut Asm, idx: u64, lo: u64, hi: u64, nodes: u64) {
+        if idx >= nodes {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let node = NODE_BASE + idx * 64;
+        let left = 2 * idx + 1;
+        let right = 2 * idx + 2;
+        a.data(node, mid); // key
+        a.data(node + 8, if left < nodes { NODE_BASE + left * 64 } else { node });
+        a.data(node + 16, if right < nodes { NODE_BASE + right * 64 } else { node });
+        fill(a, left, lo, mid, nodes);
+        fill(a, right, mid + 1, hi, nodes);
+    }
+    fill(&mut a, 0, 0, nodes, nodes);
+    for i in 0..p.searches {
+        a.data(STREAM_BASE + i * 8, r.gen_range(0..nodes));
+    }
+
+    a.li(R26, STREAM_BASE).li(R5, 0);
+    a.li(R22, 0).li(R23, p.searches).li(R24, u64::from(p.height));
+    let top = a.here();
+    a.add(R10, R26, R20);
+    a.load(R2, R10, 0); // search key
+    a.li(R1, addr_of(0)); // n = root
+    a.li(R21, 0);
+    let descend = a.here();
+    a.load(R3, R1, 0); // k = n->key (pair with the hop)
+    let go_right = a.new_label();
+    let next = a.new_label();
+    a.bgeu(R2, R3, go_right); // data-dependent: ~50/50
+    a.load(R1, R1, 8); // n = n->left  (pair)
+    a.jump(next);
+    a.bind(go_right);
+    a.load(R1, R1, 16); // n = n->right (pair)
+    a.bind(next);
+    a.addi(R21, R21, 1);
+    a.bltu_to(R21, R24, descend);
+    a.add(R5, R5, R3); // accumulate the last key seen
+    a.addi(R20, R20, 8);
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, top);
+    a.halt();
+    a.assemble().expect("btree generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::run_collect;
+
+    #[test]
+    fn searches_terminate() {
+        let p = generate(BtreeParams { height: 5, searches: 32, seed: 1 });
+        let (trace, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+        // Each search descends `height` levels: 2 loads per level + key.
+        let loads = trace.iter().filter(|t| t.inst.is_load()).count();
+        assert_eq!(loads, 32 * (1 + 5 * 2));
+    }
+
+    #[test]
+    fn descent_branches_are_data_dependent() {
+        let p = generate(BtreeParams { height: 6, searches: 64, seed: 2 });
+        let (trace, _) = run_collect(&p, 1_000_000).unwrap();
+        let takens: Vec<bool> = trace.iter().filter_map(|t| t.taken).collect();
+        let taken_count = takens.iter().filter(|&&t| t).count();
+        // Mixed outcomes (not all taken / not all not-taken).
+        assert!(taken_count > takens.len() / 10);
+        assert!(taken_count < takens.len() * 9 / 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "height")]
+    fn rejects_zero_height() {
+        let _ = generate(BtreeParams { height: 0, searches: 1, seed: 1 });
+    }
+}

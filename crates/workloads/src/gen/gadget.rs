@@ -1,0 +1,471 @@
+//! The *gadget loop* generator — the central performance kernel of the
+//! evaluation.
+//!
+//! Each iteration loads a branch condition, branches on it, and (when
+//! taken) dereferences a pointer chain — the exact shape whose
+//! memory-level parallelism secure speculation schemes sacrifice and
+//! ReCon recovers:
+//!
+//! ```text
+//! cond = conds[i % cond_lines];        // latency grows with cond_lines
+//! if (cond) {                          // unresolved while cond in flight
+//!     p  = ptrs[i % slots];            // LD1 (completes under shadow)
+//!     v  = *p;  (… chain …)            // LD2..: delayed by NDA/STT
+//!     sum += v;
+//! }
+//! ```
+//!
+//! The loop body is unrolled 16× and individual unroll positions can be
+//! specialized:
+//!
+//! * **storing** iterations write the pointer back — the word is
+//!   concealed again and ReCon must re-reveal (§4.4);
+//! * **indirect** iterations compute the target address from *two*
+//!   loaded indices combined by ALU ops — there is no direct-dependence
+//!   load pair, so the leakage is invisible to ReCon (though not to
+//!   full DIFT): the Figure 4/9 coverage discriminator. Indirect
+//!   address arithmetic is also where NDA falls behind STT: NDA blocks
+//!   the ALU chain itself, STT only the final load;
+//! * with `cyclic`, the deepest chain level holds pointers back into
+//!   the pointer table and one extra dereference reads them — every
+//!   word in the chain is then eventually *dereferenced and revealed*,
+//!   which is what shrinks the tainted-load population (Figure 7).
+
+use rand::Rng;
+use recon_isa::{reg::names::*, Asm, Program};
+
+use super::{mask_of, permutation, rng, COND_BASE, PTR_BASE, TGT_BASE, TGT_LEVEL_STRIDE};
+
+/// Unroll factor of the gadget loop.
+pub const UNROLL: u64 = 16;
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GadgetParams {
+    /// Pointer-table entries (power of two, ≥ [`UNROLL`]).
+    pub slots: u64,
+    /// Branch-condition cache lines touched (power of two): the
+    /// speculation-window knob (beyond-LLC arrays keep branches
+    /// unresolved for a full memory latency).
+    pub cond_lines: u64,
+    /// Passes over the pointer table (pointer *reuse*: what lets
+    /// ReCon's reveals pay off).
+    pub passes: u64,
+    /// Dereference-chain depth (≥ 1) for direct iterations.
+    pub depth: u32,
+    /// Fraction (per 256) of conditions that are taken.
+    pub taken_per_256: u16,
+    /// How many of each 16 unrolled iterations store the pointer back.
+    pub stores_per_16: u8,
+    /// How many of each 16 unrolled iterations use indirect (two-source)
+    /// address computation.
+    pub indirect_per_16: u8,
+    /// How many of each 16 unrolled iterations use a **multi-source**
+    /// load (`ldx base+index*8`, §5.1.1): both address operands come
+    /// straight from loads, so pairs exist *per operand* — but only a
+    /// multi-source-capable LPT (`ReconConfig::multi_source`) detects
+    /// them.
+    pub multi_per_16: u8,
+    /// Close the chain: the deepest level points back into the pointer
+    /// table and is dereferenced once more, so every chain word is
+    /// revealed by some pair.
+    pub cyclic: bool,
+    /// Byte stride between dereference targets (8 = packed, 64 = one
+    /// target per cache line).
+    pub tgt_stride: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GadgetParams {
+    fn default() -> Self {
+        GadgetParams {
+            slots: 256,
+            cond_lines: 64,
+            passes: 4,
+            depth: 1,
+            taken_per_256: 256,
+            stores_per_16: 0,
+            indirect_per_16: 0,
+            multi_per_16: 0,
+            cyclic: false,
+            tgt_stride: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Base address of the secondary index table for indirect iterations.
+const IDX2_OFFSET: i64 = 0x8_0000;
+/// Offsets of the multi-source base/index tables within the pointer
+/// region, and their dedicated target region.
+const MS_BASE_OFFSET: i64 = 0x10_0000;
+const MS_IDX_OFFSET: i64 = 0x18_0000;
+const MS_TGT: u64 = TGT_BASE + TGT_LEVEL_STRIDE * 9;
+
+/// Emits one iteration body.
+fn emit_body(a: &mut Asm, p: &GadgetParams, cond_mask: u64, ptr_mask: u64, kind: BodyKind) {
+    a.add(R10, R26, R20);
+    a.load(R2, R10, 0); // cond load
+    let skip = a.new_label();
+    a.beq(R2, R0, skip);
+    a.add(R11, R27, R21);
+    match kind {
+        BodyKind::Indirect => {
+            // ia = idxa[i]; ib = idxb[i]; v = tgt[(ia + ib) * stride]
+            // (no direct load pair: the address source is an `add`;
+            // NDA additionally stalls the whole ALU chain). The index
+            // tables live at IDX2_OFFSET so they never alias the
+            // pointer table.
+            a.load(R3, R11, IDX2_OFFSET);
+            a.load(R4, R11, IDX2_OFFSET + (p.slots * 8) as i64);
+            a.add(R6, R3, R4);
+            a.muli(R6, R6, p.tgt_stride);
+            a.li(R7, TGT_BASE + TGT_LEVEL_STRIDE * 8);
+            a.add(R7, R7, R6);
+            a.load(R8, R7, 0);
+            a.add(R5, R5, R8);
+        }
+        BodyKind::Multi => {
+            // base = bases[i]; idx = idxs[i]; v = mem[base + idx*8].
+            // Both operands are pristine load results: two pairs per
+            // dereference for a multi-source LPT, none for the default.
+            a.load(R3, R11, MS_BASE_OFFSET);
+            a.load(R4, R11, MS_IDX_OFFSET);
+            a.loadidx(R6, R3, R4);
+            a.add(R5, R5, R6);
+        }
+        BodyKind::Direct { store } => {
+            a.load(R3, R11, 0); // LD1: the pointer
+            a.load(R4, R3, 0); // LD2: first dereference (pair)
+            for _ in 1..p.depth {
+                a.load(R4, R4, 0); // deeper links (each a pair)
+            }
+            if p.cyclic {
+                a.load(R4, R4, 0); // closes the cycle: reads a PTR word
+            }
+            a.add(R5, R5, R4);
+            if store {
+                // Write the pointer back: conceals the word and casts a
+                // store shadow until the address resolves.
+                a.store(R3, R11, 0);
+            }
+        }
+    }
+    a.bind(skip);
+    a.addi(R20, R20, 64).andi(R20, R20, cond_mask);
+    a.addi(R21, R21, 8).andi(R21, R21, ptr_mask);
+}
+
+#[derive(Clone, Copy)]
+enum BodyKind {
+    Direct { store: bool },
+    Indirect,
+    Multi,
+}
+
+/// Builds the gadget-loop program.
+///
+/// # Panics
+///
+/// Panics if `slots`/`cond_lines` are not powers of two, `slots` is
+/// smaller than [`UNROLL`], `depth` is 0, or the per-16 counts exceed 16.
+#[must_use]
+pub fn generate(p: GadgetParams) -> Program {
+    assert!(p.depth >= 1, "depth must be at least 1");
+    assert!(p.slots >= UNROLL, "slots must cover one unrolled group");
+    assert!(p.stores_per_16 <= 16 && p.indirect_per_16 <= 16, "per-16 counts are 0..=16");
+    assert!(
+        u64::from(p.stores_per_16) + u64::from(p.indirect_per_16) + u64::from(p.multi_per_16)
+            <= 16,
+        "storing and indirect positions must not overlap"
+    );
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+
+    // ---- data ----------------------------------------------------------
+    for i in 0..p.cond_lines {
+        let taken = u64::from(r.gen_range(0..256u32) < u32::from(p.taken_per_256));
+        a.data(COND_BASE + i * 64, taken);
+    }
+    // Index tables for indirect iterations (harmless if unused).
+    if p.indirect_per_16 > 0 {
+        let half = p.slots / 2;
+        for i in 0..2 * p.slots {
+            a.data(PTR_BASE + IDX2_OFFSET as u64 + i * 8, r.gen_range(0..half));
+        }
+        for i in 0..p.slots {
+            a.data(TGT_BASE + TGT_LEVEL_STRIDE * 8 + i * p.tgt_stride, i * 3 + 1);
+        }
+    }
+    if p.multi_per_16 > 0 {
+        for i in 0..p.slots {
+            a.data(
+                (PTR_BASE as i64 + MS_BASE_OFFSET) as u64 + i * 8,
+                MS_TGT + r.gen_range(0..p.slots) * 8,
+            );
+            a.data(
+                (PTR_BASE as i64 + MS_IDX_OFFSET) as u64 + i * 8,
+                r.gen_range(0..p.slots),
+            );
+        }
+        for i in 0..2 * p.slots {
+            a.data(MS_TGT + i * 8, i * 7 + 5);
+        }
+    }
+    // Pointer-chain levels for direct iterations.
+    for level in 0..p.depth {
+        let this = if level == 0 {
+            PTR_BASE
+        } else {
+            TGT_BASE + u64::from(level - 1) * TGT_LEVEL_STRIDE
+        };
+        let this_stride = if level == 0 { 8 } else { p.tgt_stride };
+        let next = TGT_BASE + u64::from(level) * TGT_LEVEL_STRIDE;
+        let perm = permutation(p.slots as usize, &mut r);
+        for (i, &t) in perm.iter().enumerate() {
+            a.data(this + i as u64 * this_stride, next + t as u64 * p.tgt_stride);
+        }
+    }
+    let last = TGT_BASE + u64::from(p.depth - 1) * TGT_LEVEL_STRIDE;
+    if p.cyclic {
+        // Deepest level points back into the pointer table.
+        let perm = permutation(p.slots as usize, &mut r);
+        for (i, &t) in perm.iter().enumerate() {
+            a.data(last + i as u64 * p.tgt_stride, PTR_BASE + t as u64 * 8);
+        }
+    } else {
+        for i in 0..p.slots {
+            a.data(last + i * p.tgt_stride, i * 3 + 1);
+        }
+    }
+
+    // ---- code ----------------------------------------------------------
+    let cond_mask = mask_of(p.cond_lines * 64);
+    let ptr_mask = mask_of(p.slots * 8);
+    let groups = (p.passes * p.slots / UNROLL).max(1);
+
+    // Which unroll positions are special.
+    let mut kinds = [BodyKind::Direct { store: false }; UNROLL as usize];
+    for k in 0..p.indirect_per_16 {
+        kinds[(k as usize) * 16 / usize::from(p.indirect_per_16.max(1))] = BodyKind::Indirect;
+    }
+    let mut placed_multi = 0;
+    for kind in kinds.iter_mut() {
+        if placed_multi == p.multi_per_16 {
+            break;
+        }
+        if matches!(kind, BodyKind::Direct { .. }) {
+            *kind = BodyKind::Multi;
+            placed_multi += 1;
+        }
+    }
+    let mut placed = 0;
+    for slot in (0..UNROLL as usize).rev() {
+        if placed == p.stores_per_16 {
+            break;
+        }
+        if matches!(kinds[slot], BodyKind::Direct { .. }) {
+            kinds[slot] = BodyKind::Direct { store: true };
+            placed += 1;
+        }
+    }
+
+    a.li(R26, COND_BASE).li(R27, PTR_BASE).li(R5, 0);
+    a.li(R20, 0).li(R21, 0).li(R22, 0).li(R23, groups);
+    let top = a.here();
+    for kind in kinds {
+        emit_body(&mut a, &p, cond_mask, ptr_mask, kind);
+    }
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, top);
+    a.halt();
+    a.assemble().expect("gadget generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::{run_collect, Inst, MemEffect};
+
+    #[test]
+    fn generates_valid_program_that_terminates() {
+        let p = generate(GadgetParams { slots: 16, cond_lines: 4, passes: 2, ..Default::default() });
+        let (trace, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+        assert!(trace.len() > 2 * 16 * 5, "does real work");
+    }
+
+    #[test]
+    fn direct_variant_contains_load_pairs() {
+        let p = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, ..Default::default() });
+        let (trace, _) = run_collect(&p, 100_000).unwrap();
+        let loads = trace.iter().filter(|r| r.inst.is_load()).count();
+        assert_eq!(loads, 16 * 3, "cond + LD1 + LD2 per iteration");
+    }
+
+    #[test]
+    fn depth_extends_the_chain() {
+        let shallow = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, depth: 1, ..Default::default() });
+        let deep = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, depth: 3, ..Default::default() });
+        let (t1, _) = run_collect(&shallow, 100_000).unwrap();
+        let (t3, _) = run_collect(&deep, 100_000).unwrap();
+        let l1 = t1.iter().filter(|r| r.inst.is_load()).count();
+        let l3 = t3.iter().filter(|r| r.inst.is_load()).count();
+        assert_eq!(l3 - l1, 16 * 2, "two extra loads per iteration");
+    }
+
+    #[test]
+    fn cyclic_adds_one_dereference_reading_ptr_words() {
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 1,
+            cyclic: true,
+            ..Default::default()
+        });
+        let (trace, _) = run_collect(&p, 100_000).unwrap();
+        // cond + LD1 + LD2 + cycle-closing load.
+        let loads = trace.iter().filter(|r| r.inst.is_load()).count();
+        assert_eq!(loads, 16 * 4);
+        // The final loads read PTR_BASE words.
+        let ptr_reads = trace
+            .iter()
+            .filter(|r| {
+                matches!(r.mem, MemEffect::Load { addr, .. }
+                    if (PTR_BASE..PTR_BASE + 16 * 8).contains(&addr))
+            })
+            .count();
+        assert_eq!(ptr_reads, 2 * 16, "LD1 + the cycle-closing load");
+    }
+
+    #[test]
+    fn not_taken_conditions_skip_the_body() {
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 8,
+            passes: 1,
+            taken_per_256: 0,
+            ..Default::default()
+        });
+        let (trace, _) = run_collect(&p, 100_000).unwrap();
+        let loads = trace.iter().filter(|r| r.inst.is_load()).count();
+        assert_eq!(loads, 16, "only the cond loads execute");
+    }
+
+    #[test]
+    fn stores_per_16_stores_real_slots() {
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 4,
+            stores_per_16: 2,
+            ..Default::default()
+        });
+        let (trace, _) = run_collect(&p, 100_000).unwrap();
+        let stores: Vec<u64> = trace
+            .iter()
+            .filter_map(|t| match t.mem {
+                MemEffect::Store { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores.len(), 4 * 2, "2 stores per group of 16, 4 groups");
+        assert!(stores.iter().all(|&a| (PTR_BASE..PTR_BASE + 16 * 8).contains(&a)));
+    }
+
+    #[test]
+    fn mixed_iterations_have_both_flavors() {
+        let p = generate(GadgetParams {
+            slots: 32,
+            cond_lines: 2,
+            passes: 2,
+            indirect_per_16: 4,
+            stores_per_16: 2,
+            ..Default::default()
+        });
+        // Static check: the unrolled body contains both muli-based
+        // (indirect) and store-containing (direct) iterations.
+        let mulis = p.code.iter().filter(|i| matches!(i, Inst::AluImm { kind: recon_isa::AluKind::Mul, .. })).count();
+        let stores = p.code.iter().filter(|i| i.is_store()).count();
+        assert_eq!(mulis, 4);
+        assert_eq!(stores, 2);
+        let (_, state) = run_collect(&p, 100_000).unwrap();
+        assert!(state.halted);
+    }
+
+    #[test]
+    fn stored_pointer_round_trips() {
+        // The store writes the same pointer back, so results match a
+        // store-free run.
+        let with = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 2,
+            stores_per_16: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        let without = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 2,
+            stores_per_16: 0,
+            seed: 3,
+            ..Default::default()
+        });
+        let (_, s1) = run_collect(&with, 100_000).unwrap();
+        let (_, s2) = run_collect(&without, 100_000).unwrap();
+        assert_eq!(s1.read(R5), s2.read(R5));
+    }
+
+    #[test]
+    fn pure_indirect_has_no_adjacent_load_pairs() {
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 1,
+            indirect_per_16: 16,
+            ..Default::default()
+        });
+        for w in p.code.windows(2) {
+            if let (Inst::Load { dst, .. }, Inst::Load { base, .. }) = (&w[0], &w[1]) {
+                assert_ne!(dst, base, "indirect variant must not form pairs");
+            }
+        }
+        let (_, state) = run_collect(&p, 100_000).unwrap();
+        assert!(state.halted);
+    }
+
+    #[test]
+    fn multi_iterations_emit_indexed_loads() {
+        let p = generate(GadgetParams {
+            slots: 32,
+            cond_lines: 2,
+            passes: 2,
+            multi_per_16: 4,
+            ..Default::default()
+        });
+        let ldx = p.code.iter().filter(|i| matches!(i, Inst::LoadIdx { .. })).count();
+        assert_eq!(ldx, 4);
+        let (_, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p1 = generate(GadgetParams { slots: 16, cond_lines: 4, seed: 9, ..Default::default() });
+        let p2 = generate(GadgetParams { slots: 16, cond_lines: 4, seed: 9, ..Default::default() });
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_specials_rejected() {
+        let _ = generate(GadgetParams {
+            stores_per_16: 10,
+            indirect_per_16: 10,
+            ..Default::default()
+        });
+    }
+}

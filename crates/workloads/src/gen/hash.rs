@@ -1,0 +1,172 @@
+//! Pointer-stream probe generator — the `xalancbmk`/`perlbench`
+//! character: a stream of *reference* words (bucket/entry pointers, as
+//! in a chained hash table or a DOM tree) dereferenced through a
+//! three-level chain with heavy reuse, under branch conditions loaded
+//! from a configurable-latency array.
+//!
+//! The pointer graph is **cyclic** (entries point back into the
+//! reference stream), so every word in the chain is eventually
+//! dereferenced by some load pair and becomes *revealed*: ReCon
+//! progressively strips the whole working set of its taints — the
+//! paper's best-case benchmarks in Figures 5–7.
+
+use rand::Rng;
+use recon_isa::{reg::names::*, Asm, Program};
+
+use super::{mask_of, rng, COND_BASE, NODE_BASE, PTR_BASE, STREAM_BASE};
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HashParams {
+    /// Distinct buckets (power of two) — the reuse set.
+    pub buckets: u64,
+    /// Lookup operations.
+    pub lookups: u64,
+    /// Reference-stream length (power of two).
+    pub keys: u64,
+    /// Branch-condition lines (power of two): larger ⇒ slower branch
+    /// resolution ⇒ longer speculation windows.
+    pub cond_lines: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HashParams {
+    fn default() -> Self {
+        HashParams { buckets: 256, lookups: 4096, keys: 1024, cond_lines: 512, seed: 4 }
+    }
+}
+
+/// Memory layout:
+/// * `STREAM_BASE + i*8` — reference stream: pointers into the bucket
+///   array;
+/// * `PTR_BASE + b*8` — bucket words holding entry pointers;
+/// * `NODE_BASE + b*64` — entries, whose first word points back into
+///   the reference stream (cyclic);
+/// * `COND_BASE + l*64` — branch conditions (all taken).
+///
+/// Each lookup walks four pair-forming loads:
+///
+/// ```text
+/// if (conds[c]) {                  // gate: resolves at cond latency
+///     bp = refs[i];                // reference load          (LD1)
+///     e  = *bp;                    // bucket -> entry          (pair)
+///     q  = *e;                     // entry -> stream word     (pair)
+///     v  = *q;                     // stream -> bucket pointer (pair)
+///     sum += v;
+/// }
+/// ```
+#[must_use]
+pub fn generate(p: HashParams) -> Program {
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+
+    for b in 0..p.buckets {
+        let entry = NODE_BASE + b * 64;
+        a.data(PTR_BASE + b * 8, entry); // bucket -> entry
+        // Entry points back into the reference stream (cyclic graph).
+        a.data(entry, STREAM_BASE + (b % p.keys) * 8);
+    }
+    for i in 0..p.keys {
+        let bucket = r.gen_range(0..p.buckets);
+        a.data(STREAM_BASE + i * 8, PTR_BASE + bucket * 8);
+    }
+    for l in 0..p.cond_lines {
+        a.data(COND_BASE + l * 64, 1);
+    }
+
+    let kmask = mask_of(p.keys * 8);
+    let cmask = mask_of(p.cond_lines * 64);
+    a.li(R26, STREAM_BASE).li(R27, COND_BASE).li(R5, 0);
+    a.li(R20, 0).li(R21, 0).li(R22, 0).li(R23, p.lookups);
+    let top = a.here();
+    a.add(R10, R27, R21);
+    a.load(R2, R10, 0); // cond load (latency knob)
+    let skip = a.new_label();
+    a.beq(R2, R0, skip);
+    a.add(R11, R26, R20);
+    a.load(R3, R11, 0); // LD1: reference (stream word)
+    a.load(R4, R3, 0); // bucket -> entry (pair)
+    a.load(R6, R4, 0); // entry -> stream word address (pair)
+    a.load(R7, R6, 0); // stream word: a bucket pointer (pair)
+    a.add(R5, R5, R7); // accumulate (pointer value; arithmetic only)
+    a.bind(skip);
+    a.addi(R20, R20, 8).andi(R20, R20, kmask);
+    a.addi(R21, R21, 64).andi(R21, R21, cmask);
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, top);
+    a.halt();
+    a.assemble().expect("hash generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::{run_collect, MemEffect};
+
+    #[test]
+    fn terminates_and_accumulates() {
+        let p = generate(HashParams {
+            buckets: 8,
+            lookups: 32,
+            keys: 16,
+            cond_lines: 4,
+            seed: 1,
+        });
+        let (_, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+        assert!(state.read(R5) > 0);
+    }
+
+    #[test]
+    fn every_lookup_is_a_four_load_pair_chain() {
+        let p = generate(HashParams {
+            buckets: 8,
+            lookups: 16,
+            keys: 16,
+            cond_lines: 2,
+            seed: 1,
+        });
+        let (trace, _) = run_collect(&p, 1_000_000).unwrap();
+        let loads = trace.iter().filter(|t| t.inst.is_load()).count();
+        // cond + reference + bucket + entry + stream per lookup.
+        assert_eq!(loads, 16 * 5);
+    }
+
+    #[test]
+    fn graph_is_cyclic_through_the_stream() {
+        let p = generate(HashParams {
+            buckets: 8,
+            lookups: 8,
+            keys: 8,
+            cond_lines: 2,
+            seed: 2,
+        });
+        let (trace, _) = run_collect(&p, 1_000_000).unwrap();
+        // The final chain load must read STREAM words again.
+        let stream_reads = trace
+            .iter()
+            .filter(|t| {
+                matches!(t.mem, MemEffect::Load { addr, .. }
+                    if (STREAM_BASE..STREAM_BASE + 8 * 8).contains(&addr))
+            })
+            .count();
+        assert_eq!(stream_reads, 2 * 8, "LD1 + the cycle-closing load");
+    }
+
+    #[test]
+    fn lookup_count_controls_length() {
+        let small = generate(HashParams { lookups: 64, ..Default::default() });
+        let large = generate(HashParams { lookups: 128, ..Default::default() });
+        let (t1, _) = run_collect(&small, 10_000_000).unwrap();
+        let (t2, _) = run_collect(&large, 10_000_000).unwrap();
+        assert!(t2.len() > t1.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(HashParams { seed: 11, ..Default::default() });
+        let b = generate(HashParams { seed: 11, ..Default::default() });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Interleaved linked-list traversal generator — the `mcf`/`omnetpp`
+//! character: several independent pointer rings chased round-robin
+//! (giving the baseline its memory-level parallelism) over a node
+//! working set that can exceed any cache level, with a cond-gated
+//! payload dereference per visit.
+//!
+//! Every hop and payload access is a direct-dependence load pair, so
+//! ReCon progressively reveals the node words — but with working sets
+//! beyond the LLC, evictions wash reveals away (the Figure 10
+//! capacity-sensitivity behaviour).
+
+use recon_isa::{reg::names::*, Asm, ArchReg, Program};
+
+use super::{mask_of, permutation, rng, COND_BASE, NODE_BASE, TGT_BASE};
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ListParams {
+    /// Number of nodes, split evenly among the chains (each node is one
+    /// 64-byte line).
+    pub nodes: u64,
+    /// Independent rings chased round-robin (1..=8).
+    pub chains: u64,
+    /// Visits per chain.
+    pub visits: u64,
+    /// Branch-condition lines (power of two): the speculation-window
+    /// knob.
+    pub cond_lines: u64,
+    /// Payload values table size.
+    pub payload_slots: u64,
+    /// RNG seed (node order permutation).
+    pub seed: u64,
+}
+
+impl Default for ListParams {
+    fn default() -> Self {
+        ListParams {
+            nodes: 1024,
+            chains: 8,
+            visits: 512,
+            cond_lines: 256,
+            payload_slots: 256,
+            seed: 2,
+        }
+    }
+}
+
+/// Node layout at `NODE_BASE + slot*64`: `[next_ptr, payload_ptr]`.
+///
+/// Each loop iteration visits one node of each chain:
+///
+/// ```text
+/// if (conds[ci]) {                 // gate: cond-latency knob
+///     v = *(n->payload);           // payload deref (two pairs)
+///     sum += v;
+/// }
+/// n = n->next;                     // hop (pair)
+/// ```
+#[must_use]
+pub fn generate(p: ListParams) -> Program {
+    assert!((1..=8).contains(&p.chains), "1..=8 chains supported");
+    assert!(p.nodes >= p.chains, "need at least one node per chain");
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+
+    // Random placement of nodes in memory.
+    let order = permutation(p.nodes as usize, &mut r);
+    let addr_of = |slot: usize| NODE_BASE + order[slot] as u64 * 64;
+    let per_chain = (p.nodes / p.chains) as usize;
+    let mut heads = Vec::new();
+    for c in 0..p.chains as usize {
+        let first = c * per_chain;
+        let last = first + per_chain - 1;
+        heads.push(addr_of(first));
+        for slot in first..=last {
+            let next = if slot == last { addr_of(first) } else { addr_of(slot + 1) };
+            let payload = TGT_BASE + (slot as u64 % p.payload_slots) * 8;
+            a.data(addr_of(slot), next);
+            a.data(addr_of(slot) + 8, payload);
+        }
+    }
+    for i in 0..p.payload_slots {
+        a.data(TGT_BASE + i * 8, i + 7);
+    }
+    for l in 0..p.cond_lines {
+        a.data(COND_BASE + l * 64, 1);
+    }
+
+    let cmask = mask_of(p.cond_lines * 64);
+    a.li(R26, COND_BASE).li(R5, 0).li(R20, 0).li(R22, 0).li(R23, p.visits);
+    for (c, &head) in heads.iter().enumerate() {
+        a.li(ArchReg::new(12 + c), head);
+    }
+    let top = a.here();
+    for c in 0..p.chains as usize {
+        // Chain registers live in R12..R19; R9..R11 are scratch.
+        let n = ArchReg::new(12 + c);
+        a.add(R10, R26, R20);
+        a.load(R9, R10, 0); // cond
+        let skip = a.new_label();
+        a.beq(R9, R0, skip);
+        a.load(R10, n, 8); // payload pointer (pair with the last hop)
+        a.load(R11, R10, 0); // payload value (pair)
+        a.add(R5, R5, R11);
+        a.bind(skip);
+        a.load(n, n, 0); // hop (pair)
+        a.addi(R20, R20, 64).andi(R20, R20, cmask);
+    }
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, top);
+    a.halt();
+    a.assemble().expect("list generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::run_collect;
+
+    fn small() -> ListParams {
+        ListParams {
+            nodes: 64,
+            chains: 4,
+            visits: 32,
+            cond_lines: 4,
+            payload_slots: 8,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn traverses_and_accumulates() {
+        let p = generate(small());
+        let (trace, state) = run_collect(&p, 1_000_000).unwrap();
+        assert!(state.halted);
+        // Per iteration: chains * (cond + payload ptr + payload + hop).
+        let loads = trace.iter().filter(|t| t.inst.is_load()).count();
+        assert_eq!(loads, 32 * 4 * 4);
+        // All conds taken: every visit accumulates >= 7.
+        assert!(state.read(R5) >= 32 * 4 * 7);
+    }
+
+    #[test]
+    fn rings_are_closed() {
+        // Visiting more times than the ring length must wrap, not fault.
+        let p = generate(ListParams { visits: 100, ..small() });
+        let (_, state) = run_collect(&p, 10_000_000).unwrap();
+        assert!(state.halted);
+    }
+
+    #[test]
+    fn chains_partition_the_nodes() {
+        let prm = small();
+        let p = generate(prm);
+        // Count distinct node lines in the image.
+        let node_words = p
+            .image
+            .iter()
+            .filter(|&(a, _)| (NODE_BASE..NODE_BASE + prm.nodes * 64).contains(&a))
+            .count();
+        assert_eq!(node_words as u64, prm.nodes * 2, "next + payload per node");
+    }
+
+    #[test]
+    #[should_panic(expected = "chains")]
+    fn rejects_too_many_chains() {
+        let _ = generate(ListParams { chains: 9, ..small() });
+    }
+}

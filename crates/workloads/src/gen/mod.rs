@@ -1,0 +1,108 @@
+//! Workload generators.
+//!
+//! Each generator builds a [`Program`](recon_isa::Program) (or a
+//! multithreaded [`Workload`](crate::Workload)) whose *character* —
+//! pointer-dereference rate, working-set size, branchiness, store rate,
+//! reuse — is controlled by a parameter struct. The named SPEC/PARSEC
+//! stand-ins in [`crate::spec2017`], [`crate::spec2006`], and
+//! [`crate::parsec`] are tuned instances of these generators.
+//!
+//! ## Register conventions
+//!
+//! * `R1..R9` — scratch
+//! * `R10..R15` — computed addresses
+//! * `R20..R27` — loop counters / offsets / bases
+//! * `R28..R30` — synchronization (parallel workloads)
+//! * `R31` — thread id (seeded by the simulator)
+//!
+//! ## Memory layout
+//!
+//! Each generator draws from disjoint regions so workloads can be
+//! composed; see the `*_BASE` constants.
+
+pub mod branchy;
+pub mod btree;
+pub mod gadget;
+pub mod hash;
+pub mod list;
+pub mod parallel;
+pub mod stencil;
+pub mod stream;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of branch-condition arrays.
+pub const COND_BASE: u64 = 0x0010_0000;
+/// Base address of pointer tables.
+pub const PTR_BASE: u64 = 0x0100_0000;
+/// Base address of dereference-target regions (one per chain level).
+pub const TGT_BASE: u64 = 0x0200_0000;
+/// Stride between dereference-target levels.
+pub const TGT_LEVEL_STRIDE: u64 = 0x0100_0000;
+/// Base address of streaming arrays.
+pub const STREAM_BASE: u64 = 0x1000_0000;
+/// Base address of node-based structures (lists, trees).
+pub const NODE_BASE: u64 = 0x2000_0000;
+/// Base address of synchronization words (barriers, flags).
+pub const SYNC_BASE: u64 = 0x4000_0000;
+
+/// Deterministic RNG for workload generation.
+#[must_use]
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A pseudo-random permutation of `0..n` (Fisher-Yates).
+#[must_use]
+pub fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        v.swap(i, rng.gen_range(0..=i));
+    }
+    v
+}
+
+/// Asserts `n` is a power of two and returns `n - 1` as a mask.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn mask_of(n: u64) -> u64 {
+    assert!(n.is_power_of_two(), "{n} must be a power of two");
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = rng(42);
+        let p = permutation(64, &mut r);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = permutation(16, &mut rng(7));
+        let b = permutation(16, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mask_of_powers() {
+        assert_eq!(mask_of(8), 7);
+        assert_eq!(mask_of(1024), 1023);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mask_of_rejects_non_powers() {
+        let _ = mask_of(12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Multithreaded (PARSEC-style) workload generators: four threads
+//! sharing one address space, synchronized by `amoadd` barriers.
+//!
+//! Three sharing patterns cover the behaviours Figure 8 measures:
+//!
+//! * [`ParKind::SharedChase`] — all threads dereference the *same*
+//!   read-only pointer table (`canneal`/`streamcluster` character).
+//!   A reveal by one core travels to the others through the directory
+//!   (§5.3), so ReCon's benefit compounds across cores.
+//! * [`ParKind::DataParallel`] — threads work disjoint partitions with a
+//!   barrier per pass (`blackscholes`/`swaptions` character); with
+//!   `rotate`, partitions shift every pass so each core inherits
+//!   reveals accumulated by another core.
+//! * [`ParKind::ProducerConsumer`] — thread 0 rewrites the shared table
+//!   each phase (concealing it) before the others dereference it
+//!   (`dedup`/`ferret` character): ReCon must re-reveal every phase and
+//!   the coherence protocol must keep the masks consistent.
+
+use recon_isa::{reg::names::*, Asm};
+
+use super::{mask_of, permutation, rng, COND_BASE, PTR_BASE, SYNC_BASE, TGT_BASE};
+use crate::workload::{ThreadSpec, Workload};
+
+/// Number of hardware threads in every PARSEC stand-in (Table 2 uses a
+/// 4-core system for the parallel benchmarks).
+pub const NUM_THREADS: usize = 4;
+
+/// Sharing pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParKind {
+    /// All threads chase the same shared pointers.
+    SharedChase,
+    /// Disjoint partitions with barriers; optionally rotating.
+    DataParallel {
+        /// Shift partitions by one thread every pass.
+        rotate: bool,
+    },
+    /// Thread 0 rewrites the table each phase before the rest read it.
+    ProducerConsumer,
+}
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelParams {
+    /// Sharing pattern.
+    pub kind: ParKind,
+    /// Shared pointer-table slots (power of two, divisible by 4).
+    pub slots: u64,
+    /// Condition lines per thread (power of two).
+    pub cond_lines: u64,
+    /// Barrier-delimited passes.
+    pub passes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelParams {
+    fn default() -> Self {
+        ParallelParams {
+            kind: ParKind::SharedChase,
+            slots: 256,
+            cond_lines: 16,
+            passes: 4,
+            seed: 8,
+        }
+    }
+}
+
+/// Emits an inline barrier: `amoadd` arrival on the phase counter, then
+/// spin until all `NUM_THREADS` arrived. Uses `R9`, `R1`, `R2`; expects
+/// `R30` = `SYNC_BASE`, `R28` = phase offset (advanced by 8), `R4` =
+/// thread count.
+fn emit_barrier(a: &mut Asm) {
+    a.add(R9, R30, R28);
+    a.li(R1, 1);
+    a.amoadd(R2, R9, 0, R1);
+    let spin = a.here();
+    a.load(R2, R9, 0);
+    a.bne_to(R2, R4, spin);
+    a.addi(R28, R28, 8);
+}
+
+/// Emits the dereference work loop: `count` iterations over pointers
+/// starting at the address in `R27`, with per-thread conditions based at
+/// `R26`. The condition cursor `R23` persists across passes (so large
+/// condition arrays keep streaming — the speculation-window knob).
+/// Clobbers `R2/R3/R6/R10/R11/R21/R25/R24`; accumulates into `R5`.
+fn emit_work_loop(a: &mut Asm, count: u64, cond_mask: u64, ptr_mask: u64) {
+    a.li(R21, 0).li(R25, 0).li(R24, count);
+    let top = a.here();
+    a.add(R10, R26, R23);
+    a.load(R2, R10, 0); // per-thread condition
+    let skip = a.new_label();
+    a.beq(R2, R0, skip);
+    a.add(R11, R27, R21);
+    a.load(R3, R11, 0); // LD1: shared pointer
+    a.load(R6, R3, 0); // LD2: dereference (pair)
+    a.add(R5, R5, R6);
+    a.bind(skip);
+    a.addi(R23, R23, 64).andi(R23, R23, cond_mask);
+    a.addi(R21, R21, 8).andi(R21, R21, ptr_mask);
+    a.addi(R25, R25, 1);
+    a.bltu_to(R25, R24, top);
+}
+
+/// Builds a 4-thread workload. All threads share the program and start
+/// at entry 0 with their id seeded in `R31`.
+///
+/// # Panics
+///
+/// Panics if `slots` is not a power of two divisible by 4, or
+/// `cond_lines` is not a power of two.
+#[must_use]
+pub fn generate(p: ParallelParams) -> Workload {
+    assert!(p.slots.is_multiple_of(4), "slots must divide into 4 partitions");
+    let mut r = rng(p.seed);
+    let mut a = Asm::new();
+
+    // Shared pointer table and targets.
+    let perm = permutation(p.slots as usize, &mut r);
+    for (i, &t) in perm.iter().enumerate() {
+        a.data(PTR_BASE + i as u64 * 8, TGT_BASE + t as u64 * 8);
+    }
+    for i in 0..p.slots {
+        a.data(TGT_BASE + i * 8, i + 11);
+    }
+    // Per-thread condition regions (always taken: parallel kernels are
+    // loop-heavy, their speculation comes from bounds-style branches).
+    for t in 0..NUM_THREADS as u64 {
+        for i in 0..p.cond_lines {
+            a.data(COND_BASE + t * p.cond_lines * 64 + i * 64, 1);
+        }
+    }
+    // Barrier counters (one per phase; generously sized).
+    let phases = p.passes * 2 + 2;
+    for ph in 0..phases {
+        a.data(SYNC_BASE + ph * 8, 0);
+    }
+
+    let cond_mask = mask_of(p.cond_lines * 64);
+    let ptr_mask = mask_of(p.slots * 8);
+    let quarter = p.slots / 4;
+
+    // Common prologue. R31 = thread id (seeded by the simulator).
+    a.li(R30, SYNC_BASE);
+    a.li(R28, 0);
+    a.li(R23, 0); // persistent condition cursor
+    a.li(R4, NUM_THREADS as u64);
+    a.li(R5, 0);
+    // Per-thread condition base: R26 = COND_BASE + tid * region.
+    a.li(R26, COND_BASE);
+    a.muli(R1, R31, p.cond_lines * 64);
+    a.add(R26, R26, R1);
+    a.li(R22, 0); // pass counter
+
+    let pass_top = a.here();
+    match p.kind {
+        ParKind::SharedChase => {
+            a.li(R27, PTR_BASE);
+            emit_work_loop(&mut a, p.slots, cond_mask, ptr_mask);
+            emit_barrier(&mut a);
+        }
+        ParKind::DataParallel { rotate } => {
+            // partition = (tid + pass * rotate) & 3
+            if rotate {
+                a.add(R1, R31, R22);
+            } else {
+                a.add(R1, R31, R0);
+            }
+            a.andi(R1, R1, 3);
+            a.muli(R1, R1, quarter * 8);
+            a.li(R27, PTR_BASE);
+            a.add(R27, R27, R1);
+            // Partition-local wrap: iterate exactly `quarter` pointers
+            // linearly (no mask wrap needed since count == quarter).
+            emit_work_loop(&mut a, quarter, cond_mask, ptr_mask);
+            emit_barrier(&mut a);
+        }
+        ParKind::ProducerConsumer => {
+            // Phase A: thread 0 rewrites every pointer (conceal).
+            let not_producer = a.new_label();
+            a.bne(R31, R0, not_producer);
+            a.li(R27, PTR_BASE);
+            a.li(R20, 0);
+            let wtop = a.here();
+            a.add(R11, R27, R20);
+            a.load(R3, R11, 0);
+            a.store(R3, R11, 0); // same value back: conceals the word
+            a.addi(R20, R20, 8);
+            a.li(R2, p.slots * 8);
+            a.bltu_to(R20, R2, wtop);
+            a.bind(not_producer);
+            emit_barrier(&mut a);
+            // Phase B: everyone dereferences the shared table twice
+            // (produced data is typically consumed more than once, which
+            // is what lets the re-reveals pay off).
+            a.li(R27, PTR_BASE);
+            emit_work_loop(&mut a, p.slots, cond_mask, ptr_mask);
+            emit_work_loop(&mut a, p.slots, cond_mask, ptr_mask);
+            emit_barrier(&mut a);
+        }
+    }
+    a.addi(R22, R22, 1);
+    a.li(R1, p.passes);
+    a.bltu_to(R22, R1, pass_top);
+    a.halt();
+
+    let program = a.assemble().expect("parallel generator emits valid programs");
+    let threads = (0..NUM_THREADS)
+        .map(|t| ThreadSpec { entry: 0, seeds: vec![(R31, t as u64)] })
+        .collect();
+    Workload { program, threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_threads() {
+        let w = generate(ParallelParams::default());
+        assert_eq!(w.num_threads(), NUM_THREADS);
+        assert_eq!(w.threads[2].seeds, vec![(R31, 2)]);
+        assert!(w.program.validate().is_ok());
+    }
+
+    #[test]
+    fn all_kinds_assemble() {
+        for kind in [
+            ParKind::SharedChase,
+            ParKind::DataParallel { rotate: false },
+            ParKind::DataParallel { rotate: true },
+            ParKind::ProducerConsumer,
+        ] {
+            let w = generate(ParallelParams { kind, slots: 64, cond_lines: 4, passes: 2, seed: 1 });
+            assert!(w.program.validate().is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions")]
+    fn rejects_unpartitionable_slots() {
+        let _ = generate(ParallelParams { slots: 6, ..Default::default() });
+    }
+}

@@ -1,0 +1,88 @@
+//! Streaming generator: sequential array traversal with optional
+//! stores — the `lbm`/`bwaves`/`imagick` character. No pointer
+//! dereferences, predictable branches: secure speculation schemes lose
+//! almost nothing here and ReCon has nothing to recover (the paper's
+//! "no room to boost" benchmarks).
+
+use recon_isa::{reg::names::*, Asm, Program};
+
+use super::STREAM_BASE;
+
+/// Parameters of [`generate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamParams {
+    /// Array elements (8-byte words).
+    pub elements: u64,
+    /// Passes over the array.
+    pub passes: u64,
+    /// Write back `a[i] = a[i] + c` instead of only summing.
+    pub writes: bool,
+    /// Element stride in words (1 = dense, 8 = one per line).
+    pub stride_words: u64,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        StreamParams { elements: 4096, passes: 2, writes: false, stride_words: 1 }
+    }
+}
+
+/// Builds the streaming program.
+#[must_use]
+pub fn generate(p: StreamParams) -> Program {
+    let mut a = Asm::new();
+    for i in 0..p.elements {
+        a.data(STREAM_BASE + i * 8 * p.stride_words, i + 1);
+    }
+    a.li(R5, 0).li(R22, 0).li(R23, p.passes);
+    let pass = a.here();
+    a.li(R10, STREAM_BASE).li(R20, 0).li(R21, p.elements);
+    let top = a.here();
+    a.load(R2, R10, 0);
+    a.add(R5, R5, R2);
+    if p.writes {
+        a.addi(R2, R2, 1);
+        a.store(R2, R10, 0);
+    }
+    a.addi(R10, R10, 8 * p.stride_words);
+    a.addi(R20, R20, 1);
+    a.bltu_to(R20, R21, top);
+    a.addi(R22, R22, 1);
+    a.bltu_to(R22, R23, pass);
+    a.halt();
+    a.assemble().expect("stream generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::run_collect;
+
+    #[test]
+    fn sums_the_array() {
+        let p = generate(StreamParams { elements: 16, passes: 1, ..Default::default() });
+        let (_, state) = run_collect(&p, 100_000).unwrap();
+        assert!(state.halted);
+        assert_eq!(state.read(R5), (1..=16).sum::<u64>());
+    }
+
+    #[test]
+    fn writes_mutate_for_next_pass() {
+        let p = generate(StreamParams { elements: 4, passes: 2, writes: true, stride_words: 1 });
+        let (_, state) = run_collect(&p, 100_000).unwrap();
+        // Pass 1 sums 1..=4 (10) and increments; pass 2 sums 2..=5 (14).
+        assert_eq!(state.read(R5), 24);
+    }
+
+    #[test]
+    fn contains_no_dependent_load_pairs() {
+        let p = generate(StreamParams::default());
+        for w in p.code.windows(2) {
+            if let (recon_isa::Inst::Load { dst, .. }, recon_isa::Inst::Load { base, .. }) =
+                (&w[0], &w[1])
+            {
+                assert_ne!(dst, base);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Workload and benchmark descriptors.
+
+use recon_isa::{ArchReg, Program};
+
+/// Which benchmark suite a stand-in belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Suite {
+    /// SPEC CPU2017 speed stand-ins (single-thread).
+    Spec2017,
+    /// SPEC CPU2006 stand-ins (single-thread).
+    Spec2006,
+    /// PARSEC stand-ins (4-thread shared-memory).
+    Parsec,
+}
+
+impl core::fmt::Display for Suite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Suite::Spec2017 => "SPEC2017",
+            Suite::Spec2006 => "SPEC2006",
+            Suite::Parsec => "PARSEC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runnable workload: one program plus per-thread entry points and
+/// initial register seeds.
+///
+/// Single-thread workloads have one thread whose entry is the program
+/// entry. Multithreaded workloads share the code and memory image; each
+/// thread starts at its own entry with its own seeds (e.g. a thread id).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The shared program (code + initial memory image).
+    pub program: Program,
+    /// Per-thread `(entry pc, register seeds)`.
+    pub threads: Vec<ThreadSpec>,
+}
+
+/// One hardware thread's starting state.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadSpec {
+    /// Entry instruction index.
+    pub entry: usize,
+    /// Initial architectural register values.
+    pub seeds: Vec<(ArchReg, u64)>,
+}
+
+impl Workload {
+    /// A single-thread workload starting at the program entry.
+    #[must_use]
+    pub fn single(program: Program) -> Self {
+        let entry = program.entry;
+        Workload { program, threads: vec![ThreadSpec { entry, seeds: Vec::new() }] }
+    }
+
+    /// Number of hardware threads required.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// A named benchmark stand-in.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Name of the benchmark this stands in for (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Its suite.
+    pub suite: Suite,
+    /// The workload to run.
+    pub workload: Workload,
+}
+
+impl Benchmark {
+    /// Creates a single-thread benchmark.
+    #[must_use]
+    pub fn single(name: &'static str, suite: Suite, program: Program) -> Self {
+        Benchmark { name, suite, workload: Workload::single(program) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_isa::Asm;
+
+    #[test]
+    fn single_workload_has_one_thread() {
+        let mut a = Asm::new();
+        a.halt();
+        let w = Workload::single(a.assemble().unwrap());
+        assert_eq!(w.num_threads(), 1);
+        assert_eq!(w.threads[0].entry, 0);
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Spec2017.to_string(), "SPEC2017");
+        assert_eq!(Suite::Parsec.to_string(), "PARSEC");
+    }
+}

@@ -1,0 +1,87 @@
+//! Leakage characterization with the Clueless-style DIFT tool (§6.2).
+//!
+//! Analyzes a handful of benchmark stand-ins and prints how much of
+//! their address space leaks through non-speculative execution — under
+//! full dynamic information-flow tracking versus the direct
+//! load-pair subset that ReCon's LPT can capture (the paper's Figure 4
+//! metric), plus a demonstration of why constant-time code leaks
+//! nothing.
+//!
+//! Run with: `cargo run --release --example leakage_analysis`
+
+use recon_dift::analyze_program;
+use recon_isa::{reg::names::*, Asm};
+use recon_workloads::{find, Scale, Suite};
+
+fn main() {
+    println!("per-benchmark leakage (fraction of touched address space):\n");
+    println!("{:<12} {:>8} {:>8} {:>10}", "benchmark", "DIFT", "pairs", "coverage");
+    for name in ["mcf", "xalancbmk", "gcc", "cactuBSSN", "lbm", "leela"] {
+        let b = find(Suite::Spec2017, name, Scale::Quick).expect("benchmark exists");
+        let r = analyze_program(&b.workload.program, 50_000_000).expect("terminates");
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>9.1}%",
+            name,
+            r.dift_fraction() * 100.0,
+            r.pair_fraction() * 100.0,
+            r.coverage() * 100.0,
+        );
+    }
+
+    println!();
+    println!("why coverage matters: ReCon only reveals what load pairs leak.");
+    println!("cactuBSSN computes addresses with ALU ops between loads, so its");
+    println!("leakage is DIFT-only — and ReCon recovers little there (Fig. 9).");
+    println!();
+
+    // The §3.2 lesson: a secret-dependent lookup leaks; the constant-time
+    // version of the same computation does not.
+    let mut leaky = Asm::new();
+    leaky.data(0x100, 3); // the secret selector
+    for i in 0..8u64 {
+        leaky.data(0x200 + i * 8, 100 + i); // AES_KEYS
+    }
+    leaky.li(R1, 0x100).load(R2, R1, 0); // selector = ...
+    leaky.shli(R2, R2, 3);
+    leaky.li(R3, 0x200).add(R3, R3, R2);
+    leaky.load(R4, R3, 0); // key = AES_KEYS[selector]  <- leaks!
+    leaky.halt();
+    let leaky_report = analyze_program(&leaky.assemble().unwrap(), 1000).unwrap();
+
+    let mut ct = Asm::new();
+    ct.data(0x100, 3);
+    for i in 0..8u64 {
+        ct.data(0x200 + i * 8, 100 + i);
+    }
+    ct.li(R1, 0x100).load(R2, R1, 0); // selector
+    ct.li(R5, 0).li(R6, 0).li(R7, 8);
+    let top = ct.here();
+    // Constant-time select: access *every* key, mask the match.
+    ct.shli(R8, R6, 3);
+    ct.li(R9, 0x200);
+    ct.add(R9, R9, R8);
+    ct.load(R10, R9, 0); // tmp = AES_KEYS[i] (index from induction!)
+    ct.xor(R11, R6, R2);
+    ct.alu(recon_isa::AluKind::Sltu, R11, R0, R11); // 1 if i != selector
+    ct.li(R12, 1);
+    ct.sub(R11, R12, R11); // 1 if i == selector
+    ct.mul(R11, R11, R10);
+    ct.or(R5, R5, R11); // key |= mask & tmp
+    ct.addi(R6, R6, 1);
+    ct.bltu_to(R6, R7, top);
+    ct.halt();
+    let ct_report = analyze_program(&ct.assemble().unwrap(), 10_000).unwrap();
+
+    println!("secret-dependent key lookup (insecure, §3.2):");
+    println!(
+        "  leaked words: {} (the selector's address is a leakage point: {})",
+        leaky_report.dift_leaked,
+        if leaky_report.dift_leaked > 0 { "yes" } else { "no" },
+    );
+    println!("constant-time key selection (recommended):");
+    println!(
+        "  leaked words: {} — the selector never becomes an address, so the",
+        ct_report.dift_leaked
+    );
+    println!("  ReCon threat model never declassifies it.");
+}

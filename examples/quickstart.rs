@@ -1,0 +1,85 @@
+//! Quickstart: the ReCon mechanism end to end, in one file.
+//!
+//! Builds a Spectre-style gadget (a bounds check gating a pointer
+//! dereference), runs it on the out-of-order core under the unsafe
+//! baseline, STT, and STT+ReCon, and prints what each configuration
+//! costs — demonstrating that the defense delays the dependent load and
+//! that ReCon lifts the delay once the pointer has leaked
+//! non-speculatively.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use recon_isa::{reg::names::*, Asm};
+use recon_secure::SecureConfig;
+use recon_sim::Experiment;
+use recon_workloads::Workload;
+
+fn main() {
+    // A toy victim: repeatedly executes
+    //     if (cond[i]) { p = table[i]; v = *p; sum += v; }
+    // where `cond[i]` misses the cache (so the branch stays unresolved
+    // while the dereference chain wants to execute speculatively).
+    let slots: u64 = 64;
+    let passes: u64 = 8;
+    let cond_lines: u64 = 8192; // streams past every cache level
+    let mut a = Asm::new();
+    for i in 0..cond_lines {
+        a.data(0x10_0000 + i * 64, 1); // conditions: one per line
+    }
+    for i in 0..slots {
+        a.data(0x20_0000 + i * 8, 0x30_0000 + ((i * 17) % slots) * 8);
+        a.data(0x30_0000 + i * 8, i + 1);
+    }
+    a.li(R8, 0).li(R9, passes).li(R5, 0);
+    a.li(R12, 0x10_0000).li(R13, 0); // streaming condition cursor
+    let outer = a.here();
+    a.li(R11, 0x20_0000).li(R6, 0).li(R7, slots);
+    let top = a.here();
+    a.add(R10, R12, R13);
+    a.load(R2, R10, 0); // the slow bounds check (always a fresh line)
+    let skip = a.new_label();
+    a.beq(R2, R0, skip);
+    a.load(R3, R11, 0); // LD1: load the pointer
+    a.load(R4, R3, 0); // LD2: dereference it (a ReCon load pair)
+    a.add(R5, R5, R4);
+    a.bind(skip);
+    a.addi(R13, R13, 64).andi(R13, R13, cond_lines * 64 - 1);
+    a.addi(R11, R11, 8).addi(R6, R6, 1);
+    a.bltu_to(R6, R7, top);
+    a.addi(R8, R8, 1);
+    a.bltu_to(R8, R9, outer);
+    a.halt();
+    let workload = Workload::single(a.assemble().expect("valid program"));
+
+    let exp = Experiment::default();
+    println!("running the gadget under three configurations...\n");
+    let base = exp.run(&workload, SecureConfig::unsafe_baseline());
+    let stt = exp.run(&workload, SecureConfig::stt());
+    let sttr = exp.run(&workload, SecureConfig::stt_recon());
+
+    println!("{:<14} {:>9} {:>7} {:>15} {:>15}", "config", "cycles", "IPC", "tainted loads", "revealed loads");
+    for (name, r) in [("unsafe", &base), ("STT", &stt), ("STT+ReCon", &sttr)] {
+        println!(
+            "{:<14} {:>9} {:>7.3} {:>15} {:>15}",
+            name,
+            r.cycles,
+            r.ipc(),
+            r.guarded_loads(),
+            r.cores[0].revealed_loads_committed,
+        );
+    }
+    println!();
+    println!(
+        "STT overhead: {:.1}%  ->  STT+ReCon overhead: {:.1}%",
+        (stt.cycles as f64 / base.cycles as f64 - 1.0) * 100.0,
+        (sttr.cycles as f64 / base.cycles as f64 - 1.0) * 100.0,
+    );
+    println!();
+    println!("What happened: the first pass dereferences each pointer");
+    println!("non-speculatively, so ReCon's load-pair table reveals the pointer");
+    println!("words through the cache hierarchy ({} reveal requests).", sttr.mem.reveals_set);
+    println!("On later passes the loads hit revealed words, are not tainted,");
+    println!("and the dependent dereferences issue without waiting for the");
+    println!("bounds check to resolve — recovering the lost memory-level");
+    println!("parallelism exactly as in the paper's Figure 6.");
+}

@@ -1,0 +1,113 @@
+//! Security demonstration: what an attacker can and cannot observe.
+//!
+//! Reconstructs the paper's running example (§1): a secret sits at an
+//! address the program only accesses speculatively. Under the unsafe
+//! baseline the dependent "transmitter" load executes speculatively and
+//! touches a secret-dependent cache line (observable!). Under STT it is
+//! delayed. Under STT+ReCon it is *still* delayed — unless the value
+//! previously leaked through non-speculative execution, in which case
+//! nothing new can leak (the SPT security definition).
+//!
+//! Run with: `cargo run --release --example spectre_gadget`
+
+use recon_isa::{reg::names::*, Asm, Program};
+use recon_secure::SecureConfig;
+use recon_sim::scenarios::{run_table1, table1_scenario};
+use recon_sim::System;
+use recon_workloads::Workload;
+
+/// Builds the classic Spectre v1 shape with a *never-leaked* secret:
+/// `if (x < size) { y = a[x]; z = b[y]; }` where the in-bounds check
+/// mispredicts and `a[x]` reads the secret.
+fn build_gadget(reveal_first: bool) -> (Program, usize) {
+    let mut a = Asm::new();
+    a.data(0x100, 0xDEAD_BEE8); // THE SECRET (a plausible address value)
+    a.data(0x200, 0); // `size` = 0: the in-bounds check always fails
+    a.data(0xDEAD_BEE8, 1); // the probe array line the secret selects
+    if reveal_first {
+        // The program itself dereferences the secret non-speculatively
+        // first (e.g. sloppy non-constant-time code): per the threat
+        // model the value is now public.
+        a.li(R1, 0x100);
+        a.load(R2, R1, 0);
+        a.load(R3, R2, 0); // pair: reveals 0x100
+        a.and(R9, R3, R0); // serialize the gadget behind the reveal
+        for _ in 0..8 {
+            a.addi(R9, R9, 0);
+        }
+    } else {
+        a.li(R9, 0);
+    }
+    // size check: load size (cold line -> slow), branch, then the gadget.
+    a.li(R10, 0x20_0000);
+    a.data(0x20_0000, 1); // "x < size" is (spuriously) true
+    a.add(R10, R10, R9);
+    a.load(R11, R10, 0);
+    let body = a.new_label();
+    let end = a.new_label();
+    a.bne(R11, R0, body);
+    a.jump(end);
+    a.bind(body);
+    a.addi(R1, R9, 0x100);
+    a.load(R2, R1, 0); // y = a[x]: loads the secret
+    let transmitter = a.here();
+    a.load(R3, R2, 0); // z = b[y]: the transmitter
+    a.bind(end);
+    a.halt();
+    (a.assemble().expect("gadget assembles"), transmitter)
+}
+
+fn observe(program: &Program, transmitter: usize, secure: SecureConfig) -> bool {
+    let mut sys = System::new(
+        &Workload::single(program.clone()),
+        recon_cpu::CoreConfig::paper(),
+        recon_mem::MemConfig::scaled(),
+        secure,
+        recon::ReconConfig::default(),
+    );
+    sys.cores_mut()[0].record_observations(true);
+    let r = sys.run(1_000_000);
+    assert!(r.completed);
+    sys.cores_mut()[0]
+        .take_observations()
+        .iter()
+        .any(|o| o.pc == transmitter && o.speculative)
+}
+
+fn main() {
+    println!("Spectre gadget: can the transmitter leak the secret?\n");
+
+    let (never_leaked, t1) = build_gadget(false);
+    let (already_public, t2) = build_gadget(true);
+
+    println!("{:<42} {:>8} {:>8} {:>11}", "scenario", "unsafe", "STT", "STT+ReCon");
+    let row = |name: &str, p: &Program, t: usize| {
+        let show = |b: bool| if b { "LEAKS" } else { "safe" };
+        println!(
+            "{:<42} {:>8} {:>8} {:>11}",
+            name,
+            show(observe(p, t, SecureConfig::unsafe_baseline())),
+            show(observe(p, t, SecureConfig::stt())),
+            show(observe(p, t, SecureConfig::stt_recon())),
+        );
+    };
+    row("secret never leaked non-speculatively", &never_leaked, t1);
+    row("secret already public (prior dereference)", &already_public, t2);
+
+    println!();
+    println!("* Row 1: ReCon preserves STT's guarantee — a value that never");
+    println!("  leaked non-speculatively stays protected under speculation.");
+    println!("* Row 2: the program already exposed the value through its own");
+    println!("  non-speculative pointer dereference, so the \"leak\" transmits");
+    println!("  nothing an attacker could not already observe (§3.2).");
+    println!();
+
+    // Bonus: the Table 1 store-forwarding cases, programmatically.
+    println!("Store-to-load forwarding (Table 1) sanity:");
+    let s = table1_scenario(0x100);
+    let o = run_table1(&s, SecureConfig::stt_recon());
+    println!(
+        "  forwarded (concealed) data lifts nothing: PC3 observable = {}, PC4 observable = {}",
+        o.pc3, o.pc4
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ReCon reproduction: re-exports every workspace
+//! crate so examples and integration tests can use a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use recon;
+pub use recon_cpu as cpu;
+pub use recon_dift as dift;
+pub use recon_isa as isa;
+pub use recon_mem as mem;
+pub use recon_secure as secure;
+pub use recon_sim as sim;
+pub use recon_workloads as workloads;

@@ -1,0 +1,116 @@
+//! Integration tests for §5.3: reveal/conceal metadata riding the
+//! coherence protocol across cores.
+
+use recon_repro::mem::{DirState, MemConfig, MemorySystem, Mesi, ServedBy};
+use recon_repro::recon::ReconConfig;
+
+fn sys(cores: usize) -> MemorySystem {
+    MemorySystem::new(cores, MemConfig::scaled(), ReconConfig::default())
+}
+
+#[test]
+fn reveal_travels_with_a_cache_to_cache_forward() {
+    let mut m = sys(2);
+    m.read(0, 0x1000);
+    m.reveal(0, 0x1000);
+    let r = m.read(1, 0x1000);
+    assert_eq!(r.served_by, ServedBy::RemoteCache);
+    assert!(r.revealed, "the mask travels with the data");
+}
+
+#[test]
+fn or_merge_preserves_reveals_across_consecutive_evictions() {
+    // Cores 0 and 1 reveal different words of the same line; after both
+    // evict, a third core learns about *both* reveals (§5.3's OR rule).
+    let mut m = sys(3);
+    m.read(0, 0x0);
+    m.read(1, 0x0);
+    m.reveal(0, 0x0);
+    m.reveal(1, 0x8);
+    // Evict the line from both cores' private hierarchies (L2 pressure:
+    // scaled L2 has 64 sets, same-set stride 4 KiB).
+    for i in 1..=16u64 {
+        m.read(0, i * 4096);
+        m.read(1, i * 4096);
+    }
+    assert_eq!(m.l2_state(0, 0x0), None);
+    assert_eq!(m.l2_state(1, 0x0), None);
+    let r0 = m.read(2, 0x0);
+    let r1 = m.read(2, 0x8);
+    assert!(r0.revealed && r1.revealed, "directory accumulated both reveals");
+}
+
+#[test]
+fn writer_owns_the_mask_and_conceals_coherently() {
+    // Core 0 reveals a word and the directory learns of it via core 1's
+    // read. Core 0 then writes the word: its conceal must win over the
+    // stale directory copy when core 1 re-reads (overwrite, not OR).
+    let mut m = sys(2);
+    m.read(0, 0x5008);
+    m.reveal(0, 0x5008);
+    assert!(m.read(1, 0x5008).revealed, "reveal propagated");
+    m.write(0, 0x5008); // invalidates core 1, conceals the word
+    assert_eq!(m.l1_state(1, 0x5008), None, "reader invalidated");
+    assert!(!m.read(1, 0x5008).revealed, "the new value is concealed");
+}
+
+#[test]
+fn invalidated_reader_loses_its_private_reveals() {
+    // Footnote 1 of the paper: the invalidated reader's bit-vector is
+    // lost — its locally revealed words are concealed after refetch.
+    let mut m = sys(2);
+    m.read(0, 0x3000);
+    m.read(1, 0x3000);
+    m.reveal(1, 0x3008); // core 1's private reveal, unknown to the dir
+    m.write(0, 0x3000); // invalidates core 1 (mask lost)
+    assert!(!m.read(1, 0x3008).revealed);
+    assert!(m.stats().mask_bits_lost_inval >= 1);
+}
+
+#[test]
+fn ownership_transfer_passes_the_mask_writer_to_writer() {
+    let mut m = sys(2);
+    m.write(0, 0x4000);
+    m.reveal(0, 0x4008);
+    assert_eq!(m.dir_state(0x4000), Some(DirState::Owned { owner: 0 }));
+    m.write(1, 0x4000); // §5.3 case (iii): mask passes on invalidation
+    assert_eq!(m.dir_state(0x4000), Some(DirState::Owned { owner: 1 }));
+    assert!(m.read(1, 0x4008).revealed, "reveal arrived with ownership");
+    assert!(!m.read(1, 0x4000).revealed, "the written word is concealed");
+}
+
+#[test]
+fn exclusive_silently_upgrades_and_keeps_masks() {
+    let mut m = sys(1);
+    m.read(0, 0x2000);
+    assert_eq!(m.l1_state(0, 0x2000), Some(Mesi::Exclusive));
+    m.reveal(0, 0x2008);
+    m.write(0, 0x2000); // silent E -> M
+    assert_eq!(m.l1_state(0, 0x2000), Some(Mesi::Modified));
+    assert!(m.read(0, 0x2008).revealed, "other words keep their reveals");
+    assert!(!m.read(0, 0x2000).revealed, "the written word is concealed");
+}
+
+#[test]
+fn llc_eviction_drops_the_directory_metadata() {
+    // An in-cache directory loses reveal state when the LLC line leaves
+    // the hierarchy (memory stores no masks).
+    let mut m = MemorySystem::new(
+        1,
+        MemConfig {
+            l1: recon_repro::mem::CacheGeometry::new(512, 2),
+            l2: recon_repro::mem::CacheGeometry::new(1024, 2),
+            llc: recon_repro::mem::CacheGeometry::new(2048, 2),
+            ..MemConfig::scaled()
+        },
+        ReconConfig::default(),
+    );
+    m.read(0, 0x0);
+    m.reveal(0, 0x0);
+    // Stream enough lines to purge 0x0 from the 32-line LLC.
+    for i in 1..=64u64 {
+        m.read(0, i * 64);
+    }
+    assert_eq!(m.dir_state(0x0), None, "line left the hierarchy");
+    assert!(!m.read(0, 0x0).revealed, "refetched from memory all-concealed");
+}

@@ -1,0 +1,104 @@
+//! A step-by-step reproduction of the paper's Figure 1 execution
+//! overview: reveal on load-pair commit, speculative use of the revealed
+//! address, conceal on store, and concealed store-to-load forwarding.
+
+use recon_repro::mem::{MemConfig, MemorySystem};
+use recon_repro::recon::{LoadPairTable, ReconConfig};
+
+/// Steps ①–④ of Figure 1 at the metadata level: a committed load pair
+/// reveals `[a]`; a later speculative load of `[a]` may dereference.
+#[test]
+fn steps_1_to_4_reveal_then_speculative_use() {
+    let mut mem = MemorySystem::new(1, MemConfig::scaled(), ReconConfig::default());
+    let mut lpt = LoadPairTable::full(64);
+    let a = 0x1000u64;
+
+    // ① LD1 [a] commits: installs its address under its dest preg p1.
+    let r1 = mem.read(0, a);
+    assert!(!r1.revealed, "nothing revealed yet");
+    assert_eq!(lpt.commit_load(1, None, a, r1.revealed), None);
+
+    // ② LD2 [val1] commits: the pair is detected, [a] becomes revealed.
+    let revealed_addr = lpt.commit_load(2, Some(1), 0x2000, false);
+    assert_eq!(revealed_addr, Some(a));
+    assert!(mem.reveal(0, a));
+
+    // ③ A (speculative) LD3 [a] now sees the word revealed…
+    let r3 = mem.read(0, a);
+    assert!(r3.revealed, "③ safe to pass the revealed value to a transmitter");
+    // …④ so its dependent LD4 may dereference without protection —
+    // at the LPT level, the install is skipped for the revealed word.
+    assert_eq!(lpt.commit_load(3, None, a, r3.revealed), None);
+    assert_eq!(lpt.stats().installs_skipped_revealed, 1);
+}
+
+/// Steps ⑤–⑦: a store conceals `[a]`; a later committed pair reveals
+/// it anew.
+#[test]
+fn steps_5_to_7_conceal_then_re_reveal() {
+    let mut mem = MemorySystem::new(1, MemConfig::scaled(), ReconConfig::default());
+    let a = 0x1000u64;
+    mem.read(0, a);
+    mem.reveal(0, a);
+    assert!(mem.read(0, a).revealed);
+
+    // ⑤ ST val2, [a] performs: the address is concealed again.
+    mem.write(0, a);
+    // ⑥ A speculative load of [a] must not be treated as safe.
+    assert!(!mem.read(0, a).revealed, "⑥ new secret at [a]");
+
+    // ⑦ A new committed dependent pair re-reveals the new value.
+    assert!(mem.reveal(0, a));
+    assert!(mem.read(0, a).revealed, "⑦ revealed anew");
+}
+
+/// Steps ⑧–⑩ (the SQ/SB timeline) at the pipeline level: a load that
+/// receives its value by store forwarding is treated as concealed even
+/// if the stale copy outside the core is still marked revealed; once
+/// the store exits the SB, the outside world is concealed too.
+#[test]
+fn steps_8_to_10_forwarding_is_concealed() {
+    use recon_repro::cpu::CoreConfig;
+    use recon_repro::isa::{reg::names::*, Asm};
+    use recon_repro::secure::SecureConfig;
+    use recon_repro::sim::System;
+    use recon_repro::workloads::Workload;
+
+    // Reveal [a] first (committed pair), then store to [a] and load it
+    // back immediately: the load forwards from the SQ/SB and must be
+    // concealed (§4.4.2), so a dependent dereference is delayed.
+    let mut asm = Asm::new();
+    let a = 0x1000u64;
+    asm.data(a, 0x2000);
+    asm.data(0x2000, 0x3000);
+    asm.data(0x3000, 7);
+    asm.li(R1, a);
+    asm.load(R2, R1, 0); // LD1
+    asm.load(R3, R2, 0); // LD2: reveals [a]
+    asm.li(R4, 0x2000);
+    asm.store(R4, R1, 0); // ST val2, [a] (same value, still conceals)
+    asm.load(R5, R1, 0); // LD5: forwarded from SQ/SB -> concealed ⑧⑨
+    asm.load(R6, R5, 0); // dependent dereference
+    asm.halt();
+    let program = asm.assemble().unwrap();
+
+    let mut sys = System::new(
+        &Workload::single(program),
+        CoreConfig::paper(),
+        MemConfig::scaled(),
+        SecureConfig::stt_recon(),
+        ReconConfig::default(),
+    );
+    let r = sys.run(100_000);
+    assert!(r.completed);
+    let c = &r.cores[0];
+    // LD5 must have been forwarded, not revealed: among committed loads,
+    // at most LD... the only revealed-load commit possible is a cache
+    // read of [a] — the forwarded LD5 must not count.
+    assert_eq!(
+        c.revealed_loads_committed, 0,
+        "⑨ forwarding always supplies concealed data"
+    );
+    // ⑩ After the store drains, the memory side is concealed.
+    assert!(!sys.mem().probe_revealed(0, a), "⑩ concealed outside the core");
+}

@@ -1,0 +1,147 @@
+//! Property-based integration tests: security schemes are *timing*
+//! mechanisms — they must never change architectural results.
+//!
+//! Random workload-generator instances are executed on the golden
+//! functional model and on the out-of-order core under every scheme;
+//! final memory and accumulator state must agree everywhere.
+
+use proptest::prelude::*;
+
+use recon_repro::cpu::CoreConfig;
+use recon_repro::isa::{reg::names::*, DataMem, Program, SparseMem};
+use recon_repro::mem::MemConfig;
+use recon_repro::recon::ReconConfig;
+use recon_repro::secure::SecureConfig;
+use recon_repro::sim::System;
+use recon_repro::workloads::gen::{branchy, btree, gadget, hash, list, stream};
+use recon_repro::workloads::Workload;
+
+const ALL_SCHEMES: [fn() -> SecureConfig; 5] = [
+    SecureConfig::unsafe_baseline,
+    SecureConfig::nda,
+    SecureConfig::nda_recon,
+    SecureConfig::stt,
+    SecureConfig::stt_recon,
+];
+
+/// Runs `program` on the OoO core under `secure`; returns (R5, memory).
+fn run_oo(program: &Program, secure: SecureConfig) -> (u64, SparseMem) {
+    let w = Workload::single(program.clone());
+    let mut sys = System::new(
+        &w,
+        CoreConfig::tiny(),
+        MemConfig::scaled(),
+        secure,
+        ReconConfig::default(),
+    );
+    let r = sys.run(50_000_000);
+    assert!(r.completed, "must finish under {secure}");
+    let sum = sys.cores()[0].arch_read(R5);
+    (sum, sys.data().clone())
+}
+
+fn golden(program: &Program) -> (u64, SparseMem) {
+    let mut mem = SparseMem::from_image(&program.image);
+    let mut state = recon_repro::isa::ArchState::at_entry(program);
+    for _ in 0..50_000_000u64 {
+        if state.halted {
+            break;
+        }
+        recon_repro::isa::exec::step(program, &mut state, &mut mem).expect("golden run ok");
+    }
+    assert!(state.halted);
+    (state.read(R5), mem)
+}
+
+fn assert_equivalent(program: &Program) -> Result<(), TestCaseError> {
+    let (gold_sum, gold_mem) = golden(program);
+    for mk in ALL_SCHEMES {
+        let secure = mk();
+        let (sum, mut mem) = run_oo(program, secure);
+        prop_assert_eq!(sum, gold_sum, "accumulator differs under {}", secure);
+        // Every image word must match the golden final state.
+        for (addr, _) in program.image.iter() {
+            prop_assert_eq!(
+                mem.read(addr),
+                gold_mem.peek(addr),
+                "word {:#x} differs under {}",
+                addr,
+                secure
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gadget_programs_are_scheme_invariant(
+        seed in 0u64..1000,
+        slots_pow in 4u32..7,
+        stores in 0u8..3,
+        indirect in 0u8..5,
+        cyclic in proptest::bool::ANY,
+    ) {
+        let p = gadget::generate(gadget::GadgetParams {
+            slots: 1 << slots_pow,
+            cond_lines: 16,
+            passes: 2,
+            stores_per_16: stores,
+            indirect_per_16: indirect,
+            cyclic,
+            seed,
+            ..Default::default()
+        });
+        assert_equivalent(&p)?;
+    }
+
+    #[test]
+    fn hash_programs_are_scheme_invariant(seed in 0u64..1000) {
+        let p = hash::generate(hash::HashParams {
+            buckets: 32,
+            lookups: 96,
+            keys: 64,
+            cond_lines: 8,
+            seed,
+        });
+        assert_equivalent(&p)?;
+    }
+
+    #[test]
+    fn list_programs_are_scheme_invariant(seed in 0u64..1000, chains in 1u64..5) {
+        let p = list::generate(list::ListParams {
+            nodes: 64,
+            chains,
+            visits: 40,
+            cond_lines: 8,
+            payload_slots: 16,
+            seed,
+        });
+        assert_equivalent(&p)?;
+    }
+
+    #[test]
+    fn btree_programs_are_scheme_invariant(seed in 0u64..1000) {
+        let p = btree::generate(btree::BtreeParams { height: 5, searches: 32, seed });
+        assert_equivalent(&p)?;
+    }
+
+    #[test]
+    fn branchy_and_stream_are_scheme_invariant(seed in 0u64..1000) {
+        let b = branchy::generate(branchy::BranchyParams {
+            values: 64,
+            iterations: 128,
+            seed,
+        });
+        assert_equivalent(&b)?;
+        let s = stream::generate(stream::StreamParams {
+            elements: 64,
+            passes: 2,
+            writes: true,
+            stride_words: 1,
+        });
+        assert_equivalent(&s)?;
+    }
+}

@@ -1,0 +1,125 @@
+//! Suite-level behavioural integration tests: every benchmark stand-in
+//! completes under every scheme, and the headline orderings of the
+//! paper's evaluation hold.
+
+use recon_repro::secure::SecureConfig;
+use recon_repro::sim::{Experiment, SystemResult};
+use recon_repro::workloads::{parsec, spec2017, Scale};
+use recon_repro::mem::MemConfig;
+
+#[test]
+fn every_spec2017_benchmark_completes_under_every_scheme() {
+    let exp = Experiment::default();
+    for b in spec2017(Scale::Quick) {
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::nda(),
+            SecureConfig::nda_recon(),
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+        ] {
+            let r = exp.run(&b.workload, secure);
+            assert!(r.completed, "{} under {secure}", b.name);
+            assert!(r.ipc() > 0.05, "{} under {secure}: ipc {}", b.name, r.ipc());
+        }
+    }
+}
+
+#[test]
+fn every_parsec_benchmark_completes_on_four_cores() {
+    let exp = Experiment { mem: MemConfig::scaled_multicore(), ..Experiment::default() };
+    for b in parsec(Scale::Quick) {
+        let r = exp.run(&b.workload, SecureConfig::stt_recon());
+        assert!(r.completed, "{}", b.name);
+        assert_eq!(r.cores.len(), 4, "{}", b.name);
+        assert!(r.cores.iter().all(|c| c.committed > 1000), "{}", b.name);
+    }
+}
+
+/// The headline orderings, on the benchmarks the paper highlights.
+#[test]
+fn headline_orderings_hold() {
+    let exp = Experiment::default();
+    let names = ["xalancbmk", "omnetpp", "mcf", "leela"];
+    let mut recovered = 0;
+    for name in names {
+        let b = recon_repro::workloads::find(
+            recon_repro::workloads::Suite::Spec2017,
+            name,
+            Scale::Quick,
+        )
+        .unwrap();
+        let base = exp.run(&b.workload, SecureConfig::unsafe_baseline());
+        let stt = exp.run(&b.workload, SecureConfig::stt());
+        let sttr = exp.run(&b.workload, SecureConfig::stt_recon());
+        let nda = exp.run(&b.workload, SecureConfig::nda());
+        let n = |r: &SystemResult| r.ipc() / base.ipc();
+        // Secure schemes cost performance on the pointer-heavy set.
+        assert!(n(&stt) < 0.99, "{name}: STT should degrade, got {}", n(&stt));
+        assert!(n(&nda) <= n(&stt) + 0.02, "{name}: NDA at least as strict");
+        // ReCon never hurts ...
+        assert!(
+            n(&sttr) >= n(&stt) - 0.005,
+            "{name}: ReCon must not hurt ({} vs {})",
+            n(&sttr),
+            n(&stt)
+        );
+        // ... and recovers meaningfully on most of this set.
+        if n(&sttr) > n(&stt) + 0.01 {
+            recovered += 1;
+        }
+        // Fewer tainted loads with ReCon (Figure 7).
+        assert!(
+            sttr.guarded_loads() <= stt.guarded_loads(),
+            "{name}: ReCon should not taint more committed loads"
+        );
+    }
+    assert!(recovered >= 3, "ReCon should visibly recover on at least 3/4, got {recovered}");
+}
+
+/// Streaming benchmarks are unaffected by any scheme (paper: bwaves,
+/// imagick, lbm show no degradation and no room to boost).
+#[test]
+fn streaming_benchmarks_are_unaffected() {
+    let exp = Experiment::default();
+    for name in ["bwaves", "lbm", "imagick"] {
+        let b = recon_repro::workloads::find(
+            recon_repro::workloads::Suite::Spec2017,
+            name,
+            Scale::Quick,
+        )
+        .unwrap();
+        let base = exp.run(&b.workload, SecureConfig::unsafe_baseline());
+        let stt = exp.run(&b.workload, SecureConfig::stt());
+        let ratio = stt.ipc() / base.ipc();
+        assert!(ratio > 0.98, "{name}: {ratio}");
+    }
+}
+
+/// ReCon's reveal coverage requires the deeper cache levels for
+/// large-working-set benchmarks (Figure 10's story).
+#[test]
+fn mcf_needs_more_than_the_l1_for_its_reveals() {
+    use recon_repro::recon::{ReconConfig, ReconLevels};
+    let b = recon_repro::workloads::find(
+        recon_repro::workloads::Suite::Spec2017,
+        "mcf",
+        Scale::Quick,
+    )
+    .unwrap();
+    let run = |levels| {
+        let exp = Experiment {
+            recon: ReconConfig { levels, ..ReconConfig::default() },
+            ..Experiment::default()
+        };
+        exp.run(&b.workload, SecureConfig::stt_recon())
+    };
+    let l1 = run(ReconLevels::L1Only);
+    let all = run(ReconLevels::All);
+    assert!(
+        all.cores[0].revealed_loads_committed > 2 * l1.cores[0].revealed_loads_committed,
+        "full coverage should preserve far more reveals: L1 {} vs all {}",
+        l1.cores[0].revealed_loads_committed,
+        all.cores[0].revealed_loads_committed,
+    );
+}

@@ -1,0 +1,57 @@
+//! Integration test for Table 1: the four memory-dependence-prediction
+//! cases of the store-to-load-forwarding example (Figure 2).
+
+use recon_repro::secure::SecureConfig;
+use recon_repro::sim::scenarios::{run_table1, table1_scenario, Observability};
+
+#[test]
+fn case1_mem_mem_recon_observes_both_stt_observes_first_only() {
+    let s = table1_scenario(0x300); // no alias: both loads go to memory
+    assert_eq!(
+        run_table1(&s, SecureConfig::stt()),
+        Observability { pc3: true, pc4: false },
+        "STT: ld [r4] observable, ld [r5] delayed"
+    );
+    assert_eq!(
+        run_table1(&s, SecureConfig::stt_recon()),
+        Observability { pc3: true, pc4: true },
+        "ReCon: [r4] is revealed, so ld [r5] may execute — nothing new leaks"
+    );
+}
+
+#[test]
+fn case2_mem_stf_forwarded_second_load_never_observable() {
+    let s = table1_scenario(0x200); // store aliases PC4's target
+    for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
+        assert_eq!(
+            run_table1(&s, secure),
+            Observability { pc3: true, pc4: false },
+            "{secure}: the forwarded value is concealed in the SQ/SB"
+        );
+    }
+}
+
+#[test]
+fn cases34_stf_first_load_conceals_the_chain() {
+    let s = table1_scenario(0x100); // store aliases PC3's target
+    for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
+        assert_eq!(
+            run_table1(&s, secure),
+            Observability { pc3: false, pc4: false },
+            "{secure}: store forwarding reverts ReCon to STT behaviour"
+        );
+    }
+}
+
+#[test]
+fn nda_matches_stt_observability_on_every_case() {
+    // §4.5.2: "A similar argument holds for NDA permissive propagation."
+    for (target, expect) in [
+        (0x300u64, Observability { pc3: true, pc4: false }),
+        (0x200, Observability { pc3: true, pc4: false }),
+        (0x100, Observability { pc3: false, pc4: false }),
+    ] {
+        let s = table1_scenario(target);
+        assert_eq!(run_table1(&s, SecureConfig::nda()), expect, "target {target:#x}");
+    }
+}
