@@ -9,11 +9,11 @@
 //! because the revealed loads keep the dependent misses overlapped at
 //! every latency point.
 
-use recon_bench::banner;
+use recon_bench::{banner, jobs_from_env};
 use recon_mem::{LatencyConfig, MemConfig};
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, pct, Table};
-use recon_sim::{overhead_from_norm_ipc, overhead_reduction, Experiment};
+use recon_sim::{overhead_from_norm_ipc, overhead_reduction, parallel_map, Experiment};
 use recon_workloads::gen::gadget::{generate, GadgetParams};
 use recon_workloads::Workload;
 
@@ -33,18 +33,25 @@ fn main() {
     });
     let w = Workload::single(program);
     let mut t = Table::new(&["memory latency", "STT", "STT+ReCon", "overhead reduction"]);
-    for mem_lat in [40u32, 80, 116, 200, 300] {
+    // One job per latency point (3 runs each), rows in sweep order.
+    let rows = parallel_map(jobs_from_env(), vec![40u32, 80, 116, 200, 300], |mem_lat| {
         let mem = MemConfig {
-            lat: LatencyConfig { mem: mem_lat, ..LatencyConfig::default() },
+            lat: LatencyConfig {
+                mem: mem_lat,
+                ..LatencyConfig::default()
+            },
             ..MemConfig::scaled()
         };
-        let exp = Experiment { mem, ..Experiment::default() };
+        let exp = Experiment {
+            mem,
+            ..Experiment::default()
+        };
         let base = exp.run(&w, SecureConfig::unsafe_baseline());
         let stt = exp.run(&w, SecureConfig::stt());
         let sttr = exp.run(&w, SecureConfig::stt_recon());
         let n_stt = stt.ipc() / base.ipc();
         let n_rec = sttr.ipc() / base.ipc();
-        t.row(&[
+        vec![
             format!("{mem_lat} cycles"),
             norm(n_stt),
             norm(n_rec),
@@ -52,7 +59,10 @@ fn main() {
                 overhead_from_norm_ipc(n_stt),
                 overhead_from_norm_ipc(n_rec),
             )),
-        ]);
+        ]
+    });
+    for cells in &rows {
+        t.row(cells);
     }
     print!("{}", t.render());
     println!();

@@ -6,11 +6,11 @@
 //! stores; mispredictions squash and train the predictor. This harness
 //! compares the two on store-heavy workloads under each scheme.
 
-use recon_bench::banner;
+use recon_bench::{banner, jobs_from_env};
 use recon_cpu::{CoreConfig, MdpMode};
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, Table};
-use recon_sim::Experiment;
+use recon_sim::{parallel_map, Experiment};
 use recon_workloads::gen::gadget::{generate, GadgetParams};
 use recon_workloads::Workload;
 
@@ -26,7 +26,18 @@ fn main() {
         "store sets",
         "violations",
     ]);
+    // One job per (store density, scheme) sweep point: 4 runs each.
+    let mut points = Vec::new();
     for stores in [2u8, 4, 8] {
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+        ] {
+            points.push((stores, secure));
+        }
+    }
+    let rows = parallel_map(jobs_from_env(), points, |(stores, secure)| {
         let program = generate(GadgetParams {
             slots: 512,
             cond_lines: 16384,
@@ -36,31 +47,31 @@ fn main() {
             ..Default::default()
         });
         let w = Workload::single(program);
-        for secure in [SecureConfig::unsafe_baseline(), SecureConfig::stt(), SecureConfig::stt_recon()] {
-            let mut cells = vec![stores.to_string(), secure.label()];
-            let mut violations = 0;
-            let mut ipcs = Vec::new();
-            for mdp in [MdpMode::Conservative, MdpMode::Predictor] {
-                let exp = Experiment {
-                    core: CoreConfig { mdp, ..CoreConfig::paper() },
-                    ..Experiment::default()
-                };
-                let base_exp = Experiment {
-                    core: CoreConfig { mdp, ..CoreConfig::paper() },
-                    ..Experiment::default()
-                };
-                let base = base_exp.run(&w, SecureConfig::unsafe_baseline());
-                let r = exp.run(&w, secure);
-                ipcs.push(r.ipc() / base.ipc());
-                if mdp == MdpMode::Predictor {
-                    violations = r.cores[0].memory_violations;
-                }
+        let mut cells = vec![stores.to_string(), secure.label()];
+        let mut violations = 0;
+        let mut ipcs = Vec::new();
+        for mdp in [MdpMode::Conservative, MdpMode::Predictor] {
+            let exp = Experiment {
+                core: CoreConfig {
+                    mdp,
+                    ..CoreConfig::paper()
+                },
+                ..Experiment::default()
+            };
+            let base = exp.run(&w, SecureConfig::unsafe_baseline());
+            let r = exp.run(&w, secure);
+            ipcs.push(r.ipc() / base.ipc());
+            if mdp == MdpMode::Predictor {
+                violations = r.cores[0].memory_violations;
             }
-            cells.push(norm(ipcs[0]));
-            cells.push(norm(ipcs[1]));
-            cells.push(violations.to_string());
-            t.row(&cells);
         }
+        cells.push(norm(ipcs[0]));
+        cells.push(norm(ipcs[1]));
+        cells.push(violations.to_string());
+        cells
+    });
+    for cells in &rows {
+        t.row(cells);
     }
     print!("{}", t.render());
     println!();

@@ -8,10 +8,10 @@
 //! single-source ReCon but recovers once the LPT checks every operand.
 
 use recon::ReconConfig;
-use recon_bench::banner;
+use recon_bench::{banner, jobs_from_env};
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, Table};
-use recon_sim::Experiment;
+use recon_sim::{parallel_map, Experiment};
 use recon_workloads::gen::gadget::{generate, GadgetParams};
 use recon_workloads::Workload;
 
@@ -26,7 +26,8 @@ fn main() {
         "+ReCon (single-src)",
         "+ReCon (multi-src)",
     ]);
-    for multi in [0u8, 4, 8, 12] {
+    // One job per sweep point (4 runs each), rows in sweep order.
+    let rows = parallel_map(jobs_from_env(), vec![0u8, 4, 8, 12], |multi| {
         let program = generate(GadgetParams {
             slots: 512,
             cond_lines: 16384,
@@ -41,16 +42,22 @@ fn main() {
         let stt = base_exp.run(&w, SecureConfig::stt());
         let single = base_exp.run(&w, SecureConfig::stt_recon());
         let multi_exp = Experiment {
-            recon: ReconConfig { multi_source: true, ..ReconConfig::default() },
+            recon: ReconConfig {
+                multi_source: true,
+                ..ReconConfig::default()
+            },
             ..Experiment::default()
         };
         let multi_r = multi_exp.run(&w, SecureConfig::stt_recon());
-        t.row(&[
+        vec![
             multi.to_string(),
             norm(stt.ipc() / base.ipc()),
             norm(single.ipc() / base.ipc()),
             norm(multi_r.ipc() / base.ipc()),
-        ]);
+        ]
+    });
+    for cells in &rows {
+        t.row(cells);
     }
     print!("{}", t.render());
     println!();

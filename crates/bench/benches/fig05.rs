@@ -18,9 +18,10 @@ fn main() {
     );
     let scale = scale_from_env();
     let exp = Experiment::default();
-    for (suite, benchmarks) in
-        [(Suite::Spec2017, spec2017(scale)), (Suite::Spec2006, spec2006(scale))]
-    {
+    for (suite, benchmarks) in [
+        (Suite::Spec2017, spec2017(scale)),
+        (Suite::Spec2006, spec2006(scale)),
+    ] {
         let rows = run_pairs(&exp, &benchmarks, SecureConfig::nda());
         let mut t = Table::new(&["benchmark", "NDA", "NDA+ReCon"]);
         for r in &rows {

@@ -24,7 +24,11 @@ fn main() {
     for r in &rows {
         let stt = r.scheme.guarded_loads();
         let rec = r.with_recon.guarded_loads();
-        let ratio = if stt == 0 { 0.0 } else { rec as f64 / stt as f64 };
+        let ratio = if stt == 0 {
+            0.0
+        } else {
+            rec as f64 / stt as f64
+        };
         if stt > 0 {
             ratios.push(ratio);
         }

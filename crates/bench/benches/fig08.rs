@@ -6,9 +6,8 @@
 //! and 1.0% respectively. The multicore win comes from reveal masks
 //! travelling between cores with the coherence protocol (§5.3).
 
-use recon_bench::{banner, scale_from_env};
+use recon_bench::{banner, jobs_from_env, scale_from_env};
 use recon_mem::MemConfig;
-use recon_secure::SecureConfig;
 use recon_sim::report::{norm, pct, Table};
 use recon_sim::{mean, overhead_reduction, Experiment};
 use recon_workloads::parsec;
@@ -18,22 +17,24 @@ fn main() {
         "Figure 8: PARSEC normalized execution time (4 cores)",
         "NDA +9.7% -> +5.2% with ReCon (46.7% less); STT +4.4% -> +1.0% (78.6% less)",
     );
-    let exp = Experiment { mem: MemConfig::scaled_multicore(), ..Experiment::default() };
-    let mut t =
-        Table::new(&["benchmark", "NDA", "NDA+ReCon", "STT", "STT+ReCon"]);
+    let exp = Experiment {
+        mem: MemConfig::scaled_multicore(),
+        ..Experiment::default()
+    };
+    let benchmarks = parsec(scale_from_env());
+    let (matrices, _) = exp.run_matrices(&benchmarks, jobs_from_env());
+    let mut t = Table::new(&["benchmark", "NDA", "NDA+ReCon", "STT", "STT+ReCon"]);
     let (mut on, mut onr, mut os, mut osr) = (vec![], vec![], vec![], vec![]);
-    for b in parsec(scale_from_env()) {
-        let base = exp.run(&b.workload, SecureConfig::unsafe_baseline());
-        let nt = |r: &recon_sim::SystemResult| r.cycles as f64 / base.cycles as f64;
-        let nda = nt(&exp.run(&b.workload, SecureConfig::nda()));
-        let ndar = nt(&exp.run(&b.workload, SecureConfig::nda_recon()));
-        let stt = nt(&exp.run(&b.workload, SecureConfig::stt()));
-        let sttr = nt(&exp.run(&b.workload, SecureConfig::stt_recon()));
+    for m in &matrices {
+        let nda = m.normalized_time(&m.nda);
+        let ndar = m.normalized_time(&m.nda_recon);
+        let stt = m.normalized_time(&m.stt);
+        let sttr = m.normalized_time(&m.stt_recon);
         on.push(nda - 1.0);
         onr.push(ndar - 1.0);
         os.push(stt - 1.0);
         osr.push(sttr - 1.0);
-        t.row(&[b.name.into(), norm(nda), norm(ndar), norm(stt), norm(sttr)]);
+        t.row(&[m.name.into(), norm(nda), norm(ndar), norm(stt), norm(sttr)]);
     }
     print!("{}", t.render());
     println!();

@@ -7,11 +7,11 @@
 //! the STT overhead ReCon recovers; cactuBSSN and deepsjeng (low
 //! coverage) gain little, xalancbmk (high coverage) gains the most.
 
-use recon_bench::{banner, scale_from_env};
+use recon_bench::{banner, jobs_from_env, scale_from_env};
 use recon_dift::analyze_program;
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, pct, Table};
-use recon_sim::{overhead_from_norm_ipc, overhead_reduction, Experiment};
+use recon_sim::{overhead_from_norm_ipc, overhead_reduction, parallel_map, Experiment};
 use recon_workloads::{find, Suite, FIG9_BENCHMARKS};
 
 fn main() {
@@ -21,9 +21,11 @@ fn main() {
     );
     let scale = scale_from_env();
     let exp = Experiment::default();
-    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
-    for name in FIG9_BENCHMARKS {
-        let b = find(Suite::Spec2017, name, scale).expect("fig9 benchmark exists");
+    let benches: Vec<_> = FIG9_BENCHMARKS
+        .iter()
+        .map(|name| find(Suite::Spec2017, name, scale).expect("fig9 benchmark exists"))
+        .collect();
+    let mut rows: Vec<(String, f64, f64, f64)> = parallel_map(jobs_from_env(), benches, |b| {
         let leak = analyze_program(&b.workload.program, 100_000_000).expect("terminates");
         let base = exp.run(&b.workload, SecureConfig::unsafe_baseline());
         let stt = exp.run(&b.workload, SecureConfig::stt());
@@ -31,11 +33,16 @@ fn main() {
         let o = overhead_from_norm_ipc(stt.ipc() / base.ipc());
         let or = overhead_from_norm_ipc(sttr.ipc() / base.ipc());
         let reduction = overhead_reduction(o, or);
-        rows.push((name.to_string(), leak.coverage(), reduction, o));
-    }
+        (b.name.to_string(), leak.coverage(), reduction, o)
+    });
     // Sorted by overhead reduction, as in the paper (left to right).
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
-    let mut t = Table::new(&["benchmark", "pair/DIFT coverage", "overhead reduction", "STT overhead"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "pair/DIFT coverage",
+        "overhead reduction",
+        "STT overhead",
+    ]);
     for (name, cover, reduction, o) in &rows {
         t.row(&[name.clone(), pct(*cover), pct(*reduction), pct(*o)]);
     }
@@ -45,10 +52,17 @@ fn main() {
     let n = rows.len() as f64;
     let mean_c = rows.iter().map(|r| r.1).sum::<f64>() / n;
     let mean_r = rows.iter().map(|r| r.2).sum::<f64>() / n;
-    let cov: f64 = rows.iter().map(|r| (r.1 - mean_c) * (r.2 - mean_r)).sum::<f64>() / n;
+    let cov: f64 = rows
+        .iter()
+        .map(|r| (r.1 - mean_c) * (r.2 - mean_r))
+        .sum::<f64>()
+        / n;
     let sc = (rows.iter().map(|r| (r.1 - mean_c).powi(2)).sum::<f64>() / n).sqrt();
     let sr = (rows.iter().map(|r| (r.2 - mean_r).powi(2)).sum::<f64>() / n).sqrt();
     let corr = if sc * sr == 0.0 { 0.0 } else { cov / (sc * sr) };
-    println!("Pearson correlation (coverage vs reduction): {}", norm(corr));
+    println!(
+        "Pearson correlation (coverage vs reduction): {}",
+        norm(corr)
+    );
     println!("paper: positive correlation; low-coverage benchmarks recover least");
 }

@@ -7,10 +7,10 @@
 //! set benchmarks (gcc, mcf, omnetpp, xalancbmk) need L2 and the LLC.
 
 use recon::{ReconConfig, ReconLevels};
-use recon_bench::{banner, scale_from_env};
+use recon_bench::{banner, jobs_from_env, scale_from_env};
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, pct, Table};
-use recon_sim::{mean, Experiment};
+use recon_sim::{mean, parallel_map, Experiment};
 use recon_workloads::spec2017;
 
 fn main() {
@@ -21,22 +21,38 @@ fn main() {
     let scale = scale_from_env();
     let benchmarks = spec2017(scale);
     let base_exp = Experiment::default();
-    let mut t = Table::new(&["benchmark", "STT", "+ReCon L1", "+ReCon L1+L2", "+ReCon all"]);
-    let mut sums = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for b in &benchmarks {
+    // One job per (benchmark, level sweep): 5 runs each, farmed out to
+    // the worker pool; rows come back in benchmark order.
+    let rows = parallel_map(jobs_from_env(), benchmarks, |b| {
         let base = base_exp.run(&b.workload, SecureConfig::unsafe_baseline());
         let stt = base_exp.run(&b.workload, SecureConfig::stt());
-        let mut cells = vec![b.name.to_string(), norm(stt.ipc() / base.ipc())];
-        sums[0].push(1.0 - (stt.ipc() / base.ipc()).min(1.0));
-        for (i, levels) in ReconLevels::ALL.iter().enumerate() {
+        let mut norms = vec![stt.ipc() / base.ipc()];
+        for levels in ReconLevels::ALL {
             let exp = Experiment {
-                recon: ReconConfig { levels: *levels, ..ReconConfig::default() },
+                recon: ReconConfig {
+                    levels,
+                    ..ReconConfig::default()
+                },
                 ..Experiment::default()
             };
             let r = exp.run(&b.workload, SecureConfig::stt_recon());
-            let n = r.ipc() / base.ipc();
-            sums[i + 1].push(1.0 - n.min(1.0));
-            cells.push(norm(n));
+            norms.push(r.ipc() / base.ipc());
+        }
+        (b.name, norms)
+    });
+    let mut t = Table::new(&[
+        "benchmark",
+        "STT",
+        "+ReCon L1",
+        "+ReCon L1+L2",
+        "+ReCon all",
+    ]);
+    let mut sums = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for (name, norms) in &rows {
+        let mut cells = vec![name.to_string()];
+        for (i, n) in norms.iter().enumerate() {
+            sums[i].push(1.0 - n.min(1.0));
+            cells.push(norm(*n));
         }
         t.row(&cells);
     }

@@ -6,11 +6,11 @@
 //! noticeably as conflicts grow.
 
 use recon::{LptSize, ReconConfig};
-use recon_bench::{banner, scale_from_env};
+use recon_bench::{banner, jobs_from_env, scale_from_env};
 use recon_cpu::CoreConfig;
 use recon_secure::SecureConfig;
 use recon_sim::report::{norm, Table};
-use recon_sim::Experiment;
+use recon_sim::{parallel_map, Experiment};
 use recon_workloads::spec2017;
 
 fn main() {
@@ -23,12 +23,17 @@ fn main() {
     let divisors: [usize; 5] = [1, 4, 16, 32, 64];
     let mut headers = vec!["benchmark".to_string(), "STT".to_string()];
     for d in divisors {
-        headers.push(if d == 1 { "LPT full".into() } else { format!("LPT/{d}") });
+        headers.push(if d == 1 {
+            "LPT full".into()
+        } else {
+            format!("LPT/{d}")
+        });
     }
     headers.push("conflicts@/64".to_string());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
-    for b in spec2017(scale) {
+    // One job per benchmark (7 runs: baseline, STT, 5 LPT sizes).
+    let rows = parallel_map(jobs_from_env(), spec2017(scale), |b| {
         let base_exp = Experiment::default();
         let base = base_exp.run(&b.workload, SecureConfig::unsafe_baseline());
         let stt = base_exp.run(&b.workload, SecureConfig::stt());
@@ -49,7 +54,10 @@ fn main() {
             cells.push(norm(r.ipc() / base.ipc()));
         }
         cells.push(conflicts_at_64.to_string());
-        t.row(&cells);
+        cells
+    });
+    for cells in &rows {
+        t.row(cells);
     }
     print!("{}", t.render());
     println!();

@@ -4,21 +4,42 @@
 //! halved, tagged LPT is 641/798 bytes; reveal masks add one byte per
 //! 64-byte line, under 1.5% of total cache storage.
 
-use recon::overhead::{
-    lpt_bytes, lpt_tagged_bytes, mask_bytes_for_cache, mask_overhead_fraction,
-};
+use recon::overhead::{lpt_bytes, lpt_tagged_bytes, mask_bytes_for_cache, mask_overhead_fraction};
 use recon_bench::banner;
 use recon_mem::MemConfig;
 use recon_sim::report::{pct, Table};
 
 fn main() {
-    banner("§6.7: storage-overhead accounting", "LPT ~1.1 KiB; masks < 1.5% of cache storage");
+    banner(
+        "§6.7: storage-overhead accounting",
+        "LPT ~1.1 KiB; masks < 1.5% of cache storage",
+    );
     let mut t = Table::new(&["structure", "paper", "computed"]);
-    t.row(&["LPT, 180 pregs (Skylake)".into(), "~1.1 KiB".into(), format!("{} B", lpt_bytes(180))]);
-    t.row(&["LPT, 192 pregs (Zen 3)".into(), "—".into(), format!("{} B", lpt_bytes(192))]);
-    t.row(&["LPT, 224 pregs (Zen 4)".into(), "~1.37 KiB".into(), format!("{} B", lpt_bytes(224))]);
-    t.row(&["LPT/2 tagged, 90 entries".into(), "641 B".into(), format!("{} B", lpt_tagged_bytes(90))]);
-    t.row(&["LPT/2 tagged, 112 entries".into(), "798 B".into(), format!("{} B", lpt_tagged_bytes(112))]);
+    t.row(&[
+        "LPT, 180 pregs (Skylake)".into(),
+        "~1.1 KiB".into(),
+        format!("{} B", lpt_bytes(180)),
+    ]);
+    t.row(&[
+        "LPT, 192 pregs (Zen 3)".into(),
+        "—".into(),
+        format!("{} B", lpt_bytes(192)),
+    ]);
+    t.row(&[
+        "LPT, 224 pregs (Zen 4)".into(),
+        "~1.37 KiB".into(),
+        format!("{} B", lpt_bytes(224)),
+    ]);
+    t.row(&[
+        "LPT/2 tagged, 90 entries".into(),
+        "641 B".into(),
+        format!("{} B", lpt_tagged_bytes(90)),
+    ]);
+    t.row(&[
+        "LPT/2 tagged, 112 entries".into(),
+        "798 B".into(),
+        format!("{} B", lpt_tagged_bytes(112)),
+    ]);
     let paper = MemConfig::paper();
     t.row(&[
         "masks, 64 KiB L1".into(),

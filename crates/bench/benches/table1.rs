@@ -39,13 +39,29 @@ fn main() {
         ("2", "MEM / STF (store aliases [r5])", 0x200),
         ("3+4", "STF (store aliases [r4])", 0x100),
     ];
-    let mut t = Table::new(&["case", "prediction", "STT observes", "ReCon observes", "paper"]);
-    let paper = ["ld[r4], — / ld[r4], ld[r5]", "ld[r4], — / ld[r4], —", "—, — / —, —"];
+    let mut t = Table::new(&[
+        "case",
+        "prediction",
+        "STT observes",
+        "ReCon observes",
+        "paper",
+    ]);
+    let paper = [
+        "ld[r4], — / ld[r4], ld[r5]",
+        "ld[r4], — / ld[r4], —",
+        "—, — / —, —",
+    ];
     for ((case, desc, target), paper) in rows.into_iter().zip(paper) {
         let s = table1_scenario(target);
         let stt = run_table1(&s, SecureConfig::stt());
         let recon = run_table1(&s, SecureConfig::stt_recon());
-        t.row(&[case.into(), desc.into(), show(stt), show(recon), paper.into()]);
+        t.row(&[
+            case.into(),
+            desc.into(),
+            show(stt),
+            show(recon),
+            paper.into(),
+        ]);
     }
     print!("{}", t.render());
     println!();

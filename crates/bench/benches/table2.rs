@@ -17,28 +17,78 @@ fn main() {
 
     let mut t = Table::new(&["parameter", "paper", "this reproduction"]);
     let row = |t: &mut Table, k: &str, p: String, m: String| t.row(&[k.into(), p, m]);
-    row(&mut t, "decode width", "8".into(), core.fetch_width.to_string());
-    row(&mut t, "issue/commit width", "8".into(), core.issue_width.to_string());
-    row(&mut t, "instruction queue", "160".into(), core.iq_entries.to_string());
-    row(&mut t, "reorder buffer", "352".into(), core.rob_entries.to_string());
-    row(&mut t, "load queue", "128".into(), core.lq_entries.to_string());
-    row(&mut t, "store queue/buffer", "72".into(), core.sq_entries.to_string());
+    row(
+        &mut t,
+        "decode width",
+        "8".into(),
+        core.fetch_width.to_string(),
+    );
+    row(
+        &mut t,
+        "issue/commit width",
+        "8".into(),
+        core.issue_width.to_string(),
+    );
+    row(
+        &mut t,
+        "instruction queue",
+        "160".into(),
+        core.iq_entries.to_string(),
+    );
+    row(
+        &mut t,
+        "reorder buffer",
+        "352".into(),
+        core.rob_entries.to_string(),
+    );
+    row(
+        &mut t,
+        "load queue",
+        "128".into(),
+        core.lq_entries.to_string(),
+    );
+    row(
+        &mut t,
+        "store queue/buffer",
+        "72".into(),
+        core.sq_entries.to_string(),
+    );
     row(
         &mut t,
         "L1 D cache",
-        format!("{} KiB, {} ways", paper.l1.capacity_bytes() / 1024, paper.l1.ways()),
-        format!("{} KiB, {} ways (x1/32)", scaled.l1.capacity_bytes() / 1024, scaled.l1.ways()),
+        format!(
+            "{} KiB, {} ways",
+            paper.l1.capacity_bytes() / 1024,
+            paper.l1.ways()
+        ),
+        format!(
+            "{} KiB, {} ways (x1/32)",
+            scaled.l1.capacity_bytes() / 1024,
+            scaled.l1.ways()
+        ),
     );
     row(
         &mut t,
         "L2 cache",
-        format!("{} KiB, {} ways", paper.l2.capacity_bytes() / 1024, paper.l2.ways()),
-        format!("{} KiB, {} ways (x1/32)", scaled.l2.capacity_bytes() / 1024, scaled.l2.ways()),
+        format!(
+            "{} KiB, {} ways",
+            paper.l2.capacity_bytes() / 1024,
+            paper.l2.ways()
+        ),
+        format!(
+            "{} KiB, {} ways (x1/32)",
+            scaled.l2.capacity_bytes() / 1024,
+            scaled.l2.ways()
+        ),
     );
     row(
         &mut t,
         "LLC",
-        format!("{} MiB, {} ways", paper.llc.capacity_bytes() / 1024 / 1024, paper.llc.ways()),
+        format!(
+            "{} MiB, {} ways",
+            paper.llc.capacity_bytes() / 1024 / 1024,
+            paper.llc.ways()
+        ),
         format!(
             "{} KiB, {} ways (x1/32; 4-core: {} MiB)",
             scaled.llc.capacity_bytes() / 1024,
@@ -46,12 +96,42 @@ fn main() {
             MemConfig::scaled_multicore().llc.capacity_bytes() / 1024 / 1024,
         ),
     );
-    row(&mut t, "L1 latency", "2 cycles".into(), format!("{} cycles", scaled.lat.l1_hit));
-    row(&mut t, "L2 latency", "6 cycles".into(), format!("{} cycles", scaled.lat.l2_hit));
-    row(&mut t, "LLC latency", "16 cycles".into(), format!("{} cycles", scaled.lat.llc_hit));
-    row(&mut t, "memory latency", "(DDR model)".into(), format!("{} cycles", scaled.lat.mem));
-    row(&mut t, "coherence", "3-level MESI".into(), "3-level MESI".into());
-    row(&mut t, "directory", "in-cache (LLC)".into(), "in-cache (LLC)".into());
+    row(
+        &mut t,
+        "L1 latency",
+        "2 cycles".into(),
+        format!("{} cycles", scaled.lat.l1_hit),
+    );
+    row(
+        &mut t,
+        "L2 latency",
+        "6 cycles".into(),
+        format!("{} cycles", scaled.lat.l2_hit),
+    );
+    row(
+        &mut t,
+        "LLC latency",
+        "16 cycles".into(),
+        format!("{} cycles", scaled.lat.llc_hit),
+    );
+    row(
+        &mut t,
+        "memory latency",
+        "(DDR model)".into(),
+        format!("{} cycles", scaled.lat.mem),
+    );
+    row(
+        &mut t,
+        "coherence",
+        "3-level MESI".into(),
+        "3-level MESI".into(),
+    );
+    row(
+        &mut t,
+        "directory",
+        "in-cache (LLC)".into(),
+        "in-cache (LLC)".into(),
+    );
     row(&mut t, "line size", "64 B".into(), "64 B".into());
     print!("{}", t.render());
     println!();

@@ -19,15 +19,18 @@
 //! | `fig10`    | Figure 10 — ReCon at L1 / L1+L2 / all levels |
 //! | `fig11`    | Figure 11 — LPT size sensitivity |
 //! | `overhead` | §6.7 — storage-overhead accounting |
-//! | `components` | criterion microbenches of the substrates |
+//! | `components` | dependency-free microbenches of the substrates |
 //!
-//! Set `RECON_SCALE=paper` for longer (×4) workloads.
+//! Set `RECON_SCALE=paper` for longer (×4) workloads, and `RECON_JOBS`
+//! to pin the worker count the harnesses use (default: all cores).
 
 #![warn(missing_docs)]
 
 use recon_secure::SecureConfig;
-use recon_sim::{Experiment, SystemResult};
+use recon_sim::{BatchResults, Experiment, SystemResult};
 use recon_workloads::{Benchmark, Scale};
+
+pub use recon_sim::jobs_from_env;
 
 /// Reads the workload scale from `RECON_SCALE` (`quick` default,
 /// `paper` for ×4 runs).
@@ -50,36 +53,67 @@ pub struct PairRow {
 }
 
 impl PairRow {
-    /// Normalized IPC of the plain scheme.
+    /// Normalized IPC of the plain scheme (0 when the baseline ran no
+    /// instructions, matching `SchemeMatrix::normalized_ipc`).
     #[must_use]
     pub fn norm_scheme(&self) -> f64 {
-        self.scheme.ipc() / self.base.ipc()
+        norm_ipc(&self.scheme, &self.base)
     }
 
     /// Normalized IPC of the scheme with ReCon.
     #[must_use]
     pub fn norm_recon(&self) -> f64 {
-        self.with_recon.ipc() / self.base.ipc()
+        norm_ipc(&self.with_recon, &self.base)
     }
 }
 
-/// Runs `benchmarks` under baseline, `scheme`, and `scheme`+ReCon.
+fn norm_ipc(result: &SystemResult, base: &SystemResult) -> f64 {
+    let b = base.ipc();
+    if b == 0.0 {
+        0.0
+    } else {
+        result.ipc() / b
+    }
+}
+
+/// Runs `benchmarks` under baseline, `scheme`, and `scheme`+ReCon on
+/// [`jobs_from_env`] worker threads.
 #[must_use]
-pub fn run_pairs(
+pub fn run_pairs(exp: &Experiment, benchmarks: &[Benchmark], scheme: SecureConfig) -> Vec<PairRow> {
+    run_pairs_jobs(exp, benchmarks, scheme, jobs_from_env()).0
+}
+
+/// Like [`run_pairs`] with an explicit worker count, also returning the
+/// batch timing report. Row order matches `benchmarks` for any `jobs`.
+#[must_use]
+pub fn run_pairs_jobs(
     exp: &Experiment,
     benchmarks: &[Benchmark],
     scheme: SecureConfig,
-) -> Vec<PairRow> {
-    let recon = SecureConfig { recon: true, ..scheme };
-    benchmarks
+    jobs: usize,
+) -> (Vec<PairRow>, BatchResults) {
+    let scheme = SecureConfig {
+        recon: false,
+        ..scheme
+    };
+    let recon = SecureConfig {
+        recon: true,
+        ..scheme
+    };
+    let configs = [SecureConfig::unsafe_baseline(), scheme, recon];
+    let batch = recon_sim::run_batch(exp, benchmarks, &configs, jobs);
+    let rows = benchmarks
         .iter()
         .map(|b| PairRow {
             name: b.name,
-            base: exp.run(&b.workload, SecureConfig::unsafe_baseline()),
-            scheme: exp.run(&b.workload, scheme),
-            with_recon: exp.run(&b.workload, recon),
+            base: batch
+                .expect(b.name, SecureConfig::unsafe_baseline())
+                .clone(),
+            scheme: batch.expect(b.name, scheme).clone(),
+            with_recon: batch.expect(b.name, recon).clone(),
         })
-        .collect()
+        .collect();
+    (rows, batch)
 }
 
 /// Mean IPC overhead (1 − normalized IPC, clamped at 0) over rows.
@@ -88,7 +122,11 @@ pub fn mean_overhead(rows: &[PairRow], recon: bool) -> f64 {
     let overheads: Vec<f64> = rows
         .iter()
         .map(|r| {
-            let n = if recon { r.norm_recon() } else { r.norm_scheme() };
+            let n = if recon {
+                r.norm_recon()
+            } else {
+                r.norm_scheme()
+            };
             (1.0 - n).max(0.0)
         })
         .collect();

@@ -4,20 +4,24 @@
 //! recon list                         list all benchmark stand-ins
 //! recon run <suite> <bench> [scheme] run one benchmark (default: matrix)
 //! recon matrix <suite> <bench>       run all five scheme configurations
+//! recon suite <suite> [--jobs N]     five-way matrix on a whole suite
 //! recon analyze <suite> <bench>      Clueless-style leakage report
 //! recon overhead                     §6.7 storage accounting
 //! ```
 //!
 //! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
 //! `nda+recon`, `stt`, `stt+recon`. Set `RECON_SCALE=paper` for ×4
-//! workloads.
+//! workloads. `suite` runs its jobs on a worker pool (`--jobs`, or
+//! `RECON_JOBS`, default all cores) and writes per-job wall-clock
+//! timings to `BENCH_runner.json`; the tables are byte-identical for
+//! any worker count.
 
 use std::process::ExitCode;
 
 use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
 use recon_sim::report::Table;
-use recon_sim::Experiment;
+use recon_sim::{jobs_from_env, Experiment};
 use recon_workloads::{parsec, spec2006, spec2017, Benchmark, Scale, Suite};
 
 fn scale() -> Scale {
@@ -50,7 +54,10 @@ fn experiment_for(suite: Suite) -> Experiment {
     } else {
         MemConfig::scaled()
     };
-    Experiment { mem, ..Experiment::default() }
+    Experiment {
+        mem,
+        ..Experiment::default()
+    }
 }
 
 fn find_bench(suite_name: &str, bench: &str) -> Result<(Suite, Benchmark), String> {
@@ -65,7 +72,10 @@ fn find_bench(suite_name: &str, bench: &str) -> Result<(Suite, Benchmark), Strin
 
 fn cmd_list() -> ExitCode {
     let mut t = Table::new(&["suite", "benchmark", "threads", "static instructions"]);
-    for (_, list) in ["spec2017", "spec2006", "parsec"].iter().filter_map(|s| parse_suite(s)) {
+    for (_, list) in ["spec2017", "spec2006", "parsec"]
+        .iter()
+        .filter_map(|s| parse_suite(s))
+    {
         for b in list {
             t.row(&[
                 b.suite.to_string(),
@@ -100,13 +110,16 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_matrix(suite_name: &str, bench: &str) -> ExitCode {
+fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
     let (suite, b) = match find_bench(suite_name, bench) {
         Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let exp = experiment_for(suite);
-    let m = exp.run_matrix(&b);
+    let benches = [b];
+    let (mut matrices, _) = exp.run_matrices(&benches, jobs);
+    let m = matrices.remove(0);
+    let b = &benches[0];
     let mut t = Table::new(&["scheme", "cycles", "IPC", "normalized", "tainted loads"]);
     for (name, r) in [
         ("unsafe", &m.baseline),
@@ -128,6 +141,66 @@ fn cmd_matrix(suite_name: &str, bench: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_suite(suite_name: &str, jobs: usize) -> ExitCode {
+    let Some((suite, benchmarks)) = parse_suite(suite_name) else {
+        return fail(&format!(
+            "unknown suite '{suite_name}' (spec2017|spec2006|parsec)"
+        ));
+    };
+    let exp = experiment_for(suite);
+    let (matrices, batch) = exp.run_matrices(&benchmarks, jobs);
+    let mut t = Table::new(&[
+        "benchmark",
+        "unsafe IPC",
+        "NDA",
+        "NDA+ReCon",
+        "STT",
+        "STT+ReCon",
+    ]);
+    let (mut on, mut onr, mut os, mut osr) = (vec![], vec![], vec![], vec![]);
+    for m in &matrices {
+        let nda = m.normalized_ipc(&m.nda);
+        let ndar = m.normalized_ipc(&m.nda_recon);
+        let stt = m.normalized_ipc(&m.stt);
+        let sttr = m.normalized_ipc(&m.stt_recon);
+        on.push((1.0 - nda).max(0.0));
+        onr.push((1.0 - ndar).max(0.0));
+        os.push((1.0 - stt).max(0.0));
+        osr.push((1.0 - sttr).max(0.0));
+        t.row(&[
+            m.name.into(),
+            format!("{:.3}", m.baseline.ipc()),
+            format!("{nda:.3}"),
+            format!("{ndar:.3}"),
+            format!("{stt:.3}"),
+            format!("{sttr:.3}"),
+        ]);
+    }
+    println!("{suite} (normalized IPC, five-way matrix):");
+    print!("{}", t.render());
+    println!();
+    println!(
+        "mean overhead: NDA {:.1}% -> NDA+ReCon {:.1}%  |  STT {:.1}% -> STT+ReCon {:.1}%",
+        recon_sim::mean(&on) * 100.0,
+        recon_sim::mean(&onr) * 100.0,
+        recon_sim::mean(&os) * 100.0,
+        recon_sim::mean(&osr) * 100.0,
+    );
+    println!(
+        "{} jobs on {} workers: wall {:.2}s, serial-sum {:.2}s, est. speedup {:.2}x",
+        batch.job_count(),
+        batch.jobs,
+        batch.wall_seconds,
+        batch.serial_seconds(),
+        batch.speedup(),
+    );
+    match batch.write_json("BENCH_runner.json") {
+        Ok(()) => println!("per-job timings written to BENCH_runner.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_runner.json: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
     let (_, b) = match find_bench(suite_name, bench) {
         Ok(x) => x,
@@ -141,8 +214,16 @@ fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
             println!("{}:", b.name);
             println!("  instructions analyzed  {}", r.instructions);
             println!("  touched words          {}", r.touched_words);
-            println!("  DIFT leakage           {} ({:.1}%)", r.dift_leaked, r.dift_fraction() * 100.0);
-            println!("  load-pair leakage      {} ({:.1}%)", r.pair_leaked, r.pair_fraction() * 100.0);
+            println!(
+                "  DIFT leakage           {} ({:.1}%)",
+                r.dift_leaked,
+                r.dift_fraction() * 100.0
+            );
+            println!(
+                "  load-pair leakage      {} ({:.1}%)",
+                r.pair_leaked,
+                r.pair_fraction() * 100.0
+            );
             println!("  pair coverage of DIFT  {:.1}%", r.coverage() * 100.0);
             ExitCode::SUCCESS
         }
@@ -157,7 +238,10 @@ fn cmd_overhead() -> ExitCode {
     println!("LPT/2 tagged (90): {} B", lpt_tagged_bytes(90));
     let paper = MemConfig::paper();
     let total = paper.l1.capacity_bytes() + paper.l2.capacity_bytes() + paper.llc.capacity_bytes();
-    println!("mask overhead: {:.2}% of cache storage", mask_overhead_fraction(total) * 100.0);
+    println!(
+        "mask overhead: {:.2}% of cache storage",
+        mask_overhead_fraction(total) * 100.0
+    );
     ExitCode::SUCCESS
 }
 
@@ -168,24 +252,49 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!("usage: recon <command>");
-    eprintln!("  list                          list all benchmark stand-ins");
-    eprintln!("  run <suite> <bench> <scheme>  run one configuration");
-    eprintln!("  matrix <suite> <bench>        run all five configurations");
-    eprintln!("  analyze <suite> <bench>       leakage (DIFT vs load pairs)");
-    eprintln!("  overhead                      §6.7 storage accounting");
+    eprintln!("  list                               list all benchmark stand-ins");
+    eprintln!("  run <suite> <bench> <scheme>       run one configuration");
+    eprintln!("  matrix <suite> <bench> [--jobs N]  run all five configurations");
+    eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
+    eprintln!("                                     timings to BENCH_runner.json");
+    eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
+    eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("suites: spec2017 spec2006 parsec");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
+    eprintln!("--jobs defaults to RECON_JOBS or all cores");
     ExitCode::FAILURE
+}
+
+/// Strips a trailing `--jobs N` from the argument list, returning the
+/// remaining arguments and the worker count (default: `RECON_JOBS` or
+/// the host parallelism).
+fn split_jobs<'a>(args: &'a [&'a str]) -> Result<(&'a [&'a str], usize), String> {
+    if args.len() >= 2 && args[args.len() - 2] == "--jobs" {
+        let n = args[args.len() - 1];
+        let jobs: usize = n
+            .parse()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| format!("--jobs wants a positive integer, got '{n}'"))?;
+        Ok((&args[..args.len() - 2], jobs))
+    } else {
+        Ok((args, jobs_from_env()))
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
-    match strs.as_slice() {
+    let (strs, jobs) = match split_jobs(&strs) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    match strs {
         ["list"] => cmd_list(),
         ["run", suite, bench, scheme] => cmd_run(suite, bench, scheme),
-        ["run", suite, bench] => cmd_matrix(suite, bench),
-        ["matrix", suite, bench] => cmd_matrix(suite, bench),
+        ["run", suite, bench] => cmd_matrix(suite, bench, jobs),
+        ["matrix", suite, bench] => cmd_matrix(suite, bench, jobs),
+        ["suite", suite] => cmd_suite(suite, jobs),
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
         ["overhead"] => cmd_overhead(),
         _ => usage(),

@@ -90,7 +90,10 @@ impl LoadPairTable {
     #[must_use]
     pub fn with_entries(entries: usize) -> Self {
         assert!(entries > 0, "LPT must have at least one entry");
-        LoadPairTable { entries: vec![Entry::default(); entries], stats: LptStats::default() }
+        LoadPairTable {
+            entries: vec![Entry::default(); entries],
+            stats: LptStats::default(),
+        }
     }
 
     /// Number of entries.
@@ -168,7 +171,11 @@ impl LoadPairTable {
             }
         } else {
             let slot = self.slot(dst_preg);
-            self.entries[slot] = Entry { active: true, tag: dst_preg, addr: load_addr };
+            self.entries[slot] = Entry {
+                active: true,
+                tag: dst_preg,
+                addr: load_addr,
+            };
         }
         pair
     }
@@ -200,7 +207,11 @@ impl LoadPairTable {
             }
         } else {
             let islot = self.slot(dst_preg);
-            self.entries[islot] = Entry { active: true, tag: dst_preg, addr: load_addr };
+            self.entries[islot] = Entry {
+                active: true,
+                tag: dst_preg,
+                addr: load_addr,
+            };
         }
         out
     }
@@ -284,7 +295,7 @@ mod tests {
         let mut lpt = LoadPairTable::full(64);
         lpt.commit_load(5, None, 0x100, false); // installs 0x100 under p5
         lpt.commit_load(5, None, 0x200, true); // p5 rewritten, now-revealed word
-        // A consumer of p5 must NOT reveal the stale 0x100.
+                                               // A consumer of p5 must NOT reveal the stale 0x100.
         assert_eq!(lpt.commit_load(6, Some(5), 0x2000, false), None);
     }
 
@@ -304,7 +315,7 @@ mod tests {
         let mut lpt = LoadPairTable::with_entries(4);
         lpt.commit_load(1, None, 0x100, false);
         lpt.commit_load(5, None, 0x200, false); // evicts p1's entry (same slot)
-        // Consumer of p1 finds p5's tag: conflict, no (wrong) reveal.
+                                                // Consumer of p1 finds p5's tag: conflict, no (wrong) reveal.
         assert_eq!(lpt.commit_load(6, Some(1), 0x2000, false), None);
         // Consumer of p5 still works.
         assert_eq!(lpt.commit_load(7, Some(5), 0x3000, false), Some(0x200));

@@ -113,7 +113,10 @@ impl ReconConfig {
     /// A configuration with ReCon completely disabled.
     #[must_use]
     pub fn disabled() -> Self {
-        ReconConfig { enabled: false, ..ReconConfig::default() }
+        ReconConfig {
+            enabled: false,
+            ..ReconConfig::default()
+        }
     }
 }
 

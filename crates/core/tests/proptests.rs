@@ -9,7 +9,12 @@ use recon::{LoadPairTable, RevealMask, WORDS_PER_LINE};
 #[derive(Clone, Debug)]
 enum LptOp {
     /// `commit_load(dst, Some(src), addr, revealed)`
-    Load { dst: u32, src: u32, addr: u64, revealed: bool },
+    Load {
+        dst: u32,
+        src: u32,
+        addr: u64,
+        revealed: bool,
+    },
     /// `commit_writer(dst)`
     Writer { dst: u32 },
 }
@@ -17,7 +22,12 @@ enum LptOp {
 fn lpt_op() -> impl Strategy<Value = LptOp> {
     prop_oneof![
         (0u32..64, 0u32..64, 0u64..0x1000, proptest::bool::ANY).prop_map(
-            |(dst, src, a, revealed)| LptOp::Load { dst, src, addr: a * 8, revealed }
+            |(dst, src, a, revealed)| LptOp::Load {
+                dst,
+                src,
+                addr: a * 8,
+                revealed
+            }
         ),
         (0u32..64).prop_map(|dst| LptOp::Writer { dst }),
     ]

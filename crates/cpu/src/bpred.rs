@@ -77,7 +77,10 @@ impl BranchPredictor {
     /// [`BranchPredictor::repair`].
     pub fn predict(&mut self, pc: usize) -> (bool, PredToken) {
         let index = ((pc as u64) ^ self.history) & self.mask;
-        let token = PredToken { index: index as usize, history_before: self.history };
+        let token = PredToken {
+            index: index as usize,
+            history_before: self.history,
+        };
         let taken = self.table[token.index].predict();
         self.history = (self.history << 1) | u64::from(taken);
         (taken, token)
@@ -151,7 +154,10 @@ mod tests {
                 bp.repair(t, outcome); // mispredict: fix the history
             }
         }
-        assert!(correct > 190, "history should capture alternation: {correct}/200");
+        assert!(
+            correct > 190,
+            "history should capture alternation: {correct}/200"
+        );
     }
 
     #[test]
@@ -159,7 +165,11 @@ mod tests {
         let mut bp = BranchPredictor::new(8);
         let h0 = bp.history;
         let (pred, t) = bp.predict(5);
-        assert_ne!(bp.history, h0 << 1 | u64::from(!pred), "speculative history inserted");
+        assert_ne!(
+            bp.history,
+            h0 << 1 | u64::from(!pred),
+            "speculative history inserted"
+        );
         bp.repair(t, !pred);
         assert_eq!(bp.history, (h0 << 1) | u64::from(!pred));
     }

@@ -112,6 +112,9 @@ mod tests {
     fn tiny_is_smaller() {
         let t = CoreConfig::tiny();
         assert!(t.rob_entries < CoreConfig::default().rob_entries);
-        assert!(t.num_pregs >= t.rob_entries, "tiny core should rarely stall on pregs");
+        assert!(
+            t.num_pregs >= t.rob_entries,
+            "tiny core should rarely stall on pregs"
+        );
     }
 }

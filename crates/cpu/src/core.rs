@@ -233,11 +233,9 @@ impl Core {
                 let is_amo = matches!(inst, Inst::AmoAdd { .. });
                 // Guard placement (§5.4): a speculative, unrevealed load
                 // guards its destination; ReCon's revealed words do not.
-                let own_root = (self.secure.kind.is_secure()
-                    && speculative
-                    && !revealed
-                    && !is_amo)
-                    .then_some(seq);
+                let own_root =
+                    (self.secure.kind.is_secure() && speculative && !revealed && !is_amo)
+                        .then_some(seq);
                 let root = match (own_root, forwarded_guard) {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     (a, b) => a.or(b),
@@ -370,7 +368,8 @@ impl Core {
                         // (§4.4.2): a forwarded pair must not reveal.
                         if !entry.forwarded {
                             if let Some(revealed_addr) =
-                                self.lpt.commit_load(dst.new, Some(base), addr, entry.revealed)
+                                self.lpt
+                                    .commit_load(dst.new, Some(base), addr, entry.revealed)
                             {
                                 self.stats.reveals_requested += 1;
                                 mem.reveal(self.id, revealed_addr);
@@ -496,8 +495,12 @@ impl Core {
             .map(|e| e.seq)
             .collect();
         for seq in pending {
-            let Some(entry) = self.rob.get(seq) else { continue };
-            let Some(val_preg) = entry.srcs[1] else { continue };
+            let Some(entry) = self.rob.get(seq) else {
+                continue;
+            };
+            let Some(val_preg) = entry.srcs[1] else {
+                continue;
+            };
             if !self.rename.is_ready(val_preg) {
                 continue;
             }
@@ -557,8 +560,11 @@ impl Core {
         // never blocks issue. STT likewise only treats the store's
         // address as the transmitted operand; tainted store data is
         // handled at forwarding time (§4.5).
-        let issue_srcs: &[Option<crate::rename::PReg>] =
-            if matches!(inst, Inst::Store { .. }) { &srcs[..1] } else { &srcs[..] };
+        let issue_srcs: &[Option<crate::rename::PReg>] = if matches!(inst, Inst::Store { .. }) {
+            &srcs[..1]
+        } else {
+            &srcs[..]
+        };
 
         // Dataflow readiness.
         for p in issue_srcs.iter().flatten() {
@@ -586,12 +592,20 @@ impl Core {
             Inst::Alu { kind, .. } => {
                 let a = self.rename.read(srcs[0].expect("alu has src a"));
                 let b = self.rename.read(srcs[1].expect("alu has src b"));
-                let lat = if kind == AluKind::Mul { self.cfg.mul_latency } else { 1 };
+                let lat = if kind == AluKind::Mul {
+                    self.cfg.mul_latency
+                } else {
+                    1
+                };
                 self.finish_alu(seq, kind.apply(a, b), now, lat)
             }
             Inst::AluImm { kind, imm, .. } => {
                 let a = self.rename.read(srcs[0].expect("alui has src"));
-                let lat = if kind == AluKind::Mul { self.cfg.mul_latency } else { 1 };
+                let lat = if kind == AluKind::Mul {
+                    self.cfg.mul_latency
+                } else {
+                    1
+                };
                 self.finish_alu(seq, kind.apply(a, imm), now, lat)
             }
             Inst::Branch { kind, .. } => {
@@ -603,7 +617,9 @@ impl Core {
                 e.status = Status::Executing { done_at: now + 1 };
                 IssueResult::Issued
             }
-            Inst::Load { offset, .. } => self.issue_load(seq, LoadAddr::Offset(offset), mem, data, now),
+            Inst::Load { offset, .. } => {
+                self.issue_load(seq, LoadAddr::Offset(offset), mem, data, now)
+            }
             Inst::LoadIdx { .. } => self.issue_load(seq, LoadAddr::Indexed, mem, data, now),
             Inst::Store { offset, .. } => {
                 // Address computation; data is supplied separately.
@@ -626,7 +642,9 @@ impl Core {
     fn finish_alu(&mut self, seq: Seq, value: u64, now: u64, latency: u32) -> IssueResult {
         let e = self.rob.get_mut(seq).expect("present");
         e.value = Some(value);
-        e.status = Status::Executing { done_at: now + u64::from(latency) };
+        e.status = Status::Executing {
+            done_at: now + u64::from(latency),
+        };
         IssueResult::Issued
     }
 
@@ -679,7 +697,11 @@ impl Core {
                     let out = mem.read(self.id, addr);
                     if self.record_observations {
                         let pc = self.rob.get(seq).expect("present").pc;
-                        self.observations.push(Observation { pc, addr, speculative });
+                        self.observations.push(Observation {
+                            pc,
+                            addr,
+                            speculative,
+                        });
                     }
                     (data.read(addr), out.latency, out.revealed, false, None)
                 }
@@ -703,7 +725,9 @@ impl Core {
         e.revealed = revealed;
         e.forwarded = forwarded;
         e.guard_root = fwd_guard; // stashed for completion-time merge
-        e.status = Status::Executing { done_at: now + u64::from(latency) };
+        e.status = Status::Executing {
+            done_at: now + u64::from(latency),
+        };
         IssueResult::Issued
     }
 
@@ -734,7 +758,9 @@ impl Core {
         e.addr = Some(addr);
         e.value = Some(old);
         e.revealed = false;
-        e.status = Status::Executing { done_at: now + u64::from(out.latency) };
+        e.status = Status::Executing {
+            done_at: now + u64::from(out.latency),
+        };
         IssueResult::Issued
     }
 
@@ -776,7 +802,9 @@ impl Core {
             for (i, s) in srcs.iter().enumerate() {
                 renamed[i] = s.map(|r| self.rename.lookup(r));
             }
-            let dst = inst.dst().map(|d| self.rename.allocate(d).expect("checked free list"));
+            let dst = inst
+                .dst()
+                .map(|d| self.rename.allocate(d).expect("checked free list"));
 
             let seq = self.rob.push(pc, inst);
             self.trace.push(now, seq, pc, TraceKind::Dispatch);
@@ -913,14 +941,16 @@ mod tests {
         };
         let mut mem = MemorySystem::new(1, mem_cfg, recon_cfg);
         let mut data = SparseMem::from_image(&program.image);
-        let mut core =
-            Core::new(0, Arc::new(program), CoreConfig::tiny(), secure, recon_cfg);
+        let mut core = Core::new(0, Arc::new(program), CoreConfig::tiny(), secure, recon_cfg);
         for cycle in 0..max_cycles {
             if !core.tick(&mut mem, &mut data, cycle) {
                 break;
             }
         }
-        assert!(core.is_done(), "program did not finish in {max_cycles} cycles");
+        assert!(
+            core.is_done(),
+            "program did not finish in {max_cycles} cycles"
+        );
         (core, mem, data)
     }
 
@@ -942,7 +972,11 @@ mod tests {
     fn straight_line_program_matches_golden() {
         let mut a = Asm::new();
         a.data(0x100, 5);
-        a.li(R1, 0x100).load(R2, R1, 0).addi(R3, R2, 10).store(R3, R1, 0).halt();
+        a.li(R1, 0x100)
+            .load(R2, R1, 0)
+            .addi(R3, R2, 10)
+            .store(R3, R1, 0)
+            .halt();
         let p = a.assemble().unwrap();
         for secure in [
             SecureConfig::unsafe_baseline(),
@@ -1103,7 +1137,13 @@ mod tests {
         a.bltu_to(R6, R7, top);
         a.halt();
         let p = a.assemble().unwrap();
-        let base = run_program_with(micro_mem(), p.clone(), SecureConfig::unsafe_baseline(), 2_000_000).0;
+        let base = run_program_with(
+            micro_mem(),
+            p.clone(),
+            SecureConfig::unsafe_baseline(),
+            2_000_000,
+        )
+        .0;
         let stt = run_program_with(micro_mem(), p.clone(), SecureConfig::stt(), 2_000_000).0;
         let nda = run_program_with(micro_mem(), p.clone(), SecureConfig::nda(), 2_000_000).0;
         let sum: u64 = (0..n).map(|i| (i * 17) % n).sum();
@@ -1122,7 +1162,10 @@ mod tests {
             nda.stats().cycles,
             stt.stats().cycles
         );
-        assert!(stt.stats().guarded_loads > 0, "dependent loads were tainted");
+        assert!(
+            stt.stats().guarded_loads > 0,
+            "dependent loads were tainted"
+        );
     }
 
     #[test]
@@ -1160,8 +1203,14 @@ mod tests {
         let stt = run_program_with(micro_mem(), p.clone(), SecureConfig::stt(), 5_000_000).0;
         let (sttr, mem_r, _) =
             run_program_with(micro_mem(), p.clone(), SecureConfig::stt_recon(), 5_000_000);
-        assert!(mem_r.stats().reveals_set > 0, "load pairs revealed addresses");
-        assert!(sttr.stats().revealed_loads_committed > 0, "revealed words were reused");
+        assert!(
+            mem_r.stats().reveals_set > 0,
+            "load pairs revealed addresses"
+        );
+        assert!(
+            sttr.stats().revealed_loads_committed > 0,
+            "revealed words were reused"
+        );
         assert!(
             sttr.stats().guarded_loads < stt.stats().guarded_loads,
             "ReCon reduces tainted loads: {} vs {}",
@@ -1210,7 +1259,10 @@ mod tests {
         let recon_cfg = ReconConfig::disabled();
         let mut mem = MemorySystem::new(1, MemConfig::scaled(), recon_cfg);
         let mut data = SparseMem::from_image(&p.image);
-        let cfg = CoreConfig { mdp: MdpMode::Predictor, ..CoreConfig::tiny() };
+        let cfg = CoreConfig {
+            mdp: MdpMode::Predictor,
+            ..CoreConfig::tiny()
+        };
         let mut core = Core::new(
             0,
             Arc::new(p),
@@ -1224,7 +1276,11 @@ mod tests {
             }
         }
         assert!(core.is_done());
-        assert_eq!(core.arch_read(R5), 77, "violation squash re-reads the store data");
+        assert_eq!(
+            core.arch_read(R5),
+            77,
+            "violation squash re-reads the store data"
+        );
         assert_eq!(core.stats().memory_violations, 1);
     }
 
@@ -1300,7 +1356,11 @@ mod tests {
         assert_eq!(core.arch_read(R4), 99);
         // Default configuration: the ldx detects no pair (x86-style
         // cracking), so at most the (LD,LD) pairs of the setup reveal.
-        assert_eq!(mem.stats().reveals_set, 0, "no pair through the ldx by default");
+        assert_eq!(
+            mem.stats().reveals_set,
+            0,
+            "no pair through the ldx by default"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl StoreQueue {
     /// Creates a store queue with the given capacity.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        StoreQueue { entries: VecDeque::new(), capacity }
+        StoreQueue {
+            entries: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Whether a store can be dispatched.
@@ -88,7 +91,11 @@ impl StoreQueue {
     pub fn push(&mut self, seq: Seq) {
         assert!(self.has_space(), "SQ full");
         debug_assert!(self.entries.back().is_none_or(|e| e.seq < seq));
-        self.entries.push_back(SqEntry { seq, addr: None, value: None });
+        self.entries.push_back(SqEntry {
+            seq,
+            addr: None,
+            value: None,
+        });
     }
 
     /// Records the resolved address of a store.
@@ -108,7 +115,10 @@ impl StoreQueue {
     /// Whether every store older than `seq` has a resolved address.
     #[must_use]
     pub fn older_addrs_resolved(&self, seq: Seq) -> bool {
-        self.entries.iter().take_while(|e| e.seq < seq).all(|e| e.addr.is_some())
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .all(|e| e.addr.is_some())
     }
 
     /// Forwarding probe: scans stores older than `load_seq`,
@@ -129,7 +139,10 @@ impl StoreQueue {
                 }
                 Some(a) if a == addr => {
                     return match e.value {
-                        Some(v) => Forward::FromStore { seq: e.seq, value: v },
+                        Some(v) => Forward::FromStore {
+                            seq: e.seq,
+                            value: v,
+                        },
                         None => Forward::MustWait,
                     };
                 }
@@ -147,9 +160,15 @@ impl StoreQueue {
     /// Panics if `seq` is not the oldest entry or is unresolved —
     /// commit is in order and requires a computed address and data.
     pub fn commit(&mut self, seq: Seq) -> (u64, u64) {
-        let e = self.entries.pop_front().expect("committing store not in SQ");
+        let e = self
+            .entries
+            .pop_front()
+            .expect("committing store not in SQ");
         assert_eq!(e.seq, seq, "stores commit in order");
-        (e.addr.expect("committed store has address"), e.value.expect("has data"))
+        (
+            e.addr.expect("committed store has address"),
+            e.value.expect("has data"),
+        )
     }
 
     /// Drops all stores younger than `seq` (squash).
@@ -176,7 +195,10 @@ impl StoreBuffer {
     /// Creates a buffer with the given capacity.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        StoreBuffer { entries: VecDeque::new(), capacity }
+        StoreBuffer {
+            entries: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Whether a committed store can enter.
@@ -215,7 +237,11 @@ impl StoreBuffer {
     /// Youngest same-word value, if any (forwarding; always concealed).
     #[must_use]
     pub fn forward(&self, addr: u64) -> Option<u64> {
-        self.entries.iter().rev().find(|&&(a, _)| a == addr).map(|&(_, v)| v)
+        self.entries
+            .iter()
+            .rev()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -243,7 +269,10 @@ impl LoadQueue {
     /// Creates a load queue with the given capacity.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        LoadQueue { entries: VecDeque::new(), capacity }
+        LoadQueue {
+            entries: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Whether a load can be dispatched.
@@ -271,7 +300,12 @@ impl LoadQueue {
     /// Panics when full; check [`LoadQueue::has_space`].
     pub fn push(&mut self, seq: Seq) {
         assert!(self.has_space(), "LQ full");
-        self.entries.push_back(LqEntry { seq, addr: None, forwarded_from: None, done: false });
+        self.entries.push_back(LqEntry {
+            seq,
+            addr: None,
+            forwarded_from: None,
+            done: false,
+        });
     }
 
     /// Marks a load executed at `addr`, with its forwarding source.
@@ -322,7 +356,10 @@ mod tests {
         sq.push(1);
         sq.set_addr(1, 0x100);
         sq.set_value(1, 42);
-        assert_eq!(sq.forward(5, 0x100, true), Forward::FromStore { seq: 1, value: 42 });
+        assert_eq!(
+            sq.forward(5, 0x100, true),
+            Forward::FromStore { seq: 1, value: 42 }
+        );
         assert_eq!(sq.forward(5, 0x108, true), Forward::FromMemory);
     }
 
@@ -335,7 +372,10 @@ mod tests {
         sq.push(2);
         sq.set_addr(2, 0x100);
         sq.set_value(2, 2);
-        assert_eq!(sq.forward(5, 0x100, true), Forward::FromStore { seq: 2, value: 2 });
+        assert_eq!(
+            sq.forward(5, 0x100, true),
+            Forward::FromStore { seq: 2, value: 2 }
+        );
     }
 
     #[test]
@@ -415,8 +455,8 @@ mod tests {
         lq.push(12);
         lq.complete(10, 0x100, None); // executed from memory
         lq.complete(12, 0x100, Some(5)); // forwarded from store 5
-        // Store 5 resolves to 0x100: load 10 read memory and missed the
-        // forwarding -> violation; load 12 forwarded correctly.
+                                         // Store 5 resolves to 0x100: load 10 read memory and missed the
+                                         // forwarding -> violation; load 12 forwarded correctly.
         assert_eq!(lq.violation(5, 0x100), Some(10));
         // A store to a different word bothers no one.
         assert_eq!(lq.violation(5, 0x108), None);

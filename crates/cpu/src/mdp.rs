@@ -37,7 +37,10 @@ impl StoreSets {
     #[must_use]
     pub fn new(ssit_entries: usize, sets: usize) -> Self {
         assert!(ssit_entries > 0 && sets > 0);
-        StoreSets { ssit: vec![None; ssit_entries], lfst: vec![None; sets] }
+        StoreSets {
+            ssit: vec![None; ssit_entries],
+            lfst: vec![None; sets],
+        }
     }
 
     fn slot(&self, pc: usize) -> usize {
@@ -142,7 +145,11 @@ mod tests {
         let mut p = StoreSets::default();
         p.violation(100, 40);
         p.violation(100, 41);
-        assert_eq!(p.set_of(40), p.set_of(41), "both stores share the load's set");
+        assert_eq!(
+            p.set_of(40),
+            p.set_of(41),
+            "both stores share the load's set"
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Rename {
     /// Squash: restore the previous mapping and recycle the speculative
     /// allocation. Must be applied youngest-first.
     pub fn undo(&mut self, rename: DstRename) {
-        debug_assert_eq!(self.map[rename.arch.index()], rename.new, "undo out of order");
+        debug_assert_eq!(
+            self.map[rename.arch.index()],
+            rename.new,
+            "undo out of order"
+        );
         self.map[rename.arch.index()] = rename.old;
         self.ready[rename.new as usize] = true; // freed regs read as ready
         self.free.push_front(rename.new);

@@ -92,7 +92,11 @@ impl Rob {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Rob { entries: std::collections::VecDeque::with_capacity(capacity), capacity, next_seq: 0 }
+        Rob {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
     }
 
     /// Whether a new instruction can be dispatched.

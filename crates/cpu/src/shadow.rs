@@ -52,7 +52,12 @@ impl ShadowTracker {
 
     /// Removes all casters with sequence `>= first` (squash).
     pub fn squash_from(&mut self, first: Seq) {
-        self.unresolved = self.unresolved.iter().copied().filter(|&s| s < first).collect();
+        self.unresolved = self
+            .unresolved
+            .iter()
+            .copied()
+            .filter(|&s| s < first)
+            .collect();
     }
 
     /// The oldest unresolved shadow-caster, or `Seq::MAX` when none —

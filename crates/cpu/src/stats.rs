@@ -89,13 +89,21 @@ mod tests {
 
     #[test]
     fn ipc_computes() {
-        let s = CoreStats { cycles: 100, committed: 250, ..CoreStats::default() };
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            ..CoreStats::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn guarded_fraction() {
-        let s = CoreStats { loads_committed: 10, guarded_loads: 4, ..CoreStats::default() };
+        let s = CoreStats {
+            loads_committed: 10,
+            guarded_loads: 4,
+            ..CoreStats::default()
+        };
         assert!((s.guarded_load_fraction() - 0.4).abs() < 1e-12);
     }
 }

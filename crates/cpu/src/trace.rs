@@ -67,7 +67,12 @@ impl TraceLog {
     #[inline]
     pub fn push(&mut self, cycle: u64, seq: Seq, pc: usize, kind: TraceKind) {
         if self.enabled && self.events.len() < TRACE_CAP {
-            self.events.push(TraceEvent { cycle, seq, pc, kind });
+            self.events.push(TraceEvent {
+                cycle,
+                seq,
+                pc,
+                kind,
+            });
         }
     }
 

@@ -116,7 +116,12 @@ mod tests {
 
     #[test]
     fn empty_report_has_zero_fractions() {
-        let r = LeakReport { touched_words: 0, dift_leaked: 0, pair_leaked: 0, instructions: 0 };
+        let r = LeakReport {
+            touched_words: 0,
+            dift_leaked: 0,
+            pair_leaked: 0,
+            instructions: 0,
+        };
         assert_eq!(r.dift_fraction(), 0.0);
         assert_eq!(r.pair_fraction(), 0.0);
     }

@@ -147,7 +147,8 @@ impl LeakageAnalysis {
                 let MemEffect::Store { addr, .. } = rec.mem else {
                     unreachable!("store records a Store effect")
                 };
-                self.mem_prov.insert(addr, self.reg_prov[val.index()].clone());
+                self.mem_prov
+                    .insert(addr, self.reg_prov[val.index()].clone());
             }
             Inst::AmoAdd { dst, add, .. } => {
                 let MemEffect::Amo { addr, .. } = rec.mem else {
@@ -228,9 +229,15 @@ mod tests {
         a.data(0x100, 0x200).data(0x200, 5);
         a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0).halt();
         let la = analyze(a);
-        assert!(la.is_leaked(0x100), "0x100's content was used as an address");
+        assert!(
+            la.is_leaked(0x100),
+            "0x100's content was used as an address"
+        );
         assert!(la.is_pair_leaked(0x100), "and it was a direct pair");
-        assert!(!la.is_leaked(0x200), "the target's content never became an address");
+        assert!(
+            !la.is_leaked(0x200),
+            "the target's content never became an address"
+        );
     }
 
     #[test]
@@ -258,7 +265,10 @@ mod tests {
         a.data(0x100, 0x200).data(0x210, 5);
         a.li(R1, 0x100).load(R2, R1, 0).load(R3, R2, 0x10).halt();
         let la = analyze(a);
-        assert!(la.is_pair_leaked(0x100), "offsets do not break pairs (§4.3)");
+        assert!(
+            la.is_pair_leaked(0x100),
+            "offsets do not break pairs (§4.3)"
+        );
     }
 
     #[test]

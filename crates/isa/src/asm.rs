@@ -142,32 +142,62 @@ impl Asm {
 
     /// `dst = a + b`
     pub fn add(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::Add, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::Add,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a - b`
     pub fn sub(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::Sub, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::Sub,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a * b`
     pub fn mul(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::Mul, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::Mul,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a & b`
     pub fn and(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::And, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::And,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a | b`
     pub fn or(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::Or, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::Or,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a ^ b`
     pub fn xor(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { kind: AluKind::Xor, dst, a, b })
+        self.push(Inst::Alu {
+            kind: AluKind::Xor,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// Generic register-register ALU operation.
@@ -177,32 +207,62 @@ impl Asm {
 
     /// `dst = a + imm`
     pub fn addi(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::Add, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::Add,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// `dst = a - imm`
     pub fn subi(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::Sub, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::Sub,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// `dst = a * imm`
     pub fn muli(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::Mul, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::Mul,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// `dst = a & imm`
     pub fn andi(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::And, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::And,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// `dst = a << imm`
     pub fn shli(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::Shl, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::Shl,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// `dst = a >> imm`
     pub fn shri(&mut self, dst: ArchReg, a: ArchReg, imm: u64) -> &mut Self {
-        self.push(Inst::AluImm { kind: AluKind::Shr, dst, a, imm })
+        self.push(Inst::AluImm {
+            kind: AluKind::Shr,
+            dst,
+            a,
+            imm,
+        })
     }
 
     /// Generic register-immediate ALU operation.
@@ -227,7 +287,12 @@ impl Asm {
 
     /// Atomic fetch-add.
     pub fn amoadd(&mut self, dst: ArchReg, base: ArchReg, offset: i64, add: ArchReg) -> &mut Self {
-        self.push(Inst::AmoAdd { dst, base, offset, add })
+        self.push(Inst::AmoAdd {
+            dst,
+            base,
+            offset,
+            add,
+        })
     }
 
     /// `if a == b goto label`
@@ -298,7 +363,11 @@ impl Asm {
                 other => unreachable!("patch points at non-branch {other}"),
             }
         }
-        let program = Program { code: self.code, entry: 0, image: self.image };
+        let program = Program {
+            code: self.code,
+            entry: 0,
+            image: self.image,
+        };
         program.validate()?;
         Ok(program)
     }
@@ -318,7 +387,15 @@ mod tests {
         a.bind(end);
         a.halt();
         let p = a.assemble().unwrap();
-        assert_eq!(p.code[0], Inst::Branch { kind: BranchKind::Eq, a: R0, b: R0, target: 2 });
+        assert_eq!(
+            p.code[0],
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                a: R0,
+                b: R0,
+                target: 2
+            }
+        );
     }
 
     #[test]
@@ -329,7 +406,15 @@ mod tests {
         a.bne_to(R1, R0, top);
         a.halt();
         let p = a.assemble().unwrap();
-        assert_eq!(p.code[1], Inst::Branch { kind: BranchKind::Ne, a: R1, b: R0, target: 0 });
+        assert_eq!(
+            p.code[1],
+            Inst::Branch {
+                kind: BranchKind::Ne,
+                a: R1,
+                b: R0,
+                target: 0
+            }
+        );
     }
 
     #[test]
@@ -374,7 +459,11 @@ mod tests {
     #[test]
     fn emitters_chain() {
         let mut a = Asm::new();
-        a.li(R1, 1).addi(R2, R1, 2).load(R3, R2, 0).store(R3, R2, 8).halt();
+        a.li(R1, 1)
+            .addi(R2, R1, 2)
+            .load(R3, R2, 0)
+            .store(R3, R2, 8)
+            .halt();
         let p = a.assemble().unwrap();
         assert_eq!(p.len(), 5);
     }

@@ -24,7 +24,11 @@ impl ArchState {
     /// Fresh state: all registers zero, `pc` at the program entry.
     #[must_use]
     pub fn at_entry(program: &Program) -> Self {
-        ArchState { regs: [0; NUM_ARCH_REGS], pc: program.entry, halted: false }
+        ArchState {
+            regs: [0; NUM_ARCH_REGS],
+            pc: program.entry,
+            halted: false,
+        }
     }
 
     /// Reads a register (`r0` always reads 0).
@@ -43,7 +47,11 @@ impl ArchState {
 
 impl Default for ArchState {
     fn default() -> Self {
-        ArchState { regs: [0; NUM_ARCH_REGS], pc: 0, halted: false }
+        ArchState {
+            regs: [0; NUM_ARCH_REGS],
+            pc: 0,
+            halted: false,
+        }
     }
 }
 
@@ -208,13 +216,22 @@ pub fn step<M: DataMem>(
             mem.write(addr, v);
             record.mem = MemEffect::Store { addr, value: v };
         }
-        Inst::AmoAdd { dst, base, offset, add } => {
+        Inst::AmoAdd {
+            dst,
+            base,
+            offset,
+            add,
+        } => {
             let addr = effective_addr(state.read(base), offset, pc)?;
             let old = mem.read(addr);
             let new = old.wrapping_add(state.read(add));
             mem.write(addr, new);
             state.write(dst, old);
-            record.mem = MemEffect::Amo { addr, read: old, written: new };
+            record.mem = MemEffect::Amo {
+                addr,
+                read: old,
+                written: new,
+            };
             record.wrote = Some((dst, old));
         }
         Inst::Branch { kind, a, b, target } => {
@@ -319,12 +336,28 @@ mod tests {
     fn load_store_round_trip() {
         let mut a = Asm::new();
         a.data(0x100, 0x2A);
-        a.li(R1, 0x100).load(R2, R1, 0).store(R2, R1, 8).load(R3, R1, 8).halt();
+        a.li(R1, 0x100)
+            .load(R2, R1, 0)
+            .store(R2, R1, 8)
+            .load(R3, R1, 8)
+            .halt();
         let p = a.assemble().unwrap();
         let (trace, state) = run_collect(&p, 100).unwrap();
         assert_eq!(state.read(R3), 0x2A);
-        assert_eq!(trace[1].mem, MemEffect::Load { addr: 0x100, value: 0x2A });
-        assert_eq!(trace[2].mem, MemEffect::Store { addr: 0x108, value: 0x2A });
+        assert_eq!(
+            trace[1].mem,
+            MemEffect::Load {
+                addr: 0x100,
+                value: 0x2A
+            }
+        );
+        assert_eq!(
+            trace[2].mem,
+            MemEffect::Store {
+                addr: 0x108,
+                value: 0x2A
+            }
+        );
     }
 
     #[test]
@@ -360,12 +393,23 @@ mod tests {
     fn amoadd_returns_old_and_adds() {
         let mut a = Asm::new();
         a.data(0x80, 10);
-        a.li(R1, 0x80).li(R2, 5).amoadd(R3, R1, 0, R2).load(R4, R1, 0).halt();
+        a.li(R1, 0x80)
+            .li(R2, 5)
+            .amoadd(R3, R1, 0, R2)
+            .load(R4, R1, 0)
+            .halt();
         let p = a.assemble().unwrap();
         let (trace, state) = run_collect(&p, 100).unwrap();
         assert_eq!(state.read(R3), 10);
         assert_eq!(state.read(R4), 15);
-        assert_eq!(trace[2].mem, MemEffect::Amo { addr: 0x80, read: 10, written: 15 });
+        assert_eq!(
+            trace[2].mem,
+            MemEffect::Amo {
+                addr: 0x80,
+                read: 10,
+                written: 15
+            }
+        );
     }
 
     #[test]

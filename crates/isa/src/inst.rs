@@ -90,8 +90,12 @@ pub enum BranchKind {
 
 impl BranchKind {
     /// All branch kinds.
-    pub const ALL: [BranchKind; 4] =
-        [BranchKind::Eq, BranchKind::Ne, BranchKind::Ltu, BranchKind::Geu];
+    pub const ALL: [BranchKind; 4] = [
+        BranchKind::Eq,
+        BranchKind::Ne,
+        BranchKind::Ltu,
+        BranchKind::Geu,
+    ];
 
     /// Evaluates the branch condition.
     #[must_use]
@@ -292,7 +296,10 @@ impl Inst {
     /// Whether this instruction reads memory.
     #[must_use]
     pub fn is_load(&self) -> bool {
-        matches!(self, Inst::Load { .. } | Inst::LoadIdx { .. } | Inst::AmoAdd { .. })
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::LoadIdx { .. } | Inst::AmoAdd { .. }
+        )
     }
 
     /// Whether this instruction writes memory.
@@ -336,7 +343,12 @@ impl fmt::Display for Inst {
             Inst::Store { val, base, offset } => write!(f, "st {val}, [{base}{offset:+#x}]"),
             Inst::Branch { kind, a, b, target } => write!(f, "{kind} {a}, {b}, @{target}"),
             Inst::Jump { target } => write!(f, "j @{target}"),
-            Inst::AmoAdd { dst, base, offset, add } => {
+            Inst::AmoAdd {
+                dst,
+                base,
+                offset,
+                add,
+            } => {
                 write!(f, "amoadd {dst}, [{base}{offset:+#x}], {add}")
             }
             Inst::Nop => f.write_str("nop"),
@@ -379,7 +391,11 @@ mod tests {
 
     #[test]
     fn operand_accessors_for_load() {
-        let ld = Inst::Load { dst: R2, base: R1, offset: 8 };
+        let ld = Inst::Load {
+            dst: R2,
+            base: R1,
+            offset: 8,
+        };
         assert_eq!(ld.dst(), Some(R2));
         assert_eq!(ld.srcs(), [Some(R1), None]);
         assert_eq!(ld.addr_src(), Some(R1));
@@ -388,7 +404,11 @@ mod tests {
 
     #[test]
     fn operand_accessors_for_store() {
-        let st = Inst::Store { val: R3, base: R4, offset: -8 };
+        let st = Inst::Store {
+            val: R3,
+            base: R4,
+            offset: -8,
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.addr_src(), Some(R4));
         assert!(st.is_store() && !st.is_load() && st.is_transmitter());
@@ -396,7 +416,12 @@ mod tests {
 
     #[test]
     fn amoadd_is_load_and_store() {
-        let amo = Inst::AmoAdd { dst: R1, base: R2, offset: 0, add: R3 };
+        let amo = Inst::AmoAdd {
+            dst: R1,
+            base: R2,
+            offset: 0,
+            add: R3,
+        };
         assert!(amo.is_load() && amo.is_store());
         assert_eq!(amo.dst(), Some(R1));
         assert_eq!(amo.addr_src(), Some(R2));
@@ -404,7 +429,12 @@ mod tests {
 
     #[test]
     fn control_classification() {
-        let br = Inst::Branch { kind: BranchKind::Eq, a: R1, b: R0, target: 0 };
+        let br = Inst::Branch {
+            kind: BranchKind::Eq,
+            a: R1,
+            b: R0,
+            target: 0,
+        };
         assert!(br.is_control() && br.is_cond_branch() && br.is_transmitter());
         assert!(Inst::Jump { target: 3 }.is_control());
         assert!(Inst::Halt.is_control());
@@ -414,7 +444,11 @@ mod tests {
 
     #[test]
     fn loadidx_reports_both_address_sources() {
-        let ldx = Inst::LoadIdx { dst: R3, base: R1, index: R2 };
+        let ldx = Inst::LoadIdx {
+            dst: R3,
+            base: R1,
+            index: R2,
+        };
         assert_eq!(ldx.dst(), Some(R3));
         assert_eq!(ldx.srcs(), [Some(R1), Some(R2)]);
         assert_eq!(ldx.addr_src(), Some(R1));
@@ -425,20 +459,33 @@ mod tests {
 
     #[test]
     fn single_source_loads_report_one_address_source() {
-        let ld = Inst::Load { dst: R2, base: R1, offset: 0 };
+        let ld = Inst::Load {
+            dst: R2,
+            base: R1,
+            offset: 0,
+        };
         assert_eq!(ld.addr_srcs(), [Some(R1), None]);
     }
 
     #[test]
     fn alu_is_not_transmitter() {
-        let alu = Inst::Alu { kind: AluKind::Add, dst: R1, a: R2, b: R3 };
+        let alu = Inst::Alu {
+            kind: AluKind::Add,
+            dst: R1,
+            a: R2,
+            b: R3,
+        };
         assert!(!alu.is_transmitter());
         assert_eq!(alu.srcs(), [Some(R2), Some(R3)]);
     }
 
     #[test]
     fn display_round_trips_meaning() {
-        let ld = Inst::Load { dst: R2, base: R1, offset: 16 };
+        let ld = Inst::Load {
+            dst: R2,
+            base: R1,
+            offset: 16,
+        };
         assert_eq!(ld.to_string(), "ld r2, [r1+0x10]");
         assert_eq!(Inst::Nop.to_string(), "nop");
     }

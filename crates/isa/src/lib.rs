@@ -37,10 +37,12 @@
 
 pub mod asm;
 pub mod exec;
+pub mod hash;
 pub mod inst;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod rng;
 
 pub use asm::{Asm, AsmError, Label};
 pub use exec::{run_collect, run_with, ArchState, ExecError, MemEffect, StepRecord};

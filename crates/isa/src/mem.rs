@@ -1,7 +1,6 @@
-//! Data memory abstraction and a sparse word-granular implementation.
+//! Data memory abstraction and a paged flat-store implementation.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::program::MemImage;
 
 /// Word-granular data memory as seen by the functional semantics.
@@ -14,7 +13,28 @@ pub trait DataMem {
     fn write(&mut self, addr: u64, value: u64);
 }
 
-/// Sparse hash-map-backed memory. Uninitialized words read as zero.
+/// Page granularity: 4 KiB = 512 words. Large enough to amortize the
+/// page lookup over hundreds of neighbouring accesses, small enough
+/// that sparse workload images stay sparse.
+const PAGE_SHIFT: u32 = 12;
+/// Words per page.
+const PAGE_WORDS: usize = 1 << (PAGE_SHIFT - 3);
+/// Word-index mask within a page.
+const WORD_MASK: u64 = PAGE_WORDS as u64 - 1;
+
+/// One zero-initialized page of backing store.
+type Page = [u64; PAGE_WORDS];
+
+/// Sparse paged memory. Uninitialized words read as zero.
+///
+/// This sits on the simulator's hottest path — every functional load and
+/// store of every core, every cycle — so it is a flat array walk, not a
+/// per-word hash lookup: addresses map to 4 KiB pages held in an
+/// [`FxHashMap`](crate::hash::FxHashMap) (allocated on first write), and
+/// the word index within the page is a shift-and-mask. Compared to the
+/// previous word-granular SipHash map this is one cheap hash per *page*
+/// reference instead of one expensive hash per *word* reference, plus
+/// cache-friendly locality for neighbouring words.
 ///
 /// ```
 /// use recon_isa::{DataMem, SparseMem};
@@ -26,7 +46,17 @@ pub trait DataMem {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct SparseMem {
-    words: HashMap<u64, u64>,
+    pages: FxHashMap<u64, Box<Page>>,
+}
+
+#[inline]
+fn page_of(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+#[inline]
+fn word_in_page(addr: u64) -> usize {
+    ((addr >> 3) & WORD_MASK) as usize
 }
 
 impl SparseMem {
@@ -39,32 +69,53 @@ impl SparseMem {
     /// Creates a memory pre-loaded from a program image.
     #[must_use]
     pub fn from_image(image: &MemImage) -> Self {
-        SparseMem { words: image.iter().collect() }
+        let mut m = SparseMem::new();
+        for (addr, value) in image.iter() {
+            m.write(addr, value);
+        }
+        m
     }
 
-    /// Number of words ever written (or loaded from the image).
+    /// Number of resident backing pages (4 KiB each).
     #[must_use]
-    pub fn touched_words(&self) -> usize {
-        self.words.len()
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of words with backing store allocated (an upper bound on
+    /// the words ever written: writes allocate whole pages).
+    #[must_use]
+    pub fn resident_words(&self) -> usize {
+        self.pages.len() * PAGE_WORDS
     }
 
     /// Reads without requiring `&mut self` (the trait takes `&mut` so
     /// that timing models can update internal state on reads).
     #[must_use]
+    #[inline]
     pub fn peek(&self, addr: u64) -> u64 {
         debug_assert_eq!(addr % 8, 0, "misaligned read at {addr:#x}");
-        self.words.get(&addr).copied().unwrap_or(0)
+        match self.pages.get(&page_of(addr)) {
+            Some(page) => page[word_in_page(addr)],
+            None => 0,
+        }
     }
 }
 
 impl DataMem for SparseMem {
+    #[inline]
     fn read(&mut self, addr: u64) -> u64 {
         self.peek(addr)
     }
 
+    #[inline]
     fn write(&mut self, addr: u64, value: u64) {
         debug_assert_eq!(addr % 8, 0, "misaligned write at {addr:#x}");
-        self.words.insert(addr, value);
+        let page = self
+            .pages
+            .entry(page_of(addr))
+            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        page[word_in_page(addr)] = value;
     }
 }
 
@@ -77,6 +128,7 @@ mod tests {
         let mut m = SparseMem::new();
         assert_eq!(m.read(0x0), 0);
         assert_eq!(m.read(0xFFF8), 0);
+        assert_eq!(m.resident_pages(), 0, "reads allocate nothing");
     }
 
     #[test]
@@ -85,7 +137,8 @@ mod tests {
         m.write(0x8, 1234);
         assert_eq!(m.read(0x8), 1234);
         assert_eq!(m.peek(0x8), 1234);
-        assert_eq!(m.touched_words(), 1);
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.resident_words(), PAGE_WORDS);
     }
 
     #[test]
@@ -93,6 +146,32 @@ mod tests {
         let img: MemImage = [(0x10, 7)].into_iter().collect();
         let mut m = SparseMem::from_image(&img);
         assert_eq!(m.read(0x10), 7);
+    }
+
+    #[test]
+    fn page_boundaries_are_independent_words() {
+        let mut m = SparseMem::new();
+        // Last word of page 0, first word of page 1.
+        m.write(0x0FF8, 1);
+        m.write(0x1000, 2);
+        assert_eq!(m.read(0x0FF8), 1);
+        assert_eq!(m.read(0x1000), 2);
+        assert_eq!(m.resident_pages(), 2);
+        // Untouched neighbours on both pages stay zero.
+        assert_eq!(m.read(0x0FF0), 0);
+        assert_eq!(m.read(0x1008), 0);
+    }
+
+    #[test]
+    fn distant_addresses_do_not_alias() {
+        let mut m = SparseMem::new();
+        // Same word-in-page index, different pages.
+        m.write(0x0008, 10);
+        m.write(0x0010_0008, 20);
+        m.write(0xFFFF_FFFF_FFFF_F008, 30);
+        assert_eq!(m.read(0x0008), 10);
+        assert_eq!(m.read(0x0010_0008), 20);
+        assert_eq!(m.read(0xFFFF_FFFF_FFFF_F008), 30);
     }
 
     #[test]

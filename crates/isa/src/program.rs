@@ -126,7 +126,11 @@ impl Program {
     /// Creates a program with entry point 0 and an empty image.
     #[must_use]
     pub fn new(code: Vec<Inst>) -> Self {
-        Program { code, entry: 0, image: MemImage::new() }
+        Program {
+            code,
+            entry: 0,
+            image: MemImage::new(),
+        }
     }
 
     /// Number of static instructions.
@@ -214,7 +218,12 @@ mod tests {
     fn validate_accepts_well_formed() {
         let p = halted(vec![
             Inst::LoadImm { dst: R1, imm: 0 },
-            Inst::Branch { kind: BranchKind::Eq, a: R1, b: R0, target: 2 },
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                a: R1,
+                b: R0,
+                target: 2,
+            },
         ]);
         assert_eq!(p.validate(), Ok(()));
     }
@@ -238,7 +247,10 @@ mod tests {
     fn validate_rejects_misaligned_image() {
         let mut p = halted(vec![]);
         p.image.words.insert(0x3, 1); // bypass the debug assert in set()
-        assert_eq!(p.validate(), Err(ProgramError::MisalignedImage { addr: 0x3 }));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::MisalignedImage { addr: 0x3 })
+        );
     }
 
     #[test]

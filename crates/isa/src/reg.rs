@@ -35,9 +35,8 @@ impl ArchReg {
     /// Panics if `index >= NUM_ARCH_REGS`.
     #[must_use]
     pub fn new(index: usize) -> Self {
-        Self::try_new(index).unwrap_or_else(|| {
-            panic!("register index {index} out of range 0..{NUM_ARCH_REGS}")
-        })
+        Self::try_new(index)
+            .unwrap_or_else(|| panic!("register index {index} out of range 0..{NUM_ARCH_REGS}"))
     }
 
     /// Creates a register from its index, or `None` if out of range.

@@ -54,7 +54,11 @@ impl CacheArray {
     #[must_use]
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = vec![vec![Way::default(); geom.ways()]; geom.num_sets()];
-        CacheArray { geom, sets, tick: 0 }
+        CacheArray {
+            geom,
+            sets,
+            tick: 0,
+        }
     }
 
     /// The array's geometry.
@@ -160,7 +164,13 @@ impl CacheArray {
             state: victim.state,
             mask: victim.mask,
         });
-        ways[slot] = Way { valid: true, tag, state, mask, last_use: tick };
+        ways[slot] = Way {
+            valid: true,
+            tag,
+            state,
+            mask,
+            last_use: tick,
+        };
         evicted
     }
 
@@ -181,9 +191,9 @@ impl CacheArray {
     /// Iterates over `(line_addr, state, mask)` of every valid line.
     pub fn iter_lines(&self) -> impl Iterator<Item = (u64, Mesi, RevealMask)> + '_ {
         self.sets.iter().enumerate().flat_map(move |(set, ways)| {
-            ways.iter().filter(|w| w.valid).map(move |w| {
-                (self.geom.unslice(set, w.tag), w.state, w.mask)
-            })
+            ways.iter()
+                .filter(|w| w.valid)
+                .map(move |w| (self.geom.unslice(set, w.tag), w.state, w.mask))
         })
     }
 }
@@ -200,7 +210,10 @@ mod tests {
     #[test]
     fn fill_and_probe() {
         let mut c = small();
-        assert_eq!(c.fill(0x000, Mesi::Exclusive, RevealMask::all_concealed()), None);
+        assert_eq!(
+            c.fill(0x000, Mesi::Exclusive, RevealMask::all_concealed()),
+            None
+        );
         assert_eq!(c.state_of(0x000), Some(Mesi::Exclusive));
         assert_eq!(c.state_of(0x040), None);
         assert_eq!(c.occupancy(), 1);
@@ -220,7 +233,9 @@ mod tests {
         c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
         c.fill(0x080, Mesi::Shared, RevealMask::all_concealed());
         c.touch(0x000); // make 0x080 the LRU
-        let ev = c.fill(0x100, Mesi::Shared, RevealMask::all_concealed()).unwrap();
+        let ev = c
+            .fill(0x100, Mesi::Shared, RevealMask::all_concealed())
+            .unwrap();
         assert_eq!(ev.addr, 0x080);
         assert_eq!(c.state_of(0x000), Some(Mesi::Shared));
         assert_eq!(c.state_of(0x100), Some(Mesi::Shared));
@@ -233,15 +248,27 @@ mod tests {
         m.reveal(3);
         c.fill(0x000, Mesi::Modified, m);
         c.fill(0x080, Mesi::Shared, RevealMask::all_concealed());
-        let ev = c.fill(0x100, Mesi::Shared, RevealMask::all_concealed()).unwrap();
-        assert_eq!(ev, Evicted { addr: 0x000, state: Mesi::Modified, mask: m });
+        let ev = c
+            .fill(0x100, Mesi::Shared, RevealMask::all_concealed())
+            .unwrap();
+        assert_eq!(
+            ev,
+            Evicted {
+                addr: 0x000,
+                state: Mesi::Modified,
+                mask: m
+            }
+        );
     }
 
     #[test]
     fn refill_updates_in_place() {
         let mut c = small();
         c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
-        assert_eq!(c.fill(0x000, Mesi::Modified, RevealMask::all_revealed()), None);
+        assert_eq!(
+            c.fill(0x000, Mesi::Modified, RevealMask::all_revealed()),
+            None
+        );
         assert_eq!(c.state_of(0x000), Some(Mesi::Modified));
         assert_eq!(c.mask_of(0x000), Some(RevealMask::all_revealed()));
         assert_eq!(c.occupancy(), 1);

@@ -22,7 +22,14 @@ pub struct LatencyConfig {
 
 impl Default for LatencyConfig {
     fn default() -> Self {
-        LatencyConfig { l1_hit: 2, l2_hit: 6, llc_hit: 16, mem: 116, remote_fwd: 26, upgrade: 8 }
+        LatencyConfig {
+            l1_hit: 2,
+            l2_hit: 6,
+            llc_hit: 16,
+            mem: 116,
+            remote_fwd: 26,
+            upgrade: 8,
+        }
     }
 }
 

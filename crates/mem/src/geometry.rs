@@ -38,8 +38,15 @@ impl CacheGeometry {
             "capacity must be a multiple of ways * line size"
         );
         let sets = (lines / ways as u64) as usize;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
-        CacheGeometry { capacity_bytes, ways, sets }
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        CacheGeometry {
+            capacity_bytes,
+            ways,
+            sets,
+        }
     }
 
     /// Total capacity in bytes.

@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn hit_rate_computes() {
-        let s = MemStats { l1_hits: 3, l2_hits: 1, ..MemStats::default() };
+        let s = MemStats {
+            l1_hits: 3,
+            l2_hits: 1,
+            ..MemStats::default()
+        };
         assert_eq!(s.total_loads(), 4);
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
     }

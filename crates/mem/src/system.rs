@@ -21,9 +21,8 @@
 //! simulator. Each access atomically applies the protocol transitions and
 //! returns its latency.
 
-use std::collections::HashMap;
-
 use recon::{line_of, word_index, ReconConfig, RevealMask};
+use recon_isa::hash::FxHashMap;
 
 use crate::array::CacheArray;
 use crate::config::MemConfig;
@@ -90,7 +89,11 @@ pub struct MemorySystem {
     recon: ReconConfig,
     cores: Vec<Private>,
     llc: CacheArray,
-    dir: HashMap<u64, DirState>,
+    /// Directory entries, keyed by line address. Probed on every
+    /// private-cache miss and every eviction notification — an
+    /// FxHash-keyed map, not SipHash, for the same reason as the
+    /// functional memory's page table.
+    dir: FxHashMap<u64, DirState>,
     stats: MemStats,
 }
 
@@ -104,14 +107,17 @@ impl MemorySystem {
     pub fn new(num_cores: usize, cfg: MemConfig, recon: ReconConfig) -> Self {
         assert!((1..=64).contains(&num_cores), "1..=64 cores supported");
         let cores = (0..num_cores)
-            .map(|_| Private { l1: CacheArray::new(cfg.l1), l2: CacheArray::new(cfg.l2) })
+            .map(|_| Private {
+                l1: CacheArray::new(cfg.l1),
+                l2: CacheArray::new(cfg.l2),
+            })
             .collect();
         MemorySystem {
             cfg,
             recon,
             cores,
             llc: CacheArray::new(cfg.llc),
-            dir: HashMap::new(),
+            dir: FxHashMap::default(),
             stats: MemStats::default(),
         }
     }
@@ -159,7 +165,11 @@ impl MemorySystem {
             if revealed {
                 self.stats.revealed_loads += 1;
             }
-            return ReadOutcome { latency: self.cfg.lat.l1_hit, revealed, served_by: ServedBy::L1 };
+            return ReadOutcome {
+                latency: self.cfg.lat.l1_hit,
+                revealed,
+                served_by: ServedBy::L1,
+            };
         }
         if let Some((state, mask)) = self.cores[core].l2.touch(addr) {
             self.stats.l2_hits += 1;
@@ -168,7 +178,11 @@ impl MemorySystem {
             if revealed {
                 self.stats.revealed_loads += 1;
             }
-            return ReadOutcome { latency: self.cfg.lat.l2_hit, revealed, served_by: ServedBy::L2 };
+            return ReadOutcome {
+                latency: self.cfg.lat.l2_hit,
+                revealed,
+                served_by: ServedBy::L2,
+            };
         }
         // Private miss: GetS at the directory.
         let (latency, state, mask, served_by) = self.get_shared(core, addr);
@@ -178,7 +192,11 @@ impl MemorySystem {
         if revealed {
             self.stats.revealed_loads += 1;
         }
-        ReadOutcome { latency, revealed, served_by }
+        ReadOutcome {
+            latency,
+            revealed,
+            served_by,
+        }
     }
 
     /// A store performed by `core` at `addr` (store-buffer drain).
@@ -198,7 +216,11 @@ impl MemorySystem {
         let revealed = self.recon.enabled && mask_before.is_revealed(wi);
         self.conceal_word(core, addr);
         self.stats.stores_performed += 1;
-        ReadOutcome { latency, revealed, served_by: ServedBy::L1 }
+        ReadOutcome {
+            latency,
+            revealed,
+            served_by: ServedBy::L1,
+        }
     }
 
     /// A reveal request from the commit stage: a load pair committed and
@@ -311,9 +333,17 @@ impl MemorySystem {
                     self.stats.remote_forwards += 1;
                     // The data + mask travel cache-to-cache (an L2-level
                     // transaction): the mask arrives only if L2 is covered.
-                    let granted =
-                        if self.recon.levels.covers_l2() { auth } else { RevealMask::default() };
-                    (self.cfg.lat.remote_fwd, Mesi::Shared, granted, ServedBy::RemoteCache)
+                    let granted = if self.recon.levels.covers_l2() {
+                        auth
+                    } else {
+                        RevealMask::default()
+                    };
+                    (
+                        self.cfg.lat.remote_fwd,
+                        Mesi::Shared,
+                        granted,
+                        ServedBy::RemoteCache,
+                    )
                 }
                 DirState::Owned { .. } => {
                     // Our own stale ownership cannot persist past an L2
@@ -323,7 +353,12 @@ impl MemorySystem {
                     self.dir.insert(line, DirState::Owned { owner: core });
                     self.stats.llc_hits += 1;
                     let granted = self.granted_from_dir(addr);
-                    (self.cfg.lat.llc_hit, Mesi::Exclusive, granted, ServedBy::Llc)
+                    (
+                        self.cfg.lat.llc_hit,
+                        Mesi::Exclusive,
+                        granted,
+                        ServedBy::Llc,
+                    )
                 }
                 DirState::Shared(mut sharers) => {
                     sharers.insert(core);
@@ -336,7 +371,12 @@ impl MemorySystem {
                     self.dir.insert(line, DirState::Owned { owner: core });
                     self.stats.llc_hits += 1;
                     let granted = self.granted_from_dir(addr);
-                    (self.cfg.lat.llc_hit, Mesi::Exclusive, granted, ServedBy::Llc)
+                    (
+                        self.cfg.lat.llc_hit,
+                        Mesi::Exclusive,
+                        granted,
+                        ServedBy::Llc,
+                    )
                 }
             }
         } else {
@@ -344,7 +384,12 @@ impl MemorySystem {
             self.install_llc(addr);
             self.dir.insert(line, DirState::Owned { owner: core });
             self.stats.mem_fetches += 1;
-            (self.cfg.lat.mem, Mesi::Exclusive, RevealMask::default(), ServedBy::Memory)
+            (
+                self.cfg.lat.mem,
+                Mesi::Exclusive,
+                RevealMask::default(),
+                ServedBy::Memory,
+            )
         }
     }
 
@@ -416,8 +461,11 @@ impl MemorySystem {
                     self.invalidate_private(owner, addr);
                     self.stats.invalidations += 1;
                     self.stats.remote_forwards += 1;
-                    let granted =
-                        if self.recon.levels.covers_l2() { auth } else { RevealMask::default() };
+                    let granted = if self.recon.levels.covers_l2() {
+                        auth
+                    } else {
+                        RevealMask::default()
+                    };
                     (self.cfg.lat.remote_fwd + self.cfg.lat.upgrade, granted)
                 }
                 DirState::Owned { .. } => {
@@ -425,19 +473,23 @@ impl MemorySystem {
                     (self.cfg.lat.llc_hit, self.granted_from_dir(addr))
                 }
                 DirState::Shared(sharers) => {
-                    let others: Vec<usize> = sharers.iter().filter(|&s| s != core).collect();
-                    for &sharer in &others {
+                    // `sharers` is a copied bitset, so the other holders
+                    // can be walked directly — no per-invalidation
+                    // allocation on this (hot) upgrade path.
+                    let mut invalidated = false;
+                    for sharer in sharers.iter().filter(|&s| s != core) {
                         // Invalidated readers lose their masks (footnote 1).
                         let lost = self.private_auth_mask(sharer, addr);
                         self.stats.mask_bits_lost_inval += u64::from(lost.count_revealed());
                         self.invalidate_private(sharer, addr);
                         self.stats.invalidations += 1;
+                        invalidated = true;
                     }
                     self.stats.upgrades += 1;
-                    let lat = if others.is_empty() {
-                        self.cfg.lat.llc_hit
-                    } else {
+                    let lat = if invalidated {
                         self.cfg.lat.llc_hit + self.cfg.lat.upgrade
+                    } else {
+                        self.cfg.lat.llc_hit
                     };
                     (lat, self.granted_from_dir(addr))
                 }
@@ -686,7 +738,7 @@ mod tests {
         m.write(0, 0x4000); // core 0 owns M
         m.reveal(0, 0x4008);
         m.write(1, 0x4000); // core 1 takes ownership
-        // Mask travelled writer -> writer: core 1 sees word 1 revealed.
+                            // Mask travelled writer -> writer: core 1 sees word 1 revealed.
         assert!(m.read(1, 0x4008).revealed);
         assert_eq!(m.l1_state(0, 0x4000), None);
     }
@@ -698,7 +750,7 @@ mod tests {
         m.read(0, 0x5008);
         m.reveal(0, 0x5008);
         m.read(1, 0x5008); // downgrade: dir mask = revealed
-        // Core 0 now writes the word: conceals in its private copy.
+                           // Core 0 now writes the word: conceals in its private copy.
         m.write(0, 0x5008);
         // Core 1 rereads: must see concealed (owner's copy authoritative).
         assert!(!m.read(1, 0x5008).revealed);
@@ -721,7 +773,10 @@ mod tests {
 
     #[test]
     fn l1_only_coverage_loses_mask_on_l1_eviction() {
-        let cfg = ReconConfig { levels: ReconLevels::L1Only, ..ReconConfig::default() };
+        let cfg = ReconConfig {
+            levels: ReconLevels::L1Only,
+            ..ReconConfig::default()
+        };
         let mut m = MemorySystem::new(1, MemConfig::scaled(), cfg);
         m.read(0, 0x0);
         m.reveal(0, 0x0);
@@ -782,8 +837,8 @@ mod tests {
         m.read(1, 0x0);
         m.reveal(0, 0x0); // word 0 by core 0
         m.reveal(1, 0x8); // word 1 by core 1
-        // Evict from both cores' private caches: thrash their L2 sets.
-        // Scaled L2 is 64 KiB 16-way = 64 sets; same-set stride = 4 KiB.
+                          // Evict from both cores' private caches: thrash their L2 sets.
+                          // Scaled L2 is 64 KiB 16-way = 64 sets; same-set stride = 4 KiB.
         for i in 1..=16u64 {
             m.read(0, i * 4096);
             m.read(1, i * 4096);

@@ -29,8 +29,8 @@ fn op() -> impl Strategy<Value = Op> {
 
 fn tiny_config() -> MemConfig {
     MemConfig {
-        l1: CacheGeometry::new(256, 2),  // 4 lines: heavy eviction
-        l2: CacheGeometry::new(512, 2),  // 8 lines
+        l1: CacheGeometry::new(256, 2),   // 4 lines: heavy eviction
+        l2: CacheGeometry::new(512, 2),   // 8 lines
         llc: CacheGeometry::new(1024, 2), // 16 lines
         ..MemConfig::scaled()
     }

@@ -42,7 +42,9 @@ impl GuardTable {
     /// Creates a table for `num_pregs` physical registers, all unguarded.
     #[must_use]
     pub fn new(num_pregs: usize) -> Self {
-        GuardTable { guards: vec![None; num_pregs] }
+        GuardTable {
+            guards: vec![None; num_pregs],
+        }
     }
 
     /// Number of registers tracked.
@@ -117,7 +119,11 @@ impl GuardTable {
     /// stats).
     #[must_use]
     pub fn active_count(&self, frontier: Seq) -> usize {
-        self.guards.iter().flatten().filter(|&&root| frontier < root).count()
+        self.guards
+            .iter()
+            .flatten()
+            .filter(|&&root| frontier < root)
+            .count()
     }
 }
 
@@ -170,7 +176,11 @@ mod tests {
         let mut g = GuardTable::new(2);
         g.set(0, 10);
         assert_eq!(g.propagate([0], Some(30), 0), Some(30), "own root youngest");
-        assert_eq!(g.propagate([0], Some(5), 0), Some(10), "source root youngest");
+        assert_eq!(
+            g.propagate([0], Some(5), 0),
+            Some(10),
+            "source root youngest"
+        );
         assert_eq!(g.propagate([], Some(7), 0), Some(7));
         assert_eq!(g.propagate([], None, 0), None);
     }

@@ -92,31 +92,46 @@ impl SecureConfig {
     /// The unsafe baseline.
     #[must_use]
     pub fn unsafe_baseline() -> Self {
-        SecureConfig { kind: SchemeKind::Unsafe, recon: false }
+        SecureConfig {
+            kind: SchemeKind::Unsafe,
+            recon: false,
+        }
     }
 
     /// NDA without ReCon.
     #[must_use]
     pub fn nda() -> Self {
-        SecureConfig { kind: SchemeKind::Nda, recon: false }
+        SecureConfig {
+            kind: SchemeKind::Nda,
+            recon: false,
+        }
     }
 
     /// NDA with ReCon.
     #[must_use]
     pub fn nda_recon() -> Self {
-        SecureConfig { kind: SchemeKind::Nda, recon: true }
+        SecureConfig {
+            kind: SchemeKind::Nda,
+            recon: true,
+        }
     }
 
     /// STT without ReCon.
     #[must_use]
     pub fn stt() -> Self {
-        SecureConfig { kind: SchemeKind::Stt, recon: false }
+        SecureConfig {
+            kind: SchemeKind::Stt,
+            recon: false,
+        }
     }
 
     /// STT with ReCon.
     #[must_use]
     pub fn stt_recon() -> Self {
-        SecureConfig { kind: SchemeKind::Stt, recon: true }
+        SecureConfig {
+            kind: SchemeKind::Stt,
+            recon: true,
+        }
     }
 
     /// A short label like `"STT+ReCon"` for reports.
@@ -176,7 +191,19 @@ mod tests {
 
     #[test]
     fn constructors_match_fields() {
-        assert_eq!(SecureConfig::nda_recon(), SecureConfig { kind: SchemeKind::Nda, recon: true });
-        assert_eq!(SecureConfig::stt(), SecureConfig { kind: SchemeKind::Stt, recon: false });
+        assert_eq!(
+            SecureConfig::nda_recon(),
+            SecureConfig {
+                kind: SchemeKind::Nda,
+                recon: true
+            }
+        );
+        assert_eq!(
+            SecureConfig::stt(),
+            SecureConfig {
+                kind: SchemeKind::Stt,
+                recon: false
+            }
+        );
     }
 }

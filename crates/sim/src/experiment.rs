@@ -43,7 +43,11 @@ impl Experiment {
     pub fn run(&self, workload: &Workload, secure: SecureConfig) -> SystemResult {
         let mut sys = System::new(workload, self.core, self.mem, secure, self.recon);
         let r = sys.run(self.max_cycles);
-        assert!(r.completed, "run exceeded {} cycles under {}", self.max_cycles, secure);
+        assert!(
+            r.completed,
+            "run exceeded {} cycles under {}",
+            self.max_cycles, secure
+        );
         r
     }
 
@@ -177,11 +181,20 @@ mod tests {
     #[test]
     fn matrix_on_a_small_benchmark_orders_schemes() {
         let b = find(Suite::Spec2017, "xalancbmk", Scale::Quick).unwrap();
-        let exp = Experiment { max_cycles: 500_000_000, ..Experiment::default() };
+        let exp = Experiment {
+            max_cycles: 500_000_000,
+            ..Experiment::default()
+        };
         let m = exp.run_matrix(&b);
         // The baseline is the fastest configuration.
-        assert!(m.normalized_ipc(&m.stt) <= 1.001, "STT cannot beat baseline");
-        assert!(m.normalized_ipc(&m.nda) <= m.normalized_ipc(&m.stt) + 0.02, "NDA <= STT");
+        assert!(
+            m.normalized_ipc(&m.stt) <= 1.001,
+            "STT cannot beat baseline"
+        );
+        assert!(
+            m.normalized_ipc(&m.nda) <= m.normalized_ipc(&m.stt) + 0.02,
+            "NDA <= STT"
+        );
         // ReCon recovers (or at least never hurts).
         assert!(
             m.normalized_ipc(&m.stt_recon) >= m.normalized_ipc(&m.stt) - 0.001,

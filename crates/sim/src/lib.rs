@@ -25,10 +25,12 @@
 
 pub mod experiment;
 pub mod report;
+pub mod runner;
 pub mod scenarios;
 pub mod system;
 
 pub use experiment::{
     geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
 };
+pub use runner::{jobs_from_env, parallel_map, run_batch, BatchResults, JobTiming};
 pub use system::{System, SystemResult};

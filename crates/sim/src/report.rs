@@ -24,7 +24,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).

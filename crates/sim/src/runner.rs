@@ -1,0 +1,316 @@
+//! Parallel experiment runner: a std-only scoped-thread worker pool
+//! that executes batches of (benchmark, scheme) jobs across cores.
+//!
+//! Simulated runs are independent pure functions of (workload, config),
+//! so a batch parallelizes trivially: jobs go into a queue, workers
+//! drain it, and results land in a slot table indexed by job id —
+//! output order is therefore *deterministic* regardless of worker count
+//! or scheduling. The runner also deduplicates jobs before dispatch, so
+//! the unsafe baseline a figure needs under both the NDA and STT trios
+//! runs once per benchmark, not once per trio.
+//!
+//! Per-job wall-clock timings are recorded and can be written to
+//! `BENCH_runner.json` for cross-host speedup comparisons.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use recon_secure::SecureConfig;
+use recon_workloads::Benchmark;
+
+use crate::experiment::{Experiment, SchemeMatrix};
+use crate::system::SystemResult;
+
+/// Runs `f` over `items` on `jobs` worker threads, returning outputs in
+/// input order (deterministic for any `jobs`).
+///
+/// Workers pull from a shared queue, so long jobs do not serialize
+/// behind short ones. With `jobs <= 1` (or a single item) everything
+/// runs on the caller's thread. A panicking job propagates out of the
+/// scope join, as it would serially.
+pub fn parallel_map<I, O, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                // Take the lock only to pop; run the job outside it.
+                let job = queue.lock().unwrap().pop_front();
+                let Some((idx, item)) = job else { break };
+                let out = f(item);
+                slots.lock().unwrap()[idx] = Some(out);
+            });
+        }
+    });
+    let slots = slots.into_inner().unwrap();
+    slots
+        .into_iter()
+        .map(|o| o.expect("every queued job ran"))
+        .collect()
+}
+
+/// Worker count from `RECON_JOBS`, defaulting to the host's available
+/// parallelism (1 if unknown).
+#[must_use]
+pub fn jobs_from_env() -> usize {
+    match std::env::var("RECON_JOBS") {
+        Ok(v) => v.parse().ok().filter(|&j| j >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// Wall-clock timing of one executed (benchmark, scheme) job.
+#[derive(Clone, Debug)]
+pub struct JobTiming {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Scheme configuration the job ran under.
+    pub config: SecureConfig,
+    /// Host wall-clock seconds the job took.
+    pub seconds: f64,
+    /// Simulated cycles, for correlating host time with simulated work.
+    pub cycles: u64,
+}
+
+/// Results of a deduplicated batch of (benchmark, scheme) jobs.
+#[derive(Clone, Debug)]
+pub struct BatchResults {
+    /// One entry per *unique* job, in deterministic (benchmark-major)
+    /// order: (benchmark name, config, result).
+    entries: Vec<(&'static str, SecureConfig, SystemResult)>,
+    /// Per-job timings, same order as the entries.
+    pub timings: Vec<JobTiming>,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchResults {
+    /// The result of `bench` under `config`, if it was in the batch.
+    #[must_use]
+    pub fn get(&self, bench: &str, config: SecureConfig) -> Option<&SystemResult> {
+        self.entries
+            .iter()
+            .find(|(b, c, _)| *b == bench && *c == config)
+            .map(|(_, _, r)| r)
+    }
+
+    /// Like [`get`](Self::get) but panicking with a clear message —
+    /// for harnesses that know what they asked for.
+    #[must_use]
+    pub fn expect(&self, bench: &str, config: SecureConfig) -> &SystemResult {
+        self.get(bench, config)
+            .unwrap_or_else(|| panic!("batch has no result for {bench} under {config}"))
+    }
+
+    /// Number of unique jobs executed.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sum of per-job wall times — the serial-execution estimate. Note
+    /// that per-job times are measured while workers share the host's
+    /// cores, so on an oversubscribed machine this overstates a true
+    /// serial run; compare `wall_seconds` of a `--jobs 1` invocation
+    /// against a `--jobs N` one for an honest speedup figure.
+    #[must_use]
+    pub fn serial_seconds(&self) -> f64 {
+        self.timings.iter().map(|t| t.seconds).sum()
+    }
+
+    /// Parallel speedup estimate: serial-sum over batch wall time (see
+    /// the [`serial_seconds`](Self::serial_seconds) caveat).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.serial_seconds() / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Writes the batch timing report as JSON (hand-rolled: the build
+    /// is dependency-free). Overwrites `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"jobs\": {},", self.jobs)?;
+        writeln!(f, "  \"unique_jobs\": {},", self.job_count())?;
+        writeln!(f, "  \"wall_seconds\": {:.6},", self.wall_seconds)?;
+        writeln!(f, "  \"serial_seconds\": {:.6},", self.serial_seconds())?;
+        writeln!(f, "  \"speedup\": {:.3},", self.speedup())?;
+        writeln!(f, "  \"job_timings\": [")?;
+        let n = self.timings.len();
+        for (i, t) in self.timings.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            writeln!(
+                f,
+                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"seconds\": {:.6}, \"cycles\": {}}}{comma}",
+                t.bench,
+                t.config.label(),
+                t.seconds,
+                t.cycles
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        Ok(())
+    }
+}
+
+/// Runs every `bench` × `config` combination on `jobs` workers,
+/// deduplicating repeated (bench, config) requests (notably the unsafe
+/// baseline shared by several scheme trios).
+#[must_use]
+pub fn run_batch(
+    exp: &Experiment,
+    benches: &[Benchmark],
+    configs: &[SecureConfig],
+    jobs: usize,
+) -> BatchResults {
+    let mut work: Vec<(&Benchmark, SecureConfig)> = Vec::new();
+    for b in benches {
+        let mut seen: Vec<SecureConfig> = Vec::new();
+        for &c in configs {
+            if !seen.contains(&c) {
+                seen.push(c);
+                work.push((b, c));
+            }
+        }
+    }
+    let start = Instant::now();
+    let ran = parallel_map(jobs, work, |(b, c)| {
+        let t0 = Instant::now();
+        let r = exp.run(&b.workload, c);
+        let seconds = t0.elapsed().as_secs_f64();
+        (b.name, c, r, seconds)
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let mut entries = Vec::with_capacity(ran.len());
+    let mut timings = Vec::with_capacity(ran.len());
+    for (bench, config, result, seconds) in ran {
+        timings.push(JobTiming {
+            bench,
+            config,
+            seconds,
+            cycles: result.cycles,
+        });
+        entries.push((bench, config, result));
+    }
+    BatchResults {
+        entries,
+        timings,
+        wall_seconds,
+        jobs,
+    }
+}
+
+/// The five-configuration matrix of the paper's evaluation.
+const MATRIX: [SecureConfig; 5] = [
+    SecureConfig {
+        kind: recon_secure::SchemeKind::Unsafe,
+        recon: false,
+    },
+    SecureConfig {
+        kind: recon_secure::SchemeKind::Nda,
+        recon: false,
+    },
+    SecureConfig {
+        kind: recon_secure::SchemeKind::Nda,
+        recon: true,
+    },
+    SecureConfig {
+        kind: recon_secure::SchemeKind::Stt,
+        recon: false,
+    },
+    SecureConfig {
+        kind: recon_secure::SchemeKind::Stt,
+        recon: true,
+    },
+];
+
+impl Experiment {
+    /// Runs the five-way scheme matrix on every benchmark with `jobs`
+    /// parallel workers, returning matrices in benchmark order plus the
+    /// batch timing report.
+    #[must_use]
+    pub fn run_matrices(
+        &self,
+        benches: &[Benchmark],
+        jobs: usize,
+    ) -> (Vec<SchemeMatrix>, BatchResults) {
+        let batch = run_batch(self, benches, &MATRIX, jobs);
+        let matrices = benches
+            .iter()
+            .map(|b| SchemeMatrix {
+                name: b.name,
+                baseline: batch
+                    .expect(b.name, SecureConfig::unsafe_baseline())
+                    .clone(),
+                nda: batch.expect(b.name, SecureConfig::nda()).clone(),
+                nda_recon: batch.expect(b.name, SecureConfig::nda_recon()).clone(),
+                stt: batch.expect(b.name, SecureConfig::stt()).clone(),
+                stt_recon: batch.expect(b.name, SecureConfig::stt_recon()).clone(),
+            })
+            .collect();
+        (matrices, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(4, (0..100).collect(), |i: u64| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_serial_fallback() {
+        let out = parallel_map(1, vec![3, 1, 2], |i: i32| i + 1);
+        assert_eq!(out, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_more_workers_than_items() {
+        let out = parallel_map(16, vec![1, 2], |i: i32| i * i);
+        assert_eq!(out, vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn parallel_map_propagates_panics() {
+        // A job panic must fail the whole batch (it resurfaces from the
+        // scope join), never silently drop the job's slot.
+        let _ = parallel_map(2, vec![0, 1], |i: i32| {
+            assert!(i != 1, "job failure propagates");
+            i
+        });
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        // Only exercises the default branch (the variable is unset in
+        // the test environment; setting it would race other tests).
+        assert!(jobs_from_env() >= 1);
+    }
+}

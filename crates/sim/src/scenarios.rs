@@ -66,9 +66,9 @@ pub fn table1_scenario(store_target: u64) -> Table1Scenario {
     a.li(R13, 0x9100);
     a.load(R13, R13, 0); // warm the store-address line; r13 = target
     a.li(R4, 0x200); // store data: a valid pointer
-    // Serialize: everything below depends on the warm-up's final load
-    // (R3), so the reveal lands before the gadget executes. The chain
-    // also pads a few cycles past LD2's commit (where the reveal fires).
+                     // Serialize: everything below depends on the warm-up's final load
+                     // (R3), so the reveal lands before the gadget executes. The chain
+                     // also pads a few cycles past LD2's commit (where the reveal fires).
     a.and(R9, R3, R0); // R9 = 0, data-dependent on the reveal pair
     for _ in 0..8 {
         a.addi(R9, R9, 0);
@@ -92,7 +92,11 @@ pub fn table1_scenario(store_target: u64) -> Table1Scenario {
     a.bind(end);
     a.halt();
 
-    Table1Scenario { program: a.assemble().expect("scenario assembles"), pc3, pc4 }
+    Table1Scenario {
+        program: a.assemble().expect("scenario assembles"),
+        pc3,
+        pc4,
+    }
 }
 
 /// Observability outcome of one Table 1 run: whether PC3 / PC4 accessed
@@ -108,10 +112,7 @@ pub struct Observability {
 /// Runs a Table 1 scenario under `secure` and reports the observability
 /// of PC3/PC4.
 #[must_use]
-pub fn run_table1(
-    scenario: &Table1Scenario,
-    secure: recon_secure::SecureConfig,
-) -> Observability {
+pub fn run_table1(scenario: &Table1Scenario, secure: recon_secure::SecureConfig) -> Observability {
     use recon_workloads::Workload;
     let mut sys = crate::System::new(
         &Workload::single(scenario.program.clone()),
@@ -125,7 +126,10 @@ pub fn run_table1(
     assert!(r.completed, "table 1 scenario must finish");
     let obs = sys.cores_mut()[0].take_observations();
     let seen = |pc: usize| obs.iter().any(|o| o.pc == pc && o.speculative);
-    Observability { pc3: seen(scenario.pc3), pc4: seen(scenario.pc4) }
+    Observability {
+        pc3: seen(scenario.pc3),
+        pc4: seen(scenario.pc4),
+    }
 }
 
 #[cfg(test)]
@@ -146,9 +150,23 @@ mod tests {
     fn row1_stt_observes_pc3_only_recon_observes_both() {
         let s = table1_scenario(0x300);
         let stt = run_table1(&s, SecureConfig::stt());
-        assert_eq!(stt, Observability { pc3: true, pc4: false }, "STT row 1");
+        assert_eq!(
+            stt,
+            Observability {
+                pc3: true,
+                pc4: false
+            },
+            "STT row 1"
+        );
         let recon = run_table1(&s, SecureConfig::stt_recon());
-        assert_eq!(recon, Observability { pc3: true, pc4: true }, "ReCon row 1");
+        assert_eq!(
+            recon,
+            Observability {
+                pc3: true,
+                pc4: true
+            },
+            "ReCon row 1"
+        );
     }
 
     #[test]
@@ -156,7 +174,14 @@ mod tests {
         let s = table1_scenario(0x200);
         for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
             let o = run_table1(&s, secure);
-            assert_eq!(o, Observability { pc3: true, pc4: false }, "{secure}");
+            assert_eq!(
+                o,
+                Observability {
+                    pc3: true,
+                    pc4: false
+                },
+                "{secure}"
+            );
         }
     }
 
@@ -165,7 +190,14 @@ mod tests {
         let s = table1_scenario(0x100);
         for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
             let o = run_table1(&s, secure);
-            assert_eq!(o, Observability { pc3: false, pc4: false }, "{secure}");
+            assert_eq!(
+                o,
+                Observability {
+                    pc3: false,
+                    pc4: false
+                },
+                "{secure}"
+            );
         }
     }
 }

@@ -70,8 +70,14 @@ impl System {
     ) -> Self {
         // ReCon's hierarchy metadata is only active when the scheme
         // stacks ReCon on top; the data structures are sized regardless.
-        let effective_recon =
-            if secure.recon { recon_cfg } else { ReconConfig { enabled: false, ..recon_cfg } };
+        let effective_recon = if secure.recon {
+            recon_cfg
+        } else {
+            ReconConfig {
+                enabled: false,
+                ..recon_cfg
+            }
+        };
         let n = workload.num_threads();
         let mem = MemorySystem::new(n, mem_cfg, effective_recon);
         let data = SparseMem::from_image(&workload.program.image);
@@ -83,15 +89,25 @@ impl System {
             .map(|(id, spec)| {
                 let mut thread_program = (*program).clone();
                 thread_program.entry = spec.entry;
-                let mut core =
-                    Core::new(id, Arc::new(thread_program), core_cfg, secure, effective_recon);
+                let mut core = Core::new(
+                    id,
+                    Arc::new(thread_program),
+                    core_cfg,
+                    secure,
+                    effective_recon,
+                );
                 for &(reg, value) in &spec.seeds {
                     core.seed_reg(reg, value);
                 }
                 core
             })
             .collect();
-        System { cores, mem, data, cycle: 0 }
+        System {
+            cores,
+            mem,
+            data,
+            cycle: 0,
+        }
     }
 
     /// Immutable access to the cores (for observation-based analyses).
@@ -158,7 +174,13 @@ mod tests {
     use recon_workloads::Scale;
 
     fn tiny_parallel(kind: ParKind) -> Workload {
-        generate(ParallelParams { kind, slots: 64, cond_lines: 4, passes: 2, seed: 1 })
+        generate(ParallelParams {
+            kind,
+            slots: 64,
+            cond_lines: 4,
+            passes: 2,
+            seed: 1,
+        })
     }
 
     fn run(workload: &Workload, secure: SecureConfig) -> SystemResult {
@@ -202,9 +224,16 @@ mod tests {
                 ReconConfig::default(),
             );
             sys.run(10_000_000);
-            sys.cores().iter().map(|c| c.arch_read(R5)).collect::<Vec<_>>()
+            sys.cores()
+                .iter()
+                .map(|c| c.arch_read(R5))
+                .collect::<Vec<_>>()
         };
-        for secure in [SecureConfig::stt(), SecureConfig::stt_recon(), SecureConfig::nda_recon()] {
+        for secure in [
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+            SecureConfig::nda_recon(),
+        ] {
             let mut sys = System::new(
                 &w,
                 CoreConfig::tiny(),
@@ -235,15 +264,18 @@ mod tests {
         let r = sys.run(10_000_000);
         assert!(r.completed);
         assert!(r.mem.reveals_set > 0);
-        let revealed_users =
-            r.cores.iter().filter(|c| c.revealed_loads_committed > 0).count();
+        let revealed_users = r
+            .cores
+            .iter()
+            .filter(|c| c.revealed_loads_committed > 0)
+            .count();
         assert!(revealed_users >= 2, "at least two cores consumed reveals");
     }
 
     #[test]
     fn spec_benchmark_runs_under_system() {
-        let b = recon_workloads::find(recon_workloads::Suite::Spec2017, "leela", Scale::Quick)
-            .unwrap();
+        let b =
+            recon_workloads::find(recon_workloads::Suite::Spec2017, "leela", Scale::Quick).unwrap();
         let r = run(&b.workload, SecureConfig::stt());
         assert!(r.ipc() > 0.1);
     }

@@ -4,10 +4,9 @@
 //! dominate, so secure schemes cost little and ReCon recovers little —
 //! the low-ratio end of the paper's Figure 9 correlation.
 
-use rand::Rng;
 use recon_isa::{reg::names::*, Asm, Program};
 
-use super::{mask_of, rng, STREAM_BASE};
+use super::{mask_of, rng, Rng, STREAM_BASE};
 
 /// Parameters of [`generate`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -22,7 +21,11 @@ pub struct BranchyParams {
 
 impl Default for BranchyParams {
     fn default() -> Self {
-        BranchyParams { values: 1024, iterations: 8192, seed: 6 }
+        BranchyParams {
+            values: 1024,
+            iterations: 8192,
+            seed: 6,
+        }
     }
 }
 
@@ -34,10 +37,14 @@ pub fn generate(p: BranchyParams) -> Program {
     let mut r = rng(p.seed);
     let mut a = Asm::new();
     for i in 0..p.values {
-        a.data(STREAM_BASE + i * 8, r.gen::<u64>() & 0xFFFF);
+        a.data(STREAM_BASE + i * 8, r.next_u64() & 0xFFFF);
     }
     let vmask = mask_of(p.values * 8);
-    a.li(R26, STREAM_BASE).li(R5, 0).li(R20, 0).li(R22, 0).li(R23, p.iterations);
+    a.li(R26, STREAM_BASE)
+        .li(R5, 0)
+        .li(R20, 0)
+        .li(R22, 0)
+        .li(R23, p.iterations);
     let top = a.here();
     a.add(R10, R26, R20);
     a.load(R2, R10, 0);
@@ -60,7 +67,8 @@ pub fn generate(p: BranchyParams) -> Program {
     a.addi(R22, R22, 1);
     a.bltu_to(R22, R23, top);
     a.halt();
-    a.assemble().expect("branchy generator emits valid programs")
+    a.assemble()
+        .expect("branchy generator emits valid programs")
 }
 
 #[cfg(test)]
@@ -70,7 +78,11 @@ mod tests {
 
     #[test]
     fn terminates_and_accumulates() {
-        let p = generate(BranchyParams { values: 16, iterations: 64, seed: 1 });
+        let p = generate(BranchyParams {
+            values: 16,
+            iterations: 64,
+            seed: 1,
+        });
         let (trace, state) = run_collect(&p, 1_000_000).unwrap();
         assert!(state.halted);
         assert!(state.read(R5) >= 64 * 3, "at least 3 per iteration");

@@ -3,10 +3,9 @@
 //! predict), and moderate reuse concentrated near the root. ReCon
 //! reveals the hot upper levels quickly; the cold leaves stay concealed.
 
-use rand::Rng;
 use recon_isa::{reg::names::*, Asm, Program};
 
-use super::{rng, NODE_BASE, STREAM_BASE};
+use super::{rng, Rng, NODE_BASE, STREAM_BASE};
 
 /// Parameters of [`generate`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,7 +20,11 @@ pub struct BtreeParams {
 
 impl Default for BtreeParams {
     fn default() -> Self {
-        BtreeParams { height: 10, searches: 2048, seed: 5 }
+        BtreeParams {
+            height: 10,
+            searches: 2048,
+            seed: 5,
+        }
     }
 }
 
@@ -57,18 +60,34 @@ pub fn generate(p: BtreeParams) -> Program {
         let left = 2 * idx + 1;
         let right = 2 * idx + 2;
         a.data(node, mid); // key
-        a.data(node + 8, if left < nodes { NODE_BASE + left * 64 } else { node });
-        a.data(node + 16, if right < nodes { NODE_BASE + right * 64 } else { node });
+        a.data(
+            node + 8,
+            if left < nodes {
+                NODE_BASE + left * 64
+            } else {
+                node
+            },
+        );
+        a.data(
+            node + 16,
+            if right < nodes {
+                NODE_BASE + right * 64
+            } else {
+                node
+            },
+        );
         fill(a, left, lo, mid, nodes);
         fill(a, right, mid + 1, hi, nodes);
     }
     fill(&mut a, 0, 0, nodes, nodes);
     for i in 0..p.searches {
-        a.data(STREAM_BASE + i * 8, r.gen_range(0..nodes));
+        a.data(STREAM_BASE + i * 8, r.below(nodes));
     }
 
     a.li(R26, STREAM_BASE).li(R5, 0);
-    a.li(R22, 0).li(R23, p.searches).li(R24, u64::from(p.height));
+    a.li(R22, 0)
+        .li(R23, p.searches)
+        .li(R24, u64::from(p.height));
     let top = a.here();
     a.add(R10, R26, R20);
     a.load(R2, R10, 0); // search key
@@ -101,7 +120,11 @@ mod tests {
 
     #[test]
     fn searches_terminate() {
-        let p = generate(BtreeParams { height: 5, searches: 32, seed: 1 });
+        let p = generate(BtreeParams {
+            height: 5,
+            searches: 32,
+            seed: 1,
+        });
         let (trace, state) = run_collect(&p, 1_000_000).unwrap();
         assert!(state.halted);
         // Each search descends `height` levels: 2 loads per level + key.
@@ -111,7 +134,11 @@ mod tests {
 
     #[test]
     fn descent_branches_are_data_dependent() {
-        let p = generate(BtreeParams { height: 6, searches: 64, seed: 2 });
+        let p = generate(BtreeParams {
+            height: 6,
+            searches: 64,
+            seed: 2,
+        });
         let (trace, _) = run_collect(&p, 1_000_000).unwrap();
         let takens: Vec<bool> = trace.iter().filter_map(|t| t.taken).collect();
         let taken_count = takens.iter().filter(|&&t| t).count();
@@ -123,6 +150,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "height")]
     fn rejects_zero_height() {
-        let _ = generate(BtreeParams { height: 0, searches: 1, seed: 1 });
+        let _ = generate(BtreeParams {
+            height: 0,
+            searches: 1,
+            seed: 1,
+        });
     }
 }

@@ -31,10 +31,9 @@
 //!   word in the chain is then eventually *dereferenced and revealed*,
 //!   which is what shrinks the tainted-load population (Figure 7).
 
-use rand::Rng;
 use recon_isa::{reg::names::*, Asm, Program};
 
-use super::{mask_of, permutation, rng, COND_BASE, PTR_BASE, TGT_BASE, TGT_LEVEL_STRIDE};
+use super::{mask_of, permutation, rng, Rng, COND_BASE, PTR_BASE, TGT_BASE, TGT_LEVEL_STRIDE};
 
 /// Unroll factor of the gadget loop.
 pub const UNROLL: u64 = 16;
@@ -174,10 +173,12 @@ enum BodyKind {
 pub fn generate(p: GadgetParams) -> Program {
     assert!(p.depth >= 1, "depth must be at least 1");
     assert!(p.slots >= UNROLL, "slots must cover one unrolled group");
-    assert!(p.stores_per_16 <= 16 && p.indirect_per_16 <= 16, "per-16 counts are 0..=16");
     assert!(
-        u64::from(p.stores_per_16) + u64::from(p.indirect_per_16) + u64::from(p.multi_per_16)
-            <= 16,
+        p.stores_per_16 <= 16 && p.indirect_per_16 <= 16,
+        "per-16 counts are 0..=16"
+    );
+    assert!(
+        u64::from(p.stores_per_16) + u64::from(p.indirect_per_16) + u64::from(p.multi_per_16) <= 16,
         "storing and indirect positions must not overlap"
     );
     let mut r = rng(p.seed);
@@ -185,28 +186,31 @@ pub fn generate(p: GadgetParams) -> Program {
 
     // ---- data ----------------------------------------------------------
     for i in 0..p.cond_lines {
-        let taken = u64::from(r.gen_range(0..256u32) < u32::from(p.taken_per_256));
+        let taken = u64::from(r.below(256) < u64::from(p.taken_per_256));
         a.data(COND_BASE + i * 64, taken);
     }
     // Index tables for indirect iterations (harmless if unused).
     if p.indirect_per_16 > 0 {
         let half = p.slots / 2;
         for i in 0..2 * p.slots {
-            a.data(PTR_BASE + IDX2_OFFSET as u64 + i * 8, r.gen_range(0..half));
+            a.data(PTR_BASE + IDX2_OFFSET as u64 + i * 8, r.below(half));
         }
         for i in 0..p.slots {
-            a.data(TGT_BASE + TGT_LEVEL_STRIDE * 8 + i * p.tgt_stride, i * 3 + 1);
+            a.data(
+                TGT_BASE + TGT_LEVEL_STRIDE * 8 + i * p.tgt_stride,
+                i * 3 + 1,
+            );
         }
     }
     if p.multi_per_16 > 0 {
         for i in 0..p.slots {
             a.data(
                 (PTR_BASE as i64 + MS_BASE_OFFSET) as u64 + i * 8,
-                MS_TGT + r.gen_range(0..p.slots) * 8,
+                MS_TGT + r.below(p.slots) * 8,
             );
             a.data(
                 (PTR_BASE as i64 + MS_IDX_OFFSET) as u64 + i * 8,
-                r.gen_range(0..p.slots),
+                r.below(p.slots),
             );
         }
         for i in 0..2 * p.slots {
@@ -224,7 +228,10 @@ pub fn generate(p: GadgetParams) -> Program {
         let next = TGT_BASE + u64::from(level) * TGT_LEVEL_STRIDE;
         let perm = permutation(p.slots as usize, &mut r);
         for (i, &t) in perm.iter().enumerate() {
-            a.data(this + i as u64 * this_stride, next + t as u64 * p.tgt_stride);
+            a.data(
+                this + i as u64 * this_stride,
+                next + t as u64 * p.tgt_stride,
+            );
         }
     }
     let last = TGT_BASE + u64::from(p.depth - 1) * TGT_LEVEL_STRIDE;
@@ -290,7 +297,12 @@ mod tests {
 
     #[test]
     fn generates_valid_program_that_terminates() {
-        let p = generate(GadgetParams { slots: 16, cond_lines: 4, passes: 2, ..Default::default() });
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 4,
+            passes: 2,
+            ..Default::default()
+        });
         let (trace, state) = run_collect(&p, 1_000_000).unwrap();
         assert!(state.halted);
         assert!(trace.len() > 2 * 16 * 5, "does real work");
@@ -298,7 +310,12 @@ mod tests {
 
     #[test]
     fn direct_variant_contains_load_pairs() {
-        let p = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, ..Default::default() });
+        let p = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 1,
+            ..Default::default()
+        });
         let (trace, _) = run_collect(&p, 100_000).unwrap();
         let loads = trace.iter().filter(|r| r.inst.is_load()).count();
         assert_eq!(loads, 16 * 3, "cond + LD1 + LD2 per iteration");
@@ -306,8 +323,20 @@ mod tests {
 
     #[test]
     fn depth_extends_the_chain() {
-        let shallow = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, depth: 1, ..Default::default() });
-        let deep = generate(GadgetParams { slots: 16, cond_lines: 2, passes: 1, depth: 3, ..Default::default() });
+        let shallow = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 1,
+            depth: 1,
+            ..Default::default()
+        });
+        let deep = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 2,
+            passes: 1,
+            depth: 3,
+            ..Default::default()
+        });
         let (t1, _) = run_collect(&shallow, 100_000).unwrap();
         let (t3, _) = run_collect(&deep, 100_000).unwrap();
         let l1 = t1.iter().filter(|r| r.inst.is_load()).count();
@@ -371,7 +400,9 @@ mod tests {
             })
             .collect();
         assert_eq!(stores.len(), 4 * 2, "2 stores per group of 16, 4 groups");
-        assert!(stores.iter().all(|&a| (PTR_BASE..PTR_BASE + 16 * 8).contains(&a)));
+        assert!(stores
+            .iter()
+            .all(|&a| (PTR_BASE..PTR_BASE + 16 * 8).contains(&a)));
     }
 
     #[test]
@@ -386,7 +417,19 @@ mod tests {
         });
         // Static check: the unrolled body contains both muli-based
         // (indirect) and store-containing (direct) iterations.
-        let mulis = p.code.iter().filter(|i| matches!(i, Inst::AluImm { kind: recon_isa::AluKind::Mul, .. })).count();
+        let mulis = p
+            .code
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::AluImm {
+                        kind: recon_isa::AluKind::Mul,
+                        ..
+                    }
+                )
+            })
+            .count();
         let stores = p.code.iter().filter(|i| i.is_store()).count();
         assert_eq!(mulis, 4);
         assert_eq!(stores, 2);
@@ -446,7 +489,11 @@ mod tests {
             multi_per_16: 4,
             ..Default::default()
         });
-        let ldx = p.code.iter().filter(|i| matches!(i, Inst::LoadIdx { .. })).count();
+        let ldx = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Inst::LoadIdx { .. }))
+            .count();
         assert_eq!(ldx, 4);
         let (_, state) = run_collect(&p, 1_000_000).unwrap();
         assert!(state.halted);
@@ -454,8 +501,18 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let p1 = generate(GadgetParams { slots: 16, cond_lines: 4, seed: 9, ..Default::default() });
-        let p2 = generate(GadgetParams { slots: 16, cond_lines: 4, seed: 9, ..Default::default() });
+        let p1 = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 4,
+            seed: 9,
+            ..Default::default()
+        });
+        let p2 = generate(GadgetParams {
+            slots: 16,
+            cond_lines: 4,
+            seed: 9,
+            ..Default::default()
+        });
         assert_eq!(p1, p2);
     }
 

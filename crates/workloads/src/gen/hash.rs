@@ -10,10 +10,9 @@
 //! progressively strips the whole working set of its taints — the
 //! paper's best-case benchmarks in Figures 5–7.
 
-use rand::Rng;
 use recon_isa::{reg::names::*, Asm, Program};
 
-use super::{mask_of, rng, COND_BASE, NODE_BASE, PTR_BASE, STREAM_BASE};
+use super::{mask_of, rng, Rng, COND_BASE, NODE_BASE, PTR_BASE, STREAM_BASE};
 
 /// Parameters of [`generate`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,7 +32,13 @@ pub struct HashParams {
 
 impl Default for HashParams {
     fn default() -> Self {
-        HashParams { buckets: 256, lookups: 4096, keys: 1024, cond_lines: 512, seed: 4 }
+        HashParams {
+            buckets: 256,
+            lookups: 4096,
+            keys: 1024,
+            cond_lines: 512,
+            seed: 4,
+        }
     }
 }
 
@@ -64,11 +69,11 @@ pub fn generate(p: HashParams) -> Program {
     for b in 0..p.buckets {
         let entry = NODE_BASE + b * 64;
         a.data(PTR_BASE + b * 8, entry); // bucket -> entry
-        // Entry points back into the reference stream (cyclic graph).
+                                         // Entry points back into the reference stream (cyclic graph).
         a.data(entry, STREAM_BASE + (b % p.keys) * 8);
     }
     for i in 0..p.keys {
-        let bucket = r.gen_range(0..p.buckets);
+        let bucket = r.below(p.buckets);
         a.data(STREAM_BASE + i * 8, PTR_BASE + bucket * 8);
     }
     for l in 0..p.cond_lines {
@@ -156,8 +161,14 @@ mod tests {
 
     #[test]
     fn lookup_count_controls_length() {
-        let small = generate(HashParams { lookups: 64, ..Default::default() });
-        let large = generate(HashParams { lookups: 128, ..Default::default() });
+        let small = generate(HashParams {
+            lookups: 64,
+            ..Default::default()
+        });
+        let large = generate(HashParams {
+            lookups: 128,
+            ..Default::default()
+        });
         let (t1, _) = run_collect(&small, 10_000_000).unwrap();
         let (t2, _) = run_collect(&large, 10_000_000).unwrap();
         assert!(t2.len() > t1.len());
@@ -165,8 +176,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(HashParams { seed: 11, ..Default::default() });
-        let b = generate(HashParams { seed: 11, ..Default::default() });
+        let a = generate(HashParams {
+            seed: 11,
+            ..Default::default()
+        });
+        let b = generate(HashParams {
+            seed: 11,
+            ..Default::default()
+        });
         assert_eq!(a, b);
     }
 }

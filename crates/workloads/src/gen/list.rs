@@ -9,7 +9,7 @@
 //! beyond the LLC, evictions wash reveals away (the Figure 10
 //! capacity-sensitivity behaviour).
 
-use recon_isa::{reg::names::*, Asm, ArchReg, Program};
+use recon_isa::{reg::names::*, ArchReg, Asm, Program};
 
 use super::{mask_of, permutation, rng, COND_BASE, NODE_BASE, TGT_BASE};
 
@@ -73,7 +73,11 @@ pub fn generate(p: ListParams) -> Program {
         let last = first + per_chain - 1;
         heads.push(addr_of(first));
         for slot in first..=last {
-            let next = if slot == last { addr_of(first) } else { addr_of(slot + 1) };
+            let next = if slot == last {
+                addr_of(first)
+            } else {
+                addr_of(slot + 1)
+            };
             let payload = TGT_BASE + (slot as u64 % p.payload_slots) * 8;
             a.data(addr_of(slot), next);
             a.data(addr_of(slot) + 8, payload);
@@ -87,7 +91,11 @@ pub fn generate(p: ListParams) -> Program {
     }
 
     let cmask = mask_of(p.cond_lines * 64);
-    a.li(R26, COND_BASE).li(R5, 0).li(R20, 0).li(R22, 0).li(R23, p.visits);
+    a.li(R26, COND_BASE)
+        .li(R5, 0)
+        .li(R20, 0)
+        .li(R22, 0)
+        .li(R23, p.visits);
     for (c, &head) in heads.iter().enumerate() {
         a.li(ArchReg::new(12 + c), head);
     }
@@ -143,7 +151,10 @@ mod tests {
     #[test]
     fn rings_are_closed() {
         // Visiting more times than the ring length must wrap, not fault.
-        let p = generate(ListParams { visits: 100, ..small() });
+        let p = generate(ListParams {
+            visits: 100,
+            ..small()
+        });
         let (_, state) = run_collect(&p, 10_000_000).unwrap();
         assert!(state.halted);
     }
@@ -164,6 +175,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "chains")]
     fn rejects_too_many_chains() {
-        let _ = generate(ListParams { chains: 9, ..small() });
+        let _ = generate(ListParams {
+            chains: 9,
+            ..small()
+        });
     }
 }

@@ -29,8 +29,7 @@ pub mod parallel;
 pub mod stencil;
 pub mod stream;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+pub use recon_isa::rng::{Rng, SplitMix64};
 
 /// Base address of branch-condition arrays.
 pub const COND_BASE: u64 = 0x0010_0000;
@@ -47,18 +46,19 @@ pub const NODE_BASE: u64 = 0x2000_0000;
 /// Base address of synchronization words (barriers, flags).
 pub const SYNC_BASE: u64 = 0x4000_0000;
 
-/// Deterministic RNG for workload generation.
+/// Deterministic RNG for workload generation (in-tree splitmix64; no
+/// external dependency, identical streams on every host).
 #[must_use]
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// A pseudo-random permutation of `0..n` (Fisher-Yates).
 #[must_use]
-pub fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+pub fn permutation(n: usize, rng: &mut SplitMix64) -> Vec<usize> {
     let mut v: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
-        v.swap(i, rng.gen_range(0..=i));
+        v.swap(i, rng.below_usize(i + 1));
     }
     v
 }

@@ -112,7 +112,10 @@ fn emit_work_loop(a: &mut Asm, count: u64, cond_mask: u64, ptr_mask: u64) {
 /// `cond_lines` is not a power of two.
 #[must_use]
 pub fn generate(p: ParallelParams) -> Workload {
-    assert!(p.slots.is_multiple_of(4), "slots must divide into 4 partitions");
+    assert!(
+        p.slots.is_multiple_of(4),
+        "slots must divide into 4 partitions"
+    );
     let mut r = rng(p.seed);
     let mut a = Asm::new();
 
@@ -205,9 +208,14 @@ pub fn generate(p: ParallelParams) -> Workload {
     a.bltu_to(R22, R1, pass_top);
     a.halt();
 
-    let program = a.assemble().expect("parallel generator emits valid programs");
+    let program = a
+        .assemble()
+        .expect("parallel generator emits valid programs");
     let threads = (0..NUM_THREADS)
-        .map(|t| ThreadSpec { entry: 0, seeds: vec![(R31, t as u64)] })
+        .map(|t| ThreadSpec {
+            entry: 0,
+            seeds: vec![(R31, t as u64)],
+        })
         .collect();
     Workload { program, threads }
 }
@@ -232,7 +240,13 @@ mod tests {
             ParKind::DataParallel { rotate: true },
             ParKind::ProducerConsumer,
         ] {
-            let w = generate(ParallelParams { kind, slots: 64, cond_lines: 4, passes: 2, seed: 1 });
+            let w = generate(ParallelParams {
+                kind,
+                slots: 64,
+                cond_lines: 4,
+                passes: 2,
+                seed: 1,
+            });
             assert!(w.program.validate().is_ok(), "{kind:?}");
         }
     }
@@ -240,6 +254,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "partitions")]
     fn rejects_unpartitionable_slots() {
-        let _ = generate(ParallelParams { slots: 6, ..Default::default() });
+        let _ = generate(ParallelParams {
+            slots: 6,
+            ..Default::default()
+        });
     }
 }

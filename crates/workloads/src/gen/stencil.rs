@@ -18,7 +18,10 @@ pub struct StencilParams {
 
 impl Default for StencilParams {
     fn default() -> Self {
-        StencilParams { points: 4096, sweeps: 2 }
+        StencilParams {
+            points: 4096,
+            sweeps: 2,
+        }
     }
 }
 
@@ -57,7 +60,8 @@ pub fn generate(p: StencilParams) -> Program {
     a.addi(R22, R22, 1);
     a.bltu_to(R22, R23, sweep);
     a.halt();
-    a.assemble().expect("stencil generator emits valid programs")
+    a.assemble()
+        .expect("stencil generator emits valid programs")
 }
 
 #[cfg(test)]
@@ -67,7 +71,10 @@ mod tests {
 
     #[test]
     fn computes_three_point_sums() {
-        let prm = StencilParams { points: 8, sweeps: 1 };
+        let prm = StencilParams {
+            points: 8,
+            sweeps: 1,
+        };
         let p = generate(prm);
         let mut mem = SparseMem::from_image(&p.image);
         recon_isa::run_with(&p, &mut mem, 1_000_000, |_| {}).unwrap();
@@ -80,14 +87,20 @@ mod tests {
 
     #[test]
     fn sweeps_alternate_arrays() {
-        let p = generate(StencilParams { points: 8, sweeps: 2 });
+        let p = generate(StencilParams {
+            points: 8,
+            sweeps: 2,
+        });
         let (_, state) = run_collect(&p, 1_000_000).unwrap();
         assert!(state.halted);
     }
 
     #[test]
     fn stores_every_interior_point() {
-        let p = generate(StencilParams { points: 16, sweeps: 1 });
+        let p = generate(StencilParams {
+            points: 16,
+            sweeps: 1,
+        });
         let (trace, _) = run_collect(&p, 1_000_000).unwrap();
         let stores = trace.iter().filter(|t| t.inst.is_store()).count();
         assert_eq!(stores, 14, "points 1..15");

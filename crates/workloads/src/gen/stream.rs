@@ -23,7 +23,12 @@ pub struct StreamParams {
 
 impl Default for StreamParams {
     fn default() -> Self {
-        StreamParams { elements: 4096, passes: 2, writes: false, stride_words: 1 }
+        StreamParams {
+            elements: 4096,
+            passes: 2,
+            writes: false,
+            stride_words: 1,
+        }
     }
 }
 
@@ -60,7 +65,11 @@ mod tests {
 
     #[test]
     fn sums_the_array() {
-        let p = generate(StreamParams { elements: 16, passes: 1, ..Default::default() });
+        let p = generate(StreamParams {
+            elements: 16,
+            passes: 1,
+            ..Default::default()
+        });
         let (_, state) = run_collect(&p, 100_000).unwrap();
         assert!(state.halted);
         assert_eq!(state.read(R5), (1..=16).sum::<u64>());
@@ -68,7 +77,12 @@ mod tests {
 
     #[test]
     fn writes_mutate_for_next_pass() {
-        let p = generate(StreamParams { elements: 4, passes: 2, writes: true, stride_words: 1 });
+        let p = generate(StreamParams {
+            elements: 4,
+            passes: 2,
+            writes: true,
+            stride_words: 1,
+        });
         let (_, state) = run_collect(&p, 100_000).unwrap();
         // Pass 1 sums 1..=4 (10) and increments; pass 2 sums 2..=5 (14).
         assert_eq!(state.read(R5), 24);

@@ -26,9 +26,9 @@ use crate::gen::list::{self, ListParams};
 use crate::gen::parallel::{self, ParKind, ParallelParams};
 use crate::gen::stencil::{self, StencilParams};
 use crate::gen::stream::{self, StreamParams};
-use crate::workload::{Benchmark, Suite};
 #[cfg(test)]
 use crate::workload::Workload;
+use crate::workload::{Benchmark, Suite};
 
 /// Workload sizing.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -99,7 +99,11 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "bwaves",
             s,
-            stream::generate(StreamParams { elements: 8192, passes: 2 * f, ..Default::default() }),
+            stream::generate(StreamParams {
+                elements: 8192,
+                passes: 2 * f,
+                ..Default::default()
+            }),
         ),
         gadget_bench("cactuBSSN", s, scale, 1024, 16384, 4, |p| {
             p.indirect_per_16 = 16;
@@ -122,7 +126,11 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "fotonik3d",
             s,
-            stream::generate(StreamParams { elements: 8192, passes: 2 * f, ..Default::default() }),
+            stream::generate(StreamParams {
+                elements: 8192,
+                passes: 2 * f,
+                ..Default::default()
+            }),
         ),
         gadget_bench("gcc", s, scale, 1024, 16384, 6, |p| {
             p.indirect_per_16 = 4;
@@ -152,7 +160,11 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "leela",
             s,
-            btree::generate(BtreeParams { height: 7, searches: 1500 * f, seed: fxhash("leela") }),
+            btree::generate(BtreeParams {
+                height: 7,
+                searches: 1500 * f,
+                seed: fxhash("leela"),
+            }),
         ),
         Benchmark::single(
             "mcf",
@@ -169,7 +181,10 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "nab",
             s,
-            stencil::generate(StencilParams { points: 6144, sweeps: 2 * f }),
+            stencil::generate(StencilParams {
+                points: 6144,
+                sweeps: 2 * f,
+            }),
         ),
         gadget_bench("omnetpp", s, scale, 1024, 16384, 4, |p| {
             p.depth = 2;
@@ -190,17 +205,27 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "pop2",
             s,
-            stencil::generate(StencilParams { points: 8192, sweeps: 2 * f }),
+            stencil::generate(StencilParams {
+                points: 8192,
+                sweeps: 2 * f,
+            }),
         ),
         Benchmark::single(
             "roms",
             s,
-            stream::generate(StreamParams { elements: 6144, passes: 2 * f, ..Default::default() }),
+            stream::generate(StreamParams {
+                elements: 6144,
+                passes: 2 * f,
+                ..Default::default()
+            }),
         ),
         Benchmark::single(
             "wrf",
             s,
-            stencil::generate(StencilParams { points: 4096, sweeps: 3 * f }),
+            stencil::generate(StencilParams {
+                points: 4096,
+                sweeps: 3 * f,
+            }),
         ),
         Benchmark::single(
             "x264",
@@ -231,7 +256,10 @@ pub fn spec2017(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "cam4",
             s,
-            stencil::generate(StencilParams { points: 6144, sweeps: 2 * f }),
+            stencil::generate(StencilParams {
+                points: 6144,
+                sweeps: 2 * f,
+            }),
         ),
     ]
 }
@@ -245,7 +273,11 @@ pub fn spec2006(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "astar",
             s,
-            btree::generate(BtreeParams { height: 9, searches: 1200 * f, seed: fxhash("astar") }),
+            btree::generate(BtreeParams {
+                height: 9,
+                searches: 1200 * f,
+                seed: fxhash("astar"),
+            }),
         ),
         Benchmark::single(
             "bzip2",
@@ -283,7 +315,11 @@ pub fn spec2006(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "hmmer",
             s,
-            stream::generate(StreamParams { elements: 6144, passes: 3 * f, ..Default::default() }),
+            stream::generate(StreamParams {
+                elements: 6144,
+                passes: 3 * f,
+                ..Default::default()
+            }),
         ),
         Benchmark::single(
             "lbm",
@@ -298,7 +334,11 @@ pub fn spec2006(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "libquantum",
             s,
-            stream::generate(StreamParams { elements: 8192, passes: 2 * f, ..Default::default() }),
+            stream::generate(StreamParams {
+                elements: 8192,
+                passes: 2 * f,
+                ..Default::default()
+            }),
         ),
         Benchmark::single(
             "mcf",
@@ -315,12 +355,18 @@ pub fn spec2006(scale: Scale) -> Vec<Benchmark> {
         Benchmark::single(
             "milc",
             s,
-            stencil::generate(StencilParams { points: 8192, sweeps: 2 * f }),
+            stencil::generate(StencilParams {
+                points: 8192,
+                sweeps: 2 * f,
+            }),
         ),
         Benchmark::single(
             "namd",
             s,
-            stencil::generate(StencilParams { points: 4096, sweeps: 3 * f }),
+            stencil::generate(StencilParams {
+                points: 4096,
+                sweeps: 3 * f,
+            }),
         ),
         gadget_bench("omnetpp", s, scale, 1024, 16384, 4, |p| {
             p.depth = 2;
@@ -388,17 +434,45 @@ pub fn parsec(scale: Scale) -> Vec<Benchmark> {
             passes: passes * f,
             seed: fxhash(name),
         });
-        Benchmark { name, suite: Suite::Parsec, workload }
+        Benchmark {
+            name,
+            suite: Suite::Parsec,
+            workload,
+        }
     };
     vec![
-        mk("blackscholes", ParKind::DataParallel { rotate: false }, 1024, 16384, 4),
-        mk("bodytrack", ParKind::DataParallel { rotate: true }, 1024, 16384, 4),
+        mk(
+            "blackscholes",
+            ParKind::DataParallel { rotate: false },
+            1024,
+            16384,
+            4,
+        ),
+        mk(
+            "bodytrack",
+            ParKind::DataParallel { rotate: true },
+            1024,
+            16384,
+            4,
+        ),
         mk("canneal", ParKind::SharedChase, 2048, 16384, 3),
         mk("dedup", ParKind::ProducerConsumer, 512, 16384, 4),
         mk("ferret", ParKind::ProducerConsumer, 1024, 16384, 3),
-        mk("fluidanimate", ParKind::DataParallel { rotate: true }, 512, 8192, 5),
+        mk(
+            "fluidanimate",
+            ParKind::DataParallel { rotate: true },
+            512,
+            8192,
+            5,
+        ),
         mk("streamcluster", ParKind::SharedChase, 1024, 16384, 4),
-        mk("swaptions", ParKind::DataParallel { rotate: false }, 512, 8192, 5),
+        mk(
+            "swaptions",
+            ParKind::DataParallel { rotate: false },
+            512,
+            8192,
+            5,
+        ),
     ]
 }
 
@@ -423,8 +497,15 @@ pub fn find(suite: Suite, name: &str, scale: Scale) -> Option<Benchmark> {
 
 /// The benchmarks the paper analyzes in Figure 9 (SPEC2017 entries with
 /// more than 5% STT degradation).
-pub const FIG9_BENCHMARKS: [&str; 7] =
-    ["cactuBSSN", "deepsjeng", "mcf", "leela", "omnetpp", "perlbench", "xalancbmk"];
+pub const FIG9_BENCHMARKS: [&str; 7] = [
+    "cactuBSSN",
+    "deepsjeng",
+    "mcf",
+    "leela",
+    "omnetpp",
+    "perlbench",
+    "xalancbmk",
+];
 
 /// Validates a workload terminates in the functional model within a
 /// budget (used in tests).
@@ -433,7 +514,9 @@ fn terminates(w: &Workload, budget: usize) -> bool {
     if w.num_threads() != 1 {
         return true; // multithreaded: validated in recon-sim tests
     }
-    recon_isa::run_collect(&w.program, budget).map(|(_, st)| st.halted).unwrap_or(false)
+    recon_isa::run_collect(&w.program, budget)
+        .map(|(_, st)| st.halted)
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -480,7 +563,10 @@ mod tests {
     #[test]
     fn fig9_benchmarks_exist_in_spec2017() {
         for name in FIG9_BENCHMARKS {
-            assert!(find(Suite::Spec2017, name, Scale::Quick).is_some(), "{name}");
+            assert!(
+                find(Suite::Spec2017, name, Scale::Quick).is_some(),
+                "{name}"
+            );
         }
     }
 

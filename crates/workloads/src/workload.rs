@@ -52,7 +52,13 @@ impl Workload {
     #[must_use]
     pub fn single(program: Program) -> Self {
         let entry = program.entry;
-        Workload { program, threads: vec![ThreadSpec { entry, seeds: Vec::new() }] }
+        Workload {
+            program,
+            threads: vec![ThreadSpec {
+                entry,
+                seeds: Vec::new(),
+            }],
+        }
     }
 
     /// Number of hardware threads required.
@@ -77,7 +83,11 @@ impl Benchmark {
     /// Creates a single-thread benchmark.
     #[must_use]
     pub fn single(name: &'static str, suite: Suite, program: Program) -> Self {
-        Benchmark { name, suite, workload: Workload::single(program) }
+        Benchmark {
+            name,
+            suite,
+            workload: Workload::single(program),
+        }
     }
 }
 

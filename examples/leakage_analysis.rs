@@ -15,7 +15,10 @@ use recon_workloads::{find, Scale, Suite};
 
 fn main() {
     println!("per-benchmark leakage (fraction of touched address space):\n");
-    println!("{:<12} {:>8} {:>8} {:>10}", "benchmark", "DIFT", "pairs", "coverage");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10}",
+        "benchmark", "DIFT", "pairs", "coverage"
+    );
     for name in ["mcf", "xalancbmk", "gcc", "cactuBSSN", "lbm", "leela"] {
         let b = find(Suite::Spec2017, name, Scale::Quick).expect("benchmark exists");
         let r = analyze_program(&b.workload.program, 50_000_000).expect("terminates");
@@ -76,7 +79,11 @@ fn main() {
     println!(
         "  leaked words: {} (the selector's address is a leakage point: {})",
         leaky_report.dift_leaked,
-        if leaky_report.dift_leaked > 0 { "yes" } else { "no" },
+        if leaky_report.dift_leaked > 0 {
+            "yes"
+        } else {
+            "no"
+        },
     );
     println!("constant-time key selection (recommended):");
     println!(

@@ -57,7 +57,10 @@ fn main() {
     let stt = exp.run(&workload, SecureConfig::stt());
     let sttr = exp.run(&workload, SecureConfig::stt_recon());
 
-    println!("{:<14} {:>9} {:>7} {:>15} {:>15}", "config", "cycles", "IPC", "tainted loads", "revealed loads");
+    println!(
+        "{:<14} {:>9} {:>7} {:>15} {:>15}",
+        "config", "cycles", "IPC", "tainted loads", "revealed loads"
+    );
     for (name, r) in [("unsafe", &base), ("STT", &stt), ("STT+ReCon", &sttr)] {
         println!(
             "{:<14} {:>9} {:>7.3} {:>15} {:>15}",
@@ -77,7 +80,10 @@ fn main() {
     println!();
     println!("What happened: the first pass dereferences each pointer");
     println!("non-speculatively, so ReCon's load-pair table reveals the pointer");
-    println!("words through the cache hierarchy ({} reveal requests).", sttr.mem.reveals_set);
+    println!(
+        "words through the cache hierarchy ({} reveal requests).",
+        sttr.mem.reveals_set
+    );
     println!("On later passes the loads hit revealed words, are not tainted,");
     println!("and the dependent dereferences issue without waiting for the");
     println!("bounds check to resolve — recovering the lost memory-level");

@@ -80,7 +80,10 @@ fn main() {
     let (never_leaked, t1) = build_gadget(false);
     let (already_public, t2) = build_gadget(true);
 
-    println!("{:<42} {:>8} {:>8} {:>11}", "scenario", "unsafe", "STT", "STT+ReCon");
+    println!(
+        "{:<42} {:>8} {:>8} {:>11}",
+        "scenario", "unsafe", "STT", "STT+ReCon"
+    );
     let row = |name: &str, p: &Program, t: usize| {
         let show = |b: bool| if b { "LEAKS" } else { "safe" };
         println!(
@@ -92,7 +95,11 @@ fn main() {
         );
     };
     row("secret never leaked non-speculatively", &never_leaked, t1);
-    row("secret already public (prior dereference)", &already_public, t2);
+    row(
+        "secret already public (prior dereference)",
+        &already_public,
+        t2,
+    );
 
     println!();
     println!("* Row 1: ReCon preserves STT's guarantee — a value that never");

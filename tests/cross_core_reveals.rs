@@ -37,7 +37,10 @@ fn or_merge_preserves_reveals_across_consecutive_evictions() {
     assert_eq!(m.l2_state(1, 0x0), None);
     let r0 = m.read(2, 0x0);
     let r1 = m.read(2, 0x8);
-    assert!(r0.revealed && r1.revealed, "directory accumulated both reveals");
+    assert!(
+        r0.revealed && r1.revealed,
+        "directory accumulated both reveals"
+    );
 }
 
 #[test]
@@ -112,5 +115,8 @@ fn llc_eviction_drops_the_directory_metadata() {
         m.read(0, i * 64);
     }
     assert_eq!(m.dir_state(0x0), None, "line left the hierarchy");
-    assert!(!m.read(0, 0x0).revealed, "refetched from memory all-concealed");
+    assert!(
+        !m.read(0, 0x0).revealed,
+        "refetched from memory all-concealed"
+    );
 }

@@ -25,7 +25,10 @@ fn steps_1_to_4_reveal_then_speculative_use() {
 
     // ③ A (speculative) LD3 [a] now sees the word revealed…
     let r3 = mem.read(0, a);
-    assert!(r3.revealed, "③ safe to pass the revealed value to a transmitter");
+    assert!(
+        r3.revealed,
+        "③ safe to pass the revealed value to a transmitter"
+    );
     // …④ so its dependent LD4 may dereference without protection —
     // at the LPT level, the install is skipped for the revealed word.
     assert_eq!(lpt.commit_load(3, None, a, r3.revealed), None);
@@ -100,5 +103,8 @@ fn steps_8_to_10_forwarding_is_concealed() {
         "⑨ forwarding always supplies concealed data"
     );
     // ⑩ After the store drains, the memory side is concealed.
-    assert!(!sys.mem().probe_revealed(0, a), "⑩ concealed outside the core");
+    assert!(
+        !sys.mem().probe_revealed(0, a),
+        "⑩ concealed outside the core"
+    );
 }

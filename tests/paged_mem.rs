@@ -1,0 +1,87 @@
+//! The paged flat store must be observationally equivalent to the
+//! word-granular map it replaced: same read-back values, zero for
+//! anything never written, no aliasing across pages.
+
+use std::collections::HashMap;
+
+use recon_isa::rng::{Rng, SplitMix64};
+use recon_isa::{DataMem, SparseMem};
+
+/// Addresses that stress the paging: dense neighbours, both sides of
+/// page boundaries, same word-index on distant pages, and the top of
+/// the address space.
+fn interesting_addrs() -> Vec<u64> {
+    let mut addrs = Vec::new();
+    for base in [0u64, 0x1000, 0x3F_F000, 0xFFFF_FFFF_FFFF_F000] {
+        for off in [0u64, 8, 0xFF0, 0xFF8] {
+            addrs.push(base.wrapping_add(off) & !7);
+        }
+    }
+    addrs
+}
+
+#[test]
+fn random_ops_match_word_map_reference() {
+    let mut paged = SparseMem::new();
+    let mut reference: HashMap<u64, u64> = HashMap::new();
+    let mut rng = SplitMix64::new(0xD1CE);
+    let addrs = interesting_addrs();
+
+    for step in 0..20_000u64 {
+        // Mix targeted addresses with uniformly random ones.
+        let addr = if rng.below(4) == 0 {
+            addrs[rng.below_usize(addrs.len())]
+        } else {
+            rng.next_u64() & !7
+        };
+        if rng.below(2) == 0 {
+            let value = rng.next_u64();
+            paged.write(addr, value);
+            reference.insert(addr, value);
+        } else {
+            let expect = reference.get(&addr).copied().unwrap_or(0);
+            assert_eq!(paged.read(addr), expect, "step {step}: read {addr:#x}");
+        }
+    }
+    // Full sweep: every word the reference knows about, plus the
+    // targeted addresses (which may never have been written and must
+    // then read zero).
+    for (&addr, &value) in &reference {
+        assert_eq!(paged.read(addr), value, "final sweep at {addr:#x}");
+    }
+    for addr in addrs {
+        let expect = reference.get(&addr).copied().unwrap_or(0);
+        assert_eq!(paged.read(addr), expect, "targeted sweep at {addr:#x}");
+    }
+}
+
+#[test]
+fn page_boundary_neighbours_are_independent() {
+    let mut m = SparseMem::new();
+    // Straddle the 4 KiB boundary: last word of one page, first of the
+    // next. Writes to one must not leak into the other.
+    m.write(0x0FF8, 0xAAAA);
+    m.write(0x1000, 0xBBBB);
+    m.write(0x1FF8, 0xCCCC);
+    m.write(0x2000, 0xDDDD);
+    assert_eq!(m.read(0x0FF8), 0xAAAA);
+    assert_eq!(m.read(0x1000), 0xBBBB);
+    assert_eq!(m.read(0x1FF8), 0xCCCC);
+    assert_eq!(m.read(0x2000), 0xDDDD);
+    assert_eq!(m.read(0x0FF0), 0, "untouched neighbour below the boundary");
+    assert_eq!(m.read(0x1008), 0, "untouched neighbour above the boundary");
+}
+
+#[test]
+fn sparse_reads_allocate_nothing() {
+    let mut m = SparseMem::new();
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..1_000 {
+        assert_eq!(m.read(rng.next_u64() & !7), 0);
+    }
+    assert_eq!(
+        m.resident_pages(),
+        0,
+        "pure readers must not allocate pages"
+    );
+}

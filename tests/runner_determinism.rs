@@ -1,0 +1,139 @@
+//! The parallel runner must be a pure speedup: identical results to a
+//! serial run for any worker count, and no duplicated work — the unsafe
+//! baseline shared by several scheme trios runs once per benchmark.
+
+use recon_cpu::CoreConfig;
+use recon_secure::SecureConfig;
+use recon_sim::{run_batch, Experiment, SystemResult};
+use recon_workloads::gen::btree::{self, BtreeParams};
+use recon_workloads::gen::hash::{self, HashParams};
+use recon_workloads::{Benchmark, Suite};
+
+fn small_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::single(
+            "hash-small",
+            Suite::Spec2017,
+            hash::generate(HashParams {
+                buckets: 16,
+                lookups: 128,
+                keys: 32,
+                cond_lines: 8,
+                seed: 3,
+            }),
+        ),
+        Benchmark::single(
+            "btree-small",
+            Suite::Spec2017,
+            btree::generate(BtreeParams {
+                height: 6,
+                searches: 64,
+                seed: 9,
+            }),
+        ),
+    ]
+}
+
+fn small_experiment() -> Experiment {
+    Experiment {
+        core: CoreConfig::tiny(),
+        max_cycles: 10_000_000,
+        ..Experiment::default()
+    }
+}
+
+fn assert_same_result(a: &SystemResult, b: &SystemResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverge");
+    assert_eq!(a.committed(), b.committed(), "{what}: committed diverge");
+    assert_eq!(
+        a.guarded_loads(),
+        b.guarded_loads(),
+        "{what}: guarded loads diverge"
+    );
+    assert_eq!(
+        a.mem.reveals_set, b.mem.reveals_set,
+        "{what}: reveals diverge"
+    );
+    assert_eq!(
+        a.mem.revealed_loads, b.mem.revealed_loads,
+        "{what}: revealed loads diverge"
+    );
+}
+
+#[test]
+fn parallel_matrix_matches_serial() {
+    let exp = small_experiment();
+    let benches = small_benchmarks();
+    let (serial, _) = exp.run_matrices(&benches, 1);
+    let (parallel, batch) = exp.run_matrices(&benches, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "benchmark order must be deterministic");
+        assert_same_result(&s.baseline, &p.baseline, s.name);
+        assert_same_result(&s.nda, &p.nda, s.name);
+        assert_same_result(&s.nda_recon, &p.nda_recon, s.name);
+        assert_same_result(&s.stt, &p.stt, s.name);
+        assert_same_result(&s.stt_recon, &p.stt_recon, s.name);
+    }
+    // Five unique configurations per benchmark, no more.
+    assert_eq!(batch.job_count(), 5 * benches.len());
+    assert_eq!(batch.timings.len(), batch.job_count());
+    assert!(batch.wall_seconds > 0.0);
+}
+
+#[test]
+fn baseline_dedup_runs_each_config_once() {
+    let exp = small_experiment();
+    let benches = small_benchmarks();
+    // The NDA trio and the STT trio both request the unsafe baseline:
+    // six requests, five unique configurations.
+    let configs = [
+        SecureConfig::unsafe_baseline(),
+        SecureConfig::nda(),
+        SecureConfig::nda_recon(),
+        SecureConfig::unsafe_baseline(),
+        SecureConfig::stt(),
+        SecureConfig::stt_recon(),
+    ];
+    let batch = run_batch(&exp, &benches, &configs, 2);
+    assert_eq!(
+        batch.job_count(),
+        5 * benches.len(),
+        "baseline must run once per benchmark"
+    );
+    for b in &benches {
+        let hits = batch
+            .timings
+            .iter()
+            .filter(|t| t.bench == b.name && t.config == SecureConfig::unsafe_baseline())
+            .count();
+        assert_eq!(hits, 1, "{}: exactly one baseline job", b.name);
+    }
+    // Deduped results still answer every request.
+    for b in &benches {
+        for c in configs {
+            assert!(
+                batch.get(b.name, c).is_some(),
+                "{} under {c} resolvable",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_timings_are_consistent() {
+    let exp = small_experiment();
+    let benches = small_benchmarks();
+    let (_, batch) = exp.run_matrices(&benches, 2);
+    // Serial-sum covers every job; each job took measurable (>= 0) time
+    // and recorded the simulated cycle count of its run.
+    assert!(batch.serial_seconds() >= 0.0);
+    for t in &batch.timings {
+        assert!(t.seconds >= 0.0);
+        let r = batch
+            .get(t.bench, t.config)
+            .expect("timing entry has a result");
+        assert_eq!(t.cycles, r.cycles);
+    }
+}

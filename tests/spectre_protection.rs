@@ -4,10 +4,10 @@
 use recon_repro::cpu::CoreConfig;
 use recon_repro::isa::{reg::names::*, Asm, Program};
 use recon_repro::mem::MemConfig;
+use recon_repro::recon::ReconConfig;
 use recon_repro::secure::SecureConfig;
 use recon_repro::sim::System;
 use recon_repro::workloads::Workload;
-use recon_repro::recon::ReconConfig;
 
 /// Builds the Spectre v1 gadget; returns (program, transmitter pc).
 /// When `leak_first` is set, the program dereferences the secret
@@ -56,13 +56,20 @@ fn transmitter_observable(program: &Program, pc: usize, secure: SecureConfig) ->
     sys.cores_mut()[0].record_observations(true);
     let r = sys.run(1_000_000);
     assert!(r.completed);
-    sys.cores_mut()[0].take_observations().iter().any(|o| o.pc == pc && o.speculative)
+    sys.cores_mut()[0]
+        .take_observations()
+        .iter()
+        .any(|o| o.pc == pc && o.speculative)
 }
 
 #[test]
 fn unsafe_baseline_leaks_the_secret() {
     let (p, t) = gadget(false);
-    assert!(transmitter_observable(&p, t, SecureConfig::unsafe_baseline()));
+    assert!(transmitter_observable(
+        &p,
+        t,
+        SecureConfig::unsafe_baseline()
+    ));
 }
 
 #[test]

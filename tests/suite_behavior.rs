@@ -2,10 +2,10 @@
 //! completes under every scheme, and the headline orderings of the
 //! paper's evaluation hold.
 
+use recon_repro::mem::MemConfig;
 use recon_repro::secure::SecureConfig;
 use recon_repro::sim::{Experiment, SystemResult};
 use recon_repro::workloads::{parsec, spec2017, Scale};
-use recon_repro::mem::MemConfig;
 
 #[test]
 fn every_spec2017_benchmark_completes_under_every_scheme() {
@@ -27,7 +27,10 @@ fn every_spec2017_benchmark_completes_under_every_scheme() {
 
 #[test]
 fn every_parsec_benchmark_completes_on_four_cores() {
-    let exp = Experiment { mem: MemConfig::scaled_multicore(), ..Experiment::default() };
+    let exp = Experiment {
+        mem: MemConfig::scaled_multicore(),
+        ..Experiment::default()
+    };
     for b in parsec(Scale::Quick) {
         let r = exp.run(&b.workload, SecureConfig::stt_recon());
         assert!(r.completed, "{}", b.name);
@@ -55,7 +58,11 @@ fn headline_orderings_hold() {
         let nda = exp.run(&b.workload, SecureConfig::nda());
         let n = |r: &SystemResult| r.ipc() / base.ipc();
         // Secure schemes cost performance on the pointer-heavy set.
-        assert!(n(&stt) < 0.99, "{name}: STT should degrade, got {}", n(&stt));
+        assert!(
+            n(&stt) < 0.99,
+            "{name}: STT should degrade, got {}",
+            n(&stt)
+        );
         assert!(n(&nda) <= n(&stt) + 0.02, "{name}: NDA at least as strict");
         // ReCon never hurts ...
         assert!(
@@ -74,7 +81,10 @@ fn headline_orderings_hold() {
             "{name}: ReCon should not taint more committed loads"
         );
     }
-    assert!(recovered >= 3, "ReCon should visibly recover on at least 3/4, got {recovered}");
+    assert!(
+        recovered >= 3,
+        "ReCon should visibly recover on at least 3/4, got {recovered}"
+    );
 }
 
 /// Streaming benchmarks are unaffected by any scheme (paper: bwaves,
@@ -101,15 +111,15 @@ fn streaming_benchmarks_are_unaffected() {
 #[test]
 fn mcf_needs_more_than_the_l1_for_its_reveals() {
     use recon_repro::recon::{ReconConfig, ReconLevels};
-    let b = recon_repro::workloads::find(
-        recon_repro::workloads::Suite::Spec2017,
-        "mcf",
-        Scale::Quick,
-    )
-    .unwrap();
+    let b =
+        recon_repro::workloads::find(recon_repro::workloads::Suite::Spec2017, "mcf", Scale::Quick)
+            .unwrap();
     let run = |levels| {
         let exp = Experiment {
-            recon: ReconConfig { levels, ..ReconConfig::default() },
+            recon: ReconConfig {
+                levels,
+                ..ReconConfig::default()
+            },
             ..Experiment::default()
         };
         exp.run(&b.workload, SecureConfig::stt_recon())

@@ -9,12 +9,18 @@ fn case1_mem_mem_recon_observes_both_stt_observes_first_only() {
     let s = table1_scenario(0x300); // no alias: both loads go to memory
     assert_eq!(
         run_table1(&s, SecureConfig::stt()),
-        Observability { pc3: true, pc4: false },
+        Observability {
+            pc3: true,
+            pc4: false
+        },
         "STT: ld [r4] observable, ld [r5] delayed"
     );
     assert_eq!(
         run_table1(&s, SecureConfig::stt_recon()),
-        Observability { pc3: true, pc4: true },
+        Observability {
+            pc3: true,
+            pc4: true
+        },
         "ReCon: [r4] is revealed, so ld [r5] may execute — nothing new leaks"
     );
 }
@@ -25,7 +31,10 @@ fn case2_mem_stf_forwarded_second_load_never_observable() {
     for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
         assert_eq!(
             run_table1(&s, secure),
-            Observability { pc3: true, pc4: false },
+            Observability {
+                pc3: true,
+                pc4: false
+            },
             "{secure}: the forwarded value is concealed in the SQ/SB"
         );
     }
@@ -37,7 +46,10 @@ fn cases34_stf_first_load_conceals_the_chain() {
     for secure in [SecureConfig::stt(), SecureConfig::stt_recon()] {
         assert_eq!(
             run_table1(&s, secure),
-            Observability { pc3: false, pc4: false },
+            Observability {
+                pc3: false,
+                pc4: false
+            },
             "{secure}: store forwarding reverts ReCon to STT behaviour"
         );
     }
@@ -47,11 +59,33 @@ fn cases34_stf_first_load_conceals_the_chain() {
 fn nda_matches_stt_observability_on_every_case() {
     // §4.5.2: "A similar argument holds for NDA permissive propagation."
     for (target, expect) in [
-        (0x300u64, Observability { pc3: true, pc4: false }),
-        (0x200, Observability { pc3: true, pc4: false }),
-        (0x100, Observability { pc3: false, pc4: false }),
+        (
+            0x300u64,
+            Observability {
+                pc3: true,
+                pc4: false,
+            },
+        ),
+        (
+            0x200,
+            Observability {
+                pc3: true,
+                pc4: false,
+            },
+        ),
+        (
+            0x100,
+            Observability {
+                pc3: false,
+                pc4: false,
+            },
+        ),
     ] {
         let s = table1_scenario(target);
-        assert_eq!(run_table1(&s, SecureConfig::nda()), expect, "target {target:#x}");
+        assert_eq!(
+            run_table1(&s, SecureConfig::nda()),
+            expect,
+            "target {target:#x}"
+        );
     }
 }
