@@ -6,6 +6,7 @@
 //! recon matrix <suite> <bench>       run all five scheme configurations
 //! recon suite <suite> [--jobs N]     five-way matrix on a whole suite
 //! recon analyze <suite> <bench>      Clueless-style leakage report
+//! recon verify [--gadget G] [--scheme S]  two-trace security checker
 //! recon overhead                     §6.7 storage accounting
 //! ```
 //!
@@ -15,6 +16,12 @@
 //! `RECON_JOBS`, default all cores) and writes per-job wall-clock
 //! timings to `BENCH_runner.json`; the tables are byte-identical for
 //! any worker count.
+//!
+//! `verify` runs every attack gadget under both secrets for every
+//! scheme and diffs the attacker observation traces (SECURE/LEAKS with
+//! first divergent observation), checks the §5.2/§5.3 reveal-soundness
+//! invariant, and exits non-zero if any verdict deviates from the
+//! security claim.
 
 use std::process::ExitCode;
 
@@ -36,6 +43,9 @@ fn parse_suite(name: &str) -> Option<(Suite, Vec<Benchmark>)> {
         _ => None,
     }
 }
+
+/// Valid scheme spellings, for error messages.
+const SCHEME_NAMES: &str = "unsafe|nda|nda+recon|stt|stt+recon";
 
 fn parse_scheme(name: &str) -> Option<SecureConfig> {
     match name.to_ascii_lowercase().as_str() {
@@ -95,7 +105,7 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let Some(secure) = parse_scheme(scheme) else {
-        return fail(&format!("unknown scheme '{scheme}'"));
+        return fail(&format!("unknown scheme '{scheme}' ({SCHEME_NAMES})"));
     };
     let exp = experiment_for(suite);
     let r = exp.run(&b.workload, secure);
@@ -231,6 +241,106 @@ fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
     }
 }
 
+/// Parses `verify`'s flags (`--gadget G`, `--scheme S`, any order) and
+/// runs the two-trace checker; non-zero exit on any violated
+/// expectation so CI can gate on it.
+fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
+    let mut gadget: Option<&str> = None;
+    let mut scheme: Option<SecureConfig> = None;
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let Some(&value) = it.next() else {
+            return fail(&format!("{flag} wants a value"));
+        };
+        match flag {
+            "--gadget" => {
+                if recon_verify::gadget::find(value).is_none() {
+                    let names: Vec<_> =
+                        recon_verify::gadget::all().iter().map(|g| g.name).collect();
+                    return fail(&format!("unknown gadget '{value}' ({})", names.join("|")));
+                }
+                gadget = Some(value);
+            }
+            "--scheme" => match parse_scheme(value) {
+                Some(s) => scheme = Some(s),
+                None => {
+                    return fail(&format!("unknown scheme '{value}' ({SCHEME_NAMES})"));
+                }
+            },
+            _ => return fail(&format!("unknown verify flag '{flag}'")),
+        }
+    }
+
+    let report = recon_verify::run_matrix(gadget, scheme, jobs);
+    let mut t = Table::new(&[
+        "gadget",
+        "scheme",
+        "verdict",
+        "expected",
+        "first divergence",
+    ]);
+    for cell in &report.cells {
+        let r = &cell.result;
+        t.row(&[
+            r.gadget.into(),
+            r.scheme.label(),
+            r.verdict.to_string(),
+            cell.expected.to_string(),
+            match (&r.divergence, r.seq_equal) {
+                (Some(d), true) => d.to_string(),
+                (Some(_), false) => "(leaks architecturally; not speculative)".into(),
+                (None, _) => "-".into(),
+            },
+        ]);
+    }
+    print!("{}", t.render());
+    for l in &report.lifts {
+        println!(
+            "already-leaked cost: {} delayed {} tainted {} cycles {}  vs  {} delayed {} tainted {} cycles {}  [{}]",
+            l.base.label(),
+            l.delayed_base,
+            l.guarded_base,
+            l.cycles_base,
+            l.with_recon.label(),
+            l.delayed_recon,
+            l.guarded_recon,
+            l.cycles_recon,
+            if l.pass() { "ok" } else { "FAIL" },
+        );
+    }
+    let mut sound_ok = true;
+    if gadget.is_none() && scheme.is_none() {
+        for run in recon_verify::soundness_sweep(jobs) {
+            let ok = run.violations.is_empty();
+            sound_ok &= ok;
+            println!(
+                "reveal soundness: {} ({}) under {}: {}",
+                run.name,
+                run.suite,
+                run.scheme.label(),
+                if ok {
+                    "ok".to_string()
+                } else {
+                    format!("{} violations", run.violations.len())
+                },
+            );
+        }
+    }
+    let unexpected = report.unexpected();
+    for u in &unexpected {
+        eprintln!("UNEXPECTED: {u}");
+    }
+    if unexpected.is_empty() && sound_ok {
+        println!(
+            "security claim holds: {} cells as expected",
+            report.cells.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!("{} violated expectations", unexpected.len()))
+    }
+}
+
 fn cmd_overhead() -> ExitCode {
     use recon::overhead::{lpt_bytes, lpt_tagged_bytes, mask_overhead_fraction};
     println!("LPT (180 pregs): {} B", lpt_bytes(180));
@@ -258,6 +368,8 @@ fn usage() -> ExitCode {
     eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
     eprintln!("                                     timings to BENCH_runner.json");
     eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
+    eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
+    eprintln!("                                     (gadget x scheme verdict matrix)");
     eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("suites: spec2017 spec2006 parsec");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
@@ -296,6 +408,7 @@ fn main() -> ExitCode {
         ["matrix", suite, bench] => cmd_matrix(suite, bench, jobs),
         ["suite", suite] => cmd_suite(suite, jobs),
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
+        ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),
         _ => usage(),
     }

@@ -42,6 +42,9 @@ pub struct CoreConfig {
     pub mul_latency: u32,
     /// Memory-dependence handling.
     pub mdp: MdpMode,
+    /// Pipeline trace ring-buffer capacity in events (newest retained;
+    /// evictions are counted, see `Core::trace_dropped`).
+    pub trace_capacity: usize,
 }
 
 impl Default for CoreConfig {
@@ -60,6 +63,7 @@ impl Default for CoreConfig {
             bpred_bits: 12,
             mul_latency: 3,
             mdp: MdpMode::Conservative,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -88,6 +92,7 @@ impl CoreConfig {
             bpred_bits: 8,
             mul_latency: 3,
             mdp: MdpMode::Conservative,
+            trace_capacity: 1 << 16,
         }
     }
 }

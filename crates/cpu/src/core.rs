@@ -36,13 +36,20 @@ use crate::shadow::ShadowTracker;
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, TraceLog};
 
-/// A speculatively observable memory access (for the Table 1 analysis).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// A speculatively observable memory access (for the Table 1 analysis
+/// and the `recon-verify` attacker observation model).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Observation {
+    /// Cycle the access probed the hierarchy (its timing is visible
+    /// from that point).
+    pub cycle: u64,
     /// Static instruction index of the load.
     pub pc: usize,
     /// Word address accessed.
     pub addr: u64,
+    /// Roundtrip latency the hierarchy reported — the attacker's
+    /// primary probe channel (hit vs. miss timing).
+    pub latency: u32,
     /// Whether the load was speculative when it accessed the hierarchy.
     pub speculative: bool,
 }
@@ -120,7 +127,7 @@ impl Core {
             observations: Vec::new(),
             record_observations: false,
             recon_multi_source: recon_cfg.multi_source,
-            trace: TraceLog::default(),
+            trace: TraceLog::with_capacity(cfg.trace_capacity),
         }
     }
 
@@ -147,9 +154,15 @@ impl Core {
         self.trace.set_enabled(on);
     }
 
-    /// Drains the recorded pipeline trace.
+    /// Drains the recorded pipeline trace (oldest retained event first).
     pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
         self.trace.take()
+    }
+
+    /// Trace events dropped by the ring buffer so far.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
     }
 
     /// Drains recorded observations.
@@ -698,8 +711,10 @@ impl Core {
                     if self.record_observations {
                         let pc = self.rob.get(seq).expect("present").pc;
                         self.observations.push(Observation {
+                            cycle: now,
                             pc,
                             addr,
+                            latency: out.latency,
                             speculative,
                         });
                     }

@@ -3,7 +3,11 @@
 //!
 //! Tracing is off by default and costs nothing when disabled; when
 //! enabled (see `Core::record_trace`), every major pipeline event is
-//! appended to an in-memory log the caller drains.
+//! recorded into a fixed-capacity ring buffer: once full, the oldest
+//! event is dropped (and counted) for each new one, so verify-length
+//! runs with tracing left on cannot exhaust memory.
+
+use std::collections::VecDeque;
 
 use recon_secure::Seq;
 
@@ -41,17 +45,37 @@ pub enum TraceKind {
     Squash,
 }
 
-/// A bounded event log.
-#[derive(Clone, Debug, Default)]
+/// Default ring capacity (see [`crate::CoreConfig::trace_capacity`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// A fixed-capacity ring buffer of pipeline events.
+#[derive(Clone, Debug)]
 pub struct TraceLog {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
     enabled: bool,
 }
 
-/// Cap so a forgotten trace cannot exhaust memory on long runs.
-const TRACE_CAP: usize = 1 << 20;
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
 
 impl TraceLog {
+    /// Creates a log that retains at most `capacity` events (the newest
+    /// win). A capacity of 0 records nothing but still counts drops.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
     /// Enables or disables recording (the log is kept either way).
     pub fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
@@ -63,31 +87,53 @@ impl TraceLog {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled or full).
+    /// The maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted from the ring (or refused at capacity 0) so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records an event, evicting the oldest once the ring is full
+    /// (no-op when disabled).
     #[inline]
     pub fn push(&mut self, cycle: u64, seq: Seq, pc: usize, kind: TraceKind) {
-        if self.enabled && self.events.len() < TRACE_CAP {
-            self.events.push(TraceEvent {
-                cycle,
-                seq,
-                pc,
-                kind,
-            });
+        if !self.enabled {
+            return;
         }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+            if self.capacity == 0 {
+                return;
+            }
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            seq,
+            pc,
+            kind,
+        });
     }
 
-    /// Drains the recorded events.
+    /// Drains the recorded events, oldest first. The dropped counter is
+    /// kept (it describes the whole run, not one drain).
     pub fn take(&mut self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into_iter().collect()
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether no events were recorded.
+    /// Whether no events are retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -116,5 +162,29 @@ mod tests {
         assert_eq!(events[0].kind, TraceKind::Dispatch);
         assert_eq!(events[1].kind, TraceKind::Issue);
         assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(3);
+        log.set_enabled(true);
+        for cycle in 0..10 {
+            log.push(cycle, 0, 0, TraceKind::Dispatch);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let cycles: Vec<u64> = log.take().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "oldest-first, newest retained");
+        assert_eq!(log.dropped(), 7, "drop count survives draining");
+    }
+
+    #[test]
+    fn zero_capacity_only_counts() {
+        let mut log = TraceLog::with_capacity(0);
+        log.set_enabled(true);
+        log.push(1, 0, 0, TraceKind::Commit);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
     }
 }

@@ -30,7 +30,7 @@ type Page = [u64; PAGE_WORDS];
 /// This sits on the simulator's hottest path — every functional load and
 /// store of every core, every cycle — so it is a flat array walk, not a
 /// per-word hash lookup: addresses map to 4 KiB pages held in an
-/// [`FxHashMap`](crate::hash::FxHashMap) (allocated on first write), and
+/// [`FxHashMap`] (allocated on first write), and
 /// the word index within the page is a shift-and-mask. Compared to the
 /// previous word-granular SipHash map this is one cheap hash per *page*
 /// reference instead of one expensive hash per *word* reference, plus

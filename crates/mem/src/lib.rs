@@ -34,6 +34,7 @@ pub mod array;
 pub mod config;
 pub mod geometry;
 pub mod mesi;
+pub mod observe;
 pub mod stats;
 pub mod system;
 
@@ -41,5 +42,6 @@ pub use array::{CacheArray, Evicted};
 pub use config::{LatencyConfig, MemConfig};
 pub use geometry::CacheGeometry;
 pub use mesi::{DirState, Mesi, SharerSet};
+pub use observe::{LineState, MemEvent, MemEventKind, MemSnapshot};
 pub use stats::MemStats;
 pub use system::{MemorySystem, ReadOutcome, ServedBy, WriteOutcome};

@@ -130,7 +130,7 @@ impl FromIterator<usize> for SharerSet {
 }
 
 /// Directory-side state of a line (in-cache directory at the LLC).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum DirState {
     /// No private cache holds the line.
     #[default]
@@ -211,5 +211,84 @@ mod tests {
     fn display_single_letter() {
         assert_eq!(Mesi::Modified.to_string(), "M");
         assert_eq!(Mesi::Invalid.to_string(), "I");
+    }
+
+    // ---------------------------------------------------------------
+    // §5.3 mask-coherence edge cases, exercised directly against the
+    // protocol transitions (not through whole-system runs).
+    // ---------------------------------------------------------------
+
+    use crate::config::MemConfig;
+    use crate::system::MemorySystem;
+    use recon::ReconConfig;
+
+    fn proto(cores: usize) -> MemorySystem {
+        MemorySystem::new(cores, MemConfig::scaled(), ReconConfig::default())
+    }
+
+    /// Reads the LLC's mask copy of `line` from a canonical snapshot.
+    fn llc_mask(m: &MemorySystem, line: u64) -> u8 {
+        m.snapshot()
+            .llc
+            .iter()
+            .find(|l| l.line == line)
+            .map_or(0, |l| l.mask)
+    }
+
+    #[test]
+    fn reader_eviction_ors_l1_mask_into_directory_copy() {
+        // Two S-state readers reveal different words of one line; both
+        // evictions must OR into the directory copy, never overwrite.
+        let mut m = proto(2);
+        m.read(0, 0x0);
+        m.read(1, 0x0); // both Shared now
+        assert!(m.reveal(0, 0x0), "word 0 revealed by core 0");
+        assert!(m.reveal(1, 0x8), "word 1 revealed by core 1");
+        // Evict both private copies: scaled L2 is 64 KiB 16-way = 64
+        // sets, so lines 4 KiB apart contend for set 0.
+        for i in 1..=16u64 {
+            m.read(0, i * 4096);
+            m.read(1, i * 4096);
+        }
+        assert_eq!(m.l2_state(0, 0x0), None);
+        assert_eq!(m.l2_state(1, 0x0), None);
+        assert_eq!(llc_mask(&m, 0x0), 0b11, "directory ORed both reveals");
+    }
+
+    #[test]
+    fn invalidated_reader_loses_its_mask_copy() {
+        // Footnote 1: a reader invalidated by a writer's GetM loses its
+        // mask copy entirely — the reveal does not survive anywhere.
+        let mut m = proto(2);
+        m.read(0, 0x40);
+        m.read(1, 0x40);
+        assert!(m.reveal(1, 0x48), "core 1's private reveal");
+        let lost_before = m.stats().mask_bits_lost_inval;
+        m.write(0, 0x40); // GetM invalidates core 1
+        let snap = m.snapshot();
+        let (l1, l2) = &snap.cores[1];
+        assert!(l1.iter().all(|l| l.line != 0x40), "L1 copy gone");
+        assert!(l2.iter().all(|l| l.line != 0x40), "L2 copy gone");
+        assert_eq!(m.stats().mask_bits_lost_inval, lost_before + 1);
+        assert!(!m.read(1, 0x48).revealed, "reveal did not survive");
+    }
+
+    #[test]
+    fn modified_writer_owns_the_only_coherent_copy() {
+        // While a writer holds M, its private mask is authoritative and
+        // the directory copy is stale: a reveal set by the owner lives
+        // only in its L1 until a downgrade publishes it.
+        let mut m = proto(2);
+        m.write(0, 0x88); // core 0: Modified
+        assert!(m.reveal(0, 0x88));
+        assert_eq!(m.l1_state(0, 0x88), Some(Mesi::Modified));
+        assert_eq!(m.dir_state(0x88), Some(DirState::Owned { owner: 0 }));
+        assert_eq!(llc_mask(&m, 0x80), 0, "directory copy is stale");
+        // Core 1's GetS downgrades the owner: the owner's mask travels
+        // and *overwrites* the stale directory copy.
+        let r = m.read(1, 0x88);
+        assert!(r.revealed, "owner's authoritative mask was forwarded");
+        assert_eq!(m.l1_state(0, 0x88), Some(Mesi::Shared));
+        assert_eq!(llc_mask(&m, 0x80), 0b10, "owner mask overwrote");
     }
 }

@@ -1,0 +1,188 @@
+//! Attacker observation hooks: a cycle-stamped transaction log and a
+//! canonical end-of-run snapshot of all cache/directory metadata.
+//!
+//! `recon-verify` builds its two-trace non-interference check on these:
+//! everything here is an *over-approximation* of what a same-core or
+//! cross-core attacker could observe (probe latencies, which sets and
+//! tags are occupied, MESI states, directory/invalidation traffic, and
+//! reveal-mask state). If two runs produce equal logs and equal
+//! snapshots, no attacker limited to those channels can distinguish
+//! them.
+//!
+//! Recording is off by default and costs one branch per transaction.
+
+use crate::mesi::{DirState, Mesi};
+use crate::system::ServedBy;
+
+/// One attacker-observable memory-system transaction.
+///
+/// Every demand access and every coherence side effect it triggers is
+/// logged with the cycle the memory system was told about last (see
+/// `MemorySystem::set_now`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemEvent {
+    /// Cycle at which the transaction was applied.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: MemEventKind,
+}
+
+/// Memory-system transaction kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemEventKind {
+    /// A demand load: which core probed which address, the roundtrip
+    /// latency it observed, which level served it, and whether the word
+    /// was revealed (all timing-visible to the issuing core).
+    Read {
+        /// Issuing core.
+        core: usize,
+        /// Word address.
+        addr: u64,
+        /// Observed roundtrip latency.
+        latency: u32,
+        /// Level that served the access.
+        served_by: ServedBy,
+        /// Reveal status the core saw.
+        revealed: bool,
+    },
+    /// A performed store (store-buffer drain).
+    Write {
+        /// Issuing core.
+        core: usize,
+        /// Word address.
+        addr: u64,
+        /// Observed roundtrip latency.
+        latency: u32,
+    },
+    /// An atomic read-modify-write.
+    Rmw {
+        /// Issuing core.
+        core: usize,
+        /// Word address.
+        addr: u64,
+        /// Observed roundtrip latency.
+        latency: u32,
+        /// Pre-write reveal status the core saw.
+        revealed: bool,
+    },
+    /// A commit-stage reveal request that set a mask bit.
+    RevealSet {
+        /// Requesting core.
+        core: usize,
+        /// Word address revealed.
+        addr: u64,
+    },
+    /// A reveal request dropped (line not cached at a covered level).
+    RevealDropped {
+        /// Requesting core.
+        core: usize,
+        /// Word address.
+        addr: u64,
+    },
+    /// A remote owner's copy was downgraded M/E -> S by a GetS.
+    Downgrade {
+        /// The previous owner whose copy was demoted.
+        owner: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// A private copy was invalidated (GetM or LLC back-invalidation).
+    Invalidate {
+        /// Core losing its copy.
+        victim: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// A sharer upgraded to ownership at the directory (GetM on S).
+    Upgrade {
+        /// Upgrading core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// An LLC miss went to memory.
+    MemFetch {
+        /// Line address fetched.
+        line: u64,
+    },
+    /// The LLC evicted a line (directory entry and masks lost).
+    LlcEvict {
+        /// Line address evicted.
+        line: u64,
+    },
+}
+
+/// One valid line of a cache array in the canonical snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LineState {
+    /// Line (tag) address.
+    pub line: u64,
+    /// Set index the line occupies.
+    pub set: usize,
+    /// MESI state.
+    pub state: Mesi,
+    /// Reveal-mask bits ([`recon::RevealMask::bits`]).
+    pub mask: u8,
+}
+
+/// Canonical end-of-run snapshot of every tag, MESI state, and reveal
+/// mask in the hierarchy, plus the directory. Lines are sorted by
+/// address within each array, so two snapshots compare structurally.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MemSnapshot {
+    /// Per-core `(L1 lines, L2 lines)`.
+    pub cores: Vec<(Vec<LineState>, Vec<LineState>)>,
+    /// Shared LLC lines.
+    pub llc: Vec<LineState>,
+    /// Directory entries, sorted by line address.
+    pub dir: Vec<(u64, DirState)>,
+}
+
+impl MemSnapshot {
+    /// Describes the first structural difference from `other`, if any —
+    /// which array, which line/set — for LEAKS debugging output.
+    #[must_use]
+    pub fn first_divergence(&self, other: &MemSnapshot) -> Option<String> {
+        fn diff_lines(name: &str, a: &[LineState], b: &[LineState]) -> Option<String> {
+            if a == b {
+                return None;
+            }
+            for (x, y) in a.iter().zip(b.iter()) {
+                if x != y {
+                    return Some(format!(
+                        "{name}: line {:#x} set {} ({:?} mask {:#04x}) vs line {:#x} set {} ({:?} mask {:#04x})",
+                        x.line, x.set, x.state, x.mask, y.line, y.set, y.state, y.mask
+                    ));
+                }
+            }
+            Some(format!("{name}: occupancy {} vs {}", a.len(), b.len()))
+        }
+        for (i, ((l1a, l2a), (l1b, l2b))) in self.cores.iter().zip(other.cores.iter()).enumerate() {
+            if let Some(d) = diff_lines(&format!("core{i}.L1"), l1a, l1b) {
+                return Some(d);
+            }
+            if let Some(d) = diff_lines(&format!("core{i}.L2"), l2a, l2b) {
+                return Some(d);
+            }
+        }
+        if let Some(d) = diff_lines("LLC", &self.llc, &other.llc) {
+            return Some(d);
+        }
+        if self.dir != other.dir {
+            for (a, b) in self.dir.iter().zip(other.dir.iter()) {
+                if a != b {
+                    return Some(format!(
+                        "directory: line {:#x} {:?} vs line {:#x} {:?}",
+                        a.0, a.1, b.0, b.1
+                    ));
+                }
+            }
+            return Some(format!(
+                "directory: {} vs {} entries",
+                self.dir.len(),
+                other.dir.len()
+            ));
+        }
+        None
+    }
+}

@@ -21,16 +21,17 @@
 //! simulator. Each access atomically applies the protocol transitions and
 //! returns its latency.
 
-use recon::{line_of, word_index, ReconConfig, RevealMask};
+use recon::{line_of, word_index, ReconConfig, RevealMask, WORDS_PER_LINE, WORD_BYTES};
 use recon_isa::hash::FxHashMap;
 
 use crate::array::CacheArray;
 use crate::config::MemConfig;
 use crate::mesi::{DirState, Mesi};
+use crate::observe::{LineState, MemEvent, MemEventKind, MemSnapshot};
 use crate::stats::MemStats;
 
 /// Which level served an access.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ServedBy {
     /// Private L1 hit.
     L1,
@@ -95,6 +96,24 @@ pub struct MemorySystem {
     /// functional memory's page table.
     dir: FxHashMap<u64, DirState>,
     stats: MemStats,
+    /// Cycle of the in-flight tick, stamped onto logged transactions.
+    now: u64,
+    /// Whether transactions are being logged (off by default).
+    record: bool,
+    events: Vec<MemEvent>,
+    sound: Option<Soundness>,
+}
+
+/// Reveal-soundness oracle (§5.2/§5.3 monotonicity): a word's reveal
+/// bit may be set only by a committed load-pair reveal, and must be
+/// cleared by committed stores; losing a legitimate reveal (eviction,
+/// invalidation) is always safe and never flagged.
+#[derive(Clone, Debug, Default)]
+struct Soundness {
+    /// Word addresses with a currently-legitimate reveal (the crate's
+    /// hash module exposes no set type, so a unit-valued map serves).
+    legit: FxHashMap<u64, ()>,
+    violations: Vec<String>,
 }
 
 impl MemorySystem {
@@ -119,6 +138,124 @@ impl MemorySystem {
             llc: CacheArray::new(cfg.llc),
             dir: FxHashMap::default(),
             stats: MemStats::default(),
+            now: 0,
+            record: false,
+            events: Vec::new(),
+            sound: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation hooks (see the `observe` module)
+    // ------------------------------------------------------------------
+
+    /// Stamps the current cycle onto subsequently logged transactions
+    /// (called once per tick by the simulator).
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    /// Enables or disables the cycle-stamped transaction log.
+    pub fn record_transactions(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// Drains the transaction log.
+    pub fn take_transactions(&mut self) -> Vec<MemEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Enables the reveal-soundness invariant checker. Violations are
+    /// collected, not panicked, so a harness can report them all.
+    pub fn enable_soundness_checks(&mut self) {
+        self.sound = Some(Soundness::default());
+    }
+
+    /// Violations collected so far (empty when the checker is off).
+    #[must_use]
+    pub fn soundness_violations(&self) -> &[String] {
+        self.sound.as_ref().map_or(&[], |s| &s.violations)
+    }
+
+    /// Final sweep of the invariant: every reveal bit anywhere in the
+    /// hierarchy must correspond to a word legitimately revealed by a
+    /// committed load pair (and not since concealed by a store).
+    pub fn soundness_sweep(&mut self) {
+        let Some(mut sound) = self.sound.take() else {
+            return;
+        };
+        let mut sweep = |name: String, arr: &CacheArray| {
+            for (line, _, mask) in arr.iter_lines() {
+                for wi in 0..WORDS_PER_LINE {
+                    let word = line + (wi as u64) * WORD_BYTES;
+                    if mask.is_revealed(wi) && !sound.legit.contains_key(&word) {
+                        sound.violations.push(format!(
+                            "{name}: word {word:#x} revealed without a committed load-pair reveal"
+                        ));
+                    }
+                }
+            }
+        };
+        for (i, p) in self.cores.iter().enumerate() {
+            sweep(format!("core{i}.L1"), &p.l1);
+            sweep(format!("core{i}.L2"), &p.l2);
+        }
+        sweep("LLC".to_string(), &self.llc);
+        self.sound = Some(sound);
+    }
+
+    /// Canonical snapshot of all tags, MESI states, reveal masks, and
+    /// directory entries (sorted; equal snapshots are indistinguishable
+    /// to an attacker probing occupancy).
+    #[must_use]
+    pub fn snapshot(&self) -> MemSnapshot {
+        fn snap(arr: &CacheArray) -> Vec<LineState> {
+            let geom = arr.geometry();
+            let mut v: Vec<LineState> = arr
+                .iter_lines()
+                .map(|(line, state, mask)| LineState {
+                    line,
+                    set: geom.slice(line).0,
+                    state,
+                    mask: mask.bits(),
+                })
+                .collect();
+            v.sort_by_key(|l| l.line);
+            v
+        }
+        let mut dir: Vec<(u64, DirState)> = self.dir.iter().map(|(&l, &d)| (l, d)).collect();
+        dir.sort_by_key(|&(l, _)| l);
+        MemSnapshot {
+            cores: self
+                .cores
+                .iter()
+                .map(|p| (snap(&p.l1), snap(&p.l2)))
+                .collect(),
+            llc: snap(&self.llc),
+            dir,
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: MemEventKind) {
+        if self.record {
+            self.events.push(MemEvent {
+                cycle: self.now,
+                kind,
+            });
+        }
+    }
+
+    /// Soundness check at an observation point: a core that sees a word
+    /// revealed must be seeing a legitimate reveal.
+    fn check_observed_reveal(&mut self, core: usize, addr: u64, revealed: bool) {
+        if let Some(s) = &mut self.sound {
+            let word = addr & !(WORD_BYTES - 1);
+            if revealed && !s.legit.contains_key(&word) {
+                s.violations.push(format!(
+                    "core{core}: load of {word:#x} observed revealed without a legitimate reveal"
+                ));
+            }
         }
     }
 
@@ -159,44 +296,44 @@ impl MemorySystem {
     /// transitions and returns latency plus the word's reveal status.
     pub fn read(&mut self, core: usize, addr: u64) -> ReadOutcome {
         let wi = word_index(addr);
-        if let Some((_, mask)) = self.cores[core].l1.touch(addr) {
+        let out = if let Some((_, mask)) = self.cores[core].l1.touch(addr) {
             self.stats.l1_hits += 1;
-            let revealed = self.recon.enabled && mask.is_revealed(wi);
-            if revealed {
-                self.stats.revealed_loads += 1;
-            }
-            return ReadOutcome {
+            ReadOutcome {
                 latency: self.cfg.lat.l1_hit,
-                revealed,
+                revealed: self.recon.enabled && mask.is_revealed(wi),
                 served_by: ServedBy::L1,
-            };
-        }
-        if let Some((state, mask)) = self.cores[core].l2.touch(addr) {
+            }
+        } else if let Some((state, mask)) = self.cores[core].l2.touch(addr) {
             self.stats.l2_hits += 1;
             self.fill_l1(core, addr, state, mask);
-            let revealed = self.recon.enabled && mask.is_revealed(wi);
-            if revealed {
-                self.stats.revealed_loads += 1;
-            }
-            return ReadOutcome {
+            ReadOutcome {
                 latency: self.cfg.lat.l2_hit,
-                revealed,
+                revealed: self.recon.enabled && mask.is_revealed(wi),
                 served_by: ServedBy::L2,
-            };
-        }
-        // Private miss: GetS at the directory.
-        let (latency, state, mask, served_by) = self.get_shared(core, addr);
-        self.fill_l2(core, addr, state, mask);
-        self.fill_l1(core, addr, state, mask);
-        let revealed = self.recon.enabled && mask.is_revealed(wi);
-        if revealed {
+            }
+        } else {
+            // Private miss: GetS at the directory.
+            let (latency, state, mask, served_by) = self.get_shared(core, addr);
+            self.fill_l2(core, addr, state, mask);
+            self.fill_l1(core, addr, state, mask);
+            ReadOutcome {
+                latency,
+                revealed: self.recon.enabled && mask.is_revealed(wi),
+                served_by,
+            }
+        };
+        if out.revealed {
             self.stats.revealed_loads += 1;
         }
-        ReadOutcome {
-            latency,
-            revealed,
-            served_by,
-        }
+        self.emit(MemEventKind::Read {
+            core,
+            addr,
+            latency: out.latency,
+            served_by: out.served_by,
+            revealed: out.revealed,
+        });
+        self.check_observed_reveal(core, addr, out.revealed);
+        out
     }
 
     /// A store performed by `core` at `addr` (store-buffer drain).
@@ -205,6 +342,11 @@ impl MemorySystem {
         let (latency, _) = self.acquire_for_write(core, addr);
         self.conceal_word(core, addr);
         self.stats.stores_performed += 1;
+        self.emit(MemEventKind::Write {
+            core,
+            addr,
+            latency,
+        });
         WriteOutcome { latency }
     }
 
@@ -214,8 +356,15 @@ impl MemorySystem {
         let wi = word_index(addr);
         let (latency, mask_before) = self.acquire_for_write(core, addr);
         let revealed = self.recon.enabled && mask_before.is_revealed(wi);
+        self.check_observed_reveal(core, addr, revealed);
         self.conceal_word(core, addr);
         self.stats.stores_performed += 1;
+        self.emit(MemEventKind::Rmw {
+            core,
+            addr,
+            latency,
+            revealed,
+        });
         ReadOutcome {
             latency,
             revealed,
@@ -237,28 +386,42 @@ impl MemorySystem {
             return false;
         }
         let wi = word_index(addr);
-        if self.cores[core].l1.update_mask(addr, |m| m.reveal(wi)) {
-            self.stats.reveals_set += 1;
-            return true;
-        }
-        if self.recon.levels.covers_l2() && self.cores[core].l2.update_mask(addr, |m| m.reveal(wi))
-        {
-            self.stats.reveals_set += 1;
-            return true;
-        }
-        if self.recon.levels.covers_llc() {
-            let line = line_of(addr);
-            // Only the directory copy may be updated when no private
-            // cache owns the line (an owner holds the only coherent copy).
-            let owned_elsewhere =
-                matches!(self.dir.get(&line), Some(DirState::Owned { owner }) if *owner != core);
-            if !owned_elsewhere && self.llc.update_mask(addr, |m| m.reveal(wi)) {
-                self.stats.reveals_set += 1;
-                return true;
+        let set = 'set: {
+            if self.cores[core].l1.update_mask(addr, |m| m.reveal(wi)) {
+                break 'set true;
             }
+            if self.recon.levels.covers_l2()
+                && self.cores[core].l2.update_mask(addr, |m| m.reveal(wi))
+            {
+                break 'set true;
+            }
+            if self.recon.levels.covers_llc() {
+                let line = line_of(addr);
+                // Only the directory copy may be updated when no private
+                // cache owns the line (an owner holds the only coherent
+                // copy).
+                let owned_elsewhere = matches!(
+                    self.dir.get(&line), Some(DirState::Owned { owner }) if *owner != core
+                );
+                if !owned_elsewhere && self.llc.update_mask(addr, |m| m.reveal(wi)) {
+                    break 'set true;
+                }
+            }
+            false
+        };
+        if set {
+            self.stats.reveals_set += 1;
+            // The reveal came from a committed load pair: the word is now
+            // legitimately public until a committed store conceals it.
+            if let Some(s) = &mut self.sound {
+                s.legit.insert(addr & !(WORD_BYTES - 1), ());
+            }
+            self.emit(MemEventKind::RevealSet { core, addr });
+        } else {
+            self.stats.reveals_dropped += 1;
+            self.emit(MemEventKind::RevealDropped { core, addr });
         }
-        self.stats.reveals_dropped += 1;
-        false
+        set
     }
 
     // ------------------------------------------------------------------
@@ -331,6 +494,7 @@ impl MemorySystem {
                     self.dir.insert(line, DirState::Shared(sharers));
                     self.stats.llc_hits += 1;
                     self.stats.remote_forwards += 1;
+                    self.emit(MemEventKind::Downgrade { owner, line });
                     // The data + mask travel cache-to-cache (an L2-level
                     // transaction): the mask arrives only if L2 is covered.
                     let granted = if self.recon.levels.covers_l2() {
@@ -384,6 +548,7 @@ impl MemorySystem {
             self.install_llc(addr);
             self.dir.insert(line, DirState::Owned { owner: core });
             self.stats.mem_fetches += 1;
+            self.emit(MemEventKind::MemFetch { line });
             (
                 self.cfg.lat.mem,
                 Mesi::Exclusive,
@@ -461,6 +626,10 @@ impl MemorySystem {
                     self.invalidate_private(owner, addr);
                     self.stats.invalidations += 1;
                     self.stats.remote_forwards += 1;
+                    self.emit(MemEventKind::Invalidate {
+                        victim: owner,
+                        line,
+                    });
                     let granted = if self.recon.levels.covers_l2() {
                         auth
                     } else {
@@ -483,9 +652,14 @@ impl MemorySystem {
                         self.stats.mask_bits_lost_inval += u64::from(lost.count_revealed());
                         self.invalidate_private(sharer, addr);
                         self.stats.invalidations += 1;
+                        self.emit(MemEventKind::Invalidate {
+                            victim: sharer,
+                            line,
+                        });
                         invalidated = true;
                     }
                     self.stats.upgrades += 1;
+                    self.emit(MemEventKind::Upgrade { core, line });
                     let lat = if invalidated {
                         self.cfg.lat.llc_hit + self.cfg.lat.upgrade
                     } else {
@@ -502,6 +676,7 @@ impl MemorySystem {
             self.install_llc(addr);
             self.dir.insert(line, DirState::Owned { owner: core });
             self.stats.mem_fetches += 1;
+            self.emit(MemEventKind::MemFetch { line });
             (self.cfg.lat.mem, RevealMask::default())
         }
     }
@@ -515,6 +690,11 @@ impl MemorySystem {
         self.cores[core].l1.update_mask(addr, |m| m.conceal(wi));
         self.cores[core].l2.update_mask(addr, |m| m.conceal(wi));
         self.stats.conceals += 1;
+        // A committed store retires the word's public status: any reveal
+        // bit seen for it afterwards is a soundness violation.
+        if let Some(s) = &mut self.sound {
+            s.legit.remove(&(addr & !(WORD_BYTES - 1)));
+        }
     }
 
     fn mask_for_l2(&self, mask: RevealMask) -> RevealMask {
@@ -550,6 +730,7 @@ impl MemorySystem {
     /// directory entry and all reveal metadata).
     fn install_llc(&mut self, addr: u64) {
         if let Some(ev) = self.llc.fill(addr, Mesi::Shared, RevealMask::default()) {
+            let victim_line = line_of(ev.addr);
             let lost_dir = ev.mask.count_revealed();
             let mut lost = u64::from(lost_dir);
             for core in 0..self.cores.len() {
@@ -559,10 +740,15 @@ impl MemorySystem {
                     lost += u64::from(self.private_auth_mask(core, ev.addr).count_revealed());
                     self.invalidate_private(core, ev.addr);
                     self.stats.invalidations += 1;
+                    self.emit(MemEventKind::Invalidate {
+                        victim: core,
+                        line: victim_line,
+                    });
                 }
             }
             self.stats.mask_bits_lost_evict += lost;
-            self.dir.remove(&line_of(ev.addr));
+            self.dir.remove(&victim_line);
+            self.emit(MemEventKind::LlcEvict { line: victim_line });
         }
     }
 

@@ -133,11 +133,18 @@ impl System {
         &self.mem
     }
 
+    /// Mutable access to the memory system (e.g. to enable the
+    /// transaction log or the reveal-soundness checker).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
     /// Advances every core one cycle. Returns `true` while any core is
     /// still running.
     pub fn tick(&mut self) -> bool {
         let now = self.cycle;
         self.cycle += 1;
+        self.mem.set_now(now);
         let mut busy = false;
         for core in &mut self.cores {
             busy |= core.tick(&mut self.mem, &mut self.data, now);

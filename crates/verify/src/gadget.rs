@@ -1,0 +1,382 @@
+//! Secret-parameterized attack gadgets in the simulator's ISA.
+//!
+//! Each gadget builds the *same* program and memory image for any
+//! secret except for one slot holding the secret value — an address
+//! inside the probe array — so any observable difference between two
+//! secrets is a genuine transmission. The secrets map to different
+//! cache sets ([`SECRET_A`] is probe line 5, [`SECRET_B`] line 11), so
+//! a transmitting access perturbs set occupancy, miss traffic, and —
+//! cross-core — directory state differently per secret.
+
+use recon_cpu::{CoreConfig, MdpMode};
+use recon_isa::asm::Asm;
+use recon_isa::reg::names::*;
+use recon_mem::MemConfig;
+use recon_workloads::{ThreadSpec, Workload};
+
+/// Base of the probe region the transmitters touch.
+pub const PROBE: u64 = 0x40_0000;
+/// First secret: probe line 5 (L1 set 1 under the scaled geometry).
+pub const SECRET_A: u64 = PROBE + 5 * 64;
+/// Second secret: probe line 11 (L1 set 3 under the scaled geometry).
+pub const SECRET_B: u64 = PROBE + 11 * 64;
+
+/// Base of the victim array whose out-of-bounds slot holds the secret.
+const ARRAY: u64 = 0x10_0000;
+/// The out-of-bounds slot: `array[16]`, i.e. byte offset 128 (line 2).
+const SECRET_SLOT: u64 = ARRAY + 128;
+
+/// Which attack program a [`Gadget`] builds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GadgetKind {
+    /// Spectre v1: a trained bounds check is speculatively bypassed and
+    /// the out-of-bounds value indexes the probe array.
+    SpectreV1,
+    /// Spectre v4: a load speculatively bypasses an older store with an
+    /// unresolved address and transmits the stale (secret) value.
+    StoreBypass,
+    /// Cross-core: the transmit lands in lines a second core owns in M
+    /// state, so the leak is visible as directory/downgrade traffic.
+    CrossCore,
+    /// Control: a committed direct load pair discloses the secret
+    /// architecturally *before* the speculative access — the classic
+    /// case where ReCon may lift the defense.
+    AlreadyLeaked,
+}
+
+/// A named, secret-parameterized attack program.
+#[derive(Clone, Copy, Debug)]
+pub struct Gadget {
+    /// Stable name (CLI `--gadget` value).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: &'static str,
+    /// Whether the gadget *speculatively* transmits the secret — i.e.
+    /// whether `unsafe` is expected to LEAK on it.
+    pub transmit: bool,
+    /// Which program to build.
+    pub kind: GadgetKind,
+}
+
+/// All verify gadgets, in matrix order.
+#[must_use]
+pub fn all() -> Vec<Gadget> {
+    vec![
+        Gadget {
+            name: "spectre-v1",
+            description: "bounds-check bypass, same-core probe transmit",
+            transmit: true,
+            kind: GadgetKind::SpectreV1,
+        },
+        Gadget {
+            name: "store-bypass",
+            description: "v4 store-bypass of a stale secret, same-core transmit",
+            transmit: true,
+            kind: GadgetKind::StoreBypass,
+        },
+        Gadget {
+            name: "cross-core",
+            description: "speculative transmit into another core's M-state lines",
+            transmit: true,
+            kind: GadgetKind::CrossCore,
+        },
+        Gadget {
+            name: "already-leaked",
+            description: "committed load pair leaks first; speculation adds nothing",
+            transmit: false,
+            kind: GadgetKind::AlreadyLeaked,
+        },
+    ]
+}
+
+/// Looks a gadget up by its CLI name.
+#[must_use]
+pub fn find(name: &str) -> Option<Gadget> {
+    all()
+        .into_iter()
+        .find(|g| g.name.eq_ignore_ascii_case(name))
+}
+
+impl Gadget {
+    /// Core configuration the gadget needs (`store-bypass` requires
+    /// memory-dependence speculation to bypass the store at all).
+    #[must_use]
+    pub fn core_config(&self) -> CoreConfig {
+        let mut cfg = CoreConfig::paper();
+        if self.kind == GadgetKind::StoreBypass {
+            cfg.mdp = MdpMode::Predictor;
+        }
+        cfg
+    }
+
+    /// Memory configuration (multicore geometry for the cross-core
+    /// gadget, the standard scaled hierarchy otherwise).
+    #[must_use]
+    pub fn mem_config(&self) -> MemConfig {
+        if self.kind == GadgetKind::CrossCore {
+            MemConfig::scaled_multicore()
+        } else {
+            MemConfig::scaled()
+        }
+    }
+
+    /// Builds the workload with `secret` in the secret slot. The code
+    /// and the rest of the image are identical for any secret.
+    #[must_use]
+    pub fn build(&self, secret: u64) -> Workload {
+        match self.kind {
+            GadgetKind::SpectreV1 => spectre_v1(secret),
+            GadgetKind::StoreBypass => store_bypass(secret),
+            GadgetKind::CrossCore => cross_core(secret),
+            GadgetKind::AlreadyLeaked => already_leaked(secret),
+        }
+    }
+}
+
+/// Seeds the image slots common to every gadget: the probe words both
+/// secrets point at exist (identically) in both variants, so only the
+/// secret slot differs between a secret-A and a secret-B image.
+fn common_data(a: &mut Asm, secret: u64) {
+    a.data(SECRET_A, 1);
+    a.data(SECRET_B, 1);
+    a.data(PROBE, 0);
+    a.data(SECRET_SLOT, secret);
+}
+
+/// Spectre v1. A six-iteration loop bounds-checks `x < len` and, in
+/// bounds, transmits `probe[array[x]]`. The length sits behind a
+/// two-deep cold pointer chase (~230 cycles), holding the window open;
+/// the first five iterations train the branch, the last runs `x = 16`
+/// out of bounds: predicted taken, architecturally not taken, so the
+/// secret-dependent probe access happens only on the wrong path.
+fn spectre_v1(secret: u64) -> Workload {
+    const LENP: u64 = 0x20_0000; // per-iteration pointer to the length
+    const LEN2: u64 = 0x28_0000; // per-iteration length slots (value 4)
+    const XV: u64 = 0x30_0000; // per-iteration index values
+    const N: u64 = 6;
+
+    let mut a = Asm::new();
+    common_data(&mut a, secret);
+    for j in 0..4 {
+        a.data(ARRAY + j * 8, PROBE); // in-bounds entries: benign probe
+    }
+    for i in 0..N {
+        a.data(LENP + i * 64, LEN2 + i * 64);
+        a.data(LEN2 + i * 64, 4);
+        let x = if i == N - 1 { 16 } else { i % 4 };
+        a.data(XV + i * 8, x);
+    }
+
+    a.li(R20, ARRAY)
+        .li(R21, XV)
+        .li(R22, LENP)
+        .load(R1, R21, 0) // warm the index line
+        .load(R1, R20, 0) // warm the in-bounds array line
+        .li(R10, 0)
+        .li(R11, N);
+    let loop_top = a.here();
+    let endit = a.new_label();
+    let body = a.new_label();
+    a.muli(R3, R10, 64)
+        .add(R3, R3, R22)
+        .load(R4, R3, 0) // pointer to the length (cold)
+        .load(R4, R4, 0) // the length itself (cold): slow bound
+        .muli(R5, R10, 8)
+        .add(R5, R5, R21)
+        .load(R6, R5, 0) // x (warm)
+        .bltu(R6, R4, body)
+        .jump(endit);
+    a.bind(body);
+    a.loadidx(R7, R20, R6) // array[x]; x=16 reads the secret slot
+        .load(R8, R7, 0); // transmit: probe[secret]
+    a.bind(endit);
+    a.addi(R10, R10, 1).bltu_to(R10, R11, loop_top).halt();
+    Workload::single(a.assemble().expect("spectre-v1 assembles"))
+}
+
+/// Spectre v4. The store's target address arrives late (cold pointer
+/// load); the younger load to the same address issues first under
+/// memory-dependence speculation, reads the stale secret from a warm
+/// line, and transmits it — all long before the violation squash.
+/// After recovery the load forwards the store's benign value, so the
+/// architectural results are secret-independent.
+fn store_bypass(secret: u64) -> Workload {
+    const WARM: u64 = 0x60_0000; // same line as the secret word
+    const P: u64 = 0x60_0008; // the contested address
+    const PTRSLOT: u64 = 0x50_0000; // cold slot holding P
+
+    let mut a = Asm::new();
+    common_data(&mut a, secret);
+    a.data(WARM, 0);
+    a.data(P, secret);
+    a.data(PTRSLOT, P);
+
+    a.li(R1, WARM)
+        .load(R2, R1, 0) // warm the secret's line
+        .li(R3, PTRSLOT)
+        .load(R4, R3, 0) // store address, resolves ~116 cycles later
+        .li(R5, PROBE)
+        .store(R5, R4, 0) // [P] <- benign probe base
+        .load(R7, R1, 8) // bypassing load of [P]: stale secret
+        .load(R8, R7, 0) // transmit: probe[secret]
+        .halt();
+    Workload::single(a.assemble().expect("store-bypass assembles"))
+}
+
+/// Cross-core transmit. Core 1 (the attacker) first takes the probe
+/// lines into M state, then halts; core 0 (the victim) burns a delay
+/// loop so ownership settles, then runs an untrained-branch bounds
+/// bypass whose transmit lands in one of the attacker's M lines — the
+/// leak shows up as a secret-dependent directory downgrade.
+fn cross_core(secret: u64) -> Workload {
+    const VLENP: u64 = 0x70_0000;
+    const VLEN2: u64 = 0x78_0000;
+    const DELAY: u64 = 6000;
+    const PROBE_LINES: u64 = 17; // covers both secrets' lines (5, 11)
+
+    let mut a = Asm::new();
+    common_data(&mut a, secret);
+    a.data(VLENP, VLEN2);
+    a.data(VLEN2, 4);
+
+    // Victim (entry 0): delay, then the speculative gadget. A fresh
+    // two-bit counter predicts taken, so no training loop is needed.
+    a.li(R2, DELAY);
+    let vloop = a.here();
+    a.subi(R2, R2, 1).bne_to(R2, R0, vloop);
+    let vbody = a.new_label();
+    let vend = a.new_label();
+    a.li(R20, ARRAY)
+        .li(R2, VLENP)
+        .load(R3, R2, 0)
+        .load(R4, R3, 0) // len = 4 behind a cold chase
+        .li(R6, 16)
+        .bltu(R6, R4, vbody)
+        .jump(vend);
+    a.bind(vbody);
+    a.loadidx(R7, R20, R6) // the secret slot
+        .load(R8, R7, 0); // transmit into an attacker-owned line
+    a.bind(vend);
+    a.halt();
+
+    // Attacker (second thread): own the probe region in M state.
+    let attacker_entry = a.here();
+    a.li(R1, PROBE).li(R2, PROBE_LINES).li(R3, 0);
+    let aloop = a.here();
+    a.muli(R4, R3, 64)
+        .add(R4, R4, R1)
+        .store(R0, R4, 0)
+        .addi(R3, R3, 1)
+        .bltu_to(R3, R2, aloop)
+        .halt();
+
+    let program = a.assemble().expect("cross-core assembles");
+    Workload {
+        program,
+        threads: vec![
+            ThreadSpec {
+                entry: 0,
+                seeds: Vec::new(),
+            },
+            ThreadSpec {
+                entry: attacker_entry,
+                seeds: Vec::new(),
+            },
+        ],
+    }
+}
+
+/// Already-leaked control. A committed chain of direct load pairs
+/// (`r2 = [slot]; r3 = [r2]; r4 = [r3 + 7]`) discloses the secret
+/// architecturally up front — and, under ReCon, the first pair reveals
+/// the slot while the second reveals the probed word. The loop then
+/// redoes the same access pattern *speculatively* (under slow-resolving
+/// but always-taken branches) and commits it. STT/NDA guard the slot
+/// load and delay the transmit every iteration; with ReCon the revealed
+/// words lift the guards, making the scheme measurably faster with no
+/// new observations.
+fn already_leaked(secret: u64) -> Workload {
+    const COND: u64 = 0x20_0000; // per-iteration cold condition lines
+    const N: u64 = 4;
+
+    let mut a = Asm::new();
+    common_data(&mut a, secret);
+    a.data(8, 1); // LD3's target (probe value + 7), so the chain seed is 1
+    for i in 0..N {
+        a.data(COND + i * 64, 1);
+    }
+
+    a.load(R28, R0, 0) // warm line 0 so LD3 below hits
+        .li(R1, SECRET_SLOT)
+        .load(R2, R1, 0) // LD1: the secret (commits)
+        .load(R3, R2, 0) // LD2: probe[secret] (commits; reveals LD1)
+        .load(R4, R3, 7); // LD3 at 1+7=8: pair with LD2 reveals the probed word
+                          // Dependency chain on LD3's value (0 for either secret): the loop's
+                          // base addresses become ready only after both pairs have committed
+                          // and the reveals have reached the caches, so every loop access
+                          // observes the already-leaked state.
+    a.addi(R9, R4, 0);
+    for _ in 0..20 {
+        a.addi(R9, R9, 0);
+    }
+    a.li(R10, 0)
+        .li(R11, N)
+        .li(R12, COND)
+        .add(R12, R12, R9) // COND + 1, dependent on the chain
+        .subi(R12, R12, 1)
+        .li(R13, SECRET_SLOT)
+        .add(R13, R13, R9)
+        .subi(R13, R13, 1);
+    let loop_top = a.here();
+    let body = a.new_label();
+    let lend = a.new_label();
+    a.muli(R4, R10, 64)
+        .add(R4, R4, R12)
+        .load(R5, R4, 0) // cold condition: the branch resolves late
+        .bne(R5, R0, body) // always taken (and predicted taken)
+        .jump(lend);
+    a.bind(body);
+    a.load(R7, R13, 0) // the revealed slot (warm)
+        .load(R8, R7, 0); // probe[secret] — already public
+    a.bind(lend);
+    a.addi(R10, R10, 1).bltu_to(R10, R11, loop_top).halt();
+    Workload::single(a.assemble().expect("already-leaked assembles"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_gadgets_with_unique_names() {
+        let g = all();
+        assert_eq!(g.len(), 4);
+        let mut names: Vec<_> = g.iter().map(|g| g.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert!(find("SPECTRE-V1").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn images_differ_only_in_the_secret_slot() {
+        for g in all() {
+            let wa = g.build(SECRET_A);
+            let wb = g.build(SECRET_B);
+            assert_eq!(wa.program.code, wb.program.code, "{}", g.name);
+            let mut diff: Vec<u64> = wa
+                .program
+                .image
+                .iter()
+                .filter(|&(addr, val)| wb.program.image.get(addr) != Some(val))
+                .map(|(addr, _)| addr)
+                .collect();
+            diff.sort_unstable();
+            let expected = match g.kind {
+                GadgetKind::StoreBypass => vec![SECRET_SLOT, 0x60_0008],
+                _ => vec![SECRET_SLOT],
+            };
+            assert_eq!(diff, expected, "{}", g.name);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The canonical attacker observation: everything a same-core or
+//! cross-core attacker could see during and after a run.
+//!
+//! The model deliberately *over-approximates* the attacker: per-probe
+//! latencies and reveal status from the issuing core's point of view
+//! (`recon-cpu` observations), every memory-system transaction including
+//! directory downgrades/invalidations/upgrades and LLC traffic
+//! (`recon-mem` transaction log), and the final per-set tag occupancy,
+//! MESI state, and reveal-mask state of every cache (`recon-mem`
+//! snapshot). Equality of two observation traces therefore implies
+//! indistinguishability for any attacker limited to timing, occupancy,
+//! and coherence channels.
+
+use std::hash::{Hash, Hasher};
+
+use recon_cpu::Observation;
+use recon_isa::hash::FxHasher;
+use recon_mem::{MemEvent, MemEventKind, MemSnapshot};
+
+/// One run's complete attacker-visible observation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObservationTrace {
+    /// Per-core demand-load probes (cycle, pc, address, latency,
+    /// speculative), in issue order.
+    pub cpu: Vec<Vec<Observation>>,
+    /// Cycle-stamped memory-system transactions, in application order.
+    pub mem: Vec<MemEvent>,
+    /// Final canonical cache/directory snapshot.
+    pub snapshot: MemSnapshot,
+}
+
+impl ObservationTrace {
+    /// A deterministic 64-bit digest of the whole observation (stable
+    /// across hosts, worker counts, and repeated runs).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        for (core, obs) in self.cpu.iter().enumerate() {
+            core.hash(&mut h);
+            obs.hash(&mut h);
+        }
+        self.mem.hash(&mut h);
+        self.snapshot.hash(&mut h);
+        h.finish()
+    }
+
+    /// The first observable difference from `other`, if any.
+    ///
+    /// Memory transactions are compared first (they carry cycle stamps
+    /// for the whole system), then per-core probe streams, then the
+    /// final snapshot.
+    #[must_use]
+    pub fn first_divergence(&self, other: &ObservationTrace) -> Option<Divergence> {
+        if let Some(d) = diff_mem(&self.mem, &other.mem) {
+            return Some(d);
+        }
+        for (core, (a, b)) in self.cpu.iter().zip(other.cpu.iter()).enumerate() {
+            if a == b {
+                continue;
+            }
+            for (x, y) in a.iter().zip(b.iter()) {
+                if x != y {
+                    return Some(Divergence {
+                        cycle: x.cycle.min(y.cycle),
+                        structure: format!("core{core} probe"),
+                        detail: format!(
+                            "pc {} addr {:#x} lat {} vs pc {} addr {:#x} lat {}",
+                            x.pc, x.addr, x.latency, y.pc, y.addr, y.latency
+                        ),
+                    });
+                }
+            }
+            return Some(Divergence {
+                cycle: 0,
+                structure: format!("core{core} probe"),
+                detail: format!("{} vs {} probes", a.len(), b.len()),
+            });
+        }
+        self.snapshot
+            .first_divergence(&other.snapshot)
+            .map(|detail| Divergence {
+                cycle: u64::MAX, // end-of-run state
+                structure: "final snapshot".to_string(),
+                detail,
+            })
+    }
+}
+
+/// The first divergent observation between two runs — where and what.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Divergence {
+    /// Cycle of the divergent observation (`u64::MAX` for the
+    /// end-of-run snapshot).
+    pub cycle: u64,
+    /// Which structure diverged (transaction log, a core's probe
+    /// stream, or the final snapshot).
+    pub structure: String,
+    /// Human-readable description of the two observations.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.cycle == u64::MAX {
+            write!(f, "{}: {}", self.structure, self.detail)
+        } else {
+            write!(
+                f,
+                "cycle {}, {}: {}",
+                self.cycle, self.structure, self.detail
+            )
+        }
+    }
+}
+
+fn event_name(kind: &MemEventKind) -> &'static str {
+    match kind {
+        MemEventKind::Read { .. } => "read",
+        MemEventKind::Write { .. } => "write",
+        MemEventKind::Rmw { .. } => "rmw",
+        MemEventKind::RevealSet { .. } => "reveal-set",
+        MemEventKind::RevealDropped { .. } => "reveal-dropped",
+        MemEventKind::Downgrade { .. } => "downgrade",
+        MemEventKind::Invalidate { .. } => "invalidate",
+        MemEventKind::Upgrade { .. } => "upgrade",
+        MemEventKind::MemFetch { .. } => "memory fetch",
+        MemEventKind::LlcEvict { .. } => "LLC eviction",
+    }
+}
+
+fn diff_mem(a: &[MemEvent], b: &[MemEvent]) -> Option<Divergence> {
+    if a == b {
+        return None;
+    }
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x != y {
+            return Some(Divergence {
+                cycle: x.cycle.min(y.cycle),
+                structure: "memory transaction log".to_string(),
+                detail: format!(
+                    "{} {:?} vs {} {:?}",
+                    event_name(&x.kind),
+                    x.kind,
+                    event_name(&y.kind),
+                    y.kind
+                ),
+            });
+        }
+    }
+    Some(Divergence {
+        cycle: a.last().or(b.last()).map_or(0, |e| e.cycle),
+        structure: "memory transaction log".to_string(),
+        detail: format!("{} vs {} transactions", a.len(), b.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_traces_have_equal_digests_and_no_divergence() {
+        let t = ObservationTrace::default();
+        assert_eq!(t.digest(), t.clone().digest());
+        assert!(t.first_divergence(&t.clone()).is_none());
+    }
+
+    #[test]
+    fn mem_event_difference_is_reported_first() {
+        let a = ObservationTrace {
+            mem: vec![MemEvent {
+                cycle: 7,
+                kind: MemEventKind::MemFetch { line: 0x40 },
+            }],
+            ..Default::default()
+        };
+        let b = ObservationTrace {
+            mem: vec![MemEvent {
+                cycle: 7,
+                kind: MemEventKind::MemFetch { line: 0x80 },
+            }],
+            ..Default::default()
+        };
+        let d = a.first_divergence(&b).expect("diverges");
+        assert_eq!(d.cycle, 7);
+        assert!(d.detail.contains("0x40") || d.detail.contains("64"));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

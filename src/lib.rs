@@ -10,4 +10,5 @@ pub use recon_isa as isa;
 pub use recon_mem as mem;
 pub use recon_secure as secure;
 pub use recon_sim as sim;
+pub use recon_verify as verify;
 pub use recon_workloads as workloads;

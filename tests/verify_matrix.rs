@@ -1,0 +1,119 @@
+//! End-to-end security regression: the full gadget × scheme verdict
+//! matrix, its determinism, the already-leaked cost claim, and the
+//! reveal-soundness invariant — the test-suite twin of `recon verify`.
+
+use recon_repro::secure::SecureConfig;
+use recon_repro::verify::{self, Verdict};
+
+/// The whole matrix meets its expectations: the unsafe baseline LEAKS
+/// on every transmit gadget, every secure configuration is SECURE on
+/// every gadget, the already-leaked gadget is SECURE everywhere, and no
+/// run raises a reveal-soundness violation.
+#[test]
+fn verdict_matrix_matches_the_security_claim() {
+    let report = verify::run_matrix(None, None, 2);
+    assert_eq!(report.cells.len(), 4 * 5);
+    let unexpected = report.unexpected();
+    assert!(
+        unexpected.is_empty(),
+        "violated expectations:\n{}",
+        unexpected.join("\n")
+    );
+    let leaks: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.result.verdict == Verdict::Leaks)
+        .map(|c| c.result.gadget)
+        .collect();
+    assert_eq!(
+        leaks,
+        ["spectre-v1", "store-bypass", "cross-core"],
+        "exactly the transmit gadgets leak, and only on the baseline"
+    );
+    for cell in &report.cells {
+        if cell.result.verdict == Verdict::Leaks {
+            assert!(
+                cell.result.divergence.is_some(),
+                "a LEAKS verdict must carry its first divergent observation"
+            );
+        }
+    }
+}
+
+/// The already-leaked gadget: both ReCon-stacked schemes stay SECURE
+/// while doing strictly less protection work than their bases.
+#[test]
+fn already_leaked_word_is_cheaper_under_recon() {
+    let report = verify::run_matrix(Some("already-leaked"), None, 2);
+    assert!(
+        report
+            .cells
+            .iter()
+            .all(|c| c.result.verdict == Verdict::Secure),
+        "already-leaked is SECURE under every scheme (it leaks in order)"
+    );
+    assert_eq!(report.lifts.len(), 2, "NDA and STT pairs both compared");
+    for l in &report.lifts {
+        assert!(
+            l.pass(),
+            "{} must strictly beat {}: delayed {} vs {}, tainted {} vs {}, cycles {} vs {}",
+            l.with_recon.label(),
+            l.base.label(),
+            l.delayed_recon,
+            l.delayed_base,
+            l.guarded_recon,
+            l.guarded_base,
+            l.cycles_recon,
+            l.cycles_base
+        );
+    }
+}
+
+/// Verdicts and trace digests are byte-identical across worker counts
+/// and repeated runs.
+#[test]
+fn matrix_is_deterministic_across_jobs_and_runs() {
+    let fingerprint = |jobs: usize| {
+        verify::run_matrix(Some("spectre-v1"), None, jobs)
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.result.gadget,
+                    c.result.scheme,
+                    c.result.verdict == Verdict::Leaks,
+                    c.result.digest_a,
+                    c.result.digest_b,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let once = fingerprint(1);
+    assert_eq!(once, fingerprint(4));
+    assert_eq!(once, fingerprint(1));
+}
+
+/// A scheme filter narrows the matrix to one column.
+#[test]
+fn scheme_filter_selects_one_column() {
+    let report = verify::run_matrix(Some("store-bypass"), Some(SecureConfig::stt_recon()), 1);
+    assert_eq!(report.cells.len(), 1);
+    let cell = &report.cells[0];
+    assert_eq!(cell.result.scheme, SecureConfig::stt_recon());
+    assert_eq!(cell.result.verdict, Verdict::Secure);
+}
+
+/// The reveal-soundness invariant holds on a real benchmark from each
+/// suite under STT+ReCon.
+#[test]
+fn reveal_soundness_holds_on_benchmarks() {
+    for run in verify::soundness_sweep(2) {
+        assert!(
+            run.violations.is_empty(),
+            "{} ({}): {:?}",
+            run.name,
+            run.suite,
+            run.violations
+        );
+    }
+}
