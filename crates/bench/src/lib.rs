@@ -30,7 +30,20 @@ use recon_secure::SecureConfig;
 use recon_sim::{BatchResults, Experiment, SystemResult};
 use recon_workloads::{Benchmark, Scale};
 
-pub use recon_sim::jobs_from_env;
+/// Worker count from `RECON_JOBS` for the standalone bench harnesses:
+/// like [`recon_sim::jobs_from_env`] but exiting with a clear message
+/// on an invalid value instead of returning an error (the harnesses
+/// have no other error channel).
+#[must_use]
+pub fn jobs_from_env() -> usize {
+    match recon_sim::jobs_from_env() {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Reads the workload scale from `RECON_SCALE` (`quick` default,
 /// `paper` for ×4 runs).

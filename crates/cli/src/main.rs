@@ -8,6 +8,10 @@
 //! recon analyze <suite> <bench>      Clueless-style leakage report
 //! recon verify [--gadget G] [--scheme S]  two-trace security checker
 //! recon overhead                     §6.7 storage accounting
+//! recon serve [--addr A] [--workers N] [--queue-cap Q]
+//!                                    HTTP job service (see recon-serve)
+//! recon bench-serve [--clients C] [--requests R] [--queue-cap Q]
+//!                                    loopback load generator -> BENCH_serve.json
 //! ```
 //!
 //! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
@@ -45,17 +49,10 @@ fn parse_suite(name: &str) -> Option<(Suite, Vec<Benchmark>)> {
 }
 
 /// Valid scheme spellings, for error messages.
-const SCHEME_NAMES: &str = "unsafe|nda|nda+recon|stt|stt+recon";
+const SCHEME_NAMES: &str = SecureConfig::PARSE_NAMES;
 
 fn parse_scheme(name: &str) -> Option<SecureConfig> {
-    match name.to_ascii_lowercase().as_str() {
-        "unsafe" | "baseline" => Some(SecureConfig::unsafe_baseline()),
-        "nda" => Some(SecureConfig::nda()),
-        "nda+recon" | "nda-recon" => Some(SecureConfig::nda_recon()),
-        "stt" => Some(SecureConfig::stt()),
-        "stt+recon" | "stt-recon" => Some(SecureConfig::stt_recon()),
-        _ => None,
-    }
+    SecureConfig::parse(name)
 }
 
 fn experiment_for(suite: Suite) -> Experiment {
@@ -117,6 +114,7 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
     println!("  reveals set       {}", r.mem.reveals_set);
     println!("  revealed loads    {}", r.mem.revealed_loads);
     println!("  L1 load hit rate  {:.1}%", r.mem.l1_hit_rate() * 100.0);
+    println!("  trace dropped     {}", r.trace_dropped());
     ExitCode::SUCCESS
 }
 
@@ -204,6 +202,16 @@ fn cmd_suite(suite_name: &str, jobs: usize) -> ExitCode {
         batch.serial_seconds(),
         batch.speedup(),
     );
+    let dropped: u64 = matrices
+        .iter()
+        .map(|m| {
+            [&m.baseline, &m.nda, &m.nda_recon, &m.stt, &m.stt_recon]
+                .iter()
+                .map(|r| r.trace_dropped())
+                .sum::<u64>()
+        })
+        .sum();
+    println!("trace events dropped: {dropped}");
     match batch.write_json("BENCH_runner.json") {
         Ok(()) => println!("per-job timings written to BENCH_runner.json"),
         Err(e) => eprintln!("warning: could not write BENCH_runner.json: {e}"),
@@ -355,6 +363,126 @@ fn cmd_overhead() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `--flag value` pairs into lookups for `serve`/`bench-serve`.
+fn parse_flag_pairs<'a>(args: &[&'a str]) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut pairs = Vec::new();
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let Some(&value) = it.next() else {
+            return Err(format!("{flag} wants a value"));
+        };
+        pairs.push((flag, value));
+    }
+    Ok(pairs)
+}
+
+fn flag_usize(pairs: &[(&str, &str)], flag: &str, default: usize) -> Result<usize, String> {
+    match pairs.iter().find(|(f, _)| *f == flag) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| format!("{flag} wants a positive integer, got '{v}'")),
+    }
+}
+
+fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
+    let pairs = match parse_flag_pairs(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let mut config = recon_serve::ServeConfig {
+        workers: jobs,
+        ..recon_serve::ServeConfig::default()
+    };
+    for (flag, value) in &pairs {
+        match *flag {
+            "--addr" => config.addr = (*value).to_string(),
+            "--workers" => match flag_usize(&pairs, "--workers", config.workers) {
+                Ok(n) => config.workers = n,
+                Err(e) => return fail(&e),
+            },
+            "--queue-cap" => match flag_usize(&pairs, "--queue-cap", config.queue_cap) {
+                Ok(n) => config.queue_cap = n,
+                Err(e) => return fail(&e),
+            },
+            _ => return fail(&format!("unknown serve flag '{flag}'")),
+        }
+    }
+    let server = match recon_serve::Server::start(&config) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("could not bind {}: {e}", config.addr)),
+    };
+    println!(
+        "recon-serve listening on http://{} ({} workers, queue capacity {})",
+        server.addr(),
+        config.workers,
+        config.queue_cap
+    );
+    println!("  POST /jobs      submit run|matrix|analyze|verify jobs");
+    println!("  GET  /metrics   Prometheus text format");
+    println!("  GET  /healthz   liveness");
+    println!("  POST /shutdown  graceful drain (or {{\"mode\":\"abort\"}})");
+    server.wait();
+    println!("recon-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench_serve(args: &[&str], jobs: usize) -> ExitCode {
+    let pairs = match parse_flag_pairs(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let mut config = recon_serve::BenchServeConfig {
+        workers: jobs,
+        ..recon_serve::BenchServeConfig::default()
+    };
+    for (flag, value) in &pairs {
+        let parsed = match *flag {
+            "--clients" => flag_usize(&pairs, flag, config.clients).map(|n| config.clients = n),
+            "--requests" => flag_usize(&pairs, flag, config.requests).map(|n| config.requests = n),
+            "--queue-cap" => {
+                flag_usize(&pairs, flag, config.queue_cap).map(|n| config.queue_cap = n)
+            }
+            "--workers" => flag_usize(&pairs, flag, config.workers).map(|n| config.workers = n),
+            "--out" => {
+                config.out = (*value).to_string();
+                Ok(())
+            }
+            _ => return fail(&format!("unknown bench-serve flag '{flag}'")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let report = match recon_serve::run_bench_serve(&config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("bench-serve failed: {e}")),
+    };
+    println!(
+        "bench-serve: {} clients x {} requests (queue capacity {})",
+        report.clients, report.requests_per_client, report.queue_cap
+    );
+    println!(
+        "  ok {}  deadline {}  backpressure(429) {}  mismatches {}  lost {}",
+        report.ok, report.deadline, report.backpressure_429, report.mismatches, report.lost
+    );
+    println!(
+        "  cache {} hits / {} misses",
+        report.cache_hits, report.cache_misses
+    );
+    println!(
+        "  wall {:.2}s  throughput {:.1} req/s  p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+        report.wall_seconds, report.throughput_rps, report.p50_ms, report.p95_ms, report.p99_ms
+    );
+    println!("report written to {}", config.out);
+    if report.lost > 0 || report.mismatches > 0 {
+        return fail("responses were lost or differed from direct execution");
+    }
+    ExitCode::SUCCESS
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
@@ -371,6 +499,10 @@ fn usage() -> ExitCode {
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("                                     (gadget x scheme verdict matrix)");
     eprintln!("  overhead                           §6.7 storage accounting");
+    eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q]");
+    eprintln!("                                     HTTP job service");
+    eprintln!("  bench-serve [--clients C] [--requests R] [--queue-cap Q] [--out P]");
+    eprintln!("                                     loopback load test -> BENCH_serve.json");
     eprintln!("suites: spec2017 spec2006 parsec");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
     eprintln!("--jobs defaults to RECON_JOBS or all cores");
@@ -390,7 +522,7 @@ fn split_jobs<'a>(args: &'a [&'a str]) -> Result<(&'a [&'a str], usize), String>
             .ok_or_else(|| format!("--jobs wants a positive integer, got '{n}'"))?;
         Ok((&args[..args.len() - 2], jobs))
     } else {
-        Ok((args, jobs_from_env()))
+        jobs_from_env().map(|jobs| (args, jobs))
     }
 }
 
@@ -410,6 +542,8 @@ fn main() -> ExitCode {
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
         ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),
+        ["serve", rest @ ..] => cmd_serve(rest, jobs),
+        ["bench-serve", rest @ ..] => cmd_bench_serve(rest, jobs),
         _ => usage(),
     }
 }

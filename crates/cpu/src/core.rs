@@ -84,6 +84,9 @@ pub struct Core {
     mdp: StoreSets,
 
     halted: bool,
+    /// Remaining committed-instruction budget (`u64::MAX` = unlimited).
+    fuel: u64,
+    out_of_fuel: bool,
     stats: CoreStats,
     observations: Vec<Observation>,
     record_observations: bool,
@@ -123,6 +126,8 @@ impl Core {
             lpt: LoadPairTable::with_entries(lpt_entries),
             mdp: StoreSets::default(),
             halted: false,
+            fuel: u64::MAX,
+            out_of_fuel: false,
             stats: CoreStats::default(),
             observations: Vec::new(),
             record_observations: false,
@@ -165,6 +170,24 @@ impl Core {
         self.trace.dropped()
     }
 
+    /// Caps the number of instructions this core may still commit (its
+    /// *fuel*). Once the budget is exhausted the core freezes cleanly at
+    /// the next commit attempt: [`Core::tick`] returns `false`,
+    /// [`Core::out_of_fuel`] turns `true`, and every statistic
+    /// accumulated so far stays readable — the deadline mechanism behind
+    /// `recon_sim`'s `SimError::DeadlineExceeded`.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+        self.out_of_fuel = fuel == 0 && !self.is_done();
+    }
+
+    /// Whether the core stopped because its commit budget ran out
+    /// (see [`Core::set_fuel`]).
+    #[must_use]
+    pub fn out_of_fuel(&self) -> bool {
+        self.out_of_fuel
+    }
+
     /// Drains recorded observations.
     pub fn take_observations(&mut self) -> Vec<Observation> {
         std::mem::take(&mut self.observations)
@@ -182,6 +205,7 @@ impl Core {
     pub fn stats(&self) -> CoreStats {
         let mut s = self.stats;
         s.lpt = self.lpt.stats();
+        s.trace_dropped = self.trace.dropped();
         s
     }
 
@@ -195,7 +219,7 @@ impl Core {
     /// Advances the core one cycle against the shared memory system and
     /// functional memory. Returns `true` while the core still has work.
     pub fn tick(&mut self, mem: &mut MemorySystem, data: &mut SparseMem, now: u64) -> bool {
-        if self.is_done() {
+        if self.is_done() || self.out_of_fuel {
             return false;
         }
         self.stats.cycles += 1;
@@ -327,6 +351,14 @@ impl Core {
     fn commit(&mut self, mem: &mut MemorySystem, now: u64) {
         let mut committed_any = false;
         for _ in 0..self.cfg.commit_width {
+            // Deadline hook: refuse to commit past the fuel budget. The
+            // core freezes here (mid-run, partial stats intact) rather
+            // than at a cycle boundary so the cap is exact in committed
+            // instructions regardless of commit width.
+            if self.fuel == 0 && !self.halted {
+                self.out_of_fuel = true;
+                break;
+            }
             let Some(head) = self.rob.head() else {
                 if !committed_any {
                     self.stats.stall_empty += 1;
@@ -358,6 +390,7 @@ impl Core {
             let seq = entry.seq;
             self.trace.push(now, seq, entry.pc, TraceKind::Commit);
             self.stats.committed += 1;
+            self.fuel = self.fuel.saturating_sub(1);
             self.iq.retain(|&s| s != seq); // Done entries normally left already
 
             match entry.inst {

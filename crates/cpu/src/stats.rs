@@ -42,6 +42,9 @@ pub struct CoreStats {
     pub reveals_requested: u64,
     /// LPT statistics.
     pub lpt: LptStats,
+    /// Pipeline-trace events evicted by the ring buffer (silent
+    /// truncation made visible; see `Core::trace_dropped`).
+    pub trace_dropped: u64,
 
     // ---- commit-stall attribution (who blocks the ROB head) -------------
     /// Cycles the ROB head was an incomplete load.

@@ -134,6 +134,25 @@ impl SecureConfig {
         }
     }
 
+    /// Every accepted spelling for [`SecureConfig::parse`], for error
+    /// messages.
+    pub const PARSE_NAMES: &'static str = "unsafe|nda|nda+recon|stt|stt+recon";
+
+    /// Parses a scheme name as spelled on the CLI and in `recon serve`
+    /// job submissions (`unsafe`/`baseline`, `nda`, `nda+recon` or
+    /// `nda-recon`, `stt`, `stt+recon` or `stt-recon`; case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "unsafe" | "baseline" => Some(SecureConfig::unsafe_baseline()),
+            "nda" => Some(SecureConfig::nda()),
+            "nda+recon" | "nda-recon" => Some(SecureConfig::nda_recon()),
+            "stt" => Some(SecureConfig::stt()),
+            "stt+recon" | "stt-recon" => Some(SecureConfig::stt_recon()),
+            _ => None,
+        }
+    }
+
     /// A short label like `"STT+ReCon"` for reports.
     #[must_use]
     pub fn label(&self) -> String {

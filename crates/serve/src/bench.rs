@@ -1,0 +1,362 @@
+//! `recon bench-serve`: a loopback load generator for the service.
+//!
+//! Starts an in-process server with a deliberately small queue, fans
+//! out client threads over a deterministic job mix (all five schemes,
+//! a verifier cell, and one fuel-limited job that must deadline), and
+//! checks the service's three load-bearing properties under
+//! concurrency:
+//!
+//! 1. **No lost or duplicated responses** — every request is answered
+//!    exactly once (`ok + deadline == clients × requests`).
+//! 2. **Byte-identical results** — each served payload equals a direct
+//!    in-process execution of the same spec.
+//! 3. **Real backpressure** — with a 1-slot queue the flood must
+//!    observe `429`s, and every `429` is followed by a successful
+//!    retry, not a drop.
+
+use std::io::{self, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::client;
+use crate::job::{self, JobError, JobSpec};
+use crate::json::parse;
+use crate::server::{ServeConfig, Server};
+
+/// Load-generator configuration (the `recon bench-serve` flags).
+#[derive(Clone, Debug)]
+pub struct BenchServeConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Server queue capacity (1 = maximally flooded, the default).
+    pub queue_cap: usize,
+    /// Worker threads for the in-process server.
+    pub workers: usize,
+    /// Output report path.
+    pub out: String,
+}
+
+impl Default for BenchServeConfig {
+    fn default() -> Self {
+        BenchServeConfig {
+            clients: 8,
+            requests: 200,
+            queue_cap: 1,
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            out: "BENCH_serve.json".to_string(),
+        }
+    }
+}
+
+/// What one request in the mix must produce.
+#[derive(Clone, Debug)]
+struct Expected {
+    json: String,
+    /// `(status, body)` the service must answer with (200 payloads and
+    /// 408 deadline bodies are both deterministic).
+    status: u16,
+    body: String,
+}
+
+/// Aggregated results of one bench run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchServeReport {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Server queue capacity used.
+    pub queue_cap: usize,
+    /// Successful (`200`) responses.
+    pub ok: u64,
+    /// Deadline (`408`) responses (the fuel-limited spec).
+    pub deadline: u64,
+    /// `429` rejections observed (each was retried until served).
+    pub backpressure_429: u64,
+    /// Responses whose body differed from the direct execution.
+    pub mismatches: u64,
+    /// Requests never answered (`clients × requests − ok − deadline`).
+    pub lost: u64,
+    /// Cache hits reported by the server after the run.
+    pub cache_hits: u64,
+    /// Cache misses reported by the server after the run.
+    pub cache_misses: u64,
+    /// Wall-clock for the whole run, in seconds.
+    pub wall_seconds: f64,
+    /// Served responses per second.
+    pub throughput_rps: f64,
+    /// Median request latency (first attempt to final response,
+    /// including backoff), in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BenchServeReport {
+    /// Renders the report as the `BENCH_serve.json` document (schema
+    /// checked by `tests/bench_json_schema.rs`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"clients\": {},", self.clients);
+        let _ = writeln!(
+            s,
+            "  \"requests_per_client\": {},",
+            self.requests_per_client
+        );
+        let _ = writeln!(s, "  \"queue_cap\": {},", self.queue_cap);
+        let _ = writeln!(s, "  \"ok\": {},", self.ok);
+        let _ = writeln!(s, "  \"deadline\": {},", self.deadline);
+        let _ = writeln!(s, "  \"backpressure_429\": {},", self.backpressure_429);
+        let _ = writeln!(s, "  \"mismatches\": {},", self.mismatches);
+        let _ = writeln!(s, "  \"lost\": {},", self.lost);
+        let _ = writeln!(s, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(s, "  \"cache_misses\": {},", self.cache_misses);
+        let _ = writeln!(s, "  \"wall_seconds\": {:.6},", self.wall_seconds);
+        let _ = writeln!(s, "  \"throughput_rps\": {:.3},", self.throughput_rps);
+        let _ = writeln!(s, "  \"p50_ms\": {:.3},", self.p50_ms);
+        let _ = writeln!(s, "  \"p95_ms\": {:.3},", self.p95_ms);
+        let _ = writeln!(s, "  \"p99_ms\": {:.3}", self.p99_ms);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// File I/O errors.
+    pub fn write_json(&self, path: &str) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// The deterministic request mix: five `run` jobs (one per scheme), a
+/// verifier cell, and one fuel-limited job that must answer `408`.
+fn build_mix() -> Vec<Expected> {
+    let mut specs = vec![
+        r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"unsafe"}"#.to_string(),
+        r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"nda"}"#.to_string(),
+        r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"nda+recon"}"#.to_string(),
+        r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#.to_string(),
+        r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt+recon"}"#.to_string(),
+        r#"{"kind":"verify","gadget":"spectre-v1","scheme":"stt+recon"}"#.to_string(),
+        r#"{"kind":"run","suite":"spec2017","bench":"xalancbmk","scheme":"stt","fuel":1000}"#
+            .to_string(),
+    ];
+    specs
+        .drain(..)
+        .map(|json| {
+            let v = parse(&json).expect("mix spec parses");
+            let spec = JobSpec::from_json(&v).expect("mix spec validates");
+            match job::execute(&spec, None) {
+                Ok(out) => Expected {
+                    json,
+                    status: 200,
+                    body: out.payload,
+                },
+                Err(JobError::DeadlineExceeded { payload, .. }) => Expected {
+                    json,
+                    status: 408,
+                    body: payload,
+                },
+                Err(e) => panic!("mix spec failed directly: {e:?}"),
+            }
+        })
+        .collect()
+}
+
+struct ClientTally {
+    ok: u64,
+    deadline: u64,
+    backpressure: u64,
+    mismatches: u64,
+    latencies_micros: Vec<u64>,
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    mix: &[Expected],
+    client_id: usize,
+    requests: usize,
+) -> ClientTally {
+    let mut t = ClientTally {
+        ok: 0,
+        deadline: 0,
+        backpressure: 0,
+        mismatches: 0,
+        latencies_micros: Vec::with_capacity(requests),
+    };
+    for j in 0..requests {
+        let expected = &mix[(client_id + j) % mix.len()];
+        let start = Instant::now();
+        let resp = loop {
+            match client::submit_job(addr, &expected.json) {
+                Ok(r) if r.status == 429 => {
+                    t.backpressure += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Ok(r) => break r,
+                Err(_) => std::thread::sleep(Duration::from_micros(500)),
+            }
+        };
+        t.latencies_micros
+            .push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        if resp.status == expected.status && resp.body == expected.body {
+            if resp.status == 200 {
+                t.ok += 1;
+            } else {
+                t.deadline += 1;
+            }
+        } else if resp.status == expected.status {
+            t.mismatches += 1;
+        }
+        // Any other status is neither ok nor deadline: it will surface
+        // as `lost` in the report.
+    }
+    t
+}
+
+fn percentile(sorted_micros: &[u64], q: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_micros.len() - 1) as f64 * q).round() as usize;
+    sorted_micros[idx] as f64 / 1e3
+}
+
+fn scrape_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs the load generator and writes the report.
+///
+/// # Errors
+///
+/// I/O errors from the loopback server or the report file.
+pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport> {
+    // Direct executions first: the ground truth the served bytes are
+    // compared against (and a warm-up of the workload constructors).
+    let mix = Arc::new(build_mix());
+
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: config.workers,
+        queue_cap: config.queue_cap,
+    })?;
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let total_backpressure = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for client_id in 0..config.clients {
+        let mix = Arc::clone(&mix);
+        let requests = config.requests;
+        handles.push(std::thread::spawn(move || {
+            client_loop(addr, &mix, client_id, requests)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut deadline = 0u64;
+    let mut mismatches = 0u64;
+    let mut latencies = Vec::with_capacity(config.clients * config.requests);
+    for h in handles {
+        let t = h.join().expect("client thread");
+        ok += t.ok;
+        deadline += t.deadline;
+        mismatches += t.mismatches;
+        total_backpressure.fetch_add(t.backpressure, Ordering::Relaxed);
+        latencies.extend(t.latencies_micros);
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let metrics = client::request(addr, "GET", "/metrics", None)?.body;
+    let resp = client::request(addr, "POST", "/shutdown", None)?;
+    debug_assert_eq!(resp.status, 200);
+    server.wait();
+
+    latencies.sort_unstable();
+    let total = (config.clients * config.requests) as u64;
+    let report = BenchServeReport {
+        clients: config.clients,
+        requests_per_client: config.requests,
+        queue_cap: config.queue_cap,
+        ok,
+        deadline,
+        backpressure_429: total_backpressure.load(Ordering::Relaxed),
+        mismatches,
+        lost: total.saturating_sub(ok + deadline + mismatches),
+        cache_hits: scrape_counter(&metrics, "recon_cache_hits_total"),
+        cache_misses: scrape_counter(&metrics, "recon_cache_misses_total"),
+        wall_seconds: wall,
+        throughput_rps: if wall > 0.0 { total as f64 / wall } else { 0.0 },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+    };
+    report.write_json(&config.out)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_sorted_micros() {
+        let micros: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        // idx = round((n-1) * q): 49.5 rounds away from zero to 50.
+        assert!((percentile(&micros, 0.50) - 51.0).abs() < 1e-9);
+        assert!((percentile(&micros, 0.99) - 99.0).abs() < 1e-9);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn scrape_counter_matches_whole_names() {
+        let text = "recon_cache_hits_total 7\nrecon_cache_hits_total_suffix 9\n";
+        assert_eq!(scrape_counter(text, "recon_cache_hits_total"), 7);
+        assert_eq!(scrape_counter(text, "recon_cache"), 0);
+    }
+
+    #[test]
+    fn report_json_is_complete() {
+        let r = BenchServeReport {
+            clients: 2,
+            requests_per_client: 3,
+            ..BenchServeReport::default()
+        };
+        let v = parse(&r.to_json()).expect("report parses");
+        for key in [
+            "clients",
+            "requests_per_client",
+            "queue_cap",
+            "ok",
+            "deadline",
+            "backpressure_429",
+            "mismatches",
+            "lost",
+            "cache_hits",
+            "cache_misses",
+            "wall_seconds",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! A content-addressed result cache.
+//!
+//! Simulation is deterministic, so a job's payload is a pure function
+//! of its canonical spec (which includes the workload scale): the
+//! FxHash digest of that spec is the cache key. Entries are bounded and
+//! evicted in insertion order — the cache is an accelerator, never a
+//! correctness dependency, so eviction only costs a recompute.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use recon_isa::hash::FxHashMap;
+
+/// Default maximum cached payloads.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+struct Inner {
+    map: FxHashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+}
+
+/// A bounded digest → payload map shared by all workers.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` payloads (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a payload by job digest.
+    #[must_use]
+    pub fn get(&self, digest: u64) -> Option<Arc<String>> {
+        self.inner.lock().unwrap().map.get(&digest).cloned()
+    }
+
+    /// Stores a payload, evicting the oldest entry at capacity. A
+    /// digest already present keeps its existing payload (determinism
+    /// makes the two identical).
+    pub fn insert(&self, digest: u64, payload: Arc<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(&digest) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(digest, payload);
+        inner.order.push_back(digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let c = ResultCache::new(4);
+        assert!(c.get(7).is_none());
+        c.insert(7, Arc::new("{\"x\":1}".to_string()));
+        assert_eq!(c.get(7).unwrap().as_str(), "{\"x\":1}");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let c = ResultCache::new(2);
+        c.insert(1, Arc::new("a".into()));
+        c.insert(2, Arc::new("b".into()));
+        c.insert(3, Arc::new("c".into()));
+        assert!(c.get(1).is_none(), "oldest evicted");
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let c = ResultCache::new(2);
+        c.insert(1, Arc::new("first".into()));
+        c.insert(1, Arc::new("second".into()));
+        assert_eq!(c.get(1).unwrap().as_str(), "first");
+        assert_eq!(c.len(), 1);
+    }
+}

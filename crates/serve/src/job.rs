@@ -1,0 +1,670 @@
+//! Service workloads: parsing, content-addressing, and execution.
+//!
+//! Every entry point the CLI exposes one-shot — `run`, `matrix`,
+//! `analyze`, and `verify` cells — is available as a *job*: a validated
+//! [`JobSpec`] parsed from a JSON submission, identified by the FxHash
+//! digest of its canonical form (the result-cache key), and executed
+//! under a [`Budget`] so deadlines and cancellation reach all the way
+//! into the core's commit loop.
+//!
+//! Execution is a pure function of the spec: [`execute`] renders a
+//! deterministic JSON payload, so the served bytes are identical to a
+//! direct in-process run of the same job — the property the loopback
+//! bench asserts response-by-response.
+
+use std::hash::Hasher;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use recon_isa::hash::FxHasher;
+use recon_mem::MemConfig;
+use recon_secure::SecureConfig;
+use recon_sim::{Budget, DeadlineReason, Experiment, SimError, System, SystemResult};
+use recon_workloads::{find, Benchmark, Scale, Suite};
+
+use crate::json::{escape, Json};
+
+/// The workload kinds the service accepts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobKind {
+    /// One benchmark under one scheme (the `recon run` path).
+    Run,
+    /// One benchmark under all five scheme configurations.
+    Matrix,
+    /// Clueless-style leakage analysis (the `recon analyze` path).
+    Analyze,
+    /// One two-trace verifier matrix cell (the `recon verify` path).
+    Verify,
+}
+
+impl JobKind {
+    /// All kinds, in metric/label order.
+    pub const ALL: [JobKind; 4] = [
+        JobKind::Run,
+        JobKind::Matrix,
+        JobKind::Analyze,
+        JobKind::Verify,
+    ];
+
+    /// Stable label (metric dimension and JSON `kind` value).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::Run => "run",
+            JobKind::Matrix => "matrix",
+            JobKind::Analyze => "analyze",
+            JobKind::Verify => "verify",
+        }
+    }
+
+    /// Index into per-kind metric arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            JobKind::Run => 0,
+            JobKind::Matrix => 1,
+            JobKind::Analyze => 2,
+            JobKind::Verify => 3,
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "run" => Some(JobKind::Run),
+            "matrix" => Some(JobKind::Matrix),
+            "analyze" => Some(JobKind::Analyze),
+            "verify" => Some(JobKind::Verify),
+            _ => None,
+        }
+    }
+}
+
+/// A validated job submission.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobSpec {
+    /// What to execute.
+    pub kind: JobKind,
+    /// Suite name (`run`/`matrix`/`analyze`), lowercased.
+    pub suite: Option<String>,
+    /// Benchmark name (`run`/`matrix`/`analyze`).
+    pub bench: Option<String>,
+    /// Scheme (`run`/`verify`).
+    pub scheme: Option<SecureConfig>,
+    /// Gadget name (`verify`).
+    pub gadget: Option<String>,
+    /// Per-core committed-instruction deadline (`run`/`matrix`).
+    pub fuel: Option<u64>,
+    /// Cycle deadline override (`run`/`matrix`).
+    pub max_cycles: Option<u64>,
+    /// Enable pipeline tracing for the run (`run` only) — exercises the
+    /// trace ring and reports its drop count.
+    pub trace: bool,
+}
+
+/// Why a job could not produce a result.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// The submission was malformed or named unknown entities (HTTP 400).
+    Invalid(String),
+    /// A deadline fired mid-simulation (HTTP 408). The payload is a
+    /// complete JSON object carrying the partial statistics.
+    DeadlineExceeded {
+        /// Which budget fired.
+        reason: DeadlineReason,
+        /// JSON object with the partial stats, ready to serve.
+        payload: String,
+    },
+    /// The job was cancelled by an aborting shutdown (HTTP 503).
+    Cancelled,
+    /// The job panicked or hit an internal error (HTTP 500).
+    Failed(String),
+}
+
+/// A successful job execution.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// The deterministic JSON payload to serve (and cache).
+    pub payload: String,
+    /// Pipeline-trace events the run's ring buffers dropped (0 unless
+    /// the spec enabled tracing) — exported via `/metrics`.
+    pub trace_dropped: u64,
+}
+
+fn parse_suite(name: &str) -> Option<Suite> {
+    match name {
+        "spec2017" => Some(Suite::Spec2017),
+        "spec2006" => Some(Suite::Spec2006),
+        "parsec" => Some(Suite::Parsec),
+        _ => None,
+    }
+}
+
+/// The keys a submission may carry, for the unknown-key check.
+const KNOWN_KEYS: [&str; 8] = [
+    "kind",
+    "suite",
+    "bench",
+    "scheme",
+    "gadget",
+    "fuel",
+    "max_cycles",
+    "trace",
+];
+
+impl JobSpec {
+    /// Validates a parsed JSON submission into a spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field and the
+    /// accepted values — unknown suites/benchmarks/schemes/gadgets and
+    /// unknown keys are rejected here, before anything is enqueued.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let Json::Obj(_) = v else {
+            return Err("job submission must be a JSON object".into());
+        };
+        for key in v.keys() {
+            if !KNOWN_KEYS.contains(&key) {
+                return Err(format!(
+                    "unknown field '{key}' (accepted: {})",
+                    KNOWN_KEYS.join(", ")
+                ));
+            }
+        }
+        let kind_str = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing 'kind' (run|matrix|analyze|verify)")?;
+        let kind = JobKind::from_str(kind_str)
+            .ok_or_else(|| format!("unknown kind '{kind_str}' (run|matrix|analyze|verify)"))?;
+
+        let str_field = |name: &str| -> Result<Option<String>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(s.to_ascii_lowercase())),
+                Some(_) => Err(format!("'{name}' must be a string")),
+            }
+        };
+        let num_field = |name: &str| -> Result<Option<u64>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .filter(|&x| x >= 1)
+                    .map(Some)
+                    .ok_or_else(|| format!("'{name}' must be a positive integer")),
+            }
+        };
+
+        let suite = str_field("suite")?;
+        let bench = str_field("bench")?;
+        let gadget = str_field("gadget")?;
+        let scheme = match v.get("scheme") {
+            None | Some(Json::Null) => None,
+            Some(s) => {
+                let name = s.as_str().ok_or("'scheme' must be a string")?;
+                Some(SecureConfig::parse(name).ok_or_else(|| {
+                    format!("unknown scheme '{name}' ({})", SecureConfig::PARSE_NAMES)
+                })?)
+            }
+        };
+        let fuel = num_field("fuel")?;
+        let max_cycles = num_field("max_cycles")?;
+        let trace = match v.get("trace") {
+            None | Some(Json::Null) => false,
+            Some(b) => b.as_bool().ok_or("'trace' must be a boolean")?,
+        };
+
+        let spec = JobSpec {
+            kind,
+            suite,
+            bench,
+            scheme,
+            gadget,
+            fuel,
+            max_cycles,
+            trace,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let needs_bench = matches!(self.kind, JobKind::Run | JobKind::Matrix | JobKind::Analyze);
+        if needs_bench {
+            let suite_name = self
+                .suite
+                .as_deref()
+                .ok_or("missing 'suite' (spec2017|spec2006|parsec)")?;
+            let suite = parse_suite(suite_name).ok_or_else(|| {
+                format!("unknown suite '{suite_name}' (spec2017|spec2006|parsec)")
+            })?;
+            let bench = self.bench.as_deref().ok_or("missing 'bench'")?;
+            if find(suite, bench, Scale::Quick).is_none() {
+                return Err(format!("no benchmark '{bench}' in {suite}"));
+            }
+            if self.gadget.is_some() {
+                return Err(format!(
+                    "'gadget' is not accepted for kind '{}'",
+                    self.kind.label()
+                ));
+            }
+        }
+        match self.kind {
+            JobKind::Run => {
+                if self.scheme.is_none() {
+                    return Err(format!("missing 'scheme' ({})", SecureConfig::PARSE_NAMES));
+                }
+            }
+            JobKind::Matrix => {
+                if self.scheme.is_some() {
+                    return Err(
+                        "'scheme' is not accepted for kind 'matrix' (it runs all five)".into(),
+                    );
+                }
+                if self.trace {
+                    return Err("'trace' is only accepted for kind 'run'".into());
+                }
+            }
+            JobKind::Analyze => {
+                if self.scheme.is_some()
+                    || self.fuel.is_some()
+                    || self.max_cycles.is_some()
+                    || self.trace
+                {
+                    return Err(
+                        "'analyze' accepts only 'suite' and 'bench' (it is scheme-independent)"
+                            .into(),
+                    );
+                }
+            }
+            JobKind::Verify => {
+                let gadget = self
+                    .gadget
+                    .as_deref()
+                    .ok_or_else(|| format!("missing 'gadget' ({})", gadget_names().join("|")))?;
+                if recon_verify::gadget::find(gadget).is_none() {
+                    return Err(format!(
+                        "unknown gadget '{gadget}' ({})",
+                        gadget_names().join("|")
+                    ));
+                }
+                if self.scheme.is_none() {
+                    return Err(format!("missing 'scheme' ({})", SecureConfig::PARSE_NAMES));
+                }
+                if self.suite.is_some() || self.bench.is_some() {
+                    return Err(
+                        "'verify' accepts 'gadget' and 'scheme', not 'suite'/'bench'".into(),
+                    );
+                }
+                if self.fuel.is_some() || self.max_cycles.is_some() || self.trace {
+                    return Err("'verify' cells run under the checker's own fixed budget".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical form the digest is computed over. Includes the
+    /// workload scale so results cached under one `RECON_SCALE` are
+    /// never served under another.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let opt = |o: &Option<String>| o.clone().unwrap_or_else(|| "-".into());
+        let num = |o: &Option<u64>| o.map_or_else(|| "-".into(), |n| n.to_string());
+        let scale = match Scale::from_env() {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        };
+        format!(
+            "v1|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|trace={}|scale={scale}",
+            self.kind.label(),
+            opt(&self.suite),
+            opt(&self.bench),
+            self.scheme.map_or_else(|| "-".into(), |s| s.label()),
+            opt(&self.gadget),
+            num(&self.fuel),
+            num(&self.max_cycles),
+            u8::from(self.trace),
+        )
+    }
+
+    /// The content address of this job: the FxHash digest of its
+    /// canonical form, keying the result cache.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(self.canonical().as_bytes());
+        h.finish()
+    }
+}
+
+/// Valid gadget names, for error messages.
+fn gadget_names() -> Vec<&'static str> {
+    recon_verify::gadget::all().iter().map(|g| g.name).collect()
+}
+
+/// The experiment parameters `recon run`/`recon suite` use for a suite
+/// (multicore memory geometry for PARSEC).
+#[must_use]
+pub fn experiment_for(suite: Suite) -> Experiment {
+    let mem = if suite == Suite::Parsec {
+        MemConfig::scaled_multicore()
+    } else {
+        MemConfig::scaled()
+    };
+    Experiment {
+        mem,
+        ..Experiment::default()
+    }
+}
+
+fn lookup(spec: &JobSpec) -> (Suite, Benchmark) {
+    let suite = parse_suite(spec.suite.as_deref().expect("validated")).expect("validated");
+    let bench = find(
+        suite,
+        spec.bench.as_deref().expect("validated"),
+        Scale::from_env(),
+    )
+    .expect("validated");
+    (suite, bench)
+}
+
+fn render_system_result(out: &mut String, r: &SystemResult) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"completed\":{},\"cycles\":{},\"committed\":{},\"ipc\":{:.4},\"tainted_loads\":{},\"reveals_set\":{},\"revealed_loads\":{},\"l1_hit_rate\":{:.4},\"trace_dropped\":{}",
+        r.completed,
+        r.cycles,
+        r.committed(),
+        r.ipc(),
+        r.guarded_loads(),
+        r.mem.reveals_set,
+        r.mem.revealed_loads,
+        r.mem.l1_hit_rate(),
+        r.trace_dropped(),
+    );
+}
+
+fn deadline_error(spec: &JobSpec, e: SimError) -> JobError {
+    match e {
+        SimError::Cancelled { .. } => JobError::Cancelled,
+        SimError::DeadlineExceeded { partial, reason } => {
+            let mut body = format!(
+                "{{\"error\":\"deadline_exceeded\",\"kind\":\"{}\",\"reason\":\"{reason}\",\"partial\":{{",
+                spec.kind.label()
+            );
+            render_system_result(&mut body, &partial);
+            body.push_str("}}");
+            JobError::DeadlineExceeded {
+                reason,
+                payload: body,
+            }
+        }
+    }
+}
+
+/// Executes a validated job to its deterministic JSON payload.
+///
+/// `cancel` is the server's abort flag, polled cooperatively inside the
+/// simulation loop.
+///
+/// # Errors
+///
+/// [`JobError::DeadlineExceeded`] (with partial stats) when the spec's
+/// fuel or cycle budget fires, [`JobError::Cancelled`] on abort,
+/// [`JobError::Invalid`]/[`JobError::Failed`] for semantic errors that
+/// only surface at execution time.
+pub fn execute(spec: &JobSpec, cancel: Option<&Arc<AtomicBool>>) -> Result<JobOutput, JobError> {
+    let budget = Budget {
+        fuel: spec.fuel,
+        max_cycles: spec.max_cycles,
+        cancel: cancel.map(Arc::clone),
+    };
+    match spec.kind {
+        JobKind::Run => execute_run(spec, &budget),
+        JobKind::Matrix => execute_matrix(spec, &budget),
+        JobKind::Analyze => execute_analyze(spec),
+        JobKind::Verify => execute_verify(spec),
+    }
+}
+
+fn execute_run(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
+    let (suite, b) = lookup(spec);
+    let scheme = spec.scheme.expect("validated");
+    let exp = experiment_for(suite);
+    let mut sys = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+    if spec.trace {
+        for core in sys.cores_mut() {
+            core.record_trace(true);
+        }
+    }
+    let r = sys
+        .run_budgeted(exp.max_cycles, budget)
+        .map_err(|e| deadline_error(spec, e))?;
+    let mut payload = format!(
+        "{{\"kind\":\"run\",\"suite\":\"{}\",\"bench\":\"{}\",\"scheme\":\"{}\",",
+        escape(spec.suite.as_deref().expect("validated")),
+        escape(b.name),
+        escape(&scheme.label()),
+    );
+    render_system_result(&mut payload, &r);
+    payload.push('}');
+    Ok(JobOutput {
+        payload,
+        trace_dropped: r.trace_dropped(),
+    })
+}
+
+fn execute_matrix(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
+    use std::fmt::Write as _;
+    let (suite, b) = lookup(spec);
+    let exp = experiment_for(suite);
+    let schemes = [
+        SecureConfig::unsafe_baseline(),
+        SecureConfig::nda(),
+        SecureConfig::nda_recon(),
+        SecureConfig::stt(),
+        SecureConfig::stt_recon(),
+    ];
+    let mut results = Vec::with_capacity(schemes.len());
+    for s in schemes {
+        results.push((
+            s,
+            exp.try_run(&b.workload, s, budget)
+                .map_err(|e| deadline_error(spec, e))?,
+        ));
+    }
+    let base_ipc = results[0].1.ipc();
+    let mut payload = format!(
+        "{{\"kind\":\"matrix\",\"suite\":\"{}\",\"bench\":\"{}\",\"schemes\":[",
+        escape(spec.suite.as_deref().expect("validated")),
+        escape(b.name),
+    );
+    for (i, (s, r)) in results.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        let norm = if base_ipc == 0.0 {
+            0.0
+        } else {
+            r.ipc() / base_ipc
+        };
+        let _ = write!(
+            payload,
+            "{{\"scheme\":\"{}\",\"normalized_ipc\":{norm:.4},",
+            escape(&s.label())
+        );
+        render_system_result(&mut payload, r);
+        payload.push('}');
+    }
+    payload.push_str("]}");
+    Ok(JobOutput {
+        payload,
+        trace_dropped: 0,
+    })
+}
+
+fn execute_analyze(spec: &JobSpec) -> Result<JobOutput, JobError> {
+    let (_, b) = lookup(spec);
+    if b.workload.num_threads() != 1 {
+        return Err(JobError::Invalid(
+            "leakage analysis runs on single-thread benchmarks".into(),
+        ));
+    }
+    let r = recon_dift::analyze_program(&b.workload.program, 200_000_000)
+        .map_err(|e| JobError::Failed(format!("analysis failed: {e}")))?;
+    Ok(JobOutput {
+        payload: format!(
+            "{{\"kind\":\"analyze\",\"suite\":\"{}\",\"bench\":\"{}\",\"instructions\":{},\"touched_words\":{},\"dift_leaked\":{},\"pair_leaked\":{},\"dift_fraction\":{:.4},\"pair_fraction\":{:.4},\"coverage\":{:.4}}}",
+            escape(spec.suite.as_deref().expect("validated")),
+            escape(b.name),
+            r.instructions,
+            r.touched_words,
+            r.dift_leaked,
+            r.pair_leaked,
+            r.dift_fraction(),
+            r.pair_fraction(),
+            r.coverage(),
+        ),
+        trace_dropped: 0,
+    })
+}
+
+fn execute_verify(spec: &JobSpec) -> Result<JobOutput, JobError> {
+    let gadget = spec.gadget.as_deref().expect("validated");
+    let scheme = spec.scheme.expect("validated");
+    let cell = recon_verify::run_cell_named(gadget, scheme)
+        .ok_or_else(|| JobError::Invalid(format!("unknown gadget '{gadget}'")))?;
+    let r = &cell.result;
+    Ok(JobOutput {
+        payload: format!(
+            "{{\"kind\":\"verify\",\"gadget\":\"{}\",\"scheme\":\"{}\",\"verdict\":\"{}\",\"expected\":\"{}\",\"as_expected\":{},\"seq_equal\":{},\"digest_a\":\"{:#018x}\",\"digest_b\":\"{:#018x}\",\"cycles\":{}}}",
+            escape(r.gadget),
+            escape(&scheme.label()),
+            r.verdict,
+            cell.expected,
+            cell.as_expected(),
+            r.seq_equal,
+            r.digest_a,
+            r.digest_b,
+            r.result_a.cycles,
+        ),
+        trace_dropped: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn spec(body: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&parse(body).expect("valid json"))
+    }
+
+    #[test]
+    fn parses_a_run_job() {
+        let s =
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fuel":1000}"#)
+                .unwrap();
+        assert_eq!(s.kind, JobKind::Run);
+        assert_eq!(s.fuel, Some(1000));
+        assert_eq!(s.scheme, Some(SecureConfig::stt()));
+    }
+
+    #[test]
+    fn rejects_bad_submissions_with_clear_messages() {
+        assert!(spec(r#"{"suite":"spec2017"}"#)
+            .unwrap_err()
+            .contains("kind"));
+        assert!(
+            spec(r#"{"kind":"run","suite":"spec9","bench":"mcf","scheme":"stt"}"#)
+                .unwrap_err()
+                .contains("spec2017")
+        );
+        assert!(
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"nope","scheme":"stt"}"#)
+                .unwrap_err()
+                .contains("nope")
+        );
+        assert!(
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"xyz"}"#)
+                .unwrap_err()
+                .contains("stt+recon")
+        );
+        assert!(spec(r#"{"kind":"verify","gadget":"nope","scheme":"stt"}"#)
+            .unwrap_err()
+            .contains("spectre"));
+        assert!(
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fule":1}"#)
+                .unwrap_err()
+                .contains("fule")
+        );
+        assert!(
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fuel":0}"#)
+                .unwrap_err()
+                .contains("positive")
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let a = spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        let b = spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        let c = spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt+recon"}"#)
+            .unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(
+            a.digest(),
+            spec(r#"{"kind":"matrix","suite":"spec2017","bench":"mcf"}"#)
+                .unwrap()
+                .digest()
+        );
+    }
+
+    #[test]
+    fn verify_job_round_trips() {
+        let s =
+            spec(r#"{"kind":"verify","gadget":"already-leaked","scheme":"stt+recon"}"#).unwrap();
+        let out = execute(&s, None).unwrap();
+        assert!(
+            out.payload.contains("\"verdict\":\"SECURE\""),
+            "{}",
+            out.payload
+        );
+        assert!(
+            out.payload.contains("\"as_expected\":true"),
+            "{}",
+            out.payload
+        );
+        // Determinism: byte-identical on re-execution.
+        assert_eq!(out.payload, execute(&s, None).unwrap().payload);
+    }
+
+    #[test]
+    fn run_job_deadline_returns_partial_stats() {
+        let s =
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fuel":1000}"#)
+                .unwrap();
+        match execute(&s, None) {
+            Err(JobError::DeadlineExceeded { reason, payload }) => {
+                assert_eq!(reason, DeadlineReason::Fuel);
+                let v = parse(&payload).expect("partial payload is valid json");
+                assert_eq!(
+                    v.get("error").and_then(Json::as_str),
+                    Some("deadline_exceeded")
+                );
+                let partial = v.get("partial").expect("has partial stats");
+                let committed = partial.get("committed").and_then(Json::as_u64).unwrap();
+                assert!(
+                    committed > 0 && committed <= 1000 + 8,
+                    "partial, capped: {committed}"
+                );
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Live service metrics in Prometheus text exposition format.
+//!
+//! All counters are lock-free atomics updated on the worker and
+//! connection-handler paths; `GET /metrics` renders a point-in-time
+//! snapshot. Latency histograms are fixed-bucket (no allocation on the
+//! observe path) and kept per job kind, so a slow `matrix` job does not
+//! hide a regression in `verify` cells.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::job::JobKind;
+
+/// Histogram bucket upper bounds, in seconds.
+pub const BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0];
+
+/// A fixed-bucket latency histogram (cumulative on render, per the
+/// Prometheus convention).
+#[derive(Default, Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS.len()],
+    /// Sum of observations in microseconds (integer so it can be an
+    /// atomic; rendered back as seconds).
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation, in seconds.
+    pub fn observe(&self, seconds: f64) {
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            if seconds <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        let micros = (seconds * 1e6).round().max(0.0) as u64;
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, kind: &str) {
+        use std::fmt::Write as _;
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "recon_job_seconds_bucket{{kind=\"{kind}\",le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "recon_job_seconds_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {count}"
+        );
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "recon_job_seconds_sum{{kind=\"{kind}\"}} {sum:.6}");
+        let _ = writeln!(out, "recon_job_seconds_count{{kind=\"{kind}\"}} {count}");
+    }
+}
+
+/// One monotonically increasing counter.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (for the running-jobs gauge).
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The full service metric set.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    /// Jobs accepted into the queue.
+    pub jobs_queued: Counter,
+    /// Jobs currently executing (gauge).
+    pub jobs_running: Counter,
+    /// Jobs that completed with a result.
+    pub jobs_completed: Counter,
+    /// Jobs that failed (bad spec at execution time, panic, internal
+    /// error).
+    pub jobs_failed: Counter,
+    /// Jobs cancelled by an aborting shutdown.
+    pub jobs_cancelled: Counter,
+    /// Jobs that hit their fuel or cycle deadline.
+    pub jobs_deadline: Counter,
+    /// Submissions refused with `429` because the queue was full.
+    pub jobs_rejected: Counter,
+    /// Result-cache hits (response served without executing).
+    pub cache_hits: Counter,
+    /// Result-cache misses (job executed).
+    pub cache_misses: Counter,
+    /// Pipeline-trace events dropped by ring buffers across all served
+    /// jobs.
+    pub trace_ring_dropped: Counter,
+    /// Per-kind job latency (queue wait + execution), indexed by
+    /// [`JobKind::index`].
+    pub latency: [Histogram; 4],
+}
+
+impl Metrics {
+    /// Records a finished job's latency under its kind.
+    pub fn observe_latency(&self, kind: JobKind, seconds: f64) {
+        self.latency[kind.index()].observe(seconds);
+    }
+
+    /// Renders the Prometheus text format. Queue depth and capacity are
+    /// sampled by the caller (they live on the queue, not here).
+    #[must_use]
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "recon_jobs_queued_total",
+            "Jobs accepted into the bounded queue.",
+            self.jobs_queued.get(),
+        );
+        counter(
+            "recon_jobs_completed_total",
+            "Jobs that finished with a result.",
+            self.jobs_completed.get(),
+        );
+        counter(
+            "recon_jobs_failed_total",
+            "Jobs that failed during execution.",
+            self.jobs_failed.get(),
+        );
+        counter(
+            "recon_jobs_cancelled_total",
+            "Jobs cancelled by an aborting shutdown.",
+            self.jobs_cancelled.get(),
+        );
+        counter(
+            "recon_jobs_deadline_exceeded_total",
+            "Jobs that hit their fuel or cycle deadline.",
+            self.jobs_deadline.get(),
+        );
+        counter(
+            "recon_jobs_rejected_total",
+            "Submissions refused with 429 (queue full).",
+            self.jobs_rejected.get(),
+        );
+        counter(
+            "recon_cache_hits_total",
+            "Result-cache hits.",
+            self.cache_hits.get(),
+        );
+        counter(
+            "recon_cache_misses_total",
+            "Result-cache misses.",
+            self.cache_misses.get(),
+        );
+        counter(
+            "recon_trace_ring_dropped_total",
+            "Pipeline-trace events dropped by ring buffers.",
+            self.trace_ring_dropped.get(),
+        );
+        let _ = writeln!(out, "# HELP recon_jobs_running Jobs currently executing.");
+        let _ = writeln!(out, "# TYPE recon_jobs_running gauge");
+        let _ = writeln!(out, "recon_jobs_running {}", self.jobs_running.get());
+        let _ = writeln!(out, "# HELP recon_queue_depth Jobs waiting in the queue.");
+        let _ = writeln!(out, "# TYPE recon_queue_depth gauge");
+        let _ = writeln!(out, "recon_queue_depth {queue_depth}");
+        let _ = writeln!(out, "# HELP recon_queue_capacity Configured queue bound.");
+        let _ = writeln!(out, "# TYPE recon_queue_capacity gauge");
+        let _ = writeln!(out, "recon_queue_capacity {queue_capacity}");
+        let _ = writeln!(
+            out,
+            "# HELP recon_job_seconds Job latency (queue wait + execution) by kind."
+        );
+        let _ = writeln!(out, "# TYPE recon_job_seconds histogram");
+        for kind in JobKind::ALL {
+            self.latency[kind.index()].render(&mut out, kind.label());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.observe_latency(JobKind::Run, 0.0004);
+        m.observe_latency(JobKind::Run, 0.02);
+        m.observe_latency(JobKind::Run, 99.0); // beyond the last bound
+        let text = m.render(0, 4);
+        assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"0.001\"} 1"));
+        assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"0.05\"} 2"));
+        assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"10\"} 2"));
+        assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"+Inf\"} 3"));
+        assert!(text.contains("recon_job_seconds_count{kind=\"run\"} 3"));
+    }
+
+    #[test]
+    fn counters_render() {
+        let m = Metrics::default();
+        m.jobs_queued.inc();
+        m.jobs_queued.inc();
+        m.cache_hits.add(5);
+        m.jobs_running.inc();
+        m.jobs_running.dec();
+        let text = m.render(3, 16);
+        assert!(text.contains("recon_jobs_queued_total 2"));
+        assert!(text.contains("recon_cache_hits_total 5"));
+        assert!(text.contains("recon_jobs_running 0"));
+        assert!(text.contains("recon_queue_depth 3"));
+        assert!(text.contains("recon_queue_capacity 16"));
+    }
+}

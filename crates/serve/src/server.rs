@@ -1,0 +1,442 @@
+//! The serving loop: listener, connection handlers, and worker pool.
+//!
+//! One thread accepts connections and hands each to a short-lived
+//! handler thread (`Connection: close`, one exchange per connection).
+//! Handlers never execute simulations: a `POST /jobs` submission is
+//! validated, checked against the result cache, and — on a miss —
+//! pushed into the bounded queue with a reply channel. When the queue
+//! is full the submission is refused *immediately* with `429` and
+//! `Retry-After`; nothing buffers without bound.
+//!
+//! A fixed pool of worker threads pops jobs and executes them under
+//! [`crate::job::execute`], wrapped in `catch_unwind` so one panicking
+//! job answers `500` without shrinking the pool.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::cache::{ResultCache, DEFAULT_CAPACITY};
+use crate::http::{read_request, write_response, Request};
+use crate::job::{self, JobError, JobOutput, JobSpec};
+use crate::json::{escape, parse};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server configuration (the `recon serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7090`. Port 0 binds an ephemeral
+    /// port (the bound address is reported by [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (submissions beyond it get `429`).
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7090".to_string(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_cap: 16,
+        }
+    }
+}
+
+/// How `POST /shutdown` winds the service down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ShutdownMode {
+    /// Stop accepting work, drain the queue, answer everything queued.
+    Graceful,
+    /// Also raise the cancel flag and fail queued/running jobs fast.
+    Abort,
+}
+
+/// One queued unit of work (opaque outside this module; exposed only
+/// so [`Shared`] can name its queue's element type).
+pub struct QueuedJob {
+    spec: JobSpec,
+    digest: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<JobOutput, JobError>>,
+}
+
+/// State shared by the accept loop, handlers, and workers.
+pub struct Shared {
+    /// The bounded admission queue.
+    pub queue: BoundedQueue<QueuedJob>,
+    /// Live counters and histograms (`GET /metrics`).
+    pub metrics: Metrics,
+    /// The content-addressed result cache.
+    pub cache: ResultCache,
+    shutting_down: AtomicBool,
+    cancel: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue", &self.queue)
+            .field("cache", &self.cache)
+            .field("shutting_down", &self.shutting_down.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for QueuedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuedJob")
+            .field("spec", &self.spec)
+            .field("digest", &self.digest)
+            .finish()
+    }
+}
+
+/// A running `recon serve` instance.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the address.
+    pub fn start(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_cap),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(DEFAULT_CAPACITY),
+            shutting_down: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("recon-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("recon-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The actual bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process inspection in tests.
+    #[must_use]
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Blocks until a `POST /shutdown` stops the service, then joins
+    /// the accept loop and every worker.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let addr = listener.local_addr().ok();
+        let _ = std::thread::Builder::new()
+            .name("recon-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared, addr);
+            });
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.jobs_running.inc();
+        let cancel = Arc::clone(&shared.cancel);
+        let result = catch_unwind(AssertUnwindSafe(|| job::execute(&job.spec, Some(&cancel))))
+            .unwrap_or_else(|_| {
+                Err(JobError::Failed(
+                    "job panicked (worker pool intact)".to_string(),
+                ))
+            });
+        shared.metrics.jobs_running.dec();
+        shared
+            .metrics
+            .observe_latency(job.spec.kind, job.enqueued.elapsed().as_secs_f64());
+        match &result {
+            Ok(out) => {
+                shared.metrics.jobs_completed.inc();
+                shared.metrics.trace_ring_dropped.add(out.trace_dropped);
+                shared
+                    .cache
+                    .insert(job.digest, Arc::new(out.payload.clone()));
+            }
+            Err(JobError::DeadlineExceeded { .. }) => shared.metrics.jobs_deadline.inc(),
+            Err(JobError::Cancelled) => shared.metrics.jobs_cancelled.inc(),
+            Err(JobError::Invalid(_) | JobError::Failed(_)) => shared.metrics.jobs_failed.inc(),
+        }
+        // The handler may have given up (client disconnected) — a
+        // failed send is not an error.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":\"{kind}\",\"message\":\"{}\"}}",
+        escape(message)
+    )
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    self_addr: Option<SocketAddr>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let Some(req) = read_request(&mut reader)? else {
+        return Ok(());
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(
+            &mut writer,
+            200,
+            &[],
+            "application/json",
+            b"{\"status\":\"ok\"}",
+        ),
+        ("GET", "/metrics") => {
+            let body = shared
+                .metrics
+                .render(shared.queue.len(), shared.queue.capacity());
+            write_response(
+                &mut writer,
+                200,
+                &[],
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+            )
+        }
+        ("POST", "/jobs") => handle_job(&req, &mut writer, shared),
+        ("POST", "/shutdown") => handle_shutdown(&req, &mut writer, shared, self_addr),
+        ("GET" | "POST", _) => write_response(
+            &mut writer,
+            404,
+            &[],
+            "application/json",
+            error_body("not_found", &req.path).as_bytes(),
+        ),
+        _ => write_response(
+            &mut writer,
+            405,
+            &[],
+            "application/json",
+            error_body("method_not_allowed", &req.method).as_bytes(),
+        ),
+    }
+}
+
+fn handle_job(req: &Request, writer: &mut impl io::Write, shared: &Arc<Shared>) -> io::Result<()> {
+    let bad_request = |writer: &mut dyn io::Write, msg: &str| {
+        write_response(
+            writer,
+            400,
+            &[],
+            "application/json",
+            error_body("invalid_job", msg).as_bytes(),
+        )
+    };
+    let Some(body) = req.body_str() else {
+        return bad_request(writer, "body is not UTF-8");
+    };
+    let parsed = match parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad_request(writer, &e),
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => return bad_request(writer, &e),
+    };
+    let digest = spec.digest();
+
+    if let Some(hit) = shared.cache.get(digest) {
+        shared.metrics.cache_hits.inc();
+        return write_response(
+            writer,
+            200,
+            &[("X-Recon-Cache", "hit".to_string())],
+            "application/json",
+            hit.as_bytes(),
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let push = shared.queue.try_push(QueuedJob {
+        spec,
+        digest,
+        enqueued: Instant::now(),
+        reply: tx,
+    });
+    match push {
+        Err(PushError::Full) => {
+            shared.metrics.jobs_rejected.inc();
+            return write_response(
+                writer,
+                429,
+                &[("Retry-After", "1".to_string())],
+                "application/json",
+                error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
+            );
+        }
+        Err(PushError::Closed) => {
+            return write_response(
+                writer,
+                503,
+                &[],
+                "application/json",
+                error_body("shutting_down", "server is draining; not accepting jobs").as_bytes(),
+            );
+        }
+        Ok(()) => {
+            shared.metrics.jobs_queued.inc();
+            shared.metrics.cache_misses.inc();
+        }
+    }
+
+    // The worker always replies (panics are caught); a RecvError can
+    // only mean the pool is gone mid-shutdown.
+    let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
+    match reply {
+        Ok(out) => write_response(
+            writer,
+            200,
+            &[("X-Recon-Cache", "miss".to_string())],
+            "application/json",
+            out.payload.as_bytes(),
+        ),
+        Err(JobError::DeadlineExceeded { payload, .. }) => {
+            write_response(writer, 408, &[], "application/json", payload.as_bytes())
+        }
+        Err(JobError::Cancelled) => write_response(
+            writer,
+            503,
+            &[],
+            "application/json",
+            error_body("cancelled", "job cancelled by shutdown").as_bytes(),
+        ),
+        Err(JobError::Invalid(msg)) => bad_request(writer, &msg),
+        Err(JobError::Failed(msg)) => write_response(
+            writer,
+            500,
+            &[],
+            "application/json",
+            error_body("job_failed", &msg).as_bytes(),
+        ),
+    }
+}
+
+fn handle_shutdown(
+    req: &Request,
+    writer: &mut impl io::Write,
+    shared: &Arc<Shared>,
+    self_addr: Option<SocketAddr>,
+) -> io::Result<()> {
+    let mode = match req.body_str().filter(|b| !b.trim().is_empty()) {
+        None => ShutdownMode::Graceful,
+        Some(body) => match parse(body) {
+            Ok(v) => match v.get("mode").and_then(crate::json::Json::as_str) {
+                None | Some("graceful") => ShutdownMode::Graceful,
+                Some("abort") => ShutdownMode::Abort,
+                Some(other) => {
+                    return write_response(
+                        writer,
+                        400,
+                        &[],
+                        "application/json",
+                        error_body("invalid_shutdown", &format!("unknown mode '{other}'"))
+                            .as_bytes(),
+                    );
+                }
+            },
+            Err(e) => {
+                return write_response(
+                    writer,
+                    400,
+                    &[],
+                    "application/json",
+                    error_body("invalid_shutdown", &e).as_bytes(),
+                );
+            }
+        },
+    };
+
+    // Answer first so the client is not racing the teardown.
+    let body = format!(
+        "{{\"status\":\"shutting_down\",\"mode\":\"{}\",\"queued\":{}}}",
+        if mode == ShutdownMode::Abort {
+            "abort"
+        } else {
+            "graceful"
+        },
+        shared.queue.len()
+    );
+    write_response(writer, 200, &[], "application/json", body.as_bytes())?;
+
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    if mode == ShutdownMode::Abort {
+        shared.cancel.store(true, Ordering::SeqCst);
+        for job in shared.queue.drain() {
+            shared.metrics.jobs_cancelled.inc();
+            let _ = job.reply.send(Err(JobError::Cancelled));
+        }
+    }
+    // Close the queue: workers drain the (graceful) backlog, then exit.
+    shared.queue.close();
+    // Poke the accept loop so it observes the flag and returns.
+    if let Some(addr) = self_addr {
+        let _ = TcpStream::connect(addr);
+    }
+    Ok(())
+}

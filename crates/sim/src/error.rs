@@ -1,0 +1,170 @@
+//! Run budgets and simulation errors: per-job deadlines (fuel and
+//! cycle caps) plus cooperative cancellation, the mechanism `recon
+//! serve` uses to kill a stuck or oversized job cleanly partway
+//! through simulation while preserving its partial statistics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::system::SystemResult;
+
+/// How often (in cycles) a budgeted run polls its cancellation flag.
+/// Coarse enough to stay off the hot path, fine enough that a cancel
+/// lands within microseconds of simulated work.
+pub const CANCEL_CHECK_INTERVAL: u64 = 1 << 12;
+
+/// Resource limits applied to one simulation run.
+///
+/// The default budget is unlimited: [`crate::System::run`] is exactly
+/// `run_budgeted` under `Budget::default()`.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Per-core committed-instruction cap (the job's *fuel*). Threaded
+    /// into `recon_cpu::Core`'s commit loop, so the cap is exact: the
+    /// core freezes after committing this many instructions.
+    pub fuel: Option<u64>,
+    /// Overrides the experiment's cycle budget when set.
+    pub max_cycles: Option<u64>,
+    /// Cooperative cancellation: when the flag turns `true` the run
+    /// stops at the next [`CANCEL_CHECK_INTERVAL`] boundary with
+    /// [`SimError::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget that only caps committed instructions per core.
+    #[must_use]
+    pub fn with_fuel(fuel: u64) -> Self {
+        Budget {
+            fuel: Some(fuel),
+            ..Budget::default()
+        }
+    }
+
+    /// Whether the cancellation flag (if any) has been raised.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Why a budgeted run was stopped before completing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeadlineReason {
+    /// A core exhausted its committed-instruction budget.
+    Fuel,
+    /// The run hit its cycle cap with at least one core unfinished.
+    MaxCycles,
+}
+
+impl core::fmt::Display for DeadlineReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DeadlineReason::Fuel => "fuel",
+            DeadlineReason::MaxCycles => "max_cycles",
+        })
+    }
+}
+
+/// A simulation run that did not complete. Both variants carry the
+/// partial [`SystemResult`] accumulated up to the stop point
+/// (`completed == false`), so callers can report how far a killed job
+/// got. The result is boxed to keep the error (and every
+/// `Result<SystemResult, SimError>`) small.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The run exceeded its fuel or cycle deadline.
+    DeadlineExceeded {
+        /// Statistics up to the stop point.
+        partial: Box<SystemResult>,
+        /// Which budget was exhausted.
+        reason: DeadlineReason,
+    },
+    /// The run was cancelled via [`Budget::cancel`].
+    Cancelled {
+        /// Statistics up to the stop point.
+        partial: Box<SystemResult>,
+    },
+}
+
+impl SimError {
+    /// The partial result, consuming the error.
+    #[must_use]
+    pub fn into_partial(self) -> SystemResult {
+        match self {
+            SimError::DeadlineExceeded { partial, .. } | SimError::Cancelled { partial } => {
+                *partial
+            }
+        }
+    }
+
+    /// The partial result, by reference.
+    #[must_use]
+    pub fn partial(&self) -> &SystemResult {
+        match self {
+            SimError::DeadlineExceeded { partial, .. } | SimError::Cancelled { partial } => partial,
+        }
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::DeadlineExceeded { partial, reason } => write!(
+                f,
+                "deadline exceeded ({reason}) after {} cycles / {} committed instructions",
+                partial.cycles,
+                partial.committed()
+            ),
+            SimError::Cancelled { partial } => {
+                write!(f, "cancelled after {} cycles", partial.cycles)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited_and_uncancelled() {
+        let b = Budget::default();
+        assert!(b.fuel.is_none());
+        assert!(b.max_cycles.is_none());
+        assert!(!b.cancelled());
+    }
+
+    #[test]
+    fn cancel_flag_reads_through() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget {
+            cancel: Some(Arc::clone(&flag)),
+            ..Budget::default()
+        };
+        assert!(!b.cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.cancelled());
+    }
+
+    #[test]
+    fn error_display_names_the_reason() {
+        let partial = SystemResult {
+            completed: false,
+            cycles: 42,
+            cores: Vec::new(),
+            mem: Default::default(),
+        };
+        let e = SimError::DeadlineExceeded {
+            partial: Box::new(partial),
+            reason: DeadlineReason::Fuel,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fuel"), "{s}");
+        assert!(s.contains("42"), "{s}");
+    }
+}

@@ -6,6 +6,7 @@ use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
 use recon_workloads::{Benchmark, Workload};
 
+use crate::error::{Budget, SimError};
 use crate::system::{System, SystemResult};
 
 /// Shared experiment parameters.
@@ -49,6 +50,24 @@ impl Experiment {
             self.max_cycles, secure
         );
         r
+    }
+
+    /// Runs `workload` under `secure` within `budget`, returning the
+    /// partial result as an error if a deadline fires or the job is
+    /// cancelled — the fallible entry point `recon serve` jobs use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the budgeted run; the partial
+    /// statistics accumulated up to the stop point ride along.
+    pub fn try_run(
+        &self,
+        workload: &Workload,
+        secure: SecureConfig,
+        budget: &Budget,
+    ) -> Result<SystemResult, SimError> {
+        let mut sys = System::new(workload, self.core, self.mem, secure, self.recon);
+        sys.run_budgeted(self.max_cycles, budget)
     }
 
     /// Runs the full five-way scheme matrix on one benchmark.

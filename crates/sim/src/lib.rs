@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
 pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod system;
 
+pub use error::{Budget, DeadlineReason, SimError};
 pub use experiment::{
     geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
 };

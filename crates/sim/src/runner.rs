@@ -62,11 +62,23 @@ where
 
 /// Worker count from `RECON_JOBS`, defaulting to the host's available
 /// parallelism (1 if unknown).
-#[must_use]
-pub fn jobs_from_env() -> usize {
+///
+/// # Errors
+///
+/// An invalid `RECON_JOBS` (not a positive integer, e.g. `abc` or `0`)
+/// is an error naming the accepted form — it is never silently coerced
+/// to a serial run.
+pub fn jobs_from_env() -> Result<usize, String> {
     match std::env::var("RECON_JOBS") {
-        Ok(v) => v.parse().ok().filter(|&j| j >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+        Ok(v) => v.trim().parse().ok().filter(|&j| j >= 1).ok_or_else(|| {
+            format!("RECON_JOBS must be a positive integer (worker count), got '{v}'")
+        }),
+        Err(std::env::VarError::NotPresent) => {
+            Ok(std::thread::available_parallelism().map_or(1, usize::from))
+        }
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("RECON_JOBS must be a positive integer (worker count), got non-unicode".into())
+        }
     }
 }
 
@@ -311,6 +323,6 @@ mod tests {
     fn jobs_env_parsing() {
         // Only exercises the default branch (the variable is unset in
         // the test environment; setting it would race other tests).
-        assert!(jobs_from_env() >= 1);
+        assert!(jobs_from_env().expect("unset env defaults") >= 1);
     }
 }

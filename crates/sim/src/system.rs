@@ -10,6 +10,8 @@ use recon_mem::{MemConfig, MemStats, MemorySystem};
 use recon_secure::SecureConfig;
 use recon_workloads::Workload;
 
+use crate::error::{Budget, DeadlineReason, SimError, CANCEL_CHECK_INTERVAL};
+
 /// Result of a completed (or timed-out) system run.
 #[derive(Clone, Debug)]
 pub struct SystemResult {
@@ -46,6 +48,13 @@ impl SystemResult {
     #[must_use]
     pub fn guarded_loads(&self) -> u64 {
         self.cores.iter().map(|c| c.guarded_loads_committed).sum()
+    }
+
+    /// Total pipeline-trace events dropped by the cores' ring buffers
+    /// (zero unless tracing was enabled and overflowed).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.cores.iter().map(|c| c.trace_dropped).sum()
     }
 }
 
@@ -154,22 +163,74 @@ impl System {
 
     /// Runs until every core halts or `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> SystemResult {
-        let mut completed = true;
+        match self.run_budgeted(max_cycles, &Budget::default()) {
+            Ok(r) => r,
+            Err(e) => e.into_partial(),
+        }
+    }
+
+    /// Runs until every core halts, a budget is exhausted, or the run
+    /// is cancelled — the deadline-aware entry point behind
+    /// `recon serve`'s per-job deadlines.
+    ///
+    /// `budget.max_cycles` overrides `max_cycles` when set. A run that
+    /// stops early returns [`SimError`] carrying the partial
+    /// [`SystemResult`] (with `completed == false`); the system itself
+    /// stays intact, so stats remain readable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] when the fuel or cycle budget ran
+    /// out, [`SimError::Cancelled`] when the cancellation flag was
+    /// raised mid-run.
+    pub fn run_budgeted(
+        &mut self,
+        max_cycles: u64,
+        budget: &Budget,
+    ) -> Result<SystemResult, SimError> {
+        let max_cycles = budget.max_cycles.unwrap_or(max_cycles);
+        if let Some(fuel) = budget.fuel {
+            for core in &mut self.cores {
+                core.set_fuel(fuel);
+            }
+        }
+        let mut cancelled = false;
         loop {
             if !self.tick() {
                 break;
             }
             if self.cycle >= max_cycles {
-                completed = self.cores.iter().all(Core::is_done);
+                break;
+            }
+            if self.cycle.is_multiple_of(CANCEL_CHECK_INTERVAL) && budget.cancelled() {
+                cancelled = true;
                 break;
             }
         }
-        SystemResult {
+        let completed = self.cores.iter().all(Core::is_done);
+        let result = SystemResult {
             completed,
             cycles: self.cycle,
             cores: self.cores.iter().map(Core::stats).collect(),
             mem: self.mem.stats(),
+        };
+        if cancelled {
+            return Err(SimError::Cancelled {
+                partial: Box::new(result),
+            });
         }
+        if completed {
+            return Ok(result);
+        }
+        let reason = if self.cores.iter().any(Core::out_of_fuel) {
+            DeadlineReason::Fuel
+        } else {
+            DeadlineReason::MaxCycles
+        };
+        Err(SimError::DeadlineExceeded {
+            partial: Box::new(result),
+            reason,
+        })
     }
 }
 

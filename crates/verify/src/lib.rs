@@ -31,5 +31,7 @@ pub mod trace;
 
 pub use differ::{run_cell, CellResult, Verdict};
 pub use gadget::{Gadget, GadgetKind, SECRET_A, SECRET_B};
-pub use matrix::{run_matrix, soundness_sweep, MatrixReport, SoundnessRun};
+pub use matrix::{
+    run_cell_named, run_matrix, soundness_sweep, MatrixCell, MatrixReport, SoundnessRun,
+};
 pub use trace::{Divergence, ObservationTrace};

@@ -188,6 +188,20 @@ pub fn run_matrix(
     MatrixReport { cells, lifts }
 }
 
+/// Runs one (gadget, scheme) matrix cell by gadget name — the
+/// cell-as-job entry point `recon serve` dispatches verify jobs
+/// through. Returns `None` for an unknown gadget name (callers turn
+/// that into their own error; valid names come from
+/// [`gadget::all`]).
+#[must_use]
+pub fn run_cell_named(gadget_name: &str, scheme: SecureConfig) -> Option<MatrixCell> {
+    let g = gadget::find(gadget_name)?;
+    Some(MatrixCell {
+        expected: expected_verdict(&g, scheme),
+        result: run_cell(g, scheme),
+    })
+}
+
 /// Builds the already-leaked cost comparisons from whatever cells ran.
 fn lift_checks(cells: &[MatrixCell]) -> Vec<LiftCheck> {
     let get = |scheme: SecureConfig| {

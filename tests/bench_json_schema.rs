@@ -1,0 +1,134 @@
+//! Schema stability for the two JSON reports the repo writes:
+//! `BENCH_runner.json` (`BatchResults::write_json`) and
+//! `BENCH_serve.json` (`BenchServeReport`). Both are parsed back with
+//! the serving layer's own JSON reader, so the documents stay valid
+//! JSON with a fixed field set — and the runner's timings stay
+//! deterministic across worker counts.
+
+use recon_secure::SecureConfig;
+use recon_serve::{json, BenchServeReport};
+use recon_sim::{run_batch, Experiment};
+use recon_workloads::{find, Scale, Suite};
+
+fn tmp_path(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("recon-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// `(bench, scheme, cycles)` rows — everything in a timing that must
+/// not depend on the worker count.
+fn timing_rows(doc: &json::Json) -> Vec<(String, String, u64)> {
+    let json::Json::Arr(rows) = doc.get("job_timings").expect("job_timings present") else {
+        panic!("job_timings is an array");
+    };
+    rows.iter()
+        .map(|r| {
+            (
+                r.get("bench")
+                    .and_then(json::Json::as_str)
+                    .unwrap()
+                    .to_string(),
+                r.get("scheme")
+                    .and_then(json::Json::as_str)
+                    .unwrap()
+                    .to_string(),
+                r.get("cycles").and_then(json::Json::as_u64).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batch_results_json_schema_and_determinism_across_jobs() {
+    let exp = Experiment::default();
+    let benches = vec![
+        find(Suite::Spec2017, "mcf", Scale::Quick).unwrap(),
+        find(Suite::Spec2017, "deepsjeng", Scale::Quick).unwrap(),
+    ];
+    let configs = [SecureConfig::unsafe_baseline(), SecureConfig::stt_recon()];
+
+    let mut rows_by_jobs = Vec::new();
+    for jobs in [1usize, 4] {
+        let batch = run_batch(&exp, &benches, &configs, jobs);
+        let path = tmp_path(&format!("runner-{jobs}.json"));
+        batch.write_json(&path).expect("write BENCH_runner.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let doc = json::parse(&text).expect("BENCH_runner.json is valid JSON");
+        // The golden schema: exactly these top-level keys, in order.
+        assert_eq!(
+            doc.keys(),
+            vec![
+                "jobs",
+                "unique_jobs",
+                "wall_seconds",
+                "serial_seconds",
+                "speedup",
+                "job_timings"
+            ]
+        );
+        assert_eq!(
+            doc.get("jobs").and_then(json::Json::as_u64),
+            Some(jobs as u64)
+        );
+        assert_eq!(doc.get("unique_jobs").and_then(json::Json::as_u64), Some(4));
+        assert!(
+            doc.get("wall_seconds")
+                .and_then(json::Json::as_f64)
+                .unwrap()
+                >= 0.0
+        );
+        let rows = timing_rows(&doc);
+        assert_eq!(rows.len(), 4);
+        for (_, _, cycles) in &rows {
+            assert!(*cycles > 0);
+        }
+        rows_by_jobs.push(rows);
+    }
+    assert_eq!(
+        rows_by_jobs[0], rows_by_jobs[1],
+        "timing rows (bench, scheme, cycles) are identical for --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn bench_serve_report_golden() {
+    let report = BenchServeReport {
+        clients: 8,
+        requests_per_client: 200,
+        queue_cap: 1,
+        ok: 1580,
+        deadline: 20,
+        backpressure_429: 431,
+        mismatches: 0,
+        lost: 0,
+        cache_hits: 1200,
+        cache_misses: 400,
+        wall_seconds: 12.5,
+        throughput_rps: 128.0,
+        p50_ms: 40.25,
+        p95_ms: 150.5,
+        p99_ms: 310.125,
+    };
+    // Byte-for-byte golden: any schema change must update this test.
+    let golden = "{\n  \"clients\": 8,\n  \"requests_per_client\": 200,\n  \"queue_cap\": 1,\n  \"ok\": 1580,\n  \"deadline\": 20,\n  \"backpressure_429\": 431,\n  \"mismatches\": 0,\n  \"lost\": 0,\n  \"cache_hits\": 1200,\n  \"cache_misses\": 400,\n  \"wall_seconds\": 12.500000,\n  \"throughput_rps\": 128.000,\n  \"p50_ms\": 40.250,\n  \"p95_ms\": 150.500,\n  \"p99_ms\": 310.125\n}\n";
+    assert_eq!(report.to_json(), golden);
+
+    // Round-trip through the parser.
+    let doc = json::parse(&report.to_json()).expect("valid JSON");
+    assert_eq!(doc.get("ok").and_then(json::Json::as_u64), Some(1580));
+    assert_eq!(
+        doc.get("p99_ms").and_then(json::Json::as_f64),
+        Some(310.125)
+    );
+
+    // And through the file writer.
+    let path = tmp_path("serve-golden.json");
+    report.write_json(&path).expect("write BENCH_serve.json");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(text, golden);
+}

@@ -1,0 +1,111 @@
+//! Deadline and cancellation semantics of `run_budgeted`: fuel and
+//! cycle budgets fire inside the commit loop, preserve partial
+//! statistics, and never corrupt the simulator — an exhausted
+//! experiment can immediately run again to completion.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use recon_secure::SecureConfig;
+use recon_sim::{Budget, DeadlineReason, Experiment, SimError};
+use recon_workloads::{find, Scale, Suite};
+
+fn bench(name: &str) -> recon_workloads::Benchmark {
+    find(Suite::Spec2017, name, Scale::Quick).expect("benchmark exists")
+}
+
+#[test]
+fn fuel_deadline_preserves_partial_stats() {
+    let exp = Experiment::default();
+    let b = bench("xalancbmk");
+    match exp.try_run(&b.workload, SecureConfig::stt(), &Budget::with_fuel(1000)) {
+        Err(SimError::DeadlineExceeded { partial, reason }) => {
+            assert_eq!(reason, DeadlineReason::Fuel);
+            assert!(!partial.completed);
+            assert!(partial.cycles > 0, "simulation actually progressed");
+            let committed = partial.committed();
+            assert!(
+                committed > 0 && committed <= 1000 + 8,
+                "committed {committed}: capped at fuel (+ up to one commit width)"
+            );
+        }
+        other => panic!("expected fuel deadline, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_deadline_reports_max_cycles() {
+    let exp = Experiment::default();
+    let b = bench("mcf");
+    let budget = Budget {
+        max_cycles: Some(100),
+        ..Budget::default()
+    };
+    match exp.try_run(&b.workload, SecureConfig::nda(), &budget) {
+        Err(SimError::DeadlineExceeded { partial, reason }) => {
+            assert_eq!(reason, DeadlineReason::MaxCycles);
+            assert_eq!(partial.cycles, 100);
+        }
+        other => panic!("expected cycle deadline, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_cancelled_budget_returns_cancelled_with_partial() {
+    let exp = Experiment::default();
+    let b = bench("mcf");
+    let cancel = Arc::new(AtomicBool::new(true));
+    let budget = Budget {
+        cancel: Some(Arc::clone(&cancel)),
+        ..Budget::default()
+    };
+    match exp.try_run(&b.workload, SecureConfig::stt(), &budget) {
+        Err(SimError::Cancelled { partial }) => {
+            assert!(!partial.completed, "cancelled before completion");
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budget_matches_unbudgeted_run() {
+    let exp = Experiment::default();
+    let b = bench("mcf");
+    let plain = exp.run(&b.workload, SecureConfig::stt_recon());
+    let budgeted = exp
+        .try_run(&b.workload, SecureConfig::stt_recon(), &Budget::default())
+        .expect("no deadline with an unlimited budget");
+    assert!(plain.completed && budgeted.completed);
+    assert_eq!(plain.cycles, budgeted.cycles);
+    assert_eq!(plain.committed(), budgeted.committed());
+    assert_eq!(plain.guarded_loads(), budgeted.guarded_loads());
+}
+
+#[test]
+fn deadline_does_not_poison_subsequent_runs() {
+    let exp = Experiment::default();
+    let b = bench("mcf");
+    let deadline = exp.try_run(&b.workload, SecureConfig::stt(), &Budget::with_fuel(500));
+    assert!(matches!(deadline, Err(SimError::DeadlineExceeded { .. })));
+    // Fresh run right after: completes and matches a clean baseline.
+    let again = exp
+        .try_run(&b.workload, SecureConfig::stt(), &Budget::default())
+        .expect("healthy run after a deadline");
+    assert!(again.completed);
+    assert_eq!(
+        again.cycles,
+        exp.run(&b.workload, SecureConfig::stt()).cycles
+    );
+}
+
+#[test]
+fn into_partial_recovers_stats_from_either_error() {
+    let exp = Experiment::default();
+    let b = bench("mcf");
+    let err = exp
+        .try_run(&b.workload, SecureConfig::nda(), &Budget::with_fuel(200))
+        .unwrap_err();
+    let partial = err.into_partial();
+    assert!(partial.committed() > 0);
+    assert!(!partial.completed);
+}
