@@ -8,10 +8,13 @@
 //! recon analyze <suite> <bench>      Clueless-style leakage report
 //! recon verify [--gadget G] [--scheme S]  two-trace security checker
 //! recon overhead                     §6.7 storage accounting
-//! recon serve [--addr A] [--workers N] [--queue-cap Q]
+//! recon serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]
+//!             [--chaos SPEC] [--cache-dir D]
 //!                                    HTTP job service (see recon-serve)
 //! recon bench-serve [--clients C] [--requests R] [--queue-cap Q]
 //!                                    loopback load generator -> BENCH_serve.json
+//! recon chaos [--seed S] [--clients C] [--requests R] [--faults F]
+//!                                    seeded fault storm -> BENCH_chaos.json
 //! ```
 //!
 //! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
@@ -407,6 +410,12 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
                 Ok(n) => config.queue_cap = n,
                 Err(e) => return fail(&e),
             },
+            "--handler-cap" => match flag_usize(&pairs, "--handler-cap", config.handler_cap) {
+                Ok(n) => config.handler_cap = n,
+                Err(e) => return fail(&e),
+            },
+            "--chaos" => config.chaos = Some((*value).to_string()),
+            "--cache-dir" => config.cache_dir = Some(std::path::PathBuf::from(*value)),
             _ => return fail(&format!("unknown serve flag '{flag}'")),
         }
     }
@@ -420,10 +429,17 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
         config.workers,
         config.queue_cap
     );
-    println!("  POST /jobs      submit run|matrix|analyze|verify jobs");
-    println!("  GET  /metrics   Prometheus text format");
-    println!("  GET  /healthz   liveness");
-    println!("  POST /shutdown  graceful drain (or {{\"mode\":\"abort\"}})");
+    if let Some(spec) = &config.chaos {
+        println!("  chaos plane armed: {spec}");
+    }
+    if let Some(dir) = &config.cache_dir {
+        println!("  crash-safe cache at {}", dir.display());
+    }
+    println!("  POST /jobs       submit run|matrix|analyze|verify jobs");
+    println!("  POST /jobs/batch submit up to 64 specs in one request");
+    println!("  GET  /metrics    Prometheus text format");
+    println!("  GET  /healthz    liveness");
+    println!("  POST /shutdown   graceful drain (or {{\"mode\":\"abort\"}})");
     server.wait();
     println!("recon-serve: drained and stopped");
     ExitCode::SUCCESS
@@ -483,6 +499,86 @@ fn cmd_bench_serve(args: &[&str], jobs: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_chaos(args: &[&str], jobs: usize) -> ExitCode {
+    let pairs = match parse_flag_pairs(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let mut config = recon_serve::ChaosStormConfig {
+        workers: jobs,
+        ..recon_serve::ChaosStormConfig::default()
+    };
+    for (flag, value) in &pairs {
+        let parsed = match *flag {
+            "--seed" => match value.parse::<u64>() {
+                Ok(n) => {
+                    config.seed = n;
+                    Ok(())
+                }
+                Err(_) => Err(format!("--seed wants an integer, got '{value}'")),
+            },
+            "--clients" => flag_usize(&pairs, flag, config.clients).map(|n| config.clients = n),
+            "--requests" => flag_usize(&pairs, flag, config.requests).map(|n| config.requests = n),
+            "--workers" => flag_usize(&pairs, flag, config.workers).map(|n| config.workers = n),
+            "--faults" => {
+                config.faults = (*value).to_string();
+                Ok(())
+            }
+            "--out" => {
+                config.out = Some((*value).to_string());
+                Ok(())
+            }
+            _ => return fail(&format!("unknown chaos flag '{flag}'")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let report = match recon_serve::run_chaos_storm(&config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("chaos storm failed: {e}")),
+    };
+    println!(
+        "chaos: seed {} | {} clients x {} requests | faults {}",
+        report.seed, report.clients, report.requests_per_client, report.faults
+    );
+    println!(
+        "  ok {}  deadline {}  mismatches {}  lost {}  retries {}  reconnects {}",
+        report.ok,
+        report.deadline,
+        report.mismatches,
+        report.lost,
+        report.retries,
+        report.reconnects
+    );
+    let injected: Vec<String> = report
+        .injected
+        .iter()
+        .map(|(site, n)| format!("{site} {n}"))
+        .collect();
+    println!(
+        "  injected {} ({})",
+        report.injected_total,
+        injected.join(", ")
+    );
+    println!(
+        "  worker restarts {}  singleflight joins {}  cache {} hits / {} misses  wall {:.2}s",
+        report.worker_restarts,
+        report.singleflight_joined,
+        report.cache_hits,
+        report.cache_misses,
+        report.wall_seconds
+    );
+    if let Some(path) = &config.out {
+        println!("report written to {path}");
+    }
+    if !report.pass() {
+        return fail("chaos storm lost or corrupted responses");
+    }
+    println!("chaos storm: 0 lost, 0 mismatched — service healed every injected fault");
+    ExitCode::SUCCESS
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
@@ -499,10 +595,13 @@ fn usage() -> ExitCode {
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("                                     (gadget x scheme verdict matrix)");
     eprintln!("  overhead                           §6.7 storage accounting");
-    eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q]");
+    eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]");
+    eprintln!("        [--chaos SPEC] [--cache-dir D]");
     eprintln!("                                     HTTP job service");
     eprintln!("  bench-serve [--clients C] [--requests R] [--queue-cap Q] [--out P]");
     eprintln!("                                     loopback load test -> BENCH_serve.json");
+    eprintln!("  chaos [--seed S] [--clients C] [--requests R] [--faults F] [--out P]");
+    eprintln!("                                     seeded fault storm -> BENCH_chaos.json");
     eprintln!("suites: spec2017 spec2006 parsec");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
     eprintln!("--jobs defaults to RECON_JOBS or all cores");
@@ -544,6 +643,7 @@ fn main() -> ExitCode {
         ["overhead"] => cmd_overhead(),
         ["serve", rest @ ..] => cmd_serve(rest, jobs),
         ["bench-serve", rest @ ..] => cmd_bench_serve(rest, jobs),
+        ["chaos", rest @ ..] => cmd_chaos(rest, jobs),
         _ => usage(),
     }
 }

@@ -28,5 +28,5 @@
 pub mod report;
 pub mod taint;
 
-pub use report::{analyze_program, LeakReport};
+pub use report::{analyze_program, analyze_program_budgeted, LeakReport};
 pub use taint::LeakageAnalysis;

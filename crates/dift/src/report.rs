@@ -59,15 +59,35 @@ pub fn analyze_program(
     program: &Program,
     max_steps: usize,
 ) -> Result<LeakReport, recon_isa::ExecError> {
+    analyze_program_budgeted(program, max_steps).map(|(report, _)| report)
+}
+
+/// As [`analyze_program`], but also reports whether the program halted
+/// within `max_steps`. `false` means the report covers only a prefix of
+/// the execution — a *partial* result, which deadline-aware callers
+/// (`recon serve` analyze jobs with a fuel budget) report as such
+/// instead of presenting truncated metrics as final.
+///
+/// # Errors
+///
+/// As [`analyze_program`].
+pub fn analyze_program_budgeted(
+    program: &Program,
+    max_steps: usize,
+) -> Result<(LeakReport, bool), recon_isa::ExecError> {
     let mut mem = recon_isa::SparseMem::from_image(&program.image);
     let mut la = LeakageAnalysis::new();
-    let n = recon_isa::run_with(program, &mut mem, max_steps, |rec| la.observe(rec))?;
-    Ok(LeakReport {
-        touched_words: la.touched_words(),
-        dift_leaked: la.dift_leaked_ever(),
-        pair_leaked: la.pair_leaked_ever(),
-        instructions: n,
-    })
+    let (n, halted) =
+        recon_isa::exec::run_with_status(program, &mut mem, max_steps, |rec| la.observe(rec))?;
+    Ok((
+        LeakReport {
+            touched_words: la.touched_words(),
+            dift_leaked: la.dift_leaked_ever(),
+            pair_leaked: la.pair_leaked_ever(),
+            instructions: n,
+        },
+        halted,
+    ))
 }
 
 #[cfg(test)]

@@ -290,8 +290,25 @@ pub fn run_with<M: DataMem>(
     program: &Program,
     mem: &mut M,
     max_steps: usize,
-    mut f: impl FnMut(&StepRecord),
+    f: impl FnMut(&StepRecord),
 ) -> Result<u64, ExecError> {
+    run_with_status(program, mem, max_steps, f).map(|(n, _)| n)
+}
+
+/// As [`run_with`], but also reports whether the program actually
+/// halted — `false` means the step budget expired first, which callers
+/// with deadlines (`recon serve` analyze jobs) surface as a partial
+/// result instead of silently passing it off as complete.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from [`step`].
+pub fn run_with_status<M: DataMem>(
+    program: &Program,
+    mem: &mut M,
+    max_steps: usize,
+    mut f: impl FnMut(&StepRecord),
+) -> Result<(u64, bool), ExecError> {
     let mut state = ArchState::at_entry(program);
     let mut n = 0;
     for _ in 0..max_steps {
@@ -302,7 +319,7 @@ pub fn run_with<M: DataMem>(
         f(&r);
         n += 1;
     }
-    Ok(n)
+    Ok((n, state.halted))
 }
 
 #[cfg(test)]

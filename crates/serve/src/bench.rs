@@ -256,6 +256,7 @@ pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport
         addr: "127.0.0.1:0".to_string(),
         workers: config.workers,
         queue_cap: config.queue_cap,
+        ..ServeConfig::default()
     })?;
     let addr = server.addr();
 

@@ -1,15 +1,25 @@
-//! A content-addressed result cache.
+//! A content-addressed result cache, optionally crash-safe.
 //!
 //! Simulation is deterministic, so a job's payload is a pure function
 //! of its canonical spec (which includes the workload scale): the
 //! FxHash digest of that spec is the cache key. Entries are bounded and
 //! evicted in insertion order — the cache is an accelerator, never a
 //! correctness dependency, so eviction only costs a recompute.
+//!
+//! With [`ResultCache::with_persistence`] every insert is also appended
+//! to a checksummed on-disk log (see [`crate::persist`]), and a restart
+//! recovers all intact entries — a `kill -9` costs at most the record
+//! being written, and a torn tail is truncated, never served.
 
 use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use recon_isa::hash::FxHashMap;
+
+use crate::persist::{CacheStore, RecoveryStats};
+use crate::queue::lock_ignore_poison;
 
 /// Default maximum cached payloads.
 pub const DEFAULT_CAPACITY: usize = 1024;
@@ -22,6 +32,8 @@ struct Inner {
 /// A bounded digest → payload map shared by all workers.
 pub struct ResultCache {
     inner: Mutex<Inner>,
+    store: Option<Mutex<CacheStore>>,
+    recovery: RecoveryStats,
     capacity: usize,
 }
 
@@ -30,12 +42,14 @@ impl std::fmt::Debug for ResultCache {
         f.debug_struct("ResultCache")
             .field("capacity", &self.capacity)
             .field("len", &self.len())
+            .field("persistent", &self.store.is_some())
             .finish()
     }
 }
 
 impl ResultCache {
-    /// Creates a cache holding at most `capacity` payloads (minimum 1).
+    /// Creates an in-memory cache holding at most `capacity` payloads
+    /// (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         ResultCache {
@@ -43,14 +57,50 @@ impl ResultCache {
                 map: FxHashMap::default(),
                 order: VecDeque::new(),
             }),
+            store: None,
+            recovery: RecoveryStats::default(),
             capacity: capacity.max(1),
         }
+    }
+
+    /// Creates a crash-safe cache backed by `dir`, recovering every
+    /// intact persisted entry (newest-first up to `capacity`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or opening the directory. Corrupt contents
+    /// are recovered around, not errors — the dropped-record count is
+    /// available via [`recovery`](Self::recovery).
+    pub fn with_persistence(capacity: usize, dir: &Path) -> io::Result<Self> {
+        let (store, entries, recovery) = CacheStore::open(dir)?;
+        let mut cache = ResultCache::new(capacity);
+        cache.recovery = recovery;
+        // Prefer the newest entries when the snapshot outgrew the
+        // in-memory bound; insertion order within the kept window is
+        // preserved.
+        let skip = entries.len().saturating_sub(cache.capacity);
+        {
+            let mut inner = lock_ignore_poison(&cache.inner);
+            for (digest, payload) in entries.into_iter().skip(skip) {
+                inner.order.push_back(digest);
+                inner.map.insert(digest, Arc::new(payload));
+            }
+        }
+        cache.store = Some(Mutex::new(store));
+        Ok(cache)
+    }
+
+    /// What recovery found when the backing directory was opened
+    /// (all-zero for in-memory caches).
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Entries currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock_ignore_poison(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.
@@ -62,27 +112,36 @@ impl ResultCache {
     /// Looks up a payload by job digest.
     #[must_use]
     pub fn get(&self, digest: u64) -> Option<Arc<String>> {
-        self.inner.lock().unwrap().map.get(&digest).cloned()
+        lock_ignore_poison(&self.inner).map.get(&digest).cloned()
     }
 
     /// Stores a payload, evicting the oldest entry at capacity. A
     /// digest already present keeps its existing payload (determinism
-    /// makes the two identical).
+    /// makes the two identical). Persistent caches also append the
+    /// entry to the on-disk log; an I/O failure there degrades to
+    /// in-memory-only for that entry rather than failing the job.
     pub fn insert(&self, digest: u64, payload: Arc<String>) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.map.contains_key(&digest) {
-            return;
-        }
-        while inner.map.len() >= self.capacity {
-            match inner.order.pop_front() {
-                Some(oldest) => {
-                    inner.map.remove(&oldest);
+        {
+            let mut inner = lock_ignore_poison(&self.inner);
+            if inner.map.contains_key(&digest) {
+                return;
+            }
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(oldest) => {
+                        inner.map.remove(&oldest);
+                    }
+                    None => break,
                 }
-                None => break,
+            }
+            inner.map.insert(digest, Arc::clone(&payload));
+            inner.order.push_back(digest);
+        }
+        if let Some(store) = &self.store {
+            if let Err(e) = lock_ignore_poison(store).append(digest, &payload) {
+                eprintln!("recon-serve: cache persistence append failed: {e}");
             }
         }
-        inner.map.insert(digest, payload);
-        inner.order.push_back(digest);
     }
 }
 
@@ -118,5 +177,40 @@ mod tests {
         c.insert(1, Arc::new("second".into()));
         assert_eq!(c.get(1).unwrap().as_str(), "first");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn persistent_cache_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("recon-cache-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ResultCache::with_persistence(8, &dir).unwrap();
+            c.insert(11, Arc::new("{\"r\":1}".into()));
+            c.insert(22, Arc::new("{\"r\":2}".into()));
+        }
+        let c = ResultCache::with_persistence(8, &dir).unwrap();
+        assert_eq!(c.recovery().recovered, 2);
+        assert_eq!(c.recovery().dropped, 0);
+        assert_eq!(c.get(11).unwrap().as_str(), "{\"r\":1}");
+        assert_eq!(c.get(22).unwrap().as_str(), "{\"r\":2}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_respects_capacity_keeping_newest() {
+        let dir = std::env::temp_dir().join(format!("recon-cache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ResultCache::with_persistence(8, &dir).unwrap();
+            for i in 0..6u64 {
+                c.insert(i, Arc::new(format!("{{\"i\":{i}}}")));
+            }
+        }
+        let c = ResultCache::with_persistence(2, &dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get(4).is_some());
+        assert!(c.get(5).is_some());
+        assert!(c.get(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,11 +1,11 @@
 //! A minimal HTTP/1.1 framing layer over `std::net` streams.
 //!
 //! Just enough of the protocol for the serving endpoints and the
-//! loopback bench client: request-line + headers + `Content-Length`
-//! bodies, `Connection: close` semantics (one exchange per
-//! connection), and nothing else — no chunked encoding, no keep-alive,
-//! no TLS. Request bodies are capped so a hostile client cannot make
-//! the server buffer without bound.
+//! loopback clients: request-line + headers + `Content-Length` bodies,
+//! HTTP/1.1 keep-alive (connections persist until either side sends
+//! `Connection: close` or an idle timeout fires), and nothing else —
+//! no chunked encoding, no TLS. Request bodies are capped so a hostile
+//! client cannot make the server buffer without bound.
 
 use std::io::{self, BufRead, Write};
 
@@ -44,10 +44,31 @@ impl Request {
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
     }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
-/// Reads one request from the stream. `Ok(None)` means the peer closed
-/// the connection before sending a request line.
+/// Whether an I/O error is a read/write timeout (reported as either
+/// `WouldBlock` or `TimedOut` depending on the platform).
+#[must_use]
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from the stream. `Ok(None)` means the connection
+/// ended cleanly between requests: the peer closed it, or (under a
+/// read timeout) it sat idle without starting a new request. A timeout
+/// *mid*-request is still an error — the peer went quiet halfway
+/// through framing.
 ///
 /// # Errors
 ///
@@ -55,16 +76,27 @@ impl Request {
 /// (bad request line, oversized headers or body).
 pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        // Idle timeout before any byte of a new request: clean close.
+        Err(e) if is_timeout(&e) && line.is_empty() => return Ok(None),
+        Err(e) => return Err(e),
     }
     let mut parts = line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "malformed request line",
         ));
     };
+    if !version.starts_with("HTTP/") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line version is not HTTP",
+        ));
+    }
     let method = method.to_ascii_uppercase();
     let path = path.to_string();
 
@@ -131,8 +163,39 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Renders a complete response (status line, headers, body) to bytes.
+/// `close` selects `Connection: close` vs `Connection: keep-alive`.
+///
+/// Rendering to a buffer instead of the stream gives the chaos layer a
+/// seam: response-corruption faults mutate these bytes before they hit
+/// the socket, so the fault is injected at exactly one defined point.
+#[must_use]
+pub fn render_response(
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    let conn = if close { "close" } else { "keep-alive" };
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        let _ = write!(out, "{k}: {v}\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
 /// Writes a complete response (status, extra headers, body) and
-/// flushes. Always closes the exchange (`Connection: close`).
+/// flushes. Always closes the exchange (`Connection: close`); the
+/// keep-alive server path renders with [`render_response`] instead.
 ///
 /// # Errors
 ///
@@ -144,17 +207,13 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        reason(status),
-        body.len()
-    )?;
-    for (k, v) in extra_headers {
-        write!(writer, "{k}: {v}\r\n")?;
-    }
-    writer.write_all(b"\r\n")?;
-    writer.write_all(body)?;
+    writer.write_all(&render_response(
+        status,
+        extra_headers,
+        content_type,
+        body,
+        true,
+    ))?;
     writer.flush()
 }
 
@@ -210,5 +269,37 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn render_selects_keep_alive_or_close() {
+        let keep =
+            String::from_utf8(render_response(200, &[], "text/plain", b"ok", false)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        let close =
+            String::from_utf8(render_response(200, &[], "text/plain", b"ok", true)).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
+    }
+
+    #[test]
+    fn wants_close_reads_the_connection_header() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        assert!(read_request(&mut r).unwrap().unwrap().wants_close());
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        assert!(!read_request(&mut r).unwrap().unwrap().wants_close());
+    }
+
+    #[test]
+    fn idle_timeout_before_any_byte_is_a_clean_close() {
+        struct TimesOut;
+        impl io::Read for TimesOut {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"))
+            }
+        }
+        let mut r = BufReader::new(TimesOut);
+        assert!(read_request(&mut r).unwrap().is_none());
     }
 }

@@ -267,13 +267,9 @@ impl JobSpec {
                 }
             }
             JobKind::Analyze => {
-                if self.scheme.is_some()
-                    || self.fuel.is_some()
-                    || self.max_cycles.is_some()
-                    || self.trace
-                {
+                if self.scheme.is_some() || self.max_cycles.is_some() || self.trace {
                     return Err(
-                        "'analyze' accepts only 'suite' and 'bench' (it is scheme-independent)"
+                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and functional, so 'max_cycles'/'trace' do not apply)"
                             .into(),
                     );
                 }
@@ -297,8 +293,8 @@ impl JobSpec {
                         "'verify' accepts 'gadget' and 'scheme', not 'suite'/'bench'".into(),
                     );
                 }
-                if self.fuel.is_some() || self.max_cycles.is_some() || self.trace {
-                    return Err("'verify' cells run under the checker's own fixed budget".into());
+                if self.trace {
+                    return Err("'trace' is only accepted for kind 'run'".into());
                 }
             }
         }
@@ -426,7 +422,7 @@ pub fn execute(spec: &JobSpec, cancel: Option<&Arc<AtomicBool>>) -> Result<JobOu
         JobKind::Run => execute_run(spec, &budget),
         JobKind::Matrix => execute_matrix(spec, &budget),
         JobKind::Analyze => execute_analyze(spec),
-        JobKind::Verify => execute_verify(spec),
+        JobKind::Verify => execute_verify(spec, &budget),
     }
 }
 
@@ -513,8 +509,22 @@ fn execute_analyze(spec: &JobSpec) -> Result<JobOutput, JobError> {
             "leakage analysis runs on single-thread benchmarks".into(),
         ));
     }
-    let r = recon_dift::analyze_program(&b.workload.program, 200_000_000)
+    // The analyzer is functional, so the job's fuel budget maps directly
+    // onto its committed-instruction cap.
+    let default_cap = 200_000_000u64;
+    let max_steps =
+        usize::try_from(spec.fuel.unwrap_or(default_cap).min(default_cap)).unwrap_or(usize::MAX);
+    let (r, halted) = recon_dift::analyze_program_budgeted(&b.workload.program, max_steps)
         .map_err(|e| JobError::Failed(format!("analysis failed: {e}")))?;
+    if !halted {
+        return Err(JobError::DeadlineExceeded {
+            reason: DeadlineReason::Fuel,
+            payload: format!(
+                "{{\"error\":\"deadline_exceeded\",\"kind\":\"analyze\",\"reason\":\"fuel\",\"partial\":{{\"instructions\":{},\"touched_words\":{},\"dift_leaked\":{},\"pair_leaked\":{}}}}}",
+                r.instructions, r.touched_words, r.dift_leaked, r.pair_leaked,
+            ),
+        });
+    }
     Ok(JobOutput {
         payload: format!(
             "{{\"kind\":\"analyze\",\"suite\":\"{}\",\"bench\":\"{}\",\"instructions\":{},\"touched_words\":{},\"dift_leaked\":{},\"pair_leaked\":{},\"dift_fraction\":{:.4},\"pair_fraction\":{:.4},\"coverage\":{:.4}}}",
@@ -532,11 +542,12 @@ fn execute_analyze(spec: &JobSpec) -> Result<JobOutput, JobError> {
     })
 }
 
-fn execute_verify(spec: &JobSpec) -> Result<JobOutput, JobError> {
+fn execute_verify(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
     let gadget = spec.gadget.as_deref().expect("validated");
     let scheme = spec.scheme.expect("validated");
-    let cell = recon_verify::run_cell_named(gadget, scheme)
-        .ok_or_else(|| JobError::Invalid(format!("unknown gadget '{gadget}'")))?;
+    let cell = recon_verify::run_cell_named_budgeted(gadget, scheme, budget)
+        .ok_or_else(|| JobError::Invalid(format!("unknown gadget '{gadget}'")))?
+        .map_err(|e| deadline_error(spec, e))?;
     let r = &cell.result;
     Ok(JobOutput {
         payload: format!(
@@ -642,6 +653,48 @@ mod tests {
         );
         // Determinism: byte-identical on re-execution.
         assert_eq!(out.payload, execute(&s, None).unwrap().payload);
+    }
+
+    #[test]
+    fn analyze_job_deadline_returns_partial_stats() {
+        // A fuel budget far below the benchmark's instruction count:
+        // the analyzer must stop at the cap and report partial counts.
+        let s = spec(r#"{"kind":"analyze","suite":"spec2017","bench":"mcf","fuel":500}"#).unwrap();
+        match execute(&s, None) {
+            Err(JobError::DeadlineExceeded { reason, payload }) => {
+                assert_eq!(reason, DeadlineReason::Fuel);
+                let v = parse(&payload).expect("partial payload is valid json");
+                let partial = v.get("partial").expect("has partial stats");
+                assert_eq!(
+                    partial.get("instructions").and_then(Json::as_u64),
+                    Some(500)
+                );
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
+        // Without fuel the same job completes.
+        let s = spec(r#"{"kind":"analyze","suite":"spec2017","bench":"mcf"}"#).unwrap();
+        assert!(execute(&s, None).is_ok());
+    }
+
+    #[test]
+    fn verify_job_deadline_returns_partial_stats() {
+        let s =
+            spec(r#"{"kind":"verify","gadget":"already-leaked","scheme":"stt","max_cycles":100}"#)
+                .unwrap();
+        match execute(&s, None) {
+            Err(JobError::DeadlineExceeded { reason, payload }) => {
+                assert_eq!(reason, DeadlineReason::MaxCycles);
+                let v = parse(&payload).expect("partial payload is valid json");
+                assert_eq!(
+                    v.get("partial")
+                        .and_then(|p| p.get("completed"))
+                        .and_then(Json::as_bool),
+                    Some(false)
+                );
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
     }
 
     #[test]

@@ -117,6 +117,18 @@ pub struct Metrics {
     /// Pipeline-trace events dropped by ring buffers across all served
     /// jobs.
     pub trace_ring_dropped: Counter,
+    /// Panicked workers restarted by the supervisor.
+    pub worker_restarts: Counter,
+    /// Duplicate in-flight submissions joined to an already-running
+    /// execution instead of re-running (single-flight dedup).
+    pub singleflight_joined: Counter,
+    /// Connections refused with `503` because the handler pool was
+    /// saturated.
+    pub conns_rejected: Counter,
+    /// Cache entries recovered from disk at startup.
+    pub cache_recovered: Counter,
+    /// Torn or corrupt persisted records dropped at startup.
+    pub cache_dropped_records: Counter,
     /// Per-kind job latency (queue wait + execution), indexed by
     /// [`JobKind::index`].
     pub latency: [Histogram; 4],
@@ -183,6 +195,31 @@ impl Metrics {
             "recon_trace_ring_dropped_total",
             "Pipeline-trace events dropped by ring buffers.",
             self.trace_ring_dropped.get(),
+        );
+        counter(
+            "recon_worker_restarts_total",
+            "Panicked workers restarted by the supervisor.",
+            self.worker_restarts.get(),
+        );
+        counter(
+            "recon_singleflight_joined_total",
+            "Duplicate submissions joined to an in-flight execution.",
+            self.singleflight_joined.get(),
+        );
+        counter(
+            "recon_conns_rejected_total",
+            "Connections refused with 503 (handler pool saturated).",
+            self.conns_rejected.get(),
+        );
+        counter(
+            "recon_cache_recovered_total",
+            "Cache entries recovered from disk at startup.",
+            self.cache_recovered.get(),
+        );
+        counter(
+            "recon_cache_dropped_records_total",
+            "Torn or corrupt persisted records dropped at startup.",
+            self.cache_dropped_records.get(),
         );
         let _ = writeln!(out, "# HELP recon_jobs_running Jobs currently executing.");
         let _ = writeln!(out, "# TYPE recon_jobs_running gauge");

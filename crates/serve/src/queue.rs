@@ -8,7 +8,18 @@
 //! [`BoundedQueue::drain`] empties the backlog immediately (abort).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the data from a poisoned lock instead of
+/// panicking. Every shared structure in this crate guards plain data
+/// whose invariants hold between statements (counters, maps, deques),
+/// so a handler that panicked while holding the lock leaves the data
+/// usable — propagating the poison would instead wedge the queue for
+/// every other handler and worker, turning one injected panic into a
+/// full outage.
+pub fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Why a push was refused.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,7 +75,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_ignore_poison(&self.inner).items.len()
     }
 
     /// Whether no items are queued.
@@ -80,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity (the caller applies
     /// backpressure), [`PushError::Closed`] after [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_ignore_poison(&self.inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -93,11 +104,32 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// As [`try_push`](Self::try_push), but hands the item back on
+    /// refusal so the caller can still use it (e.g. write a refusal
+    /// response on a connection that did not fit the handler pool).
+    ///
+    /// # Errors
+    ///
+    /// The rejected item paired with the reason.
+    pub fn try_push_or_return(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = lock_ignore_poison(&self.inner);
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available or the queue is closed *and*
     /// empty (`None`) — a closed queue still hands out its backlog, so
     /// graceful shutdown drains rather than drops.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_ignore_poison(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -105,14 +137,17 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes fail, poppers drain the backlog
     /// and then observe `None`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_ignore_poison(&self.inner).closed = true;
         self.available.notify_all();
     }
 
@@ -120,7 +155,7 @@ impl<T> BoundedQueue<T> {
     /// jobs can be answered as cancelled instead of silently dropped).
     #[must_use]
     pub fn drain(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_ignore_poison(&self.inner);
         inner.items.drain(..).collect()
     }
 }
@@ -168,6 +203,25 @@ mod tests {
         q.try_push(2).unwrap();
         assert_eq!(q.drain(), vec![1, 2]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_the_queue() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        // Panic while holding the inner lock: the mutex is now
+        // poisoned, but the queue keeps serving.
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_ignore_poison(&q2.inner);
+            panic!("injected panic with the queue lock held");
+        })
+        .join();
+        assert!(q.inner.is_poisoned());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -1,31 +1,52 @@
-//! The serving loop: listener, connection handlers, and worker pool.
+//! The serving loop: listener, a capped handler pool, and a supervised
+//! worker pool.
 //!
-//! One thread accepts connections and hands each to a short-lived
-//! handler thread (`Connection: close`, one exchange per connection).
+//! One thread accepts connections and feeds them to a **fixed pool of
+//! handler threads** through a bounded connection queue — when the pool
+//! and its backlog are saturated, new connections get a quick `503` and
+//! a close instead of an unbounded thread spawn. Connections are
+//! HTTP/1.1 keep-alive with per-connection read/write timeouts: an idle
+//! peer is closed cleanly, a peer that stalls mid-request is dropped.
+//!
 //! Handlers never execute simulations: a `POST /jobs` submission is
-//! validated, checked against the result cache, and — on a miss —
-//! pushed into the bounded queue with a reply channel. When the queue
-//! is full the submission is refused *immediately* with `429` and
+//! validated, checked against the result cache **and the in-flight
+//! table** (single-flight: duplicate submissions of the same digest
+//! join the running execution instead of re-running it), and — on a
+//! miss — pushed into the bounded queue with a reply channel. When the
+//! queue is full the submission is refused *immediately* with `429` and
 //! `Retry-After`; nothing buffers without bound.
 //!
-//! A fixed pool of worker threads pops jobs and executes them under
-//! [`crate::job::execute`], wrapped in `catch_unwind` so one panicking
-//! job answers `500` without shrinking the pool.
+//! Workers run under **supervisors**: a worker that panics outside the
+//! per-job `catch_unwind` (the chaos plane injects exactly that) is
+//! respawned, its orphaned job is recovered and re-executed by the
+//! replacement (immune to further injected panics, so progress is
+//! guaranteed), and the restart is counted in `/metrics`.
+//!
+//! With `--chaos`, a [`FaultPlan`] is consulted at the seams marked
+//! `chaos seam` below. With `--cache-dir`, the result cache is
+//! crash-safe (see [`crate::persist`]).
 
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use recon_isa::hash::FxHashMap;
 
 use crate::cache::{ResultCache, DEFAULT_CAPACITY};
-use crate::http::{read_request, write_response, Request};
+use crate::chaos::{garbage_bytes, FaultPlan, FaultSite, ResponseFault};
+use crate::http::{read_request, render_response, Request};
 use crate::job::{self, JobError, JobOutput, JobSpec};
-use crate::json::{escape, parse};
+use crate::json::{escape, parse, Json};
 use crate::metrics::Metrics;
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{lock_ignore_poison, BoundedQueue, PushError};
+
+/// Most specs accepted in one `POST /jobs/batch` submission.
+pub const MAX_BATCH: usize = 64;
 
 /// Server configuration (the `recon serve` flags).
 #[derive(Clone, Debug)]
@@ -37,6 +58,21 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity (submissions beyond it get `429`).
     pub queue_cap: usize,
+    /// Connection-handler threads (connections beyond the pool and its
+    /// equal-sized backlog get a quick `503`).
+    pub handler_cap: usize,
+    /// Per-connection read timeout: idle keep-alive connections are
+    /// closed cleanly after this long; a peer stalling mid-request is
+    /// dropped.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Chaos spec (`<seed>[,<site>=<permil>]...`, see
+    /// [`FaultPlan::parse`]). `None` serves faithfully.
+    pub chaos: Option<String>,
+    /// Directory for crash-safe cache persistence. `None` keeps the
+    /// cache in memory only.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +81,11 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7090".to_string(),
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             queue_cap: 16,
+            handler_cap: 32,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            chaos: None,
+            cache_dir: None,
         }
     }
 }
@@ -58,13 +99,16 @@ enum ShutdownMode {
     Abort,
 }
 
+type JobResult = Result<JobOutput, JobError>;
+
 /// One queued unit of work (opaque outside this module; exposed only
 /// so [`Shared`] can name its queue's element type).
+#[derive(Clone)]
 pub struct QueuedJob {
     spec: JobSpec,
     digest: u64,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<JobOutput, JobError>>,
+    reply: mpsc::Sender<JobResult>,
 }
 
 /// State shared by the accept loop, handlers, and workers.
@@ -75,6 +119,11 @@ pub struct Shared {
     pub metrics: Metrics,
     /// The content-addressed result cache.
     pub cache: ResultCache,
+    /// The chaos plane (a quiet plan when `--chaos` is not given).
+    pub chaos: FaultPlan,
+    /// Digests currently executing, with the reply channels of
+    /// duplicate submissions that joined them (single-flight).
+    inflight: Mutex<FxHashMap<u64, Vec<mpsc::Sender<JobResult>>>>,
     shutting_down: AtomicBool,
     cancel: Arc<AtomicBool>,
 }
@@ -84,6 +133,7 @@ impl std::fmt::Debug for Shared {
         f.debug_struct("Shared")
             .field("queue", &self.queue)
             .field("cache", &self.cache)
+            .field("chaos", &self.chaos)
             .field("shutting_down", &self.shutting_down.load(Ordering::Relaxed))
             .finish()
     }
@@ -104,33 +154,74 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    supervisors: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and starts the accept loop and worker pool.
+    /// Binds the listener and starts the accept loop, the handler pool,
+    /// and the supervised worker pool.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the address.
+    /// I/O errors from binding the address or opening the cache
+    /// directory; `InvalidInput` for a malformed chaos spec.
     pub fn start(config: &ServeConfig) -> io::Result<Server> {
+        let chaos = match &config.chaos {
+            None => FaultPlan::quiet(0),
+            Some(spec) => FaultPlan::parse(spec)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+        };
+        let cache = match &config.cache_dir {
+            None => ResultCache::new(DEFAULT_CAPACITY),
+            Some(dir) => ResultCache::with_persistence(DEFAULT_CAPACITY, dir)?,
+        };
+        let recovery = cache.recovery();
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap),
             metrics: Metrics::default(),
-            cache: ResultCache::new(DEFAULT_CAPACITY),
+            cache,
+            chaos,
+            inflight: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
             cancel: Arc::new(AtomicBool::new(false)),
         });
+        shared.metrics.cache_recovered.add(recovery.recovered);
+        shared.metrics.cache_dropped_records.add(recovery.dropped);
+        if recovery.recovered > 0 || recovery.dropped > 0 {
+            println!(
+                "cache recovery: {} entries restored, {} corrupt tail records dropped ({} bytes truncated)",
+                recovery.recovered, recovery.dropped, recovery.truncated_bytes
+            );
+        }
 
-        let workers = (0..config.workers.max(1))
+        let supervisors = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("recon-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
+                    .name(format!("recon-supervisor-{i}"))
+                    .spawn(move || supervise_worker(i, &shared))
+                    .expect("spawn supervisor")
+            })
+            .collect();
+
+        let conns = Arc::new(BoundedQueue::new(config.handler_cap.max(1)));
+        let handlers = (0..config.handler_cap.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                let timeouts = (config.read_timeout, config.write_timeout);
+                std::thread::Builder::new()
+                    .name(format!("recon-conn-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop() {
+                            let _ = handle_connection(stream, &shared, Some(addr), timeouts);
+                        }
+                    })
+                    .expect("spawn handler")
             })
             .collect();
 
@@ -138,7 +229,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("recon-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
+                .spawn(move || accept_loop(&listener, &shared, &conns))
                 .expect("spawn accept loop")
         };
 
@@ -146,7 +237,8 @@ impl Server {
             addr,
             shared,
             accept: Some(accept),
-            workers,
+            handlers,
+            supervisors,
         })
     }
 
@@ -163,62 +255,147 @@ impl Server {
     }
 
     /// Blocks until a `POST /shutdown` stops the service, then joins
-    /// the accept loop and every worker.
+    /// the accept loop, the handler pool, and every worker supervisor.
     pub fn wait(mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.supervisors.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Arc<BoundedQueue<TcpStream>>) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let addr = listener.local_addr().ok();
-        let _ = std::thread::Builder::new()
-            .name("recon-conn".to_string())
-            .spawn(move || {
-                let _ = handle_connection(stream, &shared, addr);
-            });
+        match conns.try_push_or_return(stream) {
+            Ok(()) => {}
+            Err((mut stream, PushError::Full)) => {
+                // The handler pool and its backlog are saturated:
+                // refuse fast instead of growing without bound.
+                shared.metrics.conns_rejected.inc();
+                let _ = stream.write_all(&render_response(
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    "application/json",
+                    error_body("overloaded", "connection backlog full; retry later").as_bytes(),
+                    true,
+                ));
+            }
+            Err((_, PushError::Closed)) => break,
+        }
+    }
+    conns.close();
+}
+
+fn supervise_worker(index: usize, shared: &Arc<Shared>) {
+    // The orphan slot: a worker that is about to take an injected panic
+    // parks its job here; the replacement worker picks it up first.
+    let orphan: Arc<Mutex<Option<QueuedJob>>> = Arc::new(Mutex::new(None));
+    loop {
+        let initial = lock_ignore_poison(&orphan).take();
+        let worker = {
+            let shared = Arc::clone(shared);
+            let orphan = Arc::clone(&orphan);
+            std::thread::Builder::new()
+                .name(format!("recon-worker-{index}"))
+                .spawn(move || worker_loop(&shared, &orphan, initial))
+                .expect("spawn worker")
+        };
+        match worker.join() {
+            // Clean exit: the queue closed. The supervisor's job is done.
+            Ok(()) => return,
+            // The worker died. Count the restart and respawn; the
+            // orphaned job (if any) is recovered on the next iteration
+            // and executed immune to further injected panics, so the
+            // supervisor always makes progress.
+            Err(_) => shared.metrics.worker_restarts.inc(),
+        }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        shared.metrics.jobs_running.inc();
-        let cancel = Arc::clone(&shared.cancel);
-        let result = catch_unwind(AssertUnwindSafe(|| job::execute(&job.spec, Some(&cancel))))
-            .unwrap_or_else(|_| {
-                Err(JobError::Failed(
-                    "job panicked (worker pool intact)".to_string(),
-                ))
-            });
-        shared.metrics.jobs_running.dec();
-        shared
-            .metrics
-            .observe_latency(job.spec.kind, job.enqueued.elapsed().as_secs_f64());
-        match &result {
-            Ok(out) => {
-                shared.metrics.jobs_completed.inc();
-                shared.metrics.trace_ring_dropped.add(out.trace_dropped);
-                shared
-                    .cache
-                    .insert(job.digest, Arc::new(out.payload.clone()));
+fn worker_loop(
+    shared: &Arc<Shared>,
+    orphan: &Arc<Mutex<Option<QueuedJob>>>,
+    initial: Option<QueuedJob>,
+) {
+    let mut recovered = initial;
+    loop {
+        let (job, immune) = match recovered.take() {
+            Some(job) => (job, true),
+            None => match shared.queue.pop() {
+                Some(job) => (job, false),
+                None => return,
+            },
+        };
+        if !immune {
+            // chaos seam: worker panic mid-job. The job is parked in
+            // the orphan slot first, so the supervisor's replacement
+            // worker recovers it — the client never observes the crash.
+            if shared.chaos.decide(FaultSite::WorkerPanic, job.digest) {
+                *lock_ignore_poison(orphan) = Some(job);
+                panic!("chaos: injected worker panic");
             }
-            Err(JobError::DeadlineExceeded { .. }) => shared.metrics.jobs_deadline.inc(),
-            Err(JobError::Cancelled) => shared.metrics.jobs_cancelled.inc(),
-            Err(JobError::Invalid(_) | JobError::Failed(_)) => shared.metrics.jobs_failed.inc(),
+            // chaos seam: artificial job latency.
+            let lat = shared.chaos.latency(job.digest);
+            if !lat.is_zero() {
+                std::thread::sleep(lat);
+            }
         }
-        // The handler may have given up (client disconnected) — a
-        // failed send is not an error.
-        let _ = job.reply.send(result);
+        run_one(shared, &job);
+    }
+}
+
+/// Executes one job and notifies the submitter plus every single-flight
+/// joiner. The cache insert happens **before** the in-flight entry is
+/// removed, so a resubmission that finds no in-flight entry is
+/// guaranteed to find the cached result instead — a retried job is
+/// never double-executed.
+fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
+    shared.metrics.jobs_running.inc();
+    let cancel = Arc::clone(&shared.cancel);
+    let result = catch_unwind(AssertUnwindSafe(|| job::execute(&job.spec, Some(&cancel))))
+        .unwrap_or_else(|_| {
+            Err(JobError::Failed(
+                "job panicked (worker pool intact)".to_string(),
+            ))
+        });
+    shared.metrics.jobs_running.dec();
+    shared
+        .metrics
+        .observe_latency(job.spec.kind, job.enqueued.elapsed().as_secs_f64());
+    match &result {
+        Ok(out) => {
+            shared.metrics.jobs_completed.inc();
+            shared.metrics.trace_ring_dropped.add(out.trace_dropped);
+            shared
+                .cache
+                .insert(job.digest, Arc::new(out.payload.clone()));
+        }
+        Err(JobError::DeadlineExceeded { .. }) => shared.metrics.jobs_deadline.inc(),
+        Err(JobError::Cancelled) => shared.metrics.jobs_cancelled.inc(),
+        Err(JobError::Invalid(_) | JobError::Failed(_)) => shared.metrics.jobs_failed.inc(),
+    }
+    notify(shared, job, &result);
+}
+
+/// Removes the job's in-flight entry and fans the result out to the
+/// submitter and every joiner. A failed send means that client gave up
+/// (disconnected) — not an error.
+fn notify(shared: &Arc<Shared>, job: &QueuedJob, result: &JobResult) {
+    let waiters = lock_ignore_poison(&shared.inflight)
+        .remove(&job.digest)
+        .unwrap_or_default();
+    let _ = job.reply.send(result.clone());
+    for w in waiters {
+        let _ = w.send(result.clone());
     }
 }
 
@@ -229,184 +406,470 @@ fn error_body(kind: &str, message: &str) -> String {
     )
 }
 
+/// Whether the connection stays open after a response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnOutcome {
+    Keep,
+    Close,
+}
+
+/// Writes a rendered response and flushes.
+fn send(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    writer.write_all(&render_response(
+        status,
+        extra_headers,
+        content_type,
+        body,
+        close,
+    ))?;
+    writer.flush()?;
+    Ok(if close {
+        ConnOutcome::Close
+    } else {
+        ConnOutcome::Keep
+    })
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
     self_addr: Option<SocketAddr>,
+    (read_timeout, write_timeout): (Duration, Duration),
 ) -> io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))?;
+    stream.set_write_timeout(Some(write_timeout.max(Duration::from_millis(1))))?;
+    stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let Some(req) = read_request(&mut reader)? else {
-        return Ok(());
-    };
 
+    // Keep-alive loop: one iteration per exchange. `Ok(None)` from the
+    // reader is a clean end (peer closed, or sat idle past the read
+    // timeout); a framing error gets a best-effort 400 and a close —
+    // the server never hangs on, or propagates, malformed bytes.
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(_) => {
+                let body = error_body("malformed_request", "unparseable HTTP request");
+                let _ = send(
+                    &mut writer,
+                    400,
+                    &[],
+                    "application/json",
+                    body.as_bytes(),
+                    true,
+                );
+                return Ok(());
+            }
+        };
+        let close = req.wants_close() || shared.shutting_down.load(Ordering::SeqCst);
+        let outcome = route(&req, &mut writer, shared, self_addr, close)?;
+        if close || outcome == ConnOutcome::Close {
+            return Ok(());
+        }
+    }
+}
+
+fn route(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    self_addr: Option<SocketAddr>,
+    close: bool,
+) -> io::Result<ConnOutcome> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => write_response(
-            &mut writer,
+        ("GET", "/healthz") => send(
+            writer,
             200,
             &[],
             "application/json",
             b"{\"status\":\"ok\"}",
+            close,
         ),
         ("GET", "/metrics") => {
-            let body = shared
+            let mut body = shared
                 .metrics
                 .render(shared.queue.len(), shared.queue.capacity());
-            write_response(
-                &mut writer,
+            body.push_str(&shared.chaos.render_metrics());
+            send(
+                writer,
                 200,
                 &[],
                 "text/plain; version=0.0.4",
                 body.as_bytes(),
+                close,
             )
         }
-        ("POST", "/jobs") => handle_job(&req, &mut writer, shared),
-        ("POST", "/shutdown") => handle_shutdown(&req, &mut writer, shared, self_addr),
-        ("GET" | "POST", _) => write_response(
-            &mut writer,
+        ("POST", "/jobs") => handle_job(req, writer, shared, close),
+        ("POST", "/jobs/batch") => handle_batch(req, writer, shared, close),
+        ("POST", "/shutdown") => handle_shutdown(req, writer, shared, self_addr),
+        ("GET" | "POST", _) => send(
+            writer,
             404,
             &[],
             "application/json",
             error_body("not_found", &req.path).as_bytes(),
+            close,
         ),
-        _ => write_response(
-            &mut writer,
+        _ => send(
+            writer,
             405,
             &[],
             "application/json",
             error_body("method_not_allowed", &req.method).as_bytes(),
+            close,
         ),
     }
 }
 
-fn handle_job(req: &Request, writer: &mut impl io::Write, shared: &Arc<Shared>) -> io::Result<()> {
-    let bad_request = |writer: &mut dyn io::Write, msg: &str| {
-        write_response(
+/// How a submission was admitted.
+enum Submit {
+    /// Served from the result cache.
+    CacheHit(Arc<String>),
+    /// Enqueued; the receiver yields the execution's result.
+    Enqueued(mpsc::Receiver<JobResult>),
+    /// Joined an identical in-flight execution (single-flight).
+    Joined(mpsc::Receiver<JobResult>),
+    /// Refused: queue at capacity.
+    Full,
+    /// Refused: shutting down.
+    Closed,
+}
+
+/// Admission control for one validated spec. Cache, in-flight table,
+/// and enqueue are checked under one lock so a digest is never executed
+/// twice concurrently, and a completed execution is always visible
+/// (cache insert happens before the in-flight entry is removed).
+fn submit(shared: &Arc<Shared>, spec: JobSpec, digest: u64) -> Submit {
+    let mut inflight = lock_ignore_poison(&shared.inflight);
+    if let Some(hit) = shared.cache.get(digest) {
+        shared.metrics.cache_hits.inc();
+        return Submit::CacheHit(hit);
+    }
+    if let Some(waiters) = inflight.get_mut(&digest) {
+        let (tx, rx) = mpsc::channel();
+        waiters.push(tx);
+        shared.metrics.singleflight_joined.inc();
+        return Submit::Joined(rx);
+    }
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_push(QueuedJob {
+        spec,
+        digest,
+        enqueued: Instant::now(),
+        reply: tx,
+    }) {
+        Ok(()) => {
+            inflight.insert(digest, Vec::new());
+            shared.metrics.jobs_queued.inc();
+            shared.metrics.cache_misses.inc();
+            Submit::Enqueued(rx)
+        }
+        Err(PushError::Full) => {
+            shared.metrics.jobs_rejected.inc();
+            Submit::Full
+        }
+        Err(PushError::Closed) => Submit::Closed,
+    }
+}
+
+/// Maps a job result to `(status, cache-header, body)`.
+fn job_response(reply: JobResult, cache_state: &str) -> (u16, Option<String>, String) {
+    match reply {
+        Ok(out) => (200, Some(cache_state.to_string()), out.payload),
+        Err(JobError::DeadlineExceeded { payload, .. }) => (408, None, payload),
+        Err(JobError::Cancelled) => (
+            503,
+            None,
+            error_body("cancelled", "job cancelled by shutdown"),
+        ),
+        Err(JobError::Invalid(msg)) => (400, None, error_body("invalid_job", &msg)),
+        Err(JobError::Failed(msg)) => (500, None, error_body("job_failed", &msg)),
+    }
+}
+
+fn handle_job(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    let bad = |writer: &mut _, msg: &str| {
+        send(
             writer,
             400,
             &[],
             "application/json",
             error_body("invalid_job", msg).as_bytes(),
+            close,
         )
     };
     let Some(body) = req.body_str() else {
-        return bad_request(writer, "body is not UTF-8");
+        return bad(writer, "body is not UTF-8");
     };
     let parsed = match parse(body) {
         Ok(v) => v,
-        Err(e) => return bad_request(writer, &e),
+        Err(e) => return bad(writer, &e),
     };
     let spec = match JobSpec::from_json(&parsed) {
         Ok(s) => s,
-        Err(e) => return bad_request(writer, &e),
+        Err(e) => return bad(writer, &e),
     };
     let digest = spec.digest();
 
-    if let Some(hit) = shared.cache.get(digest) {
-        shared.metrics.cache_hits.inc();
-        return write_response(
+    // chaos seam: connection dropped after the request was read, before
+    // any response byte — the submission vanishes mid-flight.
+    if shared.chaos.decide(FaultSite::DropRequest, digest) {
+        return Ok(ConnOutcome::Close);
+    }
+    // chaos seam: synthetic queue-saturation burst.
+    if shared.chaos.decide(FaultSite::QueueBurst, digest) {
+        return send_job_response(
             writer,
-            200,
-            &[("X-Recon-Cache", "hit".to_string())],
-            "application/json",
-            hit.as_bytes(),
+            shared,
+            digest,
+            429,
+            &[("Retry-After", "1".to_string())],
+            error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
+            close,
         );
     }
-    let (tx, rx) = mpsc::channel();
-    let push = shared.queue.try_push(QueuedJob {
-        spec,
+
+    let (status, cache_header, payload): (u16, Option<String>, String) =
+        match submit(shared, spec, digest) {
+            Submit::CacheHit(hit) => (200, Some("hit".to_string()), hit.as_str().to_string()),
+            Submit::Full => {
+                return send_job_response(
+                    writer,
+                    shared,
+                    digest,
+                    429,
+                    &[("Retry-After", "1".to_string())],
+                    error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
+                    close,
+                );
+            }
+            Submit::Closed => {
+                return send_job_response(
+                    writer,
+                    shared,
+                    digest,
+                    503,
+                    &[],
+                    error_body("shutting_down", "server is draining; not accepting jobs")
+                        .as_bytes(),
+                    close,
+                );
+            }
+            Submit::Enqueued(rx) | Submit::Joined(rx) => {
+                // The worker always replies (panics are caught, orphans
+                // are recovered); RecvError can only mean the pool is
+                // gone mid-shutdown.
+                let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
+                job_response(reply, "miss")
+            }
+        };
+    let headers: Vec<(&str, String)> = cache_header
+        .into_iter()
+        .map(|v| ("X-Recon-Cache", v))
+        .collect();
+    send_job_response(
+        writer,
+        shared,
         digest,
-        enqueued: Instant::now(),
-        reply: tx,
-    });
-    match push {
-        Err(PushError::Full) => {
-            shared.metrics.jobs_rejected.inc();
-            return write_response(
-                writer,
-                429,
-                &[("Retry-After", "1".to_string())],
-                "application/json",
-                error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
-            );
+        status,
+        &headers,
+        payload.as_bytes(),
+        close,
+    )
+}
+
+/// Writes a `/jobs` response through the chaos plane's response seams:
+/// the rendered bytes may be cut mid-write, truncated to a header
+/// fragment, or replaced with garbage — all keyed by the job digest, so
+/// the same retry sequence sees the same faults on every run.
+fn send_job_response(
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    digest: u64,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    match shared.chaos.response_fault(digest) {
+        ResponseFault::None => send(
+            writer,
+            status,
+            extra_headers,
+            "application/json",
+            body,
+            close,
+        ),
+        ResponseFault::DropMidWrite => {
+            let rendered = render_response(status, extra_headers, "application/json", body, close);
+            writer.write_all(&rendered[..rendered.len() / 2])?;
+            writer.flush()?;
+            Ok(ConnOutcome::Close)
         }
-        Err(PushError::Closed) => {
-            return write_response(
-                writer,
-                503,
-                &[],
-                "application/json",
-                error_body("shutting_down", "server is draining; not accepting jobs").as_bytes(),
-            );
+        ResponseFault::TruncatedHttp => {
+            let rendered = render_response(status, extra_headers, "application/json", body, close);
+            let cut = rendered.len().min(20);
+            writer.write_all(&rendered[..cut])?;
+            writer.flush()?;
+            Ok(ConnOutcome::Close)
         }
-        Ok(()) => {
-            shared.metrics.jobs_queued.inc();
-            shared.metrics.cache_misses.inc();
+        ResponseFault::Garbage => {
+            writer.write_all(&garbage_bytes(digest))?;
+            writer.flush()?;
+            Ok(ConnOutcome::Close)
+        }
+    }
+}
+
+/// `POST /jobs/batch`: many specs in one request, each admitted through
+/// the same cache/single-flight/queue path as `POST /jobs`, answered
+/// with per-spec statuses in submission order. The batch endpoint is
+/// not a chaos seam — per-job faults are injected on `/jobs`, where the
+/// retry contract is per-digest.
+fn handle_batch(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    let bad = |writer: &mut _, msg: &str| {
+        send(
+            writer,
+            400,
+            &[],
+            "application/json",
+            error_body("invalid_batch", msg).as_bytes(),
+            close,
+        )
+    };
+    let Some(body) = req.body_str() else {
+        return bad(writer, "body is not UTF-8");
+    };
+    let parsed = match parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad(writer, &e),
+    };
+    let Some(jobs) = parsed.get("jobs").and_then(Json::as_array) else {
+        return bad(writer, "batch must be {\"jobs\":[<spec>, ...]}");
+    };
+    if jobs.is_empty() {
+        return bad(writer, "batch is empty");
+    }
+    if jobs.len() > MAX_BATCH {
+        return bad(
+            writer,
+            &format!("batch of {} exceeds the cap of {MAX_BATCH}", jobs.len()),
+        );
+    }
+
+    // Admit everything first (sharing the queue's capacity), then wait:
+    // independent jobs execute concurrently across the worker pool
+    // instead of serializing one recv at a time.
+    enum Pending {
+        Done(u16, Option<String>, String),
+        Waiting(mpsc::Receiver<JobResult>),
+    }
+    let mut pending = Vec::with_capacity(jobs.len());
+    for v in jobs {
+        match JobSpec::from_json(v) {
+            Err(e) => pending.push(Pending::Done(400, None, error_body("invalid_job", &e))),
+            Ok(spec) => {
+                let digest = spec.digest();
+                match submit(shared, spec, digest) {
+                    Submit::CacheHit(hit) => pending.push(Pending::Done(
+                        200,
+                        Some("hit".to_string()),
+                        hit.as_str().to_string(),
+                    )),
+                    Submit::Full => pending.push(Pending::Done(
+                        429,
+                        None,
+                        error_body("queue_full", "bounded queue at capacity; retry later"),
+                    )),
+                    Submit::Closed => pending.push(Pending::Done(
+                        503,
+                        None,
+                        error_body("shutting_down", "server is draining; not accepting jobs"),
+                    )),
+                    Submit::Enqueued(rx) | Submit::Joined(rx) => {
+                        pending.push(Pending::Waiting(rx));
+                    }
+                }
+            }
         }
     }
 
-    // The worker always replies (panics are caught); a RecvError can
-    // only mean the pool is gone mid-shutdown.
-    let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
-    match reply {
-        Ok(out) => write_response(
-            writer,
-            200,
-            &[("X-Recon-Cache", "miss".to_string())],
-            "application/json",
-            out.payload.as_bytes(),
-        ),
-        Err(JobError::DeadlineExceeded { payload, .. }) => {
-            write_response(writer, 408, &[], "application/json", payload.as_bytes())
+    let mut out = String::with_capacity(256 * pending.len());
+    out.push_str("{\"results\":[");
+    for (i, p) in pending.into_iter().enumerate() {
+        let (status, cache_state, payload) = match p {
+            Pending::Done(s, c, b) => (s, c, b),
+            Pending::Waiting(rx) => {
+                let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
+                job_response(reply, "miss")
+            }
+        };
+        if i > 0 {
+            out.push(',');
         }
-        Err(JobError::Cancelled) => write_response(
-            writer,
-            503,
-            &[],
-            "application/json",
-            error_body("cancelled", "job cancelled by shutdown").as_bytes(),
-        ),
-        Err(JobError::Invalid(msg)) => bad_request(writer, &msg),
-        Err(JobError::Failed(msg)) => write_response(
-            writer,
-            500,
-            &[],
-            "application/json",
-            error_body("job_failed", &msg).as_bytes(),
-        ),
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"status\":{status},");
+        if let Some(c) = cache_state {
+            let _ = write!(out, "\"cache\":\"{c}\",");
+        }
+        // Payloads are themselves JSON objects, embedded raw.
+        let _ = write!(out, "\"body\":{payload}}}");
     }
+    out.push_str("]}");
+    send(writer, 200, &[], "application/json", out.as_bytes(), close)
 }
 
 fn handle_shutdown(
     req: &Request,
-    writer: &mut impl io::Write,
+    writer: &mut impl Write,
     shared: &Arc<Shared>,
     self_addr: Option<SocketAddr>,
-) -> io::Result<()> {
+) -> io::Result<ConnOutcome> {
     let mode = match req.body_str().filter(|b| !b.trim().is_empty()) {
         None => ShutdownMode::Graceful,
         Some(body) => match parse(body) {
-            Ok(v) => match v.get("mode").and_then(crate::json::Json::as_str) {
+            Ok(v) => match v.get("mode").and_then(Json::as_str) {
                 None | Some("graceful") => ShutdownMode::Graceful,
                 Some("abort") => ShutdownMode::Abort,
                 Some(other) => {
-                    return write_response(
+                    return send(
                         writer,
                         400,
                         &[],
                         "application/json",
                         error_body("invalid_shutdown", &format!("unknown mode '{other}'"))
                             .as_bytes(),
+                        true,
                     );
                 }
             },
             Err(e) => {
-                return write_response(
+                return send(
                     writer,
                     400,
                     &[],
                     "application/json",
                     error_body("invalid_shutdown", &e).as_bytes(),
+                    true,
                 );
             }
         },
@@ -422,14 +885,14 @@ fn handle_shutdown(
         },
         shared.queue.len()
     );
-    write_response(writer, 200, &[], "application/json", body.as_bytes())?;
+    send(writer, 200, &[], "application/json", body.as_bytes(), true)?;
 
     shared.shutting_down.store(true, Ordering::SeqCst);
     if mode == ShutdownMode::Abort {
         shared.cancel.store(true, Ordering::SeqCst);
         for job in shared.queue.drain() {
             shared.metrics.jobs_cancelled.inc();
-            let _ = job.reply.send(Err(JobError::Cancelled));
+            notify(shared, &job, &Err(JobError::Cancelled));
         }
     }
     // Close the queue: workers drain the (graceful) backlog, then exit.
@@ -438,5 +901,5 @@ fn handle_shutdown(
     if let Some(addr) = self_addr {
         let _ = TcpStream::connect(addr);
     }
-    Ok(())
+    Ok(ConnOutcome::Close)
 }

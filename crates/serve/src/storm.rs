@@ -1,0 +1,416 @@
+//! `recon chaos`: a seeded fault storm against a loopback server.
+//!
+//! Starts an in-process server with the chaos plane enabled, fans out
+//! client threads over a deterministic mix of *unique-digest* jobs
+//! (every fault class armed), and drives each request through the
+//! self-healing client ([`crate::client::submit_with_retry`] over a
+//! keep-alive [`crate::client::Connection`]). The storm then checks the
+//! robustness claim end-to-end:
+//!
+//! 1. **Nothing is lost** — every request ends in a final response
+//!    despite dropped connections, corrupted bytes, synthetic `429`
+//!    bursts, and panicking workers.
+//! 2. **Nothing is wrong** — every `200` body is byte-identical to a
+//!    direct in-process execution of the same spec, and every deadline
+//!    spec answers its exact `408` partial-stats body. Faults can delay
+//!    an answer; they can never change it.
+//! 3. **The storm itself is reproducible** — job digests are disjoint
+//!    across clients and every client is serial, so each digest's
+//!    fault-draw sequence is consumed in submission order regardless of
+//!    thread interleaving: the same seed yields the same per-site
+//!    injected-fault counts on every run.
+//!
+//! Determinism prerequisites (all arranged here): `queue_cap >=
+//! clients` so no timing-dependent *real* `429`s occur, generous
+//! client/server timeouts so no timing-dependent timeout ever fires,
+//! and worker panics recovered internally so clients never observe
+//! them.
+
+use std::io::{self, Write as _};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::chaos::FaultSite;
+use crate::client::{Connection, RetryPolicy};
+use crate::job::{self, JobError, JobSpec};
+use crate::json::parse;
+use crate::server::{ServeConfig, Server};
+
+/// Storm configuration (the `recon chaos` flags).
+#[derive(Clone, Debug)]
+pub struct ChaosStormConfig {
+    /// Chaos seed: same seed ⇒ same injected-fault counts.
+    pub seed: u64,
+    /// Concurrent client threads (each with a disjoint job slice).
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Fault rates, as the `<site>=<permil>` tail of a `--chaos` spec
+    /// (every class should be armed for a full storm).
+    pub faults: String,
+    /// Worker threads for the in-process server.
+    pub workers: usize,
+    /// Report path (`None` skips the file).
+    pub out: Option<String>,
+}
+
+impl Default for ChaosStormConfig {
+    fn default() -> Self {
+        ChaosStormConfig {
+            seed: 42,
+            clients: 6,
+            requests: 8,
+            faults: "all=80,max-latency-ms=2".to_string(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            out: Some("BENCH_chaos.json".to_string()),
+        }
+    }
+}
+
+/// Aggregated results of one storm.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosStormReport {
+    /// The chaos seed used.
+    pub seed: u64,
+    /// Client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// The fault-rate spec used.
+    pub faults: String,
+    /// Final `200` responses matching the direct execution byte-for-byte.
+    pub ok: u64,
+    /// Final `408` responses matching the expected partial-stats body.
+    pub deadline: u64,
+    /// Final responses whose body differed from the direct execution
+    /// (must be 0).
+    pub mismatches: u64,
+    /// Requests with no final response — retries exhausted or an
+    /// unexpected status (must be 0).
+    pub lost: u64,
+    /// Extra attempts beyond the first, across all requests (how much
+    /// self-healing the storm demanded).
+    pub retries: u64,
+    /// TCP reconnects performed by the clients (keep-alive connections
+    /// re-dialed after a fault).
+    pub reconnects: u64,
+    /// Injected faults per site, in [`FaultSite::ALL`] order.
+    pub injected: Vec<(String, u64)>,
+    /// Total injected faults.
+    pub injected_total: u64,
+    /// Panicked workers restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Real queue rejections (0 in a deterministic storm — the
+    /// synthetic bursts are counted under `injected` instead).
+    pub jobs_rejected: u64,
+    /// Result-cache hits (retries of completed jobs land here).
+    pub cache_hits: u64,
+    /// Result-cache misses (first executions).
+    pub cache_misses: u64,
+    /// Duplicate submissions joined to a running execution.
+    pub singleflight_joined: u64,
+    /// Wall-clock for the storm, in seconds.
+    pub wall_seconds: f64,
+}
+
+impl ChaosStormReport {
+    /// Whether the storm met the robustness claim.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.lost == 0 && self.mismatches == 0
+    }
+
+    /// Renders the report as the `BENCH_chaos.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"clients\": {},", self.clients);
+        let _ = writeln!(
+            s,
+            "  \"requests_per_client\": {},",
+            self.requests_per_client
+        );
+        let _ = writeln!(s, "  \"faults\": \"{}\",", self.faults);
+        let _ = writeln!(s, "  \"ok\": {},", self.ok);
+        let _ = writeln!(s, "  \"deadline\": {},", self.deadline);
+        let _ = writeln!(s, "  \"mismatches\": {},", self.mismatches);
+        let _ = writeln!(s, "  \"lost\": {},", self.lost);
+        let _ = writeln!(s, "  \"retries\": {},", self.retries);
+        let _ = writeln!(s, "  \"reconnects\": {},", self.reconnects);
+        let _ = writeln!(s, "  \"injected\": {{");
+        for (i, (site, n)) in self.injected.iter().enumerate() {
+            let comma = if i + 1 < self.injected.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{site}\": {n}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"injected_total\": {},", self.injected_total);
+        let _ = writeln!(s, "  \"worker_restarts\": {},", self.worker_restarts);
+        let _ = writeln!(s, "  \"jobs_rejected\": {},", self.jobs_rejected);
+        let _ = writeln!(s, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(s, "  \"cache_misses\": {},", self.cache_misses);
+        let _ = writeln!(
+            s,
+            "  \"singleflight_joined\": {},",
+            self.singleflight_joined
+        );
+        let _ = writeln!(s, "  \"wall_seconds\": {:.6}", self.wall_seconds);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// File I/O errors.
+    pub fn write_json(&self, path: &str) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// One request in a client's slice: the spec to send and the final
+/// `(status, body)` it must eventually produce.
+#[derive(Clone, Debug)]
+struct Expected {
+    json: String,
+    digest: u64,
+    status: u16,
+    body: String,
+}
+
+/// Builds one client's request slice. Every spec carries a unique
+/// `fuel` value, so digests are disjoint across the whole storm (the
+/// keystone of reproducible injected-fault counts) while the payloads
+/// of completing jobs stay identical to a run with any other
+/// sufficient fuel.
+fn build_slice(client_id: usize, requests: usize) -> Vec<Expected> {
+    let schemes = ["unsafe", "nda", "nda+recon", "stt", "stt+recon"];
+    (0..requests)
+        .map(|r| {
+            let uniq = (client_id * requests + r) as u64;
+            let json = match r % 4 {
+                // A full simulated run; ample fuel, unique digest.
+                0 => format!(
+                    r#"{{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"{}","fuel":{}}}"#,
+                    schemes[(client_id + r) % schemes.len()],
+                    50_000_000 + uniq
+                ),
+                // A two-trace verifier cell under budget.
+                1 => format!(
+                    r#"{{"kind":"verify","gadget":"spectre-v1","scheme":"stt+recon","fuel":{}}}"#,
+                    50_000_000 + uniq
+                ),
+                // Scheme-independent leakage analysis.
+                2 => format!(
+                    r#"{{"kind":"analyze","suite":"spec2017","bench":"mcf","fuel":{}}}"#,
+                    100_000_000 + uniq
+                ),
+                // A fuel-starved run that must deadline with partial
+                // stats — the 408 path stays correct under faults too.
+                _ => format!(
+                    r#"{{"kind":"run","suite":"spec2017","bench":"xalancbmk","scheme":"stt","fuel":{}}}"#,
+                    1000 + uniq
+                ),
+            };
+            let v = parse(&json).expect("storm spec parses");
+            let spec = JobSpec::from_json(&v).expect("storm spec validates");
+            let digest = spec.digest();
+            match job::execute(&spec, None) {
+                Ok(out) => Expected {
+                    json,
+                    digest,
+                    status: 200,
+                    body: out.payload,
+                },
+                Err(JobError::DeadlineExceeded { payload, .. }) => Expected {
+                    json,
+                    digest,
+                    status: 408,
+                    body: payload,
+                },
+                Err(e) => panic!("storm spec failed directly: {e:?}"),
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    deadline: u64,
+    mismatches: u64,
+    lost: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    slice: &[Expected],
+    seed: u64,
+    client_id: usize,
+) -> ClientTally {
+    let mut t = ClientTally::default();
+    // Generous timeout: nothing in the storm legitimately takes this
+    // long, so timeouts never fire and never perturb determinism.
+    let mut conn = Connection::with_timeout(addr, Duration::from_secs(60));
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        retry_after_cap: Duration::from_millis(20),
+        seed: seed ^ (client_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    };
+    let mut sleep = |d: Duration| std::thread::sleep(d);
+    for expected in slice {
+        match crate::client::submit_with_retry(
+            &mut conn,
+            &expected.json,
+            expected.digest,
+            &policy,
+            &mut sleep,
+        ) {
+            Ok(r) => {
+                t.retries += u64::from(r.attempts - 1);
+                if r.response.status == expected.status && r.response.body == expected.body {
+                    if r.response.status == 200 {
+                        t.ok += 1;
+                    } else {
+                        t.deadline += 1;
+                    }
+                } else if r.response.status == expected.status {
+                    t.mismatches += 1;
+                } else {
+                    t.lost += 1;
+                }
+            }
+            Err(_) => {
+                t.retries += u64::from(policy.max_attempts - 1);
+                t.lost += 1;
+            }
+        }
+    }
+    t.reconnects = conn.connects().saturating_sub(1);
+    t
+}
+
+/// Runs the storm and (optionally) writes the `BENCH_chaos.json`
+/// report.
+///
+/// # Errors
+///
+/// I/O errors from the loopback server or the report file.
+///
+/// # Panics
+///
+/// Panics if a storm spec fails when executed directly (a bug in the
+/// mix, not in the service).
+pub fn run_chaos_storm(config: &ChaosStormConfig) -> io::Result<ChaosStormReport> {
+    let clients = config.clients.max(1);
+    let requests = config.requests.max(1);
+
+    // Precompute every client's slice (and expected bytes) before the
+    // server starts, so the storm clock measures serving, not setup.
+    let slices: Vec<Arc<Vec<Expected>>> = (0..clients)
+        .map(|c| Arc::new(build_slice(c, requests)))
+        .collect();
+
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: config.workers,
+        // No timing-dependent real 429s: every client is serial, so at
+        // most `clients` jobs are ever queued at once.
+        queue_cap: clients.max(4),
+        handler_cap: clients * 2 + 4,
+        read_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(60),
+        chaos: Some(format!("{},{}", config.seed, config.faults)),
+        cache_dir: None,
+    })?;
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = slices
+        .iter()
+        .enumerate()
+        .map(|(c, slice)| {
+            let slice = Arc::clone(slice);
+            let seed = config.seed;
+            std::thread::spawn(move || client_loop(addr, &slice, seed, c))
+        })
+        .collect();
+    let mut report = ChaosStormReport {
+        seed: config.seed,
+        clients,
+        requests_per_client: requests,
+        faults: config.faults.clone(),
+        ..ChaosStormReport::default()
+    };
+    for h in handles {
+        let t = h.join().expect("client thread");
+        report.ok += t.ok;
+        report.deadline += t.deadline;
+        report.mismatches += t.mismatches;
+        report.lost += t.lost;
+        report.retries += t.retries;
+        report.reconnects += t.reconnects;
+    }
+    report.wall_seconds = start.elapsed().as_secs_f64();
+
+    let shared = server.shared();
+    report.injected = FaultSite::ALL
+        .iter()
+        .map(|&s| (s.label().to_string(), shared.chaos.injected(s)))
+        .collect();
+    report.injected_total = shared.chaos.injected_total();
+    report.worker_restarts = shared.metrics.worker_restarts.get();
+    report.jobs_rejected = shared.metrics.jobs_rejected.get();
+    report.cache_hits = shared.metrics.cache_hits.get();
+    report.cache_misses = shared.metrics.cache_misses.get();
+    report.singleflight_joined = shared.metrics.singleflight_joined.get();
+
+    let _ = crate::client::request(addr, "POST", "/shutdown", None);
+    server.wait();
+
+    if let Some(path) = &config.out {
+        report.write_json(path)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small storm with every fault class armed: nothing lost,
+    /// nothing mismatched, and the same seed reproduces the same
+    /// injected-fault counts.
+    #[test]
+    fn storm_is_lossless_and_reproducible() {
+        let config = ChaosStormConfig {
+            seed: 7,
+            clients: 3,
+            requests: 4,
+            faults: "all=120,max-latency-ms=2".to_string(),
+            workers: 3,
+            out: None,
+        };
+        let a = run_chaos_storm(&config).expect("storm runs");
+        assert_eq!(a.lost, 0, "no request may go unanswered: {a:?}");
+        assert_eq!(a.mismatches, 0, "no response may differ: {a:?}");
+        assert_eq!(a.ok + a.deadline, (config.clients * config.requests) as u64);
+        assert_eq!(a.jobs_rejected, 0, "storm must avoid real 429s");
+        assert!(a.injected_total > 0, "a 12% storm must inject something");
+
+        let b = run_chaos_storm(&config).expect("storm reruns");
+        assert_eq!(
+            a.injected, b.injected,
+            "same seed must give the same per-site injected counts"
+        );
+        assert_eq!(a.retries, b.retries, "same faults, same healing work");
+    }
+}

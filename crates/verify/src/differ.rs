@@ -15,7 +15,7 @@ use recon::ReconConfig;
 use recon_isa::exec::{step, ArchState, MemEffect};
 use recon_isa::SparseMem;
 use recon_secure::SecureConfig;
-use recon_sim::{System, SystemResult};
+use recon_sim::{Budget, SimError, System, SystemResult};
 use recon_workloads::Workload;
 
 use crate::gadget::{Gadget, SECRET_A, SECRET_B};
@@ -76,8 +76,26 @@ pub struct CellResult {
 /// byte-identical traces and digests.
 #[must_use]
 pub fn run_cell(gadget: Gadget, scheme: SecureConfig) -> CellResult {
-    let (trace_a, result_a, mut violations) = run_observed(&gadget, scheme, SECRET_A);
-    let (trace_b, _result_b, violations_b) = run_observed(&gadget, scheme, SECRET_B);
+    run_cell_budgeted(gadget, scheme, &Budget::default())
+        .expect("gadgets complete under the default (unlimited) budget")
+}
+
+/// As [`run_cell`], under an explicit [`Budget`] — the deadline-aware
+/// entry point behind `recon serve` verify jobs. Under
+/// `Budget::default()` this is exactly `run_cell`.
+///
+/// # Errors
+///
+/// [`SimError`] when either secret's run exhausts the budget or is
+/// cancelled; the error carries that run's partial [`SystemResult`], so
+/// the caller can report how far the cell got.
+pub fn run_cell_budgeted(
+    gadget: Gadget,
+    scheme: SecureConfig,
+    budget: &Budget,
+) -> Result<CellResult, SimError> {
+    let (trace_a, result_a, mut violations) = run_observed(&gadget, scheme, SECRET_A, budget)?;
+    let (trace_b, _result_b, violations_b) = run_observed(&gadget, scheme, SECRET_B, budget)?;
     violations.extend(violations_b);
     let seq_equal =
         sequential_trace(&gadget.build(SECRET_A)) == sequential_trace(&gadget.build(SECRET_B));
@@ -87,7 +105,7 @@ pub fn run_cell(gadget: Gadget, scheme: SecureConfig) -> CellResult {
     } else {
         Verdict::Leaks
     };
-    CellResult {
+    Ok(CellResult {
         gadget: gadget.name,
         scheme,
         verdict,
@@ -97,7 +115,7 @@ pub fn run_cell(gadget: Gadget, scheme: SecureConfig) -> CellResult {
         digest_b: trace_b.digest(),
         result_a,
         soundness_violations: violations,
-    }
+    })
 }
 
 /// One instrumented out-of-order run: observation recording on, the
@@ -106,7 +124,8 @@ fn run_observed(
     gadget: &Gadget,
     scheme: SecureConfig,
     secret: u64,
-) -> (ObservationTrace, SystemResult, Vec<String>) {
+    budget: &Budget,
+) -> Result<(ObservationTrace, SystemResult, Vec<String>), SimError> {
     let workload = gadget.build(secret);
     let mut sys = System::new(
         &workload,
@@ -120,7 +139,7 @@ fn run_observed(
     }
     sys.mem_mut().record_transactions(true);
     sys.mem_mut().enable_soundness_checks();
-    let result = sys.run(MAX_CYCLES);
+    let result = sys.run_budgeted(MAX_CYCLES, budget)?;
     assert!(
         result.completed,
         "gadget {} did not finish under {scheme}",
@@ -135,7 +154,7 @@ fn run_observed(
     let mem = sys.mem_mut().take_transactions();
     let snapshot = sys.mem().snapshot();
     let violations = sys.mem().soundness_violations().to_vec();
-    (ObservationTrace { cpu, mem, snapshot }, result, violations)
+    Ok((ObservationTrace { cpu, mem, snapshot }, result, violations))
 }
 
 /// The sequential (in-order, non-speculative) observation of a

@@ -13,7 +13,7 @@ use recon::ReconConfig;
 use recon_cpu::CoreConfig;
 use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
-use recon_sim::{parallel_map, System};
+use recon_sim::{parallel_map, Budget, SimError, System};
 use recon_workloads::{find, Scale, Suite};
 
 use crate::differ::{run_cell, CellResult, Verdict};
@@ -200,6 +200,25 @@ pub fn run_cell_named(gadget_name: &str, scheme: SecureConfig) -> Option<MatrixC
         expected: expected_verdict(&g, scheme),
         result: run_cell(g, scheme),
     })
+}
+
+/// As [`run_cell_named`], under an explicit [`Budget`] — lets `recon
+/// serve` apply per-job deadlines to verify cells. `None` for an
+/// unknown gadget name; `Some(Err(..))` when the budget expired, with
+/// the partial result inside the error.
+#[must_use]
+pub fn run_cell_named_budgeted(
+    gadget_name: &str,
+    scheme: SecureConfig,
+    budget: &Budget,
+) -> Option<Result<MatrixCell, SimError>> {
+    let g = gadget::find(gadget_name)?;
+    Some(
+        crate::differ::run_cell_budgeted(g, scheme, budget).map(|result| MatrixCell {
+            expected: expected_verdict(&g, scheme),
+            result,
+        }),
+    )
 }
 
 /// Builds the already-leaked cost comparisons from whatever cells ran.

@@ -1,0 +1,122 @@
+//! Malformed-input corpus: the server must answer every broken request
+//! with a clean `400` (or a clean close) — it may never hang, panic, or
+//! take the whole service down with it.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use recon_serve::{client, ServeConfig, Server};
+
+fn start() -> Server {
+    Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 4,
+        // Short server-side read timeout so under-delivered bodies
+        // (Content-Length larger than what was sent) fail fast.
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// Writes raw bytes, then reads whatever the server answers until it
+/// closes the connection (bounded by a client-side read timeout so a
+/// hung server fails the test instead of wedging it).
+fn exchange(addr: std::net::SocketAddr, raw: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(raw).expect("write corpus bytes");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+#[test]
+fn malformed_requests_get_400_and_never_hang() {
+    let server = start();
+    let addr = server.addr();
+
+    let corpus: &[(&str, &[u8])] = &[
+        ("not HTTP at all", b"this is not an http request\r\n\r\n"),
+        ("binary garbage", b"\x00\xff\xfe\x01\x80garbage\x00\r\n\r\n"),
+        ("empty request line", b"\r\n\r\n"),
+        ("method only", b"POST\r\n\r\n"),
+        (
+            "unparseable JSON body",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\n{oops",
+        ),
+        (
+            "valid JSON, invalid spec",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"kind\":\"no\"}",
+        ),
+        (
+            "no body on a job submission",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        ),
+        (
+            "non-numeric content length",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        ),
+        (
+            "oversized content length",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+        ),
+        (
+            "body shorter than declared",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"kind\"",
+        ),
+        (
+            "batch that is not an object",
+            b"POST /jobs/batch HTTP/1.1\r\nContent-Length: 4\r\n\r\n[1,2",
+        ),
+        (
+            "batch without a jobs array",
+            b"POST /jobs/batch HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"jobs\":42}",
+        ),
+        (
+            "invalid UTF-8 JSON body",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\x80\x81",
+        ),
+    ];
+
+    for (label, raw) in corpus {
+        let reply = exchange(addr, raw);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.starts_with("HTTP/1.1 400"),
+            "{label}: wanted a 400, got {text:?}"
+        );
+    }
+
+    // Truncated requests where the peer gives up mid-way: the server
+    // must just close its side (a 400 may or may not make it out).
+    for raw in [
+        &b"POST /jobs HT"[..],
+        &b"POST /jobs HTTP/1.1\r\nContent-"[..],
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(raw).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out); // must return, not hang
+    }
+
+    // After the whole corpus the service is still healthy and still
+    // serves real work.
+    let health = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200);
+    let metrics = client::request(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(metrics.status, 200);
+
+    let shutdown = client::request(addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(shutdown.status, 200);
+    server.wait();
+}

@@ -9,6 +9,7 @@ fn start(workers: usize, queue_cap: usize) -> Server {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_cap,
+        ..ServeConfig::default()
     })
     .expect("bind loopback")
 }
