@@ -3,13 +3,16 @@
 //! ```text
 //! recon list                         list all benchmark stand-ins
 //! recon run <suite> <bench> [scheme] run one benchmark (default: matrix)
+//!           [--checkpoint D] [--checkpoint-every CYC]
+//! recon resume <file.rck>            continue a checkpointed run
 //! recon matrix <suite> <bench>       run all five scheme configurations
 //! recon suite <suite> [--jobs N]     five-way matrix on a whole suite
+//!             [--checkpoint D]       (crash-safe: re-running resumes)
 //! recon analyze <suite> <bench>      Clueless-style leakage report
 //! recon verify [--gadget G] [--scheme S]  two-trace security checker
 //! recon overhead                     §6.7 storage accounting
 //! recon serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]
-//!             [--chaos SPEC] [--cache-dir D]
+//!             [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]
 //!                                    HTTP job service (see recon-serve)
 //! recon bench-serve [--clients C] [--requests R] [--queue-cap Q]
 //!                                    loopback load generator -> BENCH_serve.json
@@ -30,17 +33,33 @@
 //! invariant, and exits non-zero if any verdict deviates from the
 //! security claim.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
+use recon_sim::ckpt::{self, CkptContext};
 use recon_sim::report::Table;
-use recon_sim::{jobs_from_env, Experiment};
+use recon_sim::{jobs_from_env, Budget, Experiment, SystemResult};
 use recon_workloads::{parsec, spec2006, spec2017, Benchmark, Scale, Suite};
 
 fn scale() -> Scale {
     Scale::from_env()
 }
+
+fn scale_label() -> &'static str {
+    match scale() {
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Default checkpoint cadence in simulated cycles when `--checkpoint`
+/// is given without `--checkpoint-every`.
+const DEFAULT_CKPT_EVERY: u64 = 500_000;
+
+/// Checkpoints retained per job while it runs.
+const CKPT_KEEP: usize = 3;
 
 fn parse_suite(name: &str) -> Option<(Suite, Vec<Benchmark>)> {
     match name.to_ascii_lowercase().as_str() {
@@ -99,17 +118,8 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
-    let (suite, b) = match find_bench(suite_name, bench) {
-        Ok(x) => x,
-        Err(e) => return fail(&e),
-    };
-    let Some(secure) = parse_scheme(scheme) else {
-        return fail(&format!("unknown scheme '{scheme}' ({SCHEME_NAMES})"));
-    };
-    let exp = experiment_for(suite);
-    let r = exp.run(&b.workload, secure);
-    println!("{} ({suite}) under {secure}:", b.name);
+fn print_run_result(name: &str, suite: Suite, secure: SecureConfig, r: &SystemResult) {
+    println!("{name} ({suite}) under {secure}:");
     println!("  cycles            {}", r.cycles);
     println!("  committed         {}", r.committed());
     println!("  IPC               {:.3}", r.ipc());
@@ -118,7 +128,188 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str) -> ExitCode {
     println!("  revealed loads    {}", r.mem.revealed_loads);
     println!("  L1 load hit rate  {:.1}%", r.mem.l1_hit_rate() * 100.0);
     println!("  trace dropped     {}", r.trace_dropped());
-    ExitCode::SUCCESS
+}
+
+/// Parses `--checkpoint <dir>` / `--checkpoint-every <cycles>` from
+/// already-split flag pairs. `--checkpoint-every` without
+/// `--checkpoint` is an error (it would silently do nothing).
+fn ckpt_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<CkptContext>, String> {
+    let dir = pairs
+        .iter()
+        .find(|(f, _)| *f == "--checkpoint")
+        .map(|(_, v)| PathBuf::from(*v));
+    let every =
+        match pairs.iter().find(|(f, _)| *f == "--checkpoint-every") {
+            None => DEFAULT_CKPT_EVERY,
+            Some((_, v)) => v.parse().ok().filter(|&n: &u64| n >= 1).ok_or_else(|| {
+                format!("--checkpoint-every wants a positive cycle count, got '{v}'")
+            })?,
+        };
+    match dir {
+        Some(dir) => Ok(Some(CkptContext {
+            dir,
+            cadence: every,
+            keep: CKPT_KEEP,
+        })),
+        None if pairs.iter().any(|(f, _)| *f == "--checkpoint-every") => {
+            Err("--checkpoint-every needs --checkpoint <dir>".to_string())
+        }
+        None => Ok(None),
+    }
+}
+
+/// The meta records stored in a `recon run` checkpoint: enough to
+/// rebuild the exact system on `recon resume`.
+fn run_meta(
+    suite: Suite,
+    bench: &str,
+    secure: SecureConfig,
+    cadence: u64,
+) -> Vec<(String, String)> {
+    vec![
+        ("kind".to_string(), "run".to_string()),
+        ("suite".to_string(), suite.to_string().to_ascii_lowercase()),
+        ("bench".to_string(), bench.to_string()),
+        ("scheme".to_string(), secure.to_string()),
+        ("scale".to_string(), scale_label().to_string()),
+        ("cadence".to_string(), cadence.to_string()),
+    ]
+}
+
+fn run_digest(suite: Suite, bench: &str, secure: SecureConfig, cadence: u64) -> u64 {
+    let suite = suite.to_string().to_ascii_lowercase();
+    let scheme = secure.to_string();
+    let cadence = cadence.to_string();
+    ckpt::config_digest(&["run", &suite, bench, &scheme, scale_label(), &cadence])
+}
+
+/// Runs one configured job under a checkpoint context and reports what
+/// the persistence layer did alongside the results.
+fn run_checkpointed(
+    exp: &Experiment,
+    suite: Suite,
+    b: &Benchmark,
+    secure: SecureConfig,
+    ctx: &CkptContext,
+) -> ExitCode {
+    let digest = run_digest(suite, b.name, secure, ctx.cadence);
+    let meta = run_meta(suite, b.name, secure, ctx.cadence);
+    let (r, info) = ckpt::run_with_checkpoints(
+        exp,
+        &b.workload,
+        secure,
+        &Budget::default(),
+        ctx,
+        &meta,
+        digest,
+    );
+    if info.dropped_corrupt > 0 {
+        println!(
+            "dropped {} corrupt/stale checkpoint file(s)",
+            info.dropped_corrupt
+        );
+    }
+    if info.result_cached {
+        println!("result record found — returning the completed run");
+    } else if let Some(cycle) = info.resumed_from_cycle {
+        println!("resumed from checkpoint at cycle {cycle}");
+    }
+    match r {
+        Ok(r) => {
+            print_run_result(b.name, suite, secure, &r);
+            if !info.result_cached {
+                println!(
+                    "  checkpoints       {} written, {} GC'd (cadence {})",
+                    info.checkpoints_written, info.gc_deleted, ctx.cadence
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            if let Some(p) = &info.last_checkpoint {
+                println!("resumable checkpoint left at {}", p.display());
+            }
+            fail(&format!("run did not complete: {e}"))
+        }
+    }
+}
+
+fn cmd_run(suite_name: &str, bench: &str, scheme: &str, rest: &[&str]) -> ExitCode {
+    let (suite, b) = match find_bench(suite_name, bench) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    let Some(secure) = parse_scheme(scheme) else {
+        return fail(&format!("unknown scheme '{scheme}' ({SCHEME_NAMES})"));
+    };
+    let ctx = match parse_flag_pairs(rest).and_then(|p| ckpt_from_pairs(&p)) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let exp = experiment_for(suite);
+    match ctx {
+        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx),
+        None => {
+            let r = exp.run(&b.workload, secure);
+            print_run_result(b.name, suite, secure, &r);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Resumes a run from a checkpoint file written by
+/// `recon run --checkpoint`: rebuilds the system from the checkpoint's
+/// meta records, restores the newest valid checkpoint of that job in
+/// the file's directory, and continues to completion (checkpointing
+/// onward at the recorded cadence).
+fn cmd_resume(file: &str) -> ExitCode {
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+    let ck = match ckpt::Checkpoint::decode(&bytes) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("{file} is not a valid checkpoint: {e}")),
+    };
+    if ck.meta("kind") != Some("run") {
+        return fail(&format!(
+            "{file} was not written by 'recon run --checkpoint' (kind={}); \
+             resume it with the command that produced it",
+            ck.meta("kind").unwrap_or("missing")
+        ));
+    }
+    let (Some(suite_name), Some(bench), Some(scheme), Some(scale_want), Some(cadence)) = (
+        ck.meta("suite"),
+        ck.meta("bench"),
+        ck.meta("scheme"),
+        ck.meta("scale"),
+        ck.meta("cadence").and_then(|c| c.parse::<u64>().ok()),
+    ) else {
+        return fail(&format!("{file} is missing resume metadata"));
+    };
+    if scale_want != scale_label() {
+        return fail(&format!(
+            "checkpoint was taken at RECON_SCALE={scale_want}, current scale is {}; \
+             re-run with RECON_SCALE={scale_want}",
+            scale_label()
+        ));
+    }
+    let (suite, b) = match find_bench(suite_name, bench) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    let Some(secure) = parse_scheme(scheme) else {
+        return fail(&format!("checkpoint names unknown scheme '{scheme}'"));
+    };
+    let dir = PathBuf::from(file)
+        .parent()
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
+    let ctx = CkptContext {
+        dir,
+        cadence,
+        keep: CKPT_KEEP,
+    };
+    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx)
 }
 
 fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
@@ -152,14 +343,31 @@ fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_suite(suite_name: &str, jobs: usize) -> ExitCode {
+fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
     let Some((suite, benchmarks)) = parse_suite(suite_name) else {
         return fail(&format!(
             "unknown suite '{suite_name}' (spec2017|spec2006|parsec)"
         ));
     };
+    let ctx = match parse_flag_pairs(rest).and_then(|p| ckpt_from_pairs(&p)) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
     let exp = experiment_for(suite);
-    let (matrices, batch) = exp.run_matrices(&benchmarks, jobs);
+    let (matrices, batch) = match &ctx {
+        None => exp.run_matrices(&benchmarks, jobs),
+        Some(ctx) => {
+            // The tag namespaces this suite's jobs in the checkpoint
+            // dir; scale is folded in so quick/paper runs never share
+            // records.
+            let tag = format!(
+                "suite:{}:{}",
+                suite.to_string().to_ascii_lowercase(),
+                scale_label()
+            );
+            exp.run_matrices_checkpointed(&benchmarks, jobs, ctx, &tag)
+        }
+    };
     let mut t = Table::new(&[
         "benchmark",
         "unsafe IPC",
@@ -215,6 +423,22 @@ fn cmd_suite(suite_name: &str, jobs: usize) -> ExitCode {
         })
         .sum();
     println!("trace events dropped: {dropped}");
+    if let Some(s) = &batch.ckpt {
+        println!(
+            "checkpoints: {} jobs from result cache, {} resumed mid-run, {} written, {} GC'd, {} corrupt dropped",
+            s.cached, s.resumed, s.written, s.gc_deleted, s.dropped_corrupt
+        );
+    }
+    let failures = batch.failures();
+    if !failures.is_empty() {
+        println!(
+            "{} job(s) FAILED (benchmark omitted from tables):",
+            failures.len()
+        );
+        for (bench, config, msg) in &failures {
+            println!("  {bench} under {config}: {msg}");
+        }
+    }
     match batch.write_json("BENCH_runner.json") {
         Ok(()) => println!("per-job timings written to BENCH_runner.json"),
         Err(e) => eprintln!("warning: could not write BENCH_runner.json: {e}"),
@@ -416,6 +640,14 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
             },
             "--chaos" => config.chaos = Some((*value).to_string()),
             "--cache-dir" => config.cache_dir = Some(std::path::PathBuf::from(*value)),
+            "--checkpoint-every" => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => config.checkpoint_every_cycles = n,
+                _ => {
+                    return fail(&format!(
+                        "--checkpoint-every wants a positive cycle count, got '{value}'"
+                    ))
+                }
+            },
             _ => return fail(&format!("unknown serve flag '{flag}'")),
         }
     }
@@ -434,6 +666,10 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
     }
     if let Some(dir) = &config.cache_dir {
         println!("  crash-safe cache at {}", dir.display());
+        println!(
+            "  run-job checkpoints every {} cycles (killed jobs resume on restart)",
+            config.checkpoint_every_cycles
+        );
     }
     println!("  POST /jobs       submit run|matrix|analyze|verify jobs");
     println!("  POST /jobs/batch submit up to 64 specs in one request");
@@ -588,15 +824,21 @@ fn usage() -> ExitCode {
     eprintln!("usage: recon <command>");
     eprintln!("  list                               list all benchmark stand-ins");
     eprintln!("  run <suite> <bench> <scheme>       run one configuration");
+    eprintln!("      [--checkpoint D] [--checkpoint-every CYC]");
+    eprintln!("                                     periodic crash-safe checkpoints into D");
+    eprintln!("  resume <file.rck>                  continue a checkpointed run");
     eprintln!("  matrix <suite> <bench> [--jobs N]  run all five configurations");
     eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
     eprintln!("                                     timings to BENCH_runner.json");
+    eprintln!("      [--checkpoint D] [--checkpoint-every CYC]");
+    eprintln!("                                     crash-safe suite: finished jobs are");
+    eprintln!("                                     cached, killed jobs resume");
     eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("                                     (gadget x scheme verdict matrix)");
     eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]");
-    eprintln!("        [--chaos SPEC] [--cache-dir D]");
+    eprintln!("        [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]");
     eprintln!("                                     HTTP job service");
     eprintln!("  bench-serve [--clients C] [--requests R] [--queue-cap Q] [--out P]");
     eprintln!("                                     loopback load test -> BENCH_serve.json");
@@ -634,10 +876,11 @@ fn main() -> ExitCode {
     };
     match strs {
         ["list"] => cmd_list(),
-        ["run", suite, bench, scheme] => cmd_run(suite, bench, scheme),
+        ["run", suite, bench, scheme, rest @ ..] => cmd_run(suite, bench, scheme, rest),
         ["run", suite, bench] => cmd_matrix(suite, bench, jobs),
         ["matrix", suite, bench] => cmd_matrix(suite, bench, jobs),
-        ["suite", suite] => cmd_suite(suite, jobs),
+        ["resume", file] => cmd_resume(file),
+        ["suite", suite, rest @ ..] => cmd_suite(suite, jobs, rest),
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
         ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),

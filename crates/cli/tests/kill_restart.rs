@@ -1,20 +1,25 @@
-//! The crash-safety acceptance test: `kill -9` a populated `recon
+//! The crash-safety acceptance tests: `kill -9` a populated `recon
 //! serve --cache-dir`, corrupt the persisted tail like a torn write
 //! would, restart, and require the recovered entries to be served as
-//! cache hits with the corrupt tail dropped and counted.
+//! cache hits with the corrupt tail dropped and counted — and `kill -9`
+//! a server *mid-job*, restart, and require the orphaned job to resume
+//! from its checkpoint and serve bytes identical to an uninterrupted
+//! run.
 
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use recon_serve::client;
+use recon_serve::job::{self, CkptPlan, JobSpec};
+use recon_serve::json::parse;
 
 const SPEC: &str = r#"{"kind":"verify","gadget":"spectre-v1","scheme":"stt+recon"}"#;
 
 /// Spawns `recon serve` on an ephemeral port and parses the bound
 /// address from its startup banner.
-fn spawn_serve(dir: &std::path::Path) -> (Child, SocketAddr) {
+fn spawn_serve(dir: &std::path::Path, extra: &[&str]) -> (Child, SocketAddr) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_recon"))
         .args([
             "serve",
@@ -23,6 +28,7 @@ fn spawn_serve(dir: &std::path::Path) -> (Child, SocketAddr) {
             "--cache-dir",
             dir.to_str().expect("utf-8 temp path"),
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -65,7 +71,7 @@ fn kill_dash_nine_then_restart_recovers_the_cache() {
 
     // Populate, then kill -9 — no drain, no flush beyond the per-insert
     // append, exactly the crash the persistence layer is built for.
-    let (mut child, addr) = spawn_serve(&dir);
+    let (mut child, addr) = spawn_serve(&dir, &[]);
     let miss = client::submit_job(addr, SPEC).expect("populate the cache");
     assert_eq!(miss.status, 200);
     assert_eq!(miss.header("x-recon-cache"), Some("miss"));
@@ -88,7 +94,7 @@ fn kill_dash_nine_then_restart_recovers_the_cache() {
 
     // Restart on the same directory: the executed job is a hit with
     // identical bytes, the torn record is dropped and counted.
-    let (mut child, addr) = spawn_serve(&dir);
+    let (mut child, addr) = spawn_serve(&dir, &[]);
     let hit = client::submit_job(addr, SPEC).expect("post-crash submission");
     assert_eq!(hit.status, 200);
     assert_eq!(
@@ -112,13 +118,19 @@ fn kill_dash_nine_then_restart_recovers_the_cache() {
     );
 
     client::request(addr, "POST", "/shutdown", None).expect("shutdown");
-    // The process exits on its own after the drain; give it a moment,
-    // then make sure it is gone either way.
-    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    wait_exit(&mut child);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Waits for the server process to exit on its own after a shutdown;
+/// kills it (and fails) if it hangs.
+fn wait_exit(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         match child.try_wait().expect("try_wait") {
             Some(_) => break,
-            None if std::time::Instant::now() > deadline => {
+            None if Instant::now() > deadline => {
                 child.kill().expect("kill hung server");
                 let _ = child.wait();
                 panic!("server did not exit after POST /shutdown");
@@ -126,6 +138,84 @@ fn kill_dash_nine_then_restart_recovers_the_cache() {
             None => std::thread::sleep(Duration::from_millis(50)),
         }
     }
+}
+
+/// `kill -9` the server while a `run` job is mid-simulation, restart,
+/// and require the orphaned job to be resumed from its last checkpoint
+/// — with the served bytes identical to an uninterrupted execution.
+#[test]
+fn sigkill_mid_job_resumes_from_checkpoint_with_identical_bytes() {
+    const RUN_SPEC: &str =
+        r#"{"kind":"run","suite":"spec2017","bench":"xalancbmk","scheme":"stt+recon"}"#;
+    const CADENCE: u64 = 2_000;
+
+    let dir = std::env::temp_dir().join(format!("recon-kill-midjob-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+
+    // The reference bytes: a direct, uninterrupted execution at the
+    // same checkpoint cadence (drain timing is part of the run config).
+    let spec = JobSpec::from_json(&parse(RUN_SPEC).expect("spec parses")).expect("spec validates");
+    let plan = CkptPlan {
+        dir: None,
+        cadence: CADENCE,
+        keep: 2,
+    };
+    let expected = job::execute_ckpt(&spec, None, Some(&plan))
+        .0
+        .expect("direct run completes")
+        .payload;
+
+    // Submit, wait for the first checkpoint file to land, then SIGKILL
+    // mid-simulation. The client connection dies with the server.
+    let (mut child, addr) = spawn_serve(&dir, &["--checkpoint-every", "2000"]);
+    let submit = std::thread::spawn(move || {
+        let _ = client::submit_job(addr, RUN_SPEC);
+    });
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let has_ckpt = std::fs::read_dir(&dir).is_ok_and(|rd| {
+            rd.filter_map(Result::ok)
+                .any(|e| e.path().extension().is_some_and(|x| x == "rck"))
+        });
+        if has_ckpt {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL the server mid-job");
+    let _ = child.wait();
+    let _ = submit.join();
+
+    // Restart on the same directory: the orphan is re-enqueued from the
+    // spec embedded in its checkpoint and resumed, and a resubmission
+    // must serve the exact bytes of the uninterrupted run.
+    let (mut child, addr) = spawn_serve(&dir, &["--checkpoint-every", "2000"]);
+    let r = client::submit_job(addr, RUN_SPEC).expect("post-restart submission");
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.body, expected,
+        "resumed result must be byte-identical to the uninterrupted run"
+    );
+
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .expect("metrics")
+        .body;
+    assert!(
+        scrape(&metrics, "recon_checkpoints_resumed_total") >= 1,
+        "the orphaned job must resume from its checkpoint, not restart:\n{metrics}"
+    );
+    assert!(
+        scrape(&metrics, "recon_checkpoints_written_total") >= 1,
+        "{metrics}"
+    );
+
+    client::request(addr, "POST", "/shutdown", None).expect("shutdown");
+    wait_exit(&mut child);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

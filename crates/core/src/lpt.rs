@@ -24,6 +24,8 @@
 
 use core::fmt;
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
 /// One LPT entry: active bit, owning physical register (tag), and the
 /// address accessed by the load that wrote that register.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -236,6 +238,56 @@ impl LoadPairTable {
         for e in &mut self.entries {
             e.active = false;
         }
+    }
+
+    /// Serializes the table (entries in index order plus stats).
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"LPT1");
+        w.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.bool(e.active);
+            w.u32(e.tag);
+            w.u64(e.addr);
+        }
+        let s = self.stats;
+        w.u64(s.loads_committed);
+        w.u64(s.pairs_detected);
+        w.u64(s.tag_conflicts);
+        w.u64(s.deactivations);
+        w.u64(s.installs_skipped_revealed);
+    }
+
+    /// Reconstructs a table from [`LoadPairTable::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors, including a zero-entry count (which
+    /// construction forbids).
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<LoadPairTable, SnapError> {
+        r.expect_tag(b"LPT1")?;
+        let count = r.u64()? as usize;
+        if count == 0 {
+            return Err(SnapError {
+                what: "LPT with zero entries".into(),
+                offset: r.offset(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            entries.push(Entry {
+                active: r.bool()?,
+                tag: r.u32()?,
+                addr: r.u64()?,
+            });
+        }
+        let stats = LptStats {
+            loads_committed: r.u64()?,
+            pairs_detected: r.u64()?,
+            tag_conflicts: r.u64()?,
+            deactivations: r.u64()?,
+            installs_skipped_revealed: r.u64()?,
+        };
+        Ok(LoadPairTable { entries, stats })
     }
 }
 

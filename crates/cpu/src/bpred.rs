@@ -5,6 +5,8 @@
 //! gshare: a global history register XOR-ed with the PC indexes a table
 //! of 2-bit saturating counters.
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
 /// A 2-bit saturating counter.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Counter(u8);
@@ -95,6 +97,45 @@ impl BranchPredictor {
     /// its pre-prediction value extended with the *actual* outcome.
     pub fn repair(&mut self, token: PredToken, actual: bool) {
         self.history = (token.history_before << 1) | u64::from(actual);
+    }
+
+    /// Serializes the counter table and global history (the index mask
+    /// is re-derived from the table size).
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"BPRD");
+        w.u32(self.table.len() as u32);
+        for c in &self.table {
+            w.u8(c.0);
+        }
+        w.u64(self.history);
+    }
+
+    /// Reconstructs a predictor from [`BranchPredictor::save_snap`]
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table size is not a power of two or the stream is
+    /// corrupt.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<BranchPredictor, SnapError> {
+        r.expect_tag(b"BPRD")?;
+        let size = r.u32()? as usize;
+        if size == 0 || !size.is_power_of_two() {
+            return Err(SnapError {
+                what: format!("predictor table size {size} is not a power of two"),
+                offset: r.offset(),
+            });
+        }
+        let mut table = Vec::with_capacity(size.min(1 << 24));
+        for _ in 0..size {
+            table.push(Counter(r.u8()?));
+        }
+        let history = r.u64()?;
+        Ok(BranchPredictor {
+            table,
+            history,
+            mask: (size - 1) as u64,
+        })
     }
 }
 

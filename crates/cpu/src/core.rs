@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use recon::{LoadPairTable, ReconConfig};
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 use recon_isa::{AluKind, ArchReg, DataMem, Inst, Program, SparseMem};
 use recon_mem::MemorySystem;
 use recon_secure::{GuardTable, SecureConfig, Seq};
@@ -69,6 +70,10 @@ pub struct Core {
     fetch_pc: usize,
     fetch_stalled_until: u64,
     fetch_halted: bool,
+    /// Checkpoint drain: while set, fetch dispatches nothing, so the
+    /// in-flight window empties as instructions resolve and commit.
+    /// Unlike `fetch_stalled_until` this survives squash redirects.
+    fetch_paused: bool,
 
     // Backend structures.
     rename: Rename,
@@ -114,6 +119,7 @@ impl Core {
             fetch_pc: entry,
             fetch_stalled_until: 0,
             fetch_halted: false,
+            fetch_paused: false,
             rename: Rename::new(cfg.num_pregs),
             rob: Rob::new(cfg.rob_entries),
             iq: Vec::with_capacity(cfg.iq_entries),
@@ -214,6 +220,176 @@ impl Core {
     #[must_use]
     pub fn arch_read(&self, reg: ArchReg) -> u64 {
         self.rename.read(self.rename.lookup(reg))
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Suspends (or resumes) fetch so the pipeline drains for a
+    /// checkpoint: with nothing new dispatched, branches and stores
+    /// resolve, shadows retire, guards deactivate, and the window
+    /// empties within a bounded number of cycles.
+    pub fn pause_fetch(&mut self, paused: bool) {
+        self.fetch_paused = paused;
+    }
+
+    /// Whether no speculative state is in flight: ROB, IQ, LSQ, store
+    /// buffer, and shadow tracker are all empty. Only in this state can
+    /// the core be snapshotted (all remaining state is architectural).
+    #[must_use]
+    pub fn pipeline_empty(&self) -> bool {
+        self.rob.is_empty()
+            && self.iq.is_empty()
+            && self.lq.is_empty()
+            && self.sq.is_empty()
+            && self.sb.is_empty()
+            && self.shadows.is_empty()
+    }
+
+    /// Serializes the core's architectural and persistent-metadata state.
+    ///
+    /// Must be called with the pipeline drained ([`Core::pipeline_empty`]):
+    /// at that boundary the ROB/IQ/LSQ/SB/shadows hold nothing, so no
+    /// speculative state exists to capture — only the register file,
+    /// predictors, guard table, LPT, statistics, and frontend cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the pipeline is not drained.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.pipeline_empty(),
+            "core snapshot requires a drained pipeline"
+        );
+        w.tag(b"CORE");
+        w.u64(self.fetch_pc as u64);
+        w.u64(self.fetch_stalled_until);
+        w.bool(self.fetch_halted);
+        self.rename.save_snap(w);
+        w.u64(self.rob.next_seq());
+        self.bpred.save_snap(w);
+        self.guards.save_snap(w);
+        self.lpt.save_snap(w);
+        self.mdp.save_snap(w);
+        w.bool(self.halted);
+        w.u64(self.fuel);
+        w.bool(self.out_of_fuel);
+        let s = &self.stats;
+        for v in [
+            s.cycles,
+            s.committed,
+            s.loads_committed,
+            s.stores_committed,
+            s.branches_committed,
+            s.branch_mispredicts,
+            s.memory_violations,
+            s.squashed,
+            s.guarded_loads,
+            s.guarded_loads_committed,
+            s.loads_delayed_by_scheme,
+            s.scheme_delay_cycles,
+            s.revealed_loads_committed,
+            s.reveals_requested,
+            s.stall_head_load,
+            s.stall_head_store,
+            s.stall_head_branch,
+            s.stall_head_other,
+            s.stall_empty,
+        ] {
+            w.u64(v);
+        }
+        w.bool(self.record_observations);
+        w.u64(self.observations.len() as u64);
+        for o in &self.observations {
+            w.u64(o.cycle);
+            w.u64(o.pc as u64);
+            w.u64(o.addr);
+            w.u32(o.latency);
+            w.bool(o.speculative);
+        }
+        self.trace.save_snap(w);
+    }
+
+    /// Restores state captured by [`Core::save_snap`] into this core.
+    ///
+    /// The core must be freshly constructed from the *same* configuration
+    /// (same program, core config, secure scheme, and ReCon config) —
+    /// configuration is deliberately not stored in snapshots; it is
+    /// re-derived from the run setup and only the mutable state is
+    /// loaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or corrupt stream. On error the core is left
+    /// partially restored and must be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a core with in-flight instructions.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        assert!(
+            self.pipeline_empty(),
+            "restore requires an idle (freshly constructed) core"
+        );
+        r.expect_tag(b"CORE")?;
+        self.fetch_pc = r.u64()? as usize;
+        self.fetch_stalled_until = r.u64()?;
+        self.fetch_halted = r.bool()?;
+        self.rename = Rename::load_snap(r)?;
+        let next_seq = r.u64()?;
+        self.rob.set_next_seq(next_seq);
+        self.bpred = BranchPredictor::load_snap(r)?;
+        self.guards = GuardTable::load_snap(r)?;
+        self.lpt = LoadPairTable::load_snap(r)?;
+        self.mdp = StoreSets::load_snap(r)?;
+        self.halted = r.bool()?;
+        self.fuel = r.u64()?;
+        self.out_of_fuel = r.bool()?;
+        let s = &mut self.stats;
+        for v in [
+            &mut s.cycles,
+            &mut s.committed,
+            &mut s.loads_committed,
+            &mut s.stores_committed,
+            &mut s.branches_committed,
+            &mut s.branch_mispredicts,
+            &mut s.memory_violations,
+            &mut s.squashed,
+            &mut s.guarded_loads,
+            &mut s.guarded_loads_committed,
+            &mut s.loads_delayed_by_scheme,
+            &mut s.scheme_delay_cycles,
+            &mut s.revealed_loads_committed,
+            &mut s.reveals_requested,
+            &mut s.stall_head_load,
+            &mut s.stall_head_store,
+            &mut s.stall_head_branch,
+            &mut s.stall_head_other,
+            &mut s.stall_empty,
+        ] {
+            *v = r.u64()?;
+        }
+        self.record_observations = r.bool()?;
+        let obs_count = r.u64()?;
+        self.observations = Vec::new();
+        for _ in 0..obs_count {
+            let cycle = r.u64()?;
+            let pc = r.u64()? as usize;
+            let addr = r.u64()?;
+            let latency = r.u32()?;
+            let speculative = r.bool()?;
+            self.observations.push(Observation {
+                cycle,
+                pc,
+                addr,
+                latency,
+                speculative,
+            });
+        }
+        self.trace = TraceLog::load_snap(r)?;
+        self.fetch_paused = false;
+        Ok(())
     }
 
     /// Advances the core one cycle against the shared memory system and
@@ -817,7 +993,7 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn fetch(&mut self, now: u64) {
-        if now < self.fetch_stalled_until || self.fetch_halted {
+        if self.fetch_paused || now < self.fetch_stalled_until || self.fetch_halted {
             return;
         }
         for _ in 0..self.cfg.fetch_width {

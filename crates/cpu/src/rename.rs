@@ -1,6 +1,7 @@
 //! Register renaming: map table, free list, and the physical register
 //! file (values + ready bits).
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 use recon_isa::{ArchReg, NUM_ARCH_REGS};
 use std::collections::VecDeque;
 
@@ -133,6 +134,60 @@ impl Rename {
             self.values[p as usize] = value;
             self.ready[p as usize] = true;
         }
+    }
+
+    /// Serializes the map table, the free list **in order** (allocation
+    /// order determines future renames, so it is architectural state for
+    /// replay purposes), and the physical register file.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"RNAM");
+        for &m in &self.map {
+            w.u32(m);
+        }
+        w.u32(self.free.len() as u32);
+        for &p in &self.free {
+            w.u32(p);
+        }
+        w.u32(self.values.len() as u32);
+        for &v in &self.values {
+            w.u64(v);
+        }
+        for &r in &self.ready {
+            w.bool(r);
+        }
+    }
+
+    /// Reconstructs rename state from [`Rename::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<Rename, SnapError> {
+        r.expect_tag(b"RNAM")?;
+        let mut map = [0; NUM_ARCH_REGS];
+        for m in map.iter_mut() {
+            *m = r.u32()?;
+        }
+        let free_len = r.u32()? as usize;
+        let mut free = VecDeque::with_capacity(free_len.min(4096));
+        for _ in 0..free_len {
+            free.push_back(r.u32()?);
+        }
+        let num_pregs = r.u32()? as usize;
+        let mut values = Vec::with_capacity(num_pregs.min(4096));
+        for _ in 0..num_pregs {
+            values.push(r.u64()?);
+        }
+        let mut ready = Vec::with_capacity(num_pregs.min(4096));
+        for _ in 0..num_pregs {
+            ready.push(r.bool()?);
+        }
+        Ok(Rename {
+            map,
+            free,
+            values,
+            ready,
+        })
     }
 }
 

@@ -170,6 +170,25 @@ impl Rob {
         self.entries.iter_mut()
     }
 
+    /// The next sequence number a pushed entry would receive. At a
+    /// drained-pipeline checkpoint the window is empty and this counter
+    /// is the only ROB state worth serializing.
+    #[must_use]
+    pub fn next_seq(&self) -> Seq {
+        self.next_seq
+    }
+
+    /// Restores the sequence counter (checkpoint restore; the window
+    /// must be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window still holds entries.
+    pub fn set_next_seq(&mut self, seq: Seq) {
+        assert!(self.entries.is_empty(), "ROB must be empty to restore");
+        self.next_seq = seq;
+    }
+
     /// Removes every entry **younger than** `seq`, returning them
     /// youngest-first (the order rename undo must be applied in).
     ///

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 use recon_secure::Seq;
 
 /// One pipeline event.
@@ -137,6 +138,76 @@ impl TraceLog {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Serializes the full ring (retained events, capacity, drop count,
+    /// enabled flag) so a resumed run reports the same trace and the
+    /// same `trace_dropped` statistic as an uninterrupted one.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"TRCL");
+        w.bool(self.enabled);
+        w.u64(self.capacity as u64);
+        w.u64(self.dropped);
+        w.u64(self.events.len() as u64);
+        for e in &self.events {
+            w.u64(e.cycle);
+            w.u64(e.seq);
+            w.u64(e.pc as u64);
+            w.u8(match e.kind {
+                TraceKind::Dispatch => 0,
+                TraceKind::Issue => 1,
+                TraceKind::Complete => 2,
+                TraceKind::Commit => 3,
+                TraceKind::Squash => 4,
+            });
+        }
+    }
+
+    /// Reconstructs a trace log from [`TraceLog::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown event kind or a truncated stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<TraceLog, SnapError> {
+        r.expect_tag(b"TRCL")?;
+        let enabled = r.bool()?;
+        let capacity = usize::try_from(r.u64()?).map_err(|_| SnapError {
+            what: "trace capacity exceeds usize".to_string(),
+            offset: r.offset(),
+        })?;
+        let dropped = r.u64()?;
+        let count = r.u64()?;
+        let mut events = VecDeque::new();
+        for _ in 0..count {
+            let cycle = r.u64()?;
+            let seq = r.u64()?;
+            let pc = r.u64()? as usize;
+            let kind = match r.u8()? {
+                0 => TraceKind::Dispatch,
+                1 => TraceKind::Issue,
+                2 => TraceKind::Complete,
+                3 => TraceKind::Commit,
+                4 => TraceKind::Squash,
+                other => {
+                    return Err(SnapError {
+                        what: format!("unknown trace event kind {other}"),
+                        offset: r.offset(),
+                    })
+                }
+            };
+            events.push_back(TraceEvent {
+                cycle,
+                seq,
+                pc,
+                kind,
+            });
+        }
+        Ok(TraceLog {
+            events,
+            capacity,
+            dropped,
+            enabled,
+        })
     }
 }
 

@@ -43,6 +43,7 @@ pub mod mem;
 pub mod program;
 pub mod reg;
 pub mod rng;
+pub mod snap;
 
 pub use asm::{Asm, AsmError, Label};
 pub use exec::{
@@ -52,3 +53,4 @@ pub use inst::{AluKind, BranchKind, Inst};
 pub use mem::{DataMem, SparseMem};
 pub use program::{MemImage, Program, ProgramError};
 pub use reg::{ArchReg, NUM_ARCH_REGS};
+pub use snap::{SnapError, SnapReader, SnapWriter};

@@ -2,6 +2,7 @@
 
 use crate::hash::FxHashMap;
 use crate::program::MemImage;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Word-granular data memory as seen by the functional semantics.
 ///
@@ -89,6 +90,43 @@ impl SparseMem {
         self.pages.len() * PAGE_WORDS
     }
 
+    /// Serializes resident pages in ascending page order (canonical
+    /// bytes: the same contents always encode identically, regardless
+    /// of hash-map iteration order).
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"SMEM");
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        w.u64(indices.len() as u64);
+        for idx in indices {
+            w.u64(idx);
+            let page = &self.pages[&idx];
+            for word in page.iter() {
+                w.u64(*word);
+            }
+        }
+    }
+
+    /// Reconstructs a memory from [`SparseMem::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<SparseMem, SnapError> {
+        r.expect_tag(b"SMEM")?;
+        let count = r.u64()? as usize;
+        let mut pages = FxHashMap::default();
+        for _ in 0..count {
+            let idx = r.u64()?;
+            let mut page = Box::new([0u64; PAGE_WORDS]);
+            for word in page.iter_mut() {
+                *word = r.u64()?;
+            }
+            pages.insert(idx, page);
+        }
+        Ok(SparseMem { pages })
+    }
+
     /// Reads without requiring `&mut self` (the trait takes `&mut` so
     /// that timing models can update internal state on reads).
     #[must_use]
@@ -172,6 +210,26 @@ mod tests {
         assert_eq!(m.read(0x0008), 10);
         assert_eq!(m.read(0x0010_0008), 20);
         assert_eq!(m.read(0xFFFF_FFFF_FFFF_F008), 30);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_canonical() {
+        let mut m = SparseMem::new();
+        m.write(0x8, 1);
+        m.write(0x1000, 2);
+        m.write(0xFFFF_FFFF_FFFF_F008, 3);
+        let mut w = crate::snap::SnapWriter::new();
+        m.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        let restored = SparseMem::load_snap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored, m);
+        // Canonical bytes: a clone (fresh hash-map iteration order)
+        // serializes identically.
+        let mut w2 = crate::snap::SnapWriter::new();
+        restored.save_snap(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

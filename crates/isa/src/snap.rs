@@ -1,0 +1,277 @@
+//! Snapshot serialization primitives shared by every crate that
+//! contributes state to a checkpoint.
+//!
+//! A snapshot is a flat byte stream of little-endian scalars and
+//! length-prefixed blobs, written by [`SnapWriter`] and read back by
+//! [`SnapReader`]. The encoding is deliberately boring: no varints, no
+//! alignment padding, no self-description. Determinism is the whole
+//! point — the same state must always produce the same bytes, so every
+//! `save_snap` implementation is required to emit collections in a
+//! canonical (sorted) order.
+//!
+//! Section tags (`tag`/`expect_tag`) are 4-byte markers sprinkled
+//! between major components. They carry no data; they exist so that a
+//! reader that has drifted out of sync fails *immediately* with a
+//! named section instead of silently misinterpreting downstream bytes.
+
+use std::fmt;
+
+/// Error produced when a snapshot byte stream cannot be decoded.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapError {
+    /// What the reader was trying to decode.
+    pub what: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot decode error at byte {}: {}",
+            self.offset, self.what
+        )
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Serializes state into a deterministic flat byte stream.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the serialized bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte blob.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a 4-byte section marker (see module docs).
+    pub fn tag(&mut self, t: &[u8; 4]) {
+        self.buf.extend_from_slice(t);
+    }
+}
+
+/// Decodes a byte stream produced by [`SnapWriter`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: impl Into<String>) -> SnapError {
+        SnapError {
+            what: what.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(format!(
+                "unexpected end of snapshot reading {what} ({n} bytes wanted, {} left)",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a bool; any byte other than 0/1 is an error.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.err(format!("invalid bool byte {other:#x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let len = self.u32()? as usize;
+        let b = self.take(len, "string body")?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.err("string is not valid UTF-8"))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len, "byte blob")?.to_vec())
+    }
+
+    /// Consumes a 4-byte section marker, failing loudly on mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Names both the expected and the found tag, so a desynchronized
+    /// stream is diagnosed at the section boundary where it happened.
+    pub fn expect_tag(&mut self, t: &[u8; 4]) -> Result<(), SnapError> {
+        let found = self.take(4, "section tag")?;
+        if found != t {
+            return Err(self.err(format!(
+                "section tag mismatch: expected {:?}, found {:?}",
+                String::from_utf8_lossy(t),
+                String::from_utf8_lossy(found)
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = SnapWriter::new();
+        w.tag(b"TEST");
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.bool(true);
+        w.bool(false);
+        w.str("hello");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag(b"TEST").unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        let e = r.u64().unwrap_err();
+        assert!(e.to_string().contains("unexpected end"), "{e}");
+    }
+
+    #[test]
+    fn tag_mismatch_names_both_tags() {
+        let mut w = SnapWriter::new();
+        w.tag(b"AAAA");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let e = r.expect_tag(b"BBBB").unwrap_err();
+        assert!(e.to_string().contains("AAAA"), "{e}");
+        assert!(e.to_string().contains("BBBB"), "{e}");
+    }
+
+    #[test]
+    fn bad_bool_errors() {
+        let mut r = SnapReader::new(&[2]);
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn string_length_beyond_buffer_errors() {
+        let mut w = SnapWriter::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+}

@@ -6,6 +6,7 @@
 //! functional memory (see `recon-sim`), as in many timing simulators.
 
 use recon::RevealMask;
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::geometry::CacheGeometry;
 use crate::mesi::Mesi;
@@ -196,6 +197,92 @@ impl CacheArray {
                 .map(move |w| (self.geom.unslice(set, w.tag), w.state, w.mask))
         })
     }
+
+    /// Serializes every way of every set in array order, including LRU
+    /// timestamps, so replacement decisions replay identically after a
+    /// restore. Geometry is *not* stored — it is re-derived from the
+    /// run configuration and validated by the caller.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"CARR");
+        w.u64(self.tick);
+        w.u32(self.sets.len() as u32);
+        w.u32(self.geom.ways() as u32);
+        for ways in &self.sets {
+            for way in ways {
+                w.bool(way.valid);
+                w.u64(way.tag);
+                w.u8(mesi_to_u8(way.state));
+                w.u8(way.mask.bits());
+                w.u64(way.last_use);
+            }
+        }
+    }
+
+    /// Reconstructs an array from [`CacheArray::save_snap`] bytes into
+    /// a freshly built array of geometry `geom`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stored dimensions disagree with `geom` (the run was
+    /// checkpointed under a different cache configuration) or the
+    /// stream is corrupt.
+    pub fn load_snap(geom: CacheGeometry, r: &mut SnapReader<'_>) -> Result<CacheArray, SnapError> {
+        r.expect_tag(b"CARR")?;
+        let tick = r.u64()?;
+        let num_sets = r.u32()? as usize;
+        let num_ways = r.u32()? as usize;
+        if num_sets != geom.num_sets() || num_ways != geom.ways() {
+            return Err(SnapError {
+                what: format!(
+                    "cache dimensions {num_sets}x{num_ways} do not match configured {}x{}",
+                    geom.num_sets(),
+                    geom.ways()
+                ),
+                offset: r.offset(),
+            });
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let mut ways = Vec::with_capacity(num_ways);
+            for _ in 0..num_ways {
+                ways.push(Way {
+                    valid: r.bool()?,
+                    tag: r.u64()?,
+                    state: mesi_from_u8(r.u8()?, r)?,
+                    mask: RevealMask::from_bits(r.u8()?),
+                    last_use: r.u64()?,
+                });
+            }
+            sets.push(ways);
+        }
+        Ok(CacheArray { geom, sets, tick })
+    }
+}
+
+/// Stable byte encoding of a [`Mesi`] state for snapshots.
+pub(crate) fn mesi_to_u8(m: Mesi) -> u8 {
+    match m {
+        Mesi::Invalid => 0,
+        Mesi::Shared => 1,
+        Mesi::Exclusive => 2,
+        Mesi::Modified => 3,
+    }
+}
+
+/// Inverse of [`mesi_to_u8`], failing on unknown bytes.
+pub(crate) fn mesi_from_u8(b: u8, r: &SnapReader<'_>) -> Result<Mesi, SnapError> {
+    Ok(match b {
+        0 => Mesi::Invalid,
+        1 => Mesi::Shared,
+        2 => Mesi::Exclusive,
+        3 => Mesi::Modified,
+        other => {
+            return Err(SnapError {
+                what: format!("invalid MESI byte {other:#x}"),
+                offset: r.offset(),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

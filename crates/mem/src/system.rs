@@ -23,6 +23,7 @@
 
 use recon::{line_of, word_index, ReconConfig, RevealMask, WORDS_PER_LINE, WORD_BYTES};
 use recon_isa::hash::FxHashMap;
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::array::CacheArray;
 use crate::config::MemConfig;
@@ -286,6 +287,137 @@ impl MemorySystem {
     /// Resets statistics (e.g. after warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint serialization
+    // ------------------------------------------------------------------
+
+    /// Serializes the full coherence + ReCon metadata state: every cache
+    /// array (tags, MESI, reveal masks, LRU), the directory (sorted by
+    /// line address for canonical bytes, including sharer vectors and
+    /// master mask copies held in the LLC arrays), stats, and the
+    /// transaction-log flag. The analysis-only `events` log and the
+    /// soundness oracle are *not* captured — no run path enables them.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"MSYS");
+        w.u32(self.cores.len() as u32);
+        for p in &self.cores {
+            p.l1.save_snap(w);
+            p.l2.save_snap(w);
+        }
+        self.llc.save_snap(w);
+        let mut dir: Vec<(u64, DirState)> = self.dir.iter().map(|(&l, &d)| (l, d)).collect();
+        dir.sort_by_key(|&(l, _)| l);
+        w.u64(dir.len() as u64);
+        for (line, state) in dir {
+            w.u64(line);
+            match state {
+                DirState::Uncached => w.u8(0),
+                DirState::Shared(sharers) => {
+                    w.u8(1);
+                    w.u64(sharers.iter().fold(0u64, |bits, c| bits | (1 << c)));
+                }
+                DirState::Owned { owner } => {
+                    w.u8(2);
+                    w.u32(owner as u32);
+                }
+            }
+        }
+        let s = self.stats;
+        for v in [
+            s.l1_hits,
+            s.l2_hits,
+            s.llc_hits,
+            s.mem_fetches,
+            s.stores_performed,
+            s.upgrades,
+            s.remote_forwards,
+            s.invalidations,
+            s.reveals_set,
+            s.reveals_dropped,
+            s.conceals,
+            s.revealed_loads,
+            s.mask_bits_lost_inval,
+            s.mask_bits_lost_evict,
+            s.mask_merges,
+        ] {
+            w.u64(v);
+        }
+        w.u64(self.now);
+        w.bool(self.record);
+    }
+
+    /// Restores state serialized by [`MemorySystem::save_snap`] into
+    /// this system (which must have been built with the same core count
+    /// and cache configuration).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a corrupt stream or a configuration mismatch (core
+    /// count or cache geometry); `self` may be partially overwritten on
+    /// error and must be discarded.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"MSYS")?;
+        let num_cores = r.u32()? as usize;
+        if num_cores != self.cores.len() {
+            return Err(SnapError {
+                what: format!(
+                    "snapshot has {num_cores} cores, system has {}",
+                    self.cores.len()
+                ),
+                offset: r.offset(),
+            });
+        }
+        for p in &mut self.cores {
+            p.l1 = CacheArray::load_snap(self.cfg.l1, r)?;
+            p.l2 = CacheArray::load_snap(self.cfg.l2, r)?;
+        }
+        self.llc = CacheArray::load_snap(self.cfg.llc, r)?;
+        let dir_len = r.u64()? as usize;
+        self.dir = FxHashMap::default();
+        for _ in 0..dir_len {
+            let line = r.u64()?;
+            let state = match r.u8()? {
+                0 => DirState::Uncached,
+                1 => {
+                    let bits = r.u64()?;
+                    DirState::Shared((0..64usize).filter(|i| bits & (1 << i) != 0).collect())
+                }
+                2 => DirState::Owned {
+                    owner: r.u32()? as usize,
+                },
+                other => {
+                    return Err(SnapError {
+                        what: format!("invalid directory-state byte {other:#x}"),
+                        offset: r.offset(),
+                    })
+                }
+            };
+            self.dir.insert(line, state);
+        }
+        self.stats = MemStats {
+            l1_hits: r.u64()?,
+            l2_hits: r.u64()?,
+            llc_hits: r.u64()?,
+            mem_fetches: r.u64()?,
+            stores_performed: r.u64()?,
+            upgrades: r.u64()?,
+            remote_forwards: r.u64()?,
+            invalidations: r.u64()?,
+            reveals_set: r.u64()?,
+            reveals_dropped: r.u64()?,
+            conceals: r.u64()?,
+            revealed_loads: r.u64()?,
+            mask_bits_lost_inval: r.u64()?,
+            mask_bits_lost_evict: r.u64()?,
+            mask_merges: r.u64()?,
+        };
+        self.now = r.u64()?;
+        self.record = r.bool()?;
+        self.events.clear();
+        self.sound = None;
+        Ok(())
     }
 
     // ------------------------------------------------------------------

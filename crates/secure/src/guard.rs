@@ -20,6 +20,8 @@
 //! past `g`, every register guarded by `g` becomes free simultaneously,
 //! exactly like STT's untaint broadcast.
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
 /// Sequence number of a dynamic instruction (monotonic per core).
 pub type Seq = u64;
 
@@ -124,6 +126,38 @@ impl GuardTable {
             .flatten()
             .filter(|&&root| frontier < root)
             .count()
+    }
+
+    /// Serializes every guard slot in index order. Stale (inactive)
+    /// guards are serialized verbatim: they are part of the
+    /// deterministic state an uninterrupted run would also carry.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"GRDT");
+        w.u64(self.guards.len() as u64);
+        for g in &self.guards {
+            match g {
+                Some(root) => {
+                    w.bool(true);
+                    w.u64(*root);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Reconstructs a table from [`GuardTable::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<GuardTable, SnapError> {
+        r.expect_tag(b"GRDT")?;
+        let count = r.u64()? as usize;
+        let mut guards = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            guards.push(if r.bool()? { Some(r.u64()?) } else { None });
+        }
+        Ok(GuardTable { guards })
     }
 }
 

@@ -51,11 +51,15 @@ pub enum FaultSite {
     /// The submission is refused with a synthetic `429` as if the queue
     /// were saturated (a queue-saturation burst).
     QueueBurst,
+    /// The job's newest on-disk checkpoint is truncated after the run,
+    /// as if the process died mid-write (exercises torn-checkpoint
+    /// recovery: the next resume must drop it, not trust it).
+    CkptTorn,
 }
 
 impl FaultSite {
     /// Every site, in metric/spec order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::WorkerPanic,
         FaultSite::JobLatency,
         FaultSite::DropRequest,
@@ -63,6 +67,7 @@ impl FaultSite {
         FaultSite::TruncateHttp,
         FaultSite::GarbageBytes,
         FaultSite::QueueBurst,
+        FaultSite::CkptTorn,
     ];
 
     /// Stable spelling (spec key and metric label).
@@ -76,6 +81,7 @@ impl FaultSite {
             FaultSite::TruncateHttp => "truncate-http",
             FaultSite::GarbageBytes => "garbage",
             FaultSite::QueueBurst => "queue-burst",
+            FaultSite::CkptTorn => "ckpt-torn",
         }
     }
 
@@ -90,6 +96,7 @@ impl FaultSite {
             FaultSite::TruncateHttp => 4,
             FaultSite::GarbageBytes => 5,
             FaultSite::QueueBurst => 6,
+            FaultSite::CkptTorn => 7,
         }
     }
 
@@ -109,6 +116,7 @@ impl FaultSite {
             0x9E37_79B9_0000_0009,
             0x9E37_79B9_0000_000B,
             0x9E37_79B9_0000_000D,
+            0x9E37_79B9_0000_000F,
         ][self.index()]
     }
 }

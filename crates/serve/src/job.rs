@@ -13,16 +13,35 @@
 //! bench asserts response-by-response.
 
 use std::hash::Hasher;
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use recon_isa::hash::FxHasher;
 use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
+use recon_sim::ckpt::{self, CkptContext, CkptRunInfo};
 use recon_sim::{Budget, DeadlineReason, Experiment, SimError, System, SystemResult};
 use recon_workloads::{find, Benchmark, Scale, Suite};
 
 use crate::json::{escape, Json};
+
+/// How a job execution should checkpoint.
+///
+/// With `dir: Some(..)`, `run` jobs persist crash-safe checkpoints
+/// there (resumable after a server kill). With `dir: None` the run
+/// still *drains and snapshots* at the cadence — same timing, no disk —
+/// which is how an expected-payload computation stays byte-identical to
+/// a persisted execution of the same spec.
+#[derive(Clone, Debug)]
+pub struct CkptPlan {
+    /// Checkpoint directory; `None` for cadence-only (no persistence).
+    pub dir: Option<PathBuf>,
+    /// Checkpoint cadence in simulated cycles.
+    pub cadence: u64,
+    /// Checkpoints retained per job digest while it runs.
+    pub keep: usize,
+}
 
 /// The workload kinds the service accepts.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -113,6 +132,11 @@ pub enum JobError {
         reason: DeadlineReason,
         /// JSON object with the partial stats, ready to serve.
         payload: String,
+        /// File name of the newest checkpoint the run left behind (a
+        /// resumable ref, served as the `X-Recon-Checkpoint` header —
+        /// kept out of the body so deadline payloads stay byte-stable
+        /// across retries that resume from different checkpoints).
+        checkpoint: Option<String>,
     },
     /// The job was cancelled by an aborting shutdown (HTTP 503).
     Cancelled,
@@ -333,6 +357,37 @@ impl JobSpec {
         h.write(self.canonical().as_bytes());
         h.finish()
     }
+
+    /// Renders the spec back to a submission-shaped JSON object — what
+    /// a checkpoint's meta stores so an orphaned job can be re-parsed
+    /// (via [`JobSpec::from_json`]) and re-enqueued after a restart.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("{{\"kind\":\"{}\"", self.kind.label());
+        for (key, v) in [
+            ("suite", &self.suite),
+            ("bench", &self.bench),
+            ("gadget", &self.gadget),
+        ] {
+            if let Some(v) = v {
+                let _ = write!(s, ",\"{key}\":\"{}\"", escape(v));
+            }
+        }
+        if let Some(scheme) = self.scheme {
+            let _ = write!(s, ",\"scheme\":\"{}\"", escape(&scheme.label()));
+        }
+        for (key, v) in [("fuel", self.fuel), ("max_cycles", self.max_cycles)] {
+            if let Some(v) = v {
+                let _ = write!(s, ",\"{key}\":{v}");
+            }
+        }
+        if self.trace {
+            s.push_str(",\"trace\":true");
+        }
+        s.push('}');
+        s
+    }
 }
 
 /// Valid gadget names, for error messages.
@@ -383,7 +438,7 @@ fn render_system_result(out: &mut String, r: &SystemResult) {
     );
 }
 
-fn deadline_error(spec: &JobSpec, e: SimError) -> JobError {
+fn deadline_error(spec: &JobSpec, e: SimError, checkpoint: Option<String>) -> JobError {
     match e {
         SimError::Cancelled { .. } => JobError::Cancelled,
         SimError::DeadlineExceeded { partial, reason } => {
@@ -396,6 +451,7 @@ fn deadline_error(spec: &JobSpec, e: SimError) -> JobError {
             JobError::DeadlineExceeded {
                 reason,
                 payload: body,
+                checkpoint,
             }
         }
     }
@@ -413,44 +469,118 @@ fn deadline_error(spec: &JobSpec, e: SimError) -> JobError {
 /// [`JobError::Invalid`]/[`JobError::Failed`] for semantic errors that
 /// only surface at execution time.
 pub fn execute(spec: &JobSpec, cancel: Option<&Arc<AtomicBool>>) -> Result<JobOutput, JobError> {
+    execute_ckpt(spec, cancel, None).0
+}
+
+/// [`execute`] under a checkpoint plan. Only `run` jobs checkpoint (the
+/// long-simulation kind); the other kinds ignore the plan. Returns the
+/// persistence activity alongside the result so the server can export
+/// it via `/metrics`.
+pub fn execute_ckpt(
+    spec: &JobSpec,
+    cancel: Option<&Arc<AtomicBool>>,
+    plan: Option<&CkptPlan>,
+) -> (Result<JobOutput, JobError>, Option<CkptRunInfo>) {
     let budget = Budget {
         fuel: spec.fuel,
         max_cycles: spec.max_cycles,
         cancel: cancel.map(Arc::clone),
+        checkpoint_every_cycles: None,
     };
     match spec.kind {
-        JobKind::Run => execute_run(spec, &budget),
-        JobKind::Matrix => execute_matrix(spec, &budget),
-        JobKind::Analyze => execute_analyze(spec),
-        JobKind::Verify => execute_verify(spec, &budget),
+        JobKind::Run => execute_run(spec, &budget, plan),
+        JobKind::Matrix => (execute_matrix(spec, &budget), None),
+        JobKind::Analyze => (execute_analyze(spec), None),
+        JobKind::Verify => (execute_verify(spec, &budget), None),
     }
 }
 
-fn execute_run(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
+fn run_payload(spec: &JobSpec, bench: &str, scheme: SecureConfig, r: &SystemResult) -> JobOutput {
+    let mut payload = format!(
+        "{{\"kind\":\"run\",\"suite\":\"{}\",\"bench\":\"{}\",\"scheme\":\"{}\",",
+        escape(spec.suite.as_deref().expect("validated")),
+        escape(bench),
+        escape(&scheme.label()),
+    );
+    render_system_result(&mut payload, r);
+    payload.push('}');
+    JobOutput {
+        payload,
+        trace_dropped: r.trace_dropped(),
+    }
+}
+
+fn execute_run(
+    spec: &JobSpec,
+    budget: &Budget,
+    plan: Option<&CkptPlan>,
+) -> (Result<JobOutput, JobError>, Option<CkptRunInfo>) {
     let (suite, b) = lookup(spec);
     let scheme = spec.scheme.expect("validated");
     let exp = experiment_for(suite);
+
+    // Persisted path: crash-safe checkpoints under the plan's dir,
+    // resumable across server restarts. Trace-enabled jobs fall through
+    // to the cadence-only path (the trace ring hook predates the run).
+    if let Some(plan) = plan {
+        if let Some(dir) = plan.dir.as_ref().filter(|_| !spec.trace) {
+            let ctx = CkptContext {
+                dir: dir.clone(),
+                cadence: plan.cadence,
+                keep: plan.keep,
+            };
+            let meta = vec![
+                ("kind".to_string(), "serve-job".to_string()),
+                ("spec".to_string(), spec.to_json()),
+            ];
+            let (r, info) = ckpt::run_with_checkpoints(
+                &exp,
+                &b.workload,
+                scheme,
+                budget,
+                &ctx,
+                &meta,
+                spec.digest(),
+            );
+            let out = match r {
+                Ok(r) => Ok(run_payload(spec, b.name, scheme, &r)),
+                Err(e) => {
+                    // The resumable ref: the newest checkpoint of this
+                    // job still on disk (written by this attempt or a
+                    // previous one), so retries stay byte-stable.
+                    let newest = ckpt::scan(&ctx.dir)
+                        .ok()
+                        .and_then(|s| s.latest_for(spec.digest()).map(|(_, c)| c.cycle))
+                        .map(|cycle| ckpt::file_name(spec.digest(), cycle));
+                    Err(deadline_error(spec, e, newest))
+                }
+            };
+            return (out, Some(info));
+        }
+    }
+
     let mut sys = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
     if spec.trace {
         for core in sys.cores_mut() {
             core.record_trace(true);
         }
     }
-    let r = sys
-        .run_budgeted(exp.max_cycles, budget)
-        .map_err(|e| deadline_error(spec, e))?;
-    let mut payload = format!(
-        "{{\"kind\":\"run\",\"suite\":\"{}\",\"bench\":\"{}\",\"scheme\":\"{}\",",
-        escape(spec.suite.as_deref().expect("validated")),
-        escape(b.name),
-        escape(&scheme.label()),
-    );
-    render_system_result(&mut payload, &r);
-    payload.push('}');
-    Ok(JobOutput {
-        payload,
-        trace_dropped: r.trace_dropped(),
-    })
+    let r = match plan {
+        // Cadence-only: identical drain timing to the persisted path,
+        // no disk (expected-payload computations use this).
+        Some(plan) => {
+            let budget = Budget {
+                checkpoint_every_cycles: Some(plan.cadence),
+                ..budget.clone()
+            };
+            sys.run_budgeted_checkpointed(exp.max_cycles, &budget, |_, _| {})
+        }
+        None => sys.run_budgeted(exp.max_cycles, budget),
+    };
+    match r {
+        Ok(r) => (Ok(run_payload(spec, b.name, scheme, &r)), None),
+        Err(e) => (Err(deadline_error(spec, e, None)), None),
+    }
 }
 
 fn execute_matrix(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
@@ -469,7 +599,7 @@ fn execute_matrix(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError
         results.push((
             s,
             exp.try_run(&b.workload, s, budget)
-                .map_err(|e| deadline_error(spec, e))?,
+                .map_err(|e| deadline_error(spec, e, None))?,
         ));
     }
     let base_ipc = results[0].1.ipc();
@@ -523,6 +653,7 @@ fn execute_analyze(spec: &JobSpec) -> Result<JobOutput, JobError> {
                 "{{\"error\":\"deadline_exceeded\",\"kind\":\"analyze\",\"reason\":\"fuel\",\"partial\":{{\"instructions\":{},\"touched_words\":{},\"dift_leaked\":{},\"pair_leaked\":{}}}}}",
                 r.instructions, r.touched_words, r.dift_leaked, r.pair_leaked,
             ),
+            checkpoint: None,
         });
     }
     Ok(JobOutput {
@@ -547,7 +678,7 @@ fn execute_verify(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError
     let scheme = spec.scheme.expect("validated");
     let cell = recon_verify::run_cell_named_budgeted(gadget, scheme, budget)
         .ok_or_else(|| JobError::Invalid(format!("unknown gadget '{gadget}'")))?
-        .map_err(|e| deadline_error(spec, e))?;
+        .map_err(|e| deadline_error(spec, e, None))?;
     let r = &cell.result;
     Ok(JobOutput {
         payload: format!(
@@ -661,7 +792,9 @@ mod tests {
         // the analyzer must stop at the cap and report partial counts.
         let s = spec(r#"{"kind":"analyze","suite":"spec2017","bench":"mcf","fuel":500}"#).unwrap();
         match execute(&s, None) {
-            Err(JobError::DeadlineExceeded { reason, payload }) => {
+            Err(JobError::DeadlineExceeded {
+                reason, payload, ..
+            }) => {
                 assert_eq!(reason, DeadlineReason::Fuel);
                 let v = parse(&payload).expect("partial payload is valid json");
                 let partial = v.get("partial").expect("has partial stats");
@@ -683,7 +816,9 @@ mod tests {
             spec(r#"{"kind":"verify","gadget":"already-leaked","scheme":"stt","max_cycles":100}"#)
                 .unwrap();
         match execute(&s, None) {
-            Err(JobError::DeadlineExceeded { reason, payload }) => {
+            Err(JobError::DeadlineExceeded {
+                reason, payload, ..
+            }) => {
                 assert_eq!(reason, DeadlineReason::MaxCycles);
                 let v = parse(&payload).expect("partial payload is valid json");
                 assert_eq!(
@@ -703,7 +838,9 @@ mod tests {
             spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fuel":1000}"#)
                 .unwrap();
         match execute(&s, None) {
-            Err(JobError::DeadlineExceeded { reason, payload }) => {
+            Err(JobError::DeadlineExceeded {
+                reason, payload, ..
+            }) => {
                 assert_eq!(reason, DeadlineReason::Fuel);
                 let v = parse(&payload).expect("partial payload is valid json");
                 assert_eq!(

@@ -129,6 +129,15 @@ pub struct Metrics {
     pub cache_recovered: Counter,
     /// Torn or corrupt persisted records dropped at startup.
     pub cache_dropped_records: Counter,
+    /// Simulation checkpoints written to disk by running jobs.
+    pub checkpoints_written: Counter,
+    /// Jobs that resumed from an on-disk checkpoint instead of starting
+    /// from cycle zero (startup orphan recovery or a retried deadline).
+    pub checkpoints_resumed: Counter,
+    /// Torn or corrupt checkpoint files dropped during recovery.
+    pub checkpoints_dropped_corrupt: Counter,
+    /// Superseded checkpoints garbage-collected (keep-latest-N).
+    pub checkpoints_gc_deleted: Counter,
     /// Per-kind job latency (queue wait + execution), indexed by
     /// [`JobKind::index`].
     pub latency: [Histogram; 4],
@@ -220,6 +229,26 @@ impl Metrics {
             "recon_cache_dropped_records_total",
             "Torn or corrupt persisted records dropped at startup.",
             self.cache_dropped_records.get(),
+        );
+        counter(
+            "recon_checkpoints_written_total",
+            "Simulation checkpoints written to disk by running jobs.",
+            self.checkpoints_written.get(),
+        );
+        counter(
+            "recon_checkpoints_resumed_total",
+            "Jobs resumed from an on-disk checkpoint.",
+            self.checkpoints_resumed.get(),
+        );
+        counter(
+            "recon_checkpoints_dropped_corrupt_total",
+            "Torn or corrupt checkpoint files dropped during recovery.",
+            self.checkpoints_dropped_corrupt.get(),
+        );
+        counter(
+            "recon_checkpoints_gc_deleted_total",
+            "Superseded checkpoints garbage-collected (keep-latest-N).",
+            self.checkpoints_gc_deleted.get(),
         );
         let _ = writeln!(out, "# HELP recon_jobs_running Jobs currently executing.");
         let _ = writeln!(out, "# TYPE recon_jobs_running gauge");

@@ -26,21 +26,23 @@
 //! `chaos seam` below. With `--cache-dir`, the result cache is
 //! crash-safe (see [`crate::persist`]).
 
+use std::fs;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use recon_isa::hash::FxHashMap;
+use recon_sim::ckpt;
 
 use crate::cache::{ResultCache, DEFAULT_CAPACITY};
 use crate::chaos::{garbage_bytes, FaultPlan, FaultSite, ResponseFault};
 use crate::http::{read_request, render_response, Request};
-use crate::job::{self, JobError, JobOutput, JobSpec};
+use crate::job::{self, CkptPlan, JobError, JobOutput, JobSpec};
 use crate::json::{escape, parse, Json};
 use crate::metrics::Metrics;
 use crate::queue::{lock_ignore_poison, BoundedQueue, PushError};
@@ -72,8 +74,21 @@ pub struct ServeConfig {
     pub chaos: Option<String>,
     /// Directory for crash-safe cache persistence. `None` keeps the
     /// cache in memory only.
+    ///
+    /// With a directory, `run` jobs also write resumable simulation
+    /// checkpoints there: a killed server re-enqueues orphaned jobs at
+    /// startup and resumes them from their last checkpoint.
     pub cache_dir: Option<PathBuf>,
+    /// Simulation-checkpoint cadence for `run` jobs, in simulated
+    /// cycles (only effective with `cache_dir`).
+    pub checkpoint_every_cycles: u64,
 }
+
+/// Default checkpoint cadence for served `run` jobs.
+pub const DEFAULT_CKPT_EVERY: u64 = 250_000;
+
+/// Checkpoints retained per running job (keep-latest-N GC).
+const CKPT_KEEP: usize = 2;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -86,6 +101,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             chaos: None,
             cache_dir: None,
+            checkpoint_every_cycles: DEFAULT_CKPT_EVERY,
         }
     }
 }
@@ -121,6 +137,8 @@ pub struct Shared {
     pub cache: ResultCache,
     /// The chaos plane (a quiet plan when `--chaos` is not given).
     pub chaos: FaultPlan,
+    /// Checkpoint plan for `run` jobs (`Some` when `cache_dir` is set).
+    pub ckpt: Option<CkptPlan>,
     /// Digests currently executing, with the reply channels of
     /// duplicate submissions that joined them (single-flight).
     inflight: Mutex<FxHashMap<u64, Vec<mpsc::Sender<JobResult>>>>,
@@ -185,6 +203,11 @@ impl Server {
             metrics: Metrics::default(),
             cache,
             chaos,
+            ckpt: config.cache_dir.as_ref().map(|dir| CkptPlan {
+                dir: Some(dir.clone()),
+                cadence: config.checkpoint_every_cycles.max(1),
+                keep: CKPT_KEEP,
+            }),
             inflight: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
             cancel: Arc::new(AtomicBool::new(false)),
@@ -196,6 +219,9 @@ impl Server {
                 "cache recovery: {} entries restored, {} corrupt tail records dropped ({} bytes truncated)",
                 recovery.recovered, recovery.dropped, recovery.truncated_bytes
             );
+        }
+        if let Some(dir) = &config.cache_dir {
+            recover_orphans(&shared, dir);
         }
 
         let supervisors = (0..config.workers.max(1))
@@ -265,6 +291,78 @@ impl Server {
         }
         for h in self.supervisors.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// Startup orphan recovery: a killed server leaves checkpoints (but no
+/// cached result) for every job that was mid-flight. Each one is
+/// re-enqueued from the spec embedded in its checkpoint meta, so the
+/// replacement workers resume it from its last checkpoint instead of
+/// cycle zero. No job is running yet, so corrupt files are necessarily
+/// torn leftovers — dropped and counted, never trusted.
+fn recover_orphans(shared: &Arc<Shared>, dir: &Path) {
+    let Ok(scan) = ckpt::scan(dir) else { return };
+    for path in &scan.corrupt {
+        if fs::remove_file(path).is_ok() {
+            shared.metrics.checkpoints_dropped_corrupt.inc();
+        }
+    }
+    // Stale atomic-write temps (a kill between write and rename) are
+    // litter — no job is running yet, so all of them can go.
+    if let Ok(rd) = fs::read_dir(dir) {
+        for e in rd.filter_map(Result::ok) {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "tmp") {
+                let _ = fs::remove_file(&p);
+            }
+        }
+    }
+    // `scan.valid` is newest-first; the first checkpoint seen per digest
+    // is the one a resume would pick.
+    let mut seen = std::collections::HashSet::new();
+    for (_, ck) in &scan.valid {
+        if !seen.insert(ck.config_digest) || ck.meta("kind") != Some("serve-job") {
+            continue;
+        }
+        if shared.cache.get(ck.config_digest).is_some() {
+            // Completed job with stale checkpoints (e.g. killed between
+            // the cache insert and the checkpoint cleanup).
+            let _ = ckpt::delete_for_digest(dir, ck.config_digest);
+            continue;
+        }
+        let Some(spec) = ck
+            .meta("spec")
+            .and_then(|s| parse(s).ok())
+            .and_then(|v| JobSpec::from_json(&v).ok())
+        else {
+            continue;
+        };
+        // Re-enqueue with a dead reply channel: no client is waiting,
+        // but the in-flight entry lets a resubmission join the resumed
+        // execution, and completion lands in the (persistent) cache.
+        let mut inflight = lock_ignore_poison(&shared.inflight);
+        if inflight.contains_key(&ck.config_digest) {
+            continue;
+        }
+        let (tx, _rx) = mpsc::channel();
+        match shared.queue.try_push(QueuedJob {
+            spec,
+            digest: ck.config_digest,
+            enqueued: Instant::now(),
+            reply: tx,
+        }) {
+            Ok(()) => {
+                inflight.insert(ck.config_digest, Vec::new());
+                shared.metrics.jobs_queued.inc();
+                println!(
+                    "resuming orphaned job {:016x} from checkpoint at cycle {}",
+                    ck.config_digest, ck.cycle
+                );
+            }
+            // Queue full or closed: remaining orphans stay on disk and
+            // resume when resubmitted (or at the next restart).
+            Err(_) => break,
         }
     }
 }
@@ -361,13 +459,41 @@ fn worker_loop(
 fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
     shared.metrics.jobs_running.inc();
     let cancel = Arc::clone(&shared.cancel);
-    let result = catch_unwind(AssertUnwindSafe(|| job::execute(&job.spec, Some(&cancel))))
-        .unwrap_or_else(|_| {
+    let (result, ckpt_info) = catch_unwind(AssertUnwindSafe(|| {
+        job::execute_ckpt(&job.spec, Some(&cancel), shared.ckpt.as_ref())
+    }))
+    .unwrap_or_else(|_| {
+        (
             Err(JobError::Failed(
                 "job panicked (worker pool intact)".to_string(),
-            ))
-        });
+            )),
+            None,
+        )
+    });
     shared.metrics.jobs_running.dec();
+    if let Some(info) = ckpt_info {
+        shared
+            .metrics
+            .checkpoints_written
+            .add(info.checkpoints_written);
+        if info.resumed_from_cycle.is_some() {
+            shared.metrics.checkpoints_resumed.inc();
+        }
+        shared
+            .metrics
+            .checkpoints_dropped_corrupt
+            .add(info.dropped_corrupt);
+        shared.metrics.checkpoints_gc_deleted.add(info.gc_deleted);
+    }
+    // chaos seam: the newest checkpoint this job left on disk is torn,
+    // as if the process died mid-write — recovery (here at the next
+    // resume, or at startup) must drop it without changing any response
+    // byte.
+    if let Some(dir) = shared.ckpt.as_ref().and_then(|p| p.dir.as_deref()) {
+        if shared.chaos.decide(FaultSite::CkptTorn, job.digest) {
+            tear_newest_checkpoint(dir, job.digest);
+        }
+    }
     shared
         .metrics
         .observe_latency(job.spec.kind, job.enqueued.elapsed().as_secs_f64());
@@ -389,6 +515,17 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
 /// Removes the job's in-flight entry and fans the result out to the
 /// submitter and every joiner. A failed send means that client gave up
 /// (disconnected) — not an error.
+/// Truncates the newest on-disk checkpoint of `digest` to half its
+/// bytes (the chaos plane's torn-checkpoint injection).
+fn tear_newest_checkpoint(dir: &Path, digest: u64) {
+    let Ok(scan) = ckpt::scan(dir) else { return };
+    if let Some((path, _)) = scan.latest_for(digest) {
+        if let Ok(bytes) = fs::read(path) {
+            let _ = fs::write(path, &bytes[..bytes.len() / 2]);
+        }
+    }
+}
+
 fn notify(shared: &Arc<Shared>, job: &QueuedJob, result: &JobResult) {
     let waiters = lock_ignore_poison(&shared.inflight)
         .remove(&job.digest)
@@ -581,18 +718,29 @@ fn submit(shared: &Arc<Shared>, spec: JobSpec, digest: u64) -> Submit {
     }
 }
 
-/// Maps a job result to `(status, cache-header, body)`.
-fn job_response(reply: JobResult, cache_state: &str) -> (u16, Option<String>, String) {
+/// Maps a job result to `(status, cache-header, checkpoint-header,
+/// body)`. The checkpoint ref travels as a header (`X-Recon-Checkpoint`)
+/// rather than in the body, so deadline payloads stay byte-stable
+/// across retries that resume from different checkpoints.
+fn job_response(
+    reply: JobResult,
+    cache_state: &str,
+) -> (u16, Option<String>, Option<String>, String) {
     match reply {
-        Ok(out) => (200, Some(cache_state.to_string()), out.payload),
-        Err(JobError::DeadlineExceeded { payload, .. }) => (408, None, payload),
+        Ok(out) => (200, Some(cache_state.to_string()), None, out.payload),
+        Err(JobError::DeadlineExceeded {
+            payload,
+            checkpoint,
+            ..
+        }) => (408, None, checkpoint, payload),
         Err(JobError::Cancelled) => (
             503,
             None,
+            None,
             error_body("cancelled", "job cancelled by shutdown"),
         ),
-        Err(JobError::Invalid(msg)) => (400, None, error_body("invalid_job", &msg)),
-        Err(JobError::Failed(msg)) => (500, None, error_body("job_failed", &msg)),
+        Err(JobError::Invalid(msg)) => (400, None, None, error_body("invalid_job", &msg)),
+        Err(JobError::Failed(msg)) => (500, None, None, error_body("job_failed", &msg)),
     }
 }
 
@@ -643,44 +791,50 @@ fn handle_job(
         );
     }
 
-    let (status, cache_header, payload): (u16, Option<String>, String) =
-        match submit(shared, spec, digest) {
-            Submit::CacheHit(hit) => (200, Some("hit".to_string()), hit.as_str().to_string()),
-            Submit::Full => {
-                return send_job_response(
-                    writer,
-                    shared,
-                    digest,
-                    429,
-                    &[("Retry-After", "1".to_string())],
-                    error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
-                    close,
-                );
-            }
-            Submit::Closed => {
-                return send_job_response(
-                    writer,
-                    shared,
-                    digest,
-                    503,
-                    &[],
-                    error_body("shutting_down", "server is draining; not accepting jobs")
-                        .as_bytes(),
-                    close,
-                );
-            }
-            Submit::Enqueued(rx) | Submit::Joined(rx) => {
-                // The worker always replies (panics are caught, orphans
-                // are recovered); RecvError can only mean the pool is
-                // gone mid-shutdown.
-                let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
-                job_response(reply, "miss")
-            }
-        };
-    let headers: Vec<(&str, String)> = cache_header
+    let (status, cache_header, ckpt_header, payload): (
+        u16,
+        Option<String>,
+        Option<String>,
+        String,
+    ) = match submit(shared, spec, digest) {
+        Submit::CacheHit(hit) => (200, Some("hit".to_string()), None, hit.as_str().to_string()),
+        Submit::Full => {
+            return send_job_response(
+                writer,
+                shared,
+                digest,
+                429,
+                &[("Retry-After", "1".to_string())],
+                error_body("queue_full", "bounded queue at capacity; retry later").as_bytes(),
+                close,
+            );
+        }
+        Submit::Closed => {
+            return send_job_response(
+                writer,
+                shared,
+                digest,
+                503,
+                &[],
+                error_body("shutting_down", "server is draining; not accepting jobs").as_bytes(),
+                close,
+            );
+        }
+        Submit::Enqueued(rx) | Submit::Joined(rx) => {
+            // The worker always replies (panics are caught, orphans
+            // are recovered); RecvError can only mean the pool is
+            // gone mid-shutdown.
+            let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
+            job_response(reply, "miss")
+        }
+    };
+    let mut headers: Vec<(&str, String)> = cache_header
         .into_iter()
         .map(|v| ("X-Recon-Cache", v))
         .collect();
+    if let Some(c) = ckpt_header {
+        headers.push(("X-Recon-Checkpoint", c));
+    }
     send_job_response(
         writer,
         shared,
@@ -820,7 +974,10 @@ fn handle_batch(
             Pending::Done(s, c, b) => (s, c, b),
             Pending::Waiting(rx) => {
                 let reply = rx.recv().unwrap_or(Err(JobError::Cancelled));
-                job_response(reply, "miss")
+                // The checkpoint ref is a header on `/jobs`; batch
+                // responses are multiplexed bodies, so it is dropped.
+                let (s, c, _ckpt, b) = job_response(reply, "miss");
+                (s, c, b)
             }
         };
         if i > 0 {

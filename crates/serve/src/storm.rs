@@ -27,14 +27,22 @@
 //! them.
 
 use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::chaos::FaultSite;
 use crate::client::{Connection, RetryPolicy};
-use crate::job::{self, JobError, JobSpec};
+use crate::job::{self, CkptPlan, JobError, JobSpec};
 use crate::json::parse;
 use crate::server::{ServeConfig, Server};
+
+/// Checkpoint cadence for storm jobs, in simulated cycles — small
+/// enough that run jobs cross several checkpoint boundaries, so the
+/// torn-checkpoint seam and resume-on-retry paths are actually
+/// exercised.
+const STORM_CKPT_EVERY: u64 = 5_000;
 
 /// Storm configuration (the `recon chaos` flags).
 #[derive(Clone, Debug)]
@@ -109,6 +117,14 @@ pub struct ChaosStormReport {
     pub cache_misses: u64,
     /// Duplicate submissions joined to a running execution.
     pub singleflight_joined: u64,
+    /// Simulation checkpoints written by storm jobs.
+    pub checkpoints_written: u64,
+    /// Jobs that resumed from an on-disk checkpoint (retried deadline
+    /// jobs land here).
+    pub checkpoints_resumed: u64,
+    /// Torn checkpoints (the `ckpt-torn` seam's output) dropped during
+    /// recovery instead of being trusted.
+    pub checkpoints_dropped_corrupt: u64,
     /// Wall-clock for the storm, in seconds.
     pub wall_seconds: f64,
 }
@@ -155,6 +171,21 @@ impl ChaosStormReport {
             s,
             "  \"singleflight_joined\": {},",
             self.singleflight_joined
+        );
+        let _ = writeln!(
+            s,
+            "  \"checkpoints_written\": {},",
+            self.checkpoints_written
+        );
+        let _ = writeln!(
+            s,
+            "  \"checkpoints_resumed\": {},",
+            self.checkpoints_resumed
+        );
+        let _ = writeln!(
+            s,
+            "  \"checkpoints_dropped_corrupt\": {},",
+            self.checkpoints_dropped_corrupt
         );
         let _ = writeln!(s, "  \"wall_seconds\": {:.6}", self.wall_seconds);
         let _ = writeln!(s, "}}");
@@ -219,7 +250,15 @@ fn build_slice(client_id: usize, requests: usize) -> Vec<Expected> {
             let v = parse(&json).expect("storm spec parses");
             let spec = JobSpec::from_json(&v).expect("storm spec validates");
             let digest = spec.digest();
-            match job::execute(&spec, None) {
+            // Cadence-only plan: same drain timing as the server's
+            // persisted executions, no disk — the expected bytes must
+            // be computed the way the server will compute them.
+            let plan = CkptPlan {
+                dir: None,
+                cadence: STORM_CKPT_EVERY,
+                keep: 2,
+            };
+            match job::execute_ckpt(&spec, None, Some(&plan)).0 {
                 Ok(out) => Expected {
                     json,
                     digest,
@@ -319,6 +358,13 @@ pub fn run_chaos_storm(config: &ChaosStormConfig) -> io::Result<ChaosStormReport
         .map(|c| Arc::new(build_slice(c, requests)))
         .collect();
 
+    // A fresh scratch dir per storm: checkpoints and the persisted
+    // result cache from a previous run would turn executions into cache
+    // hits and perturb the injected-fault fixed point.
+    let ckpt_dir = storm_scratch_dir(config.seed);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir)?;
+
     let server = Server::start(&ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: config.workers,
@@ -329,7 +375,8 @@ pub fn run_chaos_storm(config: &ChaosStormConfig) -> io::Result<ChaosStormReport
         read_timeout: Duration::from_secs(60),
         write_timeout: Duration::from_secs(60),
         chaos: Some(format!("{},{}", config.seed, config.faults)),
-        cache_dir: None,
+        cache_dir: Some(ckpt_dir.clone()),
+        checkpoint_every_cycles: STORM_CKPT_EVERY,
     })?;
     let addr = server.addr();
 
@@ -372,14 +419,25 @@ pub fn run_chaos_storm(config: &ChaosStormConfig) -> io::Result<ChaosStormReport
     report.cache_hits = shared.metrics.cache_hits.get();
     report.cache_misses = shared.metrics.cache_misses.get();
     report.singleflight_joined = shared.metrics.singleflight_joined.get();
+    report.checkpoints_written = shared.metrics.checkpoints_written.get();
+    report.checkpoints_resumed = shared.metrics.checkpoints_resumed.get();
+    report.checkpoints_dropped_corrupt = shared.metrics.checkpoints_dropped_corrupt.get();
 
     let _ = crate::client::request(addr, "POST", "/shutdown", None);
     server.wait();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     if let Some(path) = &config.out {
         report.write_json(path)?;
     }
     Ok(report)
+}
+
+/// A unique scratch directory for one storm's checkpoints and cache.
+fn storm_scratch_dir(seed: u64) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("recon-chaos-{}-{seed}-{n}", std::process::id()))
 }
 
 #[cfg(test)]

@@ -29,6 +29,13 @@ pub struct Budget {
     /// stops at the next [`CANCEL_CHECK_INTERVAL`] boundary with
     /// [`SimError::Cancelled`].
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Checkpoint cadence in cycles: when set, a checkpointed run
+    /// ([`crate::System::run_budgeted_checkpointed`]) drains the
+    /// pipelines and emits a snapshot every this-many cycles. The
+    /// cadence perturbs microarchitectural timing (draining stalls
+    /// fetch), so it is part of the run configuration: resume
+    /// determinism holds between runs using the *same* cadence.
+    pub checkpoint_every_cycles: Option<u64>,
 }
 
 impl Budget {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ckpt;
 pub mod error;
 pub mod experiment;
 pub mod report;

@@ -20,6 +20,8 @@ use std::time::Instant;
 use recon_secure::SecureConfig;
 use recon_workloads::Benchmark;
 
+use crate::ckpt::{self, CkptContext};
+use crate::error::Budget;
 use crate::experiment::{Experiment, SchemeMatrix};
 use crate::system::SystemResult;
 
@@ -82,6 +84,30 @@ pub fn jobs_from_env() -> Result<usize, String> {
     }
 }
 
+/// Runs `f`, catching a panic and retrying once (transient failures —
+/// e.g. a host hiccup — get a second chance); a second panic becomes
+/// the job's failure message. Panic backtraces still print to stderr.
+fn catch_retry<O>(f: impl Fn() -> O) -> Result<O, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+        Ok(o) => Ok(o),
+        Err(_) => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+            Ok(o) => Ok(o),
+            Err(p) => Err(panic_text(p)),
+        },
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Wall-clock timing of one executed (benchmark, scheme) job.
 #[derive(Clone, Debug)]
 pub struct JobTiming {
@@ -93,38 +119,84 @@ pub struct JobTiming {
     pub seconds: f64,
     /// Simulated cycles, for correlating host time with simulated work.
     pub cycles: u64,
+    /// Whether the job failed (panicked twice) instead of producing a
+    /// result.
+    pub failed: bool,
+}
+
+/// Aggregate checkpoint activity across a checkpointed batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchCkptStats {
+    /// Jobs skipped entirely because a completion record existed.
+    pub cached: usize,
+    /// Jobs resumed from a mid-run checkpoint.
+    pub resumed: usize,
+    /// Checkpoint files written.
+    pub written: u64,
+    /// Corrupt/torn checkpoint files dropped during recovery.
+    pub dropped_corrupt: u64,
+    /// Checkpoint files GC'd past the keep window.
+    pub gc_deleted: u64,
 }
 
 /// Results of a deduplicated batch of (benchmark, scheme) jobs.
+///
+/// A job that panics (after one retry) is recorded as `failed` instead
+/// of aborting the batch: the remaining jobs still run and report.
 #[derive(Clone, Debug)]
 pub struct BatchResults {
     /// One entry per *unique* job, in deterministic (benchmark-major)
-    /// order: (benchmark name, config, result).
-    entries: Vec<(&'static str, SecureConfig, SystemResult)>,
+    /// order: (benchmark name, config, result-or-failure-message).
+    entries: Vec<(&'static str, SecureConfig, Result<SystemResult, String>)>,
     /// Per-job timings, same order as the entries.
     pub timings: Vec<JobTiming>,
     /// Wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
     /// Worker threads used.
     pub jobs: usize,
+    /// Checkpoint activity, when the batch ran with a checkpoint dir.
+    pub ckpt: Option<BatchCkptStats>,
 }
 
 impl BatchResults {
-    /// The result of `bench` under `config`, if it was in the batch.
+    /// The result of `bench` under `config`, if it was in the batch and
+    /// succeeded.
     #[must_use]
     pub fn get(&self, bench: &str, config: SecureConfig) -> Option<&SystemResult> {
         self.entries
             .iter()
             .find(|(b, c, _)| *b == bench && *c == config)
-            .map(|(_, _, r)| r)
+            .and_then(|(_, _, r)| r.as_ref().ok())
     }
 
     /// Like [`get`](Self::get) but panicking with a clear message —
     /// for harnesses that know what they asked for.
     #[must_use]
     pub fn expect(&self, bench: &str, config: SecureConfig) -> &SystemResult {
-        self.get(bench, config)
-            .unwrap_or_else(|| panic!("batch has no result for {bench} under {config}"))
+        match self
+            .entries
+            .iter()
+            .find(|(b, c, _)| *b == bench && *c == config)
+        {
+            Some((_, _, Ok(r))) => r,
+            Some((_, _, Err(e))) => panic!("job {bench} under {config} failed: {e}"),
+            None => panic!("batch has no result for {bench} under {config}"),
+        }
+    }
+
+    /// Jobs that failed (after a retry), as (bench, config, message).
+    #[must_use]
+    pub fn failures(&self) -> Vec<(&'static str, SecureConfig, &str)> {
+        self.entries
+            .iter()
+            .filter_map(|(b, c, r)| r.as_ref().err().map(|e| (*b, *c, e.as_str())))
+            .collect()
+    }
+
+    /// Number of failed jobs.
+    #[must_use]
+    pub fn failed_count(&self) -> usize {
+        self.entries.iter().filter(|(_, _, r)| r.is_err()).count()
     }
 
     /// Number of unique jobs executed.
@@ -165,6 +237,7 @@ impl BatchResults {
         writeln!(f, "{{")?;
         writeln!(f, "  \"jobs\": {},", self.jobs)?;
         writeln!(f, "  \"unique_jobs\": {},", self.job_count())?;
+        writeln!(f, "  \"failed_jobs\": {},", self.failed_count())?;
         writeln!(f, "  \"wall_seconds\": {:.6},", self.wall_seconds)?;
         writeln!(f, "  \"serial_seconds\": {:.6},", self.serial_seconds())?;
         writeln!(f, "  \"speedup\": {:.3},", self.speedup())?;
@@ -174,11 +247,12 @@ impl BatchResults {
             let comma = if i + 1 < n { "," } else { "" };
             writeln!(
                 f,
-                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"seconds\": {:.6}, \"cycles\": {}}}{comma}",
+                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"seconds\": {:.6}, \"cycles\": {}, \"failed\": {}}}{comma}",
                 t.bench,
                 t.config.label(),
                 t.seconds,
-                t.cycles
+                t.cycles,
+                t.failed
             )?;
         }
         writeln!(f, "  ]")?;
@@ -197,6 +271,34 @@ pub fn run_batch(
     configs: &[SecureConfig],
     jobs: usize,
 ) -> BatchResults {
+    run_batch_inner(exp, benches, configs, jobs, None)
+}
+
+/// [`run_batch`] with crash-safe persistence: each job checkpoints into
+/// `ctx.dir` and records its completion there, so re-running the same
+/// batch (same `tag`) after a kill skips finished jobs outright and
+/// resumes partial ones from their last checkpoint. `tag` namespaces
+/// the batch (e.g. `"spec2017/quick"`); it is folded into every job's
+/// config digest along with the cadence.
+#[must_use]
+pub fn run_batch_checkpointed(
+    exp: &Experiment,
+    benches: &[Benchmark],
+    configs: &[SecureConfig],
+    jobs: usize,
+    ctx: &CkptContext,
+    tag: &str,
+) -> BatchResults {
+    run_batch_inner(exp, benches, configs, jobs, Some((ctx, tag)))
+}
+
+fn run_batch_inner(
+    exp: &Experiment,
+    benches: &[Benchmark],
+    configs: &[SecureConfig],
+    jobs: usize,
+    persist: Option<(&CkptContext, &str)>,
+) -> BatchResults {
     let mut work: Vec<(&Benchmark, SecureConfig)> = Vec::new();
     for b in benches {
         let mut seen: Vec<SecureConfig> = Vec::new();
@@ -210,27 +312,66 @@ pub fn run_batch(
     let start = Instant::now();
     let ran = parallel_map(jobs, work, |(b, c)| {
         let t0 = Instant::now();
-        let r = exp.run(&b.workload, c);
+        // One panicking experiment must not abort the suite: catch it,
+        // retry once, and report it as a failed entry.
+        let (outcome, info) = match persist {
+            None => (catch_retry(|| exp.run(&b.workload, c)), None),
+            Some((ctx, tag)) => {
+                let scheme = c.to_string();
+                let digest = ckpt::config_digest(&[tag, b.name, &scheme, &ctx.cadence.to_string()]);
+                let caught = catch_retry(|| {
+                    ckpt::run_with_checkpoints(
+                        exp,
+                        &b.workload,
+                        c,
+                        &Budget::default(),
+                        ctx,
+                        &[
+                            ("kind".to_string(), "suite-job".to_string()),
+                            ("tag".to_string(), tag.to_string()),
+                            ("bench".to_string(), b.name.to_string()),
+                            ("scheme".to_string(), scheme.clone()),
+                            ("cadence".to_string(), ctx.cadence.to_string()),
+                        ],
+                        digest,
+                    )
+                });
+                match caught {
+                    Ok((r, info)) => (r.map_err(|e| e.to_string()), Some(info)),
+                    Err(msg) => (Err(msg), None),
+                }
+            }
+        };
         let seconds = t0.elapsed().as_secs_f64();
-        (b.name, c, r, seconds)
+        (b.name, c, outcome, info, seconds)
     });
     let wall_seconds = start.elapsed().as_secs_f64();
     let mut entries = Vec::with_capacity(ran.len());
     let mut timings = Vec::with_capacity(ran.len());
-    for (bench, config, result, seconds) in ran {
+    let mut ckpt_stats = persist.map(|_| BatchCkptStats::default());
+    for (bench, config, outcome, info, seconds) in ran {
+        if let (Some(s), Some(i)) = (ckpt_stats.as_mut(), info) {
+            s.cached += usize::from(i.result_cached);
+            s.resumed += usize::from(i.resumed_from_cycle.is_some());
+            s.written += i.checkpoints_written;
+            s.dropped_corrupt += i.dropped_corrupt;
+            s.gc_deleted += i.gc_deleted;
+        }
         timings.push(JobTiming {
             bench,
             config,
             seconds,
-            cycles: result.cycles,
+            cycles: outcome.as_ref().map_or(0, |r| r.cycles),
+            failed: outcome.is_err(),
         });
-        entries.push((bench, config, result));
+        entries.push((bench, config, outcome));
     }
     BatchResults {
         entries,
         timings,
         wall_seconds,
         jobs,
+        ckpt: ckpt_stats,
     }
 }
 
@@ -262,6 +403,10 @@ impl Experiment {
     /// Runs the five-way scheme matrix on every benchmark with `jobs`
     /// parallel workers, returning matrices in benchmark order plus the
     /// batch timing report.
+    ///
+    /// A benchmark with any failed job is omitted from the matrices
+    /// (its failure stays visible in [`BatchResults::failures`]); the
+    /// other benchmarks' matrices are unaffected.
     #[must_use]
     pub fn run_matrices(
         &self,
@@ -269,8 +414,29 @@ impl Experiment {
         jobs: usize,
     ) -> (Vec<SchemeMatrix>, BatchResults) {
         let batch = run_batch(self, benches, &MATRIX, jobs);
-        let matrices = benches
+        (Self::matrices_from(benches, &batch), batch)
+    }
+
+    /// [`run_matrices`](Self::run_matrices) with crash-safe suite
+    /// resume: jobs checkpoint into `ctx.dir` under `tag`, completed
+    /// jobs short-circuit on a re-run, and partial jobs resume from
+    /// their last checkpoint (see [`run_batch_checkpointed`]).
+    #[must_use]
+    pub fn run_matrices_checkpointed(
+        &self,
+        benches: &[Benchmark],
+        jobs: usize,
+        ctx: &CkptContext,
+        tag: &str,
+    ) -> (Vec<SchemeMatrix>, BatchResults) {
+        let batch = run_batch_checkpointed(self, benches, &MATRIX, jobs, ctx, tag);
+        (Self::matrices_from(benches, &batch), batch)
+    }
+
+    fn matrices_from(benches: &[Benchmark], batch: &BatchResults) -> Vec<SchemeMatrix> {
+        benches
             .iter()
+            .filter(|b| MATRIX.iter().all(|&c| batch.get(b.name, c).is_some()))
             .map(|b| SchemeMatrix {
                 name: b.name,
                 baseline: batch
@@ -281,8 +447,7 @@ impl Experiment {
                 stt: batch.expect(b.name, SecureConfig::stt()).clone(),
                 stt_recon: batch.expect(b.name, SecureConfig::stt_recon()).clone(),
             })
-            .collect();
-        (matrices, batch)
+            .collect()
     }
 }
 
@@ -317,6 +482,51 @@ mod tests {
             assert!(i != 1, "job failure propagates");
             i
         });
+    }
+
+    #[test]
+    fn catch_retry_recovers_from_one_panic() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let attempts = AtomicU32::new(0);
+        let out = catch_retry(|| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            7
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn catch_retry_reports_persistent_panics() {
+        let out: Result<(), String> = catch_retry(|| panic!("always broken"));
+        assert_eq!(out.unwrap_err(), "always broken");
+    }
+
+    #[test]
+    fn failing_job_does_not_abort_the_batch() {
+        use recon_workloads::{find, Scale, Suite};
+        // An impossible cycle budget makes `Experiment::run` panic
+        // ("run exceeded ... cycles"); the batch must survive, record
+        // the failure per job, and keep zero matrices for the bench.
+        let exp = Experiment {
+            max_cycles: 1,
+            ..Experiment::default()
+        };
+        let benches = vec![find(Suite::Spec2017, "leela", Scale::Quick).unwrap()];
+        let (matrices, batch) = exp.run_matrices(&benches, 2);
+        assert!(matrices.is_empty(), "failed bench is omitted");
+        assert_eq!(batch.failed_count(), batch.job_count());
+        let failures = batch.failures();
+        assert!(!failures.is_empty());
+        assert!(
+            failures[0].2.contains("exceeded"),
+            "failure message survives: {}",
+            failures[0].2
+        );
+        assert!(batch.get("leela", SecureConfig::stt()).is_none());
+        assert!(batch.timings.iter().all(|t| t.failed));
     }
 
     #[test]

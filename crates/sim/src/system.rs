@@ -10,10 +10,23 @@ use recon_mem::{MemConfig, MemStats, MemorySystem};
 use recon_secure::SecureConfig;
 use recon_workloads::Workload;
 
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::error::{Budget, DeadlineReason, SimError, CANCEL_CHECK_INTERVAL};
 
+/// Upper bound on the cycles a checkpoint drain may take. With fetch
+/// paused every shadow resolves and the window empties within a few
+/// thousand cycles on any configuration; a core frozen out-of-fuel
+/// mid-flight can never drain, and this bound turns that into a
+/// skipped checkpoint instead of a hang.
+pub const DRAIN_BOUND_CYCLES: u64 = 1 << 16;
+
 /// Result of a completed (or timed-out) system run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare every counter — the equality the
+/// checkpoint/resume tests use to assert a resumed run is
+/// indistinguishable from an uninterrupted one.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SystemResult {
     /// Whether every core committed its `halt` within the budget.
     pub completed: bool,
@@ -55,6 +68,139 @@ impl SystemResult {
     #[must_use]
     pub fn trace_dropped(&self) -> u64 {
         self.cores.iter().map(|c| c.trace_dropped).sum()
+    }
+
+    /// Serializes the result (every counter) — used by the suite
+    /// runner's completion records, so a restarted suite can skip
+    /// finished jobs and still print their numbers.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"SRES");
+        w.bool(self.completed);
+        w.u64(self.cycles);
+        w.u32(self.cores.len() as u32);
+        for c in &self.cores {
+            for v in [
+                c.cycles,
+                c.committed,
+                c.loads_committed,
+                c.stores_committed,
+                c.branches_committed,
+                c.branch_mispredicts,
+                c.memory_violations,
+                c.squashed,
+                c.guarded_loads,
+                c.guarded_loads_committed,
+                c.loads_delayed_by_scheme,
+                c.scheme_delay_cycles,
+                c.revealed_loads_committed,
+                c.reveals_requested,
+                c.lpt.loads_committed,
+                c.lpt.pairs_detected,
+                c.lpt.tag_conflicts,
+                c.lpt.deactivations,
+                c.lpt.installs_skipped_revealed,
+                c.trace_dropped,
+                c.stall_head_load,
+                c.stall_head_store,
+                c.stall_head_branch,
+                c.stall_head_other,
+                c.stall_empty,
+            ] {
+                w.u64(v);
+            }
+        }
+        let m = &self.mem;
+        for v in [
+            m.l1_hits,
+            m.l2_hits,
+            m.llc_hits,
+            m.mem_fetches,
+            m.stores_performed,
+            m.upgrades,
+            m.remote_forwards,
+            m.invalidations,
+            m.reveals_set,
+            m.reveals_dropped,
+            m.conceals,
+            m.revealed_loads,
+            m.mask_bits_lost_inval,
+            m.mask_bits_lost_evict,
+            m.mask_merges,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Reconstructs a result from [`SystemResult::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<SystemResult, SnapError> {
+        r.expect_tag(b"SRES")?;
+        let completed = r.bool()?;
+        let cycles = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut cores = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let mut c = CoreStats::default();
+            for v in [
+                &mut c.cycles,
+                &mut c.committed,
+                &mut c.loads_committed,
+                &mut c.stores_committed,
+                &mut c.branches_committed,
+                &mut c.branch_mispredicts,
+                &mut c.memory_violations,
+                &mut c.squashed,
+                &mut c.guarded_loads,
+                &mut c.guarded_loads_committed,
+                &mut c.loads_delayed_by_scheme,
+                &mut c.scheme_delay_cycles,
+                &mut c.revealed_loads_committed,
+                &mut c.reveals_requested,
+                &mut c.lpt.loads_committed,
+                &mut c.lpt.pairs_detected,
+                &mut c.lpt.tag_conflicts,
+                &mut c.lpt.deactivations,
+                &mut c.lpt.installs_skipped_revealed,
+                &mut c.trace_dropped,
+                &mut c.stall_head_load,
+                &mut c.stall_head_store,
+                &mut c.stall_head_branch,
+                &mut c.stall_head_other,
+                &mut c.stall_empty,
+            ] {
+                *v = r.u64()?;
+            }
+            cores.push(c);
+        }
+        let mut m = MemStats::default();
+        for v in [
+            &mut m.l1_hits,
+            &mut m.l2_hits,
+            &mut m.llc_hits,
+            &mut m.mem_fetches,
+            &mut m.stores_performed,
+            &mut m.upgrades,
+            &mut m.remote_forwards,
+            &mut m.invalidations,
+            &mut m.reveals_set,
+            &mut m.reveals_dropped,
+            &mut m.conceals,
+            &mut m.revealed_loads,
+            &mut m.mask_bits_lost_inval,
+            &mut m.mask_bits_lost_evict,
+            &mut m.mask_merges,
+        ] {
+            *v = r.u64()?;
+        }
+        Ok(SystemResult {
+            completed,
+            cycles,
+            cores,
+            mem: m,
+        })
     }
 }
 
@@ -148,6 +294,94 @@ impl System {
         &mut self.mem
     }
 
+    /// Cycles simulated so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Pauses fetch on every core and ticks until all pipelines drain
+    /// (or `bound` cycles elapse). Returns `true` once every core's
+    /// window is empty — the only state a snapshot may be taken in.
+    ///
+    /// With fetch paused nothing new dispatches, so in-flight branches
+    /// and stores resolve, shadows retire, guards deactivate, and the
+    /// ROB/LSQ/store buffers empty. A core frozen out-of-fuel mid-window
+    /// cannot drain; the bound converts that into a `false` return
+    /// (checkpoint skipped) rather than a hang. Fetch is resumed before
+    /// returning either way.
+    pub fn drain(&mut self, bound: u64) -> bool {
+        for core in &mut self.cores {
+            core.pause_fetch(true);
+        }
+        let mut spent = 0u64;
+        while !self.cores.iter().all(Core::pipeline_empty) && spent < bound {
+            self.tick();
+            spent += 1;
+        }
+        for core in &mut self.cores {
+            core.pause_fetch(false);
+        }
+        self.cores.iter().all(Core::pipeline_empty)
+    }
+
+    /// Serializes the complete architectural + persistent-metadata state
+    /// of the system: cycle counter, functional memory, cache tags +
+    /// reveal masks + directory, and every core's registers, predictors,
+    /// guard table, LPT, and statistics.
+    ///
+    /// Must be called at a drained boundary (see [`System::drain`]):
+    /// there, no speculative state exists, so none needs capturing.
+    /// All collections serialize in canonical (sorted) order — the same
+    /// state always produces the same bytes.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.tag(b"SYSS");
+        w.u64(self.cycle);
+        self.data.save_snap(&mut w);
+        self.mem.save_snap(&mut w);
+        w.u32(self.cores.len() as u32);
+        for core in &self.cores {
+            core.save_snap(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`System::snapshot_bytes`] into this
+    /// freshly constructed system (same workload and configuration —
+    /// configuration is re-derived from the run setup, not stored).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or corrupt stream, or if the snapshot's
+    /// shape (core count, cache geometry) does not match this system.
+    /// On error the system is partially restored and must be discarded.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.expect_tag(b"SYSS")?;
+        self.cycle = r.u64()?;
+        self.data = recon_isa::SparseMem::load_snap(&mut r)?;
+        self.mem.load_snap(&mut r)?;
+        let n = r.u32()? as usize;
+        if n != self.cores.len() {
+            return Err(SnapError {
+                what: format!("snapshot has {n} cores, system has {}", self.cores.len()),
+                offset: r.offset(),
+            });
+        }
+        for core in &mut self.cores {
+            core.load_snap(&mut r)?;
+        }
+        if !r.is_exhausted() {
+            return Err(SnapError {
+                what: "trailing bytes after system snapshot".to_string(),
+                offset: r.offset(),
+            });
+        }
+        Ok(())
+    }
+
     /// Advances every core one cycle. Returns `true` while any core is
     /// still running.
     pub fn tick(&mut self) -> bool {
@@ -188,12 +422,41 @@ impl System {
         max_cycles: u64,
         budget: &Budget,
     ) -> Result<SystemResult, SimError> {
+        self.run_budgeted_checkpointed(max_cycles, budget, |_, _| {})
+    }
+
+    /// [`System::run_budgeted`] with periodic checkpointing: every
+    /// `budget.checkpoint_every_cycles` cycles the run drains the
+    /// pipelines, snapshots the system, and hands `(cycle, bytes)` to
+    /// `sink`. With no cadence set, `sink` is never called and the run
+    /// is identical to `run_budgeted`.
+    ///
+    /// Restoring a snapshot into a fresh system and calling this again
+    /// (same configuration and cadence, `fuel: None` so the restored
+    /// per-core fuel is kept) continues the run exactly: the resumed
+    /// run's result is equal to the uninterrupted checkpointed run's.
+    ///
+    /// A drain that fails to empty the pipelines within
+    /// [`DRAIN_BOUND_CYCLES`] (a core frozen out-of-fuel) skips that
+    /// checkpoint; the run itself continues unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`System::run_budgeted`].
+    pub fn run_budgeted_checkpointed(
+        &mut self,
+        max_cycles: u64,
+        budget: &Budget,
+        mut sink: impl FnMut(u64, &[u8]),
+    ) -> Result<SystemResult, SimError> {
         let max_cycles = budget.max_cycles.unwrap_or(max_cycles);
         if let Some(fuel) = budget.fuel {
             for core in &mut self.cores {
                 core.set_fuel(fuel);
             }
         }
+        let cadence = budget.checkpoint_every_cycles.map(|c| c.max(1));
+        let mut next_ckpt = cadence.map(|c| self.cycle.saturating_add(c));
         let mut cancelled = false;
         loop {
             if !self.tick() {
@@ -205,6 +468,18 @@ impl System {
             if self.cycle.is_multiple_of(CANCEL_CHECK_INTERVAL) && budget.cancelled() {
                 cancelled = true;
                 break;
+            }
+            if let (Some(at), Some(c)) = (next_ckpt, cadence) {
+                if self.cycle >= at {
+                    if self.drain(DRAIN_BOUND_CYCLES) {
+                        let bytes = self.snapshot_bytes();
+                        sink(self.cycle, &bytes);
+                    }
+                    // Cadence restarts from the post-drain cycle, so an
+                    // uninterrupted run and a resumed run (which starts
+                    // at a post-drain cycle) hit the same boundaries.
+                    next_ckpt = Some(self.cycle.saturating_add(c));
+                }
             }
         }
         let completed = self.cores.iter().all(Core::is_done);

@@ -1,0 +1,99 @@
+//! Cooperative-cancel latency bound: a raised cancel flag must stop the
+//! run within one `CANCEL_CHECK_INTERVAL` of polling, even when every
+//! core is stalled on pathologically slow memory. The cancel poll sits
+//! on the cycle loop, not the commit path, so a core that commits
+//! nothing for thousands of cycles cannot delay it.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use recon::ReconConfig;
+use recon_cpu::CoreConfig;
+use recon_mem::MemConfig;
+use recon_secure::SecureConfig;
+use recon_sim::error::CANCEL_CHECK_INTERVAL;
+use recon_sim::{Budget, SimError, System};
+use recon_workloads::gen::parallel::{generate, ParKind, ParallelParams};
+
+#[test]
+fn cancel_lands_within_one_poll_interval_despite_slow_memory() {
+    let w = generate(ParallelParams {
+        kind: ParKind::SharedChase,
+        slots: 64,
+        cond_lines: 4,
+        passes: 2,
+        seed: 1,
+    });
+    // Memory so slow that a core commits almost nothing between polls:
+    // if cancellation were observed at commit, it would take ~memory
+    // latency cycles past the flag; on the cycle loop it lands at the
+    // first poll boundary regardless.
+    let mut mem_cfg = MemConfig::scaled();
+    mem_cfg.lat.mem = 1_000_000;
+    mem_cfg.lat.remote_fwd = 1_000_000;
+    let mut sys = System::new(
+        &w,
+        CoreConfig::tiny(),
+        mem_cfg,
+        SecureConfig::unsafe_baseline(),
+        ReconConfig::default(),
+    );
+    // Flag raised before the run even starts: the worst case for
+    // latency accounting (the flag is never "freshly" raised).
+    let budget = Budget {
+        cancel: Some(Arc::new(AtomicBool::new(true))),
+        ..Budget::default()
+    };
+    match sys.run_budgeted(u64::MAX, &budget) {
+        Err(SimError::Cancelled { partial }) => {
+            assert!(
+                partial.cycles <= CANCEL_CHECK_INTERVAL,
+                "cancel took {} cycles, bound is {CANCEL_CHECK_INTERVAL}",
+                partial.cycles
+            );
+            assert!(!partial.completed);
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancel_raised_mid_run_lands_at_the_next_boundary() {
+    let w = generate(ParallelParams {
+        kind: ParKind::SharedChase,
+        slots: 64,
+        cond_lines: 4,
+        passes: 2,
+        seed: 1,
+    });
+    let mut mem_cfg = MemConfig::scaled();
+    mem_cfg.lat.mem = 1_000_000;
+    let mut sys = System::new(
+        &w,
+        CoreConfig::tiny(),
+        mem_cfg,
+        SecureConfig::stt(),
+        ReconConfig::default(),
+    );
+    let flag = Arc::new(AtomicBool::new(false));
+    let budget = Budget {
+        cancel: Some(Arc::clone(&flag)),
+        ..Budget::default()
+    };
+    // Advance past the first poll boundary, then raise the flag.
+    while sys.cycle() < CANCEL_CHECK_INTERVAL + 1 {
+        sys.tick();
+    }
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    let raised_at = sys.cycle();
+    match sys.run_budgeted(u64::MAX, &budget) {
+        Err(SimError::Cancelled { partial }) => {
+            assert!(
+                partial.cycles - raised_at <= CANCEL_CHECK_INTERVAL,
+                "cancel observed {} cycles after the flag; bound is {CANCEL_CHECK_INTERVAL}",
+                partial.cycles - raised_at
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}

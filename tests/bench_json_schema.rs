@@ -64,6 +64,7 @@ fn batch_results_json_schema_and_determinism_across_jobs() {
             vec![
                 "jobs",
                 "unique_jobs",
+                "failed_jobs",
                 "wall_seconds",
                 "serial_seconds",
                 "speedup",
@@ -75,6 +76,7 @@ fn batch_results_json_schema_and_determinism_across_jobs() {
             Some(jobs as u64)
         );
         assert_eq!(doc.get("unique_jobs").and_then(json::Json::as_u64), Some(4));
+        assert_eq!(doc.get("failed_jobs").and_then(json::Json::as_u64), Some(0));
         assert!(
             doc.get("wall_seconds")
                 .and_then(json::Json::as_f64)
