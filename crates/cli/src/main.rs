@@ -130,6 +130,20 @@ fn print_run_result(name: &str, suite: Suite, secure: SecureConfig, r: &SystemRe
     println!("  trace dropped     {}", r.trace_dropped());
 }
 
+/// Parses `--fast-forward <instructions>` from already-split flag
+/// pairs: the functional warmup length applied before detailed timing.
+fn ff_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<u64>, String> {
+    match pairs.iter().find(|(f, _)| *f == "--fast-forward") {
+        None => Ok(None),
+        Some((_, v)) => v
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n >= 1)
+            .map(Some)
+            .ok_or_else(|| format!("--fast-forward wants a positive instruction count, got '{v}'")),
+    }
+}
+
 /// Parses `--checkpoint <dir>` / `--checkpoint-every <cycles>` from
 /// already-split flag pairs. `--checkpoint-every` without
 /// `--checkpoint` is an error (it would silently do nothing).
@@ -165,22 +179,47 @@ fn run_meta(
     bench: &str,
     secure: SecureConfig,
     cadence: u64,
+    ff: Option<u64>,
 ) -> Vec<(String, String)> {
-    vec![
+    let mut meta = vec![
         ("kind".to_string(), "run".to_string()),
         ("suite".to_string(), suite.to_string().to_ascii_lowercase()),
         ("bench".to_string(), bench.to_string()),
         ("scheme".to_string(), secure.to_string()),
         ("scale".to_string(), scale_label().to_string()),
         ("cadence".to_string(), cadence.to_string()),
-    ]
+    ];
+    if let Some(ff) = ff {
+        meta.push(("fast_forward".to_string(), ff.to_string()));
+    }
+    meta
 }
 
-fn run_digest(suite: Suite, bench: &str, secure: SecureConfig, cadence: u64) -> u64 {
+fn run_digest(
+    suite: Suite,
+    bench: &str,
+    secure: SecureConfig,
+    cadence: u64,
+    ff: Option<u64>,
+) -> u64 {
     let suite = suite.to_string().to_ascii_lowercase();
     let scheme = secure.to_string();
     let cadence = cadence.to_string();
-    ckpt::config_digest(&["run", &suite, bench, &scheme, scale_label(), &cadence])
+    let mut parts = vec![
+        "run",
+        suite.as_str(),
+        bench,
+        scheme.as_str(),
+        scale_label(),
+        cadence.as_str(),
+    ];
+    // The warmup length changes every result, so warmed runs get their
+    // own checkpoint/result records; unwarmed digests stay unchanged.
+    let ff = ff.map(|n| n.to_string());
+    if let Some(ff) = ff.as_deref() {
+        parts.push(ff);
+    }
+    ckpt::config_digest(&parts)
 }
 
 /// Runs one configured job under a checkpoint context and reports what
@@ -191,18 +230,16 @@ fn run_checkpointed(
     b: &Benchmark,
     secure: SecureConfig,
     ctx: &CkptContext,
+    ff: Option<u64>,
 ) -> ExitCode {
-    let digest = run_digest(suite, b.name, secure, ctx.cadence);
-    let meta = run_meta(suite, b.name, secure, ctx.cadence);
-    let (r, info) = ckpt::run_with_checkpoints(
-        exp,
-        &b.workload,
-        secure,
-        &Budget::default(),
-        ctx,
-        &meta,
-        digest,
-    );
+    let digest = run_digest(suite, b.name, secure, ctx.cadence, ff);
+    let meta = run_meta(suite, b.name, secure, ctx.cadence, ff);
+    let budget = Budget {
+        fast_forward: ff,
+        ..Budget::default()
+    };
+    let (r, info) =
+        ckpt::run_with_checkpoints(exp, &b.workload, secure, &budget, ctx, &meta, digest);
     if info.dropped_corrupt > 0 {
         println!(
             "dropped {} corrupt/stale checkpoint file(s)",
@@ -242,15 +279,29 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str, rest: &[&str]) -> ExitCo
     let Some(secure) = parse_scheme(scheme) else {
         return fail(&format!("unknown scheme '{scheme}' ({SCHEME_NAMES})"));
     };
-    let ctx = match parse_flag_pairs(rest).and_then(|p| ckpt_from_pairs(&p)) {
-        Ok(c) => c,
+    let pairs = match parse_flag_pairs(rest) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let (ctx, ff) = match ckpt_from_pairs(&pairs).and_then(|c| Ok((c, ff_from_pairs(&pairs)?))) {
+        Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let exp = experiment_for(suite);
     match ctx {
-        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx),
+        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx, ff),
         None => {
-            let r = exp.run(&b.workload, secure);
+            let budget = Budget {
+                fast_forward: ff,
+                ..Budget::default()
+            };
+            let r = match exp.try_run(&b.workload, secure, &budget) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("run did not complete: {e}")),
+            };
+            if let Some(ff) = ff {
+                println!("(functional fast-forward: {ff} instructions before detailed timing)");
+            }
             print_run_result(b.name, suite, secure, &r);
             ExitCode::SUCCESS
         }
@@ -301,6 +352,10 @@ fn cmd_resume(file: &str) -> ExitCode {
     let Some(secure) = parse_scheme(scheme) else {
         return fail(&format!("checkpoint names unknown scheme '{scheme}'"));
     };
+    // The warmup length rides in the meta so the resume recomputes the
+    // same digest; the warmup itself is never re-applied (the restored
+    // system is past cycle 0).
+    let ff = ck.meta("fast_forward").and_then(|v| v.parse::<u64>().ok());
     let dir = PathBuf::from(file)
         .parent()
         .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
@@ -309,7 +364,7 @@ fn cmd_resume(file: &str) -> ExitCode {
         cadence,
         keep: CKPT_KEEP,
     };
-    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx)
+    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx, ff)
 }
 
 fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
@@ -349,13 +404,21 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
             "unknown suite '{suite_name}' (spec2017|spec2006|parsec)"
         ));
     };
-    let ctx = match parse_flag_pairs(rest).and_then(|p| ckpt_from_pairs(&p)) {
-        Ok(c) => c,
+    let pairs = match parse_flag_pairs(rest) {
+        Ok(p) => p,
         Err(e) => return fail(&e),
+    };
+    let (ctx, ff) = match ckpt_from_pairs(&pairs).and_then(|c| Ok((c, ff_from_pairs(&pairs)?))) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    let budget = Budget {
+        fast_forward: ff,
+        ..Budget::default()
     };
     let exp = experiment_for(suite);
     let (matrices, batch) = match &ctx {
-        None => exp.run_matrices(&benchmarks, jobs),
+        None => exp.run_matrices_budgeted(&benchmarks, jobs, &budget),
         Some(ctx) => {
             // The tag namespaces this suite's jobs in the checkpoint
             // dir; scale is folded in so quick/paper runs never share
@@ -365,7 +428,7 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
                 suite.to_string().to_ascii_lowercase(),
                 scale_label()
             );
-            exp.run_matrices_checkpointed(&benchmarks, jobs, ctx, &tag)
+            exp.run_matrices_checkpointed_budgeted(&benchmarks, jobs, &budget, ctx, &tag)
         }
     };
     let mut t = Table::new(&[
@@ -413,6 +476,21 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
         batch.serial_seconds(),
         batch.speedup(),
     );
+    if let Some(ff) = ff {
+        println!("(each job fast-forwarded {ff} instructions functionally before detailed timing)");
+    }
+    let mut jt = Table::new(&["benchmark", "scheme", "seconds", "instructions", "MIPS"]);
+    for t in &batch.timings {
+        jt.row(&[
+            t.bench.into(),
+            t.config.label(),
+            format!("{:.3}", t.seconds),
+            t.instructions.to_string(),
+            format!("{:.2}", t.mips()),
+        ]);
+    }
+    println!("per-job throughput:");
+    print!("{}", jt.render());
     let dropped: u64 = matrices
         .iter()
         .map(|m| {
@@ -482,6 +560,7 @@ fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
 fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
     let mut gadget: Option<&str> = None;
     let mut scheme: Option<SecureConfig> = None;
+    let mut ff: Option<u64> = None;
     let mut it = args.iter();
     while let Some(&flag) = it.next() {
         let Some(&value) = it.next() else {
@@ -502,11 +581,30 @@ fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
                     return fail(&format!("unknown scheme '{value}' ({SCHEME_NAMES})"));
                 }
             },
+            "--fast-forward" => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => ff = Some(n),
+                _ => {
+                    return fail(&format!(
+                        "--fast-forward wants a positive instruction count, got '{value}'"
+                    ))
+                }
+            },
             _ => return fail(&format!("unknown verify flag '{flag}'")),
         }
     }
 
-    let report = recon_verify::run_matrix(gadget, scheme, jobs);
+    let budget = Budget {
+        fast_forward: ff,
+        ..Budget::default()
+    };
+    if let Some(n) = ff {
+        println!(
+            "(functional fast-forward: {n} instructions before each soundness \
+             run; gadget cells always run fully detailed — warmup would skip \
+             the leaks they exist to catch)"
+        );
+    }
+    let report = recon_verify::run_matrix_budgeted(gadget, scheme, jobs, &budget);
     let mut t = Table::new(&[
         "gadget",
         "scheme",
@@ -545,7 +643,7 @@ fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
     }
     let mut sound_ok = true;
     if gadget.is_none() && scheme.is_none() {
-        for run in recon_verify::soundness_sweep(jobs) {
+        for run in recon_verify::soundness_sweep_budgeted(jobs, &budget) {
             let ok = run.violations.is_empty();
             sound_ok &= ok;
             println!(
@@ -815,6 +913,116 @@ fn cmd_chaos(args: &[&str], jobs: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `bench-speed`'s flags (`--quick` is valueless; the rest are
+/// pairs) and runs the MIPS scoreboard: functional vs detailed
+/// throughput per scheme, the fast-forward end-to-end speedup, and the
+/// per-optimization microbenchmarks, written to `BENCH_speed.json`.
+fn cmd_bench_speed(args: &[&str]) -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_speed.json".to_string();
+    let mut bench = "mcf".to_string();
+    let mut min_functional: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--quick" => quick = true,
+            "--out" | "--bench" | "--min-functional-speedup" => {
+                let Some(&value) = it.next() else {
+                    return fail(&format!("{flag} wants a value"));
+                };
+                match flag {
+                    "--out" => out = value.to_string(),
+                    "--bench" => bench = value.to_string(),
+                    _ => match value.parse::<f64>() {
+                        Ok(x) if x > 0.0 => min_functional = Some(x),
+                        _ => {
+                            return fail(&format!(
+                                "--min-functional-speedup wants a positive number, got '{value}'"
+                            ))
+                        }
+                    },
+                }
+            }
+            _ => return fail(&format!("unknown bench-speed flag '{flag}'")),
+        }
+    }
+    let report = recon_sim::SpeedReport::measure(Suite::Spec2017, &bench, quick);
+    println!(
+        "bench-speed: {} ({} scale){}",
+        report.bench,
+        report.scale,
+        if quick { ", quick repeats" } else { "" }
+    );
+    println!(
+        "  functional: {} instructions in {:.3}s = {:.2} MIPS",
+        report.functional_instructions,
+        report.functional_seconds,
+        report.functional_mips()
+    );
+    println!(
+        "  fast-forward warmup: {} instructions (detailed tail: {})",
+        report.fast_forward,
+        report.functional_instructions - report.fast_forward
+    );
+    let mut t = Table::new(&[
+        "scheme",
+        "detailed MIPS",
+        "detailed s",
+        "warm s",
+        "speedup",
+        "identical",
+    ]);
+    for s in &report.schemes {
+        t.row(&[
+            s.scheme.label(),
+            format!("{:.2}", s.detailed_mips()),
+            format!("{:.3}", s.detailed_seconds),
+            format!("{:.3}", s.warm_seconds),
+            format!("{:.2}x", s.speedup),
+            if s.identical {
+                "ok".into()
+            } else {
+                "FAIL".into()
+            },
+        ]);
+    }
+    print!("{}", t.render());
+    println!("optimization isolation (baseline vs fast path):");
+    for m in &report.micro {
+        println!(
+            "  {:<6} {:.2} -> {:.2} Mops/s ({:.2}x)  [{} vs {}]",
+            m.name,
+            m.baseline_mops,
+            m.optimized_mops,
+            m.speedup(),
+            m.baseline,
+            m.optimized,
+        );
+    }
+    println!(
+        "functional over fastest detailed: {:.2}x | end-to-end warm speedup (worst scheme): {:.2}x",
+        report.functional_over_detailed(),
+        report.end_to_end_speedup(),
+    );
+    match report.write_json(&out) {
+        Ok(()) => println!("scoreboard written to {out}"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+    if !report.all_identical() {
+        return fail("a warm run's detailed region diverged from its snapshot/restore replica");
+    }
+    if let Some(min) = min_functional {
+        let got = report.functional_over_detailed();
+        if got < min {
+            return fail(&format!(
+                "functional mode is only {got:.2}x the fastest detailed scheme (required {min}x)"
+            ));
+        }
+        println!("functional >= {min}x detailed: ok");
+    }
+    ExitCode::SUCCESS
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
@@ -826,6 +1034,8 @@ fn usage() -> ExitCode {
     eprintln!("  run <suite> <bench> <scheme>       run one configuration");
     eprintln!("      [--checkpoint D] [--checkpoint-every CYC]");
     eprintln!("                                     periodic crash-safe checkpoints into D");
+    eprintln!("      [--fast-forward N]             functional warmup: N instructions before");
+    eprintln!("                                     detailed timing");
     eprintln!("  resume <file.rck>                  continue a checkpointed run");
     eprintln!("  matrix <suite> <bench> [--jobs N]  run all five configurations");
     eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
@@ -833,9 +1043,11 @@ fn usage() -> ExitCode {
     eprintln!("      [--checkpoint D] [--checkpoint-every CYC]");
     eprintln!("                                     crash-safe suite: finished jobs are");
     eprintln!("                                     cached, killed jobs resume");
+    eprintln!("      [--fast-forward N]             functional warmup per job");
     eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
-    eprintln!("                                     (gadget x scheme verdict matrix)");
+    eprintln!("         [--fast-forward N]          (gadget x scheme verdict matrix;");
+    eprintln!("                                     warmup applies to soundness runs only)");
     eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]");
     eprintln!("        [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]");
@@ -844,6 +1056,8 @@ fn usage() -> ExitCode {
     eprintln!("                                     loopback load test -> BENCH_serve.json");
     eprintln!("  chaos [--seed S] [--clients C] [--requests R] [--faults F] [--out P]");
     eprintln!("                                     seeded fault storm -> BENCH_chaos.json");
+    eprintln!("  bench-speed [--quick] [--bench B] [--out P] [--min-functional-speedup X]");
+    eprintln!("                                     MIPS scoreboard -> BENCH_speed.json");
     eprintln!("suites: spec2017 spec2006 parsec");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
     eprintln!("--jobs defaults to RECON_JOBS or all cores");
@@ -886,6 +1100,7 @@ fn main() -> ExitCode {
         ["overhead"] => cmd_overhead(),
         ["serve", rest @ ..] => cmd_serve(rest, jobs),
         ["bench-serve", rest @ ..] => cmd_bench_serve(rest, jobs),
+        ["bench-speed", rest @ ..] => cmd_bench_speed(rest),
         ["chaos", rest @ ..] => cmd_chaos(rest, jobs),
         _ => usage(),
     }

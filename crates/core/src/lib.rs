@@ -48,5 +48,8 @@ pub mod overhead;
 pub mod policy;
 
 pub use lpt::{LoadPairTable, LptStats};
-pub use mask::{line_of, word_index, RevealMask, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use mask::{
+    line_of, word_index, MaskArray, RevealMask, LINE_BYTES, MASKS_PER_WORD, WORDS_PER_LINE,
+    WORD_BYTES,
+};
 pub use policy::{LptSize, ReconConfig, ReconLevels};

@@ -149,6 +149,130 @@ impl core::ops::BitOr for RevealMask {
     }
 }
 
+/// Line masks packed into one u64 word.
+pub const MASKS_PER_WORD: usize = 8;
+
+/// A dense array of per-line [`RevealMask`]s packed eight to a `u64` —
+/// the bitset fast path for the mem-side mask arrays.
+///
+/// Cache and directory structures track one mask per line; scanning or
+/// merging them a byte at a time is the detailed mode's second-biggest
+/// hot-path cost after decode. Packing eight line-masks per machine
+/// word makes the multi-line operations — OR-merging one array into
+/// another (§5.3 eviction/downgrade propagation), counting revealed
+/// words, testing for any reveal — touch words, not bytes, while
+/// keeping single-line get/set a shift-and-mask.
+///
+/// ```
+/// use recon::{MaskArray, RevealMask};
+///
+/// let mut a = MaskArray::new(16);
+/// a.set(3, RevealMask::from_bits(0b101));
+/// assert_eq!(a.get(3).bits(), 0b101);
+/// assert_eq!(a.count_revealed(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MaskArray {
+    words: Vec<u64>,
+    lines: usize,
+}
+
+impl MaskArray {
+    /// An array of `lines` all-concealed masks.
+    #[must_use]
+    pub fn new(lines: usize) -> Self {
+        MaskArray {
+            words: vec![0; lines.div_ceil(MASKS_PER_WORD)],
+            lines,
+        }
+    }
+
+    /// Number of line masks held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines
+    }
+
+    /// Whether the array holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines == 0
+    }
+
+    #[inline]
+    fn slot(line: usize) -> (usize, u32) {
+        (line / MASKS_PER_WORD, (line % MASKS_PER_WORD) as u32 * 8)
+    }
+
+    /// The mask of line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, line: usize) -> RevealMask {
+        assert!(line < self.lines, "line {line} out of range");
+        let (w, sh) = Self::slot(line);
+        RevealMask::from_bits((self.words[w] >> sh) as u8)
+    }
+
+    /// Replaces the mask of line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= len()`.
+    #[inline]
+    pub fn set(&mut self, line: usize, mask: RevealMask) {
+        assert!(line < self.lines, "line {line} out of range");
+        let (w, sh) = Self::slot(line);
+        self.words[w] = (self.words[w] & !(0xFFu64 << sh)) | (u64::from(mask.bits()) << sh);
+    }
+
+    /// ORs `mask` into line `line` (the §5.3 merge rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= len()`.
+    #[inline]
+    pub fn or_line(&mut self, line: usize, mask: RevealMask) {
+        assert!(line < self.lines, "line {line} out of range");
+        let (w, sh) = Self::slot(line);
+        self.words[w] |= u64::from(mask.bits()) << sh;
+    }
+
+    /// ORs every mask of `other` into this array, one machine word at a
+    /// time — the batch form of [`RevealMask::merge_or`] across a whole
+    /// structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays have different lengths.
+    pub fn merge_or_from(&mut self, other: &MaskArray) {
+        assert_eq!(self.lines, other.lines, "mask array size mismatch");
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            *dst |= *src;
+        }
+    }
+
+    /// Total revealed words across every line, by per-word popcount.
+    #[must_use]
+    pub fn count_revealed(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Whether any line has any revealed word (word-wide compare).
+    #[must_use]
+    pub fn any_revealed(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Conceals every word of every line (word-wide clear).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +338,108 @@ mod tests {
     #[test]
     fn all_revealed_counts_eight() {
         assert_eq!(RevealMask::all_revealed().count_revealed(), 8);
+    }
+
+    #[test]
+    fn mask_array_round_trips_every_line() {
+        let mut a = MaskArray::new(21); // not a multiple of MASKS_PER_WORD
+        assert_eq!(a.len(), 21);
+        assert!(!a.is_empty());
+        for line in 0..21 {
+            a.set(line, RevealMask::from_bits((line as u8).wrapping_mul(37)));
+        }
+        for line in 0..21 {
+            assert_eq!(a.get(line).bits(), (line as u8).wrapping_mul(37));
+        }
+    }
+
+    #[test]
+    fn mask_array_set_overwrites_only_its_slot() {
+        let mut a = MaskArray::new(8);
+        for line in 0..8 {
+            a.set(line, RevealMask::all_revealed());
+        }
+        a.set(3, RevealMask::from_bits(0b1));
+        assert_eq!(a.get(3).bits(), 0b1);
+        for line in (0..8).filter(|&l| l != 3) {
+            assert_eq!(a.get(line).bits(), 0xFF);
+        }
+    }
+
+    #[test]
+    fn mask_array_batch_ops_match_per_line_reference() {
+        // Drive MaskArray and a plain Vec<RevealMask> with the same
+        // pseudo-random op sequence; they must stay equivalent.
+        let n = 37;
+        let mut packed = MaskArray::new(n);
+        let mut reference = vec![RevealMask::all_concealed(); n];
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = (x as usize >> 8) % n;
+            let bits = (x >> 32) as u8;
+            match x % 3 {
+                0 => {
+                    packed.set(line, RevealMask::from_bits(bits));
+                    reference[line] = RevealMask::from_bits(bits);
+                }
+                1 => {
+                    packed.or_line(line, RevealMask::from_bits(bits));
+                    reference[line].merge_or(RevealMask::from_bits(bits));
+                }
+                _ => {
+                    assert_eq!(packed.get(line), reference[line]);
+                }
+            }
+        }
+        for (line, want) in reference.iter().enumerate() {
+            assert_eq!(packed.get(line), *want);
+        }
+        let want_count: u64 = reference
+            .iter()
+            .map(|m| u64::from(m.count_revealed()))
+            .sum();
+        assert_eq!(packed.count_revealed(), want_count);
+        assert_eq!(
+            packed.any_revealed(),
+            reference.iter().any(|m| m.any_revealed())
+        );
+    }
+
+    #[test]
+    fn mask_array_merge_or_from_is_per_line_or() {
+        let n = 19;
+        let mut a = MaskArray::new(n);
+        let mut b = MaskArray::new(n);
+        for line in 0..n {
+            a.set(line, RevealMask::from_bits((line as u8) << 1));
+            b.set(line, RevealMask::from_bits(0xA5 ^ line as u8));
+        }
+        let mut want = MaskArray::new(n);
+        for line in 0..n {
+            want.set(line, a.get(line) | b.get(line));
+        }
+        a.merge_or_from(&b);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn mask_array_clear_conceals_everything() {
+        let mut a = MaskArray::new(11);
+        for line in 0..11 {
+            a.set(line, RevealMask::all_revealed());
+        }
+        assert!(a.any_revealed());
+        a.clear();
+        assert!(!a.any_revealed());
+        assert_eq!(a.count_revealed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_array_out_of_range_panics() {
+        let _ = MaskArray::new(4).get(4);
     }
 }

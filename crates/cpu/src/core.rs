@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use recon::{LoadPairTable, ReconConfig};
 use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
-use recon_isa::{AluKind, ArchReg, DataMem, Inst, Program, SparseMem};
+use recon_isa::{AluKind, ArchReg, DataMem, DecodedProgram, Inst, Program, SparseMem};
 use recon_mem::MemorySystem;
 use recon_secure::{GuardTable, SecureConfig, Seq};
 
@@ -64,7 +64,11 @@ pub struct Core {
     id: usize,
     cfg: CoreConfig,
     secure: SecureConfig,
-    program: Arc<Program>,
+    /// Pre-decoded instruction stream: every `Program` instruction's
+    /// operands and class flags computed once at construction, so fetch
+    /// reads dense records instead of re-running the `Inst` accessor
+    /// matches on every slot of every cycle.
+    decoded: Arc<DecodedProgram>,
 
     // Frontend.
     fetch_pc: usize,
@@ -101,6 +105,10 @@ pub struct Core {
 
 impl Core {
     /// Creates a core running `program` from its entry point.
+    ///
+    /// The program is decoded once here; when several cores run the same
+    /// code (multithreaded workloads), decode once with
+    /// [`DecodedProgram::decode`] and use [`Core::with_decoded`] instead.
     #[must_use]
     pub fn new(
         id: usize,
@@ -109,13 +117,31 @@ impl Core {
         secure: SecureConfig,
         recon_cfg: ReconConfig,
     ) -> Self {
-        let lpt_entries = recon_cfg.lpt_size.resolve(cfg.num_pregs);
         let entry = program.entry;
+        let decoded = Arc::new(DecodedProgram::decode(&program));
+        Self::with_decoded(id, decoded, entry, cfg, secure, recon_cfg)
+    }
+
+    /// Creates a core running a shared pre-decoded stream from `entry`.
+    ///
+    /// `entry` overrides the decoded program's own entry point so one
+    /// decode can serve every thread of a multithreaded workload (threads
+    /// share code but start at different instructions).
+    #[must_use]
+    pub fn with_decoded(
+        id: usize,
+        decoded: Arc<DecodedProgram>,
+        entry: usize,
+        cfg: CoreConfig,
+        secure: SecureConfig,
+        recon_cfg: ReconConfig,
+    ) -> Self {
+        let lpt_entries = recon_cfg.lpt_size.resolve(cfg.num_pregs);
         Core {
             id,
             cfg,
             secure,
-            program,
+            decoded,
             fetch_pc: entry,
             fetch_stalled_until: 0,
             fetch_halted: false,
@@ -148,10 +174,38 @@ impl Core {
         self.id
     }
 
+    /// The next instruction index fetch will read (the architectural pc
+    /// when the pipeline is empty).
+    #[must_use]
+    pub fn fetch_pc(&self) -> usize {
+        self.fetch_pc
+    }
+
     /// Seeds an architectural register before the first cycle (thread
     /// ids, base pointers).
     pub fn seed_reg(&mut self, reg: ArchReg, value: u64) {
         self.rename.seed(reg, value);
+    }
+
+    /// Repositions the frontend after a functional fast-forward: fetch
+    /// resumes at `pc`, or the core is marked architecturally finished
+    /// if the warmup already executed the program's `halt`.
+    ///
+    /// Must only be called with an empty pipeline (a fresh or drained
+    /// core); the architectural registers are expected to have been
+    /// written via [`Core::seed_reg`] beforehand.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if instructions are in flight.
+    pub fn warm_restart(&mut self, pc: usize, halted: bool) {
+        debug_assert!(
+            self.pipeline_empty(),
+            "fast-forward writeback requires an empty pipeline"
+        );
+        self.fetch_pc = pc;
+        self.fetch_halted = halted;
+        self.halted = halted;
     }
 
     /// Enables recording of [`Observation`]s (off by default; used by the
@@ -1001,34 +1055,34 @@ impl Core {
                 break;
             }
             let pc = self.fetch_pc;
-            let Some(&inst) = self.program.code.get(pc) else {
+            let Some(&d) = self.decoded.get(pc) else {
                 // Wrong-path fetch ran off the program; stall until a
                 // squash redirects.
                 break;
             };
-            // Structural resources.
+            let inst = d.inst;
+            // Structural resources, from the pre-decoded class flags.
             if !self.rob.has_space() || self.iq.len() >= self.cfg.iq_entries {
                 break;
             }
-            if inst.is_load() && !self.lq.has_space() {
+            if d.is_load && !self.lq.has_space() {
                 break;
             }
-            if inst.is_store() && !matches!(inst, Inst::AmoAdd { .. }) && !self.sq.has_space() {
+            if d.is_store && !d.is_amo && !self.sq.has_space() {
                 break;
             }
-            if inst.dst().is_some() && self.rename.free_count() == 0 {
+            if d.dst.is_some() && self.rename.free_count() == 0 {
                 break;
             }
 
             // Rename.
-            let srcs = inst.srcs();
             let mut renamed = [None, None];
-            for (i, s) in srcs.iter().enumerate() {
+            for (i, s) in d.srcs.iter().enumerate() {
                 renamed[i] = s.map(|r| self.rename.lookup(r));
             }
-            let dst = inst
-                .dst()
-                .map(|d| self.rename.allocate(d).expect("checked free list"));
+            let dst = d
+                .dst
+                .map(|r| self.rename.allocate(r).expect("checked free list"));
 
             let seq = self.rob.push(pc, inst);
             self.trace.push(now, seq, pc, TraceKind::Dispatch);

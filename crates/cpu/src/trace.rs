@@ -66,7 +66,8 @@ impl Default for TraceLog {
 
 impl TraceLog {
     /// Creates a log that retains at most `capacity` events (the newest
-    /// win). A capacity of 0 records nothing but still counts drops.
+    /// win). A capacity of 0 records nothing and costs nothing: the hot
+    /// path returns before touching the ring or the drop counter.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         TraceLog {
@@ -94,25 +95,24 @@ impl TraceLog {
         self.capacity
     }
 
-    /// Events evicted from the ring (or refused at capacity 0) so far.
+    /// Events evicted from the ring so far (capacity 0 skips recording
+    /// entirely and counts nothing).
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
     /// Records an event, evicting the oldest once the ring is full
-    /// (no-op when disabled).
+    /// (no-op when disabled, and free of all bookkeeping — no
+    /// allocation, no dropped-counter churn — at capacity 0).
     #[inline]
     pub fn push(&mut self, cycle: u64, seq: Seq, pc: usize, kind: TraceKind) {
-        if !self.enabled {
+        if !self.enabled || self.capacity == 0 {
             return;
         }
         if self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
-            if self.capacity == 0 {
-                return;
-            }
         }
         self.events.push_back(TraceEvent {
             cycle,
@@ -251,11 +251,11 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_only_counts() {
+    fn zero_capacity_skips_all_bookkeeping() {
         let mut log = TraceLog::with_capacity(0);
         log.set_enabled(true);
         log.push(1, 0, 0, TraceKind::Commit);
         assert!(log.is_empty());
-        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.dropped(), 0, "capacity 0 is a pure fast path");
     }
 }

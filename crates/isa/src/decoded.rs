@@ -1,0 +1,396 @@
+//! Pre-decoded instruction streams and the fast functional engine.
+//!
+//! Decoding in this ISA is cheap but not free: the out-of-order core
+//! used to call [`Inst::dst`], [`Inst::srcs`], [`Inst::is_load`], … on
+//! every fetch of every cycle, re-matching the same enum four to six
+//! times per instruction. [`DecodedProgram`] performs that
+//! classification exactly once per static instruction and stores the
+//! results in a dense `Vec<DecodedInst>`, so fetch becomes one indexed
+//! read of a flat record.
+//!
+//! The same stream feeds [`run_decoded`], the *fast functional engine*:
+//! a straight-line interpreter over architectural state (register file
+//! plus [`DataMem`]) with no ROB, rename, predictor, or
+//! cache model — the execution mode `recon run --fast-forward` uses to
+//! skip warmup instructions at two orders of magnitude above detailed
+//! simulation speed. Its semantics are, instruction for instruction,
+//! those of [`exec::step`](crate::exec::step); the equivalence is
+//! enforced by tests here and at the system level.
+
+use crate::exec::{ArchState, ExecError};
+use crate::inst::Inst;
+use crate::mem::DataMem;
+use crate::program::Program;
+use crate::reg::ArchReg;
+
+/// One statically decoded instruction: the raw [`Inst`] plus every
+/// classification the pipeline front-end needs, computed once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodedInst {
+    /// The instruction itself (for execute/commit-side matching).
+    pub inst: Inst,
+    /// Destination register, if any ([`Inst::dst`]).
+    pub dst: Option<ArchReg>,
+    /// Source registers ([`Inst::srcs`]).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Reads memory ([`Inst::is_load`]): loads and atomics.
+    pub is_load: bool,
+    /// Writes memory ([`Inst::is_store`]): stores and atomics.
+    pub is_store: bool,
+    /// Is an atomic fetch-add (both load and store, serializing).
+    pub is_amo: bool,
+    /// Is a conditional branch ([`Inst::is_cond_branch`]).
+    pub is_cond_branch: bool,
+    /// Is a control-flow instruction ([`Inst::is_control`]).
+    pub is_control: bool,
+    /// Is an STT transmitter ([`Inst::is_transmitter`]).
+    pub is_transmitter: bool,
+}
+
+impl DecodedInst {
+    /// Decodes one instruction.
+    #[must_use]
+    pub fn decode(inst: Inst) -> Self {
+        DecodedInst {
+            inst,
+            dst: inst.dst(),
+            srcs: inst.srcs(),
+            is_load: inst.is_load(),
+            is_store: inst.is_store(),
+            is_amo: matches!(inst, Inst::AmoAdd { .. }),
+            is_cond_branch: inst.is_cond_branch(),
+            is_control: inst.is_control(),
+            is_transmitter: inst.is_transmitter(),
+        }
+    }
+}
+
+/// A whole program decoded into a dense stream, indexed by instruction
+/// address. Built once per [`Program`] and shared by every consumer
+/// (typically behind an `Arc`): the out-of-order front-end fetches from
+/// it, and the fast functional engine interprets it directly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodedProgram {
+    insts: Vec<DecodedInst>,
+    /// Entry point copied from the program.
+    pub entry: usize,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program`.
+    #[must_use]
+    pub fn decode(program: &Program) -> Self {
+        DecodedProgram {
+            insts: program
+                .code
+                .iter()
+                .map(|&i| DecodedInst::decode(i))
+                .collect(),
+            entry: program.entry,
+        }
+    }
+
+    /// The decoded instruction at `pc`, or `None` past the end.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, pc: usize) -> Option<&DecodedInst> {
+        self.insts.get(pc)
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Runs up to `max_steps` instructions of `decoded` functionally,
+/// starting from (and updating) an existing [`ArchState`] — the
+/// resumable fast-forward engine.
+///
+/// Unlike [`run_with`](crate::run_with) this takes the caller's state
+/// instead of starting at the entry point, builds no per-step records,
+/// and touches nothing but the register file and `mem`. Returns the
+/// number of instructions executed; execution stops early when the
+/// program halts (including a halt *before* the first step).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on an out-of-range `pc` or a misaligned
+/// address — identical conditions to [`exec::step`](crate::exec::step).
+pub fn run_decoded<M: DataMem>(
+    decoded: &DecodedProgram,
+    state: &mut ArchState,
+    mem: &mut M,
+    max_steps: u64,
+) -> Result<u64, ExecError> {
+    let mut n = 0u64;
+    while n < max_steps && !state.halted {
+        let pc = state.pc;
+        let Some(d) = decoded.insts.get(pc) else {
+            return Err(ExecError::PcOutOfRange { pc });
+        };
+        let mut next_pc = pc + 1;
+        match d.inst {
+            Inst::LoadImm { dst, imm } => state.write(dst, imm),
+            Inst::Alu { kind, dst, a, b } => {
+                let v = kind.apply(state.read(a), state.read(b));
+                state.write(dst, v);
+            }
+            Inst::AluImm { kind, dst, a, imm } => {
+                let v = kind.apply(state.read(a), imm);
+                state.write(dst, v);
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = aligned(state.read(base), offset, pc)?;
+                let v = mem.read(addr);
+                state.write(dst, v);
+            }
+            Inst::LoadIdx { dst, base, index } => {
+                let offset = state.read(index).wrapping_shl(3) as i64;
+                let addr = aligned(state.read(base), offset, pc)?;
+                let v = mem.read(addr);
+                state.write(dst, v);
+            }
+            Inst::Store { val, base, offset } => {
+                let addr = aligned(state.read(base), offset, pc)?;
+                mem.write(addr, state.read(val));
+            }
+            Inst::AmoAdd {
+                dst,
+                base,
+                offset,
+                add,
+            } => {
+                let addr = aligned(state.read(base), offset, pc)?;
+                let old = mem.read(addr);
+                mem.write(addr, old.wrapping_add(state.read(add)));
+                state.write(dst, old);
+            }
+            Inst::Branch { kind, a, b, target } => {
+                if kind.taken(state.read(a), state.read(b)) {
+                    next_pc = target;
+                }
+            }
+            Inst::Jump { target } => next_pc = target,
+            Inst::Nop => {}
+            Inst::Halt => {
+                state.halted = true;
+                next_pc = pc;
+            }
+        }
+        state.pc = next_pc;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[inline]
+fn aligned(base: u64, offset: i64, at: usize) -> Result<u64, ExecError> {
+    let addr = base.wrapping_add(offset as u64);
+    if !addr.is_multiple_of(8) {
+        return Err(ExecError::Misaligned { at, addr });
+    }
+    Ok(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::exec::{run_collect, step};
+    use crate::inst::AluKind;
+    use crate::reg::names::*;
+    use crate::reg::NUM_ARCH_REGS;
+    use crate::rng::{Rng as _, SplitMix64};
+    use crate::SparseMem;
+
+    fn pointer_loop_program() -> Program {
+        let mut a = Asm::new();
+        a.data(0x100, 0x200).data(0x200, 0x300).data(0x300, 0x100);
+        a.data(0x108, 1).data(0x208, 2).data(0x308, 3);
+        a.li(R1, 0x100).li(R2, 0).li(R3, 30);
+        let top = a.here();
+        a.load(R1, R1, 0); // pointer chase
+        a.load(R4, R1, 8); // payload
+        a.add(R2, R2, R4);
+        a.subi(R3, R3, 1);
+        a.bne_to(R3, R0, top);
+        a.store(R2, R1, 16);
+        a.amoadd(R5, R1, 24, R2);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn decoded_fields_match_accessors() {
+        let p = pointer_loop_program();
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.len(), p.code.len());
+        assert_eq!(d.entry, p.entry);
+        for (i, inst) in p.code.iter().enumerate() {
+            let dec = d.get(i).unwrap();
+            assert_eq!(dec.inst, *inst);
+            assert_eq!(dec.dst, inst.dst());
+            assert_eq!(dec.srcs, inst.srcs());
+            assert_eq!(dec.is_load, inst.is_load());
+            assert_eq!(dec.is_store, inst.is_store());
+            assert_eq!(dec.is_amo, matches!(inst, Inst::AmoAdd { .. }));
+            assert_eq!(dec.is_cond_branch, inst.is_cond_branch());
+            assert_eq!(dec.is_control, inst.is_control());
+            assert_eq!(dec.is_transmitter, inst.is_transmitter());
+        }
+        assert!(d.get(p.code.len()).is_none());
+    }
+
+    #[test]
+    fn fast_engine_matches_step_semantics_exactly() {
+        let p = pointer_loop_program();
+        let d = DecodedProgram::decode(&p);
+
+        // Reference: the per-step golden model.
+        let mut ref_mem = SparseMem::from_image(&p.image);
+        let mut ref_state = ArchState::at_entry(&p);
+        let mut steps = 0u64;
+        while !ref_state.halted {
+            step(&p, &mut ref_state, &mut ref_mem).unwrap();
+            steps += 1;
+        }
+
+        // Fast engine, run to completion.
+        let mut mem = SparseMem::from_image(&p.image);
+        let mut state = ArchState::at_entry(&p);
+        let n = run_decoded(&d, &mut state, &mut mem, u64::MAX).unwrap();
+        assert_eq!(n, steps);
+        assert_eq!(state, ref_state);
+        assert_eq!(mem, ref_mem);
+    }
+
+    #[test]
+    fn fast_engine_resumes_mid_program() {
+        let p = pointer_loop_program();
+        let d = DecodedProgram::decode(&p);
+        let (_, whole) = run_collect(&p, 10_000).unwrap();
+
+        // Split the run at an arbitrary point: the state threads through.
+        let mut mem = SparseMem::from_image(&p.image);
+        let mut state = ArchState::at_entry(&p);
+        let a = run_decoded(&d, &mut state, &mut mem, 37).unwrap();
+        assert_eq!(a, 37);
+        assert!(!state.halted);
+        let b = run_decoded(&d, &mut state, &mut mem, u64::MAX).unwrap();
+        assert!(state.halted);
+        assert_eq!(state, whole);
+        assert!(a + b > 37);
+    }
+
+    #[test]
+    fn fast_engine_stops_on_halted_state_without_stepping() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::decode(&p);
+        let mut mem = SparseMem::new();
+        let mut state = ArchState::at_entry(&p);
+        assert_eq!(run_decoded(&d, &mut state, &mut mem, 10).unwrap(), 1);
+        assert!(state.halted);
+        assert_eq!(state.pc, 0, "halt freezes the pc");
+        assert_eq!(run_decoded(&d, &mut state, &mut mem, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn fast_engine_reports_the_same_errors() {
+        let p = Program::new(vec![Inst::Nop]);
+        let d = DecodedProgram::decode(&p);
+        let mut mem = SparseMem::new();
+        let mut state = ArchState::at_entry(&p);
+        assert_eq!(
+            run_decoded(&d, &mut state, &mut mem, 10).unwrap_err(),
+            ExecError::PcOutOfRange { pc: 1 }
+        );
+
+        let mut a = Asm::new();
+        a.li(R1, 0x101).load(R2, R1, 0).halt();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::decode(&p);
+        let mut state = ArchState::at_entry(&p);
+        assert_eq!(
+            run_decoded(&d, &mut state, &mut mem, 10).unwrap_err(),
+            ExecError::Misaligned { at: 1, addr: 0x101 }
+        );
+    }
+
+    #[test]
+    fn fast_engine_matches_golden_model_on_randomized_programs() {
+        // Exercise every opcode against run_collect over a spread of
+        // seeds (deterministic: the generator is seeded).
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0x5eed ^ seed);
+            let mut a = Asm::new();
+            for i in 0..64u64 {
+                a.data(0x1000 + i * 8, rng.next_u64());
+            }
+            a.li(R1, 0x1000).li(R2, 8).li(R3, 0);
+            for _ in 0..40 {
+                match rng.next_u64() % 6 {
+                    0 => {
+                        a.andi(R4, R4, 0x1f8).load(R5, R1, 0);
+                    }
+                    1 => {
+                        a.andi(R4, R4, 63).loadidx(R5, R1, R4);
+                    }
+                    2 => {
+                        a.store(R5, R1, 8);
+                    }
+                    3 => {
+                        a.add(R4, R4, R2).xor(R5, R5, R4);
+                    }
+                    4 => {
+                        a.amoadd(R6, R1, 16, R2);
+                    }
+                    _ => {
+                        a.alu(AluKind::Sltu, R6, R4, R5).addi(R3, R3, 1);
+                    }
+                }
+            }
+            a.halt();
+            let p = a.assemble().unwrap();
+            let (_, want) = run_collect(&p, 100_000).unwrap();
+            let d = DecodedProgram::decode(&p);
+            let mut mem = SparseMem::from_image(&p.image);
+            let mut state = ArchState::at_entry(&p);
+            run_decoded(&d, &mut state, &mut mem, u64::MAX).unwrap();
+            assert_eq!(state, want, "seed {seed}");
+            let mut ref_mem = SparseMem::from_image(&p.image);
+            let mut ref_state = ArchState::at_entry(&p);
+            while !ref_state.halted {
+                step(&p, &mut ref_state, &mut ref_mem).unwrap();
+            }
+            assert_eq!(mem, ref_mem, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_register_values_thread_through_resume() {
+        // A state with every register populated resumes bit-exactly.
+        let mut a = Asm::new();
+        for r in 1..NUM_ARCH_REGS {
+            a.li(ArchReg::new(r), (r as u64) << 32 | 0xabcd);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::decode(&p);
+        let mut mem = SparseMem::new();
+        let mut state = ArchState::at_entry(&p);
+        run_decoded(&d, &mut state, &mut mem, u64::MAX).unwrap();
+        for r in 1..NUM_ARCH_REGS {
+            assert_eq!(state.read(ArchReg::new(r)), (r as u64) << 32 | 0xabcd);
+        }
+    }
+}

@@ -24,9 +24,16 @@ impl ArchState {
     /// Fresh state: all registers zero, `pc` at the program entry.
     #[must_use]
     pub fn at_entry(program: &Program) -> Self {
+        Self::at_pc(program.entry)
+    }
+
+    /// Fresh state: all registers zero, starting at an arbitrary `pc`
+    /// (e.g. a secondary thread's entry point).
+    #[must_use]
+    pub fn at_pc(pc: usize) -> Self {
         ArchState {
             regs: [0; NUM_ARCH_REGS],
-            pc: program.entry,
+            pc,
             halted: false,
         }
     }

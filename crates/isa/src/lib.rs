@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod asm;
+pub mod decoded;
 pub mod exec;
 pub mod hash;
 pub mod inst;
@@ -46,6 +47,7 @@ pub mod rng;
 pub mod snap;
 
 pub use asm::{Asm, AsmError, Label};
+pub use decoded::{run_decoded, DecodedInst, DecodedProgram};
 pub use exec::{
     run_collect, run_with, run_with_status, ArchState, ExecError, MemEffect, StepRecord,
 };

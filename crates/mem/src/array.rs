@@ -4,20 +4,26 @@
 //! [`RevealMask`]. Data values are *not* stored: the reproduction is a
 //! timing-directed model where architectural data lives in a flat
 //! functional memory (see `recon-sim`), as in many timing simulators.
+//!
+//! Reveal masks live in a dense [`MaskArray`] indexed by `(set, way)`
+//! rather than inside the per-way metadata, so array-wide mask
+//! operations (occupancy-style reveal counts, any-revealed probes) run
+//! over packed `u64` words instead of walking every way a byte at a
+//! time.
 
-use recon::RevealMask;
+use recon::{MaskArray, RevealMask};
 use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::geometry::CacheGeometry;
 use crate::mesi::Mesi;
 
-/// One way of one set.
+/// One way of one set (coherence metadata only — the reveal mask is in
+/// the array's packed [`MaskArray`]).
 #[derive(Clone, Copy, Debug, Default)]
 struct Way {
     valid: bool,
     tag: u64,
     state: Mesi,
-    mask: RevealMask,
     last_use: u64,
 }
 
@@ -47,6 +53,7 @@ pub struct Evicted {
 pub struct CacheArray {
     geom: CacheGeometry,
     sets: Vec<Vec<Way>>,
+    masks: MaskArray,
     tick: u64,
 }
 
@@ -55,9 +62,11 @@ impl CacheArray {
     #[must_use]
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = vec![vec![Way::default(); geom.ways()]; geom.num_sets()];
+        let masks = MaskArray::new(geom.num_sets() * geom.ways());
         CacheArray {
             geom,
             sets,
+            masks,
             tick: 0,
         }
     }
@@ -66,6 +75,12 @@ impl CacheArray {
     #[must_use]
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
+    }
+
+    /// Flat index of `(set, way)` into the packed mask array.
+    #[inline]
+    fn mask_slot(&self, set: usize, way: usize) -> usize {
+        set * self.geom.ways() + way
     }
 
     fn find(&self, addr: u64) -> Option<(usize, usize)> {
@@ -85,7 +100,8 @@ impl CacheArray {
     /// The reveal mask of the line containing `addr`, if present.
     #[must_use]
     pub fn mask_of(&self, addr: u64) -> Option<RevealMask> {
-        self.find(addr).map(|(s, w)| self.sets[s][w].mask)
+        self.find(addr)
+            .map(|(s, w)| self.masks.get(self.mask_slot(s, w)))
     }
 
     /// Looks up the line and refreshes its LRU position. Returns
@@ -94,7 +110,7 @@ impl CacheArray {
         let (s, w) = self.find(addr)?;
         self.tick += 1;
         self.sets[s][w].last_use = self.tick;
-        Some((self.sets[s][w].state, self.sets[s][w].mask))
+        Some((self.sets[s][w].state, self.masks.get(self.mask_slot(s, w))))
     }
 
     /// Changes the state of a present line. Returns `false` if absent.
@@ -112,7 +128,7 @@ impl CacheArray {
     pub fn set_mask(&mut self, addr: u64, mask: RevealMask) -> bool {
         match self.find(addr) {
             Some((s, w)) => {
-                self.sets[s][w].mask = mask;
+                self.masks.set(self.mask_slot(s, w), mask);
                 true
             }
             None => false,
@@ -124,7 +140,22 @@ impl CacheArray {
     pub fn update_mask(&mut self, addr: u64, f: impl FnOnce(&mut RevealMask)) -> bool {
         match self.find(addr) {
             Some((s, w)) => {
-                f(&mut self.sets[s][w].mask);
+                let slot = self.mask_slot(s, w);
+                let mut mask = self.masks.get(slot);
+                f(&mut mask);
+                self.masks.set(slot, mask);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// ORs `mask` into a present line's mask via the packed batch path
+    /// (the §5.3 merge rule). Returns `false` if absent.
+    pub fn or_mask(&mut self, addr: u64, mask: RevealMask) -> bool {
+        match self.find(addr) {
+            Some((s, w)) => {
+                self.masks.or_line(self.mask_slot(s, w), mask);
                 true
             }
             None => false,
@@ -141,46 +172,53 @@ impl CacheArray {
         self.tick += 1;
         let tick = self.tick;
         if let Some((s, w)) = self.find(addr) {
+            let slot = self.mask_slot(s, w);
             let way = &mut self.sets[s][w];
             way.state = state;
-            way.mask = mask;
             way.last_use = tick;
+            self.masks.set(slot, mask);
             return None;
         }
         let (set, tag) = self.geom.slice(addr);
-        let ways = &mut self.sets[set];
-        let slot = if let Some(i) = ways.iter().position(|w| !w.valid) {
+        let slot = if let Some(i) = self.sets[set].iter().position(|w| !w.valid) {
             i
         } else {
             // LRU victim.
-            ways.iter()
+            self.sets[set]
+                .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.last_use)
                 .map(|(i, _)| i)
                 .expect("associativity is positive")
         };
-        let victim = &ways[slot];
+        let mask_slot = self.mask_slot(set, slot);
+        let victim = &self.sets[set][slot];
         let evicted = victim.valid.then(|| Evicted {
             addr: self.geom.unslice(set, victim.tag),
             state: victim.state,
-            mask: victim.mask,
+            mask: self.masks.get(mask_slot),
         });
-        ways[slot] = Way {
+        self.sets[set][slot] = Way {
             valid: true,
             tag,
             state,
-            mask,
             last_use: tick,
         };
+        self.masks.set(mask_slot, mask);
         evicted
     }
 
     /// Removes a line, returning its `(state, mask)` if it was present.
     pub fn invalidate(&mut self, addr: u64) -> Option<(Mesi, RevealMask)> {
         let (s, w) = self.find(addr)?;
+        let slot = self.mask_slot(s, w);
+        let mask = self.masks.get(slot);
+        // Conceal the slot so array-wide packed scans only see valid
+        // lines' reveal bits.
+        self.masks.set(slot, RevealMask::all_concealed());
         let way = &mut self.sets[s][w];
         way.valid = false;
-        Some((way.state, way.mask))
+        Some((way.state, mask))
     }
 
     /// Number of valid lines (for tests and occupancy stats).
@@ -189,12 +227,29 @@ impl CacheArray {
         self.sets.iter().flatten().filter(|w| w.valid).count()
     }
 
+    /// Total revealed words across all resident lines, computed by
+    /// `u64` popcount over the packed mask array — no per-way walk.
+    ///
+    /// Invalidated slots are concealed eagerly, so the packed count
+    /// equals the sum over valid lines.
+    #[must_use]
+    pub fn revealed_words(&self) -> u64 {
+        self.masks.count_revealed()
+    }
+
     /// Iterates over `(line_addr, state, mask)` of every valid line.
     pub fn iter_lines(&self) -> impl Iterator<Item = (u64, Mesi, RevealMask)> + '_ {
         self.sets.iter().enumerate().flat_map(move |(set, ways)| {
             ways.iter()
-                .filter(|w| w.valid)
-                .map(move |w| (self.geom.unslice(set, w.tag), w.state, w.mask))
+                .enumerate()
+                .filter(|(_, w)| w.valid)
+                .map(move |(way, w)| {
+                    (
+                        self.geom.unslice(set, w.tag),
+                        w.state,
+                        self.masks.get(self.mask_slot(set, way)),
+                    )
+                })
         })
     }
 
@@ -207,13 +262,13 @@ impl CacheArray {
         w.u64(self.tick);
         w.u32(self.sets.len() as u32);
         w.u32(self.geom.ways() as u32);
-        for ways in &self.sets {
-            for way in ways {
-                w.bool(way.valid);
-                w.u64(way.tag);
-                w.u8(mesi_to_u8(way.state));
-                w.u8(way.mask.bits());
-                w.u64(way.last_use);
+        for (set, ways) in self.sets.iter().enumerate() {
+            for (way, meta) in ways.iter().enumerate() {
+                w.bool(meta.valid);
+                w.u64(meta.tag);
+                w.u8(mesi_to_u8(meta.state));
+                w.u8(self.masks.get(self.mask_slot(set, way)).bits());
+                w.u64(meta.last_use);
             }
         }
     }
@@ -242,20 +297,35 @@ impl CacheArray {
             });
         }
         let mut sets = Vec::with_capacity(num_sets);
-        for _ in 0..num_sets {
+        let mut masks = MaskArray::new(num_sets * num_ways);
+        for set in 0..num_sets {
             let mut ways = Vec::with_capacity(num_ways);
-            for _ in 0..num_ways {
+            for way in 0..num_ways {
+                let valid = r.bool()?;
+                let tag = r.u64()?;
+                let state = mesi_from_u8(r.u8()?, r)?;
+                let mask = RevealMask::from_bits(r.u8()?);
+                let last_use = r.u64()?;
                 ways.push(Way {
-                    valid: r.bool()?,
-                    tag: r.u64()?,
-                    state: mesi_from_u8(r.u8()?, r)?,
-                    mask: RevealMask::from_bits(r.u8()?),
-                    last_use: r.u64()?,
+                    valid,
+                    tag,
+                    state,
+                    last_use,
                 });
+                // Invalid slots stay concealed in the packed array so
+                // revealed_words() counts only resident lines.
+                if valid {
+                    masks.set(set * num_ways + way, mask);
+                }
             }
             sets.push(ways);
         }
-        Ok(CacheArray { geom, sets, tick })
+        Ok(CacheArray {
+            geom,
+            sets,
+            masks,
+            tick,
+        })
     }
 }
 
@@ -382,6 +452,33 @@ mod tests {
     }
 
     #[test]
+    fn or_mask_merges_via_packed_path() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified, RevealMask::from_bits(0b0001));
+        assert!(c.or_mask(0x000, RevealMask::from_bits(0b1010)));
+        assert_eq!(c.mask_of(0x000), Some(RevealMask::from_bits(0b1011)));
+        assert!(!c.or_mask(0x040, RevealMask::all_revealed()), "absent line");
+    }
+
+    #[test]
+    fn revealed_words_counts_only_resident_lines() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified, RevealMask::from_bits(0b0111));
+        c.fill(0x040, Mesi::Shared, RevealMask::from_bits(0b1000));
+        assert_eq!(c.revealed_words(), 4);
+        c.invalidate(0x000);
+        assert_eq!(c.revealed_words(), 1, "invalidated slot is concealed");
+        // Evicting 0x040 (set 1, along with 0x0C0 and 0x140) must drop
+        // its bits from the packed count as the victim leaves.
+        c.fill(0x0C0, Mesi::Shared, RevealMask::all_concealed());
+        let ev = c
+            .fill(0x140, Mesi::Shared, RevealMask::all_concealed())
+            .unwrap();
+        assert_eq!(ev.addr, 0x040);
+        assert_eq!(c.revealed_words(), 0);
+    }
+
+    #[test]
     fn iter_lines_lists_valid() {
         let mut c = small();
         c.fill(0x000, Mesi::Shared, RevealMask::all_concealed());
@@ -389,5 +486,21 @@ mod tests {
         let mut lines: Vec<_> = c.iter_lines().map(|(a, s, _)| (a, s)).collect();
         lines.sort();
         assert_eq!(lines, vec![(0x000, Mesi::Shared), (0x040, Mesi::Modified)]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_masks_in_packed_store() {
+        let mut c = small();
+        c.fill(0x000, Mesi::Modified, RevealMask::from_bits(0b0101));
+        c.fill(0x080, Mesi::Shared, RevealMask::from_bits(0b0010));
+        c.invalidate(0x080);
+        let mut w = SnapWriter::new();
+        c.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = CacheArray::load_snap(c.geometry(), &mut r).unwrap();
+        assert_eq!(back.mask_of(0x000), Some(RevealMask::from_bits(0b0101)));
+        assert_eq!(back.occupancy(), 1);
+        assert_eq!(back.revealed_words(), 2);
     }
 }

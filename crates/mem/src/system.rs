@@ -518,13 +518,12 @@ impl MemorySystem {
             return false;
         }
         let wi = word_index(addr);
+        let bit = RevealMask::from_bits(1 << wi);
         let set = 'set: {
-            if self.cores[core].l1.update_mask(addr, |m| m.reveal(wi)) {
+            if self.cores[core].l1.or_mask(addr, bit) {
                 break 'set true;
             }
-            if self.recon.levels.covers_l2()
-                && self.cores[core].l2.update_mask(addr, |m| m.reveal(wi))
-            {
+            if self.recon.levels.covers_l2() && self.cores[core].l2.or_mask(addr, bit) {
                 break 'set true;
             }
             if self.recon.levels.covers_llc() {
@@ -535,7 +534,7 @@ impl MemorySystem {
                 let owned_elsewhere = matches!(
                     self.dir.get(&line), Some(DirState::Owned { owner }) if *owner != core
                 );
-                if !owned_elsewhere && self.llc.update_mask(addr, |m| m.reveal(wi)) {
+                if !owned_elsewhere && self.llc.or_mask(addr, bit) {
                     break 'set true;
                 }
             }
@@ -888,13 +887,11 @@ impl MemorySystem {
     fn fill_l1(&mut self, core: usize, addr: u64, state: Mesi, mask: RevealMask) {
         if let Some(ev) = self.cores[core].l1.fill(addr, state, mask) {
             if self.recon.levels.covers_l2() {
-                let merged = self.cores[core].l2.update_mask(ev.addr, |m| {
-                    if ev.state == Mesi::Modified {
-                        *m = ev.mask; // owner writeback overwrites
-                    } else {
-                        m.merge_or(ev.mask); // reader eviction ORs
-                    }
-                });
+                let merged = if ev.state == Mesi::Modified {
+                    self.cores[core].l2.set_mask(ev.addr, ev.mask) // owner writeback overwrites
+                } else {
+                    self.cores[core].l2.or_mask(ev.addr, ev.mask) // reader eviction ORs (packed)
+                };
                 if merged {
                     self.stats.mask_merges += 1;
                 } else {
@@ -945,13 +942,11 @@ impl MemorySystem {
         };
         self.dir.insert(line, next);
         if self.recon.levels.covers_llc() {
-            let updated = self.llc.update_mask(addr, |m| {
-                if state.owns_mask() {
-                    *m = mask; // writer writeback overwrites
-                } else {
-                    m.merge_or(mask); // reader eviction ORs
-                }
-            });
+            let updated = if state.owns_mask() {
+                self.llc.set_mask(addr, mask) // writer writeback overwrites
+            } else {
+                self.llc.or_mask(addr, mask) // reader eviction ORs (packed)
+            };
             if updated {
                 self.stats.mask_merges += 1;
             }

@@ -115,6 +115,10 @@ pub struct JobSpec {
     pub fuel: Option<u64>,
     /// Cycle deadline override (`run`/`matrix`).
     pub max_cycles: Option<u64>,
+    /// Functional warmup: fast-forward this many instructions per core
+    /// before detailed timing (`run`/`matrix`/`verify`). Changes every
+    /// result, so it is folded into the content-addressed digest.
+    pub fast_forward: Option<u64>,
     /// Enable pipeline tracing for the run (`run` only) — exercises the
     /// trace ring and reports its drop count.
     pub trace: bool,
@@ -152,6 +156,10 @@ pub struct JobOutput {
     /// Pipeline-trace events the run's ring buffers dropped (0 unless
     /// the spec enabled tracing) — exported via `/metrics`.
     pub trace_dropped: u64,
+    /// Instructions the job simulated (committed for timing runs,
+    /// functional steps for analysis) — feeds the server-wide MIPS
+    /// gauge on `/metrics`.
+    pub instructions: u64,
 }
 
 fn parse_suite(name: &str) -> Option<Suite> {
@@ -164,7 +172,7 @@ fn parse_suite(name: &str) -> Option<Suite> {
 }
 
 /// The keys a submission may carry, for the unknown-key check.
-const KNOWN_KEYS: [&str; 8] = [
+const KNOWN_KEYS: [&str; 9] = [
     "kind",
     "suite",
     "bench",
@@ -172,6 +180,7 @@ const KNOWN_KEYS: [&str; 8] = [
     "gadget",
     "fuel",
     "max_cycles",
+    "fast_forward",
     "trace",
 ];
 
@@ -234,6 +243,7 @@ impl JobSpec {
         };
         let fuel = num_field("fuel")?;
         let max_cycles = num_field("max_cycles")?;
+        let fast_forward = num_field("fast_forward")?;
         let trace = match v.get("trace") {
             None | Some(Json::Null) => false,
             Some(b) => b.as_bool().ok_or("'trace' must be a boolean")?,
@@ -247,6 +257,7 @@ impl JobSpec {
             gadget,
             fuel,
             max_cycles,
+            fast_forward,
             trace,
         };
         spec.validate()?;
@@ -291,9 +302,13 @@ impl JobSpec {
                 }
             }
             JobKind::Analyze => {
-                if self.scheme.is_some() || self.max_cycles.is_some() || self.trace {
+                if self.scheme.is_some()
+                    || self.max_cycles.is_some()
+                    || self.fast_forward.is_some()
+                    || self.trace
+                {
                     return Err(
-                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and functional, so 'max_cycles'/'trace' do not apply)"
+                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and already functional, so 'max_cycles'/'fast_forward'/'trace' do not apply)"
                             .into(),
                     );
                 }
@@ -317,6 +332,14 @@ impl JobSpec {
                         "'verify' accepts 'gadget' and 'scheme', not 'suite'/'bench'".into(),
                     );
                 }
+                if self.fast_forward.is_some() {
+                    return Err(
+                        "'fast_forward' is not accepted for kind 'verify' (functional \
+                         warmup would skip the gadget prefix the two-trace check \
+                         exists to observe)"
+                            .into(),
+                    );
+                }
                 if self.trace {
                     return Err("'trace' is only accepted for kind 'run'".into());
                 }
@@ -337,7 +360,7 @@ impl JobSpec {
             Scale::Paper => "paper",
         };
         format!(
-            "v1|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|trace={}|scale={scale}",
+            "v2|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|ff={}|trace={}|scale={scale}",
             self.kind.label(),
             opt(&self.suite),
             opt(&self.bench),
@@ -345,6 +368,7 @@ impl JobSpec {
             opt(&self.gadget),
             num(&self.fuel),
             num(&self.max_cycles),
+            num(&self.fast_forward),
             u8::from(self.trace),
         )
     }
@@ -377,7 +401,11 @@ impl JobSpec {
         if let Some(scheme) = self.scheme {
             let _ = write!(s, ",\"scheme\":\"{}\"", escape(&scheme.label()));
         }
-        for (key, v) in [("fuel", self.fuel), ("max_cycles", self.max_cycles)] {
+        for (key, v) in [
+            ("fuel", self.fuel),
+            ("max_cycles", self.max_cycles),
+            ("fast_forward", self.fast_forward),
+        ] {
             if let Some(v) = v {
                 let _ = write!(s, ",\"{key}\":{v}");
             }
@@ -486,6 +514,7 @@ pub fn execute_ckpt(
         max_cycles: spec.max_cycles,
         cancel: cancel.map(Arc::clone),
         checkpoint_every_cycles: None,
+        fast_forward: spec.fast_forward,
     };
     match spec.kind {
         JobKind::Run => execute_run(spec, &budget, plan),
@@ -507,6 +536,7 @@ fn run_payload(spec: &JobSpec, bench: &str, scheme: SecureConfig, r: &SystemResu
     JobOutput {
         payload,
         trace_dropped: r.trace_dropped(),
+        instructions: r.committed(),
     }
 }
 
@@ -626,9 +656,11 @@ fn execute_matrix(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError
         payload.push('}');
     }
     payload.push_str("]}");
+    let instructions = results.iter().map(|(_, r)| r.committed()).sum();
     Ok(JobOutput {
         payload,
         trace_dropped: 0,
+        instructions,
     })
 }
 
@@ -670,6 +702,7 @@ fn execute_analyze(spec: &JobSpec) -> Result<JobOutput, JobError> {
             r.coverage(),
         ),
         trace_dropped: 0,
+        instructions: r.instructions,
     })
 }
 
@@ -694,6 +727,7 @@ fn execute_verify(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError
             r.result_a.cycles,
         ),
         trace_dropped: 0,
+        instructions: r.result_a.committed(),
     })
 }
 
@@ -749,6 +783,44 @@ mod tests {
                 .unwrap_err()
                 .contains("positive")
         );
+    }
+
+    #[test]
+    fn fast_forward_parses_round_trips_and_keys_the_digest() {
+        let s = spec(
+            r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fast_forward":5000}"#,
+        )
+        .unwrap();
+        assert_eq!(s.fast_forward, Some(5000));
+        // to_json → from_json round-trip preserves the warmup length.
+        let back = spec(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // The warmup changes results, so it must change the digest.
+        let plain =
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        assert_ne!(s.digest(), plain.digest());
+        let other = spec(
+            r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fast_forward":6000}"#,
+        )
+        .unwrap();
+        assert_ne!(s.digest(), other.digest());
+        // Analyze is already functional: a warmup length is meaningless.
+        assert!(
+            spec(r#"{"kind":"analyze","suite":"spec2017","bench":"mcf","fast_forward":100}"#)
+                .unwrap_err()
+                .contains("fast_forward")
+        );
+        // Verify cells must observe the whole gadget: warmup is rejected.
+        assert!(spec(
+            r#"{"kind":"verify","gadget":"spectre-v1","scheme":"stt","fast_forward":10}"#
+        )
+        .unwrap_err()
+        .contains("fast_forward"));
+        // Matrix jobs are benchmark-scale: warmup is accepted and keyed.
+        let m = spec(r#"{"kind":"matrix","suite":"spec2017","bench":"mcf","fast_forward":5000}"#)
+            .unwrap();
+        let m_plain = spec(r#"{"kind":"matrix","suite":"spec2017","bench":"mcf"}"#).unwrap();
+        assert_ne!(m.digest(), m_plain.digest());
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct Metrics {
     /// Pipeline-trace events dropped by ring buffers across all served
     /// jobs.
     pub trace_ring_dropped: Counter,
+    /// Instructions simulated across all completed jobs (committed for
+    /// timing runs, functional steps for analysis).
+    pub sim_instructions: Counter,
+    /// Wall-clock execution time of completed jobs, in microseconds
+    /// (execution only — queue wait excluded, so MIPS reflects
+    /// simulator throughput, not queueing).
+    pub sim_exec_micros: Counter,
     /// Panicked workers restarted by the supervisor.
     pub worker_restarts: Counter,
     /// Duplicate in-flight submissions joined to an already-running
@@ -206,6 +213,11 @@ impl Metrics {
             self.trace_ring_dropped.get(),
         );
         counter(
+            "recon_sim_instructions_total",
+            "Instructions simulated across all completed jobs.",
+            self.sim_instructions.get(),
+        );
+        counter(
             "recon_worker_restarts_total",
             "Panicked workers restarted by the supervisor.",
             self.worker_restarts.get(),
@@ -250,6 +262,24 @@ impl Metrics {
             "Superseded checkpoints garbage-collected (keep-latest-N).",
             self.checkpoints_gc_deleted.get(),
         );
+        let exec_secs = self.sim_exec_micros.get() as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "# HELP recon_sim_exec_seconds_total Wall-clock execution time of completed jobs."
+        );
+        let _ = writeln!(out, "# TYPE recon_sim_exec_seconds_total counter");
+        let _ = writeln!(out, "recon_sim_exec_seconds_total {exec_secs:.6}");
+        let mips = if exec_secs > 0.0 {
+            self.sim_instructions.get() as f64 / 1e6 / exec_secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "# HELP recon_sim_mips Aggregate simulated MIPS over completed jobs (instructions / execution time)."
+        );
+        let _ = writeln!(out, "# TYPE recon_sim_mips gauge");
+        let _ = writeln!(out, "recon_sim_mips {mips:.3}");
         let _ = writeln!(out, "# HELP recon_jobs_running Jobs currently executing.");
         let _ = writeln!(out, "# TYPE recon_jobs_running gauge");
         let _ = writeln!(out, "recon_jobs_running {}", self.jobs_running.get());
@@ -287,6 +317,29 @@ mod tests {
         assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"10\"} 2"));
         assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"+Inf\"} 3"));
         assert!(text.contains("recon_job_seconds_count{kind=\"run\"} 3"));
+    }
+
+    #[test]
+    fn mips_gauge_divides_instructions_by_exec_time() {
+        let m = Metrics::default();
+        m.sim_instructions.add(3_000_000);
+        m.sim_exec_micros.add(2_000_000); // 2 s → 1.5 MIPS
+        let text = m.render(0, 4);
+        assert!(
+            text.contains("recon_sim_instructions_total 3000000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recon_sim_exec_seconds_total 2.000000"),
+            "{text}"
+        );
+        assert!(text.contains("recon_sim_mips 1.500"), "{text}");
+    }
+
+    #[test]
+    fn mips_gauge_is_zero_before_any_job() {
+        let text = Metrics::default().render(0, 4);
+        assert!(text.contains("recon_sim_mips 0.000"), "{text}");
     }
 
     #[test]

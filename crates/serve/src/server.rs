@@ -459,6 +459,7 @@ fn worker_loop(
 fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
     shared.metrics.jobs_running.inc();
     let cancel = Arc::clone(&shared.cancel);
+    let exec_started = Instant::now();
     let (result, ckpt_info) = catch_unwind(AssertUnwindSafe(|| {
         job::execute_ckpt(&job.spec, Some(&cancel), shared.ckpt.as_ref())
     }))
@@ -501,6 +502,11 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
         Ok(out) => {
             shared.metrics.jobs_completed.inc();
             shared.metrics.trace_ring_dropped.add(out.trace_dropped);
+            shared.metrics.sim_instructions.add(out.instructions);
+            shared
+                .metrics
+                .sim_exec_micros
+                .add(exec_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
             shared
                 .cache
                 .insert(job.digest, Arc::new(out.payload.clone()));

@@ -36,6 +36,14 @@ pub struct Budget {
     /// fetch), so it is part of the run configuration: resume
     /// determinism holds between runs using the *same* cadence.
     pub checkpoint_every_cycles: Option<u64>,
+    /// Functional warmup: execute this many instructions in fast
+    /// functional mode ([`crate::System::fast_forward`]) before entering
+    /// detailed timing. Applied only when the system is *fresh* (cycle
+    /// 0, nothing committed); a run resumed from a checkpoint already
+    /// carries its warmup and skips it. The warmup length changes every
+    /// result, so it is part of any content-addressed run identity
+    /// (spec digests, result records).
+    pub fast_forward: Option<u64>,
 }
 
 impl Budget {

@@ -29,11 +29,15 @@ pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod speed;
 pub mod system;
 
 pub use error::{Budget, DeadlineReason, SimError};
 pub use experiment::{
     geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
 };
-pub use runner::{jobs_from_env, parallel_map, run_batch, BatchResults, JobTiming};
+pub use runner::{
+    jobs_from_env, parallel_map, run_batch, run_batch_budgeted, BatchResults, JobTiming,
+};
+pub use speed::{MicroBench, SchemeSpeed, SpeedReport};
 pub use system::{System, SystemResult};

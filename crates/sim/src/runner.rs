@@ -119,9 +119,25 @@ pub struct JobTiming {
     pub seconds: f64,
     /// Simulated cycles, for correlating host time with simulated work.
     pub cycles: u64,
+    /// Committed instructions (plus any functional warmup), the basis
+    /// of the job's MIPS figure.
+    pub instructions: u64,
     /// Whether the job failed (panicked twice) instead of producing a
     /// result.
     pub failed: bool,
+}
+
+impl JobTiming {
+    /// Simulated throughput in MIPS (million instructions per host
+    /// second); 0 for failed or instantaneous jobs.
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.instructions as f64 / 1e6 / self.seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Aggregate checkpoint activity across a checkpointed batch.
@@ -247,11 +263,13 @@ impl BatchResults {
             let comma = if i + 1 < n { "," } else { "" };
             writeln!(
                 f,
-                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"seconds\": {:.6}, \"cycles\": {}, \"failed\": {}}}{comma}",
+                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"seconds\": {:.6}, \"cycles\": {}, \"instructions\": {}, \"mips\": {:.3}, \"failed\": {}}}{comma}",
                 t.bench,
                 t.config.label(),
                 t.seconds,
                 t.cycles,
+                t.instructions,
+                t.mips(),
                 t.failed
             )?;
         }
@@ -271,7 +289,21 @@ pub fn run_batch(
     configs: &[SecureConfig],
     jobs: usize,
 ) -> BatchResults {
-    run_batch_inner(exp, benches, configs, jobs, None)
+    run_batch_inner(exp, benches, configs, jobs, &Budget::default(), None)
+}
+
+/// [`run_batch`] under an explicit per-job [`Budget`] — the path
+/// `recon suite --fast-forward` uses to warm every job functionally
+/// before its detailed region.
+#[must_use]
+pub fn run_batch_budgeted(
+    exp: &Experiment,
+    benches: &[Benchmark],
+    configs: &[SecureConfig],
+    jobs: usize,
+    budget: &Budget,
+) -> BatchResults {
+    run_batch_inner(exp, benches, configs, jobs, budget, None)
 }
 
 /// [`run_batch`] with crash-safe persistence: each job checkpoints into
@@ -289,7 +321,31 @@ pub fn run_batch_checkpointed(
     ctx: &CkptContext,
     tag: &str,
 ) -> BatchResults {
-    run_batch_inner(exp, benches, configs, jobs, Some((ctx, tag)))
+    run_batch_inner(
+        exp,
+        benches,
+        configs,
+        jobs,
+        &Budget::default(),
+        Some((ctx, tag)),
+    )
+}
+
+/// [`run_batch_checkpointed`] under an explicit [`Budget`]. A
+/// fast-forward warmup is folded into each job's config digest (it
+/// changes every result), so warmed and unwarmed batches never share
+/// completion records.
+#[must_use]
+pub fn run_batch_checkpointed_budgeted(
+    exp: &Experiment,
+    benches: &[Benchmark],
+    configs: &[SecureConfig],
+    jobs: usize,
+    budget: &Budget,
+    ctx: &CkptContext,
+    tag: &str,
+) -> BatchResults {
+    run_batch_inner(exp, benches, configs, jobs, budget, Some((ctx, tag)))
 }
 
 fn run_batch_inner(
@@ -297,6 +353,7 @@ fn run_batch_inner(
     benches: &[Benchmark],
     configs: &[SecureConfig],
     jobs: usize,
+    budget: &Budget,
     persist: Option<(&CkptContext, &str)>,
 ) -> BatchResults {
     let mut work: Vec<(&Benchmark, SecureConfig)> = Vec::new();
@@ -315,16 +372,28 @@ fn run_batch_inner(
         // One panicking experiment must not abort the suite: catch it,
         // retry once, and report it as a failed entry.
         let (outcome, info) = match persist {
-            None => (catch_retry(|| exp.run(&b.workload, c)), None),
+            None => (
+                catch_retry(|| exp.try_run(&b.workload, c, budget))
+                    .and_then(|r| r.map_err(|e| e.to_string())),
+                None,
+            ),
             Some((ctx, tag)) => {
                 let scheme = c.to_string();
-                let digest = ckpt::config_digest(&[tag, b.name, &scheme, &ctx.cadence.to_string()]);
+                let cadence = ctx.cadence.to_string();
+                let mut parts = vec![tag, b.name, scheme.as_str(), cadence.as_str()];
+                // Folded in only when set, so unwarmed batches keep
+                // their pre-existing on-disk records.
+                let ff = budget.fast_forward.map(|n| n.to_string());
+                if let Some(ff) = ff.as_deref() {
+                    parts.push(ff);
+                }
+                let digest = ckpt::config_digest(&parts);
                 let caught = catch_retry(|| {
                     ckpt::run_with_checkpoints(
                         exp,
                         &b.workload,
                         c,
-                        &Budget::default(),
+                        budget,
                         ctx,
                         &[
                             ("kind".to_string(), "suite-job".to_string()),
@@ -362,6 +431,7 @@ fn run_batch_inner(
             config,
             seconds,
             cycles: outcome.as_ref().map_or(0, |r| r.cycles),
+            instructions: outcome.as_ref().map_or(0, SystemResult::committed),
             failed: outcome.is_err(),
         });
         entries.push((bench, config, outcome));
@@ -413,7 +483,19 @@ impl Experiment {
         benches: &[Benchmark],
         jobs: usize,
     ) -> (Vec<SchemeMatrix>, BatchResults) {
-        let batch = run_batch(self, benches, &MATRIX, jobs);
+        self.run_matrices_budgeted(benches, jobs, &Budget::default())
+    }
+
+    /// [`run_matrices`](Self::run_matrices) under an explicit per-job
+    /// [`Budget`] (fuel, deadlines, functional fast-forward warmup).
+    #[must_use]
+    pub fn run_matrices_budgeted(
+        &self,
+        benches: &[Benchmark],
+        jobs: usize,
+        budget: &Budget,
+    ) -> (Vec<SchemeMatrix>, BatchResults) {
+        let batch = run_batch_budgeted(self, benches, &MATRIX, jobs, budget);
         (Self::matrices_from(benches, &batch), batch)
     }
 
@@ -430,6 +512,21 @@ impl Experiment {
         tag: &str,
     ) -> (Vec<SchemeMatrix>, BatchResults) {
         let batch = run_batch_checkpointed(self, benches, &MATRIX, jobs, ctx, tag);
+        (Self::matrices_from(benches, &batch), batch)
+    }
+
+    /// [`run_matrices_checkpointed`](Self::run_matrices_checkpointed)
+    /// under an explicit per-job [`Budget`].
+    #[must_use]
+    pub fn run_matrices_checkpointed_budgeted(
+        &self,
+        benches: &[Benchmark],
+        jobs: usize,
+        budget: &Budget,
+        ctx: &CkptContext,
+        tag: &str,
+    ) -> (Vec<SchemeMatrix>, BatchResults) {
+        let batch = run_batch_checkpointed_budgeted(self, benches, &MATRIX, jobs, budget, ctx, tag);
         (Self::matrices_from(benches, &batch), batch)
     }
 

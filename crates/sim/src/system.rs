@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use recon::ReconConfig;
 use recon_cpu::{Core, CoreConfig, CoreStats};
-use recon_isa::SparseMem;
+use recon_isa::{run_decoded, ArchReg, ArchState, DecodedProgram, SparseMem, NUM_ARCH_REGS};
 use recon_mem::{MemConfig, MemStats, MemorySystem};
 use recon_secure::SecureConfig;
 use recon_workloads::Workload;
@@ -211,6 +211,12 @@ pub struct System {
     mem: MemorySystem,
     data: SparseMem,
     cycle: u64,
+    /// One shared decode of the workload program (threads share code and
+    /// differ only in entry point); also drives functional fast-forward.
+    decoded: Arc<DecodedProgram>,
+    /// Instructions executed functionally by [`System::fast_forward`]
+    /// (not part of [`SystemResult`] — warmup is not timed work).
+    ff_instructions: u64,
 }
 
 impl System {
@@ -236,17 +242,18 @@ impl System {
         let n = workload.num_threads();
         let mem = MemorySystem::new(n, mem_cfg, effective_recon);
         let data = SparseMem::from_image(&workload.program.image);
-        let program = Arc::new(workload.program.clone());
+        // Decode the program once; every core fetches from the same
+        // pre-decoded stream (threads differ only in entry point).
+        let decoded = Arc::new(DecodedProgram::decode(&workload.program));
         let cores = workload
             .threads
             .iter()
             .enumerate()
             .map(|(id, spec)| {
-                let mut thread_program = (*program).clone();
-                thread_program.entry = spec.entry;
-                let mut core = Core::new(
+                let mut core = Core::with_decoded(
                     id,
-                    Arc::new(thread_program),
+                    Arc::clone(&decoded),
+                    spec.entry,
                     core_cfg,
                     secure,
                     effective_recon,
@@ -262,6 +269,8 @@ impl System {
             mem,
             data,
             cycle: 0,
+            decoded,
+            ff_instructions: 0,
         }
     }
 
@@ -298,6 +307,91 @@ impl System {
     #[must_use]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Instructions executed functionally by [`System::fast_forward`]
+    /// so far (zero for a purely detailed run).
+    #[must_use]
+    pub fn fast_forwarded(&self) -> u64 {
+        self.ff_instructions
+    }
+
+    /// Executes up to `n` instructions *functionally* — straight-line
+    /// interpretation over architectural state (register files + the
+    /// shared [`SparseMem`]), touching no ROB/LSQ/rename/predictor/cache
+    /// structures — then repositions every core to continue in detailed
+    /// mode from the reached architectural point.
+    ///
+    /// Threads are interleaved round-robin, one instruction per live
+    /// core per round, so spin-based synchronization (barriers,
+    /// producer/consumer flags) makes progress exactly as it would under
+    /// cycle-level interleaving. Returns the number of instructions
+    /// actually executed (less than `n` once every thread has halted).
+    ///
+    /// Cache, LPT, predictor, and reveal-mask state is untouched: the
+    /// detailed region starts from cold microarchitectural state at a
+    /// warm architectural point — the documented mode-switch semantics
+    /// (see DESIGN.md §11). Timing results therefore differ from a
+    /// from-scratch detailed run (that is the point); architectural
+    /// results do not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults functionally (misaligned access,
+    /// pc out of range) — workloads are validated to execute cleanly —
+    /// or if called mid-run (after any cycle has been simulated).
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        assert_eq!(
+            self.cycle, 0,
+            "fast-forward must precede detailed simulation"
+        );
+        let mut states: Vec<ArchState> = self
+            .cores
+            .iter()
+            .map(|core| {
+                let mut st = ArchState::at_pc(core.fetch_pc());
+                for i in 1..NUM_ARCH_REGS {
+                    let r = ArchReg::new(i);
+                    st.write(r, core.arch_read(r));
+                }
+                st
+            })
+            .collect();
+        let decoded = Arc::clone(&self.decoded);
+        let mut remaining = n;
+        let mut executed = 0u64;
+        while remaining > 0 {
+            let mut progressed = false;
+            for st in &mut states {
+                if remaining == 0 {
+                    break;
+                }
+                if st.halted {
+                    continue;
+                }
+                match run_decoded(&decoded, st, &mut self.data, 1) {
+                    Ok(steps) if steps > 0 => {
+                        progressed = true;
+                        executed += steps;
+                        remaining -= steps;
+                    }
+                    Ok(_) => {}
+                    Err(e) => panic!("functional fast-forward faulted at pc {}: {e}", st.pc),
+                }
+            }
+            if !progressed {
+                break; // every thread halted
+            }
+        }
+        for (core, st) in self.cores.iter_mut().zip(&states) {
+            for i in 1..NUM_ARCH_REGS {
+                let r = ArchReg::new(i);
+                core.seed_reg(r, st.read(r));
+            }
+            core.warm_restart(st.pc, st.halted);
+        }
+        self.ff_instructions += executed;
+        executed
     }
 
     /// Pauses fetch on every core and ticks until all pipelines drain
@@ -450,6 +544,14 @@ impl System {
         mut sink: impl FnMut(u64, &[u8]),
     ) -> Result<SystemResult, SimError> {
         let max_cycles = budget.max_cycles.unwrap_or(max_cycles);
+        // Functional warmup applies once, at the very start of a fresh
+        // run; a system restored from a checkpoint (cycle > 0, work
+        // already committed) carries its warmup inside the snapshot.
+        if let Some(ff) = budget.fast_forward {
+            if self.cycle == 0 && self.cores.iter().all(|c| c.stats().committed == 0) {
+                self.fast_forward(ff);
+            }
+        }
         if let Some(fuel) = budget.fuel {
             for core in &mut self.cores {
                 core.set_fuel(fuel);

@@ -168,6 +168,38 @@ pub fn run_matrix(
     scheme_filter: Option<SecureConfig>,
     jobs: usize,
 ) -> MatrixReport {
+    run_matrix_budgeted(gadget_filter, scheme_filter, jobs, &Budget::default())
+}
+
+/// As [`run_matrix`], under an explicit [`Budget`] (fuel, cycle caps,
+/// cancellation).
+///
+/// The budget's `fast_forward` field is deliberately ignored for
+/// gadget cells: ReCon's reveal state is *trained* by the detailed
+/// region (a functional warmup commits no load pairs, sets no reveal
+/// bits, and records no attacker observations), so skipping any prefix
+/// of a tiny gadget changes the security question being asked — the
+/// already-leaked gadget's architectural disclosure, for instance,
+/// would simply never be seen. Functional warmup in `recon verify`
+/// belongs to the benchmark-scale [`soundness_sweep_budgeted`] runs
+/// instead.
+///
+/// # Panics
+///
+/// Panics on an unknown `gadget_filter` name, or if a cell hits the
+/// budget's fuel/cycle deadline (the matrix has no partial-result
+/// form; deadline-tolerant callers use [`run_cell_named_budgeted`]).
+#[must_use]
+pub fn run_matrix_budgeted(
+    gadget_filter: Option<&str>,
+    scheme_filter: Option<SecureConfig>,
+    jobs: usize,
+    budget: &Budget,
+) -> MatrixReport {
+    let budget = &Budget {
+        fast_forward: None,
+        ..budget.clone()
+    };
     let gadgets: Vec<Gadget> = match gadget_filter {
         Some(name) => vec![gadget::find(name).expect("gadget name validated by caller")],
         None => gadget::all(),
@@ -182,7 +214,8 @@ pub fn run_matrix(
         .collect();
     let cells: Vec<MatrixCell> = parallel_map(jobs, work, |(g, s)| MatrixCell {
         expected: expected_verdict(&g, s),
-        result: run_cell(g, s),
+        result: crate::differ::run_cell_budgeted(g, s, budget)
+            .unwrap_or_else(|e| panic!("matrix cell {} under {} hit its budget: {e}", g.name, s)),
     });
     let lifts = lift_checks(&cells);
     MatrixReport { cells, lifts }
@@ -282,12 +315,30 @@ pub struct SoundnessRun {
 /// Panics if a benchmark run does not terminate within its budget.
 #[must_use]
 pub fn soundness_sweep(jobs: usize) -> Vec<SoundnessRun> {
+    soundness_sweep_budgeted(jobs, &Budget::default())
+}
+
+/// As [`soundness_sweep`], under an explicit [`Budget`]. Unlike gadget
+/// cells (see [`run_matrix_budgeted`]), these are benchmark-scale runs
+/// where functional warmup is both safe and useful: the sweep validates
+/// whatever reveal bits the *detailed* region sets, so `fast_forward`
+/// merely shrinks the checked region — it cannot manufacture a
+/// violation or hide one that the detailed region would raise. (A
+/// warmup longer than the benchmark halts it functionally and leaves
+/// an empty — vacuously sound — detailed region.)
+///
+/// # Panics
+///
+/// Panics if a benchmark run does not terminate within its budget.
+#[must_use]
+pub fn soundness_sweep_budgeted(jobs: usize, budget: &Budget) -> Vec<SoundnessRun> {
     let picks = [
         (Suite::Spec2017, "mcf"),
         (Suite::Spec2006, "milc"),
         (Suite::Parsec, "canneal"),
     ];
-    parallel_map(jobs, picks.to_vec(), |(suite, name)| {
+    let ff = budget.fast_forward;
+    parallel_map(jobs, picks.to_vec(), move |(suite, name)| {
         let bench = find(suite, name, Scale::Quick).expect("benchmark exists");
         let mem = if suite == Suite::Parsec {
             MemConfig::scaled_multicore()
@@ -302,6 +353,9 @@ pub fn soundness_sweep(jobs: usize) -> Vec<SoundnessRun> {
             scheme,
             ReconConfig::default(),
         );
+        if let Some(n) = ff {
+            sys.fast_forward(n);
+        }
         sys.mem_mut().enable_soundness_checks();
         let r = sys.run(200_000_000);
         assert!(r.completed, "{name} did not finish under {scheme}");
