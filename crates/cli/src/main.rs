@@ -13,11 +13,14 @@
 //! recon overhead                     §6.7 storage accounting
 //! recon serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]
 //!             [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]
-//!                                    HTTP job service (see recon-serve)
+//!             [--node ID]            HTTP job service (see recon-serve)
+//! recon gateway --nodes H:P,...      consistent-hash cluster front door
 //! recon bench-serve [--clients C] [--requests R] [--queue-cap Q]
 //!                                    loopback load generator -> BENCH_serve.json
 //! recon chaos [--seed S] [--clients C] [--requests R] [--faults F]
 //!                                    seeded fault storm -> BENCH_chaos.json
+//! recon chaos --nodes N              cluster storm: SIGKILL/restart + drain
+//!                                    migration -> BENCH_cluster.json
 //! ```
 //!
 //! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
@@ -737,6 +740,7 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--chaos" => config.chaos = Some((*value).to_string()),
+            "--node" => config.node_id = Some((*value).to_string()),
             "--cache-dir" => config.cache_dir = Some(std::path::PathBuf::from(*value)),
             "--checkpoint-every" => match value.parse::<u64>() {
                 Ok(n) if n >= 1 => config.checkpoint_every_cycles = n,
@@ -769,13 +773,179 @@ fn cmd_serve(args: &[&str], jobs: usize) -> ExitCode {
             config.checkpoint_every_cycles
         );
     }
+    if let Some(id) = &config.node_id {
+        println!("  cluster node id: {id} (metric samples carry node=\"{id}\")");
+    }
     println!("  POST /jobs       submit run|matrix|analyze|verify jobs");
     println!("  POST /jobs/batch submit up to 64 specs in one request");
+    println!("  POST /cache      accept a replicated result payload");
+    println!("  POST /migrate    accept a shipped RCK1 checkpoint and resume it");
+    println!("  POST /drain      cancel work and ship checkpoints to a peer");
     println!("  GET  /metrics    Prometheus text format");
     println!("  GET  /healthz    liveness");
     println!("  POST /shutdown   graceful drain (or {{\"mode\":\"abort\"}})");
     server.wait();
     println!("recon-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn cmd_gateway(args: &[&str]) -> ExitCode {
+    let pairs = match parse_flag_pairs(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let mut config = recon_cluster::GatewayConfig::default();
+    for (flag, value) in &pairs {
+        match *flag {
+            "--addr" => config.addr = (*value).to_string(),
+            "--nodes" => {
+                config.nodes = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--vnodes" => match flag_usize(&pairs, "--vnodes", config.vnodes) {
+                Ok(n) => config.vnodes = n,
+                Err(e) => return fail(&e),
+            },
+            "--handler-cap" => match flag_usize(&pairs, "--handler-cap", config.handler_cap) {
+                Ok(n) => config.handler_cap = n,
+                Err(e) => return fail(&e),
+            },
+            "--no-replicate" => match *value {
+                "true" => config.replicate = false,
+                "false" => {}
+                _ => return fail(&format!("--no-replicate wants true|false, got '{value}'")),
+            },
+            _ => return fail(&format!("unknown gateway flag '{flag}'")),
+        }
+    }
+    let gateway = match recon_cluster::Gateway::start(&config) {
+        Ok(g) => g,
+        Err(e) => return fail(&format!("could not start gateway: {e}")),
+    };
+    println!(
+        "recon-gateway listening on http://{} over {} node(s), {} vnodes each",
+        gateway.addr(),
+        config.nodes.len(),
+        config.vnodes
+    );
+    for node in &config.nodes {
+        println!("  node {node}");
+    }
+    println!("  POST /jobs       route a job to its digest's primary node");
+    println!("  POST /jobs/batch fan a batch across the ring");
+    println!("  GET  /cluster    ring membership and per-node health");
+    println!("  GET  /metrics    gateway + per-node routing counters");
+    println!("  GET  /healthz    liveness");
+    println!("  POST /shutdown   stop the gateway (nodes keep running)");
+    gateway.wait();
+    println!("recon-gateway: stopped");
+    ExitCode::SUCCESS
+}
+
+/// `recon chaos --nodes N`: the cluster storm — real node processes,
+/// SIGKILL + restart, drain-driven checkpoint migration, and the
+/// admission-throughput comparison, written to `BENCH_cluster.json`.
+fn cmd_chaos_cluster(pairs: &[(&str, &str)]) -> ExitCode {
+    let node_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("cannot locate the recon binary: {e}")),
+    };
+    let mut config = recon_cluster::ClusterStormConfig {
+        node_exe,
+        ..recon_cluster::ClusterStormConfig::default()
+    };
+    for (flag, value) in pairs {
+        let parsed = match *flag {
+            "--seed" => value
+                .parse::<u64>()
+                .map(|n| config.seed = n)
+                .map_err(|_| format!("--seed wants an integer, got '{value}'")),
+            "--nodes" => flag_usize(pairs, flag, config.nodes).map(|n| config.nodes = n),
+            "--clients" => flag_usize(pairs, flag, config.clients).map(|n| config.clients = n),
+            "--requests" => flag_usize(pairs, flag, config.requests).map(|n| config.requests = n),
+            "--throughput-requests" => flag_usize(pairs, flag, config.throughput_requests)
+                .map(|n| config.throughput_requests = n),
+            "--out" => {
+                config.out = Some((*value).to_string());
+                Ok(())
+            }
+            "--min-speedup" => match value.parse::<f64>() {
+                Ok(x) if x > 0.0 => {
+                    config.min_speedup = Some(x);
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "--min-speedup wants a positive number, got '{value}'"
+                )),
+            },
+            _ => return fail(&format!("unknown cluster chaos flag '{flag}'")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let report = match recon_cluster::run_cluster_storm(&config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cluster storm failed: {e}")),
+    };
+    println!(
+        "cluster chaos: seed {} | {} nodes | {} clients x {} requests",
+        report.seed, report.nodes, report.clients, report.requests_per_client
+    );
+    println!(
+        "  ok {}  deadline {}  mismatches {}  lost {}  retries {}",
+        report.ok, report.deadline, report.mismatches, report.lost, report.retries
+    );
+    println!(
+        "  kills {}  restarts {}  orphan resumed after restart: {}",
+        report.kills, report.restarts, report.kill_orphan_resumed
+    );
+    println!(
+        "  migration: {} checkpoint(s) shipped, successor accepted {}, resumed {}, byte-identical: {}",
+        report.migrated,
+        report.successor_migrations_in,
+        report.successor_resumes,
+        report.migrated_byte_identical
+    );
+    println!(
+        "  gateway: {} transport reroutes, {} off-primary serves, {} replications",
+        report.reroutes, report.gateway_reroutes, report.replications
+    );
+    for p in &report.throughput {
+        println!(
+            "  throughput @{} node(s): {} jobs in {:.2}s = {:.1} req/s",
+            p.nodes, p.jobs, p.wall_seconds, p.rps
+        );
+    }
+    println!(
+        "  aggregate speedup at {} nodes: {:.2}x  wall {:.2}s",
+        report.nodes, report.speedup, report.wall_seconds
+    );
+    if let Some(path) = &config.out {
+        println!("report written to {path}");
+    }
+    if !report.pass() {
+        return fail(
+            "cluster storm failed: responses lost/mismatched or no provable cross-node resume",
+        );
+    }
+    if let Some(min) = config.min_speedup {
+        if report.speedup < min {
+            return fail(&format!(
+                "aggregate speedup {:.2}x below the required {min}x",
+                report.speedup
+            ));
+        }
+        println!("speedup >= {min}x: ok");
+    }
+    println!(
+        "cluster storm: 0 lost, 0 mismatched — a killed node rerouted and a drained node's \
+         checkpoint resumed on its ring successor byte-identically"
+    );
     ExitCode::SUCCESS
 }
 
@@ -838,6 +1008,11 @@ fn cmd_chaos(args: &[&str], jobs: usize) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
+    // `--nodes N` switches to the cluster storm: real node processes
+    // behind a gateway instead of synthetic faults inside one process.
+    if pairs.iter().any(|(f, _)| *f == "--nodes") {
+        return cmd_chaos_cluster(&pairs);
+    }
     let mut config = recon_serve::ChaosStormConfig {
         workers: jobs,
         ..recon_serve::ChaosStormConfig::default()
@@ -1050,12 +1225,18 @@ fn usage() -> ExitCode {
     eprintln!("                                     warmup applies to soundness runs only)");
     eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]");
-    eprintln!("        [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]");
-    eprintln!("                                     HTTP job service");
+    eprintln!("        [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC] [--node ID]");
+    eprintln!("                                     HTTP job service (--node labels metrics");
+    eprintln!("                                     and marks a cluster worker)");
+    eprintln!("  gateway --nodes H:P,H:P,... [--addr A] [--vnodes V] [--handler-cap H]");
+    eprintln!("                                     consistent-hash front door over N nodes");
     eprintln!("  bench-serve [--clients C] [--requests R] [--queue-cap Q] [--out P]");
     eprintln!("                                     loopback load test -> BENCH_serve.json");
     eprintln!("  chaos [--seed S] [--clients C] [--requests R] [--faults F] [--out P]");
     eprintln!("                                     seeded fault storm -> BENCH_chaos.json");
+    eprintln!("  chaos --nodes N [--seed S] [--clients C] [--requests R] [--min-speedup X]");
+    eprintln!("                                     cluster storm: SIGKILL + restart, drain");
+    eprintln!("                                     migration -> BENCH_cluster.json");
     eprintln!("  bench-speed [--quick] [--bench B] [--out P] [--min-functional-speedup X]");
     eprintln!("                                     MIPS scoreboard -> BENCH_speed.json");
     eprintln!("suites: spec2017 spec2006 parsec");
@@ -1099,6 +1280,7 @@ fn main() -> ExitCode {
         ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),
         ["serve", rest @ ..] => cmd_serve(rest, jobs),
+        ["gateway", rest @ ..] => cmd_gateway(rest),
         ["bench-serve", rest @ ..] => cmd_bench_serve(rest, jobs),
         ["bench-speed", rest @ ..] => cmd_bench_speed(rest),
         ["chaos", rest @ ..] => cmd_chaos(rest, jobs),

@@ -1,0 +1,274 @@
+//! The consistent-hash ring that assigns job digests to nodes.
+//!
+//! Each node contributes `vnodes` *virtual* points to a shared 64-bit
+//! hash circle (FxHash over the node name and the point index), and a
+//! key is owned by the first point clockwise from the key's own hash.
+//! Virtual points smooth ownership: with 64 points per node the shares
+//! stay within a few percent of `1/N`, and when a node joins or leaves
+//! only the keys adjacent to its points move — about `1/N` of them, and
+//! provably bounded here by `2/N` in the tests — while every other
+//! key's assignment is untouched. That stability is what makes cache
+//! replication and checkpoint migration cheap: membership changes
+//! relocate a sliver of the digest space, not all of it.
+//!
+//! The ring is a pure function of the *sorted* member list and the
+//! vnode count — insertion order, restarts, and which process computes
+//! it never change an assignment. The gateway and the cluster storm
+//! both build it from the same node list and therefore agree on every
+//! placement without talking to each other.
+
+use std::hash::Hasher as _;
+
+use recon_isa::hash::FxHasher;
+
+/// A consistent-hash ring over named nodes.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Member names, sorted and deduplicated.
+    nodes: Vec<String>,
+    /// Virtual points per node.
+    vnodes: usize,
+    /// `(point hash, index into nodes)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+}
+
+/// Default virtual points per node.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// splitmix64 finalizer. FxHash is multiplicative with no final
+/// avalanche: similar inputs (node names differing in a few digits,
+/// consecutive vnode indices, digests of near-identical specs) produce
+/// outputs sharing their high bits, which is exactly what a sorted
+/// ring keys on. Without this mix, one node of a three-node ring can
+/// own ~90% of the circle.
+fn mix(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn point_hash(node: &str, vnode: usize) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(node.as_bytes());
+    h.write_u64(vnode as u64);
+    mix(h.finish())
+}
+
+impl HashRing {
+    /// Builds the ring. Node names are sorted and deduplicated first,
+    /// so any permutation of the same member set yields an identical
+    /// ring.
+    #[must_use]
+    pub fn new(nodes: &[String], vnodes: usize) -> HashRing {
+        let mut sorted: Vec<String> = nodes.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(sorted.len() * vnodes);
+        for (i, node) in sorted.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((point_hash(node, v), i));
+            }
+        }
+        // Ties (astronomically unlikely) break by node index so the
+        // ring is still a pure function of the member set.
+        points.sort_unstable();
+        HashRing {
+            nodes: sorted,
+            vnodes,
+            points,
+        }
+    }
+
+    /// The sorted member names.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Virtual points per node.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index into `points` of the first point at or clockwise of
+    /// `key`. The key gets the same avalanche mix as the points: job
+    /// digests are FxHash too, so a batch of near-identical specs
+    /// would otherwise cluster onto one arc.
+    fn first_point(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let key = mix(key);
+        let i = self.points.partition_point(|&(h, _)| h < key);
+        Some(if i == self.points.len() { 0 } else { i })
+    }
+
+    /// The node that owns `key` (the digest's primary).
+    #[must_use]
+    pub fn primary(&self, key: u64) -> Option<&str> {
+        let start = self.first_point(key)?;
+        Some(&self.nodes[self.points[start].1])
+    }
+
+    /// The first *distinct* node clockwise of the primary — where the
+    /// gateway replicates `key`'s result, and where a draining primary
+    /// ships `key`'s checkpoint. `None` when the ring has fewer than
+    /// two nodes.
+    #[must_use]
+    pub fn replica(&self, key: u64) -> Option<&str> {
+        let order = self.route(key);
+        order.get(1).copied()
+    }
+
+    /// Every distinct node in ring order starting at `key`'s primary:
+    /// the gateway's failover sequence. Walking clockwise from the
+    /// owning point visits nodes in an order that is deterministic per
+    /// key but varies across keys, so failover load from a dead node
+    /// spreads over the survivors instead of piling onto one.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Vec<&str> {
+        let Some(start) = self.first_point(key) else {
+            return Vec::new();
+        };
+        let mut order: Vec<&str> = Vec::with_capacity(self.nodes.len());
+        for step in 0..self.points.len() {
+            let (_, node) = self.points[(start + step) % self.points.len()];
+            let name = self.nodes[node].as_str();
+            if !order.contains(&name) {
+                order.push(name);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7090")).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_across_restarts_and_orderings() {
+        let a = HashRing::new(&names(5), DEFAULT_VNODES);
+        let mut reversed = names(5);
+        reversed.reverse();
+        let b = HashRing::new(&reversed, DEFAULT_VNODES);
+        for key in 0..10_000u64 {
+            let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(a.primary(k), b.primary(k), "key {k:#x}");
+            assert_eq!(a.route(k), b.route(k), "key {k:#x}");
+        }
+    }
+
+    #[test]
+    fn ownership_is_balanced_by_virtual_nodes() {
+        let ring = HashRing::new(&names(4), DEFAULT_VNODES);
+        let mut counts = std::collections::HashMap::new();
+        let keys = 40_000u64;
+        for key in 0..keys {
+            let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            *counts
+                .entry(ring.primary(k).unwrap().to_string())
+                .or_insert(0u64) += 1;
+        }
+        let ideal = keys / 4;
+        for (node, count) in counts {
+            assert!(
+                count > ideal / 2 && count < ideal * 2,
+                "{node} owns {count} of {keys} (ideal {ideal})"
+            );
+        }
+    }
+
+    #[test]
+    fn join_moves_at_most_two_over_n_of_the_keys() {
+        let before = HashRing::new(&names(4), DEFAULT_VNODES);
+        let after = HashRing::new(&names(5), DEFAULT_VNODES);
+        let keys = 20_000u64;
+        let moved = (0..keys)
+            .map(|key| key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .filter(|&k| before.primary(k) != after.primary(k))
+            .count() as u64;
+        // One joining node should claim ~1/5 of the keys; 2/N is the
+        // contract the replication and migration volume is sized by.
+        let bound = 2 * keys / 5;
+        assert!(
+            moved <= bound,
+            "{moved} of {keys} keys moved (bound {bound})"
+        );
+        assert!(moved > 0, "a join must claim some keys");
+    }
+
+    #[test]
+    fn leave_moves_at_most_two_over_n_of_the_keys() {
+        let before = HashRing::new(&names(5), DEFAULT_VNODES);
+        let after = HashRing::new(&names(5)[..4], DEFAULT_VNODES);
+        let keys = 20_000u64;
+        let moved = (0..keys)
+            .map(|key| key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .filter(|&k| before.primary(k) != after.primary(k))
+            .count() as u64;
+        let bound = 2 * keys / 5;
+        assert!(
+            moved <= bound,
+            "{moved} of {keys} keys moved (bound {bound})"
+        );
+        // Keys owned by survivors never move on a leave.
+        for key in 0..keys {
+            let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let p = before.primary(k).unwrap();
+            if p != names(5)[4] {
+                assert_eq!(after.primary(k), Some(p), "survivor key {k:#x} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_never_lands_on_the_primary() {
+        for n in 2..6 {
+            let ring = HashRing::new(&names(n), DEFAULT_VNODES);
+            for key in 0..5_000u64 {
+                let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let primary = ring.primary(k).unwrap();
+                let replica = ring.replica(k).unwrap();
+                assert_ne!(primary, replica, "key {k:#x} with {n} nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn route_visits_every_node_exactly_once() {
+        let ring = HashRing::new(&names(5), DEFAULT_VNODES);
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let order = ring.route(key);
+            assert_eq!(order.len(), 5);
+            let mut sorted: Vec<&str> = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "duplicates in {order:?}");
+            assert_eq!(order[0], ring.primary(key).unwrap());
+            assert_eq!(order[1], ring.replica(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        let empty = HashRing::new(&[], DEFAULT_VNODES);
+        assert_eq!(empty.primary(7), None);
+        assert!(empty.route(7).is_empty());
+        let one = HashRing::new(&names(1), DEFAULT_VNODES);
+        assert_eq!(one.primary(7).unwrap(), names(1)[0]);
+        assert_eq!(one.replica(7), None);
+        let dup = HashRing::new(&[names(1)[0].clone(), names(1)[0].clone()], 8);
+        assert_eq!(dup.nodes().len(), 1);
+    }
+}

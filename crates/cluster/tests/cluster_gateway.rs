@@ -1,0 +1,222 @@
+//! Gateway integration: digest routing, replication to the ring
+//! replica, failover past a dead node, and batch fan-out — against
+//! live in-process `recon-serve` nodes.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use recon_cluster::{Gateway, GatewayConfig, HashRing, DEFAULT_VNODES};
+use recon_serve::client::{request, Connection};
+use recon_serve::job::JobSpec;
+use recon_serve::json::parse;
+use recon_serve::server::{ServeConfig, Server};
+
+fn start_node() -> Server {
+    Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 32,
+        handler_cap: 16,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .expect("node starts")
+}
+
+fn start_gateway(names: Vec<String>) -> Gateway {
+    Gateway::start(&GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        nodes: names,
+        ..GatewayConfig::default()
+    })
+    .expect("gateway starts")
+}
+
+/// Fast 200 jobs with unique digests: `analyze` is functional-only, so
+/// a whole batch executes in milliseconds.
+fn analyze_spec(uniq: u64) -> (String, u64) {
+    let json = format!(
+        r#"{{"kind":"analyze","suite":"spec2017","bench":"mcf","fuel":{}}}"#,
+        100_000_000 + uniq
+    );
+    let v = parse(&json).expect("spec parses");
+    let digest = JobSpec::from_json(&v).expect("spec validates").digest();
+    (json, digest)
+}
+
+#[test]
+fn jobs_route_by_digest_and_replicate_to_the_ring_replica() {
+    let nodes: Vec<Server> = (0..3).map(|_| start_node()).collect();
+    let names: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let ring = HashRing::new(&names, DEFAULT_VNODES);
+    let gateway = start_gateway(names.clone());
+
+    let mut conn = Connection::with_timeout(gateway.addr(), Duration::from_secs(30));
+    let mut served_nodes = std::collections::HashSet::new();
+    for uniq in 0..12u64 {
+        let (json, digest) = analyze_spec(uniq);
+        let resp = conn
+            .request("POST", "/jobs", Some(&json))
+            .expect("gateway answers");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+        // The answering node is the digest's ring primary (everyone is
+        // healthy), and the gateway says which node answered.
+        let served = resp
+            .header("x-recon-node")
+            .expect("X-Recon-Node")
+            .to_string();
+        assert_eq!(
+            served,
+            ring.primary(digest).unwrap(),
+            "healthy cluster must route to the primary"
+        );
+        served_nodes.insert(served);
+
+        // The 200 result was replicated to the ring replica's cache
+        // before the response was sent, so the failover target can
+        // answer this digest from cache without recomputing.
+        let replica = ring.replica(digest).unwrap();
+        let ri = names.iter().position(|n| n == replica).unwrap();
+        let cached = nodes[ri].shared().cache.get(digest).expect("replicated");
+        assert_eq!(cached.as_str(), resp.body);
+        assert!(nodes[ri].shared().metrics.replications_in.get() >= 1);
+    }
+    // 12 digests over 3 nodes with 64 vnodes each: the spread must
+    // touch more than one node or the ring isn't doing anything.
+    assert!(
+        served_nodes.len() >= 2,
+        "routing collapsed onto {served_nodes:?}"
+    );
+    assert_eq!(gateway.shared().metrics.replications.get(), 12);
+    assert_eq!(gateway.shared().metrics.gateway_reroutes.get(), 0);
+
+    let _ = request(gateway.addr(), "POST", "/shutdown", None);
+    gateway.wait();
+    for n in &nodes {
+        let _ = request(n.addr(), "POST", "/shutdown", None);
+    }
+}
+
+#[test]
+fn failover_walks_the_ring_past_a_dead_node() {
+    let live: Vec<Server> = (0..2).map(|_| start_node()).collect();
+    // A ring member that is not listening: reserve a port and drop it.
+    let dead = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .to_string();
+    let mut names: Vec<String> = live.iter().map(|n| n.addr().to_string()).collect();
+    names.push(dead.clone());
+    let ring = HashRing::new(&names, DEFAULT_VNODES);
+    let gateway = start_gateway(names);
+
+    // A spec whose primary is the dead node: the gateway must serve it
+    // from a ring successor anyway.
+    let (json, digest) = (0..10_000u64)
+        .map(analyze_spec)
+        .find(|(_, d)| ring.primary(*d).unwrap() == dead)
+        .expect("some digest lands on the dead node");
+    let mut conn = Connection::with_timeout(gateway.addr(), Duration::from_secs(30));
+    let resp = conn
+        .request("POST", "/jobs", Some(&json))
+        .expect("gateway answers");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let served = resp.header("x-recon-node").expect("X-Recon-Node");
+    assert_ne!(served, dead, "a dead node cannot answer");
+    assert_eq!(
+        served,
+        ring.route(digest)[1],
+        "failover must land on the next distinct ring node"
+    );
+    assert!(
+        gateway.shared().metrics.gateway_reroutes.get() >= 1,
+        "an off-primary serve is a reroute"
+    );
+
+    // The dead node is (or becomes) marked down, visible on /cluster,
+    // and the reroute counter is exported on /metrics.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let cluster = conn.request("GET", "/cluster", None).expect("cluster");
+        let v = parse(&cluster.body).expect("cluster json");
+        let down = v.get("nodes").and_then(|n| n.as_array()).is_some_and(|ns| {
+            ns.iter().any(|n| {
+                n.get("node").and_then(|x| x.as_str()) == Some(dead.as_str())
+                    && n.get("up").and_then(|x| x.as_bool()) == Some(false)
+            })
+        });
+        if down {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead node never marked down: {}",
+            cluster.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let metrics = conn.request("GET", "/metrics", None).expect("metrics");
+    assert!(
+        metrics.body.contains("recon_client_reroutes_total"),
+        "the client reroute counter must be exported"
+    );
+    assert!(metrics
+        .body
+        .contains(&format!("recon_node_up{{node=\"{dead}\"}} 0")));
+
+    let _ = request(gateway.addr(), "POST", "/shutdown", None);
+    gateway.wait();
+    for n in &live {
+        let _ = request(n.addr(), "POST", "/shutdown", None);
+    }
+}
+
+#[test]
+fn batches_fan_out_and_report_per_job_nodes() {
+    let nodes: Vec<Server> = (0..3).map(|_| start_node()).collect();
+    let names: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let gateway = start_gateway(names);
+
+    let (a, _) = analyze_spec(90_000);
+    let (b, _) = analyze_spec(90_001);
+    let batch = format!(r#"{{"jobs":[{a},{{"kind":"nope"}},{b}]}}"#);
+    let mut conn = Connection::with_timeout(gateway.addr(), Duration::from_secs(30));
+    let resp = conn
+        .request("POST", "/jobs/batch", Some(&batch))
+        .expect("gateway answers");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let v = parse(&resp.body).expect("batch result json");
+    let results = v
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("results");
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results[0].get("status").and_then(|s| s.as_f64()),
+        Some(200.0)
+    );
+    assert_eq!(
+        results[1].get("status").and_then(|s| s.as_f64()),
+        Some(400.0)
+    );
+    assert_eq!(
+        results[2].get("status").and_then(|s| s.as_f64()),
+        Some(200.0)
+    );
+    for i in [0usize, 2] {
+        assert!(
+            results[i].get("node").and_then(|n| n.as_str()).is_some(),
+            "valid jobs must say which node answered: {}",
+            resp.body
+        );
+    }
+
+    let _ = request(gateway.addr(), "POST", "/shutdown", None);
+    gateway.wait();
+    for n in &nodes {
+        let _ = request(n.addr(), "POST", "/shutdown", None);
+    }
+}

@@ -139,6 +139,35 @@ pub fn submit_job(addr: SocketAddr, json: &str) -> io::Result<Response> {
     request(addr, "POST", "/jobs", Some(json))
 }
 
+/// As [`request`], but with an arbitrary binary body and explicit
+/// content type — used to ship raw RCK1 checkpoint bytes to a node's
+/// `POST /migrate` endpoint, where UTF-8 framing would corrupt the
+/// payload.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: recon\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
 /// A keep-alive connection that reconnects on failure.
 ///
 /// The connection is established lazily, reused across requests, and
@@ -254,6 +283,13 @@ pub struct RetryPolicy {
     pub retry_after_cap: Duration,
     /// Seed for the deterministic jitter stream.
     pub seed: u64,
+    /// Fail immediately on `ConnectionRefused` instead of retrying.
+    ///
+    /// Refused means "nothing is listening" — the node is down, not
+    /// busy — and retrying against a dead socket only delays whoever
+    /// could reroute the job to a live node. Set to `false` for
+    /// single-server harnesses that want to ride out a restart.
+    pub fail_fast_refused: bool,
 }
 
 impl Default for RetryPolicy {
@@ -264,6 +300,7 @@ impl Default for RetryPolicy {
             max_delay: Duration::from_millis(500),
             retry_after_cap: Duration::from_millis(500),
             seed: 0,
+            fail_fast_refused: true,
         }
     }
 }
@@ -313,7 +350,10 @@ impl RetryPolicy {
 /// The outcome of a retried submission.
 #[derive(Clone, Debug)]
 pub struct Retried {
-    /// The final (non-retriable) response.
+    /// The final response. Usually non-retriable; when every attempt
+    /// drew backpressure this is the last `429`/`503` (with its
+    /// `Retry-After` hint intact) so the caller can relay it instead of
+    /// inventing an error — the node was *busy*, not down.
     pub response: Response,
     /// Attempts consumed, including the successful one.
     pub attempts: u32,
@@ -326,9 +366,17 @@ pub struct Retried {
 /// per job; `sleep` is injectable so tests can capture the schedule
 /// instead of waiting it out.
 ///
+/// "Node down" and "node busy" are kept distinct: `ConnectionRefused`
+/// returns immediately when [`RetryPolicy::fail_fast_refused`] is set
+/// (so a gateway can reroute instead of burning backoff against a dead
+/// socket), while exhausted backpressure returns the final `429`/`503`
+/// response as `Ok` — a busy node answered, and its `Retry-After` hint
+/// belongs to the caller.
+///
 /// # Errors
 ///
-/// The last transport error once `max_attempts` is exhausted.
+/// `ConnectionRefused` immediately under fail-fast, otherwise the last
+/// transport error once `max_attempts` is exhausted.
 pub fn submit_with_retry(
     conn: &mut Connection,
     json: &str,
@@ -341,15 +389,16 @@ pub fn submit_with_retry(
     for attempt in 0..max_attempts {
         match conn.request("POST", "/jobs", Some(json)) {
             Ok(response) if response.status == 429 || response.status == 503 => {
-                let delay = response
-                    .header("retry-after")
-                    .map_or_else(|| policy.backoff(attempt, key), |h| policy.retry_after(h));
-                last_err = Some(io::Error::other(format!(
-                    "backpressure ({})",
-                    response.status
-                )));
                 if attempt + 1 < max_attempts {
+                    let delay = response
+                        .header("retry-after")
+                        .map_or_else(|| policy.backoff(attempt, key), |h| policy.retry_after(h));
                     sleep(delay);
+                } else {
+                    return Ok(Retried {
+                        response,
+                        attempts: attempt + 1,
+                    });
                 }
             }
             Ok(response) => {
@@ -357,6 +406,9 @@ pub fn submit_with_retry(
                     response,
                     attempts: attempt + 1,
                 })
+            }
+            Err(e) if policy.fail_fast_refused && e.kind() == io::ErrorKind::ConnectionRefused => {
+                return Err(e);
             }
             Err(e) => {
                 last_err = Some(e);
@@ -453,11 +505,14 @@ mod tests {
         };
         let mut conn = Connection::new(addr);
         let mut slept: Vec<Duration> = Vec::new();
-        let err = submit_with_retry(&mut conn, "{\"kind\":\"run\"}", 1234, &policy, &mut |d| {
+        let out = submit_with_retry(&mut conn, "{\"kind\":\"run\"}", 1234, &policy, &mut |d| {
             slept.push(d)
         })
-        .unwrap_err();
-        assert!(err.to_string().contains("429"), "{err}");
+        .unwrap();
+        // Exhausted backpressure hands back the final 429 — the node
+        // was busy, not down.
+        assert_eq!(out.response.status, 429);
+        assert_eq!(out.attempts, 3);
         server.join().unwrap();
 
         // Two sleeps (no sleep after the final attempt), matching the
@@ -468,6 +523,46 @@ mod tests {
         );
         // All three exchanges rode one keep-alive connection.
         assert_eq!(conn.connects(), 1);
+    }
+
+    #[test]
+    fn connection_refused_fails_fast_by_default() {
+        // Bind then immediately drop a listener: the port is known-dead,
+        // so connects are refused rather than timing out.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        let mut conn = Connection::new(addr);
+        let mut slept: Vec<Duration> = Vec::new();
+        let err = submit_with_retry(&mut conn, "{}", 7, &RetryPolicy::default(), &mut |d| {
+            slept.push(d)
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(
+            slept.is_empty(),
+            "a dead node must not consume backoff: {slept:?}"
+        );
+    }
+
+    #[test]
+    fn connection_refused_is_retried_when_fail_fast_is_off() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            fail_fast_refused: false,
+            ..RetryPolicy::default()
+        };
+        let mut conn = Connection::new(addr);
+        let mut slept: Vec<Duration> = Vec::new();
+        let err =
+            submit_with_retry(&mut conn, "{}", 7, &policy, &mut |d| slept.push(d)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(slept.len(), 2, "legacy behavior: backoff between attempts");
     }
 
     #[test]

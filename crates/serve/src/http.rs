@@ -10,7 +10,11 @@
 use std::io::{self, BufRead, Write};
 
 /// Maximum accepted request/response body, in bytes.
-pub const MAX_BODY: usize = 1 << 20;
+///
+/// Sized for the largest legitimate payload: a paper-scale RCK1
+/// checkpoint shipped over `POST /migrate` is ~1.4 MiB, so 8 MiB
+/// leaves generous headroom while still bounding hostile buffering.
+pub const MAX_BODY: usize = 8 << 20;
 
 /// Maximum accepted header section, in bytes (per request).
 const MAX_HEADER_BYTES: usize = 16 * 1024;

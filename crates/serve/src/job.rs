@@ -275,7 +275,7 @@ impl JobSpec {
                 format!("unknown suite '{suite_name}' (spec2017|spec2006|parsec)")
             })?;
             let bench = self.bench.as_deref().ok_or("missing 'bench'")?;
-            if find(suite, bench, Scale::Quick).is_none() {
+            if !suite_names(suite).contains(&bench) {
                 return Err(format!("no benchmark '{bench}' in {suite}"));
             }
             if self.gadget.is_some() {
@@ -438,14 +438,60 @@ pub fn experiment_for(suite: Suite) -> Experiment {
     }
 }
 
-fn lookup(spec: &JobSpec) -> (Suite, Benchmark) {
+/// The benchmark names of one suite, generated once per process.
+///
+/// Validation only needs name *existence*; running the suite generators
+/// (which build every benchmark's synthetic program) per parsed spec
+/// would dominate small-job service time on both the node and the
+/// gateway.
+fn suite_names(suite: Suite) -> &'static [&'static str] {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<[Vec<&'static str>; 3]> = OnceLock::new();
+    let all = NAMES.get_or_init(|| {
+        [
+            recon_workloads::spec2017(Scale::Quick),
+            recon_workloads::spec2006(Scale::Quick),
+            recon_workloads::parsec(Scale::Quick),
+        ]
+        .map(|suite| suite.iter().map(|b| b.name).collect())
+    });
+    match suite {
+        Suite::Spec2017 => &all[0],
+        Suite::Spec2006 => &all[1],
+        Suite::Parsec => &all[2],
+    }
+}
+
+/// Resolves a validated spec's benchmark, memoized per process.
+///
+/// The suite generators build *every* benchmark's synthetic program
+/// just to select one by name — tens of milliseconds, which dwarfs a
+/// small job's actual simulation. Repeat lookups share one immutable
+/// [`Benchmark`] behind an [`Arc`]. The scale factor is part of the
+/// key, so a mid-process `RECON_SCALE` flip cannot serve stale
+/// workloads.
+fn lookup(spec: &JobSpec) -> (Suite, Arc<Benchmark>) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type Memo = Mutex<HashMap<(Suite, String, u64), Arc<Benchmark>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+
     let suite = parse_suite(spec.suite.as_deref().expect("validated")).expect("validated");
-    let bench = find(
-        suite,
-        spec.bench.as_deref().expect("validated"),
-        Scale::from_env(),
-    )
-    .expect("validated");
+    let name = spec.bench.as_deref().expect("validated");
+    let scale = Scale::from_env();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (suite, name.to_string(), scale.factor());
+    if let Some(bench) = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+    {
+        return (suite, Arc::clone(bench));
+    }
+    let bench = Arc::new(find(suite, name, scale).expect("validated"));
+    memo.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(key, Arc::clone(&bench));
     (suite, bench)
 }
 

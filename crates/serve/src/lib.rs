@@ -26,8 +26,14 @@
 //!   the cache **crash-safe** (checksummed snapshot + log, torn tails
 //!   truncated at recovery — see [`persist`]).
 //! * `GET /metrics` — live counters, gauges, and per-kind latency
-//!   histograms in Prometheus text format; `GET /healthz`;
+//!   histograms in Prometheus text format (labeled `node="<id>"` when
+//!   the server runs as a cluster node); `GET /healthz`;
 //!   `POST /shutdown` (graceful drain, or `{"mode":"abort"}`).
+//! * Cluster endpoints for the `recon gateway` layer: `POST /migrate`
+//!   accepts a peer's RCK1 checkpoint and resumes the job mid-run,
+//!   `POST /cache` accepts a replicated result, and `POST /drain`
+//!   evacuates this node — cancel, checkpoint, ship to a target peer,
+//!   then exit.
 //!
 //! The robustness layer is first-class: a deterministic **chaos plane**
 //! ([`chaos`]) injects worker panics, latency, dropped/corrupted
@@ -59,7 +65,10 @@ pub mod storm;
 pub use bench::{run_bench_serve, BenchServeConfig, BenchServeReport};
 pub use cache::ResultCache;
 pub use chaos::{FaultPlan, FaultSite};
-pub use client::{request, submit_job, Connection, Response, RetryPolicy};
+pub use client::{
+    request, request_bytes, submit_job, submit_with_retry, Connection, Response, Retried,
+    RetryPolicy,
+};
 pub use job::{execute, JobError, JobKind, JobOutput, JobSpec};
 pub use json::{parse, Json};
 pub use metrics::Metrics;

@@ -44,24 +44,30 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    fn render(&self, out: &mut String, kind: &str) {
+    fn render(&self, out: &mut String, kind: &str, node: &str) {
         use std::fmt::Write as _;
         let mut cumulative = 0u64;
         for (i, bound) in BUCKETS.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
             let _ = writeln!(
                 out,
-                "recon_job_seconds_bucket{{kind=\"{kind}\",le=\"{bound}\"}} {cumulative}"
+                "recon_job_seconds_bucket{{kind=\"{kind}\"{node},le=\"{bound}\"}} {cumulative}"
             );
         }
         let count = self.count.load(Ordering::Relaxed);
         let _ = writeln!(
             out,
-            "recon_job_seconds_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {count}"
+            "recon_job_seconds_bucket{{kind=\"{kind}\"{node},le=\"+Inf\"}} {count}"
         );
         let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        let _ = writeln!(out, "recon_job_seconds_sum{{kind=\"{kind}\"}} {sum:.6}");
-        let _ = writeln!(out, "recon_job_seconds_count{{kind=\"{kind}\"}} {count}");
+        let _ = writeln!(
+            out,
+            "recon_job_seconds_sum{{kind=\"{kind}\"{node}}} {sum:.6}"
+        );
+        let _ = writeln!(
+            out,
+            "recon_job_seconds_count{{kind=\"{kind}\"{node}}} {count}"
+        );
     }
 }
 
@@ -145,6 +151,19 @@ pub struct Metrics {
     pub checkpoints_dropped_corrupt: Counter,
     /// Superseded checkpoints garbage-collected (keep-latest-N).
     pub checkpoints_gc_deleted: Counter,
+    /// Distinct jobs admitted but not yet answered (gauge): incremented
+    /// on enqueue, decremented when the result fans out. Unlike the
+    /// point-in-time queue depth, this covers queued *and* executing
+    /// jobs, so summing it across cluster nodes gives true in-flight
+    /// load.
+    pub jobs_inflight: Counter,
+    /// Checkpoints accepted from another node over `POST /migrate`.
+    pub migrations_in: Counter,
+    /// Checkpoints shipped to another node while draining.
+    pub migrations_out: Counter,
+    /// Cache entries accepted from a gateway replication
+    /// (`POST /cache`).
+    pub replications_in: Counter,
     /// Per-kind job latency (queue wait + execution), indexed by
     /// [`JobKind::index`].
     pub latency: [Histogram; 4],
@@ -157,15 +176,26 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text format. Queue depth and capacity are
-    /// sampled by the caller (they live on the queue, not here).
+    /// sampled by the caller (they live on the queue, not here). When
+    /// `node` is set every sample line carries a `node="..."` label, so
+    /// cluster dashboards can sum gauges like `recon_jobs_inflight`
+    /// across nodes without relabeling at scrape time.
     #[must_use]
-    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize, node: Option<&str>) -> String {
         use std::fmt::Write as _;
+        let lbl = node.map_or(String::new(), |n| {
+            format!("{{node=\"{}\"}}", n.replace('"', "_"))
+        });
+        // The histogram path merges into an existing label set, so it
+        // needs the bare `,node="..."` form.
+        let hist_lbl = node.map_or(String::new(), |n| {
+            format!(",node=\"{}\"", n.replace('"', "_"))
+        });
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{name}{lbl} {value}");
         };
         counter(
             "recon_jobs_queued_total",
@@ -262,13 +292,28 @@ impl Metrics {
             "Superseded checkpoints garbage-collected (keep-latest-N).",
             self.checkpoints_gc_deleted.get(),
         );
+        counter(
+            "recon_migrations_in_total",
+            "Checkpoints accepted from another node over POST /migrate.",
+            self.migrations_in.get(),
+        );
+        counter(
+            "recon_migrations_out_total",
+            "Checkpoints shipped to another node while draining.",
+            self.migrations_out.get(),
+        );
+        counter(
+            "recon_replications_in_total",
+            "Cache entries accepted from a gateway replication.",
+            self.replications_in.get(),
+        );
         let exec_secs = self.sim_exec_micros.get() as f64 / 1e6;
         let _ = writeln!(
             out,
             "# HELP recon_sim_exec_seconds_total Wall-clock execution time of completed jobs."
         );
         let _ = writeln!(out, "# TYPE recon_sim_exec_seconds_total counter");
-        let _ = writeln!(out, "recon_sim_exec_seconds_total {exec_secs:.6}");
+        let _ = writeln!(out, "recon_sim_exec_seconds_total{lbl} {exec_secs:.6}");
         let mips = if exec_secs > 0.0 {
             self.sim_instructions.get() as f64 / 1e6 / exec_secs
         } else {
@@ -279,23 +324,29 @@ impl Metrics {
             "# HELP recon_sim_mips Aggregate simulated MIPS over completed jobs (instructions / execution time)."
         );
         let _ = writeln!(out, "# TYPE recon_sim_mips gauge");
-        let _ = writeln!(out, "recon_sim_mips {mips:.3}");
+        let _ = writeln!(out, "recon_sim_mips{lbl} {mips:.3}");
         let _ = writeln!(out, "# HELP recon_jobs_running Jobs currently executing.");
         let _ = writeln!(out, "# TYPE recon_jobs_running gauge");
-        let _ = writeln!(out, "recon_jobs_running {}", self.jobs_running.get());
+        let _ = writeln!(out, "recon_jobs_running{lbl} {}", self.jobs_running.get());
+        let _ = writeln!(
+            out,
+            "# HELP recon_jobs_inflight Jobs admitted but not yet answered (queued + executing)."
+        );
+        let _ = writeln!(out, "# TYPE recon_jobs_inflight gauge");
+        let _ = writeln!(out, "recon_jobs_inflight{lbl} {}", self.jobs_inflight.get());
         let _ = writeln!(out, "# HELP recon_queue_depth Jobs waiting in the queue.");
         let _ = writeln!(out, "# TYPE recon_queue_depth gauge");
-        let _ = writeln!(out, "recon_queue_depth {queue_depth}");
+        let _ = writeln!(out, "recon_queue_depth{lbl} {queue_depth}");
         let _ = writeln!(out, "# HELP recon_queue_capacity Configured queue bound.");
         let _ = writeln!(out, "# TYPE recon_queue_capacity gauge");
-        let _ = writeln!(out, "recon_queue_capacity {queue_capacity}");
+        let _ = writeln!(out, "recon_queue_capacity{lbl} {queue_capacity}");
         let _ = writeln!(
             out,
             "# HELP recon_job_seconds Job latency (queue wait + execution) by kind."
         );
         let _ = writeln!(out, "# TYPE recon_job_seconds histogram");
         for kind in JobKind::ALL {
-            self.latency[kind.index()].render(&mut out, kind.label());
+            self.latency[kind.index()].render(&mut out, kind.label(), &hist_lbl);
         }
         out
     }
@@ -311,7 +362,7 @@ mod tests {
         m.observe_latency(JobKind::Run, 0.0004);
         m.observe_latency(JobKind::Run, 0.02);
         m.observe_latency(JobKind::Run, 99.0); // beyond the last bound
-        let text = m.render(0, 4);
+        let text = m.render(0, 4, None);
         assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"0.001\"} 1"));
         assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"0.05\"} 2"));
         assert!(text.contains("recon_job_seconds_bucket{kind=\"run\",le=\"10\"} 2"));
@@ -324,7 +375,7 @@ mod tests {
         let m = Metrics::default();
         m.sim_instructions.add(3_000_000);
         m.sim_exec_micros.add(2_000_000); // 2 s → 1.5 MIPS
-        let text = m.render(0, 4);
+        let text = m.render(0, 4, None);
         assert!(
             text.contains("recon_sim_instructions_total 3000000"),
             "{text}"
@@ -338,7 +389,7 @@ mod tests {
 
     #[test]
     fn mips_gauge_is_zero_before_any_job() {
-        let text = Metrics::default().render(0, 4);
+        let text = Metrics::default().render(0, 4, None);
         assert!(text.contains("recon_sim_mips 0.000"), "{text}");
     }
 
@@ -350,11 +401,41 @@ mod tests {
         m.cache_hits.add(5);
         m.jobs_running.inc();
         m.jobs_running.dec();
-        let text = m.render(3, 16);
+        let text = m.render(3, 16, None);
         assert!(text.contains("recon_jobs_queued_total 2"));
         assert!(text.contains("recon_cache_hits_total 5"));
         assert!(text.contains("recon_jobs_running 0"));
         assert!(text.contains("recon_queue_depth 3"));
         assert!(text.contains("recon_queue_capacity 16"));
+    }
+
+    #[test]
+    fn node_label_lands_on_every_sample_line() {
+        let m = Metrics::default();
+        m.jobs_queued.inc();
+        m.jobs_inflight.inc();
+        m.observe_latency(JobKind::Run, 0.02);
+        let text = m.render(1, 4, Some("n0"));
+        assert!(
+            text.contains("recon_jobs_queued_total{node=\"n0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recon_jobs_inflight{node=\"n0\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("recon_queue_depth{node=\"n0\"} 1"), "{text}");
+        assert!(
+            text.contains("recon_job_seconds_bucket{kind=\"run\",node=\"n0\",le=\"0.05\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recon_job_seconds_count{kind=\"run\",node=\"n0\"} 1"),
+            "{text}"
+        );
+        // No sample line is left unlabeled (HELP/TYPE lines excepted).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("{"), "unlabeled sample: {line}");
+        }
     }
 }

@@ -82,6 +82,10 @@ pub struct ServeConfig {
     /// Simulation-checkpoint cadence for `run` jobs, in simulated
     /// cycles (only effective with `cache_dir`).
     pub checkpoint_every_cycles: u64,
+    /// Cluster node identity. When set, every `/metrics` sample line
+    /// carries a `node="<id>"` label so a gateway dashboard can sum
+    /// gauges across nodes.
+    pub node_id: Option<String>,
 }
 
 /// Default checkpoint cadence for served `run` jobs.
@@ -102,6 +106,7 @@ impl Default for ServeConfig {
             chaos: None,
             cache_dir: None,
             checkpoint_every_cycles: DEFAULT_CKPT_EVERY,
+            node_id: None,
         }
     }
 }
@@ -142,6 +147,8 @@ pub struct Shared {
     /// Digests currently executing, with the reply channels of
     /// duplicate submissions that joined them (single-flight).
     inflight: Mutex<FxHashMap<u64, Vec<mpsc::Sender<JobResult>>>>,
+    /// Cluster node identity (labels `/metrics` output).
+    node_id: Option<String>,
     shutting_down: AtomicBool,
     cancel: Arc<AtomicBool>,
 }
@@ -209,6 +216,7 @@ impl Server {
                 keep: CKPT_KEEP,
             }),
             inflight: Mutex::new(FxHashMap::default()),
+            node_id: config.node_id.clone(),
             shutting_down: AtomicBool::new(false),
             cancel: Arc::new(AtomicBool::new(false)),
         });
@@ -355,6 +363,7 @@ fn recover_orphans(shared: &Arc<Shared>, dir: &Path) {
             Ok(()) => {
                 inflight.insert(ck.config_digest, Vec::new());
                 shared.metrics.jobs_queued.inc();
+                shared.metrics.jobs_inflight.inc();
                 println!(
                     "resuming orphaned job {:016x} from checkpoint at cycle {}",
                     ck.config_digest, ck.cycle
@@ -536,6 +545,7 @@ fn notify(shared: &Arc<Shared>, job: &QueuedJob, result: &JobResult) {
     let waiters = lock_ignore_poison(&shared.inflight)
         .remove(&job.digest)
         .unwrap_or_default();
+    shared.metrics.jobs_inflight.dec();
     let _ = job.reply.send(result.clone());
     for w in waiters {
         let _ = w.send(result.clone());
@@ -638,9 +648,11 @@ fn route(
             close,
         ),
         ("GET", "/metrics") => {
-            let mut body = shared
-                .metrics
-                .render(shared.queue.len(), shared.queue.capacity());
+            let mut body = shared.metrics.render(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.node_id.as_deref(),
+            );
             body.push_str(&shared.chaos.render_metrics());
             send(
                 writer,
@@ -653,6 +665,9 @@ fn route(
         }
         ("POST", "/jobs") => handle_job(req, writer, shared, close),
         ("POST", "/jobs/batch") => handle_batch(req, writer, shared, close),
+        ("POST", "/migrate") => handle_migrate(req, writer, shared, close),
+        ("POST", "/cache") => handle_cache_put(req, writer, shared, close),
+        ("POST", "/drain") => handle_drain(req, writer, shared, self_addr),
         ("POST", "/shutdown") => handle_shutdown(req, writer, shared, self_addr),
         ("GET" | "POST", _) => send(
             writer,
@@ -713,6 +728,7 @@ fn submit(shared: &Arc<Shared>, spec: JobSpec, digest: u64) -> Submit {
         Ok(()) => {
             inflight.insert(digest, Vec::new());
             shared.metrics.jobs_queued.inc();
+            shared.metrics.jobs_inflight.inc();
             shared.metrics.cache_misses.inc();
             Submit::Enqueued(rx)
         }
@@ -999,6 +1015,257 @@ fn handle_batch(
     }
     out.push_str("]}");
     send(writer, 200, &[], "application/json", out.as_bytes(), close)
+}
+
+/// `POST /migrate`: accepts raw RCK1 checkpoint bytes from a draining
+/// peer node. The checkpoint is decoded and validated (magic, checksum,
+/// an embedded `serve-job` spec whose digest matches the checkpoint's
+/// own `config_digest`) — bytes from the wire are never trusted — then
+/// written into this node's checkpoint directory through the same
+/// atomic temp+rename path local jobs use. The job is re-enqueued
+/// best-effort with a dead reply channel (exactly like startup orphan
+/// recovery): even when the queue is full, the on-disk checkpoint means
+/// any later submission of the digest resumes mid-run instead of
+/// starting from cycle zero.
+fn handle_migrate(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    let bad = |writer: &mut _, msg: &str| {
+        send(
+            writer,
+            400,
+            &[],
+            "application/json",
+            error_body("invalid_migration", msg).as_bytes(),
+            close,
+        )
+    };
+    let Some(dir) = shared.ckpt.as_ref().and_then(|p| p.dir.clone()) else {
+        return bad(writer, "node has no checkpoint directory (--cache-dir)");
+    };
+    let ck = match ckpt::Checkpoint::decode(&req.body) {
+        Ok(ck) => ck,
+        Err(e) => return bad(writer, &format!("checkpoint rejected: {e:?}")),
+    };
+    if ck.meta("kind") != Some("serve-job") {
+        return bad(writer, "checkpoint does not embed a serve-job spec");
+    }
+    let Some(spec) = ck
+        .meta("spec")
+        .and_then(|s| parse(s).ok())
+        .and_then(|v| JobSpec::from_json(&v).ok())
+    else {
+        return bad(writer, "embedded spec does not parse or validate");
+    };
+    if spec.digest() != ck.config_digest {
+        return bad(writer, "embedded spec digest does not match checkpoint");
+    }
+    let digest = ck.config_digest;
+    let cycle = ck.cycle;
+    if let Err(e) = ckpt::write(&dir, &ck) {
+        return send(
+            writer,
+            500,
+            &[],
+            "application/json",
+            error_body("migration_failed", &format!("checkpoint write: {e}")).as_bytes(),
+            close,
+        );
+    }
+    shared.metrics.migrations_in.inc();
+
+    // Best-effort resume: enqueue with a dead reply channel so the
+    // migrated job starts executing before anyone resubmits it.
+    let mut enqueued = false;
+    if shared.cache.get(digest).is_none() {
+        let mut inflight = lock_ignore_poison(&shared.inflight);
+        if let std::collections::hash_map::Entry::Vacant(slot) = inflight.entry(digest) {
+            let (tx, _rx) = mpsc::channel();
+            if shared
+                .queue
+                .try_push(QueuedJob {
+                    spec,
+                    digest,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                })
+                .is_ok()
+            {
+                slot.insert(Vec::new());
+                shared.metrics.jobs_queued.inc();
+                shared.metrics.jobs_inflight.inc();
+                enqueued = true;
+            }
+        }
+    }
+    let body = format!(
+        "{{\"status\":\"accepted\",\"digest\":\"{digest:016x}\",\"cycle\":{cycle},\"enqueued\":{enqueued}}}"
+    );
+    send(writer, 200, &[], "application/json", body.as_bytes(), close)
+}
+
+/// `POST /cache`: accepts a replicated result from the gateway —
+/// `{"digest":"<16 hex>","payload":"<result JSON as a string>"}` — so
+/// the ring successor can answer this digest from cache if the primary
+/// dies. First-write-wins like every other cache insert.
+fn handle_cache_put(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    close: bool,
+) -> io::Result<ConnOutcome> {
+    let bad = |writer: &mut _, msg: &str| {
+        send(
+            writer,
+            400,
+            &[],
+            "application/json",
+            error_body("invalid_replication", msg).as_bytes(),
+            close,
+        )
+    };
+    let Some(body) = req.body_str() else {
+        return bad(writer, "body is not UTF-8");
+    };
+    let parsed = match parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad(writer, &e),
+    };
+    let Some(digest) = parsed
+        .get("digest")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+    else {
+        return bad(writer, "digest must be a hex string");
+    };
+    let Some(payload) = parsed.get("payload").and_then(Json::as_str) else {
+        return bad(writer, "payload must be a string");
+    };
+    shared.cache.insert(digest, Arc::new(payload.to_string()));
+    shared.metrics.replications_in.inc();
+    send(
+        writer,
+        200,
+        &[],
+        "application/json",
+        format!("{{\"status\":\"stored\",\"digest\":\"{digest:016x}\"}}").as_bytes(),
+        close,
+    )
+}
+
+/// `POST /drain`: planned evacuation. The node stops admitting work,
+/// cancels everything queued or running (cancelled runs keep their
+/// newest on-disk checkpoint at the last commit boundary), waits for
+/// the workers to go quiet, then — if the body names a `{"to":"addr"}`
+/// target — ships the newest checkpoint of every unfinished job to that
+/// peer's `/migrate` endpoint. The response reports how many jobs
+/// migrated, *after* the shipping completed, so the caller knows the
+/// hand-off is durable before this node exits.
+fn handle_drain(
+    req: &Request,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+    self_addr: Option<SocketAddr>,
+) -> io::Result<ConnOutcome> {
+    use std::net::ToSocketAddrs as _;
+    let to: Option<SocketAddr> = match req.body_str().filter(|b| !b.trim().is_empty()) {
+        None => None,
+        Some(body) => match parse(body) {
+            Ok(v) => match v.get("to").and_then(Json::as_str) {
+                None => None,
+                Some(addr) => match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+                    Some(a) => Some(a),
+                    None => {
+                        return send(
+                            writer,
+                            400,
+                            &[],
+                            "application/json",
+                            error_body("invalid_drain", &format!("unresolvable target '{addr}'"))
+                                .as_bytes(),
+                            true,
+                        );
+                    }
+                },
+            },
+            Err(e) => {
+                return send(
+                    writer,
+                    400,
+                    &[],
+                    "application/json",
+                    error_body("invalid_drain", &e).as_bytes(),
+                    true,
+                );
+            }
+        },
+    };
+
+    // Stop admissions, cancel queued + running work, let the workers
+    // wind down. Cancelled clients get 503 (no Retry-After) and their
+    // retries will be refused here and rerouted by the gateway.
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    shared.cancel.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (shared.metrics.jobs_running.get() > 0 || !shared.queue.is_empty())
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Settle: the last worker decrements jobs_running before its final
+    // bookkeeping (cache insert, notify) finishes.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut migrated = 0u64;
+    let mut failed = 0u64;
+    if let (Some(to_addr), Some(dir)) = (to, shared.ckpt.as_ref().and_then(|p| p.dir.clone())) {
+        if let Ok(scan) = ckpt::scan(&dir) {
+            // `scan.valid` is newest-first: ship one checkpoint per
+            // digest, skipping jobs that already have a cached result.
+            let mut seen = std::collections::HashSet::new();
+            for (path, ck) in &scan.valid {
+                if !seen.insert(ck.config_digest)
+                    || ck.meta("kind") != Some("serve-job")
+                    || shared.cache.get(ck.config_digest).is_some()
+                {
+                    continue;
+                }
+                let shipped = fs::read(path).ok().and_then(|bytes| {
+                    crate::client::request_bytes(
+                        to_addr,
+                        "POST",
+                        "/migrate",
+                        "application/octet-stream",
+                        &bytes,
+                    )
+                    .ok()
+                });
+                match shipped {
+                    Some(resp) if resp.status == 200 => {
+                        shared.metrics.migrations_out.inc();
+                        migrated += 1;
+                        println!(
+                            "drained job {:016x} (checkpoint at cycle {}) to {to_addr}",
+                            ck.config_digest, ck.cycle
+                        );
+                    }
+                    _ => failed += 1,
+                }
+            }
+        }
+    }
+
+    let body = format!("{{\"status\":\"drained\",\"migrated\":{migrated},\"failed\":{failed}}}");
+    send(writer, 200, &[], "application/json", body.as_bytes(), true)?;
+    // Poke the accept loop so it observes the flag and returns.
+    if let Some(addr) = self_addr {
+        let _ = TcpStream::connect(addr);
+    }
+    Ok(ConnOutcome::Close)
 }
 
 fn handle_shutdown(

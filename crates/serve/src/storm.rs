@@ -303,6 +303,9 @@ fn client_loop(
         max_delay: Duration::from_millis(20),
         retry_after_cap: Duration::from_millis(20),
         seed: seed ^ (client_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        // The single-node storm's server stays up for the whole run;
+        // refused would be a harness bug, so surface it as `lost`.
+        fail_fast_refused: true,
     };
     let mut sleep = |d: Duration| std::thread::sleep(d);
     for expected in slice {
@@ -377,6 +380,7 @@ pub fn run_chaos_storm(config: &ChaosStormConfig) -> io::Result<ChaosStormReport
         chaos: Some(format!("{},{}", config.seed, config.faults)),
         cache_dir: Some(ckpt_dir.clone()),
         checkpoint_every_cycles: STORM_CKPT_EVERY,
+        node_id: None,
     })?;
     let addr = server.addr();
 
