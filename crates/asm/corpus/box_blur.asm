@@ -1,0 +1,124 @@
+# box_blur.asm — 3×3 box blur (sum of 9 neighbors >> 3) over the
+# interior of a 32×32 grid of pseudo-random values; the one-pixel
+# border of the output stays zero (defined by .zero).
+#
+# Corpus conventions (DESIGN.md §13): r26 pass count, r29-r31 reserved,
+# digest at 0xfeed0, status at 0xfeed8.
+#
+# Memory map: source grid at 0x1000, output grid at 0x3000.
+
+.alias src r1
+.alias dst r2
+.alias row r3
+.alias col r4
+.alias w r5
+.alias wm1 r6
+.alias sum r7
+.alias t1 r8
+.alias t2 r9
+.alias addr r10
+.alias x r12
+.alias pass r20
+.alias h r24
+.alias status r25
+.alias passes r26
+.alias expect r27
+.alias outp r28
+
+.zero 0x3000 1024                   # output grid (border stays zero)
+
+.entry main r26=1
+
+main:
+    li pass, 0
+pass_loop:
+    bgeu pass, passes, all_done
+    li src, 0x1000
+    li dst, 0x3000
+    li w, 32
+    li wm1, 31
+    mul t1, w, w
+
+    # ---- init: src[e] from a 64-bit LCG -------------------------------
+    li x, 0x9e3779b97f4a7c15
+    li t2, 0
+init_loop:
+    bgeu t2, t1, init_done
+    muli x, x, 0xd1342543de82ef95
+    addi x, x, 0xf767814f
+    shli addr, t2, 3
+    add addr, addr, src
+    st x, [addr]
+    addi t2, t2, 1
+    j init_loop
+init_done:
+
+    # ---- blur the interior: rows/cols 1..30 ---------------------------
+    li row, 1
+row_loop:
+    bgeu row, wm1, blur_done
+    li col, 1
+col_loop:
+    bgeu col, wm1, row_next
+    mul t1, row, w
+    add t1, t1, col
+    shli t1, t1, 3
+    add addr, src, t1               # &src[row][col]; row stride = 256 bytes
+    ld sum, [addr-264]
+    ld t2, [addr-256]
+    add sum, sum, t2
+    ld t2, [addr-248]
+    add sum, sum, t2
+    ld t2, [addr-8]
+    add sum, sum, t2
+    ld t2, [addr]
+    add sum, sum, t2
+    ld t2, [addr+8]
+    add sum, sum, t2
+    ld t2, [addr+248]
+    add sum, sum, t2
+    ld t2, [addr+256]
+    add sum, sum, t2
+    ld t2, [addr+264]
+    add sum, sum, t2
+    shri sum, sum, 3
+    add addr, dst, t1               # &dst[row][col]
+    st sum, [addr]
+    addi col, col, 1
+    j col_loop
+row_next:
+    addi row, row, 1
+    j row_loop
+blur_done:
+
+    # ---- digest over the full output grid -----------------------------
+    li h, 0
+    li t2, 0
+    mul t1, w, w
+digest_loop:
+    bgeu t2, t1, digest_done
+    shli addr, t2, 3
+    add addr, addr, dst
+    ld sum, [addr]
+    muli h, h, 31
+    add h, h, sum
+    addi t2, t2, 1
+    j digest_loop
+digest_done:
+    addi pass, pass, 1
+    j pass_loop
+all_done:
+
+;@gadget
+
+    # ---- self-check epilogue ------------------------------------------
+    li expect, 0x9401b33c8940341a
+    li outp, 0xfeed0
+    st h, [outp]
+    li status, 0x600d
+    beq h, expect, write_status
+    li status, 0xbad
+write_status:
+    li outp, 0xfeed8
+    st status, [outp]
+    halt

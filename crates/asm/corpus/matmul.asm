@@ -1,0 +1,127 @@
+# matmul.asm — dense n×n matrix multiply (n = 12, read from .data),
+# C = A·B over wrapping u64 arithmetic.
+#
+# Corpus conventions (DESIGN.md §13): r26 pass count, r29-r31 reserved,
+# digest at 0xfeed0, status at 0xfeed8.
+#
+# Memory map: n at 0x900, A at 0x1000, B at 0x1600, C at 0x1c00.
+
+.alias ab r1
+.alias bb r2
+.alias cb r3
+.alias i r4
+.alias jj r5
+.alias k r6
+.alias acc r7
+.alias t1 r8
+.alias t2 r9
+.alias addr r10
+.alias n r11
+.alias nsq r12
+.alias pass r20
+.alias h r24
+.alias status r25
+.alias passes r26
+.alias expect r27
+.alias outp r28
+
+.data 0x900 12                      # matrix dimension
+
+.entry main r26=1
+
+main:
+    li pass, 0
+pass_loop:
+    bgeu pass, passes, all_done
+    li t1, 0x900
+    ld n, [t1]
+    li ab, 0x1000
+    li bb, 0x1600
+    li cb, 0x1c00
+    mul nsq, n, n
+
+    # ---- init: A[e] = (e+1)·φ64, B[e] = (e+2)·κ64 ---------------------
+    li i, 0
+init_loop:
+    bgeu i, nsq, init_done
+    addi t1, i, 1
+    muli t1, t1, 0x9e3779b97f4a7c15
+    shli t2, i, 3
+    add addr, ab, t2
+    st t1, [addr]
+    addi t1, i, 2
+    muli t1, t1, 0xc2b2ae3d27d4eb4f
+    add addr, bb, t2
+    st t1, [addr]
+    addi i, i, 1
+    j init_loop
+init_done:
+
+    # ---- C[i][jj] = Σk A[i][k]·B[k][jj] ---------------------------------
+    li i, 0
+i_loop:
+    bgeu i, n, mm_done
+    li jj, 0
+j_loop:
+    bgeu jj, n, i_next
+    li acc, 0
+    li k, 0
+k_loop:
+    bgeu k, n, k_done
+    mul t1, i, n
+    add t1, t1, k
+    shli t1, t1, 3
+    add addr, ab, t1
+    ld t2, [addr]                   # A[i][k]
+    mul t1, k, n
+    add t1, t1, jj
+    shli t1, t1, 3
+    add addr, bb, t1
+    ld t1, [addr]                   # B[k][jj]
+    mul t2, t2, t1
+    add acc, acc, t2
+    addi k, k, 1
+    j k_loop
+k_done:
+    mul t1, i, n
+    add t1, t1, jj
+    shli t1, t1, 3
+    add addr, cb, t1
+    st acc, [addr]
+    addi jj, jj, 1
+    j j_loop
+i_next:
+    addi i, i, 1
+    j i_loop
+mm_done:
+
+    # ---- digest over C -------------------------------------------------
+    li h, 0
+    li i, 0
+digest_loop:
+    bgeu i, nsq, digest_done
+    shli t1, i, 3
+    add addr, cb, t1
+    ld t2, [addr]
+    muli h, h, 31
+    add h, h, t2
+    addi i, i, 1
+    j digest_loop
+digest_done:
+    addi pass, pass, 1
+    j pass_loop
+all_done:
+
+;@gadget
+
+    # ---- self-check epilogue ------------------------------------------
+    li expect, 0xaa5c5adbb025f090
+    li outp, 0xfeed0
+    st h, [outp]
+    li status, 0x600d
+    beq h, expect, write_status
+    li status, 0xbad
+write_status:
+    li outp, 0xfeed8
+    st status, [outp]
+    halt

@@ -1,0 +1,102 @@
+# memref.asm — pointer chase over a 512-node linked ring scattered
+# through 32 KiB (64-byte node stride). Each chase step is a
+# load→load address dependence, the exact shape ReCon's load-pair
+# table detects; payload loads feed the digest.
+#
+# Corpus conventions (DESIGN.md §13): r26 pass count, r29-r31 reserved,
+# digest at 0xfeed0, status at 0xfeed8.
+#
+# Memory map: node count at 0x900, chase steps at 0x908, pass counter
+# at 0x910 (bumped with amoadd), nodes at 0x10000 (node = {next, payload}).
+
+.alias base r1
+.alias nmask r2
+.alias jj r3
+.alias pj r4
+.alias pn r5
+.alias addr r6
+.alias t1 r7
+.alias t2 r8
+.alias cur r9
+.alias nxt r10
+.alias steps r11
+.alias sidx r12
+.alias n r13
+.alias pass r20
+.alias h r24
+.alias status r25
+.alias passes r26
+.alias expect r27
+.alias outp r28
+
+.data 0x900 512                     # node count (power of two)
+.data 0x908 2048                    # chase steps per pass
+.data 0x910 0                       # completed-pass counter
+
+.entry main r26=1
+
+main:
+    li pass, 0
+pass_loop:
+    bgeu pass, passes, all_done
+    li t1, 0x900
+    ld n, [t1]
+    subi nmask, n, 1
+    li base, 0x10000
+
+    # ---- build the ring: logical node jj sits at slot (jj·341) & mask ---
+    li jj, 0
+build_loop:
+    bgeu jj, n, build_done
+    muli pj, jj, 341
+    and pj, pj, nmask
+    addi pn, jj, 1
+    muli pn, pn, 341
+    and pn, pn, nmask
+    shli t1, pj, 6
+    add addr, base, t1              # &node[p(jj)]
+    shli t1, pn, 6
+    add t1, base, t1                # &node[p(jj+1)]
+    st t1, [addr]                   # next pointer
+    muli t2, jj, 0x9e3779b97f4a7c15
+    st t2, [addr+8]                 # payload
+    addi jj, jj, 1
+    j build_loop
+build_done:
+
+    # ---- chase ---------------------------------------------------------
+    li t1, 0x908
+    ld steps, [t1]
+    mv cur, base                    # p(0) = 0
+    li sidx, 0
+    li h, 0
+chase_loop:
+    bgeu sidx, steps, chase_done
+    ld nxt, [cur]                   # load feeding the next load's address
+    ld t2, [cur+8]
+    muli h, h, 31
+    add h, h, t2
+    mv cur, nxt
+    addi sidx, sidx, 1
+    j chase_loop
+chase_done:
+    li t1, 0x910
+    li t2, 1
+    amoadd t2, [t1], t2             # count completed passes in memory
+    addi pass, pass, 1
+    j pass_loop
+all_done:
+
+;@gadget
+
+    # ---- self-check epilogue ------------------------------------------
+    li expect, 0x245799f13dc85400
+    li outp, 0xfeed0
+    st h, [outp]
+    li status, 0x600d
+    beq h, expect, write_status
+    li status, 0xbad
+write_status:
+    li outp, 0xfeed8
+    st status, [outp]
+    halt

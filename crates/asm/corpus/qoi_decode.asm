@@ -1,0 +1,183 @@
+# qoi_decode.asm — a QOI-style stream decoder. Each input word packs a
+# tag in bits [1:0] and an argument in bits [63:8]:
+#
+#   tag 0  RUN    emit the previous value `arg` times (1..7)
+#   tag 1  DIFF   value += arg (wrapping); emit; remember in seen-table
+#   tag 2  INDEX  value = seen[arg & 63]; emit
+#   tag 3  LIT    value = arg; emit; remember in seen-table
+#
+# The seen-table is indexed by the top 6 bits of value·φ64 — the QOI
+# trick of recalling recently seen pixels by hash. The digest covers
+# every emitted value plus the output length.
+#
+# Corpus conventions (DESIGN.md §13): r26 pass count, r29-r31 reserved,
+# digest at 0xfeed0, status at 0xfeed8.
+#
+# Memory map: stream length at 0x900, stream at 0x1000 (.words),
+# seen-table at 0x4000 (64 words), output at 0x5000.
+
+.alias sb r1
+.alias tb r2
+.alias ob r3
+.alias s r4
+.alias len r5
+.alias w r6
+.alias tag r7
+.alias arg r8
+.alias last r9
+.alias o r10
+.alias t1 r11
+.alias t2 r12
+.alias addr r13
+.alias cnt r14
+.alias pass r20
+.alias h r24
+.alias status r25
+.alias passes r26
+.alias expect r27
+.alias outp r28
+
+.data 0x900 128                     # stream length in words
+.zero 0x4000 64                     # seen-table (re-zeroed each pass)
+
+# Input stream: 128 words, seed 0x5ec0 (tags 0/1/2/3: 28/34/33/33).
+.words 0x1000 0x8282b6217301 0x1102 0x3b4177959201 0xc02
+.words 0x1020 0x1d045697057603 0x1c45dbebb201 0xd941152787203 0x9920b0518a9703
+.words 0x1040 0xed04c8820edd03 0x400 0x600 0x402
+.words 0x1060 0x2cc8937b7d6403 0x3202 0x2102 0xfaee74221401
+.words 0x1080 0x300 0x400ba80e7601 0x54016d2cac01 0x4e1846e1997f03
+.words 0x10a0 0xeb5d58c6e39603 0x7d7478cadbaa03 0xb98928e22901 0xd37d62d05e01
+.words 0x10c0 0x902 0x200 0x8e1f1e187a01 0x2502
+.words 0x10e0 0x3002 0x6ba7dffa0401 0x700 0x3e70495fef01
+.words 0x1100 0x3402 0x1c6f74239d9b03 0x54c5bacb875c03 0x8a37f961aa3103
+.words 0x1120 0xddfcd5c7ed1103 0x1f02 0x73a8e1d20801 0x6ec3fb61018a03
+.words 0x1140 0x3f02 0xc4e72af60b01 0x5d8ceba01a4503 0xa017f31afc01
+.words 0x1160 0x12fd52c19401 0x3b02 0xbdd8d3225901 0x200
+.words 0x1180 0x3202 0x500 0x9b0bfd717c01 0x702
+.words 0x11a0 0x2f02 0x1c02 0x302 0x600
+.words 0x11c0 0x2c02 0x8fcb29301501 0xd497f5ba197003 0x402
+.words 0x11e0 0x422a6529b57b03 0xcabcf113ad9903 0xe67a4678301 0x600
+.words 0x1200 0x100 0xe02 0x22d5c3fe716c03 0x902
+.words 0x1220 0x2502 0x1aa53db9d77803 0xd7bfb01d357903 0x634e90e16e01
+.words 0x1240 0x717c8c3c0501 0x300 0x2d02 0x2902
+.words 0x1260 0x963242c60901 0xe388582305d803 0xa3c22de26c01 0x2c02
+.words 0x1280 0xbb4e17543801 0xdd26fd960b01 0x750f121ac73003 0x100
+.words 0x12a0 0x1702 0x24a61c78a001 0x600 0xce725bf47101
+.words 0x12c0 0x700 0x2102 0x400 0xc5ca775f6c01
+.words 0x12e0 0x802 0x49adcb67c56403 0x2b6da2911e5e03 0x400
+.words 0x1300 0x100 0x200 0xe8bce2d53301 0x3a4f365a1101
+.words 0x1320 0xa82f33878601 0x1d02 0x2d02 0x1699894cfeee03
+.words 0x1340 0x183b4ea4618d03 0x500 0xa63372c49e01 0x200
+.words 0x1360 0x202 0x5ddcf1380b5403 0x1112ab6a476803 0x600
+.words 0x1380 0x100 0x400 0x500 0x700
+.words 0x13a0 0x700 0x9fc80927149703 0x3283fee9ebe103 0xf4c16b267101
+.words 0x13c0 0x57a7d2d41a8103 0x400 0xfe82e61d8e01 0x4e68dc2a28ff03
+.words 0x13e0 0xba3c978b1fad03 0x2302 0x500 0xd02
+
+.entry main r26=1
+
+main:
+    li pass, 0
+pass_loop:
+    bgeu pass, passes, all_done
+    li sb, 0x1000
+    li tb, 0x4000
+    li ob, 0x5000
+    li t1, 0x900
+    ld len, [t1]
+
+    # ---- reset decoder state (pass invariance) ------------------------
+    li addr, 0x4000
+    li t1, 0x4200
+clear_loop:
+    bgeu addr, t1, clear_done
+    st zero, [addr]
+    addi addr, addr, 8
+    j clear_loop
+clear_done:
+    li s, 0
+    li o, 0
+    li last, 0
+
+    # ---- decode --------------------------------------------------------
+decode_loop:
+    bgeu s, len, decode_done
+    shli t1, s, 3
+    add addr, sb, t1
+    ld w, [addr]
+    andi tag, w, 3
+    shri arg, w, 8
+    li t1, 0
+    beq tag, t1, op_run
+    li t1, 1
+    beq tag, t1, op_diff
+    li t1, 2
+    beq tag, t1, op_index
+op_lit:
+    mv last, arg
+    j emit_and_hash
+op_run:
+    mv cnt, arg
+run_loop:
+    beq cnt, zero, next_word
+    shli t1, o, 3
+    add addr, ob, t1
+    st last, [addr]
+    addi o, o, 1
+    subi cnt, cnt, 1
+    j run_loop
+op_diff:
+    add last, last, arg
+    j emit_and_hash
+op_index:
+    andi t1, arg, 63
+    ldx last, [tb+t1*8]             # seen-table recall (indexed load)
+    j emit_only
+emit_and_hash:
+    muli t1, last, 0x9e3779b97f4a7c15
+    shri t1, t1, 58
+    shli t1, t1, 3
+    add addr, tb, t1
+    st last, [addr]                 # seen[hash(last)] = last
+emit_only:
+    shli t1, o, 3
+    add addr, ob, t1
+    st last, [addr]
+    addi o, o, 1
+next_word:
+    addi s, s, 1
+    j decode_loop
+decode_done:
+
+    # ---- digest over out[0..o], then fold in the length ---------------
+    li h, 0
+    li t2, 0
+digest_loop:
+    bgeu t2, o, digest_done
+    shli t1, t2, 3
+    add addr, ob, t1
+    ld t1, [addr]
+    muli h, h, 31
+    add h, h, t1
+    addi t2, t2, 1
+    j digest_loop
+digest_done:
+    muli h, h, 31
+    add h, h, o
+    addi pass, pass, 1
+    j pass_loop
+all_done:
+
+;@gadget
+
+    # ---- self-check epilogue ------------------------------------------
+    li expect, 0x3dc62b694deefa2f
+    li outp, 0xfeed0
+    st h, [outp]
+    li status, 0x600d
+    beq h, expect, write_status
+    li status, 0xbad
+write_status:
+    li outp, 0xfeed8
+    st status, [outp]
+    halt

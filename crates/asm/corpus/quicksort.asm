@@ -1,0 +1,152 @@
+# quicksort.asm — iterative Lomuto quicksort over 256 pseudo-random
+# 64-bit keys, with a sortedness check folded into the digest pass.
+#
+# Corpus conventions (DESIGN.md §13):
+#   r26          pass count (seeded by .entry; each pass recomputes from scratch)
+#   r29-r31      reserved for spliced gadget code — never touched here
+#   0xfeed0      result digest
+#   0xfeed8      status: 0x600d pass / 0xbad fail
+#
+# Memory map: keys A[0..256) at 0x1000, explicit (lo,hi) stack at 0x4000.
+
+.alias base r1
+.alias n r2
+.alias sp r3
+.alias lo r4
+.alias hi r5
+.alias i r6
+.alias jj r7
+.alias piv r8
+.alias t1 r9
+.alias t2 r10
+.alias addr r11
+.alias x r12
+.alias t3 r13
+.alias prev r14
+.alias pass r20
+.alias h r24
+.alias status r25
+.alias passes r26
+.alias expect r27
+.alias outp r28
+
+.entry main r26=1
+
+main:
+    li pass, 0
+pass_loop:
+    bgeu pass, passes, all_done
+
+    # ---- init: A[0..n) from a 64-bit LCG ------------------------------
+    li base, 0x1000
+    li n, 256
+    li x, 0x243f6a8885a308d3
+    li i, 0
+init_loop:
+    bgeu i, n, init_done
+    muli x, x, 0x5851f42d4c957f2d
+    addi x, x, 0x14057b7ef767814f
+    shli t1, i, 3
+    add addr, base, t1
+    st x, [addr]
+    addi i, i, 1
+    j init_loop
+init_done:
+
+    # ---- iterative quicksort with an explicit (lo,hi) stack -----------
+    li sp, 0x4000
+    li lo, 0
+    subi hi, n, 1
+    st lo, [sp]
+    st hi, [sp+8]
+    addi sp, sp, 16
+qs_loop:
+    li t1, 0x4000
+    bgeu t1, sp, qs_done            # stack empty?
+    subi sp, sp, 16
+    ld lo, [sp]
+    ld hi, [sp+8]
+    bgeu lo, hi, qs_loop            # ranges of 0 or 1 keys are sorted
+
+    # Lomuto partition: pivot = A[hi]
+    shli t1, hi, 3
+    add addr, base, t1
+    ld piv, [addr]
+    mv i, lo
+    mv jj, lo
+part_loop:
+    bgeu jj, hi, part_done
+    shli t1, jj, 3
+    add addr, base, t1
+    ld t2, [addr]                   # A[jj]
+    bgeu t2, piv, part_next
+    shli t3, i, 3
+    add t3, base, t3                # &A[i]
+    ld t1, [t3]
+    st t1, [addr]                   # swap A[i] <-> A[jj]
+    st t2, [t3]
+    addi i, i, 1
+part_next:
+    addi jj, jj, 1
+    j part_loop
+part_done:
+    shli t3, i, 3
+    add t3, base, t3                # &A[i]
+    shli t1, hi, 3
+    add t1, base, t1                # &A[hi]
+    ld t2, [t3]
+    ld jj, [t1]
+    st jj, [t3]                      # swap A[i] <-> A[hi]
+    st t2, [t1]
+
+    bgeu lo, i, skip_left           # push (lo, i-1) if i > lo
+    st lo, [sp]
+    subi t1, i, 1
+    st t1, [sp+8]
+    addi sp, sp, 16
+skip_left:
+    addi t1, i, 1
+    bgeu t1, hi, skip_right         # push (i+1, hi) if i+1 < hi
+    st t1, [sp]
+    st hi, [sp+8]
+    addi sp, sp, 16
+skip_right:
+    j qs_loop
+qs_done:
+
+    # ---- digest + sortedness check ------------------------------------
+    li h, 0
+    li i, 0
+    li prev, 0
+digest_loop:
+    bgeu i, n, digest_done
+    shli t1, i, 3
+    add addr, base, t1
+    ld t2, [addr]
+    muli h, h, 31
+    add h, h, t2
+    beq i, zero, keep
+    bltu t2, prev, fail             # out of order -> not sorted
+keep:
+    mv prev, t2
+    addi i, i, 1
+    j digest_loop
+digest_done:
+    addi pass, pass, 1
+    j pass_loop
+all_done:
+
+;@gadget
+
+    # ---- self-check epilogue ------------------------------------------
+    li expect, 0xee53dfb18473471a
+    li outp, 0xfeed0
+    st h, [outp]
+    li status, 0x600d
+    beq h, expect, write_status
+fail:
+    li status, 0xbad
+write_status:
+    li outp, 0xfeed8
+    st status, [outp]
+    halt

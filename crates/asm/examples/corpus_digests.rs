@@ -1,0 +1,34 @@
+//! Prints each corpus program's functional-run digest, status, and
+//! dynamic instruction count — the tool used to bake (and audit) the
+//! golden digests in `corpus.rs` and the `.asm` epilogues.
+//!
+//! ```text
+//! cargo run -p recon-asm --example corpus_digests
+//! ```
+
+use recon_asm::corpus::{self, STATUS_PASS};
+
+fn main() {
+    println!(
+        "{:<12} {:>8} {:>10} {:>18} {:>6}",
+        "benchmark", "static", "dynamic", "digest", "check"
+    );
+    let mut all_ok = true;
+    for e in &corpus::CORPUS {
+        let p = e.assemble();
+        let r = corpus::run_self_check(&p, None, 100_000_000).expect("corpus program must run");
+        let ok = r.halted && r.status == STATUS_PASS && r.digest == e.golden_digest;
+        all_ok &= ok;
+        println!(
+            "{:<12} {:>8} {:>10} {:>#18x} {:>6}",
+            e.name,
+            p.program.code.len(),
+            r.steps,
+            r.digest,
+            if ok { "pass" } else { "FAIL" }
+        );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! recon list                         list all benchmark stand-ins
+//! recon workloads --list             same table, stable flag spelling
+//! recon asm <file> [--dump] [--run SCHEME]  assemble a .asm program,
+//!           [--fast-forward N]       optionally run + self-check it
 //! recon run <suite> <bench> [scheme] run one benchmark (default: matrix)
 //!           [--checkpoint D] [--checkpoint-every CYC]
 //! recon resume <file.rck>            continue a checkpointed run
@@ -9,7 +12,8 @@
 //! recon suite <suite> [--jobs N]     five-way matrix on a whole suite
 //!             [--checkpoint D]       (crash-safe: re-running resumes)
 //! recon analyze <suite> <bench>      Clueless-style leakage report
-//! recon verify [--gadget G] [--scheme S]  two-trace security checker
+//! recon verify [--gadget G] [--scheme S] [--embedded]
+//!                                    two-trace security checker
 //! recon overhead                     §6.7 storage accounting
 //! recon serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]
 //!             [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC]
@@ -23,7 +27,7 @@
 //!                                    migration -> BENCH_cluster.json
 //! ```
 //!
-//! Suites: `spec2017`, `spec2006`, `parsec`. Schemes: `unsafe`, `nda`,
+//! Suites: `spec2017`, `spec2006`, `parsec`, `corpus`. Schemes: `unsafe`, `nda`,
 //! `nda+recon`, `stt`, `stt+recon`. Set `RECON_SCALE=paper` for ×4
 //! workloads. `suite` runs its jobs on a worker pool (`--jobs`, or
 //! `RECON_JOBS`, default all cores) and writes per-job wall-clock
@@ -34,7 +38,8 @@
 //! scheme and diffs the attacker observation traces (SECURE/LEAKS with
 //! first divergent observation), checks the §5.2/§5.3 reveal-soundness
 //! invariant, and exits non-zero if any verdict deviates from the
-//! security claim.
+//! security claim. `--embedded` widens the matrix with gadgets spliced
+//! into corpus host programs at their `;@gadget` markers.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,8 +48,10 @@ use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
 use recon_sim::ckpt::{self, CkptContext};
 use recon_sim::report::Table;
-use recon_sim::{jobs_from_env, Budget, Experiment, SystemResult};
-use recon_workloads::{parsec, spec2006, spec2017, Benchmark, Scale, Suite};
+use recon_sim::{jobs_from_env, Budget, Experiment, System, SystemResult};
+use recon_workloads::{
+    corpus, parsec, spec2006, spec2017, Benchmark, Scale, Suite, ThreadSpec, Workload,
+};
 
 fn scale() -> Scale {
     Scale::from_env()
@@ -64,13 +71,31 @@ const DEFAULT_CKPT_EVERY: u64 = 500_000;
 /// Checkpoints retained per job while it runs.
 const CKPT_KEEP: usize = 3;
 
+/// Suite names the CLI accepts, in display order.
+const SUITE_NAMES: [&str; 4] = ["spec2017", "spec2006", "parsec", "corpus"];
+
 fn parse_suite(name: &str) -> Option<(Suite, Vec<Benchmark>)> {
     match name.to_ascii_lowercase().as_str() {
         "spec2017" => Some((Suite::Spec2017, spec2017(scale()))),
         "spec2006" => Some((Suite::Spec2006, spec2006(scale()))),
         "parsec" => Some((Suite::Parsec, parsec(scale()))),
+        "corpus" => Some((Suite::Corpus, corpus(scale()))),
         _ => None,
     }
+}
+
+/// ` — did you mean '..'?` when `input` is a near-miss of a candidate.
+fn hint(input: &str, candidates: impl IntoIterator<Item = &'static str>) -> String {
+    recon_asm::suggest(&input.to_ascii_lowercase(), candidates)
+        .map_or_else(String::new, |s| format!(" — did you mean '{s}'?"))
+}
+
+fn unknown_suite(name: &str) -> String {
+    format!(
+        "unknown suite '{name}' ({}){}",
+        SUITE_NAMES.join("|"),
+        hint(name, SUITE_NAMES)
+    )
 }
 
 /// Valid scheme spellings, for error messages.
@@ -93,21 +118,18 @@ fn experiment_for(suite: Suite) -> Experiment {
 }
 
 fn find_bench(suite_name: &str, bench: &str) -> Result<(Suite, Benchmark), String> {
-    let (suite, list) = parse_suite(suite_name)
-        .ok_or_else(|| format!("unknown suite '{suite_name}' (spec2017|spec2006|parsec)"))?;
+    let (suite, list) = parse_suite(suite_name).ok_or_else(|| unknown_suite(suite_name))?;
+    let names: Vec<&'static str> = list.iter().map(|b| b.name).collect();
     let b = list
         .into_iter()
         .find(|b| b.name.eq_ignore_ascii_case(bench))
-        .ok_or_else(|| format!("no benchmark '{bench}' in {suite}"))?;
+        .ok_or_else(|| format!("no benchmark '{bench}' in {suite}{}", hint(bench, names)))?;
     Ok((suite, b))
 }
 
 fn cmd_list() -> ExitCode {
     let mut t = Table::new(&["suite", "benchmark", "threads", "static instructions"]);
-    for (_, list) in ["spec2017", "spec2006", "parsec"]
-        .iter()
-        .filter_map(|s| parse_suite(s))
-    {
+    for (_, list) in SUITE_NAMES.iter().filter_map(|s| parse_suite(s)) {
         for b in list {
             t.row(&[
                 b.suite.to_string(),
@@ -119,6 +141,133 @@ fn cmd_list() -> ExitCode {
     }
     print!("{}", t.render());
     ExitCode::SUCCESS
+}
+
+/// `recon asm <file>`: assemble a text program and report what it
+/// contains; `--dump` prints the canonical disassembly, `--run <scheme>`
+/// executes it in the detailed simulator and reads back the corpus
+/// self-check convention's digest/status words.
+fn cmd_asm(file: &str, rest: &[&str]) -> ExitCode {
+    let mut dump = false;
+    let mut run: Option<SecureConfig> = None;
+    let mut ff: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--dump" => dump = true,
+            "--run" => {
+                let Some(&value) = it.next() else {
+                    return fail("--run wants a scheme");
+                };
+                match parse_scheme(value) {
+                    Some(s) => run = Some(s),
+                    None => return fail(&format!("unknown scheme '{value}' ({SCHEME_NAMES})")),
+                }
+            }
+            "--fast-forward" => {
+                let Some(&value) = it.next() else {
+                    return fail("--fast-forward wants an instruction count");
+                };
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => ff = Some(n),
+                    _ => {
+                        return fail(&format!(
+                            "--fast-forward wants a positive instruction count, got '{value}'"
+                        ))
+                    }
+                }
+            }
+            _ => return fail(&format!("unknown asm flag '{flag}'")),
+        }
+    }
+    if ff.is_some() && run.is_none() {
+        return fail("--fast-forward needs --run <scheme>");
+    }
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+    let p = match recon_asm::assemble(&src) {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("{file}: {e}")),
+    };
+    println!(
+        "{file}: {} instructions, {} data words, {} label(s), {} entry point(s)",
+        p.program.len(),
+        p.program.image.len(),
+        p.labels.len(),
+        p.entries.len()
+    );
+    for e in &p.entries {
+        let name = p
+            .labels
+            .iter()
+            .find(|&&(_, idx)| idx == e.entry)
+            .map_or("?", |(n, _)| n.as_str());
+        let seeds: Vec<String> = e.seeds.iter().map(|(r, v)| format!("{r}={v:#x}")).collect();
+        println!("  entry {name} (inst {}) {}", e.entry, seeds.join(" "));
+    }
+    if dump {
+        print!("{}", recon_asm::disassemble(&p));
+    }
+    let Some(secure) = run else {
+        return ExitCode::SUCCESS;
+    };
+    let threads: Vec<ThreadSpec> = p
+        .entries
+        .iter()
+        .map(|e| ThreadSpec {
+            entry: e.entry,
+            seeds: e.seeds.clone(),
+        })
+        .collect();
+    let workload = Workload {
+        program: p.program,
+        threads,
+    };
+    let suite = if workload.num_threads() > 1 {
+        Suite::Parsec
+    } else {
+        Suite::Corpus
+    };
+    let exp = experiment_for(suite);
+    let budget = Budget {
+        fast_forward: ff,
+        ..Budget::default()
+    };
+    let mut sys = System::new(&workload, exp.core, exp.mem, secure, exp.recon);
+    let r = match sys.run_budgeted(exp.max_cycles, &budget) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("run did not complete: {e}")),
+    };
+    if let Some(ff) = ff {
+        println!("(functional fast-forward: {ff} instructions before detailed timing)");
+    }
+    print_run_result(file, suite, secure, &r);
+    // Programs following the corpus self-check convention leave a
+    // digest and pass/fail status at well-known addresses.
+    let digest = sys.data().peek(recon_asm::corpus::DIGEST_ADDR);
+    let status = sys.data().peek(recon_asm::corpus::STATUS_ADDR);
+    if status == 0 && digest == 0 {
+        println!("  self-check        (none: program wrote no status word)");
+        return ExitCode::SUCCESS;
+    }
+    println!("  self-check digest {digest:#018x}");
+    if status == recon_asm::corpus::STATUS_PASS {
+        println!("  self-check        pass");
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!("self-check FAILED (status {status:#x})"))
+    }
+}
+
+/// `recon workloads [--list]`: enumerate every suite and workload with
+/// static instruction counts, so nobody has to guess valid names.
+fn cmd_workloads(rest: &[&str]) -> ExitCode {
+    match rest {
+        [] | ["--list"] => cmd_list(),
+        _ => fail(&format!("unknown workloads flag(s) {rest:?} (try --list)")),
+    }
 }
 
 fn print_run_result(name: &str, suite: Suite, secure: SecureConfig, r: &SystemResult) {
@@ -564,16 +713,23 @@ fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
     let mut gadget: Option<&str> = None;
     let mut scheme: Option<SecureConfig> = None;
     let mut ff: Option<u64> = None;
+    let mut embedded = false;
     let mut it = args.iter();
     while let Some(&flag) = it.next() {
+        if flag == "--embedded" {
+            embedded = true;
+            continue;
+        }
         let Some(&value) = it.next() else {
             return fail(&format!("{flag} wants a value"));
         };
         match flag {
             "--gadget" => {
                 if recon_verify::gadget::find(value).is_none() {
-                    let names: Vec<_> =
-                        recon_verify::gadget::all().iter().map(|g| g.name).collect();
+                    let names: Vec<_> = recon_verify::gadget::all_with_embedded()
+                        .iter()
+                        .map(|g| g.name)
+                        .collect();
                     return fail(&format!("unknown gadget '{value}' ({})", names.join("|")));
                 }
                 gadget = Some(value);
@@ -607,7 +763,7 @@ fn cmd_verify(args: &[&str], jobs: usize) -> ExitCode {
              the leaks they exist to catch)"
         );
     }
-    let report = recon_verify::run_matrix_budgeted(gadget, scheme, jobs, &budget);
+    let report = recon_verify::run_matrix_budgeted_with(gadget, scheme, jobs, &budget, embedded);
     let mut t = Table::new(&[
         "gadget",
         "scheme",
@@ -1206,6 +1362,11 @@ fn fail(msg: &str) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!("usage: recon <command>");
     eprintln!("  list                               list all benchmark stand-ins");
+    eprintln!("  workloads [--list]                 enumerate suites/workloads with");
+    eprintln!("                                     static instruction counts");
+    eprintln!("  asm <file> [--dump] [--run SCHEME] assemble a .asm program; --dump prints");
+    eprintln!("      [--fast-forward N]             canonical disassembly, --run executes");
+    eprintln!("                                     it and reads the self-check words");
     eprintln!("  run <suite> <bench> <scheme>       run one configuration");
     eprintln!("      [--checkpoint D] [--checkpoint-every CYC]");
     eprintln!("                                     periodic crash-safe checkpoints into D");
@@ -1223,6 +1384,8 @@ fn usage() -> ExitCode {
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("         [--fast-forward N]          (gadget x scheme verdict matrix;");
     eprintln!("                                     warmup applies to soundness runs only)");
+    eprintln!("         [--embedded]                include gadgets spliced into corpus");
+    eprintln!("                                     host programs (quicksort, memref)");
     eprintln!("  overhead                           §6.7 storage accounting");
     eprintln!("  serve [--addr A] [--workers N] [--queue-cap Q] [--handler-cap H]");
     eprintln!("        [--chaos SPEC] [--cache-dir D] [--checkpoint-every CYC] [--node ID]");
@@ -1239,7 +1402,7 @@ fn usage() -> ExitCode {
     eprintln!("                                     migration -> BENCH_cluster.json");
     eprintln!("  bench-speed [--quick] [--bench B] [--out P] [--min-functional-speedup X]");
     eprintln!("                                     MIPS scoreboard -> BENCH_speed.json");
-    eprintln!("suites: spec2017 spec2006 parsec");
+    eprintln!("suites: spec2017 spec2006 parsec corpus");
     eprintln!("schemes: unsafe nda nda+recon stt stt+recon");
     eprintln!("--jobs defaults to RECON_JOBS or all cores");
     ExitCode::FAILURE
@@ -1271,6 +1434,8 @@ fn main() -> ExitCode {
     };
     match strs {
         ["list"] => cmd_list(),
+        ["workloads", rest @ ..] => cmd_workloads(rest),
+        ["asm", file, rest @ ..] => cmd_asm(file, rest),
         ["run", suite, bench, scheme, rest @ ..] => cmd_run(suite, bench, scheme, rest),
         ["run", suite, bench] => cmd_matrix(suite, bench, jobs),
         ["matrix", suite, bench] => cmd_matrix(suite, bench, jobs),

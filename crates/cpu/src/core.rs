@@ -1017,10 +1017,16 @@ impl Core {
         data: &mut SparseMem,
         now: u64,
     ) -> IssueResult {
-        // AMOs are serializing: execute only at the ROB head with no
-        // outstanding speculation or pending stores.
+        // AMOs are serializing: execute only at the ROB head, with every
+        // older committed store drained out of the store buffer so the
+        // read-modify-write sees up-to-date memory. At the head there is
+        // nothing older left to wait on — all SQ entries and shadows
+        // belong to *younger* instructions (a store only leaves the SQ
+        // when it commits, which it cannot do behind this AMO), so
+        // gating on an empty SQ would deadlock any program with a store
+        // in the AMO's fetch shadow.
         let at_head = self.rob.head().is_some_and(|h| h.seq == seq);
-        if !at_head || !self.shadows.is_empty() || !self.sq.is_empty() || !self.sb.is_empty() {
+        if !at_head || !self.sb.is_empty() {
             return IssueResult::NotReady;
         }
         let entry = self.rob.get(seq).expect("present");
@@ -1516,6 +1522,33 @@ mod tests {
         assert_eq!(core.arch_read(R3), 10);
         assert_eq!(core.arch_read(R4), 15);
         assert_eq!(data.peek(0x5000), 20);
+    }
+
+    #[test]
+    fn amo_with_younger_stores_in_flight_does_not_deadlock() {
+        // The stores after the AMO are fetched into the SQ while the AMO
+        // waits at the ROB head; they can only commit *behind* it, so an
+        // AMO that waits for an empty SQ livelocks. Regression for the
+        // corpus `memref` hang.
+        let mut a = Asm::new();
+        a.data(0x5000, 10);
+        a.li(R1, 0x5000).li(R2, 5);
+        a.amoadd(R3, R1, 0, R2);
+        a.li(R4, 0x6000);
+        a.store(R3, R4, 0); // younger store, data depends on the AMO
+        a.store(R2, R4, 8);
+        a.halt();
+        let p = a.assemble().unwrap();
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::stt(),
+            SecureConfig::stt_recon(),
+        ] {
+            let (core, _, data) = run_program(p.clone(), secure, 10_000);
+            assert_eq!(core.arch_read(R3), 10);
+            assert_eq!(data.peek(0x5000), 15);
+            assert_eq!(data.peek(0x6000), 10);
+        }
     }
 
     #[test]

@@ -54,15 +54,19 @@ pub enum JobKind {
     Analyze,
     /// One two-trace verifier matrix cell (the `recon verify` path).
     Verify,
+    /// Assemble submitted `recon-asm` source text and run it under one
+    /// scheme (the `recon asm --run` path).
+    Asm,
 }
 
 impl JobKind {
     /// All kinds, in metric/label order.
-    pub const ALL: [JobKind; 4] = [
+    pub const ALL: [JobKind; 5] = [
         JobKind::Run,
         JobKind::Matrix,
         JobKind::Analyze,
         JobKind::Verify,
+        JobKind::Asm,
     ];
 
     /// Stable label (metric dimension and JSON `kind` value).
@@ -73,6 +77,7 @@ impl JobKind {
             JobKind::Matrix => "matrix",
             JobKind::Analyze => "analyze",
             JobKind::Verify => "verify",
+            JobKind::Asm => "asm",
         }
     }
 
@@ -84,6 +89,7 @@ impl JobKind {
             JobKind::Matrix => 1,
             JobKind::Analyze => 2,
             JobKind::Verify => 3,
+            JobKind::Asm => 4,
         }
     }
 
@@ -93,6 +99,7 @@ impl JobKind {
             "matrix" => Some(JobKind::Matrix),
             "analyze" => Some(JobKind::Analyze),
             "verify" => Some(JobKind::Verify),
+            "asm" => Some(JobKind::Asm),
             _ => None,
         }
     }
@@ -122,6 +129,10 @@ pub struct JobSpec {
     /// Enable pipeline tracing for the run (`run` only) — exercises the
     /// trace ring and reports its drop count.
     pub trace: bool,
+    /// Assembly source text (`asm` only), case-preserved. The canonical
+    /// form folds in its FxHash rather than the full text, so the digest
+    /// stays short while still keying on every byte of the program.
+    pub source: Option<String>,
 }
 
 /// Why a job could not produce a result.
@@ -162,17 +173,27 @@ pub struct JobOutput {
     pub instructions: u64,
 }
 
+/// Suite names accepted over the wire, in display order.
+pub const SUITE_NAMES: [&str; 4] = ["spec2017", "spec2006", "parsec", "corpus"];
+
 fn parse_suite(name: &str) -> Option<Suite> {
     match name {
         "spec2017" => Some(Suite::Spec2017),
         "spec2006" => Some(Suite::Spec2006),
         "parsec" => Some(Suite::Parsec),
+        "corpus" => Some(Suite::Corpus),
         _ => None,
     }
 }
 
+/// ` — did you mean '..'?` when `input` is a near-miss of a candidate.
+fn hint(input: &str, candidates: impl IntoIterator<Item = &'static str>) -> String {
+    recon_asm::suggest(input, candidates)
+        .map_or_else(String::new, |s| format!(" — did you mean '{s}'?"))
+}
+
 /// The keys a submission may carry, for the unknown-key check.
-const KNOWN_KEYS: [&str; 9] = [
+const KNOWN_KEYS: [&str; 10] = [
     "kind",
     "suite",
     "bench",
@@ -182,6 +203,7 @@ const KNOWN_KEYS: [&str; 9] = [
     "max_cycles",
     "fast_forward",
     "trace",
+    "source",
 ];
 
 impl JobSpec {
@@ -207,9 +229,9 @@ impl JobSpec {
         let kind_str = v
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or("missing 'kind' (run|matrix|analyze|verify)")?;
+            .ok_or("missing 'kind' (run|matrix|analyze|verify|asm)")?;
         let kind = JobKind::from_str(kind_str)
-            .ok_or_else(|| format!("unknown kind '{kind_str}' (run|matrix|analyze|verify)"))?;
+            .ok_or_else(|| format!("unknown kind '{kind_str}' (run|matrix|analyze|verify|asm)"))?;
 
         let str_field = |name: &str| -> Result<Option<String>, String> {
             match v.get(name) {
@@ -248,6 +270,12 @@ impl JobSpec {
             None | Some(Json::Null) => false,
             Some(b) => b.as_bool().ok_or("'trace' must be a boolean")?,
         };
+        // Unlike suite/bench names, assembly source is case-sensitive.
+        let source = match v.get("source") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err("'source' must be a string".into()),
+        };
 
         let spec = JobSpec {
             kind,
@@ -259,6 +287,7 @@ impl JobSpec {
             max_cycles,
             fast_forward,
             trace,
+            source,
         };
         spec.validate()?;
         Ok(spec)
@@ -270,19 +299,29 @@ impl JobSpec {
             let suite_name = self
                 .suite
                 .as_deref()
-                .ok_or("missing 'suite' (spec2017|spec2006|parsec)")?;
+                .ok_or_else(|| format!("missing 'suite' ({})", SUITE_NAMES.join("|")))?;
             let suite = parse_suite(suite_name).ok_or_else(|| {
-                format!("unknown suite '{suite_name}' (spec2017|spec2006|parsec)")
+                format!(
+                    "unknown suite '{suite_name}' ({}){}",
+                    SUITE_NAMES.join("|"),
+                    hint(suite_name, SUITE_NAMES)
+                )
             })?;
             let bench = self.bench.as_deref().ok_or("missing 'bench'")?;
             if !suite_names(suite).contains(&bench) {
-                return Err(format!("no benchmark '{bench}' in {suite}"));
+                return Err(format!(
+                    "no benchmark '{bench}' in {suite}{}",
+                    hint(bench, suite_names(suite).iter().copied())
+                ));
             }
             if self.gadget.is_some() {
                 return Err(format!(
                     "'gadget' is not accepted for kind '{}'",
                     self.kind.label()
                 ));
+            }
+            if self.source.is_some() {
+                return Err("'source' is only accepted for kind 'asm'".into());
             }
         }
         match self.kind {
@@ -327,9 +366,10 @@ impl JobSpec {
                 if self.scheme.is_none() {
                     return Err(format!("missing 'scheme' ({})", SecureConfig::PARSE_NAMES));
                 }
-                if self.suite.is_some() || self.bench.is_some() {
+                if self.suite.is_some() || self.bench.is_some() || self.source.is_some() {
                     return Err(
-                        "'verify' accepts 'gadget' and 'scheme', not 'suite'/'bench'".into(),
+                        "'verify' accepts 'gadget' and 'scheme', not 'suite'/'bench'/'source'"
+                            .into(),
                     );
                 }
                 if self.fast_forward.is_some() {
@@ -344,13 +384,36 @@ impl JobSpec {
                     return Err("'trace' is only accepted for kind 'run'".into());
                 }
             }
+            JobKind::Asm => {
+                let src = self
+                    .source
+                    .as_deref()
+                    .ok_or("missing 'source' (assembly text)")?;
+                // Reject unassemblable programs at admission, with the
+                // assembler's line:column diagnostic, before anything
+                // is enqueued.
+                recon_asm::assemble(src).map_err(|e| format!("source does not assemble: {e}"))?;
+                if self.scheme.is_none() {
+                    return Err(format!("missing 'scheme' ({})", SecureConfig::PARSE_NAMES));
+                }
+                if self.suite.is_some() || self.bench.is_some() || self.gadget.is_some() {
+                    return Err(
+                        "'asm' accepts 'source' and 'scheme', not 'suite'/'bench'/'gadget'".into(),
+                    );
+                }
+                if self.trace {
+                    return Err("'trace' is only accepted for kind 'run'".into());
+                }
+            }
         }
         Ok(())
     }
 
     /// The canonical form the digest is computed over. Includes the
     /// workload scale so results cached under one `RECON_SCALE` are
-    /// never served under another.
+    /// never served under another. Assembly source is folded in as its
+    /// FxHash (`src=`), keeping the canonical string short while keying
+    /// on every byte of the program text.
     #[must_use]
     pub fn canonical(&self) -> String {
         let opt = |o: &Option<String>| o.clone().unwrap_or_else(|| "-".into());
@@ -359,8 +422,16 @@ impl JobSpec {
             Scale::Quick => "quick",
             Scale::Paper => "paper",
         };
+        let src = self.source.as_deref().map_or_else(
+            || "-".into(),
+            |s| {
+                let mut h = FxHasher::default();
+                h.write(s.as_bytes());
+                format!("{:#018x}", h.finish())
+            },
+        );
         format!(
-            "v2|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|ff={}|trace={}|scale={scale}",
+            "v3|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|ff={}|trace={}|src={src}|scale={scale}",
             self.kind.label(),
             opt(&self.suite),
             opt(&self.bench),
@@ -413,6 +484,9 @@ impl JobSpec {
         if self.trace {
             s.push_str(",\"trace\":true");
         }
+        if let Some(src) = &self.source {
+            let _ = write!(s, ",\"source\":\"{}\"", escape(src));
+        }
         s.push('}');
         s
     }
@@ -420,7 +494,10 @@ impl JobSpec {
 
 /// Valid gadget names, for error messages.
 fn gadget_names() -> Vec<&'static str> {
-    recon_verify::gadget::all().iter().map(|g| g.name).collect()
+    recon_verify::gadget::all_with_embedded()
+        .iter()
+        .map(|g| g.name)
+        .collect()
 }
 
 /// The experiment parameters `recon run`/`recon suite` use for a suite
@@ -446,12 +523,13 @@ pub fn experiment_for(suite: Suite) -> Experiment {
 /// gateway.
 fn suite_names(suite: Suite) -> &'static [&'static str] {
     use std::sync::OnceLock;
-    static NAMES: OnceLock<[Vec<&'static str>; 3]> = OnceLock::new();
+    static NAMES: OnceLock<[Vec<&'static str>; 4]> = OnceLock::new();
     let all = NAMES.get_or_init(|| {
         [
             recon_workloads::spec2017(Scale::Quick),
             recon_workloads::spec2006(Scale::Quick),
             recon_workloads::parsec(Scale::Quick),
+            recon_workloads::corpus(Scale::Quick),
         ]
         .map(|suite| suite.iter().map(|b| b.name).collect())
     });
@@ -459,7 +537,52 @@ fn suite_names(suite: Suite) -> &'static [&'static str] {
         Suite::Spec2017 => &all[0],
         Suite::Spec2006 => &all[1],
         Suite::Parsec => &all[2],
+        Suite::Corpus => &all[3],
     }
+}
+
+/// The `GET /workloads` payload: every suite's benchmarks with thread
+/// counts and static instruction counts, generated once per process
+/// (names and static sizes are scale-invariant).
+#[must_use]
+pub fn workloads_payload() -> &'static str {
+    use std::fmt::Write as _;
+    use std::sync::OnceLock;
+    static BODY: OnceLock<String> = OnceLock::new();
+    BODY.get_or_init(|| {
+        let mut s = String::from("{\"suites\":[");
+        for (i, (name, suite)) in SUITE_NAMES
+            .iter()
+            .filter_map(|&n| parse_suite(n).map(|s| (n, s)))
+            .enumerate()
+        {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"suite\":\"{name}\",\"benchmarks\":[");
+            let benches = match suite {
+                Suite::Spec2017 => recon_workloads::spec2017(Scale::Quick),
+                Suite::Spec2006 => recon_workloads::spec2006(Scale::Quick),
+                Suite::Parsec => recon_workloads::parsec(Scale::Quick),
+                Suite::Corpus => recon_workloads::corpus(Scale::Quick),
+            };
+            for (j, b) in benches.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"threads\":{},\"static_instructions\":{}}}",
+                    escape(b.name),
+                    b.workload.num_threads(),
+                    b.workload.program.code.len(),
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    })
 }
 
 /// Resolves a validated spec's benchmark, memoized per process.
@@ -567,6 +690,7 @@ pub fn execute_ckpt(
         JobKind::Matrix => (execute_matrix(spec, &budget), None),
         JobKind::Analyze => (execute_analyze(spec), None),
         JobKind::Verify => (execute_verify(spec, &budget), None),
+        JobKind::Asm => (execute_asm(spec, &budget), None),
     }
 }
 
@@ -777,6 +901,54 @@ fn execute_verify(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError
     })
 }
 
+fn execute_asm(spec: &JobSpec, budget: &Budget) -> Result<JobOutput, JobError> {
+    let src = spec.source.as_deref().expect("validated");
+    let scheme = spec.scheme.expect("validated");
+    let p = recon_asm::assemble(src)
+        .map_err(|e| JobError::Invalid(format!("source does not assemble: {e}")))?;
+    let threads = p
+        .entries
+        .iter()
+        .map(|e| recon_workloads::ThreadSpec {
+            entry: e.entry,
+            seeds: e.seeds.clone(),
+        })
+        .collect::<Vec<_>>();
+    let workload = recon_workloads::Workload {
+        program: p.program,
+        threads,
+    };
+    let exp = if workload.num_threads() > 1 {
+        experiment_for(Suite::Parsec)
+    } else {
+        experiment_for(Suite::Corpus)
+    };
+    let mut sys = System::new(&workload, exp.core, exp.mem, scheme, exp.recon);
+    let r = sys
+        .run_budgeted(exp.max_cycles, budget)
+        .map_err(|e| deadline_error(spec, e, None))?;
+    // Programs following the corpus self-check convention leave their
+    // digest and status at the well-known addresses; report both so the
+    // client can check correctness without a second (functional) run.
+    let digest = sys.data().peek(recon_asm::corpus::DIGEST_ADDR);
+    let status = sys.data().peek(recon_asm::corpus::STATUS_ADDR);
+    let mut payload = format!(
+        "{{\"kind\":\"asm\",\"scheme\":\"{}\",\"static_instructions\":{},\"self_check\":{{\"digest\":\"{:#018x}\",\"status\":\"{:#x}\",\"passed\":{}}},",
+        escape(&scheme.label()),
+        workload.program.code.len(),
+        digest,
+        status,
+        status == recon_asm::corpus::STATUS_PASS,
+    );
+    render_system_result(&mut payload, &r);
+    payload.push('}');
+    Ok(JobOutput {
+        payload,
+        trace_dropped: 0,
+        instructions: r.committed(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -819,6 +991,10 @@ mod tests {
         assert!(spec(r#"{"kind":"verify","gadget":"nope","scheme":"stt"}"#)
             .unwrap_err()
             .contains("spectre"));
+        assert!(
+            spec(r#"{"kind":"verify","gadget":"spectre-v1@quicksort","scheme":"stt"}"#).is_ok(),
+            "embedded gadget names are valid verify jobs"
+        );
         assert!(
             spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fule":1}"#)
                 .unwrap_err()
@@ -867,6 +1043,107 @@ mod tests {
             .unwrap();
         let m_plain = spec(r#"{"kind":"matrix","suite":"spec2017","bench":"mcf"}"#).unwrap();
         assert_ne!(m.digest(), m_plain.digest());
+    }
+
+    #[test]
+    fn asm_job_assembles_runs_and_self_checks() {
+        let src = "
+.entry main
+main:
+    li r1, 5
+    li r2, 0
+top:
+    add r2, r2, r1
+    subi r1, r1, 1
+    bne r1, r0, top
+    li r3, 0xfeed0
+    st r2, [r3]
+    li r4, 0x600d
+    st r4, [r3+8]
+    halt
+";
+        let body = format!(
+            "{{\"kind\":\"asm\",\"scheme\":\"stt+recon\",\"source\":\"{}\"}}",
+            escape(src)
+        );
+        let s = spec(&body).unwrap();
+        assert_eq!(s.kind, JobKind::Asm);
+        // to_json round-trips the source (checkpoint re-parse path).
+        assert_eq!(spec(&s.to_json()).unwrap(), s);
+        let out = execute(&s, None).unwrap();
+        assert!(out.payload.contains("\"passed\":true"), "{}", out.payload);
+        assert!(
+            out.payload.contains("\"completed\":true"),
+            "{}",
+            out.payload
+        );
+        // Determinism: byte-identical on re-execution.
+        assert_eq!(out.payload, execute(&s, None).unwrap().payload);
+        // The digest keys on the source text.
+        let other = spec(&body.replace("li r1, 5", "li r1, 6")).unwrap();
+        assert_ne!(s.digest(), other.digest());
+    }
+
+    #[test]
+    fn asm_job_rejects_bad_submissions() {
+        assert!(spec(r#"{"kind":"asm","scheme":"stt"}"#)
+            .unwrap_err()
+            .contains("source"));
+        // Unassemblable source is refused at admission with the
+        // assembler's diagnostic.
+        let e = spec(r#"{"kind":"asm","scheme":"stt","source":"    li r99, 1\n    halt\n"}"#)
+            .unwrap_err();
+        assert!(e.contains("line 1:8"), "{e}");
+        assert!(spec(r#"{"kind":"asm","source":"    halt\n"}"#)
+            .unwrap_err()
+            .contains("scheme"));
+        assert!(
+            spec(r#"{"kind":"asm","scheme":"stt","suite":"corpus","source":"    halt\n"}"#)
+                .unwrap_err()
+                .contains("'suite'")
+        );
+        // 'source' is an asm-only field.
+        assert!(spec(
+            r#"{"kind":"run","suite":"corpus","bench":"memref","scheme":"stt","source":"x"}"#
+        )
+        .unwrap_err()
+        .contains("asm"));
+    }
+
+    #[test]
+    fn corpus_suite_is_served_and_typos_get_suggestions() {
+        let s =
+            spec(r#"{"kind":"run","suite":"corpus","bench":"quicksort","scheme":"stt"}"#).unwrap();
+        assert_eq!(s.suite.as_deref(), Some("corpus"));
+        let e = spec(r#"{"kind":"run","suite":"corpsu","bench":"quicksort","scheme":"stt"}"#)
+            .unwrap_err();
+        assert!(e.contains("did you mean 'corpus'"), "{e}");
+        let e = spec(r#"{"kind":"run","suite":"corpus","bench":"quicksot","scheme":"stt"}"#)
+            .unwrap_err();
+        assert!(e.contains("did you mean 'quicksort'"), "{e}");
+    }
+
+    #[test]
+    fn workloads_payload_lists_every_suite() {
+        let v = parse(workloads_payload()).expect("valid json");
+        let suites = match v.get("suites") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("expected suites array, got {other:?}"),
+        };
+        assert_eq!(suites.len(), 4);
+        let corpus = suites
+            .iter()
+            .find(|s| s.get("suite").and_then(Json::as_str) == Some("corpus"))
+            .expect("corpus suite listed");
+        let benches = match corpus.get("benchmarks") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("expected benchmarks array, got {other:?}"),
+        };
+        assert_eq!(benches.len(), 5);
+        for b in benches {
+            assert!(b.get("static_instructions").and_then(Json::as_u64).unwrap() > 10);
+            assert_eq!(b.get("threads").and_then(Json::as_u64), Some(1));
+        }
     }
 
     #[test]

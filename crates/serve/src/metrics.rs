@@ -166,7 +166,7 @@ pub struct Metrics {
     pub replications_in: Counter,
     /// Per-kind job latency (queue wait + execution), indexed by
     /// [`JobKind::index`].
-    pub latency: [Histogram; 4],
+    pub latency: [Histogram; 5],
 }
 
 impl Metrics {

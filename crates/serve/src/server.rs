@@ -663,6 +663,14 @@ fn route(
                 close,
             )
         }
+        ("GET", "/workloads") => send(
+            writer,
+            200,
+            &[],
+            "application/json",
+            crate::job::workloads_payload().as_bytes(),
+            close,
+        ),
         ("POST", "/jobs") => handle_job(req, writer, shared, close),
         ("POST", "/jobs/batch") => handle_batch(req, writer, shared, close),
         ("POST", "/migrate") => handle_migrate(req, writer, shared, close),

@@ -42,6 +42,15 @@ pub enum GadgetKind {
     /// architecturally *before* the speculative access — the classic
     /// case where ReCon may lift the defense.
     AlreadyLeaked,
+    /// The spectre-v1 gadget spliced into the corpus `quicksort` host
+    /// program at its `;@gadget` marker: the bypass runs inside a
+    /// realistically warmed-up machine (trained predictors, populated
+    /// caches, live store sets) instead of a minimal snippet.
+    EmbeddedSpectreV1,
+    /// The store-bypass gadget spliced into the corpus `memref` host —
+    /// the pointer chase leaves the memory-dependence predictor and
+    /// cache hierarchy in a realistic state before the v4 bypass.
+    EmbeddedStoreBypass,
 }
 
 /// A named, secret-parameterized attack program.
@@ -89,10 +98,42 @@ pub fn all() -> Vec<Gadget> {
     ]
 }
 
-/// Looks a gadget up by its CLI name.
+/// The embedded-gadget variants (`recon verify --embedded`): the same
+/// transmitters spliced into corpus host programs at their `;@gadget`
+/// markers, so the two-trace differ judges them inside real surrounding
+/// code — tens of thousands of committed host instructions of control
+/// flow, trained predictors, and warm caches — rather than in
+/// isolation.
+#[must_use]
+pub fn embedded() -> Vec<Gadget> {
+    vec![
+        Gadget {
+            name: "spectre-v1@quicksort",
+            description: "bounds-check bypass spliced after a full quicksort run",
+            transmit: true,
+            kind: GadgetKind::EmbeddedSpectreV1,
+        },
+        Gadget {
+            name: "store-bypass@memref",
+            description: "v4 store-bypass spliced after a full pointer-chase run",
+            transmit: true,
+            kind: GadgetKind::EmbeddedStoreBypass,
+        },
+    ]
+}
+
+/// Base and embedded gadgets, base-first.
+#[must_use]
+pub fn all_with_embedded() -> Vec<Gadget> {
+    let mut v = all();
+    v.extend(embedded());
+    v
+}
+
+/// Looks a gadget up by its CLI name (base and embedded sets).
 #[must_use]
 pub fn find(name: &str) -> Option<Gadget> {
-    all()
+    all_with_embedded()
         .into_iter()
         .find(|g| g.name.eq_ignore_ascii_case(name))
 }
@@ -103,7 +144,10 @@ impl Gadget {
     #[must_use]
     pub fn core_config(&self) -> CoreConfig {
         let mut cfg = CoreConfig::paper();
-        if self.kind == GadgetKind::StoreBypass {
+        if matches!(
+            self.kind,
+            GadgetKind::StoreBypass | GadgetKind::EmbeddedStoreBypass
+        ) {
             cfg.mdp = MdpMode::Predictor;
         }
         cfg
@@ -129,6 +173,8 @@ impl Gadget {
             GadgetKind::StoreBypass => store_bypass(secret),
             GadgetKind::CrossCore => cross_core(secret),
             GadgetKind::AlreadyLeaked => already_leaked(secret),
+            GadgetKind::EmbeddedSpectreV1 => embedded_in("quicksort", &spectre_v1_text(secret)),
+            GadgetKind::EmbeddedStoreBypass => embedded_in("memref", &store_bypass_text(secret)),
         }
     }
 }
@@ -343,6 +389,121 @@ fn already_leaked(secret: u64) -> Workload {
     Workload::single(a.assemble().expect("already-leaked assembles"))
 }
 
+/// Assembles a corpus host program with `payload` spliced in at its
+/// `;@gadget` marker. The host's own entry seeds (pass count 1) are
+/// kept, so the gadget runs once, after the full computation and before
+/// the self-check epilogue.
+fn embedded_in(host: &str, payload: &str) -> Workload {
+    let entry = recon_asm::corpus::find(host).expect("corpus host exists");
+    let src = recon_asm::corpus::splice_gadget(entry.source, payload)
+        .expect("corpus hosts carry a gadget marker");
+    let p = recon_asm::assemble(&src)
+        .unwrap_or_else(|e| panic!("spliced {host} does not assemble: {e}"));
+    let threads = p
+        .entries
+        .iter()
+        .map(|e| ThreadSpec {
+            entry: e.entry,
+            seeds: e.seeds.clone(),
+        })
+        .collect();
+    Workload {
+        program: p.program,
+        threads,
+    }
+}
+
+/// The image slots every embedded gadget needs, as `.data` directives:
+/// both probe words exist identically in either variant, so only the
+/// secret slot (and, for store-bypass, the contested word) differs
+/// between a secret-A and a secret-B image. Corpus data lives below
+/// `0x10_0000` by convention, so none of these collide with the host.
+fn common_data_text(secret: u64) -> String {
+    format!(
+        ".data {SECRET_A:#x} 1\n\
+         .data {SECRET_B:#x} 1\n\
+         .data {PROBE:#x} 0\n\
+         .data {SECRET_SLOT:#x} {secret:#x}\n"
+    )
+}
+
+/// Text form of [`spectre_v1`] for splicing into a corpus host. Same
+/// program shape and constants; labels are `gadget_`-prefixed and the
+/// registers used (`r1`–`r22`) are all dead in the host at the splice
+/// point (the epilogue only reads `r24`/`r26`–`r28`).
+fn spectre_v1_text(secret: u64) -> String {
+    use std::fmt::Write as _;
+    const LENP: u64 = 0x20_0000;
+    const LEN2: u64 = 0x28_0000;
+    const XV: u64 = 0x30_0000;
+    const N: u64 = 6;
+
+    let mut s = common_data_text(secret);
+    for j in 0..4 {
+        let _ = writeln!(s, ".data {:#x} {PROBE:#x}", ARRAY + j * 8);
+    }
+    for i in 0..N {
+        let _ = writeln!(s, ".data {:#x} {:#x}", LENP + i * 64, LEN2 + i * 64);
+        let _ = writeln!(s, ".data {:#x} 4", LEN2 + i * 64);
+        let x = if i == N - 1 { 16 } else { i % 4 };
+        let _ = writeln!(s, ".data {:#x} {x}", XV + i * 8);
+    }
+    let _ = write!(
+        s,
+        "    # ---- embedded spectre-v1 (recon verify --embedded) ----\n\
+         \x20   li r20, {ARRAY:#x}\n\
+         \x20   li r21, {XV:#x}\n\
+         \x20   li r22, {LENP:#x}\n\
+         \x20   ld r1, [r21]              # warm the index line\n\
+         \x20   ld r1, [r20]              # warm the in-bounds array line\n\
+         \x20   li r10, 0\n\
+         \x20   li r11, {N}\n\
+         gadget_loop:\n\
+         \x20   muli r3, r10, 64\n\
+         \x20   add r3, r3, r22\n\
+         \x20   ld r4, [r3]               # pointer to the length (cold)\n\
+         \x20   ld r4, [r4]               # the length itself: slow bound\n\
+         \x20   muli r5, r10, 8\n\
+         \x20   add r5, r5, r21\n\
+         \x20   ld r6, [r5]               # x (warm)\n\
+         \x20   bltu r6, r4, gadget_body\n\
+         \x20   j gadget_end\n\
+         gadget_body:\n\
+         \x20   ldx r7, [r20+r6*8]        # array[x]; x=16 reads the secret\n\
+         \x20   ld r8, [r7]               # transmit: probe[secret]\n\
+         gadget_end:\n\
+         \x20   addi r10, r10, 1\n\
+         \x20   bltu r10, r11, gadget_loop\n"
+    );
+    s
+}
+
+/// Text form of [`store_bypass`] for splicing into a corpus host.
+fn store_bypass_text(secret: u64) -> String {
+    use std::fmt::Write as _;
+    const WARM: u64 = 0x60_0000;
+    const P: u64 = 0x60_0008;
+    const PTRSLOT: u64 = 0x50_0000;
+
+    let mut s = common_data_text(secret);
+    let _ = writeln!(s, ".data {WARM:#x} 0");
+    let _ = writeln!(s, ".data {P:#x} {secret:#x}");
+    let _ = writeln!(s, ".data {PTRSLOT:#x} {P:#x}");
+    let _ = write!(
+        s,
+        "    # ---- embedded store-bypass (recon verify --embedded) ----\n\
+         \x20   li r1, {WARM:#x}\n\
+         \x20   ld r2, [r1]               # warm the secret's line\n\
+         \x20   li r3, {PTRSLOT:#x}\n\
+         \x20   ld r4, [r3]               # store address, resolves late\n\
+         \x20   li r5, {PROBE:#x}\n\
+         \x20   st r5, [r4]               # [P] <- benign probe base\n\
+         \x20   ld r7, [r1+8]             # bypassing load: stale secret\n\
+         \x20   ld r8, [r7]               # transmit: probe[secret]\n"
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +535,49 @@ mod tests {
             diff.sort_unstable();
             let expected = match g.kind {
                 GadgetKind::StoreBypass => vec![SECRET_SLOT, 0x60_0008],
+                _ => vec![SECRET_SLOT],
+            };
+            assert_eq!(diff, expected, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn embedded_gadgets_resolve_by_name() {
+        assert_eq!(all_with_embedded().len(), all().len() + 2);
+        for g in embedded() {
+            assert!(g.transmit, "{} must be a transmit gadget", g.name);
+            assert_eq!(find(g.name).map(|f| f.kind), Some(g.kind));
+        }
+        assert!(find("spectre-v1@quicksort").is_some());
+        assert!(find("store-bypass@memref").is_some());
+    }
+
+    /// The spliced host + payload assembles, dwarfs the synthetic
+    /// snippet, and the two secret variants still differ only in the
+    /// secret state — the non-interference precondition.
+    #[test]
+    fn embedded_images_differ_only_in_the_secret_state() {
+        for g in embedded() {
+            let wa = g.build(SECRET_A);
+            let wb = g.build(SECRET_B);
+            assert_eq!(wa.program.code, wb.program.code, "{}", g.name);
+            let host = g.name.split('@').nth(1).unwrap();
+            let host_alone = recon_asm::corpus::find(host).unwrap().assemble();
+            assert!(
+                wa.program.code.len() > host_alone.program.code.len(),
+                "{}: splicing must add the payload to the host",
+                g.name
+            );
+            let mut diff: Vec<u64> = wa
+                .program
+                .image
+                .iter()
+                .filter(|&(addr, val)| wb.program.image.get(addr) != Some(val))
+                .map(|(addr, _)| addr)
+                .collect();
+            diff.sort_unstable();
+            let expected = match g.kind {
+                GadgetKind::EmbeddedStoreBypass => vec![SECRET_SLOT, 0x60_0008],
                 _ => vec![SECRET_SLOT],
             };
             assert_eq!(diff, expected, "{}", g.name);

@@ -196,12 +196,34 @@ pub fn run_matrix_budgeted(
     jobs: usize,
     budget: &Budget,
 ) -> MatrixReport {
+    run_matrix_budgeted_with(gadget_filter, scheme_filter, jobs, budget, false)
+}
+
+/// As [`run_matrix_budgeted`], optionally widening the unfiltered
+/// matrix to the embedded gadgets ([`gadget::embedded`]) — leakage
+/// payloads spliced into corpus host programs, where the speculative
+/// window opens inside a realistically warmed-up machine instead of a
+/// cold synthetic snippet. Naming an embedded gadget explicitly via
+/// `gadget_filter` works regardless of `embedded`.
+///
+/// # Panics
+///
+/// As [`run_matrix_budgeted`].
+#[must_use]
+pub fn run_matrix_budgeted_with(
+    gadget_filter: Option<&str>,
+    scheme_filter: Option<SecureConfig>,
+    jobs: usize,
+    budget: &Budget,
+    embedded: bool,
+) -> MatrixReport {
     let budget = &Budget {
         fast_forward: None,
         ..budget.clone()
     };
     let gadgets: Vec<Gadget> = match gadget_filter {
         Some(name) => vec![gadget::find(name).expect("gadget name validated by caller")],
+        None if embedded => gadget::all_with_embedded(),
         None => gadget::all(),
     };
     let picked: Vec<SecureConfig> = schemes()

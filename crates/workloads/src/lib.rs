@@ -27,5 +27,7 @@ pub mod gen;
 pub mod suites;
 pub mod workload;
 
-pub use suites::{all_single_thread, find, parsec, spec2006, spec2017, Scale, FIG9_BENCHMARKS};
+pub use suites::{
+    all_single_thread, corpus, find, parsec, spec2006, spec2017, Scale, FIG9_BENCHMARKS,
+};
 pub use workload::{Benchmark, Suite, ThreadSpec, Workload};

@@ -28,7 +28,7 @@ use crate::gen::stencil::{self, StencilParams};
 use crate::gen::stream::{self, StreamParams};
 #[cfg(test)]
 use crate::workload::Workload;
-use crate::workload::{Benchmark, Suite};
+use crate::workload::{Benchmark, Suite, ThreadSpec};
 
 /// Workload sizing.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -476,6 +476,51 @@ pub fn parsec(scale: Scale) -> Vec<Benchmark> {
     ]
 }
 
+/// Real programs assembled from the embedded `recon-asm` corpus.
+///
+/// Unlike the synthetic stand-ins, these are actual algorithms
+/// (quicksort, matrix multiply, a QOI-style decoder, a box blur, and a
+/// pointer chase) written in assembly text with self-checking
+/// epilogues: each run writes a result digest and pass/fail status to
+/// known addresses, so every harness can verify the machine computed
+/// the right answer under every scheme. The pass count in
+/// [`recon_asm::corpus::PASS_REG`] is overridden with the scale
+/// factor; digests are pass-count invariant by construction.
+#[must_use]
+pub fn corpus(scale: Scale) -> Vec<Benchmark> {
+    recon_asm::corpus::CORPUS
+        .iter()
+        .map(|e| {
+            let p = e.assemble();
+            let threads = p
+                .entries
+                .iter()
+                .map(|spec| {
+                    let mut seeds: Vec<_> = spec
+                        .seeds
+                        .iter()
+                        .copied()
+                        .filter(|&(r, _)| r != recon_asm::corpus::PASS_REG)
+                        .collect();
+                    seeds.push((recon_asm::corpus::PASS_REG, scale.factor()));
+                    ThreadSpec {
+                        entry: spec.entry,
+                        seeds,
+                    }
+                })
+                .collect();
+            Benchmark {
+                name: e.name,
+                suite: Suite::Corpus,
+                workload: crate::workload::Workload {
+                    program: p.program,
+                    threads,
+                },
+            }
+        })
+        .collect()
+}
+
 /// Convenience: every single-thread benchmark of both SPEC suites.
 #[must_use]
 pub fn all_single_thread(scale: Scale) -> Vec<Benchmark> {
@@ -491,6 +536,7 @@ pub fn find(suite: Suite, name: &str, scale: Scale) -> Option<Benchmark> {
         Suite::Spec2017 => spec2017(scale),
         Suite::Spec2006 => spec2006(scale),
         Suite::Parsec => parsec(scale),
+        Suite::Corpus => corpus(scale),
     };
     list.into_iter().find(|b| b.name == name)
 }
@@ -553,8 +599,31 @@ mod tests {
     }
 
     #[test]
+    fn corpus_has_five_scaled_benchmarks() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            let c = corpus(scale);
+            assert_eq!(c.len(), 5);
+            for b in &c {
+                assert_eq!(b.suite, Suite::Corpus);
+                assert_eq!(b.workload.num_threads(), 1);
+                let seeds = &b.workload.threads[0].seeds;
+                assert_eq!(
+                    seeds
+                        .iter()
+                        .find(|&&(r, _)| r == recon_asm::corpus::PASS_REG)
+                        .map(|&(_, v)| v),
+                    Some(scale.factor()),
+                    "{} pass seed",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn find_locates_benchmarks() {
         assert!(find(Suite::Spec2017, "mcf", Scale::Quick).is_some());
+        assert!(find(Suite::Corpus, "quicksort", Scale::Quick).is_some());
         assert!(find(Suite::Spec2006, "sphinx3", Scale::Quick).is_some());
         assert!(find(Suite::Parsec, "canneal", Scale::Quick).is_some());
         assert!(find(Suite::Spec2017, "nonexistent", Scale::Quick).is_none());

@@ -11,6 +11,8 @@ pub enum Suite {
     Spec2006,
     /// PARSEC stand-ins (4-thread shared-memory).
     Parsec,
+    /// Real programs assembled from the embedded `recon-asm` corpus.
+    Corpus,
 }
 
 impl core::fmt::Display for Suite {
@@ -19,6 +21,7 @@ impl core::fmt::Display for Suite {
             Suite::Spec2017 => "SPEC2017",
             Suite::Spec2006 => "SPEC2006",
             Suite::Parsec => "PARSEC",
+            Suite::Corpus => "CORPUS",
         };
         f.write_str(s)
     }

@@ -103,6 +103,69 @@ fn scheme_filter_selects_one_column() {
     assert_eq!(cell.result.verdict, Verdict::Secure);
 }
 
+/// Embedded gadgets — leakage payloads spliced into corpus host
+/// programs at their `;@gadget` marker — behave exactly like their
+/// synthetic counterparts: LEAKS on the unsafe baseline (with a
+/// concrete divergent observation), SECURE under every protected
+/// scheme including both ReCon stacks.
+#[test]
+fn embedded_gadgets_leak_on_baseline_and_are_secure_under_recon() {
+    for name in ["spectre-v1@quicksort", "store-bypass@memref"] {
+        let report = verify::run_matrix(Some(name), None, 2);
+        assert_eq!(report.cells.len(), 5, "{name}: one row, five schemes");
+        let unexpected = report.unexpected();
+        assert!(
+            unexpected.is_empty(),
+            "{name} violated expectations:\n{}",
+            unexpected.join("\n")
+        );
+        let leaks: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.result.verdict == Verdict::Leaks)
+            .collect();
+        assert_eq!(leaks.len(), 1, "{name} leaks exactly on the baseline");
+        assert_eq!(leaks[0].result.scheme, SecureConfig::unsafe_baseline());
+        assert!(
+            leaks[0].result.divergence.is_some(),
+            "{name}: a LEAKS verdict carries its first divergent observation"
+        );
+    }
+}
+
+/// `recon verify --embedded` widens the unfiltered matrix by the
+/// embedded rows: on the baseline column, both embedded gadgets join
+/// the three synthetic transmit gadgets as LEAKS.
+#[test]
+fn embedded_flag_widens_the_matrix() {
+    let report = recon_repro::verify::run_matrix_budgeted_with(
+        None,
+        Some(SecureConfig::unsafe_baseline()),
+        2,
+        &recon_repro::sim::Budget::default(),
+        true,
+    );
+    assert_eq!(report.cells.len(), 6, "four synthetic + two embedded rows");
+    let mut leaks: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.result.verdict == Verdict::Leaks)
+        .map(|c| c.result.gadget)
+        .collect();
+    leaks.sort_unstable();
+    assert_eq!(
+        leaks,
+        [
+            "cross-core",
+            "spectre-v1",
+            "spectre-v1@quicksort",
+            "store-bypass",
+            "store-bypass@memref"
+        ],
+        "every transmit gadget, synthetic or embedded, leaks on the baseline"
+    );
+}
+
 /// The reveal-soundness invariant holds on a real benchmark from each
 /// suite under STT+ReCon.
 #[test]
