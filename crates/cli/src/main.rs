@@ -48,7 +48,9 @@ use recon_mem::MemConfig;
 use recon_secure::SecureConfig;
 use recon_sim::ckpt::{self, CkptContext};
 use recon_sim::report::Table;
-use recon_sim::{jobs_from_env, Budget, Experiment, System, SystemResult};
+use recon_sim::{
+    jobs_from_env, Budget, Experiment, SimError, System, SystemResult, DEFAULT_WATCHDOG_CYCLES,
+};
 use recon_workloads::{
     corpus, parsec, spec2006, spec2017, Benchmark, Scale, Suite, ThreadSpec, Workload,
 };
@@ -296,6 +298,29 @@ fn ff_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parses `--watchdog-cycles <cycles>` from already-split flag pairs:
+/// the liveness watchdog window. `0` disables the watchdog entirely;
+/// unset keeps the default window (`DEFAULT_WATCHDOG_CYCLES`).
+fn wd_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<u64>, String> {
+    match pairs.iter().find(|(f, _)| *f == "--watchdog-cycles") {
+        None => Ok(None),
+        Some((_, v)) => {
+            v.parse().ok().map(Some).ok_or_else(|| {
+                format!("--watchdog-cycles wants a cycle count (0 = off), got '{v}'")
+            })
+        }
+    }
+}
+
+/// Prints the full stall forensics before the generic failure line, so
+/// a deadlocked run explains itself (per-core ROB-head + wait reason)
+/// instead of dying with a bare error string.
+fn print_stall_forensics(e: &SimError) {
+    if let SimError::Stalled { report, .. } = e {
+        eprintln!("{report}");
+    }
+}
+
 /// Parses `--checkpoint <dir>` / `--checkpoint-every <cycles>` from
 /// already-split flag pairs. `--checkpoint-every` without
 /// `--checkpoint` is an error (it would silently do nothing).
@@ -383,11 +408,13 @@ fn run_checkpointed(
     secure: SecureConfig,
     ctx: &CkptContext,
     ff: Option<u64>,
+    wd: Option<u64>,
 ) -> ExitCode {
     let digest = run_digest(suite, b.name, secure, ctx.cadence, ff);
     let meta = run_meta(suite, b.name, secure, ctx.cadence, ff);
     let budget = Budget {
         fast_forward: ff,
+        watchdog_cycles: wd,
         ..Budget::default()
     };
     let (r, info) =
@@ -400,6 +427,8 @@ fn run_checkpointed(
     }
     if info.result_cached {
         println!("result record found — returning the completed run");
+    } else if info.stall_cached {
+        println!("stall record found — replaying the recorded deadlock diagnosis");
     } else if let Some(cycle) = info.resumed_from_cycle {
         println!("resumed from checkpoint at cycle {cycle}");
     }
@@ -415,6 +444,7 @@ fn run_checkpointed(
             ExitCode::SUCCESS
         }
         Err(e) => {
+            print_stall_forensics(&e);
             if let Some(p) = &info.last_checkpoint {
                 println!("resumable checkpoint left at {}", p.display());
             }
@@ -435,21 +465,27 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str, rest: &[&str]) -> ExitCo
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let (ctx, ff) = match ckpt_from_pairs(&pairs).and_then(|c| Ok((c, ff_from_pairs(&pairs)?))) {
+    let (ctx, ff, wd) = match ckpt_from_pairs(&pairs)
+        .and_then(|c| Ok((c, ff_from_pairs(&pairs)?, wd_from_pairs(&pairs)?)))
+    {
         Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let exp = experiment_for(suite);
     match ctx {
-        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx, ff),
+        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx, ff, wd),
         None => {
             let budget = Budget {
                 fast_forward: ff,
+                watchdog_cycles: wd,
                 ..Budget::default()
             };
             let r = match exp.try_run(&b.workload, secure, &budget) {
                 Ok(r) => r,
-                Err(e) => return fail(&format!("run did not complete: {e}")),
+                Err(e) => {
+                    print_stall_forensics(&e);
+                    return fail(&format!("run did not complete: {e}"));
+                }
             };
             if let Some(ff) = ff {
                 println!("(functional fast-forward: {ff} instructions before detailed timing)");
@@ -516,7 +552,7 @@ fn cmd_resume(file: &str) -> ExitCode {
         cadence,
         keep: CKPT_KEEP,
     };
-    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx, ff)
+    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx, ff, None)
 }
 
 fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
@@ -560,12 +596,15 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let (ctx, ff) = match ckpt_from_pairs(&pairs).and_then(|c| Ok((c, ff_from_pairs(&pairs)?))) {
+    let (ctx, ff, wd) = match ckpt_from_pairs(&pairs)
+        .and_then(|c| Ok((c, ff_from_pairs(&pairs)?, wd_from_pairs(&pairs)?)))
+    {
         Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let budget = Budget {
         fast_forward: ff,
+        watchdog_cycles: wd,
         ..Budget::default()
     };
     let exp = experiment_for(suite);
@@ -674,6 +713,105 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
         Err(e) => eprintln!("warning: could not write BENCH_runner.json: {e}"),
     }
     ExitCode::SUCCESS
+}
+
+/// `recon fuzz`: seeded differential torture campaign. Generates
+/// random-but-valid programs, runs each through the four oracles
+/// (functional equality, scheme invariance, snapshot identity,
+/// watchdog-clean termination), shrinks any failure to a minimal
+/// `.asm` repro, and exits non-zero if anything failed.
+fn cmd_fuzz(rest: &[&str], jobs: usize) -> ExitCode {
+    let mut cfg = recon_fuzz::FuzzConfig {
+        jobs,
+        ..recon_fuzz::FuzzConfig::default()
+    };
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--quick" => {
+                cfg.quick = true;
+                continue;
+            }
+            // Test hook: reintroduce the historical AMO issue gate so
+            // the watchdog/shrinker pipeline can be demonstrated
+            // end-to-end against a known deadlock.
+            "--inject-amo-bug" => {
+                cfg.oracle.core.amo_empty_sq_bug = true;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(&value) = it.next() else {
+            return fail(&format!("{flag} wants a value"));
+        };
+        match flag {
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return fail(&format!("--seed wants an integer, got '{value}'")),
+            },
+            "--count" => match value.parse::<usize>().ok().filter(|&n| n >= 1) {
+                Some(n) => cfg.count = n,
+                None => return fail(&format!("--count wants a positive integer, got '{value}'")),
+            },
+            "--watchdog-cycles" => match value.parse::<u64>().ok().filter(|&n| n >= 1) {
+                // The stall oracle is the point of the exercise, so the
+                // window must stay finite here (no 0 = off).
+                Some(n) => cfg.oracle.watchdog_cycles = n,
+                None => {
+                    return fail(&format!(
+                        "--watchdog-cycles wants a positive cycle count, got '{value}'"
+                    ))
+                }
+            },
+            "--out-dir" => cfg.out_dir = Some(PathBuf::from(value)),
+            "--json" => json_path = Some(PathBuf::from(value)),
+            _ => return fail(&format!("unknown fuzz flag '{flag}'")),
+        }
+    }
+    println!(
+        "fuzzing: seed {}, {} program(s), {} oracle(s){}",
+        cfg.seed,
+        cfg.count,
+        if cfg.quick { 3 } else { 4 },
+        if cfg.quick {
+            " (quick: snapshot oracle off)"
+        } else {
+            ""
+        }
+    );
+    let report = recon_fuzz::run_fuzz(&cfg);
+    for f in &report.failures {
+        println!(
+            "FAILURE program {} [{}]: shrunk {} -> {} instructions",
+            f.index, f.kind, f.original_len, f.shrunk_len
+        );
+        for line in f.detail.lines() {
+            println!("  {line}");
+        }
+        match &f.repro_path {
+            Some(p) => println!("  repro written to {}", p.display()),
+            None => println!("  (pass --out-dir to write an .asm repro)"),
+        }
+    }
+    println!(
+        "{} program(s) in {:.2}s ({:.1}/s), {} failure(s)",
+        report.count,
+        report.elapsed_secs,
+        report.programs_per_sec,
+        report.failures.len()
+    );
+    if let Some(path) = &json_path {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
@@ -1372,6 +1510,8 @@ fn usage() -> ExitCode {
     eprintln!("                                     periodic crash-safe checkpoints into D");
     eprintln!("      [--fast-forward N]             functional warmup: N instructions before");
     eprintln!("                                     detailed timing");
+    eprintln!("      [--watchdog-cycles N]          liveness watchdog window (default {DEFAULT_WATCHDOG_CYCLES};");
+    eprintln!("                                     0 = off); stalls print full forensics");
     eprintln!("  resume <file.rck>                  continue a checkpointed run");
     eprintln!("  matrix <suite> <bench> [--jobs N]  run all five configurations");
     eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
@@ -1380,6 +1520,12 @@ fn usage() -> ExitCode {
     eprintln!("                                     crash-safe suite: finished jobs are");
     eprintln!("                                     cached, killed jobs resume");
     eprintln!("      [--fast-forward N]             functional warmup per job");
+    eprintln!("      [--watchdog-cycles N]          liveness watchdog window per job (0 = off)");
+    eprintln!("  fuzz [--seed S] [--count N] [--quick] [--jobs N]");
+    eprintln!("       [--out-dir D] [--json P] [--watchdog-cycles N]");
+    eprintln!("                                     seeded differential torture: random");
+    eprintln!("                                     programs x four oracles, failures");
+    eprintln!("                                     shrunk to minimal .asm repros");
     eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("         [--fast-forward N]          (gadget x scheme verdict matrix;");
@@ -1441,6 +1587,7 @@ fn main() -> ExitCode {
         ["matrix", suite, bench] => cmd_matrix(suite, bench, jobs),
         ["resume", file] => cmd_resume(file),
         ["suite", suite, rest @ ..] => cmd_suite(suite, jobs, rest),
+        ["fuzz", rest @ ..] => cmd_fuzz(rest, jobs),
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
         ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),

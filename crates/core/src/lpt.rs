@@ -121,6 +121,15 @@ impl LoadPairTable {
         preg as usize % self.entries.len()
     }
 
+    /// Read-only probe of the entry under `preg`: the address installed
+    /// by a committed producer load, if the entry is active and its tag
+    /// matches. Used by stall forensics; bumps no statistics.
+    #[must_use]
+    pub fn peek(&self, preg: u32) -> Option<u64> {
+        let e = self.entries[self.slot(preg)];
+        (e.active && e.tag == preg).then_some(e.addr)
+    }
+
     /// Looks up `preg`; returns the stored address if active and the tag
     /// matches.
     fn lookup(&mut self, preg: u32) -> Option<u64> {

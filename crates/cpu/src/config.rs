@@ -45,6 +45,14 @@ pub struct CoreConfig {
     /// Pipeline trace ring-buffer capacity in events (newest retained;
     /// evictions are counted, see `Core::trace_dropped`).
     pub trace_capacity: usize,
+    /// Test hook: reintroduces the historical AMO issue gate that also
+    /// waited for an *empty store queue*. A store fetched into the AMO's
+    /// shadow can never commit behind it, so that gate deadlocks — the
+    /// bug fixed in the `issue_amo` rework. Kept selectable so liveness
+    /// tooling (the watchdog, `recon fuzz`) can regression-test stall
+    /// detection against a real, historical hang. Never set in
+    /// production configurations.
+    pub amo_empty_sq_bug: bool,
 }
 
 impl Default for CoreConfig {
@@ -64,6 +72,7 @@ impl Default for CoreConfig {
             mul_latency: 3,
             mdp: MdpMode::Conservative,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            amo_empty_sq_bug: false,
         }
     }
 }
@@ -93,6 +102,7 @@ impl CoreConfig {
             mul_latency: 3,
             mdp: MdpMode::Conservative,
             trace_capacity: 1 << 16,
+            amo_empty_sq_bug: false,
         }
     }
 }

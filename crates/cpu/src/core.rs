@@ -29,10 +29,11 @@ use recon_secure::{GuardTable, SecureConfig, Seq};
 
 use crate::bpred::BranchPredictor;
 use crate::config::{CoreConfig, MdpMode};
+use crate::forensics::{CoreStallInfo, HeadForensics, QueueOcc};
 use crate::lsq::{Forward, LoadQueue, StoreBuffer, StoreQueue};
 use crate::mdp::StoreSets;
 use crate::rename::Rename;
-use crate::rob::{Rob, Status};
+use crate::rob::{Rob, RobEntry, Status};
 use crate::shadow::ShadowTracker;
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, TraceLog};
@@ -260,6 +261,14 @@ impl Core {
         self.halted && self.sb.is_empty()
     }
 
+    /// Instructions committed so far — a cheap accessor for the
+    /// liveness watchdog's per-cycle forward-progress check (avoids the
+    /// full [`Core::stats`] copy on the hot path).
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> CoreStats {
@@ -274,6 +283,198 @@ impl Core {
     #[must_use]
     pub fn arch_read(&self, reg: ArchReg) -> u64 {
         self.rename.read(self.rename.lookup(reg))
+    }
+
+    // ------------------------------------------------------------------
+    // Stall forensics
+    // ------------------------------------------------------------------
+
+    /// Captures a structured snapshot of why this core is (or is not)
+    /// making progress: queue occupancies, scheme state, and the
+    /// ROB-head instruction's precise wait reason. Read-only; `mem`
+    /// supplies MESI/directory/reveal state for the head's address.
+    ///
+    /// This is the per-core half of the liveness watchdog's
+    /// `StallReport` (`recon_sim`).
+    #[must_use]
+    pub fn stall_info(&self, mem: &MemorySystem) -> CoreStallInfo {
+        let frontier = self.shadows.frontier();
+        let queue = |name: &str, len: usize, cap: usize| QueueOcc {
+            name: name.to_string(),
+            len: len as u64,
+            cap: cap as u64,
+        };
+        let head = self.rob.head().map(|e| {
+            let status = match e.status {
+                Status::Waiting => "waiting-issue".to_string(),
+                Status::Executing { done_at } => {
+                    format!("executing, done at cycle {done_at}")
+                }
+                Status::Done => "done".to_string(),
+            };
+            let mut guarded = Vec::new();
+            for p in e.srcs.iter().flatten() {
+                if self.guards.is_active(*p as usize, frontier) {
+                    guarded.push((*p, self.guards.get(*p as usize).unwrap_or(0)));
+                }
+            }
+            let addr = e.addr.or_else(|| self.predict_head_addr(e));
+            let (l1_state, l2_state, dir_state, word_revealed) = match addr {
+                Some(a) => (
+                    mem.l1_state(self.id, a).map(|s| format!("{s:?}")),
+                    mem.l2_state(self.id, a).map(|s| format!("{s:?}")),
+                    mem.dir_state(a).map(|s| format!("{s:?}")),
+                    Some(mem.probe_revealed(self.id, a)),
+                ),
+                None => (None, None, None, None),
+            };
+            let lpt_entry = e
+                .inst
+                .addr_src()
+                .and(e.srcs[0])
+                .and_then(|p| self.lpt.peek(p));
+            HeadForensics {
+                seq: e.seq,
+                pc: e.pc as u64,
+                inst: e.inst.to_string(),
+                status,
+                wait: self.classify_wait(e, frontier),
+                addr,
+                speculative: self.shadows.is_speculative(e.seq),
+                delayed_by_scheme: e.was_delayed_by_scheme,
+                guarded_operands: guarded,
+                l1_state,
+                l2_state,
+                dir_state,
+                word_revealed,
+                lpt_entry,
+            }
+        });
+        CoreStallInfo {
+            core: self.id as u64,
+            committed: self.stats.committed,
+            halted: self.halted,
+            out_of_fuel: self.out_of_fuel,
+            fetch_pc: self.fetch_pc as u64,
+            queues: vec![
+                queue("rob", self.rob.len(), self.cfg.rob_entries),
+                queue("iq", self.iq.len(), self.cfg.iq_entries),
+                queue("lq", self.lq.len(), self.cfg.lq_entries),
+                queue("sq", self.sq.len(), self.cfg.sq_entries),
+                queue("sb", self.sb.len(), self.cfg.sb_entries),
+            ],
+            shadows: self.shadows.len() as u64,
+            guards_active: self.guards.active_count(frontier) as u64,
+            head,
+        }
+    }
+
+    /// Best-effort effective address for an un-issued memory op at the
+    /// head: computable once the base operand's value is ready.
+    fn predict_head_addr(&self, e: &RobEntry) -> Option<u64> {
+        let offset = match e.inst {
+            Inst::Load { offset, .. }
+            | Inst::Store { offset, .. }
+            | Inst::AmoAdd { offset, .. } => offset,
+            _ => return None,
+        };
+        let base = e.srcs[0]?;
+        self.rename
+            .is_ready(base)
+            .then(|| self.rename.read(base).wrapping_add(offset as u64) & !7)
+    }
+
+    /// Mirrors the issue-stage checks read-only to state *why* the head
+    /// entry has not committed.
+    fn classify_wait(&self, e: &RobEntry, frontier: Seq) -> String {
+        match e.status {
+            Status::Done => {
+                if e.inst.is_store()
+                    && !matches!(e.inst, Inst::AmoAdd { .. })
+                    && !self.sb.has_space()
+                {
+                    return format!(
+                        "store-buffer full at commit ({}/{})",
+                        self.sb.len(),
+                        self.cfg.sb_entries
+                    );
+                }
+                "ready to commit".to_string()
+            }
+            Status::Executing { done_at } => {
+                format!("in execution, result available at cycle {done_at}")
+            }
+            Status::Waiting => {
+                // A plain store issues its address computation only; the
+                // data operand never blocks issue.
+                let issue_srcs: &[Option<crate::rename::PReg>] =
+                    if matches!(e.inst, Inst::Store { .. }) {
+                        &e.srcs[..1]
+                    } else {
+                        &e.srcs[..]
+                    };
+                for p in issue_srcs.iter().flatten() {
+                    if !self.rename.is_ready(*p) {
+                        return format!("operand p{p} value not yet produced");
+                    }
+                }
+                let nda = self.secure.kind.delays_value_broadcast();
+                let stt = self.secure.kind.blocks_transmitters() && e.inst.is_transmitter();
+                if nda || stt {
+                    for p in issue_srcs.iter().flatten() {
+                        if self.guards.is_active(*p as usize, frontier) {
+                            let root = self.guards.get(*p as usize).unwrap_or(0);
+                            return format!(
+                                "delayed by scheme {}: operand p{p} guarded (root seq {root})",
+                                self.secure.label()
+                            );
+                        }
+                    }
+                }
+                match e.inst {
+                    Inst::AmoAdd { .. } => {
+                        if self.rob.head().map(|h| h.seq) != Some(e.seq) {
+                            return "amo waiting to reach the ROB head (serializing)".to_string();
+                        }
+                        if !self.sb.is_empty() {
+                            return format!(
+                                "amo at head draining the store buffer ({} entries)",
+                                self.sb.len()
+                            );
+                        }
+                        if self.cfg.amo_empty_sq_bug && !self.sq.is_empty() {
+                            return format!(
+                                "amo at head blocked on {} younger store(s) in the SQ \
+                                 (amo_empty_sq_bug test hook): the store cannot commit \
+                                 behind the amo — deadlock",
+                                self.sq.len()
+                            );
+                        }
+                        "amo ready to issue".to_string()
+                    }
+                    i if i.is_load() => {
+                        if self.unissued_amo_older_than(e.seq) {
+                            return "load waiting for an older amo to issue \
+                                    (amo RMW serializes memory)"
+                                .to_string();
+                        }
+                        if self.cfg.mdp == MdpMode::Conservative {
+                            if let Some(s) =
+                                self.sq.iter().find(|s| s.seq < e.seq && s.addr.is_none())
+                            {
+                                return format!(
+                                    "load waiting for older store seq {} to resolve its \
+                                     address (conservative MDP)",
+                                    s.seq
+                                );
+                            }
+                        }
+                        "load waiting on memory dependence / forwarding".to_string()
+                    }
+                    _ => "in the issue queue (transient)".to_string(),
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -949,6 +1150,14 @@ impl Core {
         let conservative = self.cfg.mdp == MdpMode::Conservative;
         let speculative = self.shadows.is_speculative(seq);
 
+        // An older AMO that has not yet performed its read-modify-write
+        // would make this load's memory view stale: AMOs live outside
+        // the SQ (forwarding cannot catch the conflict) and execute only
+        // at the ROB head, so the load must wait for it to issue.
+        if self.unissued_amo_older_than(seq) {
+            return IssueResult::NotReady;
+        }
+
         if !conservative {
             // Store-set prediction: wait for the predicted-dependent
             // in-flight store to resolve before issuing.
@@ -1009,6 +1218,15 @@ impl Core {
         IssueResult::Issued
     }
 
+    /// Whether an AMO older than `seq` is still waiting to issue. Its
+    /// memory update happens at issue, so younger loads gate on this.
+    fn unissued_amo_older_than(&self, seq: Seq) -> bool {
+        self.rob
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| matches!(e.inst, Inst::AmoAdd { .. }) && matches!(e.status, Status::Waiting))
+    }
+
     fn issue_amo(
         &mut self,
         seq: Seq,
@@ -1027,6 +1245,12 @@ impl Core {
         // in the AMO's fetch shadow.
         let at_head = self.rob.head().is_some_and(|h| h.seq == seq);
         if !at_head || !self.sb.is_empty() {
+            return IssueResult::NotReady;
+        }
+        // Historical bug, reintroducible for liveness-tooling tests only
+        // (see `CoreConfig::amo_empty_sq_bug`): waiting for an empty SQ
+        // here deadlocks when a younger store sits in the AMO's shadow.
+        if self.cfg.amo_empty_sq_bug && !self.sq.is_empty() {
             return IssueResult::NotReady;
         }
         let entry = self.rob.get(seq).expect("present");
@@ -1522,6 +1746,33 @@ mod tests {
         assert_eq!(core.arch_read(R3), 10);
         assert_eq!(core.arch_read(R4), 15);
         assert_eq!(data.peek(0x5000), 20);
+    }
+
+    #[test]
+    fn younger_load_sees_an_older_amos_write() {
+        // The AMO executes only at the ROB head, outside the SQ, so a
+        // younger load to the same word cannot rely on forwarding — it
+        // must wait for the AMO's read-modify-write instead of reading
+        // stale memory early. Found by `recon fuzz` (seed 42, idx 128).
+        let mut a = Asm::new();
+        a.data(0x5000, 10);
+        a.li(R1, 0x5000).li(R2, 5);
+        a.amoadd(R3, R1, 0, R2);
+        a.load(R4, R1, 0); // same word, fetched into the AMO's shadow
+        a.load(R5, R1, 8); // different word, also younger than the AMO
+        a.halt();
+        let p = a.assemble().unwrap();
+        for secure in [
+            SecureConfig::unsafe_baseline(),
+            SecureConfig::nda(),
+            SecureConfig::stt_recon(),
+        ] {
+            let (core, _, data) = run_program(p.clone(), secure, 10_000);
+            assert_eq!(core.arch_read(R3), 10, "amo returns the old value");
+            assert_eq!(core.arch_read(R4), 15, "younger load sees the RMW");
+            assert_eq!(core.arch_read(R5), 0);
+            assert_eq!(data.peek(0x5000), 15);
+        }
     }
 
     #[test]

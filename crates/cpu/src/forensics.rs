@@ -1,0 +1,380 @@
+//! Stall forensics: a structured snapshot of *why* a core is not
+//! committing, taken by the liveness watchdog when forward progress
+//! stops (see `recon_sim`'s `SimError::Stalled`).
+//!
+//! The report is deliberately plain data — strings and numbers — so it
+//! can be rendered for a human, serialized into a persisted result
+//! record, and shipped in an HTTP error body without dragging pipeline
+//! types along.
+
+use core::fmt;
+
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
+/// Occupancy of one pipeline queue at the stall point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueueOcc {
+    /// Queue name (`rob`, `iq`, `lq`, `sq`, `sb`).
+    pub name: String,
+    /// Entries currently held.
+    pub len: u64,
+    /// Capacity.
+    pub cap: u64,
+}
+
+impl QueueOcc {
+    fn save_snap(&self, w: &mut SnapWriter) {
+        w.str(&self.name);
+        w.u64(self.len);
+        w.u64(self.cap);
+    }
+
+    fn load_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(QueueOcc {
+            name: r.str()?,
+            len: r.u64()?,
+            cap: r.u64()?,
+        })
+    }
+}
+
+/// Forensics for the instruction at the ROB head — the one whose
+/// inability to commit is stalling the core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HeadForensics {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static instruction index.
+    pub pc: u64,
+    /// Rendered instruction text (e.g. `amoadd r3, [r1+0x0], r2`).
+    pub inst: String,
+    /// Pipeline status (`waiting-issue`, `executing …`, `done`).
+    pub status: String,
+    /// Precise wait-reason classification.
+    pub wait: String,
+    /// Effective (or best-effort predicted) memory address, if any.
+    pub addr: Option<u64>,
+    /// Whether the instruction sits under an unresolved shadow.
+    pub speculative: bool,
+    /// Whether the security scheme ever delayed it.
+    pub delayed_by_scheme: bool,
+    /// Source operands currently guarded by the scheme: `(preg, root)`.
+    pub guarded_operands: Vec<(u32, u64)>,
+    /// L1 MESI state of the accessed line, when an address is known.
+    pub l1_state: Option<String>,
+    /// L2 MESI state of the accessed line.
+    pub l2_state: Option<String>,
+    /// Directory state of the accessed line.
+    pub dir_state: Option<String>,
+    /// Whether the accessed word is marked revealed (ReCon metadata).
+    pub word_revealed: Option<bool>,
+    /// LPT entry active under the head's base-address register: the
+    /// address a committed producer load installed there.
+    pub lpt_entry: Option<u64>,
+}
+
+fn save_opt_u64(w: &mut SnapWriter, v: Option<u64>) {
+    w.bool(v.is_some());
+    w.u64(v.unwrap_or(0));
+}
+
+fn load_opt_u64(r: &mut SnapReader<'_>) -> Result<Option<u64>, SnapError> {
+    let some = r.bool()?;
+    let v = r.u64()?;
+    Ok(some.then_some(v))
+}
+
+fn save_opt_str(w: &mut SnapWriter, v: Option<&str>) {
+    w.bool(v.is_some());
+    w.str(v.unwrap_or(""));
+}
+
+fn load_opt_str(r: &mut SnapReader<'_>) -> Result<Option<String>, SnapError> {
+    let some = r.bool()?;
+    let s = r.str()?;
+    Ok(some.then_some(s))
+}
+
+impl HeadForensics {
+    fn save_snap(&self, w: &mut SnapWriter) {
+        w.u64(self.seq);
+        w.u64(self.pc);
+        w.str(&self.inst);
+        w.str(&self.status);
+        w.str(&self.wait);
+        save_opt_u64(w, self.addr);
+        w.bool(self.speculative);
+        w.bool(self.delayed_by_scheme);
+        w.u32(self.guarded_operands.len() as u32);
+        for &(p, root) in &self.guarded_operands {
+            w.u32(p);
+            w.u64(root);
+        }
+        save_opt_str(w, self.l1_state.as_deref());
+        save_opt_str(w, self.l2_state.as_deref());
+        save_opt_str(w, self.dir_state.as_deref());
+        w.bool(self.word_revealed.is_some());
+        w.bool(self.word_revealed.unwrap_or(false));
+        save_opt_u64(w, self.lpt_entry);
+    }
+
+    fn load_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let seq = r.u64()?;
+        let pc = r.u64()?;
+        let inst = r.str()?;
+        let status = r.str()?;
+        let wait = r.str()?;
+        let addr = load_opt_u64(r)?;
+        let speculative = r.bool()?;
+        let delayed_by_scheme = r.bool()?;
+        let n = r.u32()? as usize;
+        let mut guarded_operands = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let p = r.u32()?;
+            let root = r.u64()?;
+            guarded_operands.push((p, root));
+        }
+        let l1_state = load_opt_str(r)?;
+        let l2_state = load_opt_str(r)?;
+        let dir_state = load_opt_str(r)?;
+        let revealed_some = r.bool()?;
+        let revealed = r.bool()?;
+        let lpt_entry = load_opt_u64(r)?;
+        Ok(HeadForensics {
+            seq,
+            pc,
+            inst,
+            status,
+            wait,
+            addr,
+            speculative,
+            delayed_by_scheme,
+            guarded_operands,
+            l1_state,
+            l2_state,
+            dir_state,
+            word_revealed: revealed_some.then_some(revealed),
+            lpt_entry,
+        })
+    }
+}
+
+/// One core's view at the stall point: queue occupancies, scheme state,
+/// and the ROB-head instruction's forensics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoreStallInfo {
+    /// Core id.
+    pub core: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Whether the program's `halt` already committed.
+    pub halted: bool,
+    /// Whether the core froze on an exhausted fuel budget.
+    pub out_of_fuel: bool,
+    /// Next fetch index (the architectural pc when the window is empty).
+    pub fetch_pc: u64,
+    /// Pipeline queue occupancies.
+    pub queues: Vec<QueueOcc>,
+    /// Unresolved speculation shadows in flight.
+    pub shadows: u64,
+    /// Physical registers currently guarded by the scheme.
+    pub guards_active: u64,
+    /// The ROB-head instruction, if the window is non-empty.
+    pub head: Option<HeadForensics>,
+}
+
+impl CoreStallInfo {
+    /// Serializes the per-core stall info.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"CSI1");
+        w.u64(self.core);
+        w.u64(self.committed);
+        w.bool(self.halted);
+        w.bool(self.out_of_fuel);
+        w.u64(self.fetch_pc);
+        w.u32(self.queues.len() as u32);
+        for q in &self.queues {
+            q.save_snap(w);
+        }
+        w.u64(self.shadows);
+        w.u64(self.guards_active);
+        w.bool(self.head.is_some());
+        if let Some(h) = &self.head {
+            h.save_snap(w);
+        }
+    }
+
+    /// Reconstructs stall info from [`CoreStallInfo::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.expect_tag(b"CSI1")?;
+        let core = r.u64()?;
+        let committed = r.u64()?;
+        let halted = r.bool()?;
+        let out_of_fuel = r.bool()?;
+        let fetch_pc = r.u64()?;
+        let nq = r.u32()? as usize;
+        let mut queues = Vec::with_capacity(nq.min(16));
+        for _ in 0..nq {
+            queues.push(QueueOcc::load_snap(r)?);
+        }
+        let shadows = r.u64()?;
+        let guards_active = r.u64()?;
+        let head = if r.bool()? {
+            Some(HeadForensics::load_snap(r)?)
+        } else {
+            None
+        };
+        Ok(CoreStallInfo {
+            core,
+            committed,
+            halted,
+            out_of_fuel,
+            fetch_pc,
+            queues,
+            shadows,
+            guards_active,
+            head,
+        })
+    }
+}
+
+impl fmt::Display for CoreStallInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}: {} committed, fetch_pc {}",
+            self.core, self.committed, self.fetch_pc
+        )?;
+        if self.halted {
+            write!(f, ", halted")?;
+        }
+        if self.out_of_fuel {
+            write!(f, ", out of fuel")?;
+        }
+        writeln!(f)?;
+        write!(f, "  queues:")?;
+        for q in &self.queues {
+            write!(f, " {} {}/{}", q.name, q.len, q.cap)?;
+        }
+        writeln!(
+            f,
+            "; shadows {}, guarded pregs {}",
+            self.shadows, self.guards_active
+        )?;
+        match &self.head {
+            None => writeln!(f, "  rob head: <empty window>")?,
+            Some(h) => {
+                writeln!(
+                    f,
+                    "  rob head: seq {} pc {} `{}` [{}]{}{}",
+                    h.seq,
+                    h.pc,
+                    h.inst,
+                    h.status,
+                    if h.speculative { " speculative" } else { "" },
+                    if h.delayed_by_scheme {
+                        " scheme-delayed"
+                    } else {
+                        ""
+                    },
+                )?;
+                writeln!(f, "  wait reason: {}", h.wait)?;
+                if let Some(addr) = h.addr {
+                    write!(f, "  address {addr:#x}")?;
+                    if let Some(s) = &h.l1_state {
+                        write!(f, ": L1 {s}")?;
+                    }
+                    if let Some(s) = &h.l2_state {
+                        write!(f, ", L2 {s}")?;
+                    }
+                    if let Some(s) = &h.dir_state {
+                        write!(f, ", dir {s}")?;
+                    }
+                    if let Some(rev) = h.word_revealed {
+                        write!(f, ", word {}", if rev { "revealed" } else { "concealed" })?;
+                    }
+                    writeln!(f)?;
+                }
+                for &(p, root) in &h.guarded_operands {
+                    writeln!(f, "  guarded operand: p{p} (root seq {root})")?;
+                }
+                if let Some(a) = h.lpt_entry {
+                    writeln!(f, "  lpt entry under base operand: addr {a:#x}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoreStallInfo {
+        CoreStallInfo {
+            core: 1,
+            committed: 42,
+            halted: false,
+            out_of_fuel: false,
+            fetch_pc: 7,
+            queues: vec![QueueOcc {
+                name: "rob".into(),
+                len: 3,
+                cap: 32,
+            }],
+            shadows: 2,
+            guards_active: 1,
+            head: Some(HeadForensics {
+                seq: 9,
+                pc: 4,
+                inst: "amoadd r3, [r1+0x0], r2".into(),
+                status: "waiting-issue".into(),
+                wait: "amo at head blocked on 1 younger store(s)".into(),
+                addr: Some(0x4000),
+                speculative: false,
+                delayed_by_scheme: false,
+                guarded_operands: vec![(5, 8)],
+                l1_state: Some("Modified".into()),
+                l2_state: None,
+                dir_state: Some("Owned".into()),
+                word_revealed: Some(false),
+                lpt_entry: Some(0x4010),
+            }),
+        }
+    }
+
+    #[test]
+    fn snap_round_trips() {
+        let info = sample();
+        let mut w = SnapWriter::new();
+        info.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = CoreStallInfo::load_snap(&mut r).unwrap();
+        assert_eq!(back, info);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn display_names_the_head_and_reason() {
+        let text = sample().to_string();
+        assert!(text.contains("amoadd"), "{text}");
+        assert!(text.contains("wait reason"), "{text}");
+        assert!(text.contains("rob 3/32"), "{text}");
+        assert!(text.contains("0x4000"), "{text}");
+    }
+
+    #[test]
+    fn empty_window_renders() {
+        let info = CoreStallInfo {
+            head: None,
+            ..sample()
+        };
+        assert!(info.to_string().contains("<empty window>"));
+    }
+}

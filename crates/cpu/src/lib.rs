@@ -20,6 +20,7 @@
 pub mod bpred;
 pub mod config;
 pub mod core;
+pub mod forensics;
 pub mod lsq;
 pub mod mdp;
 pub mod rename;
@@ -30,4 +31,5 @@ pub mod trace;
 
 pub use crate::core::{Core, Observation};
 pub use config::{CoreConfig, MdpMode};
+pub use forensics::{CoreStallInfo, HeadForensics, QueueOcc};
 pub use stats::CoreStats;

@@ -1,0 +1,335 @@
+//! # recon-fuzz
+//!
+//! A seeded differential torture harness for the ReCon reproduction:
+//! generates random-but-valid programs over the full ISA ([`gen`]),
+//! runs four oracles per program ([`oracle`]), and shrinks any failure
+//! to a minimal `.asm` repro ([`mod@shrink`]).
+//!
+//! Everything is deterministic per seed: the same `(seed, count)` pair
+//! explores the same programs in the same order, whatever the worker
+//! count — results are keyed by program index, not by completion order.
+//!
+//! ```no_run
+//! use recon_fuzz::{run_fuzz, FuzzConfig};
+//!
+//! let report = run_fuzz(&FuzzConfig {
+//!     seed: 42,
+//!     count: 200,
+//!     ..FuzzConfig::default()
+//! });
+//! assert!(report.failures.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use recon_asm::{disassemble, AsmProgram, EntrySpec};
+use recon_isa::rng::SplitMix64;
+use recon_isa::Program;
+
+pub use gen::{generate, GenParams};
+pub use oracle::{check, Failure, OracleConfig};
+pub use shrink::shrink;
+
+/// Locks a mutex, ignoring poisoning: the guarded state (a result
+/// vector of plain data) stays valid even if another worker panicked
+/// mid-push, and the fuzz loop must keep collecting.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Fuzz campaign configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; program `i` is generated from a stream derived from
+    /// `(seed, i)`.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub count: usize,
+    /// Quick mode: smaller programs and no snapshot/restore oracle.
+    pub quick: bool,
+    /// Worker threads (0 = one per available CPU).
+    pub jobs: usize,
+    /// Directory to write shrunk `.asm` repros into (none = don't).
+    pub out_dir: Option<PathBuf>,
+    /// Oracle knobs (core config, watchdog window, snapshot cadence).
+    pub oracle: OracleConfig,
+    /// Generator knobs.
+    pub gen: GenParams,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            count: 100,
+            quick: false,
+            jobs: 0,
+            out_dir: None,
+            oracle: OracleConfig::default(),
+            gen: GenParams::default(),
+        }
+    }
+}
+
+/// One confirmed oracle failure, shrunk.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Index of the failing program within the campaign.
+    pub index: usize,
+    /// Failure class (stable across shrinking).
+    pub kind: String,
+    /// Human-readable detail from the *shrunk* reproduction.
+    pub detail: String,
+    /// Static instructions in the original program.
+    pub original_len: usize,
+    /// Static instructions after shrinking.
+    pub shrunk_len: usize,
+    /// The shrunk program.
+    pub program: Program,
+    /// Where the `.asm` repro was written, if an out dir was set.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Master seed the campaign ran with.
+    pub seed: u64,
+    /// Programs generated and checked.
+    pub count: usize,
+    /// Confirmed failures, sorted by program index.
+    pub failures: Vec<FuzzFailure>,
+    /// Wall-clock seconds for the whole campaign.
+    pub elapsed_secs: f64,
+    /// Throughput: programs fully checked per second.
+    pub programs_per_sec: f64,
+}
+
+impl FuzzReport {
+    /// Renders the report as a JSON object (hand-rolled; the build is
+    /// dependency-free), the `BENCH_fuzz.json` format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"seed\": {},\n  \"programs\": {},\n  \"failures\": {},\n  \
+             \"elapsed_secs\": {:.3},\n  \"programs_per_sec\": {:.1},\n  \"failure_kinds\": [",
+            self.seed,
+            self.count,
+            self.failures.len(),
+            self.elapsed_secs,
+            self.programs_per_sec
+        );
+        for (i, f) in self.failures.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}\"{}\"", f.kind);
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Derives the per-program generator stream: program `i` of a campaign
+/// sees an independent, reproducible stream whatever `jobs` is.
+#[must_use]
+pub fn program_rng(seed: u64, index: usize) -> SplitMix64 {
+    SplitMix64::new(seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Renders a shrunk failure as a commented, re-assemblable `.asm` file.
+#[must_use]
+pub fn render_repro(failure: &FuzzFailure, seed: u64) -> String {
+    let asm = AsmProgram {
+        program: failure.program.clone(),
+        entries: vec![EntrySpec {
+            entry: failure.program.entry,
+            seeds: vec![],
+        }],
+        labels: vec![],
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "; recon fuzz repro");
+    let _ = writeln!(out, "; seed {seed}, program index {}", failure.index);
+    let _ = writeln!(out, "; oracle: {}", failure.kind);
+    for line in failure.detail.lines() {
+        let _ = writeln!(out, ";   {line}");
+    }
+    let _ = writeln!(
+        out,
+        "; shrunk {} -> {} instructions",
+        failure.original_len, failure.shrunk_len
+    );
+    out.push_str(&disassemble(&asm));
+    out
+}
+
+fn write_repro(dir: &Path, failure: &FuzzFailure, seed: u64) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("repro-{seed}-{:05}.asm", failure.index));
+    std::fs::write(&path, render_repro(failure, seed)).ok()?;
+    Some(path)
+}
+
+/// Checks one program of a campaign; shrinks and describes any failure.
+fn check_one(cfg: &FuzzConfig, index: usize) -> Option<FuzzFailure> {
+    let mut rng = program_rng(cfg.seed, index);
+    let program = gen::generate(&mut rng, &cfg.gen);
+    let failure = check(&program, &cfg.oracle).err()?;
+    let original_len = program.code.len();
+    let (shrunk, final_failure) = shrink(&program, &failure, &cfg.oracle);
+    Some(FuzzFailure {
+        index,
+        kind: final_failure.kind().to_string(),
+        detail: final_failure.detail(),
+        original_len,
+        shrunk_len: shrunk.code.len(),
+        program: shrunk,
+        repro_path: None,
+    })
+}
+
+/// Runs a fuzz campaign: `count` programs from `seed`, each through all
+/// four oracles, with failures shrunk and (optionally) written as
+/// `.asm` repros.
+#[must_use]
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut cfg = cfg.clone();
+    if cfg.quick {
+        cfg.oracle.skip_snapshot = true;
+        cfg.gen.blocks = cfg.gen.blocks.min(12);
+    }
+    let jobs = if cfg.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.jobs
+    };
+
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<FuzzFailure>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(cfg.count.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.count {
+                    break;
+                }
+                if let Some(f) = check_one(&cfg, i) {
+                    lock_ignore_poison(&failures).push(f);
+                }
+            });
+        }
+    });
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    failures.sort_by_key(|f| f.index);
+    if let Some(dir) = &cfg.out_dir {
+        for f in &mut failures {
+            f.repro_path = write_repro(dir, f, cfg.seed);
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    FuzzReport {
+        seed: cfg.seed,
+        count: cfg.count,
+        failures,
+        elapsed_secs: elapsed,
+        programs_per_sec: if elapsed > 0.0 {
+            cfg.count as f64 / elapsed
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_on_trunk_is_clean() {
+        let report = run_fuzz(&FuzzConfig {
+            seed: 42,
+            count: 8,
+            quick: true,
+            ..FuzzConfig::default()
+        });
+        assert!(
+            report.failures.is_empty(),
+            "trunk must be clean: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (&f.kind, &f.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.count, 8);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let one = run_fuzz(&FuzzConfig {
+            seed: 7,
+            count: 6,
+            quick: true,
+            jobs: 1,
+            ..FuzzConfig::default()
+        });
+        let four = run_fuzz(&FuzzConfig {
+            seed: 7,
+            count: 6,
+            quick: true,
+            jobs: 4,
+            ..FuzzConfig::default()
+        });
+        assert_eq!(one.failures.len(), four.failures.len());
+    }
+
+    #[test]
+    fn repro_files_reassemble() {
+        // A synthetic failure (any program) must render to valid,
+        // re-assemblable text via the PR 8 disassembler.
+        let program = generate(&mut program_rng(3, 0), &GenParams::default());
+        let failure = FuzzFailure {
+            index: 0,
+            kind: "stall".into(),
+            detail: "synthetic".into(),
+            original_len: program.code.len(),
+            shrunk_len: program.code.len(),
+            program,
+            repro_path: None,
+        };
+        let text = render_repro(&failure, 3);
+        let back = recon_asm::assemble(&text).expect("repro must re-assemble");
+        assert_eq!(back.program.code, failure.program.code);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = FuzzReport {
+            seed: 1,
+            count: 10,
+            failures: vec![],
+            elapsed_secs: 2.0,
+            programs_per_sec: 5.0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"programs\": 10"));
+        assert!(json.contains("\"failures\": 0"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Automatic test-case reduction.
+//!
+//! Given a failing program and the oracle that rejected it, the
+//! shrinker searches for a smaller program that still fails *in the
+//! same class* (`Failure::kind`), in three phases:
+//!
+//! 1. **Truncation** — binary-search the shortest prefix (plus a
+//!    `halt`) that still reproduces;
+//! 2. **Nop-out** — replace each instruction with `nop` while the
+//!    failure reproduces, iterated to a fixed point;
+//! 3. **Compaction** — delete the `nop`s, remapping branch targets.
+//!
+//! Every accepted candidate is validated first, so the shrinker can
+//! never escalate an oracle failure into a malformed program.
+
+use recon_isa::{Inst, Program};
+
+use crate::oracle::{check, Failure, OracleConfig};
+
+/// Upper bound on oracle evaluations during one shrink, so a slow
+/// reproducer cannot stall the fuzz loop indefinitely.
+const MAX_ATTEMPTS: usize = 400;
+
+struct Shrinker<'a> {
+    cfg: &'a OracleConfig,
+    kind: &'static str,
+    attempts: usize,
+}
+
+impl Shrinker<'_> {
+    /// Whether `candidate` is valid and still fails in the same class.
+    fn reproduces(&mut self, candidate: &Program) -> bool {
+        if self.attempts >= MAX_ATTEMPTS || candidate.validate().is_err() {
+            return false;
+        }
+        self.attempts += 1;
+        matches!(check(candidate, self.cfg), Err(f) if f.kind() == self.kind)
+    }
+}
+
+fn truncate_to(program: &Program, len: usize) -> Program {
+    let mut p = program.clone();
+    p.code.truncate(len);
+    // Branches past the cut retarget the trailing halt.
+    let halt_at = p.code.len();
+    for inst in &mut p.code {
+        if let Inst::Branch { target, .. } | Inst::Jump { target } = inst {
+            if *target > halt_at {
+                *target = halt_at;
+            }
+        }
+    }
+    p.code.push(Inst::Halt);
+    p
+}
+
+/// Deletes every `nop`, remapping branch/jump targets onto the next
+/// surviving instruction.
+fn compact(program: &Program) -> Program {
+    let mut map = Vec::with_capacity(program.code.len() + 1);
+    let mut kept = 0usize;
+    for inst in &program.code {
+        map.push(kept);
+        if !matches!(inst, Inst::Nop) {
+            kept += 1;
+        }
+    }
+    map.push(kept); // targets one past the end clamp to the new end
+    let code = program
+        .code
+        .iter()
+        .filter(|i| !matches!(i, Inst::Nop))
+        .map(|inst| match *inst {
+            Inst::Branch { kind, a, b, target } => Inst::Branch {
+                kind,
+                a,
+                b,
+                target: map[target],
+            },
+            Inst::Jump { target } => Inst::Jump {
+                target: map[target],
+            },
+            other => other,
+        })
+        .collect();
+    Program {
+        code,
+        entry: map[program.entry],
+        image: program.image.clone(),
+    }
+}
+
+/// Shrinks `program` (which fails `check` with `failure`) to a smaller
+/// program failing in the same class. Returns the reduced program and
+/// the failure it still produces.
+#[must_use]
+pub fn shrink(program: &Program, failure: &Failure, cfg: &OracleConfig) -> (Program, Failure) {
+    let mut s = Shrinker {
+        cfg,
+        kind: failure.kind(),
+        attempts: 0,
+    };
+    let mut best = program.clone();
+
+    // Phase 1: prefix truncation, binary search on the cut length.
+    let mut lo = 0usize; // longest length known NOT to reproduce
+    let mut hi = best.code.len(); // length known to reproduce (full program)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let candidate = truncate_to(&best, mid);
+        if s.reproduces(&candidate) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if hi < best.code.len() {
+        best = truncate_to(&best, hi);
+    }
+
+    // Phase 2: nop-out to a fixed point.
+    loop {
+        let mut changed = false;
+        for i in 0..best.code.len() {
+            if matches!(best.code[i], Inst::Nop | Inst::Halt) {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.code[i] = Inst::Nop;
+            if s.reproduces(&candidate) {
+                best = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 3: drop the nops (keep the compacted form only if it still
+    // reproduces — target remapping around deleted code is delicate).
+    let compacted = compact(&best);
+    if compacted.code.len() < best.code.len() && s.reproduces(&compacted) {
+        best = compacted;
+    }
+
+    let final_failure = match check(&best, cfg) {
+        Err(f) => f,
+        Ok(()) => failure.clone(), // unreachable: every accepted step reproduced
+    };
+    (best, final_failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams, DATA_BASE};
+    use recon_cpu::CoreConfig;
+    use recon_isa::reg::names::*;
+    use recon_isa::rng::SplitMix64;
+
+    #[test]
+    fn compact_remaps_targets() {
+        let p = Program {
+            code: vec![
+                Inst::Nop,
+                Inst::Branch {
+                    kind: recon_isa::BranchKind::Eq,
+                    a: R0,
+                    b: R0,
+                    target: 3,
+                },
+                Inst::Nop,
+                Inst::Halt,
+            ],
+            entry: 0,
+            image: recon_isa::MemImage::new(),
+        };
+        let c = compact(&p);
+        assert_eq!(c.code.len(), 2);
+        assert!(matches!(c.code[0], Inst::Branch { target: 1, .. }));
+        assert!(matches!(c.code[1], Inst::Halt));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn shrinks_a_buggy_generated_program_to_a_tiny_stall_repro() {
+        // Generate programs under the historical AMO gate until one
+        // stalls, then shrink: the repro must stay a stall and get small.
+        let cfg = OracleConfig {
+            core: CoreConfig {
+                amo_empty_sq_bug: true,
+                ..CoreConfig::tiny()
+            },
+            watchdog_cycles: 5_000,
+            skip_snapshot: true,
+            ..OracleConfig::default()
+        };
+        let mut found = None;
+        for seed in 0..64u64 {
+            let p = generate(&mut SplitMix64::new(seed), &GenParams::default());
+            if let Err(f) = check(&p, &cfg) {
+                assert_eq!(f.kind(), "stall", "unexpected failure class: {f:?}");
+                found = Some((p, f));
+                break;
+            }
+        }
+        let (p, f) = found.expect("some seed must trip the AMO gate");
+        let before = p.code.len();
+        let (small, sf) = shrink(&p, &f, &cfg);
+        assert_eq!(sf.kind(), "stall");
+        assert!(
+            small.code.len() <= 12,
+            "shrunk to {} instructions (from {before})",
+            small.code.len()
+        );
+        assert!(
+            small.code.iter().any(|i| matches!(i, Inst::AmoAdd { .. })),
+            "a stall repro must keep the amo"
+        );
+        let _ = DATA_BASE; // layout constants used by gen
+    }
+}

@@ -122,6 +122,9 @@ pub struct JobSpec {
     pub fuel: Option<u64>,
     /// Cycle deadline override (`run`/`matrix`).
     pub max_cycles: Option<u64>,
+    /// Liveness-watchdog window override in cycles (`run`/`matrix`/
+    /// `verify`/`asm`); unset keeps the simulator's default window.
+    pub watchdog_cycles: Option<u64>,
     /// Functional warmup: fast-forward this many instructions per core
     /// before detailed timing (`run`/`matrix`/`verify`). Changes every
     /// result, so it is folded into the content-addressed digest.
@@ -152,6 +155,13 @@ pub enum JobError {
         /// kept out of the body so deadline payloads stay byte-stable
         /// across retries that resume from different checkpoints).
         checkpoint: Option<String>,
+    },
+    /// The liveness watchdog declared the simulation deadlocked
+    /// (HTTP 500). The payload carries the full forensic stall report
+    /// alongside the partial statistics.
+    Stalled {
+        /// JSON object with the diagnostic, ready to serve.
+        payload: String,
     },
     /// The job was cancelled by an aborting shutdown (HTTP 503).
     Cancelled,
@@ -193,7 +203,7 @@ fn hint(input: &str, candidates: impl IntoIterator<Item = &'static str>) -> Stri
 }
 
 /// The keys a submission may carry, for the unknown-key check.
-const KNOWN_KEYS: [&str; 10] = [
+const KNOWN_KEYS: [&str; 11] = [
     "kind",
     "suite",
     "bench",
@@ -201,6 +211,7 @@ const KNOWN_KEYS: [&str; 10] = [
     "gadget",
     "fuel",
     "max_cycles",
+    "watchdog_cycles",
     "fast_forward",
     "trace",
     "source",
@@ -265,6 +276,7 @@ impl JobSpec {
         };
         let fuel = num_field("fuel")?;
         let max_cycles = num_field("max_cycles")?;
+        let watchdog_cycles = num_field("watchdog_cycles")?;
         let fast_forward = num_field("fast_forward")?;
         let trace = match v.get("trace") {
             None | Some(Json::Null) => false,
@@ -285,6 +297,7 @@ impl JobSpec {
             gadget,
             fuel,
             max_cycles,
+            watchdog_cycles,
             fast_forward,
             trace,
             source,
@@ -343,11 +356,12 @@ impl JobSpec {
             JobKind::Analyze => {
                 if self.scheme.is_some()
                     || self.max_cycles.is_some()
+                    || self.watchdog_cycles.is_some()
                     || self.fast_forward.is_some()
                     || self.trace
                 {
                     return Err(
-                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and already functional, so 'max_cycles'/'fast_forward'/'trace' do not apply)"
+                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and already functional, so 'max_cycles'/'watchdog_cycles'/'fast_forward'/'trace' do not apply)"
                             .into(),
                     );
                 }
@@ -431,7 +445,7 @@ impl JobSpec {
             },
         );
         format!(
-            "v3|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|ff={}|trace={}|src={src}|scale={scale}",
+            "v4|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|wd={}|ff={}|trace={}|src={src}|scale={scale}",
             self.kind.label(),
             opt(&self.suite),
             opt(&self.bench),
@@ -439,6 +453,7 @@ impl JobSpec {
             opt(&self.gadget),
             num(&self.fuel),
             num(&self.max_cycles),
+            num(&self.watchdog_cycles),
             num(&self.fast_forward),
             u8::from(self.trace),
         )
@@ -475,6 +490,7 @@ impl JobSpec {
         for (key, v) in [
             ("fuel", self.fuel),
             ("max_cycles", self.max_cycles),
+            ("watchdog_cycles", self.watchdog_cycles),
             ("fast_forward", self.fast_forward),
         ] {
             if let Some(v) = v {
@@ -638,6 +654,17 @@ fn render_system_result(out: &mut String, r: &SystemResult) {
 fn deadline_error(spec: &JobSpec, e: SimError, checkpoint: Option<String>) -> JobError {
     match e {
         SimError::Cancelled { .. } => JobError::Cancelled,
+        SimError::Stalled { partial, report } => {
+            let mut body = format!(
+                "{{\"error\":\"stalled\",\"kind\":\"{}\",\"summary\":\"{}\",\"report\":\"{}\",\"partial\":{{",
+                spec.kind.label(),
+                escape(&report.summary()),
+                escape(&report.to_string()),
+            );
+            render_system_result(&mut body, &partial);
+            body.push_str("}}");
+            JobError::Stalled { payload: body }
+        }
         SimError::DeadlineExceeded { partial, reason } => {
             let mut body = format!(
                 "{{\"error\":\"deadline_exceeded\",\"kind\":\"{}\",\"reason\":\"{reason}\",\"partial\":{{",
@@ -684,6 +711,7 @@ pub fn execute_ckpt(
         cancel: cancel.map(Arc::clone),
         checkpoint_every_cycles: None,
         fast_forward: spec.fast_forward,
+        watchdog_cycles: spec.watchdog_cycles,
     };
     match spec.kind {
         JobKind::Run => execute_run(spec, &budget, plan),
@@ -1004,6 +1032,69 @@ mod tests {
             spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","fuel":0}"#)
                 .unwrap_err()
                 .contains("positive")
+        );
+    }
+
+    #[test]
+    fn watchdog_cycles_parses_round_trips_and_keys_the_digest() {
+        let s = spec(
+            r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","watchdog_cycles":50000}"#,
+        )
+        .unwrap();
+        assert_eq!(s.watchdog_cycles, Some(50_000));
+        let back = spec(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // The window decides whether a run errs as a stall, so it must
+        // key the result cache.
+        let plain =
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        assert_ne!(s.digest(), plain.digest());
+        // Analyze is functional: no pipeline, no watchdog.
+        assert!(
+            spec(r#"{"kind":"analyze","suite":"spec2017","bench":"mcf","watchdog_cycles":1}"#)
+                .unwrap_err()
+                .contains("watchdog_cycles")
+        );
+    }
+
+    #[test]
+    fn stalled_run_maps_to_a_500_payload_with_forensics() {
+        let s = spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        let partial = SystemResult {
+            completed: false,
+            cycles: 12_345,
+            cores: vec![],
+            mem: recon_mem::MemStats::default(),
+        };
+        let report = recon_sim::stall::StallReport {
+            cycle: 12_345,
+            window: 10_000,
+            cores: vec![],
+        };
+        let err = deadline_error(
+            &s,
+            SimError::Stalled {
+                partial: Box::new(partial),
+                report: Box::new(report),
+            },
+            None,
+        );
+        let JobError::Stalled { payload } = err else {
+            panic!("expected JobError::Stalled, got {err:?}");
+        };
+        let v = parse(&payload).expect("stall payload is JSON");
+        assert_eq!(
+            v.get("error").and_then(crate::json::Json::as_str),
+            Some("stalled")
+        );
+        assert!(v
+            .get("summary")
+            .and_then(crate::json::Json::as_str)
+            .is_some_and(|s| s.contains("liveness stall")));
+        let partial = v.get("partial").expect("partial stats ride along");
+        assert_eq!(
+            partial.get("cycles").and_then(crate::json::Json::as_u64),
+            Some(12_345)
         );
     }
 

@@ -114,6 +114,8 @@ pub struct Metrics {
     pub jobs_cancelled: Counter,
     /// Jobs that hit their fuel or cycle deadline.
     pub jobs_deadline: Counter,
+    /// Jobs the liveness watchdog declared deadlocked.
+    pub stalls_detected: Counter,
     /// Submissions refused with `429` because the queue was full.
     pub jobs_rejected: Counter,
     /// Result-cache hits (response served without executing).
@@ -221,6 +223,11 @@ impl Metrics {
             "recon_jobs_deadline_exceeded_total",
             "Jobs that hit their fuel or cycle deadline.",
             self.jobs_deadline.get(),
+        );
+        counter(
+            "recon_stalls_detected_total",
+            "Jobs the liveness watchdog declared deadlocked.",
+            self.stalls_detected.get(),
         );
         counter(
             "recon_jobs_rejected_total",

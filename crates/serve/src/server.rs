@@ -521,6 +521,7 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
                 .insert(job.digest, Arc::new(out.payload.clone()));
         }
         Err(JobError::DeadlineExceeded { .. }) => shared.metrics.jobs_deadline.inc(),
+        Err(JobError::Stalled { .. }) => shared.metrics.stalls_detected.inc(),
         Err(JobError::Cancelled) => shared.metrics.jobs_cancelled.inc(),
         Err(JobError::Invalid(_) | JobError::Failed(_)) => shared.metrics.jobs_failed.inc(),
     }
@@ -763,6 +764,7 @@ fn job_response(
             checkpoint,
             ..
         }) => (408, None, checkpoint, payload),
+        Err(JobError::Stalled { payload }) => (500, None, None, payload),
         Err(JobError::Cancelled) => (
             503,
             None,

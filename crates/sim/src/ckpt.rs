@@ -37,6 +37,7 @@ use recon_workloads::Workload;
 
 use crate::error::{Budget, SimError};
 use crate::experiment::Experiment;
+use crate::stall::StallReport;
 use crate::system::{System, SystemResult};
 
 /// File magic of the checkpoint format, version 1.
@@ -333,18 +334,99 @@ pub fn write_result(
     Ok(path)
 }
 
-/// Reads a completion record written by [`write_result`]. Returns
-/// `None` when absent or unreadable — a corrupt record simply means
-/// the job re-runs, never that wrong numbers are reported.
+/// Meta key distinguishing record kinds in a `.res` file: absent or
+/// `"completed"` for a finished job, `"stalled"` for a watchdog trip.
+pub const OUTCOME_KEY: &str = "outcome";
+
+/// [`OUTCOME_KEY`] value for a persisted stall record.
+pub const OUTCOME_STALLED: &str = "stalled";
+
+/// A persisted `.res` record: either the completed result of a job, or
+/// the diagnostic of a job the liveness watchdog killed — persisted so
+/// a resumed server/suite can *explain* an orphaned job's failure
+/// instead of silently re-running a deterministic deadlock.
+#[derive(Clone, Debug)]
+pub enum ResultRecord {
+    /// The job finished; its full result.
+    Completed(SystemResult),
+    /// The job stalled; partial statistics plus the forensic report.
+    Stalled {
+        /// Statistics up to the stall point.
+        partial: SystemResult,
+        /// Forensic snapshot of every core at the stall point.
+        report: StallReport,
+    },
+}
+
+/// Writes the stall record of a job the liveness watchdog killed: the
+/// `RCK1` envelope carrying the partial [`SystemResult`] followed by
+/// the serialized [`StallReport`], with `outcome=stalled` in the meta
+/// so readers can tell it apart from a completion record.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_stall_record(
+    dir: &Path,
+    config_digest: u64,
+    partial: &SystemResult,
+    report: &StallReport,
+    meta: &[(String, String)],
+) -> io::Result<PathBuf> {
+    let mut w = SnapWriter::new();
+    partial.save_snap(&mut w);
+    report.save_snap(&mut w);
+    let mut meta = meta.to_vec();
+    meta.retain(|(k, _)| k != OUTCOME_KEY);
+    meta.push((OUTCOME_KEY.to_string(), OUTCOME_STALLED.to_string()));
+    let ck = Checkpoint {
+        config_digest,
+        cycle: partial.cycles,
+        meta,
+        state: w.into_bytes(),
+    };
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{config_digest:016x}.{RESULT_EXTENSION}"));
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, ck.encode())?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Reads whatever `.res` record exists for `config_digest` — completed
+/// or stalled. Returns `None` when absent or unreadable — a corrupt
+/// record simply means the job re-runs, never that wrong numbers are
+/// reported.
 #[must_use]
-pub fn read_result(dir: &Path, config_digest: u64) -> Option<SystemResult> {
+pub fn read_record(dir: &Path, config_digest: u64) -> Option<ResultRecord> {
     let path = dir.join(format!("{config_digest:016x}.{RESULT_EXTENSION}"));
     let bytes = fs::read(path).ok()?;
     let ck = Checkpoint::decode(&bytes).ok()?;
     if ck.config_digest != config_digest {
         return None;
     }
-    SystemResult::load_snap(&mut SnapReader::new(&ck.state)).ok()
+    let mut r = SnapReader::new(&ck.state);
+    let result = SystemResult::load_snap(&mut r).ok()?;
+    if ck.meta(OUTCOME_KEY) == Some(OUTCOME_STALLED) {
+        let report = StallReport::load_snap(&mut r).ok()?;
+        Some(ResultRecord::Stalled {
+            partial: result,
+            report,
+        })
+    } else {
+        Some(ResultRecord::Completed(result))
+    }
+}
+
+/// Reads a completion record written by [`write_result`]. Returns
+/// `None` when absent, unreadable, or a *stall* record (a stalled job
+/// never masquerades as a completed one).
+#[must_use]
+pub fn read_result(dir: &Path, config_digest: u64) -> Option<SystemResult> {
+    match read_record(dir, config_digest) {
+        Some(ResultRecord::Completed(res)) => Some(res),
+        _ => None,
+    }
 }
 
 /// What a checkpointed run did, for logs and metrics.
@@ -352,6 +434,10 @@ pub fn read_result(dir: &Path, config_digest: u64) -> Option<SystemResult> {
 pub struct CkptRunInfo {
     /// The run was skipped entirely: a completion record existed.
     pub result_cached: bool,
+    /// The run was skipped because a *stall* record existed: the job
+    /// deterministically deadlocks and re-running it would only stall
+    /// again, so the persisted diagnostic is replayed instead.
+    pub stall_cached: bool,
     /// Cycle the run resumed from, when a valid checkpoint was found.
     pub resumed_from_cycle: Option<u64>,
     /// Checkpoints written during this run.
@@ -391,7 +477,10 @@ impl CkptContext {
 
 /// Runs one (workload, scheme) job with crash-safe checkpointing:
 ///
-/// 1. a completion record short-circuits the run (suite resume);
+/// 1. a persisted record short-circuits the run: a completion record
+///    replays the result (suite resume), a stall record replays the
+///    original [`SimError::Stalled`] diagnostic — a deterministic
+///    deadlock is explained, not silently re-run;
 /// 2. otherwise the newest valid checkpoint of `digest` is restored
 ///    (corrupt/torn files are dropped and counted, never trusted);
 /// 3. the run proceeds under `base` plus the checkpoint cadence,
@@ -419,9 +508,23 @@ pub fn run_with_checkpoints(
     digest: u64,
 ) -> (Result<SystemResult, SimError>, CkptRunInfo) {
     let mut info = CkptRunInfo::default();
-    if let Some(res) = read_result(&ctx.dir, digest) {
-        info.result_cached = true;
-        return (Ok(res), info);
+    match read_record(&ctx.dir, digest) {
+        Some(ResultRecord::Completed(res)) => {
+            info.result_cached = true;
+            return (Ok(res), info);
+        }
+        Some(ResultRecord::Stalled { partial, report }) => {
+            // A stall is deterministic for a given configuration:
+            // replay the persisted forensics instead of burning the
+            // watchdog window again just to rediscover the deadlock.
+            info.stall_cached = true;
+            let err = SimError::Stalled {
+                partial: Box::new(partial),
+                report: Box::new(report),
+            };
+            return (Err(err), info);
+        }
+        None => {}
     }
 
     let mut sys = System::new(workload, exp.core, exp.mem, secure, exp.recon);
@@ -493,10 +596,20 @@ pub fn run_with_checkpoints(
     info.checkpoints_written = written;
     info.gc_deleted = gc_deleted;
     info.last_checkpoint = last;
-    if let Ok(res) = &r {
-        let _ = write_result(&ctx.dir, digest, res, meta);
-        let _ = delete_for_digest(&ctx.dir, digest);
-        info.last_checkpoint = None;
+    match &r {
+        Ok(res) => {
+            let _ = write_result(&ctx.dir, digest, res, meta);
+            let _ = delete_for_digest(&ctx.dir, digest);
+            info.last_checkpoint = None;
+        }
+        Err(SimError::Stalled { partial, report }) => {
+            // Persist the diagnostic: a restarted server can explain
+            // this job's death instead of silently re-running it.
+            let _ = write_stall_record(&ctx.dir, digest, partial, report, meta);
+            let _ = delete_for_digest(&ctx.dir, digest);
+            info.last_checkpoint = None;
+        }
+        Err(_) => {}
     }
     (r, info)
 }
@@ -522,6 +635,58 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn sample_result() -> SystemResult {
+        SystemResult {
+            completed: false,
+            cycles: 9_000,
+            cores: vec![],
+            mem: recon_mem::MemStats::default(),
+        }
+    }
+
+    fn sample_report() -> StallReport {
+        StallReport {
+            cycle: 9_000,
+            window: 4_096,
+            cores: vec![],
+        }
+    }
+
+    #[test]
+    fn stall_record_round_trips_and_hides_from_read_result() {
+        let dir = tmpdir("stallrec");
+        let partial = sample_result();
+        let report = sample_report();
+        let meta = vec![("bench".to_string(), "x".to_string())];
+        write_stall_record(&dir, 0x77, &partial, &report, &meta).unwrap();
+        // A stall record must never surface as a completed result.
+        assert!(read_result(&dir, 0x77).is_none());
+        match read_record(&dir, 0x77) {
+            Some(ResultRecord::Stalled {
+                partial: p,
+                report: r,
+            }) => {
+                assert_eq!(p, partial);
+                assert_eq!(r, report);
+            }
+            other => panic!("expected stalled record, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_record_still_reads_as_result() {
+        let dir = tmpdir("complrec");
+        let res = sample_result();
+        write_result(&dir, 0x88, &res, &[]).unwrap();
+        assert_eq!(read_result(&dir, 0x88), Some(res.clone()));
+        assert!(matches!(
+            read_record(&dir, 0x88),
+            Some(ResultRecord::Completed(r)) if r == res
+        ));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

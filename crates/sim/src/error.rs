@@ -6,12 +6,25 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::stall::StallReport;
 use crate::system::SystemResult;
 
 /// How often (in cycles) a budgeted run polls its cancellation flag.
 /// Coarse enough to stay off the hot path, fine enough that a cancel
 /// lands within microseconds of simulated work.
 pub const CANCEL_CHECK_INTERVAL: u64 = 1 << 12;
+
+/// Default liveness-watchdog window: a run in which **no core commits
+/// an instruction** for this many consecutive cycles is declared
+/// stalled ([`SimError::Stalled`]) with a forensic [`StallReport`].
+///
+/// The window is sized orders of magnitude above any legitimate commit
+/// gap in this model (the worst case — a full store buffer draining at
+/// one store per cycle behind a chain of directory misses — resolves in
+/// thousands of cycles, not hundreds of thousands), so a trip is a
+/// genuine deadlock, not a slow patch. The watchdog is **on by
+/// default**; see [`Budget::watchdog_cycles`] to tune or disable it.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 1 << 18;
 
 /// Resource limits applied to one simulation run.
 ///
@@ -44,6 +57,13 @@ pub struct Budget {
     /// result, so it is part of any content-addressed run identity
     /// (spec digests, result records).
     pub fast_forward: Option<u64>,
+    /// Liveness-watchdog window in cycles. `None` (the default) arms
+    /// the watchdog at [`DEFAULT_WATCHDOG_CYCLES`]; `Some(0)` disables
+    /// it; `Some(n)` uses a custom window. When no core commits for a
+    /// full window the run stops with [`SimError::Stalled`] carrying a
+    /// structured [`StallReport`] instead of silently burning its fuel
+    /// budget.
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl Budget {
@@ -62,6 +82,17 @@ impl Budget {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// The effective watchdog window: the default when unset, `None`
+    /// when explicitly disabled with `Some(0)`.
+    #[must_use]
+    pub fn effective_watchdog(&self) -> Option<u64> {
+        match self.watchdog_cycles {
+            None => Some(DEFAULT_WATCHDOG_CYCLES),
+            Some(0) => None,
+            Some(n) => Some(n),
+        }
     }
 }
 
@@ -102,6 +133,15 @@ pub enum SimError {
         /// Statistics up to the stop point.
         partial: Box<SystemResult>,
     },
+    /// The liveness watchdog fired: no core committed an instruction
+    /// for a full watchdog window — the simulation is deadlocked (or
+    /// pathologically stuck), and `report` explains why, per core.
+    Stalled {
+        /// Statistics up to the stall point.
+        partial: Box<SystemResult>,
+        /// Forensic snapshot of every core at the stall point.
+        report: Box<StallReport>,
+    },
 }
 
 impl SimError {
@@ -109,9 +149,9 @@ impl SimError {
     #[must_use]
     pub fn into_partial(self) -> SystemResult {
         match self {
-            SimError::DeadlineExceeded { partial, .. } | SimError::Cancelled { partial } => {
-                *partial
-            }
+            SimError::DeadlineExceeded { partial, .. }
+            | SimError::Cancelled { partial }
+            | SimError::Stalled { partial, .. } => *partial,
         }
     }
 
@@ -119,7 +159,18 @@ impl SimError {
     #[must_use]
     pub fn partial(&self) -> &SystemResult {
         match self {
-            SimError::DeadlineExceeded { partial, .. } | SimError::Cancelled { partial } => partial,
+            SimError::DeadlineExceeded { partial, .. }
+            | SimError::Cancelled { partial }
+            | SimError::Stalled { partial, .. } => partial,
+        }
+    }
+
+    /// The stall report, when this is a watchdog trip.
+    #[must_use]
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        match self {
+            SimError::Stalled { report, .. } => Some(report),
+            _ => None,
         }
     }
 }
@@ -136,6 +187,7 @@ impl core::fmt::Display for SimError {
             SimError::Cancelled { partial } => {
                 write!(f, "cancelled after {} cycles", partial.cycles)
             }
+            SimError::Stalled { report, .. } => write!(f, "{}", report.summary()),
         }
     }
 }

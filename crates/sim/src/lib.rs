@@ -30,9 +30,10 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod speed;
+pub mod stall;
 pub mod system;
 
-pub use error::{Budget, DeadlineReason, SimError};
+pub use error::{Budget, DeadlineReason, SimError, DEFAULT_WATCHDOG_CYCLES};
 pub use experiment::{
     geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
 };
@@ -40,4 +41,5 @@ pub use runner::{
     jobs_from_env, parallel_map, run_batch, run_batch_budgeted, BatchResults, JobTiming,
 };
 pub use speed::{MicroBench, SchemeSpeed, SpeedReport};
+pub use stall::StallReport;
 pub use system::{System, SystemResult};

@@ -1,0 +1,191 @@
+//! The liveness watchdog's forensic output: a [`StallReport`]
+//! aggregating every core's [`CoreStallInfo`] at the moment forward
+//! progress stopped.
+//!
+//! The report is plain data with a stable binary encoding
+//! ([`StallReport::save_snap`]) so `recon serve` can persist it inside
+//! a failed job's `.res` record and explain an orphaned job's death
+//! after a restart without re-running the job.
+
+use core::fmt;
+
+use recon_cpu::CoreStallInfo;
+use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+
+/// Why a budgeted run was declared stalled, per core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StallReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Watchdog window: cycles without a commit on any core.
+    pub window: u64,
+    /// Per-core forensics.
+    pub cores: Vec<CoreStallInfo>,
+}
+
+impl StallReport {
+    /// One-line summary naming the first stuck core's head instruction —
+    /// the string error paths (`Display for SimError`) surface.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let culprit = self
+            .cores
+            .iter()
+            .find(|c| !c.halted)
+            .or_else(|| self.cores.first());
+        match culprit.and_then(|c| c.head.as_ref().map(|h| (c, h))) {
+            Some((c, h)) => format!(
+                "liveness stall: no commit on any core for {} cycles (at cycle {}); \
+                 core {} head `{}` — {}",
+                self.window, self.cycle, c.core, h.inst, h.wait
+            ),
+            None => format!(
+                "liveness stall: no commit on any core for {} cycles (at cycle {})",
+                self.window, self.cycle
+            ),
+        }
+    }
+
+    /// Serializes the report (a `SRP1`-tagged stream).
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.tag(b"SRP1");
+        w.u64(self.cycle);
+        w.u64(self.window);
+        w.u32(self.cores.len() as u32);
+        for c in &self.cores {
+            c.save_snap(w);
+        }
+    }
+
+    /// Serializes the report to a standalone byte vector.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.save_snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Reconstructs a report from [`StallReport::save_snap`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a truncated or corrupt stream.
+    pub fn load_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.expect_tag(b"SRP1")?;
+        let cycle = r.u64()?;
+        let window = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut cores = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            cores.push(CoreStallInfo::load_snap(r)?);
+        }
+        Ok(StallReport {
+            cycle,
+            window,
+            cores,
+        })
+    }
+
+    /// Reconstructs a report from a standalone byte vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`StallReport::load_snap`], plus trailing-bytes detection.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let report = Self::load_snap(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapError {
+                what: "trailing bytes after stall report".to_string(),
+                offset: r.offset(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "LIVENESS STALL at cycle {}: no instruction committed on any core \
+             for {} cycles",
+            self.cycle, self.window
+        )?;
+        for c in &self.cores {
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_cpu::{HeadForensics, QueueOcc};
+
+    fn sample() -> StallReport {
+        StallReport {
+            cycle: 123_456,
+            window: 10_000,
+            cores: vec![CoreStallInfo {
+                core: 0,
+                committed: 17,
+                halted: false,
+                out_of_fuel: false,
+                fetch_pc: 5,
+                queues: vec![QueueOcc {
+                    name: "sq".into(),
+                    len: 1,
+                    cap: 8,
+                }],
+                shadows: 1,
+                guards_active: 0,
+                head: Some(HeadForensics {
+                    seq: 3,
+                    pc: 2,
+                    inst: "amoadd r3, [r1+0x0], r2".into(),
+                    status: "waiting-issue".into(),
+                    wait: "amo at head blocked on 1 younger store(s)".into(),
+                    addr: Some(0x4000),
+                    speculative: false,
+                    delayed_by_scheme: false,
+                    guarded_operands: vec![],
+                    l1_state: None,
+                    l2_state: None,
+                    dir_state: Some("Owned".into()),
+                    word_revealed: Some(false),
+                    lpt_entry: None,
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let report = sample();
+        let back = StallReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn summary_names_the_culprit() {
+        let s = sample().summary();
+        assert!(s.contains("amoadd"), "{s}");
+        assert!(s.contains("10000 cycles"), "{s}");
+    }
+
+    #[test]
+    fn display_is_multiline_forensics() {
+        let text = sample().to_string();
+        assert!(text.contains("LIVENESS STALL"), "{text}");
+        assert!(text.contains("wait reason"), "{text}");
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(StallReport::from_bytes(&bytes).is_err());
+    }
+}

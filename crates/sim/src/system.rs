@@ -13,6 +13,7 @@ use recon_workloads::Workload;
 use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::error::{Budget, DeadlineReason, SimError, CANCEL_CHECK_INTERVAL};
+use crate::stall::StallReport;
 
 /// Upper bound on the cycles a checkpoint drain may take. With fetch
 /// paused every shadow resolves and the window empties within a few
@@ -309,6 +310,30 @@ impl System {
         self.cycle
     }
 
+    /// Total instructions committed across all cores — the liveness
+    /// watchdog's forward-progress signal.
+    #[must_use]
+    pub fn committed_total(&self) -> u64 {
+        self.cores.iter().map(Core::committed).sum()
+    }
+
+    /// Collects a forensic [`StallReport`] for the current state:
+    /// every core's queue occupancies, scheme state, and ROB-head wait
+    /// reason (with MESI/directory/LPT context from the shared memory
+    /// system).
+    #[must_use]
+    pub fn stall_report(&self, window: u64) -> StallReport {
+        StallReport {
+            cycle: self.cycle,
+            window,
+            cores: self
+                .cores
+                .iter()
+                .map(|core| core.stall_info(&self.mem))
+                .collect(),
+        }
+    }
+
     /// Instructions executed functionally by [`System::fast_forward`]
     /// so far (zero for a purely detailed run).
     #[must_use]
@@ -559,6 +584,14 @@ impl System {
         }
         let cadence = budget.checkpoint_every_cycles.map(|c| c.max(1));
         let mut next_ckpt = cadence.map(|c| self.cycle.saturating_add(c));
+        // Liveness watchdog: track total committed instructions across
+        // cores; a full window without any commit means the pipelines
+        // are deadlocked, and the run stops with a forensic report
+        // instead of silently burning its fuel/cycle budget.
+        let watchdog = budget.effective_watchdog();
+        let mut wd_last_total = self.committed_total();
+        let mut wd_last_progress = self.cycle;
+        let mut stalled = false;
         let mut cancelled = false;
         loop {
             if !self.tick() {
@@ -571,6 +604,20 @@ impl System {
                 cancelled = true;
                 break;
             }
+            if let Some(window) = watchdog {
+                let total = self.committed_total();
+                if total != wd_last_total {
+                    wd_last_total = total;
+                    wd_last_progress = self.cycle;
+                } else if self.cycle.wrapping_sub(wd_last_progress) >= window
+                    && !self.cores.iter().any(Core::out_of_fuel)
+                {
+                    // A core frozen out-of-fuel is a deadline, not a
+                    // stall; let the fuel path report it.
+                    stalled = true;
+                    break;
+                }
+            }
             if let (Some(at), Some(c)) = (next_ckpt, cadence) {
                 if self.cycle >= at {
                     if self.drain(DRAIN_BOUND_CYCLES) {
@@ -581,6 +628,11 @@ impl System {
                     // uninterrupted run and a resumed run (which starts
                     // at a post-drain cycle) hit the same boundaries.
                     next_ckpt = Some(self.cycle.saturating_add(c));
+                    // A drain legitimately pauses commit (and a failed
+                    // drain burns its bound without progress): re-arm
+                    // the watchdog from the post-drain cycle.
+                    wd_last_total = self.committed_total();
+                    wd_last_progress = self.cycle;
                 }
             }
         }
@@ -594,6 +646,13 @@ impl System {
         if cancelled {
             return Err(SimError::Cancelled {
                 partial: Box::new(result),
+            });
+        }
+        if stalled {
+            let report = self.stall_report(watchdog.unwrap_or(0));
+            return Err(SimError::Stalled {
+                partial: Box::new(result),
+                report: Box::new(report),
             });
         }
         if completed {

@@ -157,6 +157,9 @@ fn flooded_one_slot_queue_backpressures_with_429() {
     assert_eq!(counter("recon_jobs_rejected_total"), total_rejections);
     assert_eq!(counter("recon_jobs_completed_total"), specs.len() as u64);
     assert_eq!(counter("recon_jobs_failed_total"), 0);
+    // The liveness watchdog is armed on every served run; no legal
+    // workload deadlocks, so the stall counter exists and reads zero.
+    assert_eq!(counter("recon_stalls_detected_total"), 0);
     assert_eq!(counter("recon_queue_capacity"), 1);
     assert!(metrics
         .body
