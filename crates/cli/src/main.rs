@@ -6,11 +6,13 @@
 //! recon asm <file> [--dump] [--run SCHEME]  assemble a .asm program,
 //!           [--fast-forward N]       optionally run + self-check it
 //! recon run <suite> <bench> [scheme] run one benchmark (default: matrix)
-//!           [--checkpoint D] [--checkpoint-every CYC]
+//!           [--checkpoint D] [--checkpoint-every CYC] [--audit CYC]
 //! recon resume <file.rck>            continue a checkpointed run
 //! recon matrix <suite> <bench>       run all five scheme configurations
 //! recon suite <suite> [--jobs N]     five-way matrix on a whole suite
 //!             [--checkpoint D]       (crash-safe: re-running resumes)
+//! recon audit [--seed S] [--faults N] soft-error injection campaign ->
+//!             [--audit CYC] [--demo]  BENCH_audit.json detection latencies
 //! recon analyze <suite> <bench>      Clueless-style leakage report
 //! recon verify [--gadget G] [--scheme S] [--embedded]
 //!                                    two-trace security checker
@@ -312,12 +314,30 @@ fn wd_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<u64>, String> {
     }
 }
 
-/// Prints the full stall forensics before the generic failure line, so
-/// a deadlocked run explains itself (per-core ROB-head + wait reason)
-/// instead of dying with a bare error string.
+/// Prints the full stall or invariant-audit forensics before the
+/// generic failure line, so a deadlocked or corrupted run explains
+/// itself (per-core ROB-head + wait reason, or the violated-invariant
+/// list) instead of dying with a bare error string.
 fn print_stall_forensics(e: &SimError) {
-    if let SimError::Stalled { report, .. } = e {
-        eprintln!("{report}");
+    match e {
+        SimError::Stalled { report, .. } => eprintln!("{report}"),
+        SimError::InvariantViolated { report, .. } => eprintln!("{report}"),
+        _ => {}
+    }
+}
+
+/// Parses `--audit <cycles>` from already-split flag pairs: the
+/// invariant-auditor sweep cadence. Unset leaves the auditor off (runs
+/// are bit-identical either way — the sweep is pure observation).
+fn audit_from_pairs(pairs: &[(&str, &str)]) -> Result<Option<u64>, String> {
+    match pairs.iter().find(|(f, _)| *f == "--audit") {
+        None => Ok(None),
+        Some((_, v)) => v
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n >= 1)
+            .map(Some)
+            .ok_or_else(|| format!("--audit wants a positive cycle cadence, got '{v}'")),
     }
 }
 
@@ -357,6 +377,7 @@ fn run_meta(
     secure: SecureConfig,
     cadence: u64,
     ff: Option<u64>,
+    audit: Option<u64>,
 ) -> Vec<(String, String)> {
     let mut meta = vec![
         ("kind".to_string(), "run".to_string()),
@@ -369,6 +390,9 @@ fn run_meta(
     if let Some(ff) = ff {
         meta.push(("fast_forward".to_string(), ff.to_string()));
     }
+    if let Some(audit) = audit {
+        meta.push(("audit".to_string(), audit.to_string()));
+    }
     meta
 }
 
@@ -378,6 +402,7 @@ fn run_digest(
     secure: SecureConfig,
     cadence: u64,
     ff: Option<u64>,
+    audit: Option<u64>,
 ) -> u64 {
     let suite = suite.to_string().to_ascii_lowercase();
     let scheme = secure.to_string();
@@ -396,11 +421,19 @@ fn run_digest(
     if let Some(ff) = ff.as_deref() {
         parts.push(ff);
     }
+    // Audited runs likewise get their own records: an audit cadence can
+    // turn a completed run into an invariant-violation record, and the
+    // two must never share a digest.
+    let audit = audit.map(|n| format!("audit{n}"));
+    if let Some(audit) = audit.as_deref() {
+        parts.push(audit);
+    }
     ckpt::config_digest(&parts)
 }
 
 /// Runs one configured job under a checkpoint context and reports what
 /// the persistence layer did alongside the results.
+#[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     exp: &Experiment,
     suite: Suite,
@@ -409,12 +442,14 @@ fn run_checkpointed(
     ctx: &CkptContext,
     ff: Option<u64>,
     wd: Option<u64>,
+    audit: Option<u64>,
 ) -> ExitCode {
-    let digest = run_digest(suite, b.name, secure, ctx.cadence, ff);
-    let meta = run_meta(suite, b.name, secure, ctx.cadence, ff);
+    let digest = run_digest(suite, b.name, secure, ctx.cadence, ff, audit);
+    let meta = run_meta(suite, b.name, secure, ctx.cadence, ff, audit);
     let budget = Budget {
         fast_forward: ff,
         watchdog_cycles: wd,
+        audit_every_cycles: audit,
         ..Budget::default()
     };
     let (r, info) =
@@ -428,7 +463,7 @@ fn run_checkpointed(
     if info.result_cached {
         println!("result record found — returning the completed run");
     } else if info.stall_cached {
-        println!("stall record found — replaying the recorded deadlock diagnosis");
+        println!("failure record found — replaying the recorded diagnosis");
     } else if let Some(cycle) = info.resumed_from_cycle {
         println!("resumed from checkpoint at cycle {cycle}");
     }
@@ -465,19 +500,25 @@ fn cmd_run(suite_name: &str, bench: &str, scheme: &str, rest: &[&str]) -> ExitCo
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let (ctx, ff, wd) = match ckpt_from_pairs(&pairs)
-        .and_then(|c| Ok((c, ff_from_pairs(&pairs)?, wd_from_pairs(&pairs)?)))
-    {
+    let (ctx, ff, wd, audit) = match ckpt_from_pairs(&pairs).and_then(|c| {
+        Ok((
+            c,
+            ff_from_pairs(&pairs)?,
+            wd_from_pairs(&pairs)?,
+            audit_from_pairs(&pairs)?,
+        ))
+    }) {
         Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let exp = experiment_for(suite);
     match ctx {
-        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx, ff, wd),
+        Some(ctx) => run_checkpointed(&exp, suite, &b, secure, &ctx, ff, wd, audit),
         None => {
             let budget = Budget {
                 fast_forward: ff,
                 watchdog_cycles: wd,
+                audit_every_cycles: audit,
                 ..Budget::default()
             };
             let r = match exp.try_run(&b.workload, secure, &budget) {
@@ -544,6 +585,9 @@ fn cmd_resume(file: &str) -> ExitCode {
     // same digest; the warmup itself is never re-applied (the restored
     // system is past cycle 0).
     let ff = ck.meta("fast_forward").and_then(|v| v.parse::<u64>().ok());
+    // The audit cadence also rides in the meta: the resumed tail keeps
+    // sweeping (and the digest keeps matching the original run's).
+    let audit = ck.meta("audit").and_then(|v| v.parse::<u64>().ok());
     let dir = PathBuf::from(file)
         .parent()
         .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
@@ -552,7 +596,16 @@ fn cmd_resume(file: &str) -> ExitCode {
         cadence,
         keep: CKPT_KEEP,
     };
-    run_checkpointed(&experiment_for(suite), suite, &b, secure, &ctx, ff, None)
+    run_checkpointed(
+        &experiment_for(suite),
+        suite,
+        &b,
+        secure,
+        &ctx,
+        ff,
+        None,
+        audit,
+    )
 }
 
 fn cmd_matrix(suite_name: &str, bench: &str, jobs: usize) -> ExitCode {
@@ -596,15 +649,21 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let (ctx, ff, wd) = match ckpt_from_pairs(&pairs)
-        .and_then(|c| Ok((c, ff_from_pairs(&pairs)?, wd_from_pairs(&pairs)?)))
-    {
+    let (ctx, ff, wd, audit) = match ckpt_from_pairs(&pairs).and_then(|c| {
+        Ok((
+            c,
+            ff_from_pairs(&pairs)?,
+            wd_from_pairs(&pairs)?,
+            audit_from_pairs(&pairs)?,
+        ))
+    }) {
         Ok(x) => x,
         Err(e) => return fail(&e),
     };
     let budget = Budget {
         fast_forward: ff,
         watchdog_cycles: wd,
+        audit_every_cycles: audit,
         ..Budget::default()
     };
     let exp = experiment_for(suite);
@@ -716,10 +775,11 @@ fn cmd_suite(suite_name: &str, jobs: usize, rest: &[&str]) -> ExitCode {
 }
 
 /// `recon fuzz`: seeded differential torture campaign. Generates
-/// random-but-valid programs, runs each through the four oracles
+/// random-but-valid programs, runs each through the five oracles
 /// (functional equality, scheme invariance, snapshot identity,
-/// watchdog-clean termination), shrinks any failure to a minimal
-/// `.asm` repro, and exits non-zero if anything failed.
+/// watchdog-clean termination, invariant-audit cleanliness), shrinks
+/// any failure to a minimal `.asm` repro, and exits non-zero if
+/// anything failed.
 fn cmd_fuzz(rest: &[&str], jobs: usize) -> ExitCode {
     let mut cfg = recon_fuzz::FuzzConfig {
         jobs,
@@ -773,7 +833,7 @@ fn cmd_fuzz(rest: &[&str], jobs: usize) -> ExitCode {
         "fuzzing: seed {}, {} program(s), {} oracle(s){}",
         cfg.seed,
         cfg.count,
-        if cfg.quick { 3 } else { 4 },
+        if cfg.quick { 4 } else { 5 },
         if cfg.quick {
             " (quick: snapshot oracle off)"
         } else {
@@ -783,8 +843,16 @@ fn cmd_fuzz(rest: &[&str], jobs: usize) -> ExitCode {
     let report = recon_fuzz::run_fuzz(&cfg);
     for f in &report.failures {
         println!(
-            "FAILURE program {} [{}]: shrunk {} -> {} instructions",
-            f.index, f.kind, f.original_len, f.shrunk_len
+            "FAILURE program {} [{}]: shrunk {} -> {} instructions{}",
+            f.index,
+            f.kind,
+            f.original_len,
+            f.shrunk_len,
+            if f.shrink_timed_out {
+                " (shrink deadline hit; repro may not be minimal)"
+            } else {
+                ""
+            }
         );
         for line in f.detail.lines() {
             println!("  {line}");
@@ -812,6 +880,121 @@ fn cmd_fuzz(rest: &[&str], jobs: usize) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `recon audit`: the silent-corruption defense campaign. Injects
+/// seeded soft errors (SplitMix64 bit-flips) into reveal masks, MESI
+/// directory state, LPT entries, regfile values, and checkpoint bytes
+/// mid-run, with the invariant auditor sweeping at a configurable
+/// cadence, and proves every unmasked fault is detected — by the
+/// auditor, an architectural-digest mismatch, checkpoint rejection,
+/// the watchdog, or a contained crash. A silent corruption or a
+/// false positive on the fault-free control runs fails the command.
+fn cmd_audit(rest: &[&str]) -> ExitCode {
+    let mut cfg = recon_sim::CampaignConfig::default();
+    let mut out = "BENCH_audit.json".to_string();
+    let mut demo = false;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--quick" => {
+                cfg.faults = 25;
+                continue;
+            }
+            // One fault per site: the smallest campaign that still
+            // demonstrates an injected fault being caught (CI smoke).
+            "--demo" => {
+                demo = true;
+                cfg.faults = recon_sim::FaultSite::ALL.len();
+                continue;
+            }
+            _ => {}
+        }
+        let Some(&value) = it.next() else {
+            return fail(&format!("{flag} wants a value"));
+        };
+        match flag {
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return fail(&format!("--seed wants an integer, got '{value}'")),
+            },
+            "--faults" => match value.parse::<usize>().ok().filter(|&n| n >= 1) {
+                Some(n) => cfg.faults = n,
+                None => return fail(&format!("--faults wants a positive integer, got '{value}'")),
+            },
+            "--audit" => match value.parse::<u64>().ok().filter(|&n| n >= 1) {
+                Some(n) => cfg.audit_every = n,
+                None => {
+                    return fail(&format!(
+                        "--audit wants a positive cycle cadence, got '{value}'"
+                    ))
+                }
+            },
+            "--out" => out = value.to_string(),
+            _ => return fail(&format!("unknown audit flag '{flag}'")),
+        }
+    }
+    println!(
+        "audit campaign: seed {}, {} fault(s) across {} site(s), sweep every {} cycles",
+        cfg.seed,
+        cfg.faults,
+        recon_sim::FaultSite::ALL.len(),
+        cfg.audit_every
+    );
+    let report = recon_sim::run_campaign(&cfg);
+    let mut t = Table::new(&[
+        "site", "injected", "audit", "digest", "ckpt", "stall", "crash", "masked", "silent",
+        "mean lat", "max lat",
+    ]);
+    for (site, s) in &report.sites {
+        t.row(&[
+            site.name().into(),
+            s.injected.to_string(),
+            s.detected_audit.to_string(),
+            s.detected_digest.to_string(),
+            s.detected_ckpt_reject.to_string(),
+            s.detected_stall.to_string(),
+            s.detected_crash.to_string(),
+            s.masked.to_string(),
+            s.silent.to_string(),
+            format!("{:.0}", s.latency_mean()),
+            s.latency_max.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "injected {}: {} detected, {} masked (digest matches fault-free), {} silent | \
+         {} no-target skip(s), {} false positive(s)",
+        report.injected(),
+        report.detected(),
+        report.masked(),
+        report.silent(),
+        report.no_target,
+        report.false_positives
+    );
+    if !demo {
+        match std::fs::write(&out, report.to_json()) {
+            Ok(()) => println!("report written to {out}"),
+            Err(e) => eprintln!("warning: could not write {out}: {e}"),
+        }
+    }
+    if report.false_positives > 0 {
+        return fail(&format!(
+            "{} fault-free run(s) tripped the auditor (false positives)",
+            report.false_positives
+        ));
+    }
+    if report.silent() > 0 {
+        return fail(&format!(
+            "{} fault(s) corrupted the architectural result undetected",
+            report.silent()
+        ));
+    }
+    if demo && report.detected() == 0 {
+        return fail("demo campaign detected none of its injected faults");
+    }
+    println!("silent-corruption defense holds: every unmasked fault detected, 0 false positives");
+    ExitCode::SUCCESS
 }
 
 fn cmd_analyze(suite_name: &str, bench: &str) -> ExitCode {
@@ -1456,6 +1639,15 @@ fn cmd_bench_speed(args: &[&str]) -> ExitCode {
         ]);
     }
     print!("{}", t.render());
+    println!(
+        "audit sweep (every {} cycles, STT+ReCon): {} sweeps cost {:.4}s on a {:.3}s run = {:.2}% host overhead [{}]",
+        report.audit.audit_every,
+        report.audit.sweeps,
+        report.audit.sweep_seconds,
+        report.audit.run_seconds,
+        report.audit.overhead_fraction() * 100.0,
+        if report.audit.identical { "identical" } else { "DIVERGED" },
+    );
     println!("optimization isolation (baseline vs fast path):");
     for m in &report.micro {
         println!(
@@ -1479,6 +1671,9 @@ fn cmd_bench_speed(args: &[&str]) -> ExitCode {
     }
     if !report.all_identical() {
         return fail("a warm run's detailed region diverged from its snapshot/restore replica");
+    }
+    if !report.audit.identical {
+        return fail("the audit sweep perturbed the simulated run — it must be pure observation");
     }
     if let Some(min) = min_functional {
         let got = report.functional_over_detailed();
@@ -1512,6 +1707,8 @@ fn usage() -> ExitCode {
     eprintln!("                                     detailed timing");
     eprintln!("      [--watchdog-cycles N]          liveness watchdog window (default {DEFAULT_WATCHDOG_CYCLES};");
     eprintln!("                                     0 = off); stalls print full forensics");
+    eprintln!("      [--audit CYC]                  sweep the invariant auditor every CYC");
+    eprintln!("                                     cycles; violations print forensics");
     eprintln!("  resume <file.rck>                  continue a checkpointed run");
     eprintln!("  matrix <suite> <bench> [--jobs N]  run all five configurations");
     eprintln!("  suite <suite> [--jobs N]           five-way matrix on every benchmark,");
@@ -1521,11 +1718,16 @@ fn usage() -> ExitCode {
     eprintln!("                                     cached, killed jobs resume");
     eprintln!("      [--fast-forward N]             functional warmup per job");
     eprintln!("      [--watchdog-cycles N]          liveness watchdog window per job (0 = off)");
+    eprintln!("      [--audit CYC]                  invariant-audit sweep cadence per job");
     eprintln!("  fuzz [--seed S] [--count N] [--quick] [--jobs N]");
     eprintln!("       [--out-dir D] [--json P] [--watchdog-cycles N]");
     eprintln!("                                     seeded differential torture: random");
-    eprintln!("                                     programs x four oracles, failures");
+    eprintln!("                                     programs x five oracles, failures");
     eprintln!("                                     shrunk to minimal .asm repros");
+    eprintln!("  audit [--seed S] [--faults N] [--audit CYC] [--out P] [--quick] [--demo]");
+    eprintln!("                                     seeded soft-error injection campaign:");
+    eprintln!("                                     every unmasked fault must be detected");
+    eprintln!("                                     -> BENCH_audit.json (--demo: CI smoke)");
     eprintln!("  analyze <suite> <bench>            leakage (DIFT vs load pairs)");
     eprintln!("  verify [--gadget G] [--scheme S]   two-trace security checker");
     eprintln!("         [--fast-forward N]          (gadget x scheme verdict matrix;");
@@ -1588,6 +1790,7 @@ fn main() -> ExitCode {
         ["resume", file] => cmd_resume(file),
         ["suite", suite, rest @ ..] => cmd_suite(suite, jobs, rest),
         ["fuzz", rest @ ..] => cmd_fuzz(rest, jobs),
+        ["audit", rest @ ..] => cmd_audit(rest),
         ["analyze", suite, bench] => cmd_analyze(suite, bench),
         ["verify", rest @ ..] => cmd_verify(rest, jobs),
         ["overhead"] => cmd_overhead(),

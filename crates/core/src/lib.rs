@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod lpt;
 pub mod mask;
 pub mod overhead;
 pub mod policy;
 
+pub use audit::AuditViolation;
 pub use lpt::{LoadPairTable, LptStats};
 pub use mask::{
     line_of, word_index, MaskArray, RevealMask, LINE_BYTES, MASKS_PER_WORD, WORDS_PER_LINE,

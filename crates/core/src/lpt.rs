@@ -249,6 +249,83 @@ impl LoadPairTable {
         }
     }
 
+    /// Invariant sweep: every *active* entry must be internally
+    /// consistent — its tag must map to the slot it sits in
+    /// (`tag % entries == slot`, the only way [`LoadPairTable::lookup`]
+    /// can ever find it), the tag must name a real physical register,
+    /// and the stored address must be word-aligned (commit masks all
+    /// load addresses with `& !7` before installing).
+    ///
+    /// Violations are appended to `out` with `site` as the location
+    /// label. A clean table appends nothing.
+    pub fn audit(&self, site: &str, num_pregs: usize, out: &mut Vec<crate::AuditViolation>) {
+        for (slot, e) in self.entries.iter().enumerate() {
+            if !e.active {
+                continue;
+            }
+            if e.tag as usize % self.entries.len() != slot {
+                out.push(crate::AuditViolation::new(
+                    "lpt-slot-map",
+                    format!("{site}.lpt"),
+                    format!(
+                        "slot {slot}: tag p{} maps to slot {} ({} entries)",
+                        e.tag,
+                        e.tag as usize % self.entries.len(),
+                        self.entries.len()
+                    ),
+                ));
+            }
+            if e.tag as usize >= num_pregs {
+                out.push(crate::AuditViolation::new(
+                    "lpt-tag-range",
+                    format!("{site}.lpt"),
+                    format!(
+                        "slot {slot}: tag p{} >= {num_pregs} physical registers",
+                        e.tag
+                    ),
+                ));
+            }
+            if e.addr % crate::WORD_BYTES != 0 {
+                out.push(crate::AuditViolation::new(
+                    "lpt-addr-aligned",
+                    format!("{site}.lpt"),
+                    format!("slot {slot}: address {:#x} is not word-aligned", e.addr),
+                ));
+            }
+        }
+    }
+
+    /// Soft-error injection hook: flips one deterministic-random bit in
+    /// one entry (address bit, tag bit, or the active bit). Returns a
+    /// description of the flip, or `None` for an empty table.
+    ///
+    /// Only the fault-injection campaign calls this; normal operation
+    /// never mutates an entry outside commit.
+    pub fn inject_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = rng.next_u64() as usize % self.entries.len();
+        let e = &mut self.entries[slot];
+        match rng.next_u64() % 3 {
+            0 => {
+                let bit = rng.next_u64() % 64;
+                e.addr ^= 1u64 << bit;
+                Some(format!("lpt slot {slot}: addr bit {bit} flipped"))
+            }
+            1 => {
+                let bit = rng.next_u64() % 32;
+                e.tag ^= 1u32 << bit;
+                Some(format!("lpt slot {slot}: tag bit {bit} flipped"))
+            }
+            _ => {
+                e.active = !e.active;
+                Some(format!("lpt slot {slot}: active bit flipped"))
+            }
+        }
+    }
+
     /// Serializes the table (entries in index order plus stats).
     pub fn save_snap(&self, w: &mut SnapWriter) {
         w.tag(b"LPT1");

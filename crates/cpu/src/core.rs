@@ -478,6 +478,171 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
+    // Invariant audit + soft-error injection
+    // ------------------------------------------------------------------
+
+    /// Sweeps every in-core structure for invariant violations.
+    ///
+    /// Every check here holds by construction during an uncorrupted run
+    /// (see [`recon::audit`]): the ROB window is contiguous and bounded,
+    /// the side queues (IQ/LQ/SQ) and shadow tracker reference only live
+    /// ROB entries, guard roots never point past the sequence counter,
+    /// the LPT maps tags to their home slots, and the rename structures
+    /// partition the physical registers exactly. A non-empty result
+    /// means the core's state was damaged from outside the model.
+    #[must_use]
+    pub fn audit(&self) -> Vec<recon::AuditViolation> {
+        let mut out = Vec::new();
+        let site = format!("core{}", self.id);
+        let next_seq = self.rob.next_seq();
+
+        // ROB: bounded, seq-contiguous, consistent with the counter.
+        if self.rob.len() > self.rob.capacity() {
+            out.push(recon::AuditViolation::new(
+                "rob-overflow",
+                format!("{site}.rob"),
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.rob.len(),
+                    self.rob.capacity()
+                ),
+            ));
+        }
+        let mut prev: Option<Seq> = None;
+        for e in self.rob.iter() {
+            if let Some(p) = prev {
+                if e.seq != p + 1 {
+                    out.push(recon::AuditViolation::new(
+                        "rob-seq-contiguous",
+                        format!("{site}.rob"),
+                        format!("seq {} follows {p}, expected {}", e.seq, p + 1),
+                    ));
+                }
+            }
+            prev = Some(e.seq);
+        }
+        if let Some(young) = prev {
+            if young + 1 != next_seq {
+                out.push(recon::AuditViolation::new(
+                    "rob-next-seq",
+                    format!("{site}.rob"),
+                    format!("youngest seq {young} but next_seq {next_seq}"),
+                ));
+            }
+        }
+
+        // Side queues: members must be live ROB entries, age-ordered.
+        for &seq in &self.iq {
+            if self.rob.get(seq).is_none() {
+                out.push(recon::AuditViolation::new(
+                    "iq-seq-live",
+                    format!("{site}.iq"),
+                    format!("IQ holds seq {seq} with no live ROB entry"),
+                ));
+            }
+        }
+        let mut prev: Option<Seq> = None;
+        for e in self.lq.iter() {
+            if self.rob.get(e.seq).is_none() {
+                out.push(recon::AuditViolation::new(
+                    "lq-seq-live",
+                    format!("{site}.lq"),
+                    format!("LQ holds seq {} with no live ROB entry", e.seq),
+                ));
+            }
+            if let Some(p) = prev {
+                if e.seq <= p {
+                    out.push(recon::AuditViolation::new(
+                        "lq-age-order",
+                        format!("{site}.lq"),
+                        format!("seq {} not older than successor {p}", e.seq),
+                    ));
+                }
+            }
+            prev = Some(e.seq);
+        }
+        let mut prev: Option<Seq> = None;
+        for e in self.sq.iter() {
+            if self.rob.get(e.seq).is_none() {
+                out.push(recon::AuditViolation::new(
+                    "sq-seq-live",
+                    format!("{site}.sq"),
+                    format!("SQ holds seq {} with no live ROB entry", e.seq),
+                ));
+            }
+            if let Some(p) = prev {
+                if e.seq <= p {
+                    out.push(recon::AuditViolation::new(
+                        "sq-age-order",
+                        format!("{site}.sq"),
+                        format!("seq {} not older than successor {p}", e.seq),
+                    ));
+                }
+            }
+            prev = Some(e.seq);
+        }
+
+        // Shadows: every unresolved caster is still in flight.
+        for s in self.shadows.iter() {
+            if self.rob.get(s).is_none() {
+                out.push(recon::AuditViolation::new(
+                    "shadow-seq-live",
+                    format!("{site}.shadows"),
+                    format!("unresolved shadow caster seq {s} not in ROB"),
+                ));
+            }
+        }
+
+        // Guards: roots derive from dispatched loads, so they never
+        // exceed the sequence counter; an *active* root is a load that
+        // cannot yet have committed (an older shadow is unresolved), so
+        // it must occupy a live ROB slot.
+        let frontier = self.shadows.frontier();
+        for (preg, root) in self.guards.iter() {
+            if root >= next_seq {
+                out.push(recon::AuditViolation::new(
+                    "guard-root-future",
+                    format!("{site}.guards"),
+                    format!("p{preg} guarded by root {root} >= next_seq {next_seq}"),
+                ));
+            } else if frontier < root && self.rob.get(root).is_none() {
+                out.push(recon::AuditViolation::new(
+                    "guard-active-dead-root",
+                    format!("{site}.guards"),
+                    format!("p{preg}'s active root {root} not in ROB window"),
+                ));
+            }
+        }
+
+        // LPT slot mapping and rename partition.
+        self.lpt.audit(&site, self.rename.num_pregs(), &mut out);
+        self.rename.audit(
+            &site,
+            self.rob.iter().filter_map(|e| e.dst.map(|d| d.old)),
+            &mut out,
+        );
+        out
+    }
+
+    /// Soft-error injection: flips one bit of a random LPT entry.
+    /// Returns a description of the site, or `None` if the table holds
+    /// no target.
+    pub fn inject_lpt_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        self.lpt
+            .inject_flip(rng)
+            .map(|d| format!("core{}.lpt: {d}", self.id))
+    }
+
+    /// Soft-error injection: flips one bit of a live physical-register
+    /// value. Returns a description of the site, or `None` if the
+    /// chosen register cannot carry a visible fault.
+    pub fn inject_reg_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        self.rename
+            .inject_flip(rng)
+            .map(|d| format!("core{}.rename: {d}", self.id))
+    }
+
+    // ------------------------------------------------------------------
     // Checkpointing
     // ------------------------------------------------------------------
 

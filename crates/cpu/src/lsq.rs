@@ -331,6 +331,11 @@ impl LoadQueue {
         }
     }
 
+    /// Iterates entries oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &LqEntry> {
+        self.entries.iter()
+    }
+
     /// Memory-order violation check when store `store_seq` resolves its
     /// address: returns the oldest younger load that already executed on
     /// the same word without forwarding from this store (§4.5.2).

@@ -136,6 +136,72 @@ impl Rename {
         }
     }
 
+    /// Audits the rename partition invariant: the map table, the free
+    /// list, and the in-flight *old* mappings held in the ROB
+    /// (`inflight_olds`) must together hold every physical register
+    /// exactly once, and every index must be in range. A flipped map or
+    /// free-list entry breaks this immediately.
+    pub fn audit(
+        &self,
+        site: &str,
+        inflight_olds: impl IntoIterator<Item = PReg>,
+        out: &mut Vec<recon::AuditViolation>,
+    ) {
+        let n = self.num_pregs();
+        let mut seen = vec![0u32; n];
+        let mut count = |preg: PReg, whence: &str, out: &mut Vec<recon::AuditViolation>| {
+            if (preg as usize) < n {
+                seen[preg as usize] += 1;
+            } else {
+                out.push(recon::AuditViolation::new(
+                    "rename-preg-range",
+                    format!("{site}.rename"),
+                    format!("{whence} holds p{preg}, but only {n} pregs exist"),
+                ));
+            }
+        };
+        for (a, &p) in self.map.iter().enumerate() {
+            count(p, &format!("map[r{a}]"), out);
+        }
+        for &p in &self.free {
+            count(p, "free list", out);
+        }
+        for p in inflight_olds {
+            count(p, "in-flight old mapping", out);
+        }
+        for (p, &c) in seen.iter().enumerate() {
+            if c != 1 {
+                out.push(recon::AuditViolation::new(
+                    if c == 0 {
+                        "rename-preg-leaked"
+                    } else {
+                        "rename-preg-dup"
+                    },
+                    format!("{site}.rename"),
+                    format!("p{p} held by {c} owners (map ∪ free ∪ in-flight olds), expected 1"),
+                ));
+            }
+        }
+    }
+
+    /// Injects a single-bit soft error into the value of a physical
+    /// register currently mapped by an architectural register (the live
+    /// architectural state). Readiness is left untouched: this models a
+    /// silent PRF bit-flip, not a scheduling event. Returns a
+    /// description of the flipped site, or `None` when the chosen
+    /// register cannot carry a visible fault (the `r0` mapping).
+    pub fn inject_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        let arch = 1 + (rng.next_u64() as usize % (NUM_ARCH_REGS - 1));
+        let preg = self.map[arch] as usize;
+        let bit = rng.next_u64() % 64;
+        if preg == 0 {
+            return None; // p0 reads as zero: the flip would be invisible
+        }
+        self.values[preg] ^= 1 << bit;
+        Some(format!("r{arch}=p{preg} value bit {bit}"))
+    }
+
     /// Serializes the map table, the free list **in order** (allocation
     /// order determines future renames, so it is architectural state for
     /// replay purposes), and the physical register file.

@@ -111,6 +111,12 @@ impl Rob {
         self.entries.len()
     }
 
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the window is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {

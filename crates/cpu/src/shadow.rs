@@ -74,6 +74,11 @@ impl ShadowTracker {
         self.frontier() < seq
     }
 
+    /// Iterates unresolved casters in ascending sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = Seq> + '_ {
+        self.unresolved.iter().copied()
+    }
+
     /// Number of unresolved shadows (for stats).
     #[must_use]
     pub fn len(&self) -> usize {

@@ -2,7 +2,7 @@
 //!
 //! A seeded differential torture harness for the ReCon reproduction:
 //! generates random-but-valid programs over the full ISA ([`gen`]),
-//! runs four oracles per program ([`oracle`]), and shrinks any failure
+//! runs five oracles per program ([`oracle`]), and shrinks any failure
 //! to a minimal `.asm` repro ([`mod@shrink`]).
 //!
 //! Everything is deterministic per seed: the same `(seed, count)` pair
@@ -39,7 +39,7 @@ use recon_isa::Program;
 
 pub use gen::{generate, GenParams};
 pub use oracle::{check, Failure, OracleConfig};
-pub use shrink::shrink;
+pub use shrink::{shrink, SHRINK_PHASE_DEADLINE};
 
 /// Locks a mutex, ignoring poisoning: the guarded state (a result
 /// vector of plain data) stays valid even if another worker panicked
@@ -98,6 +98,9 @@ pub struct FuzzFailure {
     pub original_len: usize,
     /// Static instructions after shrinking.
     pub shrunk_len: usize,
+    /// Whether the shrinker hit a per-phase wall-clock deadline; the
+    /// repro is still valid, just possibly not minimal.
+    pub shrink_timed_out: bool,
     /// The shrunk program.
     pub program: Program,
     /// Where the `.asm` repro was written, if an out dir was set.
@@ -128,10 +131,12 @@ impl FuzzReport {
         let _ = write!(
             s,
             "{{\n  \"seed\": {},\n  \"programs\": {},\n  \"failures\": {},\n  \
+             \"shrink_timed_out\": {},\n  \
              \"elapsed_secs\": {:.3},\n  \"programs_per_sec\": {:.1},\n  \"failure_kinds\": [",
             self.seed,
             self.count,
             self.failures.len(),
+            self.failures.iter().filter(|f| f.shrink_timed_out).count(),
             self.elapsed_secs,
             self.programs_per_sec
         );
@@ -191,20 +196,21 @@ fn check_one(cfg: &FuzzConfig, index: usize) -> Option<FuzzFailure> {
     let program = gen::generate(&mut rng, &cfg.gen);
     let failure = check(&program, &cfg.oracle).err()?;
     let original_len = program.code.len();
-    let (shrunk, final_failure) = shrink(&program, &failure, &cfg.oracle);
+    let (shrunk, final_failure, shrink_timed_out) = shrink(&program, &failure, &cfg.oracle);
     Some(FuzzFailure {
         index,
         kind: final_failure.kind().to_string(),
         detail: final_failure.detail(),
         original_len,
         shrunk_len: shrunk.code.len(),
+        shrink_timed_out,
         program: shrunk,
         repro_path: None,
     })
 }
 
 /// Runs a fuzz campaign: `count` programs from `seed`, each through all
-/// four oracles, with failures shrunk and (optionally) written as
+/// five oracles, with failures shrunk and (optionally) written as
 /// `.asm` repros.
 #[must_use]
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
@@ -311,6 +317,7 @@ mod tests {
             detail: "synthetic".into(),
             original_len: program.code.len(),
             shrunk_len: program.code.len(),
+            shrink_timed_out: false,
             program,
             repro_path: None,
         };
@@ -331,5 +338,6 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"programs\": 10"));
         assert!(json.contains("\"failures\": 0"));
+        assert!(json.contains("\"shrink_timed_out\": 0"));
     }
 }

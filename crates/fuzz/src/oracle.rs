@@ -1,4 +1,4 @@
-//! The four differential oracles `recon fuzz` runs per program.
+//! The five differential oracles `recon fuzz` runs per program.
 //!
 //! 1. **Functional vs detailed** — the detailed out-of-order simulator
 //!    (baseline scheme) must produce the same architectural registers
@@ -11,6 +11,10 @@
 //!    must finish with a result equal to the uninterrupted run's.
 //! 4. **Watchdog-clean** — no detailed run may trip the liveness
 //!    watchdog or exhaust its cycle budget.
+//! 5. **Audit-clean** — every detailed run executes under the invariant
+//!    auditor ([`recon_sim::audit`]); a sweep that finds the model's
+//!    internal state inconsistent is a simulator bug, fuzzed for
+//!    directly.
 
 use recon::ReconConfig;
 use recon_asm::corpus::{DIGEST_ADDR, STATUS_ADDR};
@@ -61,6 +65,14 @@ pub enum Failure {
         /// Scheme the deadline occurred under.
         scheme: String,
     },
+    /// Oracle 5: an invariant-audit sweep found the simulator's
+    /// internal state inconsistent mid-run.
+    AuditViolation {
+        /// Scheme the violation occurred under.
+        scheme: String,
+        /// The audit report's one-line summary.
+        summary: String,
+    },
 }
 
 impl Failure {
@@ -75,6 +87,7 @@ impl Failure {
             Failure::SnapshotMismatch(_) => "snapshot-mismatch",
             Failure::Stalled { .. } => "stall",
             Failure::Deadline { .. } => "deadline",
+            Failure::AuditViolation { .. } => "audit-violation",
         }
     }
 
@@ -88,6 +101,7 @@ impl Failure {
             Failure::SchemeDivergence { scheme, detail } => format!("[{scheme}] {detail}"),
             Failure::Stalled { scheme, summary } => format!("[{scheme}] {summary}"),
             Failure::Deadline { scheme } => format!("[{scheme}] cycle budget exhausted"),
+            Failure::AuditViolation { scheme, summary } => format!("[{scheme}] {summary}"),
         }
     }
 }
@@ -105,6 +119,9 @@ pub struct OracleConfig {
     pub snapshot_cadence: u64,
     /// Skip the (slower) snapshot/restore oracle.
     pub skip_snapshot: bool,
+    /// Invariant-audit cadence for every detailed run (oracle 5).
+    /// Generated programs are short, so a tight cadence is cheap.
+    pub audit_every_cycles: u64,
 }
 
 impl Default for OracleConfig {
@@ -114,6 +131,7 @@ impl Default for OracleConfig {
             watchdog_cycles: 20_000,
             snapshot_cadence: 400,
             skip_snapshot: false,
+            audit_every_cycles: 2_048,
         }
     }
 }
@@ -193,6 +211,7 @@ fn make_system(program: &Program, cfg: &OracleConfig, secure: SecureConfig) -> S
 fn detailed_budget(cfg: &OracleConfig) -> Budget {
     Budget {
         watchdog_cycles: Some(cfg.watchdog_cycles),
+        audit_every_cycles: Some(cfg.audit_every_cycles),
         ..Budget::default()
     }
 }
@@ -207,6 +226,10 @@ fn run_detailed(
     match sys.run_budgeted(MAX_DETAILED_CYCLES, &detailed_budget(cfg)) {
         Ok(_) => Ok(observe_system(&sys)),
         Err(SimError::Stalled { report, .. }) => Err(Failure::Stalled {
+            scheme: label,
+            summary: report.summary(),
+        }),
+        Err(SimError::InvariantViolated { report, .. }) => Err(Failure::AuditViolation {
             scheme: label,
             summary: report.summary(),
         }),
@@ -226,7 +249,7 @@ pub fn all_schemes() -> [SecureConfig; 5] {
     ]
 }
 
-/// Runs all four oracles over one program. `Ok(())` means every oracle
+/// Runs all five oracles over one program. `Ok(())` means every oracle
 /// held; the first violated oracle is returned as a [`Failure`].
 ///
 /// # Errors

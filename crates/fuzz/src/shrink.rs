@@ -13,6 +13,8 @@
 //! Every accepted candidate is validated first, so the shrinker can
 //! never escalate an oracle failure into a malformed program.
 
+use std::time::{Duration, Instant};
+
 use recon_isa::{Inst, Program};
 
 use crate::oracle::{check, Failure, OracleConfig};
@@ -21,15 +23,33 @@ use crate::oracle::{check, Failure, OracleConfig};
 /// reproducer cannot stall the fuzz loop indefinitely.
 const MAX_ATTEMPTS: usize = 400;
 
+/// Wall-clock budget per shrink *phase*. Attempt counting alone is a
+/// poor bound — a pathological reproducer can burn seconds per oracle
+/// evaluation — so each phase also carries a deadline; crossing it
+/// abandons the remaining candidates of that phase and marks the
+/// result as timed out.
+pub const SHRINK_PHASE_DEADLINE: Duration = Duration::from_secs(10);
+
 struct Shrinker<'a> {
     cfg: &'a OracleConfig,
     kind: &'static str,
     attempts: usize,
+    deadline: Instant,
+    timed_out: bool,
 }
 
 impl Shrinker<'_> {
+    /// Arms the wall-clock deadline for the next phase.
+    fn start_phase(&mut self) {
+        self.deadline = Instant::now() + SHRINK_PHASE_DEADLINE;
+    }
+
     /// Whether `candidate` is valid and still fails in the same class.
     fn reproduces(&mut self, candidate: &Program) -> bool {
+        if Instant::now() >= self.deadline {
+            self.timed_out = true;
+            return false;
+        }
         if self.attempts >= MAX_ATTEMPTS || candidate.validate().is_err() {
             return false;
         }
@@ -91,18 +111,28 @@ fn compact(program: &Program) -> Program {
 }
 
 /// Shrinks `program` (which fails `check` with `failure`) to a smaller
-/// program failing in the same class. Returns the reduced program and
-/// the failure it still produces.
+/// program failing in the same class. Returns the reduced program, the
+/// failure it still produces, and whether any phase hit its wall-clock
+/// deadline ([`SHRINK_PHASE_DEADLINE`]) before exhausting its
+/// candidates — a timed-out shrink is still a valid repro, just
+/// possibly not minimal.
 #[must_use]
-pub fn shrink(program: &Program, failure: &Failure, cfg: &OracleConfig) -> (Program, Failure) {
+pub fn shrink(
+    program: &Program,
+    failure: &Failure,
+    cfg: &OracleConfig,
+) -> (Program, Failure, bool) {
     let mut s = Shrinker {
         cfg,
         kind: failure.kind(),
         attempts: 0,
+        deadline: Instant::now(),
+        timed_out: false,
     };
     let mut best = program.clone();
 
     // Phase 1: prefix truncation, binary search on the cut length.
+    s.start_phase();
     let mut lo = 0usize; // longest length known NOT to reproduce
     let mut hi = best.code.len(); // length known to reproduce (full program)
     while hi - lo > 1 {
@@ -119,6 +149,7 @@ pub fn shrink(program: &Program, failure: &Failure, cfg: &OracleConfig) -> (Prog
     }
 
     // Phase 2: nop-out to a fixed point.
+    s.start_phase();
     loop {
         let mut changed = false;
         for i in 0..best.code.len() {
@@ -139,6 +170,7 @@ pub fn shrink(program: &Program, failure: &Failure, cfg: &OracleConfig) -> (Prog
 
     // Phase 3: drop the nops (keep the compacted form only if it still
     // reproduces — target remapping around deleted code is delicate).
+    s.start_phase();
     let compacted = compact(&best);
     if compacted.code.len() < best.code.len() && s.reproduces(&compacted) {
         best = compacted;
@@ -148,7 +180,7 @@ pub fn shrink(program: &Program, failure: &Failure, cfg: &OracleConfig) -> (Prog
         Err(f) => f,
         Ok(()) => failure.clone(), // unreachable: every accepted step reproduced
     };
-    (best, final_failure)
+    (best, final_failure, s.timed_out)
 }
 
 #[cfg(test)]
@@ -207,8 +239,12 @@ mod tests {
         }
         let (p, f) = found.expect("some seed must trip the AMO gate");
         let before = p.code.len();
-        let (small, sf) = shrink(&p, &f, &cfg);
+        let (small, sf, timed_out) = shrink(&p, &f, &cfg);
         assert_eq!(sf.kind(), "stall");
+        assert!(
+            !timed_out,
+            "tiny repro must shrink well within the deadline"
+        );
         assert!(
             small.code.len() <= 12,
             "shrunk to {} instructions (from {before})",

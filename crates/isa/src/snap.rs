@@ -68,6 +68,14 @@ impl SnapWriter {
         self.buf.is_empty()
     }
 
+    /// The bytes written so far, without consuming the writer — used by
+    /// writers that seal sections with a checksum over what they just
+    /// emitted.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);

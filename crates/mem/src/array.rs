@@ -253,6 +253,122 @@ impl CacheArray {
         })
     }
 
+    /// Invariant sweep over this array's internal bookkeeping:
+    ///
+    /// * an **invalid** slot's packed reveal mask must be fully
+    ///   concealed ([`CacheArray::invalidate`] conceals eagerly, and
+    ///   [`CacheArray::revealed_words`] depends on it);
+    /// * a **valid** way must be in a readable MESI state — `Invalid`
+    ///   metadata under a set valid bit is a contradiction
+    ///   ([`CacheArray::fill`] asserts readability on entry);
+    /// * no set may hold two valid ways with the same tag (lookups
+    ///   would resolve nondeterministically).
+    ///
+    /// Violations are appended to `out` labeled with `site`.
+    pub fn audit(&self, site: &str, out: &mut Vec<recon::AuditViolation>) {
+        for (set, ways) in self.sets.iter().enumerate() {
+            for (way, meta) in ways.iter().enumerate() {
+                let mask = self.masks.get(self.mask_slot(set, way));
+                if !meta.valid && mask.bits() != 0 {
+                    out.push(recon::AuditViolation::new(
+                        "mask-on-invalid-way",
+                        site,
+                        format!(
+                            "set {set} way {way}: invalid slot carries reveal bits {:#04x}",
+                            mask.bits()
+                        ),
+                    ));
+                }
+                if meta.valid && !meta.state.readable() {
+                    out.push(recon::AuditViolation::new(
+                        "valid-way-unreadable",
+                        site,
+                        format!(
+                            "set {set} way {way} (line {:#x}): valid bit set but state Invalid",
+                            self.geom.unslice(set, meta.tag)
+                        ),
+                    ));
+                }
+            }
+            for (i, a) in ways.iter().enumerate() {
+                if !a.valid {
+                    continue;
+                }
+                for b in &ways[i + 1..] {
+                    if b.valid && a.tag == b.tag {
+                        out.push(recon::AuditViolation::new(
+                            "duplicate-tag",
+                            site,
+                            format!(
+                                "set {set}: two valid ways hold line {:#x}",
+                                self.geom.unslice(set, a.tag)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Soft-error injection hook: flips one random bit of one slot's
+    /// packed reveal mask (valid or invalid — soft errors do not read
+    /// the valid bit first). Returns a description of the flip.
+    pub fn inject_mask_bit(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        let slots = self.sets.len() * self.geom.ways();
+        if slots == 0 {
+            return None;
+        }
+        let slot = rng.next_u64() as usize % slots;
+        let word = rng.next_u64() as usize % recon::WORDS_PER_LINE;
+        let mut mask = self.masks.get(slot);
+        if mask.is_revealed(word) {
+            mask.conceal(word);
+        } else {
+            mask.reveal(word);
+        }
+        self.masks.set(slot, mask);
+        let (set, way) = (slot / self.geom.ways(), slot % self.geom.ways());
+        let valid = self.sets[set][way].valid;
+        Some(format!(
+            "mask bit {word} of set {set} way {way} flipped (way {})",
+            if valid { "valid" } else { "invalid" }
+        ))
+    }
+
+    /// Soft-error injection hook: overwrites the MESI state of a random
+    /// *valid* way with a different random state (possibly `Invalid`,
+    /// modeling a decayed state field). Returns a description, or
+    /// `None` when the array holds no valid line.
+    pub fn inject_state_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        let valid: Vec<(usize, usize)> = self
+            .sets
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ways)| {
+                ways.iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.valid)
+                    .map(move |(w, _)| (s, w))
+            })
+            .collect();
+        let &(set, way) = valid.get(rng.next_u64() as usize % valid.len().max(1))?;
+        let old = self.sets[set][way].state;
+        let choices = [Mesi::Invalid, Mesi::Shared, Mesi::Exclusive, Mesi::Modified];
+        let new = choices[rng.next_u64() as usize % choices.len()];
+        let new = if new == old {
+            choices[(mesi_to_u8(old) as usize + 1) % choices.len()]
+        } else {
+            new
+        };
+        self.sets[set][way].state = new;
+        Some(format!(
+            "line {:#x}: MESI {old:?} -> {new:?}",
+            self.geom.unslice(set, self.sets[set][way].tag)
+        ))
+    }
+
     /// Serializes every way of every set in array order, including LRU
     /// timestamps, so replacement decisions replay identically after a
     /// restore. Geometry is *not* stored — it is re-derived from the

@@ -595,6 +595,328 @@ impl MemorySystem {
     }
 
     // ------------------------------------------------------------------
+    // Invariant audit + soft-error injection
+    // ------------------------------------------------------------------
+
+    /// Full invariant sweep of the memory hierarchy. Read-only; returns
+    /// every violation found (empty on healthy state).
+    ///
+    /// Checks, in order:
+    ///
+    /// * per-array structural invariants ([`CacheArray::audit`]);
+    /// * **L1/L2 inclusion**: every L1-resident line is L2-resident with
+    ///   the *same* MESI state (every fill/demote/invalidate path moves
+    ///   the pair together), and the L2 mask is a subset of the L1 mask
+    ///   (reveals land in the L1 first, merges flow downward only);
+    /// * **SWMR**: at most one core holds a writable (E/M) copy, and a
+    ///   writable copy is the *only* private copy of its line;
+    /// * **directory consistency**: every privately held line has a
+    ///   directory entry matching its holders (`Owned{owner}` names the
+    ///   sole E/M holder, `Shared` lists exactly the S holders,
+    ///   `Uncached` has none), every listed sharer/owner is a real core
+    ///   that actually holds the line, and the in-cache directory
+    ///   requires every tracked line to be LLC-resident.
+    #[must_use]
+    pub fn audit(&self) -> Vec<recon::AuditViolation> {
+        use recon::AuditViolation;
+        let mut out = Vec::new();
+        for (i, p) in self.cores.iter().enumerate() {
+            p.l1.audit(&format!("mem.core{i}.l1"), &mut out);
+            p.l2.audit(&format!("mem.core{i}.l2"), &mut out);
+        }
+        self.llc.audit("mem.llc", &mut out);
+
+        // L1/L2 pairing per core.
+        for (i, p) in self.cores.iter().enumerate() {
+            for (line, l1_state, l1_mask) in p.l1.iter_lines() {
+                match p.l2.state_of(line) {
+                    None => out.push(AuditViolation::new(
+                        "l1-l2-inclusion",
+                        format!("mem.core{i}"),
+                        format!("line {line:#x} in L1 ({l1_state:?}) but not in L2"),
+                    )),
+                    Some(l2_state) => {
+                        if l2_state != l1_state {
+                            out.push(AuditViolation::new(
+                                "l1-l2-state",
+                                format!("mem.core{i}"),
+                                format!("line {line:#x}: L1 {l1_state:?} vs L2 {l2_state:?}"),
+                            ));
+                        }
+                        let l2_mask = p.l2.mask_of(line).unwrap_or_default();
+                        if l2_mask.bits() & !l1_mask.bits() != 0 {
+                            out.push(AuditViolation::new(
+                                "l1-mask-subset",
+                                format!("mem.core{i}"),
+                                format!(
+                                    "line {line:#x}: L2 mask {:#04x} not a subset of \
+                                     L1 mask {:#04x}",
+                                    l2_mask.bits(),
+                                    l1_mask.bits()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // LLC residency, collected once: the census and the directory
+        // walk below each probe it per line, and at paper geometry a
+        // per-probe way scan (32 ways × thousands of tracked lines)
+        // would dominate the whole sweep.
+        let mut llc_resident: FxHashMap<u64, ()> =
+            FxHashMap::with_capacity_and_hasher(self.cfg.llc.num_lines() * 2, Default::default());
+        llc_resident.extend(self.llc.iter_lines().map(|(l, _, _)| (l, ())));
+
+        // Per-line holder census (L2 is the authoritative private
+        // presence; L1-only residency is already flagged above). One
+        // flat sorted vector, grouped by line — this sweep runs every
+        // `audit_every_cycles`, so no per-line heap traffic.
+        let mut census: Vec<(u64, usize, Mesi)> = Vec::new();
+        for (i, p) in self.cores.iter().enumerate() {
+            for (line, state, _) in p.l2.iter_lines() {
+                census.push((line, i, state));
+            }
+        }
+        census.sort_unstable();
+        let mut start = 0;
+        while start < census.len() {
+            let line = census[start].0;
+            let mut end = start;
+            while end < census.len() && census[end].0 == line {
+                end += 1;
+            }
+            let holders = &census[start..end];
+            start = end;
+            let writable_count = holders.iter().filter(|(_, _, s)| s.writable()).count();
+            if writable_count > 1 || (writable_count == 1 && holders.len() > 1) {
+                let writable: Vec<usize> = holders
+                    .iter()
+                    .filter(|(_, _, s)| s.writable())
+                    .map(|&(_, c, _)| c)
+                    .collect();
+                out.push(AuditViolation::new(
+                    "swmr",
+                    "mem.dir",
+                    format!(
+                        "line {line:#x}: writable copy on core(s) {writable:?} \
+                         alongside {} private copies",
+                        holders.len()
+                    ),
+                ));
+            }
+            match self.dir.get(&line).copied() {
+                None => out.push(AuditViolation::new(
+                    "dir-entry-missing",
+                    "mem.dir",
+                    format!(
+                        "line {line:#x} held privately by core(s) {:?} but untracked",
+                        holders.iter().map(|&(_, c, _)| c).collect::<Vec<_>>()
+                    ),
+                )),
+                Some(DirState::Uncached) => out.push(AuditViolation::new(
+                    "dir-uncached-held",
+                    "mem.dir",
+                    format!(
+                        "line {line:#x} marked Uncached but held by core(s) {:?}",
+                        holders.iter().map(|&(_, c, _)| c).collect::<Vec<_>>()
+                    ),
+                )),
+                Some(DirState::Shared(sharers)) => {
+                    for &(_, c, state) in holders {
+                        if !sharers.contains(c) {
+                            out.push(AuditViolation::new(
+                                "dir-sharer-unlisted",
+                                "mem.dir",
+                                format!("line {line:#x}: core {c} holds but is not listed"),
+                            ));
+                        }
+                        if state != Mesi::Shared {
+                            out.push(AuditViolation::new(
+                                "dir-shared-writable",
+                                "mem.dir",
+                                format!(
+                                    "line {line:#x}: core {c} holds {state:?} under a \
+                                     Shared directory entry"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Some(DirState::Owned { owner }) => {
+                    for &(_, c, state) in holders {
+                        if c != owner {
+                            out.push(AuditViolation::new(
+                                "dir-owner-exclusive",
+                                "mem.dir",
+                                format!(
+                                    "line {line:#x}: owned by core {owner} but core {c} \
+                                     holds {state:?}"
+                                ),
+                            ));
+                        } else if !state.writable() {
+                            out.push(AuditViolation::new(
+                                "dir-owner-state",
+                                "mem.dir",
+                                format!(
+                                    "line {line:#x}: owner core {owner} holds {state:?}, \
+                                     expected Exclusive/Modified"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            if !llc_resident.contains_key(&line) {
+                out.push(AuditViolation::new(
+                    "llc-inclusion",
+                    "mem.llc",
+                    format!("line {line:#x} held privately but absent from the LLC"),
+                ));
+            }
+        }
+
+        // Directory entries themselves: tracked lines are LLC-resident
+        // (in-cache directory), listed cores exist and hold the line.
+        // Iterated in map order — the final sort below restores
+        // deterministic reporting, and only a damaged system pays it.
+        for (&line, &dstate) in &self.dir {
+            if !llc_resident.contains_key(&line) {
+                out.push(AuditViolation::new(
+                    "dir-entry-evicted-line",
+                    "mem.dir",
+                    format!("line {line:#x} tracked as {dstate:?} but not LLC-resident"),
+                ));
+            }
+            // Walk listed holders without collecting them (this runs
+            // for every tracked line, every sweep).
+            match dstate {
+                DirState::Uncached => {}
+                DirState::Shared(s) => {
+                    for c in s.iter() {
+                        self.audit_listed_holder(line, c, &mut out);
+                    }
+                }
+                DirState::Owned { owner } => self.audit_listed_holder(line, owner, &mut out),
+            }
+            if matches!(dstate, DirState::Shared(s) if s.is_empty()) {
+                out.push(AuditViolation::new(
+                    "dir-empty-sharers",
+                    "mem.dir",
+                    format!("line {line:#x}: Shared entry with an empty sharer set"),
+                ));
+            }
+        }
+        if !out.is_empty() {
+            // The directory walk above follows hash-map order; sorting
+            // here keeps violation reports deterministic per seed.
+            out.sort_unstable_by(|a, b| {
+                (&a.site, &a.invariant, &a.detail).cmp(&(&b.site, &b.invariant, &b.detail))
+            });
+        }
+        out
+    }
+
+    /// One directory-listed holder: must be a real core that actually
+    /// holds the line privately.
+    fn audit_listed_holder(&self, line: u64, c: usize, out: &mut Vec<recon::AuditViolation>) {
+        use recon::AuditViolation;
+        if c >= self.cores.len() {
+            out.push(AuditViolation::new(
+                "dir-core-range",
+                "mem.dir",
+                format!(
+                    "line {line:#x}: lists core {c}, system has {}",
+                    self.cores.len()
+                ),
+            ));
+        } else if self.cores[c].l2.state_of(line).is_none() {
+            out.push(AuditViolation::new(
+                "dir-holder-absent",
+                "mem.dir",
+                format!("line {line:#x}: listed holder core {c} has no private copy"),
+            ));
+        }
+    }
+
+    /// Soft-error injection: flips one reveal-mask bit somewhere in the
+    /// hierarchy (random level, random slot, random word). Returns a
+    /// description of the flip.
+    pub fn inject_mask_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        let arrays = self.cores.len() * 2 + 1;
+        let pick = rng.next_u64() as usize % arrays;
+        let (label, desc) = if pick < self.cores.len() {
+            (
+                format!("core{pick}.l1"),
+                self.cores[pick].l1.inject_mask_bit(rng),
+            )
+        } else if pick < self.cores.len() * 2 {
+            let c = pick - self.cores.len();
+            (format!("core{c}.l2"), self.cores[c].l2.inject_mask_bit(rng))
+        } else {
+            ("llc".to_string(), self.llc.inject_mask_bit(rng))
+        };
+        desc.map(|d| format!("{label}: {d}"))
+    }
+
+    /// Soft-error injection: corrupts coherence state — either a
+    /// directory entry (owner/sharer bits decay) or a cached line's
+    /// MESI state field. Returns a description, or `None` when there is
+    /// no coherence state to corrupt yet.
+    pub fn inject_dir_flip(&mut self, rng: &mut recon_isa::rng::SplitMix64) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        if rng.next_u64().is_multiple_of(2) {
+            // Corrupt a directory entry (deterministic pick: sorted keys).
+            let mut lines: Vec<u64> = self.dir.keys().copied().collect();
+            lines.sort_unstable();
+            if let Some(&line) = lines.get(rng.next_u64() as usize % lines.len().max(1)) {
+                let old = self.dir[&line];
+                let new = match old {
+                    DirState::Owned { owner } if self.cores.len() > 1 => DirState::Owned {
+                        owner: (owner + 1 + rng.next_u64() as usize % (self.cores.len() - 1))
+                            % self.cores.len(),
+                    },
+                    DirState::Owned { .. } => DirState::Uncached,
+                    DirState::Shared(mut s) => {
+                        let c = rng.next_u64() as usize % self.cores.len();
+                        if s.contains(c) {
+                            s.remove(c);
+                        } else {
+                            s.insert(c);
+                        }
+                        DirState::Shared(s)
+                    }
+                    DirState::Uncached => DirState::Owned {
+                        owner: rng.next_u64() as usize % self.cores.len(),
+                    },
+                };
+                self.dir.insert(line, new);
+                return Some(format!("dir line {line:#x}: {old:?} -> {new:?}"));
+            }
+        }
+        // Corrupt a MESI state field in a random array.
+        let arrays = self.cores.len() * 2 + 1;
+        let pick = rng.next_u64() as usize % arrays;
+        let (label, desc) = if pick < self.cores.len() {
+            (
+                format!("core{pick}.l1"),
+                self.cores[pick].l1.inject_state_flip(rng),
+            )
+        } else if pick < self.cores.len() * 2 {
+            let c = pick - self.cores.len();
+            (
+                format!("core{c}.l2"),
+                self.cores[c].l2.inject_state_flip(rng),
+            )
+        } else {
+            ("llc".to_string(), self.llc.inject_state_flip(rng))
+        };
+        desc.map(|d| format!("{label}: {d}"))
+    }
+
+    // ------------------------------------------------------------------
     // Protocol internals
     // ------------------------------------------------------------------
 

@@ -111,6 +111,16 @@ impl GuardTable {
         }
     }
 
+    /// Iterates `(preg, root)` over every guarded register, in index
+    /// order, regardless of activity (the audit sweep needs stale guards
+    /// too).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Seq)> + '_ {
+        self.guards
+            .iter()
+            .enumerate()
+            .filter_map(|(p, g)| g.map(|root| (p, root)))
+    }
+
     /// Clears every guard (squash recovery resets taint conservatively;
     /// squashed state is re-derived as instructions re-execute).
     pub fn clear_all(&mut self) {

@@ -129,6 +129,10 @@ pub struct JobSpec {
     /// before detailed timing (`run`/`matrix`/`verify`). Changes every
     /// result, so it is folded into the content-addressed digest.
     pub fast_forward: Option<u64>,
+    /// Invariant-auditor sweep cadence in cycles (`run`/`matrix`/
+    /// `verify`/`asm`); unset leaves the auditor off. A violation maps
+    /// to HTTP 500 with the forensic report in the payload.
+    pub audit_every_cycles: Option<u64>,
     /// Enable pipeline tracing for the run (`run` only) — exercises the
     /// trace ring and reports its drop count.
     pub trace: bool,
@@ -160,6 +164,13 @@ pub enum JobError {
     /// (HTTP 500). The payload carries the full forensic stall report
     /// alongside the partial statistics.
     Stalled {
+        /// JSON object with the diagnostic, ready to serve.
+        payload: String,
+    },
+    /// An invariant-audit sweep found the simulator state inconsistent
+    /// (HTTP 500). The payload carries the violated-invariant report
+    /// alongside the partial statistics.
+    AuditViolated {
         /// JSON object with the diagnostic, ready to serve.
         payload: String,
     },
@@ -203,7 +214,7 @@ fn hint(input: &str, candidates: impl IntoIterator<Item = &'static str>) -> Stri
 }
 
 /// The keys a submission may carry, for the unknown-key check.
-const KNOWN_KEYS: [&str; 11] = [
+const KNOWN_KEYS: [&str; 12] = [
     "kind",
     "suite",
     "bench",
@@ -213,6 +224,7 @@ const KNOWN_KEYS: [&str; 11] = [
     "max_cycles",
     "watchdog_cycles",
     "fast_forward",
+    "audit_every_cycles",
     "trace",
     "source",
 ];
@@ -278,6 +290,7 @@ impl JobSpec {
         let max_cycles = num_field("max_cycles")?;
         let watchdog_cycles = num_field("watchdog_cycles")?;
         let fast_forward = num_field("fast_forward")?;
+        let audit_every_cycles = num_field("audit_every_cycles")?;
         let trace = match v.get("trace") {
             None | Some(Json::Null) => false,
             Some(b) => b.as_bool().ok_or("'trace' must be a boolean")?,
@@ -299,6 +312,7 @@ impl JobSpec {
             max_cycles,
             watchdog_cycles,
             fast_forward,
+            audit_every_cycles,
             trace,
             source,
         };
@@ -358,10 +372,11 @@ impl JobSpec {
                     || self.max_cycles.is_some()
                     || self.watchdog_cycles.is_some()
                     || self.fast_forward.is_some()
+                    || self.audit_every_cycles.is_some()
                     || self.trace
                 {
                     return Err(
-                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and already functional, so 'max_cycles'/'watchdog_cycles'/'fast_forward'/'trace' do not apply)"
+                        "'analyze' accepts 'suite', 'bench', and 'fuel' (it is scheme-independent and already functional, so 'max_cycles'/'watchdog_cycles'/'fast_forward'/'audit_every_cycles'/'trace' do not apply)"
                             .into(),
                     );
                 }
@@ -444,7 +459,7 @@ impl JobSpec {
                 format!("{:#018x}", h.finish())
             },
         );
-        format!(
+        let mut s = format!(
             "v4|{}|suite={}|bench={}|scheme={}|gadget={}|fuel={}|max_cycles={}|wd={}|ff={}|trace={}|src={src}|scale={scale}",
             self.kind.label(),
             opt(&self.suite),
@@ -456,7 +471,16 @@ impl JobSpec {
             num(&self.watchdog_cycles),
             num(&self.fast_forward),
             u8::from(self.trace),
-        )
+        );
+        // Appended only when set, so unaudited specs keep the digests
+        // (and cached results) they had before the field existed. An
+        // audit cadence can turn a completed run into a 500, so audited
+        // and unaudited jobs must never share a cache key.
+        if let Some(n) = self.audit_every_cycles {
+            use std::fmt::Write as _;
+            let _ = write!(s, "|audit={n}");
+        }
+        s
     }
 
     /// The content address of this job: the FxHash digest of its
@@ -492,6 +516,7 @@ impl JobSpec {
             ("max_cycles", self.max_cycles),
             ("watchdog_cycles", self.watchdog_cycles),
             ("fast_forward", self.fast_forward),
+            ("audit_every_cycles", self.audit_every_cycles),
         ] {
             if let Some(v) = v {
                 let _ = write!(s, ",\"{key}\":{v}");
@@ -665,6 +690,17 @@ fn deadline_error(spec: &JobSpec, e: SimError, checkpoint: Option<String>) -> Jo
             body.push_str("}}");
             JobError::Stalled { payload: body }
         }
+        SimError::InvariantViolated { partial, report } => {
+            let mut body = format!(
+                "{{\"error\":\"invariant_violated\",\"kind\":\"{}\",\"summary\":\"{}\",\"report\":\"{}\",\"partial\":{{",
+                spec.kind.label(),
+                escape(&report.summary()),
+                escape(&report.to_string()),
+            );
+            render_system_result(&mut body, &partial);
+            body.push_str("}}");
+            JobError::AuditViolated { payload: body }
+        }
         SimError::DeadlineExceeded { partial, reason } => {
             let mut body = format!(
                 "{{\"error\":\"deadline_exceeded\",\"kind\":\"{}\",\"reason\":\"{reason}\",\"partial\":{{",
@@ -712,6 +748,7 @@ pub fn execute_ckpt(
         checkpoint_every_cycles: None,
         fast_forward: spec.fast_forward,
         watchdog_cycles: spec.watchdog_cycles,
+        audit_every_cycles: spec.audit_every_cycles,
     };
     match spec.kind {
         JobKind::Run => execute_run(spec, &budget, plan),
@@ -1134,6 +1171,40 @@ mod tests {
             .unwrap();
         let m_plain = spec(r#"{"kind":"matrix","suite":"spec2017","bench":"mcf"}"#).unwrap();
         assert_ne!(m.digest(), m_plain.digest());
+    }
+
+    #[test]
+    fn audit_cadence_parses_round_trips_and_keys_the_digest() {
+        let s = spec(
+            r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt","audit_every_cycles":4096}"#,
+        )
+        .unwrap();
+        assert_eq!(s.audit_every_cycles, Some(4096));
+        let back = spec(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // A cadence can turn a completed run into a 500, so it must key
+        // the result cache.
+        let plain =
+            spec(r#"{"kind":"run","suite":"spec2017","bench":"mcf","scheme":"stt"}"#).unwrap();
+        assert_ne!(s.digest(), plain.digest());
+        // Analyze is functional: nothing to audit.
+        assert!(spec(
+            r#"{"kind":"analyze","suite":"spec2017","bench":"mcf","audit_every_cycles":64}"#
+        )
+        .unwrap_err()
+        .contains("audit_every_cycles"));
+        // An audited clean run completes normally (no false positives)
+        // and serves the usual payload.
+        let s = spec(
+            r#"{"kind":"run","suite":"corpus","bench":"quicksort","scheme":"stt","audit_every_cycles":256}"#,
+        )
+        .unwrap();
+        let out = execute(&s, None).unwrap();
+        assert!(
+            out.payload.contains("\"completed\":true"),
+            "{}",
+            out.payload
+        );
     }
 
     #[test]

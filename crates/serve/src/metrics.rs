@@ -116,6 +116,9 @@ pub struct Metrics {
     pub jobs_deadline: Counter,
     /// Jobs the liveness watchdog declared deadlocked.
     pub stalls_detected: Counter,
+    /// Jobs whose invariant-audit sweep found inconsistent simulator
+    /// state (served as 500 with the forensic report).
+    pub audit_violations: Counter,
     /// Submissions refused with `429` because the queue was full.
     pub jobs_rejected: Counter,
     /// Result-cache hits (response served without executing).
@@ -228,6 +231,11 @@ impl Metrics {
             "recon_stalls_detected_total",
             "Jobs the liveness watchdog declared deadlocked.",
             self.stalls_detected.get(),
+        );
+        counter(
+            "recon_audit_violations_total",
+            "Jobs whose invariant-audit sweep found inconsistent state.",
+            self.audit_violations.get(),
         );
         counter(
             "recon_jobs_rejected_total",

@@ -522,6 +522,7 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
         }
         Err(JobError::DeadlineExceeded { .. }) => shared.metrics.jobs_deadline.inc(),
         Err(JobError::Stalled { .. }) => shared.metrics.stalls_detected.inc(),
+        Err(JobError::AuditViolated { .. }) => shared.metrics.audit_violations.inc(),
         Err(JobError::Cancelled) => shared.metrics.jobs_cancelled.inc(),
         Err(JobError::Invalid(_) | JobError::Failed(_)) => shared.metrics.jobs_failed.inc(),
     }
@@ -765,6 +766,7 @@ fn job_response(
             ..
         }) => (408, None, checkpoint, payload),
         Err(JobError::Stalled { payload }) => (500, None, None, payload),
+        Err(JobError::AuditViolated { payload }) => (500, None, None, payload),
         Err(JobError::Cancelled) => (
             503,
             None,

@@ -35,6 +35,7 @@ use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
 use recon_secure::SecureConfig;
 use recon_workloads::Workload;
 
+use crate::audit::AuditReport;
 use crate::error::{Budget, SimError};
 use crate::experiment::Experiment;
 use crate::stall::StallReport;
@@ -341,6 +342,9 @@ pub const OUTCOME_KEY: &str = "outcome";
 /// [`OUTCOME_KEY`] value for a persisted stall record.
 pub const OUTCOME_STALLED: &str = "stalled";
 
+/// [`OUTCOME_KEY`] value for a persisted invariant-violation record.
+pub const OUTCOME_AUDIT: &str = "invariant-violated";
+
 /// A persisted `.res` record: either the completed result of a job, or
 /// the diagnostic of a job the liveness watchdog killed — persisted so
 /// a resumed server/suite can *explain* an orphaned job's failure
@@ -355,6 +359,14 @@ pub enum ResultRecord {
         partial: SystemResult,
         /// Forensic snapshot of every core at the stall point.
         report: StallReport,
+    },
+    /// An invariant-audit sweep stopped the job; partial statistics
+    /// plus the violation forensics.
+    InvariantViolated {
+        /// Statistics up to the violating sweep.
+        partial: SystemResult,
+        /// Every violated invariant, with site and cycle.
+        report: AuditReport,
     },
 }
 
@@ -393,6 +405,41 @@ pub fn write_stall_record(
     Ok(path)
 }
 
+/// Writes the record of a job the invariant auditor stopped: the
+/// `RCK1` envelope carrying the partial [`SystemResult`] followed by
+/// the serialized [`AuditReport`], with `outcome=invariant-violated`
+/// in the meta.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_audit_record(
+    dir: &Path,
+    config_digest: u64,
+    partial: &SystemResult,
+    report: &AuditReport,
+    meta: &[(String, String)],
+) -> io::Result<PathBuf> {
+    let mut w = SnapWriter::new();
+    partial.save_snap(&mut w);
+    report.save_snap(&mut w);
+    let mut meta = meta.to_vec();
+    meta.retain(|(k, _)| k != OUTCOME_KEY);
+    meta.push((OUTCOME_KEY.to_string(), OUTCOME_AUDIT.to_string()));
+    let ck = Checkpoint {
+        config_digest,
+        cycle: partial.cycles,
+        meta,
+        state: w.into_bytes(),
+    };
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{config_digest:016x}.{RESULT_EXTENSION}"));
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, ck.encode())?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
 /// Reads whatever `.res` record exists for `config_digest` — completed
 /// or stalled. Returns `None` when absent or unreadable — a corrupt
 /// record simply means the job re-runs, never that wrong numbers are
@@ -407,14 +454,22 @@ pub fn read_record(dir: &Path, config_digest: u64) -> Option<ResultRecord> {
     }
     let mut r = SnapReader::new(&ck.state);
     let result = SystemResult::load_snap(&mut r).ok()?;
-    if ck.meta(OUTCOME_KEY) == Some(OUTCOME_STALLED) {
-        let report = StallReport::load_snap(&mut r).ok()?;
-        Some(ResultRecord::Stalled {
-            partial: result,
-            report,
-        })
-    } else {
-        Some(ResultRecord::Completed(result))
+    match ck.meta(OUTCOME_KEY) {
+        Some(OUTCOME_STALLED) => {
+            let report = StallReport::load_snap(&mut r).ok()?;
+            Some(ResultRecord::Stalled {
+                partial: result,
+                report,
+            })
+        }
+        Some(OUTCOME_AUDIT) => {
+            let report = AuditReport::load_snap(&mut r).ok()?;
+            Some(ResultRecord::InvariantViolated {
+                partial: result,
+                report,
+            })
+        }
+        _ => Some(ResultRecord::Completed(result)),
     }
 }
 
@@ -524,6 +579,16 @@ pub fn run_with_checkpoints(
             };
             return (Err(err), info);
         }
+        Some(ResultRecord::InvariantViolated { partial, report }) => {
+            // Same replay discipline: the violation diagnostic is the
+            // job's persisted outcome.
+            info.stall_cached = true;
+            let err = SimError::InvariantViolated {
+                partial: Box::new(partial),
+                report: Box::new(report),
+            };
+            return (Err(err), info);
+        }
         None => {}
     }
 
@@ -606,6 +671,11 @@ pub fn run_with_checkpoints(
             // Persist the diagnostic: a restarted server can explain
             // this job's death instead of silently re-running it.
             let _ = write_stall_record(&ctx.dir, digest, partial, report, meta);
+            let _ = delete_for_digest(&ctx.dir, digest);
+            info.last_checkpoint = None;
+        }
+        Err(SimError::InvariantViolated { partial, report }) => {
+            let _ = write_audit_record(&ctx.dir, digest, partial, report, meta);
             let _ = delete_for_digest(&ctx.dir, digest);
             info.last_checkpoint = None;
         }

@@ -6,6 +6,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::audit::AuditReport;
 use crate::stall::StallReport;
 use crate::system::SystemResult;
 
@@ -64,6 +65,13 @@ pub struct Budget {
     /// structured [`StallReport`] instead of silently burning its fuel
     /// budget.
     pub watchdog_cycles: Option<u64>,
+    /// Invariant-audit cadence in cycles: when set, the run sweeps
+    /// every layer's internal invariants (see [`crate::audit`]) at this
+    /// cadence and stops with [`SimError::InvariantViolated`] on the
+    /// first non-empty sweep. `None` (the default) disables auditing;
+    /// the sweep is pure observation, so — unlike the checkpoint
+    /// cadence — it does not perturb timing of a clean run.
+    pub audit_every_cycles: Option<u64>,
 }
 
 impl Budget {
@@ -142,6 +150,17 @@ pub enum SimError {
         /// Forensic snapshot of every core at the stall point.
         report: Box<StallReport>,
     },
+    /// An invariant-audit sweep ([`Budget::audit_every_cycles`]) found
+    /// the simulator's internal state inconsistent — state was
+    /// corrupted from outside the model (an injected soft error, a bad
+    /// restore, or a simulator bug). `report` lists every violated
+    /// invariant with forensics.
+    InvariantViolated {
+        /// Statistics up to the violating sweep.
+        partial: Box<SystemResult>,
+        /// Every violation the sweep found, with site and cycle.
+        report: Box<AuditReport>,
+    },
 }
 
 impl SimError {
@@ -151,7 +170,8 @@ impl SimError {
         match self {
             SimError::DeadlineExceeded { partial, .. }
             | SimError::Cancelled { partial }
-            | SimError::Stalled { partial, .. } => *partial,
+            | SimError::Stalled { partial, .. }
+            | SimError::InvariantViolated { partial, .. } => *partial,
         }
     }
 
@@ -161,7 +181,8 @@ impl SimError {
         match self {
             SimError::DeadlineExceeded { partial, .. }
             | SimError::Cancelled { partial }
-            | SimError::Stalled { partial, .. } => partial,
+            | SimError::Stalled { partial, .. }
+            | SimError::InvariantViolated { partial, .. } => partial,
         }
     }
 
@@ -170,6 +191,15 @@ impl SimError {
     pub fn stall_report(&self) -> Option<&StallReport> {
         match self {
             SimError::Stalled { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The audit report, when this is an invariant violation.
+    #[must_use]
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        match self {
+            SimError::InvariantViolated { report, .. } => Some(report),
             _ => None,
         }
     }
@@ -188,6 +218,7 @@ impl core::fmt::Display for SimError {
                 write!(f, "cancelled after {} cycles", partial.cycles)
             }
             SimError::Stalled { report, .. } => write!(f, "{}", report.summary()),
+            SimError::InvariantViolated { report, .. } => write!(f, "{}", report.summary()),
         }
     }
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod ckpt;
 pub mod error;
 pub mod experiment;
@@ -33,6 +34,10 @@ pub mod speed;
 pub mod stall;
 pub mod system;
 
+pub use audit::{
+    run_campaign, AuditCampaignReport, AuditReport, CampaignConfig, FaultSite,
+    DEFAULT_AUDIT_EVERY_CYCLES,
+};
 pub use error::{Budget, DeadlineReason, SimError, DEFAULT_WATCHDOG_CYCLES};
 pub use experiment::{
     geomean, mean, overhead_from_norm_ipc, overhead_reduction, Experiment, SchemeMatrix,
@@ -40,6 +45,6 @@ pub use experiment::{
 pub use runner::{
     jobs_from_env, parallel_map, run_batch, run_batch_budgeted, BatchResults, JobTiming,
 };
-pub use speed::{MicroBench, SchemeSpeed, SpeedReport};
+pub use speed::{AuditSpeed, MicroBench, SchemeSpeed, SpeedReport};
 pub use stall::StallReport;
 pub use system::{System, SystemResult};

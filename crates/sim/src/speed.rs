@@ -34,6 +34,8 @@ use recon_isa::{
 use recon_secure::SecureConfig;
 use recon_workloads::{find, Benchmark, Scale, Suite};
 
+use crate::audit::DEFAULT_AUDIT_EVERY_CYCLES;
+use crate::error::Budget;
 use crate::experiment::Experiment;
 use crate::system::System;
 
@@ -62,6 +64,41 @@ impl SchemeSpeed {
     #[must_use]
     pub fn detailed_mips(&self) -> f64 {
         mips(self.instructions, self.detailed_seconds)
+    }
+}
+
+/// Cost of the invariant auditor at its default cadence. The sweep is
+/// pure observation, so the *simulated* result must be identical; the
+/// cost is host wall-clock only, and it is measured directly — the
+/// sweep timed in isolation on end-of-run state, scaled by the number
+/// of sweeps the run performs — because differencing two short
+/// wall-clock runs cannot resolve a ~1% effect through scheduler
+/// noise.
+#[derive(Clone, Debug)]
+pub struct AuditSpeed {
+    /// Sweep cadence in simulated cycles.
+    pub audit_every: u64,
+    /// Sweeps a full run performs at this cadence.
+    pub sweeps: u64,
+    /// Host seconds those sweeps cost (per-sweep time × `sweeps`).
+    pub sweep_seconds: f64,
+    /// Host seconds of the unaudited detailed run (best of repeats).
+    pub run_seconds: f64,
+    /// Whether an audited run's result (cycles, stats, everything)
+    /// equals the unaudited run's.
+    pub identical: bool,
+}
+
+impl AuditSpeed {
+    /// Host-time overhead of auditing, as a fraction of the unaudited
+    /// run (0.02 = 2%).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.run_seconds > 0.0 {
+            self.sweep_seconds / self.run_seconds
+        } else {
+            0.0
+        }
     }
 }
 
@@ -114,6 +151,8 @@ pub struct SpeedReport {
     pub schemes: Vec<SchemeSpeed>,
     /// Per-optimization isolation microbenchmarks.
     pub micro: Vec<MicroBench>,
+    /// Invariant-auditor cost at the default cadence.
+    pub audit: AuditSpeed,
 }
 
 fn mips(instructions: u64, seconds: f64) -> f64 {
@@ -224,6 +263,7 @@ impl SpeedReport {
             fast_forward,
             schemes,
             micro: vec![micro_decode(&b, quick), micro_mask(quick), micro_mem(quick)],
+            audit: measure_audit(&exp, &b, quick),
         }
     }
 
@@ -282,6 +322,16 @@ impl SpeedReport {
             );
         }
         let _ = writeln!(s, "  ],");
+        let _ = writeln!(
+            s,
+            "  \"audit\": {{\"audit_every\": {}, \"sweeps\": {}, \"sweep_seconds\": {:.6}, \"run_seconds\": {:.6}, \"overhead_fraction\": {:.4}, \"identical\": {}}},",
+            self.audit.audit_every,
+            self.audit.sweeps,
+            self.audit.sweep_seconds,
+            self.audit.run_seconds,
+            self.audit.overhead_fraction(),
+            self.audit.identical,
+        );
         let _ = writeln!(s, "  \"micro\": [");
         let n = self.micro.len();
         for (i, m) in self.micro.iter().enumerate() {
@@ -358,6 +408,63 @@ fn measure_scheme(
             0.0
         },
         identical,
+    }
+}
+
+/// Measures the auditor's cost on the heaviest scheme (STT+ReCon has
+/// the most state to sweep) at the default cadence.
+///
+/// The run itself is timed best-of-repeats without the auditor; the
+/// sweep is then timed in isolation on the run's *final* state (caches
+/// full, queues drained — representative of a steady-state sweep) and
+/// scaled by the sweep count. A full audited run also executes, untimed,
+/// to assert the sweep never perturbs the simulated result.
+fn measure_audit(exp: &Experiment, b: &Benchmark, quick: bool) -> AuditSpeed {
+    let scheme = SecureConfig::stt_recon();
+    let repeats = if quick { 2 } else { 5 };
+
+    let mut run_seconds = f64::MAX;
+    let mut sys = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+    let mut plain_result = sys
+        .run_budgeted(exp.max_cycles, &Budget::default())
+        .expect("unaudited run completes");
+    for _ in 1..repeats {
+        let mut s = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+        let t0 = Instant::now();
+        plain_result = s
+            .run_budgeted(exp.max_cycles, &Budget::default())
+            .expect("unaudited run completes");
+        run_seconds = run_seconds.min(t0.elapsed().as_secs_f64());
+        sys = s;
+    }
+
+    // Per-sweep cost on the final state, amortized over enough calls
+    // that the clock resolution is irrelevant.
+    let sweep_repeats = if quick { 16 } else { 64 };
+    let t0 = Instant::now();
+    let mut violations = 0usize;
+    for _ in 0..sweep_repeats {
+        violations += sys.audit().len();
+    }
+    let per_sweep = t0.elapsed().as_secs_f64() / f64::from(sweep_repeats);
+    assert_eq!(violations, 0, "healthy end-of-run state must audit clean");
+    let sweeps = plain_result.cycles / DEFAULT_AUDIT_EVERY_CYCLES + 1;
+
+    let budget = Budget {
+        audit_every_cycles: Some(DEFAULT_AUDIT_EVERY_CYCLES),
+        ..Budget::default()
+    };
+    let mut audited = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+    let audited_result = audited
+        .run_budgeted(exp.max_cycles, &budget)
+        .expect("audited clean run completes (zero false positives)");
+
+    AuditSpeed {
+        audit_every: DEFAULT_AUDIT_EVERY_CYCLES,
+        sweeps,
+        sweep_seconds: per_sweep * sweeps as f64,
+        run_seconds,
+        identical: plain_result == audited_result,
     }
 }
 
@@ -572,6 +679,13 @@ mod tests {
             fast_forward: 9_500_000,
             schemes: vec![sc(2.0, 8.0, true), sc(1.0, 6.0, true)],
             micro: vec![],
+            audit: AuditSpeed {
+                audit_every: DEFAULT_AUDIT_EVERY_CYCLES,
+                sweeps: 100,
+                sweep_seconds: 0.01,
+                run_seconds: 1.0,
+                identical: true,
+            },
         };
         // functional 10 MIPS; fastest detailed is 1 MIPS → 10×.
         assert!((r.functional_over_detailed() - 10.0).abs() < 1e-9);

@@ -10,8 +10,11 @@ use recon_mem::{MemConfig, MemStats, MemorySystem};
 use recon_secure::SecureConfig;
 use recon_workloads::Workload;
 
+use recon_isa::hash::FxHasher;
 use recon_isa::snap::{SnapError, SnapReader, SnapWriter};
+use std::hash::Hasher;
 
+use crate::audit::{AuditReport, FaultSite};
 use crate::error::{Budget, DeadlineReason, SimError, CANCEL_CHECK_INTERVAL};
 use crate::stall::StallReport;
 
@@ -341,6 +344,63 @@ impl System {
         self.ff_instructions
     }
 
+    /// Sweeps every layer's internal invariants (memory hierarchy,
+    /// directory, every core — see [`recon::audit`]). Empty on an
+    /// uncorrupted system; any entry means state was damaged from
+    /// outside the model.
+    #[must_use]
+    pub fn audit(&self) -> Vec<recon::AuditViolation> {
+        let mut out = self.mem.audit();
+        for core in &self.cores {
+            out.extend(core.audit());
+        }
+        out
+    }
+
+    /// Injects one seeded single-bit soft error at `site`. Returns a
+    /// description of the flipped state, or `None` when the site holds
+    /// no target right now (e.g. an empty LPT) or the site is not an
+    /// in-system one ([`FaultSite::CkptBytes`] corrupts serialized
+    /// bytes, which the caller owns).
+    pub fn inject_fault(
+        &mut self,
+        site: FaultSite,
+        rng: &mut recon_isa::rng::SplitMix64,
+    ) -> Option<String> {
+        use recon_isa::rng::Rng as _;
+        match site {
+            FaultSite::RevealMask => self.mem.inject_mask_flip(rng),
+            FaultSite::DirState => self.mem.inject_dir_flip(rng),
+            FaultSite::Lpt => {
+                let core = (rng.next_u64() as usize) % self.cores.len();
+                self.cores[core].inject_lpt_flip(rng)
+            }
+            FaultSite::Regfile => {
+                let core = (rng.next_u64() as usize) % self.cores.len();
+                self.cores[core].inject_reg_flip(rng)
+            }
+            FaultSite::CkptBytes => None,
+        }
+    }
+
+    /// Digest of the architectural state: the functional memory image
+    /// plus every core's architectural registers. Two runs of the same
+    /// workload ending with equal digests produced the same program
+    /// outcome — the campaign's masked-fault criterion.
+    #[must_use]
+    pub fn arch_digest(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        self.data.save_snap(&mut w);
+        let mut h = FxHasher::default();
+        h.write(w.as_slice());
+        for core in &self.cores {
+            for i in 1..NUM_ARCH_REGS {
+                h.write_u64(core.arch_read(ArchReg::new(i)));
+            }
+        }
+        h.finish()
+    }
+
     /// Executes up to `n` instructions *functionally* — straight-line
     /// interpretation over architectural state (register files + the
     /// shared [`SparseMem`]), touching no ROB/LSQ/rename/predictor/cache
@@ -453,17 +513,34 @@ impl System {
     /// there, no speculative state exists, so none needs capturing.
     /// All collections serialize in canonical (sorted) order — the same
     /// state always produces the same bytes.
+    ///
+    /// Each section (cycle + functional memory, memory system, cores)
+    /// is sealed with an `SCHK` checksum over its bytes, so a bit flip
+    /// *inside* the stream — corruption the envelope of an `RCK1` file
+    /// cannot see, e.g. state damaged before the envelope was written —
+    /// is rejected at restore and names the corrupted section.
     #[must_use]
     pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let seal = |w: &mut SnapWriter, start: &mut usize| {
+            let mut h = FxHasher::default();
+            h.write(&w.as_slice()[*start..]);
+            w.tag(b"SCHK");
+            w.u64(h.finish());
+            *start = w.len();
+        };
         let mut w = SnapWriter::new();
         w.tag(b"SYSS");
+        let mut start = w.len();
         w.u64(self.cycle);
         self.data.save_snap(&mut w);
+        seal(&mut w, &mut start);
         self.mem.save_snap(&mut w);
+        seal(&mut w, &mut start);
         w.u32(self.cores.len() as u32);
         for core in &self.cores {
             core.save_snap(&mut w);
         }
+        seal(&mut w, &mut start);
         w.into_bytes()
     }
 
@@ -477,11 +554,29 @@ impl System {
     /// shape (core count, cache geometry) does not match this system.
     /// On error the system is partially restored and must be discarded.
     pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let check = |r: &mut SnapReader<'_>, start: &mut usize, name: &str| {
+            let end = r.offset();
+            r.expect_tag(b"SCHK")?;
+            let stored = r.u64()?;
+            let mut h = FxHasher::default();
+            h.write(&bytes[*start..end]);
+            if h.finish() != stored {
+                return Err(SnapError {
+                    what: format!("snapshot section '{name}' checksum mismatch (corrupt state)"),
+                    offset: end,
+                });
+            }
+            *start = r.offset();
+            Ok(())
+        };
         let mut r = SnapReader::new(bytes);
         r.expect_tag(b"SYSS")?;
+        let mut start = r.offset();
         self.cycle = r.u64()?;
         self.data = recon_isa::SparseMem::load_snap(&mut r)?;
+        check(&mut r, &mut start, "data")?;
         self.mem.load_snap(&mut r)?;
+        check(&mut r, &mut start, "mem")?;
         let n = r.u32()? as usize;
         if n != self.cores.len() {
             return Err(SnapError {
@@ -492,6 +587,7 @@ impl System {
         for core in &mut self.cores {
             core.load_snap(&mut r)?;
         }
+        check(&mut r, &mut start, "cores")?;
         if !r.is_exhausted() {
             return Err(SnapError {
                 what: "trailing bytes after system snapshot".to_string(),
@@ -584,6 +680,13 @@ impl System {
         }
         let cadence = budget.checkpoint_every_cycles.map(|c| c.max(1));
         let mut next_ckpt = cadence.map(|c| self.cycle.saturating_add(c));
+        // Invariant auditor: a pure observation sweep at its own
+        // cadence; the first non-empty sweep stops the run with full
+        // forensics (the sweep never mutates state, so a clean run's
+        // timing is unchanged).
+        let audit_cadence = budget.audit_every_cycles.map(|c| c.max(1));
+        let mut next_audit = audit_cadence.map(|c| self.cycle.saturating_add(c));
+        let mut violated: Option<AuditReport> = None;
         // Liveness watchdog: track total committed instructions across
         // cores; a full window without any commit means the pipelines
         // are deadlocked, and the run stops with a forensic report
@@ -618,6 +721,20 @@ impl System {
                     break;
                 }
             }
+            if let (Some(at), Some(c)) = (next_audit, audit_cadence) {
+                if self.cycle >= at {
+                    let violations = self.audit();
+                    if !violations.is_empty() {
+                        violated = Some(AuditReport {
+                            cycle: self.cycle,
+                            cadence: c,
+                            violations,
+                        });
+                        break;
+                    }
+                    next_audit = Some(self.cycle.saturating_add(c));
+                }
+            }
             if let (Some(at), Some(c)) = (next_ckpt, cadence) {
                 if self.cycle >= at {
                     if self.drain(DRAIN_BOUND_CYCLES) {
@@ -637,12 +754,36 @@ impl System {
             }
         }
         let completed = self.cores.iter().all(Core::is_done);
+        // A final sweep on completion closes the window between the
+        // last cadence boundary and the halt: a fault that survives to
+        // the end is still caught before the result is reported.
+        if completed && violated.is_none() {
+            if let Some(c) = audit_cadence {
+                let violations = self.audit();
+                if !violations.is_empty() {
+                    violated = Some(AuditReport {
+                        cycle: self.cycle,
+                        cadence: c,
+                        violations,
+                    });
+                }
+            }
+        }
         let result = SystemResult {
             completed,
             cycles: self.cycle,
             cores: self.cores.iter().map(Core::stats).collect(),
             mem: self.mem.stats(),
         };
+        if let Some(report) = violated {
+            return Err(SimError::InvariantViolated {
+                partial: Box::new(SystemResult {
+                    completed: false,
+                    ..result
+                }),
+                report: Box::new(report),
+            });
+        }
         if cancelled {
             return Err(SimError::Cancelled {
                 partial: Box::new(result),

@@ -1,0 +1,153 @@
+//! Silent-corruption defense, end to end: a seeded soft-error campaign
+//! must detect every unmasked fault, the auditor must never fire on a
+//! healthy run under any scheme, and `BENCH_audit.json` keeps its
+//! schema.
+
+use recon_secure::SecureConfig;
+use recon_serve::json;
+use recon_sim::{run_campaign, Budget, CampaignConfig, Experiment, FaultSite, System};
+use recon_workloads::{find, Scale, Suite};
+
+const ALL_SCHEMES: [fn() -> SecureConfig; 5] = [
+    SecureConfig::unsafe_baseline,
+    SecureConfig::nda,
+    SecureConfig::nda_recon,
+    SecureConfig::stt,
+    SecureConfig::stt_recon,
+];
+
+/// The auditor is pure observation: on healthy runs of every scheme it
+/// must stay silent (zero false positives) and leave the simulated
+/// result bit-identical to an unaudited run.
+#[test]
+fn fault_free_audited_runs_are_clean_for_all_schemes() {
+    let exp = Experiment::default();
+    let b = find(Suite::Spec2017, "mcf", Scale::Quick).unwrap();
+    for scheme in ALL_SCHEMES {
+        let scheme = scheme();
+        let mut plain = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+        let plain_result = plain
+            .run_budgeted(exp.max_cycles, &Budget::default())
+            .unwrap_or_else(|e| panic!("unaudited {scheme} run failed: {e:?}"));
+
+        let budget = Budget {
+            audit_every_cycles: Some(256),
+            ..Budget::default()
+        };
+        let mut audited = System::new(&b.workload, exp.core, exp.mem, scheme, exp.recon);
+        let audited_result = audited
+            .run_budgeted(exp.max_cycles, &budget)
+            .unwrap_or_else(|e| panic!("audit false positive under {scheme}: {e:?}"));
+        assert_eq!(
+            plain_result, audited_result,
+            "audit sweep perturbed the {scheme} run"
+        );
+    }
+}
+
+/// A small seeded campaign: every injected fault is either detected
+/// (auditor, digest divergence, checkpoint rejection, stall, crash) or
+/// provably masked — never silent — and fault-free reference runs never
+/// trip the auditor.
+#[test]
+fn seeded_campaign_has_no_silent_corruption_and_no_false_positives() {
+    let cfg = CampaignConfig {
+        seed: 42,
+        faults: 25,
+        audit_every: 256,
+    };
+    let report = run_campaign(&cfg);
+
+    assert_eq!(report.false_positives, 0, "auditor fired on a healthy run");
+    assert_eq!(report.silent(), 0, "a fault corrupted state undetected");
+    assert!(report.injected() > 0, "campaign injected nothing");
+    assert!(report.detected() > 0, "campaign detected nothing");
+    assert_eq!(
+        report.sites.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        FaultSite::ALL,
+        "per-site rows keep FaultSite::ALL order"
+    );
+
+    // Detection latency is only reported for auditor detections, and is
+    // bounded by construction (a sweep runs every `audit_every` cycles,
+    // plus the same window of post-completion slack).
+    for (site, st) in &report.sites {
+        if st.detected_audit > 0 {
+            assert!(
+                st.latency_max <= 2 * cfg.audit_every,
+                "{}: audit latency {} beyond the cadence window",
+                site.name(),
+                st.latency_max
+            );
+        }
+    }
+
+    // The same seed reproduces the same campaign, fault for fault.
+    let again = run_campaign(&cfg);
+    assert_eq!(again.sites, report.sites, "campaign is not deterministic");
+    assert_eq!(again.no_target, report.no_target);
+}
+
+/// `BENCH_audit.json` golden schema: exactly these top-level keys, in
+/// order, with one row per fault site.
+#[test]
+fn bench_audit_json_schema() {
+    let cfg = CampaignConfig {
+        seed: 7,
+        faults: 10,
+        audit_every: 256,
+    };
+    let report = run_campaign(&cfg);
+    let doc = json::parse(&report.to_json()).expect("BENCH_audit.json is valid JSON");
+    assert_eq!(
+        doc.keys(),
+        vec![
+            "schema",
+            "seed",
+            "audit_every",
+            "faults_requested",
+            "faults_injected",
+            "no_target",
+            "false_positives",
+            "detected",
+            "masked",
+            "silent",
+            "sites"
+        ]
+    );
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("recon-bench-audit-v1")
+    );
+    assert_eq!(doc.get("seed").and_then(json::Json::as_u64), Some(7));
+
+    let json::Json::Arr(sites) = doc.get("sites").expect("sites present") else {
+        panic!("sites is an array");
+    };
+    let names: Vec<&str> = sites
+        .iter()
+        .map(|s| s.get("site").and_then(json::Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        ["reveal-mask", "dir-state", "lpt", "regfile", "ckpt-bytes"]
+    );
+    for s in sites {
+        assert_eq!(
+            s.keys(),
+            vec![
+                "site",
+                "injected",
+                "detected_audit",
+                "detected_digest",
+                "detected_ckpt_reject",
+                "detected_stall",
+                "detected_crash",
+                "masked",
+                "silent",
+                "latency_mean_cycles",
+                "latency_max_cycles"
+            ]
+        );
+    }
+}

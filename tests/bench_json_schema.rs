@@ -160,6 +160,7 @@ fn speed_report_json_schema_and_determinism() {
             "end_to_end_speedup",
             "detailed_region_identical",
             "schemes",
+            "audit",
             "micro"
         ]
     );
@@ -194,6 +195,35 @@ fn speed_report_json_schema_and_determinism() {
             ]
         );
     }
+
+    // The audited-run row: identical simulated result, bounded host
+    // overhead (the sweep is pure observation).
+    let audit = doc.get("audit").expect("audit present");
+    assert_eq!(
+        audit.keys(),
+        vec![
+            "audit_every",
+            "sweeps",
+            "sweep_seconds",
+            "run_seconds",
+            "overhead_fraction",
+            "identical"
+        ]
+    );
+    assert!(
+        audit
+            .get("audit_every")
+            .and_then(json::Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert_eq!(
+        audit
+            .get("identical")
+            .map(|v| matches!(v, json::Json::Bool(true))),
+        Some(true),
+        "the audit sweep must not perturb the simulated run"
+    );
 
     // The three isolation microbenchmarks, each with a positive
     // throughput on both sides.
